@@ -1,0 +1,84 @@
+//! The workspace-wide error type.
+
+use std::fmt;
+
+/// Convenience alias used across the Visual Road crates.
+pub type Result<T, E = Error> = std::result::Result<T, E>;
+
+/// Errors produced anywhere in the Visual Road stack.
+///
+/// One shared enum (rather than one per crate) keeps the public API of
+/// the benchmark driver small: a caller running `vcd.execute(..)` sees a
+/// single error surface regardless of whether a failure originated in
+/// the container demuxer, the codec, or the scene simulator.
+#[derive(Debug)]
+pub enum Error {
+    /// A configuration value was rejected (bad scale factor, impossible
+    /// camera placement, unsupported resolution, ...).
+    InvalidConfig(String),
+    /// An encoded bitstream, container file, or metadata blob failed to
+    /// parse.
+    Corrupt(String),
+    /// A requested item (video, track, sample, tile, query) is absent.
+    NotFound(String),
+    /// The engine under test does not implement the requested query.
+    Unsupported(String),
+    /// A resource limit was exhausted (e.g. the functional engine's
+    /// device-memory pool, §6.2).
+    ResourceExhausted(String),
+    /// Wrapper around I/O failures from the storage layer.
+    Io(std::io::Error),
+    /// Query output failed validation (PSNR below threshold, semantic
+    /// mismatch against scene geometry).
+    ValidationFailed(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::InvalidConfig(m) => write!(f, "invalid configuration: {m}"),
+            Error::Corrupt(m) => write!(f, "corrupt data: {m}"),
+            Error::NotFound(m) => write!(f, "not found: {m}"),
+            Error::Unsupported(m) => write!(f, "unsupported operation: {m}"),
+            Error::ResourceExhausted(m) => write!(f, "resource exhausted: {m}"),
+            Error::Io(e) => write!(f, "i/o error: {e}"),
+            Error::ValidationFailed(m) => write!(f, "validation failed: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_message() {
+        let e = Error::InvalidConfig("bad L".into());
+        assert!(e.to_string().contains("bad L"));
+        let e = Error::Unsupported("Q4 on cascade engine".into());
+        assert!(e.to_string().contains("Q4"));
+    }
+
+    #[test]
+    fn io_error_round_trips_source() {
+        use std::error::Error as _;
+        let e: Error = std::io::Error::new(std::io::ErrorKind::Other, "disk on fire").into();
+        assert!(e.source().is_some());
+        assert!(e.to_string().contains("disk on fire"));
+    }
+}

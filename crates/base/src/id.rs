@@ -1,0 +1,185 @@
+//! Identifier newtypes for entities in the simulation and benchmark.
+//!
+//! Newtypes (rather than bare integers) prevent the classic bug of
+//! indexing the vehicle table with a camera id; they cost nothing at
+//! runtime.
+
+use std::fmt;
+
+use crate::rng::VrRng;
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+        pub struct $name(pub u32);
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl From<u32> for $name {
+            fn from(v: u32) -> Self {
+                Self(v)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// A tile within Visual City (position in the L-tile layout).
+    TileId,
+    "tile-"
+);
+id_type!(
+    /// A camera placed within Visual City.
+    CameraId,
+    "cam-"
+);
+id_type!(
+    /// A vehicle spawned in the simulation.
+    VehicleId,
+    "veh-"
+);
+id_type!(
+    /// A pedestrian spawned in the simulation.
+    PedestrianId,
+    "ped-"
+);
+id_type!(
+    /// An input video produced by the VCG (one per 2D camera stream).
+    VideoId,
+    "vid-"
+);
+id_type!(
+    /// A query instance within a benchmark batch.
+    QueryId,
+    "q-"
+);
+
+/// The kind of camera at a mount point (§3.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CameraKind {
+    /// One of the `c_t` randomly-oriented traffic cameras positioned
+    /// 10–20 m above a roadway.
+    Traffic,
+    /// One of the four constituent 120°-FOV 2D cameras of a panoramic
+    /// rig positioned 5–10 m above a sidewalk. The payload is the face
+    /// index `0..4`.
+    PanoramicFace(u8),
+}
+
+impl CameraKind {
+    /// True for faces of a panoramic rig.
+    pub fn is_panoramic(&self) -> bool {
+        matches!(self, CameraKind::PanoramicFace(_))
+    }
+}
+
+/// A six-character alphanumeric license plate (§4.2.1: "a unique
+/// front-facing license plate containing six random alphanumeric
+/// digits").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct LicensePlate(pub [u8; 6]);
+
+/// The plate alphabet: visually distinct alphanumerics (no 0/O or 1/I
+/// confusion pairs would matter for a human, but the recognizer reads
+/// glyph codes, so the full 36-character set is used).
+pub const PLATE_ALPHABET: &[u8; 36] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789";
+
+impl LicensePlate {
+    /// Draw a uniformly random plate.
+    pub fn random(rng: &mut VrRng) -> Self {
+        let mut chars = [0u8; 6];
+        for c in &mut chars {
+            *c = PLATE_ALPHABET[rng.below(PLATE_ALPHABET.len() as u64) as usize];
+        }
+        Self(chars)
+    }
+
+    /// Parse from a 6-character ASCII string.
+    pub fn parse(s: &str) -> Option<Self> {
+        let b = s.as_bytes();
+        if b.len() != 6 || !b.iter().all(|c| PLATE_ALPHABET.contains(c)) {
+            return None;
+        }
+        let mut chars = [0u8; 6];
+        chars.copy_from_slice(b);
+        Some(Self(chars))
+    }
+
+    /// Index of each character within [`PLATE_ALPHABET`]; the glyph
+    /// codes rendered onto the plate and decoded by the recognizer.
+    pub fn glyph_codes(&self) -> [u8; 6] {
+        let mut codes = [0u8; 6];
+        for (i, c) in self.0.iter().enumerate() {
+            codes[i] = PLATE_ALPHABET.iter().position(|a| a == c).unwrap() as u8;
+        }
+        codes
+    }
+
+    /// Reconstruct a plate from glyph codes (inverse of
+    /// [`glyph_codes`](Self::glyph_codes)).
+    pub fn from_glyph_codes(codes: [u8; 6]) -> Option<Self> {
+        let mut chars = [0u8; 6];
+        for (i, &code) in codes.iter().enumerate() {
+            chars[i] = *PLATE_ALPHABET.get(code as usize)?;
+        }
+        Some(Self(chars))
+    }
+}
+
+impl fmt::Display for LicensePlate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for c in &self.0 {
+            write!(f, "{}", *c as char)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_display_with_prefix() {
+        assert_eq!(TileId(3).to_string(), "tile-3");
+        assert_eq!(CameraId(0).to_string(), "cam-0");
+        assert_eq!(VideoId(17).to_string(), "vid-17");
+    }
+
+    #[test]
+    fn plate_parse_round_trip() {
+        let p = LicensePlate::parse("AB12CZ").unwrap();
+        assert_eq!(p.to_string(), "AB12CZ");
+        assert!(LicensePlate::parse("ab12cz").is_none());
+        assert!(LicensePlate::parse("AB12C").is_none());
+        assert!(LicensePlate::parse("AB12CZX").is_none());
+    }
+
+    #[test]
+    fn glyph_codes_round_trip() {
+        let mut rng = VrRng::seed_from(11);
+        for _ in 0..100 {
+            let p = LicensePlate::random(&mut rng);
+            assert_eq!(LicensePlate::from_glyph_codes(p.glyph_codes()), Some(p));
+        }
+    }
+
+    #[test]
+    fn random_plates_are_diverse() {
+        let mut rng = VrRng::seed_from(12);
+        let plates: std::collections::HashSet<_> =
+            (0..1000).map(|_| LicensePlate::random(&mut rng)).collect();
+        assert!(plates.len() > 990, "unexpected collisions: {}", plates.len());
+    }
+
+    #[test]
+    fn camera_kind_predicates() {
+        assert!(!CameraKind::Traffic.is_panoramic());
+        assert!(CameraKind::PanoramicFace(2).is_panoramic());
+    }
+}

@@ -1,0 +1,92 @@
+//! The pregenerated dataset configurations of Table 2, plus the
+//! scaled-down variants this repository uses for in-session experiment
+//! reproduction.
+
+use crate::units::{Duration, Resolution};
+use crate::Hyperparameters;
+
+/// A named benchmark dataset configuration ("We evaluate using version
+/// 1.0 of the 4κ-short dataset", §3.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DatasetPreset {
+    /// Preset name as published (e.g. `"1k-short"`).
+    pub name: &'static str,
+    /// Scale factor `L`.
+    pub scale: u32,
+    /// Camera resolution `R`.
+    pub resolution: Resolution,
+    /// Simulation duration `t` in minutes.
+    pub duration_mins: u64,
+}
+
+impl DatasetPreset {
+    /// Hyperparameters for this preset with a user-chosen seed.
+    pub fn hyperparameters(&self, seed: u64) -> Hyperparameters {
+        Hyperparameters {
+            scale: self.scale,
+            resolution: self.resolution,
+            duration: Duration::from_mins(self.duration_mins),
+            seed,
+        }
+    }
+
+    /// The same configuration with duration and resolution divided down
+    /// for in-session reproduction (duration ÷ `time_div`, both
+    /// resolution axes ÷ `res_div`). Used by the `repro_*` binaries.
+    pub fn scaled_down(&self, time_div: u64, res_div: u32) -> Hyperparameters {
+        Hyperparameters {
+            scale: self.scale,
+            resolution: self.resolution.scaled(1, res_div),
+            duration: Duration::from_micros(
+                Duration::from_mins(self.duration_mins).as_micros() / time_div.max(1),
+            ),
+            seed: 0,
+        }
+    }
+}
+
+/// The six pregenerated datasets of Table 2.
+pub const PRESETS: [DatasetPreset; 6] = [
+    DatasetPreset { name: "1k-short", scale: 2, resolution: Resolution::K1, duration_mins: 15 },
+    DatasetPreset { name: "1k-long", scale: 4, resolution: Resolution::K1, duration_mins: 60 },
+    DatasetPreset { name: "2k-short", scale: 2, resolution: Resolution::K2, duration_mins: 15 },
+    DatasetPreset { name: "2k-long", scale: 4, resolution: Resolution::K2, duration_mins: 60 },
+    DatasetPreset { name: "4k-short", scale: 2, resolution: Resolution::K4, duration_mins: 15 },
+    DatasetPreset { name: "4k-long", scale: 4, resolution: Resolution::K4, duration_mins: 60 },
+];
+
+/// Look up a preset by name.
+pub fn preset(name: &str) -> Option<&'static DatasetPreset> {
+    PRESETS.iter().find(|p| p.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_matches_paper() {
+        let p = preset("1k-short").unwrap();
+        assert_eq!((p.scale, p.resolution, p.duration_mins), (2, Resolution::K1, 15));
+        let p = preset("4k-long").unwrap();
+        assert_eq!((p.scale, p.resolution, p.duration_mins), (4, Resolution::K4, 60));
+        assert!(preset("8k-epic").is_none());
+        assert_eq!(PRESETS.len(), 6);
+    }
+
+    #[test]
+    fn preset_to_hyperparameters() {
+        let h = preset("2k-long").unwrap().hyperparameters(77);
+        assert_eq!(h.scale, 4);
+        assert_eq!(h.seed, 77);
+        assert_eq!(h.duration.as_secs_f64(), 3600.0);
+        assert_eq!(h.batch_size(), 16);
+    }
+
+    #[test]
+    fn scaled_down_divides() {
+        let h = preset("1k-short").unwrap().scaled_down(60, 4);
+        assert_eq!(h.duration.as_secs_f64(), 15.0);
+        assert_eq!(h.resolution, Resolution::new(240, 134));
+    }
+}

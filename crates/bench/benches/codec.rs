@@ -1,0 +1,58 @@
+//! Criterion microbenchmarks for the codec substrate: per-frame
+//! encode and decode throughput for both profiles, plus bitrate-mode
+//! encoding. These are the kernels every benchmark query pays for.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use vr_base::VrRng;
+use vr_codec::{encode_sequence, EncoderConfig, Profile};
+use vr_frame::Frame;
+
+fn test_frames(w: u32, h: u32, n: usize) -> Vec<Frame> {
+    let mut rng = VrRng::seed_from(42);
+    (0..n)
+        .map(|t| {
+            let mut f = Frame::new(w, h);
+            for y in 0..h {
+                for x in 0..w {
+                    f.set_y(x, y, ((x * 2 + y * 3 + t as u32 * 2) % 220) as u8);
+                }
+            }
+            // Moving block.
+            let ox = (rng.range(0, 4) + t * 3) as u32 % (w - 24);
+            for y in 20..44.min(h) {
+                for x in ox..ox + 24 {
+                    f.set_y(x, y, 240);
+                }
+            }
+            f
+        })
+        .collect()
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let frames = test_frames(320, 180, 10);
+    let pixels = (320 * 180 * 10) as u64;
+
+    let mut group = c.benchmark_group("codec");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(pixels));
+    for profile in [Profile::H264Like, Profile::HevcLike] {
+        group.bench_function(format!("encode_{profile:?}_qp24"), |b| {
+            let cfg = EncoderConfig::constant_qp(24).with_profile(profile);
+            b.iter(|| encode_sequence(&cfg, &frames).unwrap());
+        });
+    }
+    let cfg = EncoderConfig::constant_qp(24);
+    let video = encode_sequence(&cfg, &frames).unwrap();
+    group.bench_function("decode_h264like_qp24", |b| {
+        b.iter(|| video.decode_all().unwrap());
+    });
+    group.bench_function("encode_bitrate_500k", |b| {
+        let cfg = EncoderConfig::bitrate(500_000);
+        b.iter(|| encode_sequence(&cfg, &frames).unwrap());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_codec);
+criterion_main!(benches);

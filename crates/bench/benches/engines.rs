@@ -1,0 +1,88 @@
+//! Criterion end-to-end engine benchmarks: the same query instance on
+//! every engine, exposing the architectural deltas (framework
+//! overhead on the batch NN path, the cascade's skip rate, the
+//! streaming pipeline's per-frame costs).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use vr_base::{FrameRate, Timestamp};
+use vr_codec::{encode_sequence, EncoderConfig};
+use vr_container::{ContainerWriter, TrackKind};
+use vr_frame::{Frame, Yuv};
+use vr_scene::ObjectClass;
+use vr_vdbms::query::{QueryInstance, QuerySpec};
+use vr_vdbms::{
+    BatchEngine, CascadeEngine, ExecContext, FunctionalEngine, InputVideo, ReferenceEngine,
+    Vdbms,
+};
+
+fn make_input(frames: usize) -> InputVideo {
+    let seq: Vec<Frame> = (0..frames)
+        .map(|t| {
+            let mut f = Frame::filled(256, 144, Yuv::gray(110));
+            let ox = (t * 4) as u32 % 200;
+            for y in 50..80 {
+                for x in ox..ox + 36 {
+                    f.set(x, y, Yuv::new(200, 90, 170));
+                }
+            }
+            f
+        })
+        .collect();
+    let video = encode_sequence(&EncoderConfig::constant_qp(20), &seq).unwrap();
+    let mut w = ContainerWriter::new();
+    let t = w.add_track(TrackKind::Video, video.info.serialize());
+    for (i, p) in video.packets.iter().enumerate() {
+        w.push_sample(t, &p.data, Timestamp::of_frame(i as u64, FrameRate(30)), p.keyframe);
+    }
+    InputVideo::from_bytes("bench.vrmf", w.finish()).unwrap()
+}
+
+fn bench_engines(c: &mut Criterion) {
+    let inputs = vec![make_input(12)];
+    let ctx = ExecContext::default();
+    let q1 = QueryInstance {
+        index: 0,
+        spec: QuerySpec::Q1 {
+            rect: vr_geom::Rect::new(10, 10, 200, 120),
+            t1: Timestamp::ZERO,
+            t2: Timestamp::from_micros(350_000),
+        },
+        inputs: vec![0],
+    };
+    let q2c = QueryInstance {
+        index: 0,
+        spec: QuerySpec::Q2c { class: ObjectClass::Vehicle },
+        inputs: vec![0],
+    };
+
+    let mut group = c.benchmark_group("engines_256x144x12");
+    group.sample_size(10);
+    group.bench_function("q1_reference", |b| {
+        let mut e = ReferenceEngine::new();
+        b.iter(|| e.execute(&q1, &inputs, &ctx).unwrap())
+    });
+    group.bench_function("q1_batch_slow_resize", |b| {
+        let mut e = BatchEngine::new();
+        b.iter(|| e.execute(&q1, &inputs, &ctx).unwrap())
+    });
+    group.bench_function("q1_functional_streamed", |b| {
+        let mut e = FunctionalEngine::new();
+        b.iter(|| e.execute(&q1, &inputs, &ctx).unwrap())
+    });
+    group.bench_function("q2c_reference", |b| {
+        let mut e = ReferenceEngine::new();
+        b.iter(|| e.execute(&q2c, &inputs, &ctx).unwrap())
+    });
+    group.bench_function("q2c_batch_framework_overhead", |b| {
+        let mut e = BatchEngine::new();
+        b.iter(|| e.execute(&q2c, &inputs, &ctx).unwrap())
+    });
+    group.bench_function("q2c_cascade_skips", |b| {
+        let mut e = CascadeEngine::new();
+        b.iter(|| e.execute(&q2c, &inputs, &ctx).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_engines);
+criterion_main!(benches);

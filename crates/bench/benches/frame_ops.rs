@@ -1,0 +1,51 @@
+//! Criterion microbenchmarks for the per-frame image kernels behind
+//! the microbenchmark queries (Q1/Q2/Q4/Q5/Q6).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use vr_frame::tile::TileGrid;
+use vr_frame::{ops, Frame, Yuv};
+use vr_geom::Rect;
+
+fn test_frame(w: u32, h: u32) -> Frame {
+    let mut f = Frame::new(w, h);
+    for y in 0..h {
+        for x in 0..w {
+            f.set_y(x, y, ((x * 3 + y * 5) % 240) as u8);
+        }
+    }
+    f
+}
+
+fn bench_ops(c: &mut Criterion) {
+    let frame = test_frame(640, 360);
+    let overlay = Frame::filled(640, 360, Yuv::gray(0)); // all ω
+    let mut group = c.benchmark_group("frame_ops_640x360");
+    group.sample_size(20);
+    group.bench_function("crop_q1", |b| {
+        b.iter(|| ops::crop(&frame, Rect::new(40, 40, 500, 300)))
+    });
+    group.bench_function("grayscale_q2a", |b| b.iter(|| ops::grayscale(&frame)));
+    group.bench_function("gaussian_blur_d7_q2b", |b| {
+        b.iter(|| ops::gaussian_blur(&frame, 7))
+    });
+    group.bench_function("upsample_2x_q4", |b| {
+        b.iter(|| ops::interpolate_bilinear(&frame, 1280, 720))
+    });
+    group.bench_function("downsample_4x_q5", |b| b.iter(|| ops::downsample(&frame, 160, 90)));
+    group.bench_function("coalesce_q6", |b| b.iter(|| ops::coalesce(&frame, &overlay)));
+    group.bench_function("tile_partition_stitch_3x3_q3", |b| {
+        let grid = TileGrid::uniform(640, 360, 3, 3);
+        b.iter(|| {
+            let tiles = grid.partition(&frame);
+            grid.stitch(&tiles)
+        })
+    });
+    group.bench_function("psnr", |b| {
+        let other = test_frame(640, 360);
+        b.iter(|| vr_frame::metrics::psnr_y(&frame, &other))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ops);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Criterion microbenchmarks for the vision substrate: the YOLO
+//! stand-in with and without the CNN cost model (showing the model
+//! dominates, as a real network would), the frame-difference
+//! detector, and the plate recognizer.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use vr_frame::{Frame, Yuv};
+use vr_vision::diff::FrameDiff;
+use vr_vision::{AlprRecognizer, YoloConfig, YoloDetector};
+
+fn scene_frame(w: u32, h: u32) -> Frame {
+    let mut f = Frame::filled(w, h, Yuv::gray(100));
+    for (i, (bx, by)) in [(40u32, 60u32), (180, 90), (260, 40)].iter().enumerate() {
+        for y in *by..(*by + 24).min(h) {
+            for x in *bx..(*bx + 40).min(w) {
+                f.set(x, y, Yuv::new(180 + i as u8 * 20, 90, 170));
+            }
+        }
+    }
+    f
+}
+
+fn bench_vision(c: &mut Criterion) {
+    let frame = scene_frame(320, 180);
+    let mut group = c.benchmark_group("vision_320x180");
+    group.sample_size(10);
+    group.bench_function("yolo_no_cost_model", |b| {
+        let mut det = YoloDetector::new(YoloConfig::fast());
+        b.iter(|| det.detect(&frame))
+    });
+    group.bench_function("yolo_cnn_cost_model", |b| {
+        let mut det = YoloDetector::new(YoloConfig::default());
+        b.iter(|| det.detect(&frame))
+    });
+    group.bench_function("frame_diff", |b| {
+        let mut diff = FrameDiff::new();
+        diff.step(&frame);
+        b.iter(|| diff.step(&frame))
+    });
+    group.bench_function("alpr_recognize", |b| {
+        let mut alpr = AlprRecognizer::new(0.0);
+        b.iter(|| alpr.recognize(&frame))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_vision);
+criterion_main!(benches);

@@ -1,0 +1,101 @@
+//! Minimal command-line flag parsing for the repro binaries.
+//!
+//! All binaries accept:
+//!
+//! * `--seed <u64>` — dataset seed (default 0);
+//! * `--res <WxH>` — camera resolution (default per-binary);
+//! * `--duration <secs>` — simulated video duration;
+//! * `--full` — run closer to paper scale (longer, larger; expect
+//!   minutes to hours).
+
+use vr_base::Resolution;
+
+/// Parsed common flags.
+#[derive(Debug, Clone)]
+pub struct CommonArgs {
+    pub seed: u64,
+    pub resolution: Option<Resolution>,
+    pub duration_secs: Option<f64>,
+    pub full: bool,
+}
+
+impl CommonArgs {
+    /// Parse from `std::env::args`, panicking with a usage message on
+    /// malformed flags.
+    pub fn parse() -> Self {
+        Self::from_iter(std::env::args().skip(1))
+    }
+
+    /// Parse from an explicit iterator (testable).
+    pub fn from_iter(args: impl IntoIterator<Item = String>) -> Self {
+        let mut out = Self { seed: 0, resolution: None, duration_secs: None, full: false };
+        let mut it = args.into_iter();
+        while let Some(flag) = it.next() {
+            match flag.as_str() {
+                "--seed" => {
+                    out.seed = it
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage("--seed needs a u64"));
+                }
+                "--res" => {
+                    let v = it.next().unwrap_or_else(|| usage("--res needs WxH"));
+                    let (w, h) = v
+                        .split_once('x')
+                        .unwrap_or_else(|| usage("--res format is WxH"));
+                    let w: u32 = w.parse().unwrap_or_else(|_| usage("bad width"));
+                    let h: u32 = h.parse().unwrap_or_else(|_| usage("bad height"));
+                    out.resolution = Some(Resolution::new(w, h));
+                }
+                "--duration" => {
+                    out.duration_secs = Some(
+                        it.next()
+                            .and_then(|v| v.parse().ok())
+                            .unwrap_or_else(|| usage("--duration needs seconds")),
+                    );
+                }
+                "--full" => out.full = true,
+                "--help" | "-h" => {
+                    println!(
+                        "flags: --seed <u64>  --res <WxH>  --duration <secs>  --full"
+                    );
+                    std::process::exit(0);
+                }
+                other => usage(&format!("unknown flag {other}")),
+            }
+        }
+        out
+    }
+}
+
+fn usage(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!("flags: --seed <u64>  --res <WxH>  --duration <secs>  --full");
+    std::process::exit(2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &[&str]) -> CommonArgs {
+        CommonArgs::from_iter(s.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults() {
+        let a = parse(&[]);
+        assert_eq!(a.seed, 0);
+        assert!(a.resolution.is_none());
+        assert!(!a.full);
+    }
+
+    #[test]
+    fn all_flags() {
+        let a = parse(&["--seed", "7", "--res", "320x180", "--duration", "2.5", "--full"]);
+        assert_eq!(a.seed, 7);
+        assert_eq!(a.resolution, Some(Resolution::new(320, 180)));
+        assert_eq!(a.duration_secs, Some(2.5));
+        assert!(a.full);
+    }
+}

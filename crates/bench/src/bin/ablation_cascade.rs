@@ -1,0 +1,121 @@
+//! Ablation: the cascade engine's difference threshold (DESIGN.md).
+//!
+//! NoScope's win is the fraction of frames its difference detector
+//! lets skip the full model. Sweeping the threshold trades runtime
+//! against agreement with the always-full-model reference: at 0 the
+//! cascade degenerates to the full model (slow, perfect agreement);
+//! too high and it reuses stale detections (fast, drifting boxes).
+
+use vr_base::{Duration, Hyperparameters, Resolution};
+use vr_bench::args::CommonArgs;
+use vr_bench::table::TextTable;
+use vr_scene::ObjectClass;
+use vr_vdbms::cascade::{CascadeConfig, CascadeEngine};
+use vr_vdbms::query::{QueryInstance, QuerySpec};
+use vr_vdbms::{ExecContext, QueryOutput, Vdbms};
+use visual_road::{GenConfig, Vcg};
+
+fn main() {
+    let args = CommonArgs::parse();
+    let res = args.resolution.unwrap_or(Resolution::new(256, 144));
+    let duration = Duration::from_secs(args.duration_secs.unwrap_or(2.0));
+    let hyper = Hyperparameters::new(1, res, duration, args.seed).expect("valid config");
+    eprintln!("generating dataset ...");
+    let dataset = Vcg::new(GenConfig {
+        density_scale: 0.2,
+        generate_panoramas: false,
+        ..Default::default()
+    })
+    .generate(&hyper)
+    .expect("generates");
+
+    let instances: Vec<QueryInstance> = dataset
+        .traffic_indices()
+        .into_iter()
+        .enumerate()
+        .map(|(i, input)| QueryInstance {
+            index: i,
+            spec: QuerySpec::Q2c { class: ObjectClass::Vehicle },
+            inputs: vec![input],
+        })
+        .collect();
+    let ctx = ExecContext::default();
+
+    // Reference boxes: threshold 0 (always the full model).
+    let reference_boxes = run(&instances, &dataset.videos, &ctx, 0.0).1;
+
+    let mut t = TextTable::new(&["threshold", "runtime", "full-model frames", "agreement"]);
+    for threshold in [0.0f64, 1.0, 2.5, 5.0, 10.0, 1e9] {
+        let ((took, full_frames, cheap_frames), boxes) =
+            run_with_stats(&instances, &dataset.videos, &ctx, threshold);
+        let agreement = box_agreement(&reference_boxes, &boxes);
+        t.row(
+            if threshold >= 1e9 { "inf".to_string() } else { format!("{threshold}") },
+            vec![
+                format!("{:.2}s", took),
+                format!("{full_frames}/{}", full_frames + cheap_frames),
+                format!("{:.1}%", agreement * 100.0),
+            ],
+        );
+        eprintln!("  threshold {threshold}: {:.2}s, agreement {:.2}", took, agreement);
+    }
+    println!("\nCascade ablation — Q2(c) difference-threshold sweep:\n");
+    println!("{}", t.render());
+}
+
+type Boxes = Vec<Vec<Vec<vr_vdbms::OutputBox>>>;
+
+fn run(
+    instances: &[QueryInstance],
+    videos: &[vr_vdbms::InputVideo],
+    ctx: &ExecContext,
+    threshold: f64,
+) -> (f64, Boxes) {
+    let ((t, _, _), boxes) = run_with_stats(instances, videos, ctx, threshold);
+    (t, boxes)
+}
+
+fn run_with_stats(
+    instances: &[QueryInstance],
+    videos: &[vr_vdbms::InputVideo],
+    ctx: &ExecContext,
+    threshold: f64,
+) -> ((f64, u64, u64), Boxes) {
+    let mut engine = CascadeEngine::with_config(CascadeConfig {
+        diff_threshold: threshold,
+        ..Default::default()
+    });
+    let mut all_boxes = Vec::new();
+    let (_, took) = vr_bench::time(|| {
+        for inst in instances {
+            match engine.execute(inst, videos, ctx).expect("Q2c runs") {
+                QueryOutput::BoxedVideo { boxes, .. } => all_boxes.push(boxes),
+                _ => unreachable!("Q2c yields boxed video"),
+            }
+        }
+    });
+    let (cheap, full) = engine.cascade_stats();
+    ((took.as_secs_f64(), full, cheap), all_boxes)
+}
+
+/// Fraction of reference boxes matched (IoU ≥ 0.5) by the candidate
+/// run, across all videos and frames.
+fn box_agreement(reference: &Boxes, candidate: &Boxes) -> f64 {
+    let mut matched = 0usize;
+    let mut total = 0usize;
+    for (rv, cv) in reference.iter().zip(candidate) {
+        for (rf, cf) in rv.iter().zip(cv) {
+            for r in rf {
+                total += 1;
+                if cf.iter().any(|c| c.rect.iou(&r.rect) >= 0.5) {
+                    matched += 1;
+                }
+            }
+        }
+    }
+    if total == 0 {
+        1.0
+    } else {
+        matched as f64 / total as f64
+    }
+}

@@ -1,0 +1,63 @@
+//! Ablation: the codec's H264-like vs HEVC-like profiles (DESIGN.md).
+//!
+//! The HEVC-like profile enables predictive MV coding, intra DC
+//! prediction, and a wider motion search. This ablation measures the
+//! bitrate each profile needs at equal quality (constant QP) and the
+//! encode-time cost of the extra tools — the rate/complexity trade
+//! that separates the real standards.
+
+use vr_base::{Duration, Hyperparameters, Resolution};
+use vr_bench::args::CommonArgs;
+use vr_bench::table::TextTable;
+use vr_codec::{encode_sequence, EncoderConfig, Profile};
+use vr_frame::metrics::psnr_y;
+use visual_road::{GenConfig, Vcg};
+
+fn main() {
+    let args = CommonArgs::parse();
+    let res = args.resolution.unwrap_or(Resolution::new(256, 144));
+    let duration = Duration::from_secs(args.duration_secs.unwrap_or(2.0));
+    let hyper = Hyperparameters::new(1, res, duration, args.seed).expect("valid config");
+    eprintln!("rendering test sequence ...");
+    let dataset = Vcg::new(GenConfig {
+        density_scale: 0.25,
+        generate_panoramas: false,
+        ..Default::default()
+    })
+    .generate(&hyper)
+    .expect("generates");
+    let input = &dataset.videos[dataset.traffic_indices()[0]];
+    let (_, frames) = vr_vdbms::kernels::decode_all(input).expect("decodes");
+    eprintln!("sequence: {} frames at {res}", frames.len());
+
+    let mut t = TextTable::new(&["profile/QP", "bytes", "bits/frame", "mean PSNR", "encode time"]);
+    for profile in [Profile::H264Like, Profile::HevcLike] {
+        for qp in [16u8, 24, 32] {
+            let cfg = EncoderConfig::constant_qp(qp).with_profile(profile).with_gop(30);
+            let (video, took) =
+                vr_bench::time(|| encode_sequence(&cfg, &frames).expect("encodes"));
+            let decoded = video.decode_all().expect("decodes");
+            let mean_psnr: f64 = frames
+                .iter()
+                .zip(&decoded)
+                .map(|(a, b)| psnr_y(a, b))
+                .sum::<f64>()
+                / frames.len() as f64;
+            t.row(
+                format!("{profile:?}/qp{qp}"),
+                vec![
+                    video.size_bytes().to_string(),
+                    format!("{:.0}", video.size_bytes() as f64 * 8.0 / frames.len() as f64),
+                    format!("{mean_psnr:.1}dB"),
+                    format!("{:.2}s", took.as_secs_f64()),
+                ],
+            );
+        }
+    }
+    println!("\nCodec profile ablation (same content, both profiles, three QPs):\n");
+    println!("{}", t.render());
+    println!(
+        "Shape: at equal QP (≈ equal PSNR) the HEVC-like profile spends fewer\n\
+         bits and more encode time, mirroring H.264 vs HEVC."
+    );
+}

@@ -1,0 +1,72 @@
+//! Figure 5: log-scale performance by query at L = 4 — every engine
+//! runs every benchmark query on one dataset, and total batch
+//! runtimes are reported side by side.
+//!
+//! Paper configuration: L = 4, 1κ, 60 minutes. Default here: L = 4 at
+//! 192×108 and ~1.3 s of video (`--full` raises to 1κ and longer).
+
+use vr_base::{Duration, Hyperparameters, Resolution};
+use vr_bench::args::CommonArgs;
+use vr_bench::table::TextTable;
+use visual_road::report::QueryStatus;
+use visual_road::{GenConfig, Vcd, VcdConfig, Vcg};
+use vr_vdbms::{BatchEngine, CascadeEngine, FunctionalEngine, QueryKind, ReferenceEngine, Vdbms};
+
+fn main() {
+    let args = CommonArgs::parse();
+    let res = args.resolution.unwrap_or(if args.full {
+        Resolution::K1
+    } else {
+        Resolution::new(192, 108)
+    });
+    let duration = Duration::from_secs(args.duration_secs.unwrap_or(if args.full {
+        60.0
+    } else {
+        1.3
+    }));
+    let hyper = Hyperparameters::new(4, res, duration, args.seed).expect("valid configuration");
+
+    eprintln!("generating dataset (L=4, {res}, {duration}) ...");
+    let (dataset, gen_time) = vr_bench::time(|| {
+        Vcg::new(GenConfig { density_scale: 0.2, ..Default::default() })
+            .generate(&hyper)
+            .expect("generation succeeds")
+    });
+    eprintln!("generated {} videos in {}s", dataset.videos.len(), vr_bench::secs(gen_time));
+
+    let cfg = VcdConfig { validate: false, ..Default::default() };
+    let vcd = Vcd::new(&dataset, cfg);
+    let mut engines: Vec<Box<dyn Vdbms>> = vec![
+        Box::new(ReferenceEngine::new()),
+        Box::new(BatchEngine::new()),
+        Box::new(FunctionalEngine::new()),
+        Box::new(CascadeEngine::new()),
+    ];
+
+    let mut header = vec!["query"];
+    let names: Vec<String> = engines.iter().map(|e| e.name().to_string()).collect();
+    let short: Vec<&str> = names.iter().map(|n| n.split(' ').next().unwrap()).collect();
+    header.extend(short.iter());
+    let mut t = TextTable::new(&header);
+    let mut rows: Vec<Vec<String>> = vec![Vec::new(); QueryKind::ALL.len()];
+
+    for engine in engines.iter_mut() {
+        eprintln!("running {} ...", engine.name());
+        let report = vcd.run_full_benchmark(engine.as_mut()).expect("benchmark runs");
+        for (qi, q) in report.queries.iter().enumerate() {
+            rows[qi].push(match &q.status {
+                QueryStatus::Completed { runtime, .. } => {
+                    format!("{:.2}s", runtime.as_secs_f64())
+                }
+                QueryStatus::Unsupported => "N/A".into(),
+                QueryStatus::Failed { .. } => "FAIL".into(),
+            });
+        }
+    }
+    for (qi, kind) in QueryKind::ALL.iter().enumerate() {
+        t.row(kind.label(), rows[qi].clone());
+    }
+    println!("\nFigure 5 reproduction — total batch runtime per query (L=4, {res}, {duration}):\n");
+    println!("{}", t.render());
+    println!("CSV:\n{}", t.to_csv());
+}

@@ -1,0 +1,52 @@
+//! Figure 8: single-node generator performance by scale factor and
+//! resolution — expected to be approximately linear in L (the camera
+//! count is linear in L and rendering cost is linear in pixels).
+//!
+//! Paper configuration: 60-minute datasets at 1κ/2κ/4κ. Default here:
+//! short datasets at three proportionally-spaced resolutions
+//! (`--full` uses the real 1κ/2κ/4κ ladder).
+
+use vr_base::{Duration, Hyperparameters, Resolution};
+use vr_bench::args::CommonArgs;
+use vr_bench::table::TextTable;
+use visual_road::{GenConfig, Vcg};
+
+fn main() {
+    let args = CommonArgs::parse();
+    let duration =
+        Duration::from_secs(args.duration_secs.unwrap_or(if args.full { 60.0 } else { 0.7 }));
+    let resolutions: Vec<(&str, Resolution)> = if args.full {
+        vec![("1k", Resolution::K1), ("2k", Resolution::K2), ("4k", Resolution::K4)]
+    } else {
+        // The same 1:2:4 per-axis ladder, scaled down 8x.
+        vec![
+            ("1k/8", Resolution::new(120, 68)),
+            ("2k/8", Resolution::new(240, 134)),
+            ("4k/8", Resolution::new(480, 270)),
+        ]
+    };
+    let scales: Vec<u32> = if args.full { vec![1, 2, 4, 8, 16] } else { vec![1, 2, 4, 8] };
+
+    let mut header = vec!["L"];
+    header.extend(resolutions.iter().map(|(n, _)| *n));
+    let mut t = TextTable::new(&header);
+    let mut csv = String::from("L,resolution,seconds\n");
+    for &l in &scales {
+        let mut cells = Vec::new();
+        for (name, res) in &resolutions {
+            let hyper =
+                Hyperparameters::new(l, *res, duration, args.seed).expect("valid config");
+            let vcg = Vcg::new(GenConfig { density_scale: 0.15, ..Default::default() });
+            let (_, took) = vr_bench::time(|| vcg.generate(&hyper).expect("generates"));
+            cells.push(format!("{:.2}s", took.as_secs_f64()));
+            csv.push_str(&format!("{l},{name},{:.3}\n", took.as_secs_f64()));
+            eprintln!("  L={l} {name}: {:.2}s", took.as_secs_f64());
+        }
+        t.row(l.to_string(), cells);
+    }
+    println!(
+        "\nFigure 8 reproduction — single-node dataset generation time ({duration} of video):\n"
+    );
+    println!("{}", t.render());
+    println!("CSV:\n{csv}");
+}

@@ -1,0 +1,50 @@
+//! Table 1: "Many recent video database systems evaluate using only a
+//! small number of distinct inputs."
+//!
+//! The table itself is a literature survey (reproduced verbatim);
+//! alongside it this binary reports the *capability matrix* of the
+//! engines modelled in this repository — which of the systems the
+//! paper evaluated can express which benchmark queries — since that
+//! is the part of Table 1's story ("we evaluate the subset that have
+//! source available") that is executable.
+
+use vr_bench::table::TextTable;
+use vr_vdbms::{BatchEngine, CascadeEngine, FunctionalEngine, QueryKind, ReferenceEngine, Vdbms};
+
+fn main() {
+    println!("Table 1 — distinct evaluation inputs of recent VDBMSs (survey, from the paper):\n");
+    let mut t = TextTable::new(&["system", "# distinct inputs"]);
+    for (name, n) in [
+        ("Optasia", "3"),
+        ("LightDB", "4"),
+        ("Chameleon", "5"),
+        ("BlazeIt", "6"),
+        ("NoScope", "7"),
+        ("Focus", "14"),
+        ("Scanner", ">100"),
+    ] {
+        t.row(name, vec![n.to_string()]);
+    }
+    println!("{}", t.render());
+    println!("Visual Road generates an unlimited number of distinct inputs (4·L+ per city).\n");
+
+    println!("Capability matrix of the engines modelled here (cf. §6.2):\n");
+    let engines: Vec<Box<dyn Vdbms>> = vec![
+        Box::new(ReferenceEngine::new()),
+        Box::new(BatchEngine::new()),
+        Box::new(FunctionalEngine::new()),
+        Box::new(CascadeEngine::new()),
+    ];
+    let mut header = vec!["engine"];
+    let labels: Vec<&str> = QueryKind::ALL.iter().map(|k| k.label()).collect();
+    header.extend(labels.iter());
+    let mut t = TextTable::new(&header);
+    for engine in &engines {
+        let cells = QueryKind::ALL
+            .iter()
+            .map(|&k| if engine.supports(k) { "yes".to_string() } else { "-".to_string() })
+            .collect();
+        t.row(engine.name(), cells);
+    }
+    println!("{}", t.render());
+}

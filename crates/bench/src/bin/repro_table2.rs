@@ -1,0 +1,50 @@
+//! Table 2: the pregenerated dataset configurations, plus a
+//! demonstration that the generator realizes them (scaled down by
+//! default; `--full` generates the real 1k-short dataset — expect a
+//! very long run).
+
+use vr_base::presets::PRESETS;
+use vr_bench::args::CommonArgs;
+use vr_bench::table::TextTable;
+use visual_road::{GenConfig, Vcg};
+
+fn main() {
+    let args = CommonArgs::parse();
+    println!("Table 2 — pregenerated dataset configurations:\n");
+    let mut t = TextTable::new(&["name", "L", "resolution", "duration"]);
+    for p in &PRESETS {
+        t.row(
+            p.name,
+            vec![
+                p.scale.to_string(),
+                p.resolution.to_string(),
+                format!("{} min", p.duration_mins),
+            ],
+        );
+    }
+    println!("{}", t.render());
+
+    // Realize each preset at reduced duration/resolution and report
+    // what the generator produced.
+    let (time_div, res_div) = if args.full { (60, 1) } else { (1800, 8) };
+    println!(
+        "Generating each preset scaled down (duration ÷{time_div}, resolution ÷{res_div}):\n"
+    );
+    let mut t = TextTable::new(&["preset", "videos", "frames", "encoded KiB", "gen time s"]);
+    for p in &PRESETS {
+        let mut hyper = p.scaled_down(time_div, res_div);
+        hyper.seed = args.seed;
+        let vcg = Vcg::new(GenConfig { density_scale: 0.1, ..Default::default() });
+        let (ds, took) = vr_bench::time(|| vcg.generate(&hyper).expect("generation succeeds"));
+        t.row(
+            p.name,
+            vec![
+                ds.videos.len().to_string(),
+                ds.total_frames().to_string(),
+                format!("{:.0}", ds.total_bytes() as f64 / 1024.0),
+                vr_bench::secs(took),
+            ],
+        );
+    }
+    println!("{}", t.render());
+}

@@ -1,0 +1,39 @@
+//! Shared harness for the experiment-reproduction binaries.
+//!
+//! Every table and figure in the paper's evaluation (§6) has a
+//! `repro_*` binary in `src/bin/`; see DESIGN.md's per-experiment
+//! index and EXPERIMENTS.md for recorded results. The binaries run a
+//! *scaled-down* configuration by default (seconds of small video
+//! instead of hours of 1κ–4κ) and accept flags to scale up.
+
+pub mod args;
+pub mod corpus_input;
+pub mod loc;
+pub mod table;
+
+use std::time::{Duration, Instant};
+
+/// Time a closure.
+pub fn time<T>(f: impl FnOnce() -> T) -> (T, Duration) {
+    let t0 = Instant::now();
+    let out = f();
+    (out, t0.elapsed())
+}
+
+/// Format a duration as seconds with millisecond precision.
+pub fn secs(d: Duration) -> String {
+    format!("{:.3}", d.as_secs_f64())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timing_helpers() {
+        let (v, d) = time(|| 21 * 2);
+        assert_eq!(v, 42);
+        assert!(d < Duration::from_secs(1));
+        assert_eq!(secs(Duration::from_millis(1500)), "1.500");
+    }
+}

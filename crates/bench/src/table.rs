@@ -1,0 +1,97 @@
+//! Plain-text table rendering for experiment output.
+
+/// A simple left-header table: one row label plus one cell per column.
+#[derive(Debug, Default)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<(String, Vec<String>)>,
+}
+
+impl TextTable {
+    /// Start a table with column headers (the first header names the
+    /// row-label column).
+    pub fn new(header: &[&str]) -> Self {
+        Self { header: header.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+    }
+
+    /// Add a row.
+    pub fn row(&mut self, label: impl Into<String>, cells: Vec<String>) {
+        self.rows.push((label.into(), cells));
+    }
+
+    /// Render with aligned columns.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths = vec![0usize; cols];
+        for (i, h) in self.header.iter().enumerate() {
+            widths[i] = widths[i].max(h.len());
+        }
+        for (label, cells) in &self.rows {
+            widths[0] = widths[0].max(label.len());
+            for (i, c) in cells.iter().enumerate() {
+                if i + 1 < cols {
+                    widths[i + 1] = widths[i + 1].max(c.len());
+                }
+            }
+        }
+        let mut out = String::new();
+        for (i, h) in self.header.iter().enumerate() {
+            if i == 0 {
+                out.push_str(&format!("{:<w$}", h, w = widths[0] + 2));
+            } else {
+                out.push_str(&format!("{:>w$}", h, w = widths[i] + 2));
+            }
+        }
+        out.push('\n');
+        for (label, cells) in &self.rows {
+            out.push_str(&format!("{:<w$}", label, w = widths[0] + 2));
+            for (i, c) in cells.iter().enumerate() {
+                if i + 1 < cols {
+                    out.push_str(&format!("{:>w$}", c, w = widths[i + 1] + 2));
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Render as CSV (for EXPERIMENTS.md extraction and plotting).
+    pub fn to_csv(&self) -> String {
+        let mut out = self.header.join(",");
+        out.push('\n');
+        for (label, cells) in &self.rows {
+            out.push_str(label);
+            for c in cells {
+                out.push(',');
+                out.push_str(c);
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = TextTable::new(&["query", "ref", "batch"]);
+        t.row("Q1", vec!["0.5".into(), "0.6".into()]);
+        t.row("Q2(c)", vec!["12.0".into(), "15.5".into()]);
+        let s = t.render();
+        assert!(s.contains("query"));
+        assert!(s.contains("Q2(c)"));
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[1].len(), lines[2].len(), "rows align");
+    }
+
+    #[test]
+    fn csv_output() {
+        let mut t = TextTable::new(&["a", "b"]);
+        t.row("x", vec!["1".into()]);
+        assert_eq!(t.to_csv(), "a,b\nx,1\n");
+    }
+}

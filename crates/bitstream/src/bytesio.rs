@@ -1,0 +1,217 @@
+//! Byte-oriented big-endian serialization helpers.
+//!
+//! The container format (`vr-container`) and ground-truth metadata
+//! blobs are byte-aligned; these helpers keep their encode/decode code
+//! terse and symmetric. Big-endian matches the ISO-BMFF convention the
+//! container imitates.
+
+use vr_base::{Error, Result};
+
+/// Append-only byte sink with big-endian primitive writers.
+#[derive(Debug, Default)]
+pub struct ByteWriter {
+    buf: Vec<u8>,
+}
+
+impl ByteWriter {
+    /// New empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Consume and return the buffer.
+    pub fn finish(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    pub fn put_u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+
+    pub fn put_i32(&mut self, v: i32) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+
+    pub fn put_f32(&mut self, v: f32) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+
+    pub fn put_f64(&mut self, v: f64) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+
+    /// Raw bytes, no length prefix.
+    pub fn put_bytes(&mut self, v: &[u8]) {
+        self.buf.extend_from_slice(v);
+    }
+
+    /// Length-prefixed (u32) byte string.
+    pub fn put_blob(&mut self, v: &[u8]) {
+        self.put_u32(v.len() as u32);
+        self.put_bytes(v);
+    }
+
+    /// Length-prefixed UTF-8 string.
+    pub fn put_str(&mut self, v: &str) {
+        self.put_blob(v.as_bytes());
+    }
+}
+
+/// Cursor over a byte slice with big-endian primitive readers.
+#[derive(Debug, Clone)]
+pub struct ByteReader<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    /// Wrap a slice.
+    pub fn new(data: &'a [u8]) -> Self {
+        Self { data, pos: 0 }
+    }
+
+    /// Bytes remaining.
+    pub fn remaining(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    /// Current offset.
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        if self.remaining() < n {
+            return Err(Error::Corrupt(format!(
+                "byte stream exhausted: wanted {n}, have {}",
+                self.remaining()
+            )));
+        }
+        let s = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    pub fn get_u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    pub fn get_u16(&mut self) -> Result<u16> {
+        Ok(u16::from_be_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    pub fn get_u32(&mut self) -> Result<u32> {
+        Ok(u32::from_be_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    pub fn get_u64(&mut self) -> Result<u64> {
+        Ok(u64::from_be_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    pub fn get_i32(&mut self) -> Result<i32> {
+        Ok(i32::from_be_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    pub fn get_f32(&mut self) -> Result<f32> {
+        Ok(f32::from_be_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    pub fn get_f64(&mut self) -> Result<f64> {
+        Ok(f64::from_be_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Raw bytes of a known length.
+    pub fn get_bytes(&mut self, n: usize) -> Result<&'a [u8]> {
+        self.take(n)
+    }
+
+    /// Length-prefixed (u32) byte string.
+    pub fn get_blob(&mut self) -> Result<&'a [u8]> {
+        let n = self.get_u32()? as usize;
+        self.take(n)
+    }
+
+    /// Length-prefixed UTF-8 string.
+    pub fn get_str(&mut self) -> Result<&'a str> {
+        let b = self.get_blob()?;
+        std::str::from_utf8(b).map_err(|_| Error::Corrupt("invalid UTF-8 string".into()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        let mut w = ByteWriter::new();
+        w.put_u8(0xAB);
+        w.put_u16(0x1234);
+        w.put_u32(0xDEAD_BEEF);
+        w.put_u64(0x0102_0304_0506_0708);
+        w.put_i32(-42);
+        w.put_f32(3.5);
+        w.put_f64(-2.25);
+        w.put_str("visual road");
+        w.put_blob(&[1, 2, 3]);
+        let bytes = w.finish();
+
+        let mut r = ByteReader::new(&bytes);
+        assert_eq!(r.get_u8().unwrap(), 0xAB);
+        assert_eq!(r.get_u16().unwrap(), 0x1234);
+        assert_eq!(r.get_u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.get_u64().unwrap(), 0x0102_0304_0506_0708);
+        assert_eq!(r.get_i32().unwrap(), -42);
+        assert_eq!(r.get_f32().unwrap(), 3.5);
+        assert_eq!(r.get_f64().unwrap(), -2.25);
+        assert_eq!(r.get_str().unwrap(), "visual road");
+        assert_eq!(r.get_blob().unwrap(), &[1, 2, 3]);
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn exhaustion_is_an_error() {
+        let mut r = ByteReader::new(&[0x01]);
+        assert!(r.get_u32().is_err());
+        assert_eq!(r.get_u8().unwrap(), 1);
+        assert!(r.get_u8().is_err());
+    }
+
+    #[test]
+    fn big_endian_layout() {
+        let mut w = ByteWriter::new();
+        w.put_u32(1);
+        assert_eq!(w.finish(), vec![0, 0, 0, 1]);
+    }
+
+    #[test]
+    fn invalid_utf8_rejected() {
+        let mut w = ByteWriter::new();
+        w.put_blob(&[0xFF, 0xFE]);
+        let bytes = w.finish();
+        let mut r = ByteReader::new(&bytes);
+        assert!(r.get_str().is_err());
+    }
+}

@@ -1,0 +1,59 @@
+//! CRC-32 (IEEE 802.3 polynomial), table-driven.
+//!
+//! Container boxes and ground-truth metadata blobs carry a CRC so
+//! corruption is detected at demux time rather than surfacing as
+//! garbage frames mid-benchmark.
+
+/// Lazily-built lookup table for the reflected polynomial 0xEDB88320.
+fn table() -> &'static [u32; 256] {
+    use std::sync::OnceLock;
+    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut t = [0u32; 256];
+        for (i, e) in t.iter_mut().enumerate() {
+            let mut c = i as u32;
+            for _ in 0..8 {
+                c = if c & 1 == 1 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            }
+            *e = c;
+        }
+        t
+    })
+}
+
+/// Compute the CRC-32 of `data` (IEEE, as used by zlib/PNG/Ethernet).
+pub fn crc32(data: &[u8]) -> u32 {
+    let t = table();
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in data {
+        c = t[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Standard check value for "123456789".
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"a"), 0xE8B7_BE43);
+    }
+
+    #[test]
+    fn detects_single_bit_flips() {
+        let data = b"The quick brown fox jumps over the lazy dog";
+        let base = crc32(data);
+        let mut corrupted = data.to_vec();
+        for byte in 0..corrupted.len() {
+            for bit in 0..8 {
+                corrupted[byte] ^= 1 << bit;
+                assert_ne!(crc32(&corrupted), base, "missed flip at {byte}:{bit}");
+                corrupted[byte] ^= 1 << bit;
+            }
+        }
+    }
+}

@@ -1,0 +1,127 @@
+//! Exp-Golomb entropy codes, as used by H.264/HEVC syntax elements.
+//!
+//! An unsigned value `v` is coded as `leading_zeros(⌊log2(v+1)⌋) ·
+//! "0"`, then the binary of `v + 1`. Signed values are zig-zag mapped
+//! onto unsigned first (0, 1, -1, 2, -2, ...), matching `se(v)` in the
+//! H.264 spec.
+
+use crate::reader::BitReader;
+use crate::writer::BitWriter;
+use vr_base::Result;
+
+/// Write an unsigned Exp-Golomb code (`ue(v)`).
+pub fn put_ue(w: &mut BitWriter, value: u64) {
+    let v = value + 1;
+    let bits = 64 - v.leading_zeros();
+    w.put_bits(0, bits - 1);
+    w.put_bits(v, bits);
+}
+
+/// Read an unsigned Exp-Golomb code.
+pub fn read_ue(r: &mut BitReader<'_>) -> Result<u64> {
+    let mut zeros = 0u32;
+    while !r.read_bit()? {
+        zeros += 1;
+    }
+    let rest = r.read_bits(zeros)?;
+    Ok(((1u64 << zeros) | rest) - 1)
+}
+
+/// Write a signed Exp-Golomb code (`se(v)`).
+pub fn put_se(w: &mut BitWriter, value: i64) {
+    put_ue(w, zigzag_encode(value));
+}
+
+/// Read a signed Exp-Golomb code.
+pub fn read_se(r: &mut BitReader<'_>) -> Result<i64> {
+    Ok(zigzag_decode(read_ue(r)?))
+}
+
+/// Map signed → unsigned: 0, -1, 1, -2, 2 ... → 0, 1, 2, 3, 4 ...
+/// (H.264 ordering: positive first).
+#[inline]
+pub fn zigzag_encode(v: i64) -> u64 {
+    if v > 0 {
+        (v as u64) * 2 - 1
+    } else {
+        (-v as u64) * 2
+    }
+}
+
+/// Inverse of [`zigzag_encode`].
+#[inline]
+pub fn zigzag_decode(u: u64) -> i64 {
+    if u % 2 == 1 {
+        ((u + 1) / 2) as i64
+    } else {
+        -((u / 2) as i64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn ue_known_codes() {
+        // Classic table: 0→"1", 1→"010", 2→"011", 3→"00100".
+        for (v, expected_bits) in [(0u64, 1usize), (1, 3), (2, 3), (3, 5), (6, 5), (7, 7)] {
+            let mut w = BitWriter::new();
+            put_ue(&mut w, v);
+            assert_eq!(w.bit_len(), expected_bits, "ue({v})");
+        }
+        let mut w = BitWriter::new();
+        put_ue(&mut w, 0);
+        assert_eq!(w.finish(), vec![0b1000_0000]);
+    }
+
+    #[test]
+    fn se_ordering_matches_spec() {
+        // se: 0→0, 1→1, 2→-1, 3→2, 4→-2 (decode direction).
+        assert_eq!(zigzag_decode(0), 0);
+        assert_eq!(zigzag_decode(1), 1);
+        assert_eq!(zigzag_decode(2), -1);
+        assert_eq!(zigzag_decode(3), 2);
+        assert_eq!(zigzag_decode(4), -2);
+    }
+
+    #[test]
+    fn sequence_round_trip() {
+        let values: Vec<u64> = vec![0, 1, 2, 3, 100, 65535, 1 << 40];
+        let mut w = BitWriter::new();
+        for &v in &values {
+            put_ue(&mut w, v);
+        }
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        for &v in &values {
+            assert_eq!(read_ue(&mut r).unwrap(), v);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_ue_round_trip(v in 0u64..(1 << 48)) {
+            let mut w = BitWriter::new();
+            put_ue(&mut w, v);
+            let bytes = w.finish();
+            let mut r = BitReader::new(&bytes);
+            prop_assert_eq!(read_ue(&mut r).unwrap(), v);
+        }
+
+        #[test]
+        fn prop_se_round_trip(v in -(1i64 << 40)..(1i64 << 40)) {
+            let mut w = BitWriter::new();
+            put_se(&mut w, v);
+            let bytes = w.finish();
+            let mut r = BitReader::new(&bytes);
+            prop_assert_eq!(read_se(&mut r).unwrap(), v);
+        }
+
+        #[test]
+        fn prop_zigzag_bijective(u in 0u64..(1 << 50)) {
+            prop_assert_eq!(zigzag_encode(zigzag_decode(u)), u);
+        }
+    }
+}

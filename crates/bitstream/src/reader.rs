@@ -1,0 +1,111 @@
+//! MSB-first bit reader.
+
+use vr_base::{Error, Result};
+
+/// Reads bits most-significant-first from a byte slice.
+#[derive(Debug, Clone)]
+pub struct BitReader<'a> {
+    data: &'a [u8],
+    /// Absolute bit cursor.
+    pos: usize,
+}
+
+impl<'a> BitReader<'a> {
+    /// Wrap a byte slice.
+    pub fn new(data: &'a [u8]) -> Self {
+        Self { data, pos: 0 }
+    }
+
+    /// Total number of bits available.
+    pub fn bit_len(&self) -> usize {
+        self.data.len() * 8
+    }
+
+    /// Bits remaining.
+    pub fn remaining(&self) -> usize {
+        self.bit_len() - self.pos
+    }
+
+    /// Current bit position.
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    /// Read one bit.
+    #[inline]
+    pub fn read_bit(&mut self) -> Result<bool> {
+        if self.pos >= self.bit_len() {
+            return Err(Error::Corrupt("bitstream exhausted".into()));
+        }
+        let byte = self.data[self.pos / 8];
+        let bit = (byte >> (7 - (self.pos % 8))) & 1;
+        self.pos += 1;
+        Ok(bit == 1)
+    }
+
+    /// Read an `n`-bit unsigned field, MSB first (`n <= 64`).
+    pub fn read_bits(&mut self, n: u32) -> Result<u64> {
+        debug_assert!(n <= 64);
+        if self.remaining() < n as usize {
+            return Err(Error::Corrupt(format!(
+                "bitstream exhausted: wanted {n} bits, {} remain",
+                self.remaining()
+            )));
+        }
+        let mut v = 0u64;
+        for _ in 0..n {
+            v = (v << 1) | self.read_bit()? as u64;
+        }
+        Ok(v)
+    }
+
+    /// Skip to the next byte boundary.
+    pub fn align(&mut self) {
+        self.pos = (self.pos + 7) & !7;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::writer::BitWriter;
+
+    #[test]
+    fn round_trip_mixed_fields() {
+        let mut w = BitWriter::new();
+        w.put_bits(0b101, 3);
+        w.put_bits(0xDEAD_BEEF, 32);
+        w.put_bits(1, 1);
+        w.put_bits(0x3FF, 10);
+        let bytes = w.finish();
+
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read_bits(3).unwrap(), 0b101);
+        assert_eq!(r.read_bits(32).unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.read_bits(1).unwrap(), 1);
+        assert_eq!(r.read_bits(10).unwrap(), 0x3FF);
+    }
+
+    #[test]
+    fn exhaustion_is_an_error() {
+        let bytes = [0xFFu8];
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read_bits(8).unwrap(), 0xFF);
+        assert!(r.read_bit().is_err());
+        let mut r = BitReader::new(&bytes);
+        assert!(r.read_bits(9).is_err());
+    }
+
+    #[test]
+    fn align_skips_to_byte() {
+        let bytes = [0b1010_0000, 0xCD];
+        let mut r = BitReader::new(&bytes);
+        assert!(r.read_bit().unwrap());
+        r.align();
+        assert_eq!(r.position(), 8);
+        assert_eq!(r.read_bits(8).unwrap(), 0xCD);
+        // Aligning when already aligned is a no-op.
+        r.align();
+        assert_eq!(r.remaining(), 0);
+    }
+}

@@ -1,0 +1,85 @@
+//! Zig-zag scan orders for square transform blocks.
+//!
+//! After a 2D transform, coefficient energy concentrates toward the
+//! top-left (low frequencies). Scanning in zig-zag order converts the
+//! 2D block into a 1D sequence whose tail is mostly zeros, which the
+//! run-length coder then collapses.
+
+/// Generate the zig-zag scan order for an `n`×`n` block: element `i`
+/// of the result is the raster index visited `i`-th.
+pub fn scan_order(n: usize) -> Vec<usize> {
+    assert!(n >= 1);
+    let mut order = Vec::with_capacity(n * n);
+    // Walk anti-diagonals; alternate direction per diagonal.
+    for d in 0..(2 * n - 1) {
+        let mut cells: Vec<(usize, usize)> = (0..=d)
+            .filter(|&i| i < n && d - i < n)
+            .map(|i| (i, d - i)) // (row, col)
+            .collect();
+        if d % 2 == 0 {
+            // Even diagonals run bottom-left → top-right.
+            cells.reverse();
+        }
+        for (r, c) in cells {
+            order.push(r * n + c);
+        }
+    }
+    order
+}
+
+/// Apply a scan order: gather `block` (raster order) into scan order.
+pub fn forward<T: Copy>(block: &[T], order: &[usize]) -> Vec<T> {
+    assert_eq!(block.len(), order.len());
+    order.iter().map(|&i| block[i]).collect()
+}
+
+/// Invert a scan: scatter `scanned` back into raster order.
+pub fn inverse<T: Copy + Default>(scanned: &[T], order: &[usize]) -> Vec<T> {
+    assert_eq!(scanned.len(), order.len());
+    let mut out = vec![T::default(); scanned.len()];
+    for (pos, &idx) in order.iter().enumerate() {
+        out[idx] = scanned[pos];
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn four_by_four_matches_h264_table() {
+        // The H.264 4x4 zig-zag scan (raster indices).
+        let expected = vec![0, 1, 4, 8, 5, 2, 3, 6, 9, 12, 13, 10, 7, 11, 14, 15];
+        assert_eq!(scan_order(4), expected);
+    }
+
+    #[test]
+    fn order_is_a_permutation() {
+        for n in [1usize, 2, 4, 8, 16, 32] {
+            let mut o = scan_order(n);
+            o.sort_unstable();
+            assert_eq!(o, (0..n * n).collect::<Vec<_>>(), "n={n}");
+        }
+    }
+
+    #[test]
+    fn first_and_last_elements() {
+        for n in [2usize, 4, 8] {
+            let o = scan_order(n);
+            assert_eq!(o[0], 0, "scan starts at DC");
+            assert_eq!(*o.last().unwrap(), n * n - 1, "scan ends at highest frequency");
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_forward_inverse_round_trip(data in proptest::collection::vec(-512i32..512, 64)) {
+            let order = scan_order(8);
+            let scanned = forward(&data, &order);
+            let back = inverse(&scanned, &order);
+            prop_assert_eq!(back, data);
+        }
+    }
+}

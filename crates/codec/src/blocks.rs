@@ -1,0 +1,191 @@
+//! Plane ↔ block gather/scatter with edge clamping, and the SAD
+//! metric used by mode decision and motion estimation.
+
+/// A borrowed view of one image plane.
+#[derive(Debug, Clone, Copy)]
+pub struct PlaneRef<'a> {
+    pub data: &'a [u8],
+    pub width: u32,
+    pub height: u32,
+}
+
+impl<'a> PlaneRef<'a> {
+    /// Wrap a plane buffer.
+    pub fn new(data: &'a [u8], width: u32, height: u32) -> Self {
+        debug_assert_eq!(data.len(), (width * height) as usize);
+        Self { data, width, height }
+    }
+
+    /// Sample with edge clamping (reads outside the plane return the
+    /// nearest edge sample — the standard unrestricted-MV behaviour).
+    #[inline]
+    pub fn sample(&self, x: i32, y: i32) -> u8 {
+        let x = x.clamp(0, self.width as i32 - 1) as u32;
+        let y = y.clamp(0, self.height as i32 - 1) as u32;
+        self.data[(y * self.width + x) as usize]
+    }
+
+    /// Gather an `n`×`n` block with origin `(x0, y0)` (may be partially
+    /// outside; clamped).
+    pub fn gather(&self, x0: i32, y0: i32, n: usize, out: &mut [f32]) {
+        debug_assert_eq!(out.len(), n * n);
+        for r in 0..n {
+            for c in 0..n {
+                out[r * n + c] = self.sample(x0 + c as i32, y0 + r as i32) as f32;
+            }
+        }
+    }
+
+    /// Sum of absolute differences between the `n`×`n` block at
+    /// `(x0, y0)` and `other`'s block at `(x1, y1)`. The workhorse of
+    /// motion search; `early_out` aborts once the partial sum exceeds
+    /// the given bound (a standard search optimization).
+    pub fn sad(
+        &self,
+        x0: i32,
+        y0: i32,
+        other: &PlaneRef<'_>,
+        x1: i32,
+        y1: i32,
+        n: usize,
+        early_out: u32,
+    ) -> u32 {
+        let mut total = 0u32;
+        // Fast path: both blocks fully inside their planes.
+        let inside = x0 >= 0
+            && y0 >= 0
+            && x0 + n as i32 <= self.width as i32
+            && y0 + n as i32 <= self.height as i32
+            && x1 >= 0
+            && y1 >= 0
+            && x1 + n as i32 <= other.width as i32
+            && y1 + n as i32 <= other.height as i32;
+        if inside {
+            for r in 0..n {
+                let a0 = ((y0 as usize + r) * self.width as usize) + x0 as usize;
+                let b0 = ((y1 as usize + r) * other.width as usize) + x1 as usize;
+                let row_a = &self.data[a0..a0 + n];
+                let row_b = &other.data[b0..b0 + n];
+                total += row_a
+                    .iter()
+                    .zip(row_b)
+                    .map(|(&a, &b)| a.abs_diff(b) as u32)
+                    .sum::<u32>();
+                if total >= early_out {
+                    return total;
+                }
+            }
+        } else {
+            for r in 0..n {
+                for c in 0..n {
+                    let a = self.sample(x0 + c as i32, y0 + r as i32);
+                    let b = other.sample(x1 + c as i32, y1 + r as i32);
+                    total += a.abs_diff(b) as u32;
+                }
+                if total >= early_out {
+                    return total;
+                }
+            }
+        }
+        total
+    }
+}
+
+/// Scatter an `n`×`n` float block back into a plane, clamping values
+/// to 0–255 and ignoring samples that fall outside (edge macroblocks
+/// of non-multiple-of-16 frames).
+pub fn scatter(plane: &mut [u8], width: u32, height: u32, x0: i32, y0: i32, n: usize, block: &[f32]) {
+    debug_assert_eq!(block.len(), n * n);
+    for r in 0..n {
+        let y = y0 + r as i32;
+        if y < 0 || y >= height as i32 {
+            continue;
+        }
+        for c in 0..n {
+            let x = x0 + c as i32;
+            if x < 0 || x >= width as i32 {
+                continue;
+            }
+            plane[(y as u32 * width + x as u32) as usize] =
+                block[r * n + c].round().clamp(0.0, 255.0) as u8;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plane_4x4() -> Vec<u8> {
+        (0..16).map(|i| i as u8 * 10).collect()
+    }
+
+    #[test]
+    fn sample_clamps_edges() {
+        let data = plane_4x4();
+        let p = PlaneRef::new(&data, 4, 4);
+        assert_eq!(p.sample(0, 0), 0);
+        assert_eq!(p.sample(-5, -5), 0);
+        assert_eq!(p.sample(3, 3), 150);
+        assert_eq!(p.sample(10, 10), 150);
+        assert_eq!(p.sample(10, 0), 30);
+    }
+
+    #[test]
+    fn gather_scatter_round_trip() {
+        let data = plane_4x4();
+        let p = PlaneRef::new(&data, 4, 4);
+        let mut block = [0.0f32; 16];
+        p.gather(0, 0, 4, &mut block);
+        let mut out = vec![0u8; 16];
+        scatter(&mut out, 4, 4, 0, 0, 4, &block);
+        assert_eq!(out, data);
+    }
+
+    #[test]
+    fn scatter_clamps_values_and_bounds() {
+        let mut out = vec![0u8; 16];
+        let block = [300.0f32, -5.0, 128.0, 10.0];
+        scatter(&mut out, 4, 4, 3, 3, 2, &block);
+        assert_eq!(out[15], 255); // 300 clamped, at (3,3)
+        // The other three samples fell outside and were dropped.
+        assert_eq!(out.iter().filter(|&&v| v != 0).count(), 1);
+    }
+
+    #[test]
+    fn sad_zero_for_identical() {
+        let data = plane_4x4();
+        let p = PlaneRef::new(&data, 4, 4);
+        assert_eq!(p.sad(0, 0, &p, 0, 0, 4, u32::MAX), 0);
+    }
+
+    #[test]
+    fn sad_counts_differences() {
+        let a = vec![10u8; 16];
+        let b = vec![13u8; 16];
+        let pa = PlaneRef::new(&a, 4, 4);
+        let pb = PlaneRef::new(&b, 4, 4);
+        assert_eq!(pa.sad(0, 0, &pb, 0, 0, 4, u32::MAX), 48);
+    }
+
+    #[test]
+    fn sad_early_out_is_a_bound() {
+        let a = vec![0u8; 256];
+        let b = vec![255u8; 256];
+        let pa = PlaneRef::new(&a, 16, 16);
+        let pb = PlaneRef::new(&b, 16, 16);
+        let s = pa.sad(0, 0, &pb, 0, 0, 16, 100);
+        assert!(s >= 100, "early-out result must be >= the bound");
+        assert!(s < 256 * 255, "early-out should not compute the full sum");
+    }
+
+    #[test]
+    fn sad_slow_path_matches_fast_path_semantics() {
+        let data = plane_4x4();
+        let p = PlaneRef::new(&data, 4, 4);
+        // Off-edge block compares against clamped samples; just check
+        // it runs and is consistent with itself.
+        let s1 = p.sad(-1, -1, &p, -1, -1, 4, u32::MAX);
+        assert_eq!(s1, 0);
+    }
+}

@@ -1,0 +1,108 @@
+//! Helpers shared bit-exactly between encoder and decoder.
+//!
+//! Everything here affects reconstruction, so both sides must use the
+//! same definitions — keeping them in one module makes drift
+//! impossible.
+
+use crate::motion::MotionVector;
+
+/// Macroblock edge length (luma).
+pub const MB: usize = 16;
+
+/// Macroblock grid dimensions for a frame.
+pub fn mb_grid(width: u32, height: u32) -> (u32, u32) {
+    (width.div_ceil(MB as u32), height.div_ceil(MB as u32))
+}
+
+/// Chroma motion vector derived from a luma vector (floor division by
+/// two via arithmetic shift — identical on both sides).
+pub fn chroma_mv(mv: MotionVector) -> MotionVector {
+    MotionVector { dx: mv.dx >> 1, dy: mv.dy >> 1 }
+}
+
+/// Flat intra predictor for an `n`×`n` block at `(x0, y0)`: the mean
+/// of the reconstructed row above and column left of the block. Falls
+/// back to 128 when no neighbours exist (top-left block) or when the
+/// profile disables DC prediction.
+pub fn intra_flat_pred(
+    plane: &[u8],
+    width: u32,
+    height: u32,
+    x0: i32,
+    y0: i32,
+    n: usize,
+    enabled: bool,
+) -> f32 {
+    if !enabled {
+        return 128.0;
+    }
+    let mut sum = 0u32;
+    let mut count = 0u32;
+    if y0 > 0 {
+        let y = (y0 - 1) as u32;
+        for c in 0..n as i32 {
+            let x = x0 + c;
+            if x >= 0 && x < width as i32 && y < height {
+                sum += plane[(y * width + x as u32) as usize] as u32;
+                count += 1;
+            }
+        }
+    }
+    if x0 > 0 {
+        let x = (x0 - 1) as u32;
+        for r in 0..n as i32 {
+            let y = y0 + r;
+            if y >= 0 && y < height as i32 && x < width {
+                sum += plane[(y as u32 * width + x) as usize] as u32;
+                count += 1;
+            }
+        }
+    }
+    if count == 0 {
+        128.0
+    } else {
+        (sum as f32 / count as f32).round()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_covers_frame() {
+        assert_eq!(mb_grid(64, 48), (4, 3));
+        assert_eq!(mb_grid(65, 49), (5, 4));
+        assert_eq!(mb_grid(16, 16), (1, 1));
+        assert_eq!(mb_grid(2, 2), (1, 1));
+    }
+
+    #[test]
+    fn chroma_mv_floors() {
+        assert_eq!(chroma_mv(MotionVector { dx: 5, dy: -5 }), MotionVector { dx: 2, dy: -3 });
+        assert_eq!(chroma_mv(MotionVector { dx: 4, dy: -4 }), MotionVector { dx: 2, dy: -2 });
+    }
+
+    #[test]
+    fn intra_pred_fallbacks() {
+        let plane = vec![100u8; 64];
+        assert_eq!(intra_flat_pred(&plane, 8, 8, 0, 0, 8, true), 128.0);
+        assert_eq!(intra_flat_pred(&plane, 8, 8, 4, 4, 4, false), 128.0);
+    }
+
+    #[test]
+    fn intra_pred_uses_neighbours() {
+        // 8x8 plane: top row 50, left column 70, rest 0.
+        let mut plane = vec![0u8; 64];
+        for x in 0..8 {
+            plane[x] = 50;
+        }
+        for y in 0..8 {
+            plane[y * 8] = 70;
+        }
+        // Block at (1, 1) of size 4: neighbours are row y=0 (x=1..4,
+        // value 50) and column x=0 (y=1..4, value 70) → mean 60.
+        let p = intra_flat_pred(&plane, 8, 8, 1, 1, 4, true);
+        assert_eq!(p, 60.0);
+    }
+}

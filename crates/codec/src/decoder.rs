@@ -1,0 +1,353 @@
+//! The video decoder: the exact mirror of the encoder's
+//! reconstruction path.
+
+use crate::blocks::{scatter, PlaneRef};
+use crate::common::{chroma_mv, intra_flat_pred, mb_grid, MB};
+use crate::entropy::{read_block, read_mv};
+use crate::motion::MotionVector;
+use crate::packet::{FrameType, VideoInfo};
+use crate::quant::dequantize;
+use crate::transform::{idct, BLOCK, N};
+use vr_base::{Error, Result};
+use vr_bitstream::BitReader;
+use vr_frame::Frame;
+
+/// A streaming decoder: feed packets in decode order.
+pub struct Decoder {
+    info: VideoInfo,
+    reference: Option<Frame>,
+}
+
+impl Decoder {
+    /// Create a decoder for a stream with the given parameters.
+    pub fn new(info: VideoInfo) -> Self {
+        Self { info, reference: None }
+    }
+
+    /// Stream parameters.
+    pub fn info(&self) -> VideoInfo {
+        self.info
+    }
+
+    /// Decode one packet into a frame.
+    pub fn decode(&mut self, data: &[u8]) -> Result<Frame> {
+        let mut r = BitReader::new(data);
+        let frame_type = FrameType::from_u8(r.read_bits(8)? as u8)?;
+        let qp = r.read_bits(8)? as u8;
+        if qp > crate::quant::MAX_QP {
+            return Err(Error::Corrupt(format!("QP {qp} out of range")));
+        }
+        let (w, h) = (self.info.width, self.info.height);
+        let mut recon = Frame::new(w, h);
+        match frame_type {
+            FrameType::Intra => self.decode_intra(&mut r, &mut recon, qp)?,
+            FrameType::Inter => {
+                let reference = self.reference.take().ok_or_else(|| {
+                    Error::Corrupt("inter frame without a decoded reference".into())
+                })?;
+                self.decode_inter(&mut r, &reference, &mut recon, qp)?;
+            }
+        }
+        self.reference = Some(recon.clone());
+        Ok(recon)
+    }
+
+    /// Reset stream state (e.g. before seeking to a keyframe).
+    pub fn reset(&mut self) {
+        self.reference = None;
+    }
+
+    fn decode_intra(&self, r: &mut BitReader<'_>, recon: &mut Frame, qp: u8) -> Result<()> {
+        let dc_pred = self.info.profile.intra_dc_prediction();
+        let (w, h) = (self.info.width, self.info.height);
+        let (mb_cols, mb_rows) = mb_grid(w, h);
+        let (cw, ch) = recon.chroma_dims();
+        for mby in 0..mb_rows {
+            for mbx in 0..mb_cols {
+                let bx = (mbx as i32) * MB as i32;
+                let by = (mby as i32) * MB as i32;
+                for sub in 0..4 {
+                    let sx = bx + (sub % 2) * N as i32;
+                    let sy = by + (sub / 2) * N as i32;
+                    decode_intra_block(&mut recon.y, w, h, sx, sy, qp, dc_pred, r)?;
+                }
+                decode_intra_block(&mut recon.u, cw, ch, bx / 2, by / 2, qp, dc_pred, r)?;
+                decode_intra_block(&mut recon.v, cw, ch, bx / 2, by / 2, qp, dc_pred, r)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn decode_inter(
+        &self,
+        r: &mut BitReader<'_>,
+        reference: &Frame,
+        recon: &mut Frame,
+        qp: u8,
+    ) -> Result<()> {
+        let profile = self.info.profile;
+        let dc_pred = profile.intra_dc_prediction();
+        let (w, h) = (self.info.width, self.info.height);
+        let (mb_cols, mb_rows) = mb_grid(w, h);
+        let (cw, ch) = recon.chroma_dims();
+        for mby in 0..mb_rows {
+            let mut mv_pred = MotionVector::default();
+            for mbx in 0..mb_cols {
+                let bx = (mbx as i32) * MB as i32;
+                let by = (mby as i32) * MB as i32;
+                let inter = r.read_bit()?;
+                if inter {
+                    let pred =
+                        if profile.predictive_mv() { mv_pred } else { MotionVector::default() };
+                    let mv = read_mv(r, pred)?;
+                    mv_pred = mv;
+                    for sub in 0..4 {
+                        let sx = bx + (sub % 2) * N as i32;
+                        let sy = by + (sub / 2) * N as i32;
+                        decode_inter_block(&reference.y, &mut recon.y, w, h, sx, sy, mv, qp, r)?;
+                    }
+                    let cmv = chroma_mv(mv);
+                    decode_inter_block(&reference.u, &mut recon.u, cw, ch, bx / 2, by / 2, cmv, qp, r)?;
+                    decode_inter_block(&reference.v, &mut recon.v, cw, ch, bx / 2, by / 2, cmv, qp, r)?;
+                } else {
+                    mv_pred = MotionVector::default();
+                    for sub in 0..4 {
+                        let sx = bx + (sub % 2) * N as i32;
+                        let sy = by + (sub / 2) * N as i32;
+                        decode_intra_block(&mut recon.y, w, h, sx, sy, qp, dc_pred, r)?;
+                    }
+                    decode_intra_block(&mut recon.u, cw, ch, bx / 2, by / 2, qp, dc_pred, r)?;
+                    decode_intra_block(&mut recon.v, cw, ch, bx / 2, by / 2, qp, dc_pred, r)?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn decode_intra_block(
+    recon: &mut [u8],
+    width: u32,
+    height: u32,
+    x0: i32,
+    y0: i32,
+    qp: u8,
+    dc_pred: bool,
+    r: &mut BitReader<'_>,
+) -> Result<()> {
+    let pred = intra_flat_pred(recon, width, height, x0, y0, N, dc_pred);
+    let levels = read_block(r)?;
+    let mut rec = idct(&dequantize(&levels, qp));
+    for v in &mut rec {
+        *v += pred;
+    }
+    scatter(recon, width, height, x0, y0, N, &rec);
+    Ok(())
+}
+
+#[allow(clippy::too_many_arguments)]
+fn decode_inter_block(
+    reference: &[u8],
+    recon: &mut [u8],
+    width: u32,
+    height: u32,
+    x0: i32,
+    y0: i32,
+    mv: MotionVector,
+    qp: u8,
+    r: &mut BitReader<'_>,
+) -> Result<()> {
+    let rplane = PlaneRef::new(reference, width, height);
+    let mut pred = [0.0f32; BLOCK];
+    rplane.gather(x0 + mv.dx as i32, y0 + mv.dy as i32, N, &mut pred);
+    let levels = read_block(r)?;
+    let mut rec = idct(&dequantize(&levels, qp));
+    for (v, p) in rec.iter_mut().zip(&pred) {
+        *v += p;
+    }
+    scatter(recon, width, height, x0, y0, N, &rec);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encoder::EncoderConfig;
+    use crate::packet::Profile;
+    use crate::testutil::moving_square_sequence;
+    use crate::{encode_sequence, EncodedVideo};
+    use vr_frame::metrics::psnr_y;
+
+    fn round_trip(cfg: EncoderConfig, frames: &[Frame]) -> (EncodedVideo, Vec<Frame>) {
+        let video = encode_sequence(&cfg, frames).unwrap();
+        let decoded = video.decode_all().unwrap();
+        (video, decoded)
+    }
+
+    #[test]
+    fn low_qp_round_trip_is_high_quality() {
+        let frames = moving_square_sequence(64, 64, 6, 1);
+        let (_, decoded) = round_trip(EncoderConfig::constant_qp(4).with_gop(3), &frames);
+        for (orig, dec) in frames.iter().zip(&decoded) {
+            let p = psnr_y(orig, dec);
+            assert!(p > 42.0, "psnr {p}");
+        }
+    }
+
+    #[test]
+    fn higher_qp_degrades_quality_and_shrinks_bitstream() {
+        let frames = moving_square_sequence(64, 64, 6, 2);
+        let (v_lo, d_lo) = round_trip(EncoderConfig::constant_qp(8), &frames);
+        let (v_hi, d_hi) = round_trip(EncoderConfig::constant_qp(40), &frames);
+        assert!(v_hi.size_bytes() < v_lo.size_bytes() / 2);
+        let p_lo = psnr_y(&frames[3], &d_lo[3]);
+        let p_hi = psnr_y(&frames[3], &d_hi[3]);
+        assert!(p_lo > p_hi, "psnr should drop with qp: {p_lo} vs {p_hi}");
+    }
+
+    #[test]
+    fn hevc_profile_round_trips_and_beats_h264_size() {
+        let frames = moving_square_sequence(96, 96, 10, 3);
+        let h264 = EncoderConfig::constant_qp(28).with_profile(Profile::H264Like);
+        let hevc = EncoderConfig::constant_qp(28).with_profile(Profile::HevcLike);
+        let (v264, d264) = round_trip(h264, &frames);
+        let (v265, d265) = round_trip(hevc, &frames);
+        // Both must be valid and similar quality ...
+        let p264 = psnr_y(&frames[5], &d264[5]);
+        let p265 = psnr_y(&frames[5], &d265[5]);
+        assert!(p264 > 30.0 && p265 > 30.0, "{p264} {p265}");
+        // ... while the HEVC-like toolset spends fewer bits.
+        assert!(
+            v265.size_bytes() < v264.size_bytes(),
+            "hevc {} vs h264 {}",
+            v265.size_bytes(),
+            v264.size_bytes()
+        );
+    }
+
+    #[test]
+    fn inter_without_reference_is_an_error() {
+        let frames = moving_square_sequence(32, 32, 3, 4);
+        let video = encode_sequence(&EncoderConfig::constant_qp(20), &frames).unwrap();
+        let mut dec = Decoder::new(video.info);
+        // Skip the keyframe; the P-frame must be rejected.
+        assert!(dec.decode(&video.packets[1].data).is_err());
+        // After decoding the keyframe it works.
+        dec.decode(&video.packets[0].data).unwrap();
+        dec.decode(&video.packets[1].data).unwrap();
+        // Reset drops the reference again.
+        dec.reset();
+        assert!(dec.decode(&video.packets[2].data).is_err());
+    }
+
+    #[test]
+    fn truncated_packet_is_an_error() {
+        let frames = moving_square_sequence(32, 32, 1, 5);
+        let video = encode_sequence(&EncoderConfig::constant_qp(20), &frames).unwrap();
+        let mut dec = Decoder::new(video.info);
+        let data = &video.packets[0].data;
+        assert!(dec.decode(&data[..data.len() / 2]).is_err());
+    }
+
+    #[test]
+    fn bitrate_mode_tracks_target() {
+        let frames = moving_square_sequence(96, 96, 45, 6);
+        let target_bps = 400_000u32;
+        let cfg = EncoderConfig {
+            rate: crate::packet::RateControlMode::Bitrate(target_bps),
+            gop: 15,
+            ..Default::default()
+        };
+        let video = encode_sequence(&cfg, &frames).unwrap();
+        let seconds = frames.len() as f64 / 30.0;
+        let actual_bps = video.size_bytes() as f64 * 8.0 / seconds;
+        let ratio = actual_bps / target_bps as f64;
+        assert!(
+            (0.5..2.0).contains(&ratio),
+            "bitrate off target: {actual_bps:.0} vs {target_bps} (ratio {ratio:.2})"
+        );
+        // And it still decodes.
+        let decoded = video.decode_all().unwrap();
+        assert_eq!(decoded.len(), frames.len());
+    }
+
+    #[test]
+    fn static_video_compresses_dramatically() {
+        // The data-dependence Table 9 relies on: identical frames cost
+        // almost nothing after the keyframe.
+        let frame = moving_square_sequence(64, 64, 1, 7).pop().unwrap();
+        let frames: Vec<Frame> = std::iter::repeat_with(|| frame.clone()).take(10).collect();
+        let video = encode_sequence(&EncoderConfig::constant_qp(28), &frames).unwrap();
+        let i_size = video.packets[0].data.len();
+        for p in &video.packets[1..] {
+            assert!(
+                p.data.len() * 10 < i_size,
+                "static P-frame too large: {} vs I {}",
+                p.data.len(),
+                i_size
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod robustness_tests {
+    use super::*;
+    use crate::packet::Profile;
+    use proptest::prelude::*;
+    use vr_base::{FrameRate, VrRng};
+
+    fn info() -> VideoInfo {
+        VideoInfo {
+            profile: Profile::H264Like,
+            width: 64,
+            height: 64,
+            frame_rate: FrameRate(30),
+            gop: 8,
+        }
+    }
+
+    proptest! {
+        /// Arbitrary bytes must never panic the decoder — they decode
+        /// or they error.
+        #[test]
+        fn prop_garbage_never_panics(data in proptest::collection::vec(any::<u8>(), 0..512)) {
+            let mut dec = Decoder::new(info());
+            let _ = dec.decode(&data);
+        }
+
+        /// Randomly truncating or flipping bits of a real packet must
+        /// never panic (errors are fine; silent wrong output is fine
+        /// too — corruption detection is the container's CRC's job).
+        #[test]
+        fn prop_mutated_packets_never_panic(cut in 0usize..1000, flip in 0usize..1000) {
+            let frames = crate::testutil::moving_square_sequence(64, 64, 2, 5);
+            let video = crate::encode_sequence(
+                &crate::EncoderConfig::constant_qp(24),
+                &frames,
+            ).unwrap();
+            let mut data = video.packets[0].data.clone();
+            if !data.is_empty() {
+                let c = cut % data.len();
+                data.truncate(c.max(1));
+                let f = flip % data.len();
+                data[f] ^= 0x55;
+            }
+            let mut dec = Decoder::new(info());
+            let _ = dec.decode(&data);
+        }
+    }
+
+    /// Deterministic spot-check on many seeds (cheap, not proptest).
+    #[test]
+    fn random_bytes_mass_test() {
+        let mut rng = VrRng::seed_from(77);
+        for _ in 0..200 {
+            let len = rng.range(0, 300);
+            let data: Vec<u8> = (0..len).map(|_| rng.next_u32() as u8).collect();
+            let mut dec = Decoder::new(info());
+            let _ = dec.decode(&data);
+        }
+    }
+}

@@ -1,0 +1,376 @@
+//! The video encoder.
+
+use crate::blocks::{scatter, PlaneRef};
+use crate::common::{chroma_mv, intra_flat_pred, mb_grid, MB};
+use crate::entropy::{put_block, put_mv};
+use crate::motion::{diamond_search, MotionVector};
+use crate::packet::{FrameType, Packet, Profile, RateControlMode, VideoInfo};
+use crate::quant::{dequantize, quantize, qstep};
+use crate::ratecontrol::RateController;
+use crate::transform::{dct, idct, BLOCK, N};
+use vr_base::{Error, FrameRate, Result};
+use vr_bitstream::BitWriter;
+use vr_frame::Frame;
+
+/// Encoder configuration.
+#[derive(Debug, Clone)]
+pub struct EncoderConfig {
+    /// Coding tool profile.
+    pub profile: Profile,
+    /// Constant-QP or bitrate-targeted coding.
+    pub rate: RateControlMode,
+    /// I-frame period in frames.
+    pub gop: u32,
+    /// Nominal frame rate (drives the rate controller's per-frame
+    /// budget).
+    pub frame_rate: FrameRate,
+}
+
+impl Default for EncoderConfig {
+    fn default() -> Self {
+        Self {
+            profile: Profile::H264Like,
+            rate: RateControlMode::ConstantQp(26),
+            gop: 30,
+            frame_rate: FrameRate::STANDARD,
+        }
+    }
+}
+
+impl EncoderConfig {
+    /// Constant-QP configuration with defaults elsewhere.
+    pub fn constant_qp(qp: u8) -> Self {
+        Self { rate: RateControlMode::ConstantQp(qp), ..Default::default() }
+    }
+
+    /// Bitrate-targeted configuration with defaults elsewhere.
+    pub fn bitrate(bits_per_second: u32) -> Self {
+        Self { rate: RateControlMode::Bitrate(bits_per_second), ..Default::default() }
+    }
+
+    /// Builder-style profile override.
+    pub fn with_profile(mut self, profile: Profile) -> Self {
+        self.profile = profile;
+        self
+    }
+
+    /// Builder-style GOP override.
+    pub fn with_gop(mut self, gop: u32) -> Self {
+        self.gop = gop;
+        self
+    }
+}
+
+/// A streaming video encoder: feed frames in display order, receive
+/// one packet each.
+pub struct Encoder {
+    cfg: EncoderConfig,
+    width: u32,
+    height: u32,
+    /// Reconstructed previous frame (the decoder's view of it), used
+    /// as the motion-compensation reference.
+    reference: Option<Frame>,
+    frame_index: u64,
+    rc: Option<RateController>,
+}
+
+impl Encoder {
+    /// Create an encoder for `width`×`height` frames.
+    pub fn new(cfg: EncoderConfig, width: u32, height: u32) -> Result<Self> {
+        if width < 2 || height < 2 || width % 2 != 0 || height % 2 != 0 {
+            return Err(Error::InvalidConfig(format!(
+                "unsupported encode resolution {width}x{height}"
+            )));
+        }
+        if cfg.gop == 0 {
+            return Err(Error::InvalidConfig("GOP must be >= 1".into()));
+        }
+        let rc = match cfg.rate {
+            RateControlMode::Bitrate(bps) => {
+                Some(RateController::new(bps, cfg.frame_rate.0, width, height))
+            }
+            RateControlMode::ConstantQp(qp) if qp > crate::quant::MAX_QP => {
+                return Err(Error::InvalidConfig(format!("QP {qp} out of range")));
+            }
+            RateControlMode::ConstantQp(_) => None,
+        };
+        Ok(Self { cfg, width, height, reference: None, frame_index: 0, rc })
+    }
+
+    /// Stream parameters for the container/track header.
+    pub fn info(&self) -> VideoInfo {
+        VideoInfo {
+            profile: self.cfg.profile,
+            width: self.width,
+            height: self.height,
+            frame_rate: self.cfg.frame_rate,
+            gop: self.cfg.gop,
+        }
+    }
+
+    /// Encode the next frame.
+    pub fn encode(&mut self, frame: &Frame) -> Result<Packet> {
+        if frame.width() != self.width || frame.height() != self.height {
+            return Err(Error::InvalidConfig(format!(
+                "frame size {}x{} does not match encoder {}x{}",
+                frame.width(),
+                frame.height(),
+                self.width,
+                self.height
+            )));
+        }
+        let intra = self.frame_index % self.cfg.gop as u64 == 0 || self.reference.is_none();
+        let frame_type = if intra { FrameType::Intra } else { FrameType::Inter };
+        let qp = match (&self.rc, self.cfg.rate) {
+            (Some(rc), _) => rc.frame_qp(intra),
+            (None, RateControlMode::ConstantQp(qp)) => qp,
+            (None, RateControlMode::Bitrate(_)) => unreachable!("rc always set for bitrate mode"),
+        };
+
+        let mut w = BitWriter::with_capacity(self.width as usize * self.height as usize / 8);
+        w.put_bits(frame_type.to_u8() as u64, 8);
+        w.put_bits(qp as u64, 8);
+
+        let mut recon = Frame::new(self.width, self.height);
+        match frame_type {
+            FrameType::Intra => self.encode_intra(frame, &mut recon, qp, &mut w),
+            FrameType::Inter => {
+                // Take the reference out to appease the borrow checker;
+                // it is replaced by the new reconstruction below.
+                let reference = self.reference.take().expect("inter frame needs a reference");
+                self.encode_inter(frame, &reference, &mut recon, qp, &mut w);
+            }
+        }
+
+        let bits = w.bit_len();
+        if let Some(rc) = &mut self.rc {
+            rc.update(bits, intra);
+        }
+        self.reference = Some(recon);
+        self.frame_index += 1;
+        Ok(Packet { data: w.finish(), keyframe: intra })
+    }
+
+    fn encode_intra(&self, frame: &Frame, recon: &mut Frame, qp: u8, w: &mut BitWriter) {
+        let dc_pred = self.cfg.profile.intra_dc_prediction();
+        let (mb_cols, mb_rows) = mb_grid(self.width, self.height);
+        for mby in 0..mb_rows {
+            for mbx in 0..mb_cols {
+                let bx = (mbx as i32) * MB as i32;
+                let by = (mby as i32) * MB as i32;
+                // Four 8x8 luma blocks.
+                for sub in 0..4 {
+                    let sx = bx + (sub % 2) * N as i32;
+                    let sy = by + (sub / 2) * N as i32;
+                    encode_intra_block(
+                        &frame.y, &mut recon.y, self.width, self.height, sx, sy, qp, dc_pred, w,
+                    );
+                }
+                // One 8x8 block per chroma plane.
+                let (cw, ch) = frame.chroma_dims();
+                encode_intra_block(&frame.u, &mut recon.u, cw, ch, bx / 2, by / 2, qp, dc_pred, w);
+                encode_intra_block(&frame.v, &mut recon.v, cw, ch, bx / 2, by / 2, qp, dc_pred, w);
+            }
+        }
+    }
+
+    fn encode_inter(
+        &self,
+        frame: &Frame,
+        reference: &Frame,
+        recon: &mut Frame,
+        qp: u8,
+        w: &mut BitWriter,
+    ) {
+        let profile = self.cfg.profile;
+        let dc_pred = profile.intra_dc_prediction();
+        let (mb_cols, mb_rows) = mb_grid(self.width, self.height);
+        let lambda = qstep(qp) * 6.0;
+        let (cw, ch) = frame.chroma_dims();
+        for mby in 0..mb_rows {
+            // MV predictor resets at each row (decoder does the same).
+            let mut mv_pred = MotionVector::default();
+            for mbx in 0..mb_cols {
+                let bx = (mbx as i32) * MB as i32;
+                let by = (mby as i32) * MB as i32;
+                let cur = PlaneRef::new(&frame.y, self.width, self.height);
+                let refp = PlaneRef::new(&reference.y, self.width, self.height);
+                let seed = if profile.predictive_mv() { mv_pred } else { MotionVector::default() };
+                let me = diamond_search(&cur, &refp, bx, by, MB, seed, profile.search_range());
+
+                // Intra cost: SAD against the block's own mean (a
+                // proxy for how well flat intra prediction will do).
+                let mut block = [0.0f32; MB * MB];
+                cur.gather(bx, by, MB, &mut block);
+                let mean: f32 = block.iter().sum::<f32>() / (MB * MB) as f32;
+                let intra_sad: f32 = block.iter().map(|&p| (p - mean).abs()).sum();
+                let mv_cost = ((me.mv.dx - seed.dx).unsigned_abs() as f32
+                    + (me.mv.dy - seed.dy).unsigned_abs() as f32)
+                    * lambda
+                    * 0.1;
+                let inter_cost = me.sad as f32 + mv_cost + lambda * 4.0;
+
+                if inter_cost <= intra_sad {
+                    w.put_bit(true); // inter MB
+                    let pred = if profile.predictive_mv() { mv_pred } else { MotionVector::default() };
+                    put_mv(w, me.mv, pred);
+                    mv_pred = me.mv;
+                    // Luma residual blocks against motion-compensated
+                    // prediction from the reconstructed reference.
+                    for sub in 0..4 {
+                        let sx = bx + (sub % 2) * N as i32;
+                        let sy = by + (sub / 2) * N as i32;
+                        encode_inter_block(
+                            &frame.y,
+                            &reference.y,
+                            &mut recon.y,
+                            self.width,
+                            self.height,
+                            sx,
+                            sy,
+                            me.mv,
+                            qp,
+                            w,
+                        );
+                    }
+                    let cmv = chroma_mv(me.mv);
+                    encode_inter_block(
+                        &frame.u, &reference.u, &mut recon.u, cw, ch, bx / 2, by / 2, cmv, qp, w,
+                    );
+                    encode_inter_block(
+                        &frame.v, &reference.v, &mut recon.v, cw, ch, bx / 2, by / 2, cmv, qp, w,
+                    );
+                } else {
+                    w.put_bit(false); // intra MB
+                    mv_pred = MotionVector::default();
+                    for sub in 0..4 {
+                        let sx = bx + (sub % 2) * N as i32;
+                        let sy = by + (sub / 2) * N as i32;
+                        encode_intra_block(
+                            &frame.y, &mut recon.y, self.width, self.height, sx, sy, qp, dc_pred,
+                            w,
+                        );
+                    }
+                    encode_intra_block(
+                        &frame.u, &mut recon.u, cw, ch, bx / 2, by / 2, qp, dc_pred, w,
+                    );
+                    encode_intra_block(
+                        &frame.v, &mut recon.v, cw, ch, bx / 2, by / 2, qp, dc_pred, w,
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Encode one 8×8 intra block: subtract the flat predictor, transform,
+/// quantize, entropy-code, and reconstruct into `recon`.
+#[allow(clippy::too_many_arguments)]
+fn encode_intra_block(
+    src: &[u8],
+    recon: &mut [u8],
+    width: u32,
+    height: u32,
+    x0: i32,
+    y0: i32,
+    qp: u8,
+    dc_pred: bool,
+    w: &mut BitWriter,
+) {
+    let pred = intra_flat_pred(recon, width, height, x0, y0, N, dc_pred);
+    let plane = PlaneRef::new(src, width, height);
+    let mut block = [0.0f32; BLOCK];
+    plane.gather(x0, y0, N, &mut block);
+    for v in &mut block {
+        *v -= pred;
+    }
+    let levels = quantize(&dct(&block), qp);
+    put_block(w, &levels);
+    // Closed-loop reconstruction.
+    let mut rec = idct(&dequantize(&levels, qp));
+    for v in &mut rec {
+        *v += pred;
+    }
+    scatter(recon, width, height, x0, y0, N, &rec);
+}
+
+/// Encode one 8×8 inter block: motion-compensated prediction from the
+/// reference, residual transform, and reconstruction.
+#[allow(clippy::too_many_arguments)]
+fn encode_inter_block(
+    src: &[u8],
+    reference: &[u8],
+    recon: &mut [u8],
+    width: u32,
+    height: u32,
+    x0: i32,
+    y0: i32,
+    mv: MotionVector,
+    qp: u8,
+    w: &mut BitWriter,
+) {
+    let splane = PlaneRef::new(src, width, height);
+    let rplane = PlaneRef::new(reference, width, height);
+    let mut block = [0.0f32; BLOCK];
+    let mut pred = [0.0f32; BLOCK];
+    splane.gather(x0, y0, N, &mut block);
+    rplane.gather(x0 + mv.dx as i32, y0 + mv.dy as i32, N, &mut pred);
+    for (b, p) in block.iter_mut().zip(&pred) {
+        *b -= p;
+    }
+    let levels = quantize(&dct(&block), qp);
+    put_block(w, &levels);
+    let mut rec = idct(&dequantize(&levels, qp));
+    for (r, p) in rec.iter_mut().zip(&pred) {
+        *r += p;
+    }
+    scatter(recon, width, height, x0, y0, N, &rec);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::moving_square_sequence;
+
+    #[test]
+    fn rejects_bad_configs() {
+        assert!(Encoder::new(EncoderConfig::default(), 33, 32).is_err());
+        assert!(Encoder::new(EncoderConfig::default(), 0, 0).is_err());
+        assert!(Encoder::new(EncoderConfig::constant_qp(99), 32, 32).is_err());
+        let cfg = EncoderConfig { gop: 0, ..Default::default() };
+        assert!(Encoder::new(cfg, 32, 32).is_err());
+    }
+
+    #[test]
+    fn rejects_mismatched_frames() {
+        let mut enc = Encoder::new(EncoderConfig::default(), 64, 64).unwrap();
+        let frame = Frame::new(32, 32);
+        assert!(enc.encode(&frame).is_err());
+    }
+
+    #[test]
+    fn gop_structure_marks_keyframes() {
+        let cfg = EncoderConfig::constant_qp(30).with_gop(5);
+        let frames = moving_square_sequence(64, 64, 12, 3);
+        let mut enc = Encoder::new(cfg, 64, 64).unwrap();
+        let packets: Vec<_> = frames.iter().map(|f| enc.encode(f).unwrap()).collect();
+        for (i, p) in packets.iter().enumerate() {
+            assert_eq!(p.keyframe, i % 5 == 0, "frame {i}");
+        }
+    }
+
+    #[test]
+    fn p_frames_are_smaller_on_coherent_video() {
+        let cfg = EncoderConfig::constant_qp(28).with_gop(30);
+        let frames = moving_square_sequence(96, 96, 8, 4);
+        let mut enc = Encoder::new(cfg, 96, 96).unwrap();
+        let packets: Vec<_> = frames.iter().map(|f| enc.encode(f).unwrap()).collect();
+        let i_size = packets[0].data.len();
+        let p_avg: f64 = packets[1..].iter().map(|p| p.data.len() as f64).sum::<f64>()
+            / (packets.len() - 1) as f64;
+        assert!(
+            p_avg * 2.0 < i_size as f64,
+            "P frames should be much smaller: I={i_size}, P_avg={p_avg}"
+        );
+    }
+}

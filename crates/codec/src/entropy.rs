@@ -1,0 +1,177 @@
+//! Entropy coding of quantized coefficient blocks and motion vectors.
+//!
+//! Blocks are zig-zag scanned, then coded as a count of nonzero
+//! coefficients followed by (zero-run, level) pairs in Exp-Golomb.
+//! This is the same run-level structure as H.264 CAVLC, minus the
+//! adaptive VLC tables.
+
+use crate::motion::MotionVector;
+use crate::transform::{BLOCK, N};
+use vr_base::Result;
+use vr_bitstream::expgolomb::{put_se, put_ue, read_se, read_ue};
+use vr_bitstream::zigzag;
+use vr_bitstream::{BitReader, BitWriter};
+
+/// The 8×8 zig-zag scan order, computed once.
+fn scan() -> &'static [usize; BLOCK] {
+    use std::sync::OnceLock;
+    static SCAN: OnceLock<[usize; BLOCK]> = OnceLock::new();
+    SCAN.get_or_init(|| {
+        let v = zigzag::scan_order(N);
+        let mut a = [0usize; BLOCK];
+        a.copy_from_slice(&v);
+        a
+    })
+}
+
+/// Encode one quantized 8×8 block.
+pub fn put_block(w: &mut BitWriter, levels: &[i32; BLOCK]) {
+    let order = scan();
+    // Collect (run, level) pairs in scan order.
+    let mut pairs: Vec<(u32, i32)> = Vec::with_capacity(16);
+    let mut run = 0u32;
+    for &idx in order.iter() {
+        let l = levels[idx];
+        if l == 0 {
+            run += 1;
+        } else {
+            pairs.push((run, l));
+            run = 0;
+        }
+    }
+    put_ue(w, pairs.len() as u64);
+    for (run, level) in pairs {
+        put_ue(w, run as u64);
+        put_se(w, level as i64);
+    }
+}
+
+/// Decode one quantized 8×8 block.
+pub fn read_block(r: &mut BitReader<'_>) -> Result<[i32; BLOCK]> {
+    let order = scan();
+    let mut levels = [0i32; BLOCK];
+    let nnz = read_ue(r)? as usize;
+    if nnz > BLOCK {
+        return Err(vr_base::Error::Corrupt(format!("block nnz {nnz} > {BLOCK}")));
+    }
+    let mut pos = 0usize;
+    for _ in 0..nnz {
+        let run = read_ue(r)? as usize;
+        pos += run;
+        if pos >= BLOCK {
+            return Err(vr_base::Error::Corrupt("coefficient run overflows block".into()));
+        }
+        let level = read_se(r)?;
+        levels[order[pos]] = level as i32;
+        pos += 1;
+    }
+    Ok(levels)
+}
+
+/// Encode a motion vector differentially against a predictor.
+pub fn put_mv(w: &mut BitWriter, mv: MotionVector, pred: MotionVector) {
+    put_se(w, (mv.dx - pred.dx) as i64);
+    put_se(w, (mv.dy - pred.dy) as i64);
+}
+
+/// Decode a motion vector coded against a predictor.
+pub fn read_mv(r: &mut BitReader<'_>, pred: MotionVector) -> Result<MotionVector> {
+    let dx = read_se(r)? as i16 + pred.dx;
+    let dy = read_se(r)? as i16 + pred.dy;
+    Ok(MotionVector { dx, dy })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use vr_base::VrRng;
+
+    #[test]
+    fn empty_block_costs_one_symbol() {
+        let mut w = BitWriter::new();
+        put_block(&mut w, &[0i32; BLOCK]);
+        assert_eq!(w.bit_len(), 1, "all-zero block must cost one bit (ue(0))");
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(read_block(&mut r).unwrap(), [0i32; BLOCK]);
+    }
+
+    #[test]
+    fn dc_only_block_round_trips() {
+        let mut levels = [0i32; BLOCK];
+        levels[0] = -17;
+        let mut w = BitWriter::new();
+        put_block(&mut w, &levels);
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(read_block(&mut r).unwrap(), levels);
+    }
+
+    #[test]
+    fn sparse_blocks_cost_less_than_dense() {
+        let mut sparse = [0i32; BLOCK];
+        sparse[0] = 10;
+        sparse[1] = -2;
+        let mut dense = [0i32; BLOCK];
+        for (i, l) in dense.iter_mut().enumerate() {
+            *l = (i as i32 % 7) - 3;
+        }
+        let mut ws = BitWriter::new();
+        put_block(&mut ws, &sparse);
+        let mut wd = BitWriter::new();
+        put_block(&mut wd, &dense);
+        assert!(ws.bit_len() * 4 < wd.bit_len());
+    }
+
+    #[test]
+    fn mv_round_trip_with_prediction() {
+        let mut w = BitWriter::new();
+        let mv = MotionVector { dx: -7, dy: 12 };
+        let pred = MotionVector { dx: -6, dy: 10 };
+        put_mv(&mut w, mv, pred);
+        let near_bits = w.bit_len();
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(read_mv(&mut r, pred).unwrap(), mv);
+        // A good predictor compresses better than a zero predictor.
+        let mut w2 = BitWriter::new();
+        put_mv(&mut w2, mv, MotionVector::default());
+        assert!(near_bits < w2.bit_len());
+    }
+
+    #[test]
+    fn corrupt_nnz_is_rejected() {
+        let mut w = BitWriter::new();
+        put_ue(&mut w, 100); // nnz > 64
+        let bytes = w.finish();
+        assert!(read_block(&mut BitReader::new(&bytes)).is_err());
+    }
+
+    #[test]
+    fn corrupt_run_is_rejected() {
+        let mut w = BitWriter::new();
+        put_ue(&mut w, 1); // one coefficient
+        put_ue(&mut w, 64); // run overflows the block
+        put_se(&mut w, 5);
+        let bytes = w.finish();
+        assert!(read_block(&mut BitReader::new(&bytes)).is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_block_round_trip(seed in 0u64..1000, density in 0usize..64) {
+            let mut rng = VrRng::seed_from(seed);
+            let mut levels = [0i32; BLOCK];
+            for _ in 0..density {
+                let idx = rng.range(0, BLOCK - 1);
+                levels[idx] = rng.range_i64(-200, 200) as i32;
+            }
+            let mut w = BitWriter::new();
+            put_block(&mut w, &levels);
+            let bytes = w.finish();
+            let mut r = BitReader::new(&bytes);
+            prop_assert_eq!(read_block(&mut r).unwrap(), levels);
+        }
+    }
+}

@@ -1,0 +1,196 @@
+//! Stream parameters and packet framing.
+
+use vr_base::{Error, FrameRate, Result};
+use vr_bitstream::bytesio::{ByteReader, ByteWriter};
+
+/// Codec profile: which coding tools the stream uses.
+///
+/// `H264Like` is the baseline hybrid coder. `HevcLike` enables
+/// predictive MV coding, intra DC prediction, and a wider motion
+/// search — the bitrate/quality relationship between the two mirrors
+/// H.264 vs HEVC (§5: "Visual Road includes support for H264 and
+/// HEVC").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Profile {
+    H264Like,
+    HevcLike,
+}
+
+impl Profile {
+    /// Serialized tag.
+    pub fn to_u8(self) -> u8 {
+        match self {
+            Profile::H264Like => 0,
+            Profile::HevcLike => 1,
+        }
+    }
+
+    /// Parse a serialized tag.
+    pub fn from_u8(v: u8) -> Result<Self> {
+        match v {
+            0 => Ok(Profile::H264Like),
+            1 => Ok(Profile::HevcLike),
+            other => Err(Error::Corrupt(format!("unknown codec profile {other}"))),
+        }
+    }
+
+    /// Motion search range (± pixels).
+    pub fn search_range(self) -> i16 {
+        match self {
+            Profile::H264Like => 8,
+            Profile::HevcLike => 24,
+        }
+    }
+
+    /// Whether motion vectors are coded against the left-neighbour
+    /// predictor (HEVC-like) or a zero predictor (H264-like).
+    pub fn predictive_mv(self) -> bool {
+        matches!(self, Profile::HevcLike)
+    }
+
+    /// Whether intra blocks predict their DC from the neighbouring
+    /// reconstruction.
+    pub fn intra_dc_prediction(self) -> bool {
+        matches!(self, Profile::HevcLike)
+    }
+}
+
+/// How the encoder chooses QP.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RateControlMode {
+    /// Fixed QP for every frame.
+    ConstantQp(u8),
+    /// Target bitrate in bits per second; a leaky-bucket controller
+    /// adapts QP (see [`crate::ratecontrol`]).
+    Bitrate(u32),
+}
+
+/// Stream parameters required to decode; serialized into the
+/// container's track header.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VideoInfo {
+    pub profile: Profile,
+    pub width: u32,
+    pub height: u32,
+    pub frame_rate: FrameRate,
+    /// I-frame period.
+    pub gop: u32,
+}
+
+impl VideoInfo {
+    /// Serialize (12 bytes + magic).
+    pub fn serialize(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        w.put_u32(u32::from_be_bytes(*b"VRC1"));
+        w.put_u8(self.profile.to_u8());
+        w.put_u32(self.width);
+        w.put_u32(self.height);
+        w.put_u16(self.frame_rate.0 as u16);
+        w.put_u16(self.gop as u16);
+        w.finish()
+    }
+
+    /// Parse a serialized header.
+    pub fn deserialize(data: &[u8]) -> Result<Self> {
+        let mut r = ByteReader::new(data);
+        let magic = r.get_u32()?;
+        if magic != u32::from_be_bytes(*b"VRC1") {
+            return Err(Error::Corrupt("bad codec magic".into()));
+        }
+        let profile = Profile::from_u8(r.get_u8()?)?;
+        let width = r.get_u32()?;
+        let height = r.get_u32()?;
+        let frame_rate = FrameRate(r.get_u16()? as u32);
+        let gop = r.get_u16()? as u32;
+        if width < 2 || height < 2 || gop == 0 {
+            return Err(Error::Corrupt("degenerate stream parameters".into()));
+        }
+        Ok(Self { profile, width, height, frame_rate, gop })
+    }
+}
+
+/// One encoded frame.
+#[derive(Debug, Clone)]
+pub struct Packet {
+    /// Encoded payload (frame header + macroblock data).
+    pub data: Vec<u8>,
+    /// Whether this packet is independently decodable (I-frame).
+    pub keyframe: bool,
+}
+
+/// Frame type tag inside a packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameType {
+    Intra,
+    Inter,
+}
+
+impl FrameType {
+    pub fn to_u8(self) -> u8 {
+        match self {
+            FrameType::Intra => 0,
+            FrameType::Inter => 1,
+        }
+    }
+
+    pub fn from_u8(v: u8) -> Result<Self> {
+        match v {
+            0 => Ok(FrameType::Intra),
+            1 => Ok(FrameType::Inter),
+            other => Err(Error::Corrupt(format!("unknown frame type {other}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn video_info_round_trip() {
+        let info = VideoInfo {
+            profile: Profile::HevcLike,
+            width: 960,
+            height: 540,
+            frame_rate: FrameRate(30),
+            gop: 30,
+        };
+        let bytes = info.serialize();
+        assert_eq!(VideoInfo::deserialize(&bytes).unwrap(), info);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let info = VideoInfo {
+            profile: Profile::H264Like,
+            width: 64,
+            height: 64,
+            frame_rate: FrameRate(30),
+            gop: 15,
+        };
+        let mut bytes = info.serialize();
+        bytes[0] ^= 0xFF;
+        assert!(VideoInfo::deserialize(&bytes).is_err());
+    }
+
+    #[test]
+    fn degenerate_params_rejected() {
+        let mut w = ByteWriter::new();
+        w.put_u32(u32::from_be_bytes(*b"VRC1"));
+        w.put_u8(0);
+        w.put_u32(0); // width 0
+        w.put_u32(64);
+        w.put_u16(30);
+        w.put_u16(15);
+        assert!(VideoInfo::deserialize(&w.finish()).is_err());
+    }
+
+    #[test]
+    fn profile_tools_differ() {
+        assert!(Profile::HevcLike.search_range() > Profile::H264Like.search_range());
+        assert!(Profile::HevcLike.predictive_mv());
+        assert!(!Profile::H264Like.predictive_mv());
+        assert!(Profile::from_u8(7).is_err());
+        assert!(FrameType::from_u8(9).is_err());
+    }
+}

@@ -1,0 +1,104 @@
+//! Quantization: the lossy stage.
+//!
+//! QP follows the H.264 convention: range 0–51, step size doubling
+//! every 6 QP. A dead-zone around zero kills low-energy AC noise,
+//! which is where most of the bitrate savings on natural video come
+//! from.
+
+use crate::transform::BLOCK;
+
+/// Maximum supported quantization parameter.
+pub const MAX_QP: u8 = 51;
+
+/// Quantization step size for a QP (H.264-style: `0.625 · 2^(qp/6)`,
+/// so QP 4 ≈ 1.0 and +6 QP doubles the step).
+pub fn qstep(qp: u8) -> f32 {
+    let qp = qp.min(MAX_QP) as f32;
+    0.625 * (qp / 6.0).exp2()
+}
+
+/// Quantize a coefficient block. The DC coefficient uses a round-to-
+/// nearest rule; AC coefficients get a dead zone (`offset = 1/3`)
+/// matching typical encoder practice.
+pub fn quantize(coeffs: &[f32; BLOCK], qp: u8) -> [i32; BLOCK] {
+    let step = qstep(qp);
+    let mut out = [0i32; BLOCK];
+    out[0] = (coeffs[0] / step).round() as i32;
+    for i in 1..BLOCK {
+        let v = coeffs[i] / step;
+        let a = v.abs();
+        let q = (a + 1.0 / 3.0).floor() as i32;
+        out[i] = if v < 0.0 { -q } else { q };
+    }
+    out
+}
+
+/// Reconstruct coefficients from quantized levels.
+pub fn dequantize(levels: &[i32; BLOCK], qp: u8) -> [f32; BLOCK] {
+    let step = qstep(qp);
+    let mut out = [0.0f32; BLOCK];
+    for (o, &l) in out.iter_mut().zip(levels) {
+        *o = l as f32 * step;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn qstep_doubles_every_six() {
+        for qp in 0..=(MAX_QP - 6) {
+            let ratio = qstep(qp + 6) / qstep(qp);
+            assert!((ratio - 2.0).abs() < 1e-4, "qp {qp}: ratio {ratio}");
+        }
+        assert!((qstep(4) - 1.0).abs() < 0.02);
+    }
+
+    #[test]
+    fn low_qp_is_near_lossless() {
+        let mut coeffs = [0.0f32; BLOCK];
+        coeffs[0] = 812.0;
+        coeffs[1] = -37.5;
+        coeffs[9] = 14.25;
+        let q = quantize(&coeffs, 0);
+        let d = dequantize(&q, 0);
+        for (a, b) in coeffs.iter().zip(&d) {
+            assert!((a - b).abs() <= qstep(0), "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn high_qp_zeroes_small_ac() {
+        let mut coeffs = [0.0f32; BLOCK];
+        coeffs[5] = 3.0;
+        coeffs[20] = -2.0;
+        let q = quantize(&coeffs, 40);
+        assert!(q.iter().all(|&l| l == 0), "small AC should vanish at QP 40");
+    }
+
+    #[test]
+    fn dead_zone_is_symmetric() {
+        let mut pos = [0.0f32; BLOCK];
+        let mut neg = [0.0f32; BLOCK];
+        pos[3] = 7.7;
+        neg[3] = -7.7;
+        let qp = 20;
+        assert_eq!(quantize(&pos, qp)[3], -quantize(&neg, qp)[3]);
+    }
+
+    #[test]
+    fn error_bounded_by_step() {
+        let qp = 28;
+        let step = qstep(qp);
+        let mut coeffs = [0.0f32; BLOCK];
+        for (i, c) in coeffs.iter_mut().enumerate() {
+            *c = (i as f32 - 32.0) * 9.1;
+        }
+        let d = dequantize(&quantize(&coeffs, qp), qp);
+        for (a, b) in coeffs.iter().zip(&d) {
+            assert!((a - b).abs() <= step * 1.01, "{a} vs {b} (step {step})");
+        }
+    }
+}

@@ -1,0 +1,164 @@
+//! The 8×8 orthonormal DCT-II and its inverse.
+//!
+//! Implemented as two separable passes against a precomputed basis
+//! matrix. Orthonormality (`C · Cᵀ = I`) means quantization error is
+//! the *only* loss in the pipeline: `idct(dct(x)) == x` to floating
+//! point precision.
+
+/// Transform block edge length.
+pub const N: usize = 8;
+
+/// Number of samples per transform block.
+pub const BLOCK: usize = N * N;
+
+/// Precomputed orthonormal DCT basis: `basis[u][k] = c(u) ·
+/// cos((2k+1)uπ/16)`, with `c(0) = √(1/8)`, `c(u>0) = √(2/8)`.
+fn basis() -> &'static [[f32; N]; N] {
+    use std::sync::OnceLock;
+    static BASIS: OnceLock<[[f32; N]; N]> = OnceLock::new();
+    BASIS.get_or_init(|| {
+        let mut b = [[0.0f32; N]; N];
+        for (u, row) in b.iter_mut().enumerate() {
+            let c = if u == 0 { (1.0 / N as f64).sqrt() } else { (2.0 / N as f64).sqrt() };
+            for (k, e) in row.iter_mut().enumerate() {
+                *e = (c * ((2 * k + 1) as f64 * u as f64 * std::f64::consts::PI
+                    / (2.0 * N as f64))
+                    .cos()) as f32;
+            }
+        }
+        b
+    })
+}
+
+/// Forward DCT of an 8×8 block (row-major). Input values are pixel
+/// residuals (typically −255..255); output coefficients.
+pub fn dct(block: &[f32; BLOCK]) -> [f32; BLOCK] {
+    let b = basis();
+    let mut tmp = [0.0f32; BLOCK];
+    // Row pass: tmp = block · Bᵀ  (transform each row).
+    for r in 0..N {
+        for u in 0..N {
+            let mut acc = 0.0;
+            for k in 0..N {
+                acc += block[r * N + k] * b[u][k];
+            }
+            tmp[r * N + u] = acc;
+        }
+    }
+    // Column pass: out = B · tmp (transform each column).
+    let mut out = [0.0f32; BLOCK];
+    for u in 0..N {
+        for c in 0..N {
+            let mut acc = 0.0;
+            for k in 0..N {
+                acc += tmp[k * N + c] * b[u][k];
+            }
+            out[u * N + c] = acc;
+        }
+    }
+    out
+}
+
+/// Inverse DCT of an 8×8 coefficient block.
+pub fn idct(coeffs: &[f32; BLOCK]) -> [f32; BLOCK] {
+    let b = basis();
+    let mut tmp = [0.0f32; BLOCK];
+    // Column pass: tmp = Bᵀ · coeffs.
+    for k in 0..N {
+        for c in 0..N {
+            let mut acc = 0.0;
+            for u in 0..N {
+                acc += coeffs[u * N + c] * b[u][k];
+            }
+            tmp[k * N + c] = acc;
+        }
+    }
+    // Row pass: out = tmp · B.
+    let mut out = [0.0f32; BLOCK];
+    for r in 0..N {
+        for k in 0..N {
+            let mut acc = 0.0;
+            for u in 0..N {
+                acc += tmp[r * N + u] * b[u][k];
+            }
+            out[r * N + k] = acc;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use vr_base::VrRng;
+
+    #[test]
+    fn flat_block_is_pure_dc() {
+        let block = [100.0f32; BLOCK];
+        let c = dct(&block);
+        // DC = mean * N (orthonormal): 100 * 8 = 800.
+        assert!((c[0] - 800.0).abs() < 1e-3, "dc {}", c[0]);
+        for (i, &v) in c.iter().enumerate().skip(1) {
+            assert!(v.abs() < 1e-3, "ac[{i}] = {v}");
+        }
+    }
+
+    #[test]
+    fn round_trip_is_exact_to_float_precision() {
+        let mut rng = VrRng::seed_from(42);
+        for _ in 0..20 {
+            let mut block = [0.0f32; BLOCK];
+            for v in &mut block {
+                *v = rng.range_f32(-255.0, 255.0);
+            }
+            let back = idct(&dct(&block));
+            for (a, b) in block.iter().zip(&back) {
+                assert!((a - b).abs() < 1e-2, "{a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn energy_is_preserved() {
+        // Parseval: orthonormal transform preserves the L2 norm.
+        let mut rng = VrRng::seed_from(7);
+        let mut block = [0.0f32; BLOCK];
+        for v in &mut block {
+            *v = rng.range_f32(-128.0, 128.0);
+        }
+        let c = dct(&block);
+        let e_in: f64 = block.iter().map(|&v| (v as f64) * (v as f64)).sum();
+        let e_out: f64 = c.iter().map(|&v| (v as f64) * (v as f64)).sum();
+        assert!((e_in - e_out).abs() / e_in < 1e-5, "{e_in} vs {e_out}");
+    }
+
+    #[test]
+    fn smooth_gradient_concentrates_energy_low() {
+        let mut block = [0.0f32; BLOCK];
+        for r in 0..N {
+            for k in 0..N {
+                block[r * N + k] = (r + k) as f32 * 8.0;
+            }
+        }
+        let c = dct(&block);
+        let total: f64 = c.iter().map(|&v| (v as f64) * (v as f64)).sum();
+        // DC + first-row/column AC terms dominate a linear ramp (a
+        // ramp has small energy at every odd frequency, so compare
+        // energies, not magnitudes).
+        let low: f64 = [0usize, 1, 8].iter().map(|&i| (c[i] as f64) * (c[i] as f64)).sum();
+        assert!(low / total > 0.98, "low-frequency share {}", low / total);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_round_trip(vals in proptest::collection::vec(-255.0f32..255.0, BLOCK)) {
+            let mut block = [0.0f32; BLOCK];
+            block.copy_from_slice(&vals);
+            let back = idct(&dct(&block));
+            for (a, b) in block.iter().zip(&back) {
+                prop_assert!((a - b).abs() < 2e-2);
+            }
+        }
+    }
+}

@@ -1,0 +1,179 @@
+//! Container demuxing: random-access (offline mode) and forward-only
+//! cursors (online mode).
+
+use crate::{SampleInfo, Track, TrackKind, MAGIC, VERSION};
+use vr_base::{Error, Result, Timestamp};
+use vr_bitstream::bytesio::ByteReader;
+use vr_bitstream::crc32;
+
+/// A parsed container. Owns the file bytes; samples are borrowed
+/// slices into the data section (zero-copy).
+#[derive(Debug)]
+pub struct Container {
+    tracks: Vec<Track>,
+    data: Vec<u8>,
+    /// Offset of the data section within the owned buffer.
+    data_start: usize,
+}
+
+impl Container {
+    /// Parse a container from owned bytes.
+    pub fn parse(bytes: Vec<u8>) -> Result<Self> {
+        let mut r = ByteReader::new(&bytes);
+        let magic = r.get_bytes(4)?;
+        if magic != MAGIC {
+            return Err(Error::Corrupt("not a VRMF container".into()));
+        }
+        let version = r.get_u16()?;
+        if version != VERSION {
+            return Err(Error::Corrupt(format!("unsupported container version {version}")));
+        }
+        let index_len = r.get_u32()? as usize;
+        let expected_crc = r.get_u32()?;
+        let index = r.get_bytes(index_len)?;
+        if crc32(index) != expected_crc {
+            return Err(Error::Corrupt("container index CRC mismatch".into()));
+        }
+
+        let mut ir = ByteReader::new(index);
+        let track_count = ir.get_u32()? as usize;
+        if track_count > 1 << 16 {
+            return Err(Error::Corrupt(format!("absurd track count {track_count}")));
+        }
+        let mut tracks = Vec::with_capacity(track_count);
+        for _ in 0..track_count {
+            let kind = TrackKind::from_u8(ir.get_u8()?)?;
+            let config = ir.get_blob()?.to_vec();
+            let sample_count = ir.get_u32()? as usize;
+            let mut samples = Vec::with_capacity(sample_count);
+            for _ in 0..sample_count {
+                let offset = ir.get_u64()?;
+                let size = ir.get_u32()?;
+                let timestamp = Timestamp::from_micros(ir.get_u64()?);
+                let keyframe = ir.get_u8()? != 0;
+                samples.push(SampleInfo { offset, size, timestamp, keyframe });
+            }
+            tracks.push(Track { kind, config, samples });
+        }
+
+        let data_len = r.get_u64()? as usize;
+        if r.remaining() < data_len {
+            return Err(Error::Corrupt(format!(
+                "container truncated: data section wants {data_len}, {} remain",
+                r.remaining()
+            )));
+        }
+        let data_start = r.position();
+        // Validate every sample lies inside the data section.
+        for (ti, t) in tracks.iter().enumerate() {
+            for (si, s) in t.samples.iter().enumerate() {
+                if s.offset + s.size as u64 > data_len as u64 {
+                    return Err(Error::Corrupt(format!(
+                        "sample {si} of track {ti} out of bounds"
+                    )));
+                }
+            }
+        }
+        Ok(Self { tracks, data: bytes, data_start })
+    }
+
+    /// Open and parse a container file.
+    pub fn open(path: &std::path::Path) -> Result<Self> {
+        Self::parse(std::fs::read(path)?)
+    }
+
+    /// The complete serialized container (what was parsed) — lets a
+    /// holder re-persist the file without re-muxing.
+    pub fn raw_bytes(&self) -> &[u8] {
+        &self.data
+    }
+
+    /// Track headers and sample tables.
+    pub fn tracks(&self) -> &[Track] {
+        &self.tracks
+    }
+
+    /// Index of the first track of `kind`, if any.
+    pub fn track_of_kind(&self, kind: TrackKind) -> Option<usize> {
+        self.tracks.iter().position(|t| t.kind == kind)
+    }
+
+    /// Random access to a sample's payload (offline mode).
+    pub fn sample(&self, track: usize, index: usize) -> Result<&[u8]> {
+        let t = self
+            .tracks
+            .get(track)
+            .ok_or_else(|| Error::NotFound(format!("track {track}")))?;
+        let s = t
+            .samples
+            .get(index)
+            .ok_or_else(|| Error::NotFound(format!("sample {index} of track {track}")))?;
+        let start = self.data_start + s.offset as usize;
+        Ok(&self.data[start..start + s.size as usize])
+    }
+
+    /// A forward-only cursor over a track (online mode: "video data is
+    /// exposed via a forward-only iterator with unknown total
+    /// duration", §3.2).
+    pub fn cursor(&self, track: usize) -> Result<SampleCursor<'_>> {
+        if track >= self.tracks.len() {
+            return Err(Error::NotFound(format!("track {track}")));
+        }
+        Ok(SampleCursor { container: self, track, next: 0 })
+    }
+}
+
+/// Forward-only sample cursor. Deliberately exposes no seek or length
+/// operations; online-mode consumers cannot peek ahead.
+#[derive(Debug)]
+pub struct SampleCursor<'a> {
+    container: &'a Container,
+    track: usize,
+    next: usize,
+}
+
+impl<'a> SampleCursor<'a> {
+    /// The next sample, or `None` at end of track.
+    #[allow(clippy::should_implement_trait)]
+    pub fn next_sample(&mut self) -> Option<(SampleInfo, &'a [u8])> {
+        let t = &self.container.tracks[self.track];
+        let info = *t.samples.get(self.next)?;
+        let data = self.container.sample(self.track, self.next).ok()?;
+        self.next += 1;
+        Some((info, data))
+    }
+}
+
+#[cfg(test)]
+mod robustness_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Arbitrary bytes must never panic the demuxer.
+        #[test]
+        fn prop_garbage_never_panics(data in proptest::collection::vec(any::<u8>(), 0..2048)) {
+            let _ = Container::parse(data);
+        }
+    }
+
+    #[test]
+    fn bit_flips_in_valid_containers_never_panic() {
+        use crate::ContainerWriter;
+        let mut w = ContainerWriter::new();
+        let t = w.add_track(crate::TrackKind::Video, b"config".to_vec());
+        for i in 0..4u64 {
+            w.push_sample(t, &[i as u8; 40], vr_base::Timestamp::from_micros(i * 1000), i == 0);
+        }
+        let bytes = w.finish();
+        for pos in (0..bytes.len()).step_by(7) {
+            let mut mutated = bytes.clone();
+            mutated[pos] ^= 0xFF;
+            let _ = Container::parse(mutated); // must not panic
+        }
+        // Truncations at every length must not panic either.
+        for len in (0..bytes.len()).step_by(11) {
+            let _ = Container::parse(bytes[..len].to_vec());
+        }
+    }
+}

@@ -1,0 +1,266 @@
+//! The `visualroad` command-line tool: generate datasets, run the
+//! benchmark, and inspect results without writing Rust.
+//!
+//! ```text
+//! visualroad presets
+//! visualroad generate --scale 2 --res 192x108 --duration 1.0 --seed 7 --out /tmp/vr
+//! visualroad run --engine functional --queries Q1,Q2a,Q2c --scale 1 --duration 0.5
+//! visualroad run --engine all --full-suite --scale 1
+//! ```
+
+use visual_road::prelude::*;
+use visual_road::storage::FlatStore;
+use visual_road::vdbms::QueryKind;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let code = match args.first().map(String::as_str) {
+        Some("presets") => cmd_presets(),
+        Some("generate") => cmd_generate(&args[1..]),
+        Some("run") => cmd_run(&args[1..]),
+        _ => {
+            print_usage();
+            2
+        }
+    };
+    std::process::exit(code);
+}
+
+fn print_usage() {
+    eprintln!(
+        "visualroad — the Visual Road VDBMS benchmark
+
+USAGE:
+  visualroad presets
+      List the paper's pregenerated dataset configurations (Table 2).
+
+  visualroad generate [--scale L] [--res WxH] [--duration SECS] [--seed S]
+                      [--density D] [--nodes N] [--out DIR]
+      Generate a dataset; with --out, write the .vrmf containers there.
+
+  visualroad run [--engine NAME|all] [--queries Q1,Q2a,...|--full-suite]
+                 [--scale L] [--res WxH] [--duration SECS] [--seed S]
+                 [--batch N] [--online SPEEDUP] [--write DIR] [--no-validate]
+      Generate a dataset and drive the chosen engine(s) through the
+      benchmark, printing the report.
+
+ENGINES: reference | batch | functional | cascade | all
+QUERIES: Q1 Q2a Q2b Q2c Q2d Q3 Q4 Q5 Q6a Q6b Q7 Q8 Q9 Q10"
+    );
+}
+
+/// Tiny flag parser: `--name value` pairs plus boolean flags.
+struct Flags(Vec<(String, Option<String>)>);
+
+impl Flags {
+    fn parse(args: &[String]) -> Result<Self, String> {
+        let mut out = Vec::new();
+        let mut it = args.iter().peekable();
+        while let Some(flag) = it.next() {
+            let Some(name) = flag.strip_prefix("--") else {
+                return Err(format!("unexpected argument {flag:?}"));
+            };
+            let value = match it.peek() {
+                Some(v) if !v.starts_with("--") => Some(it.next().unwrap().clone()),
+                _ => None,
+            };
+            out.push((name.to_string(), value));
+        }
+        Ok(Self(out))
+    }
+
+    fn get(&self, name: &str) -> Option<&str> {
+        self.0
+            .iter()
+            .find(|(n, _)| n == name)
+            .and_then(|(_, v)| v.as_deref())
+    }
+
+    fn has(&self, name: &str) -> bool {
+        self.0.iter().any(|(n, _)| n == name)
+    }
+
+    fn parsed<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("bad value for --{name}: {v:?}")),
+        }
+    }
+}
+
+fn parse_res(flags: &Flags, default: Resolution) -> Result<Resolution, String> {
+    match flags.get("res") {
+        None => Ok(default),
+        Some(v) => {
+            let (w, h) = v.split_once('x').ok_or_else(|| format!("--res wants WxH, got {v:?}"))?;
+            Ok(Resolution::new(
+                w.parse().map_err(|_| format!("bad width {w:?}"))?,
+                h.parse().map_err(|_| format!("bad height {h:?}"))?,
+            ))
+        }
+    }
+}
+
+fn hyper_from(flags: &Flags) -> Result<Hyperparameters, String> {
+    let scale = flags.parsed("scale", 1u32)?;
+    let res = parse_res(flags, Resolution::new(192, 108))?;
+    let duration = Duration::from_secs(flags.parsed("duration", 1.0f64)?);
+    let seed = flags.parsed("seed", 0u64)?;
+    Hyperparameters::new(scale, res, duration, seed).map_err(|e| e.to_string())
+}
+
+fn cmd_presets() -> i32 {
+    println!("{:<10} {:>3} {:>12} {:>10}", "name", "L", "resolution", "duration");
+    for p in &visual_road::base::presets::PRESETS {
+        println!(
+            "{:<10} {:>3} {:>12} {:>9}m",
+            p.name,
+            p.scale,
+            p.resolution.to_string(),
+            p.duration_mins
+        );
+    }
+    0
+}
+
+fn cmd_generate(args: &[String]) -> i32 {
+    let flags = match Flags::parse(args) {
+        Ok(f) => f,
+        Err(e) => return fail(&e),
+    };
+    let hyper = match hyper_from(&flags) {
+        Ok(h) => h,
+        Err(e) => return fail(&e),
+    };
+    let cfg = GenConfig {
+        density_scale: flags.parsed("density", 0.15f64).unwrap_or(0.15),
+        nodes: flags.parsed("nodes", 1usize).unwrap_or(1),
+        ..Default::default()
+    };
+    eprintln!(
+        "generating L={} R={} t={} seed={} ...",
+        hyper.scale, hyper.resolution, hyper.duration, hyper.seed
+    );
+    let t0 = std::time::Instant::now();
+    let dataset = match Vcg::new(cfg).generate(&hyper) {
+        Ok(d) => d,
+        Err(e) => return fail(&e.to_string()),
+    };
+    println!(
+        "generated {} videos / {} frames / {:.1} KiB in {:.2}s",
+        dataset.videos.len(),
+        dataset.total_frames(),
+        dataset.total_bytes() as f64 / 1024.0,
+        t0.elapsed().as_secs_f64()
+    );
+    if let Some(dir) = flags.get("out") {
+        let store = match FlatStore::open(dir) {
+            Ok(s) => s,
+            Err(e) => return fail(&e.to_string()),
+        };
+        if let Err(e) = dataset.write_to_store(&store) {
+            return fail(&e.to_string());
+        }
+        println!("wrote {} files to {dir}", dataset.videos.len());
+    }
+    0
+}
+
+fn parse_queries(flags: &Flags) -> Result<Vec<QueryKind>, String> {
+    if flags.has("full-suite") {
+        return Ok(QueryKind::ALL.to_vec());
+    }
+    let Some(spec) = flags.get("queries") else {
+        return Ok(vec![QueryKind::Q1Select, QueryKind::Q2aGrayscale]);
+    };
+    spec.split(',')
+        .map(|q| {
+            let q = q.trim().to_ascii_uppercase();
+            QueryKind::ALL
+                .iter()
+                .find(|k| {
+                    k.label().replace(['(', ')'], "").to_ascii_uppercase() == q
+                        || k.label().to_ascii_uppercase() == q
+                })
+                .copied()
+                .ok_or_else(|| format!("unknown query {q:?}"))
+        })
+        .collect()
+}
+
+fn engines_from(name: &str) -> Result<Vec<Box<dyn Vdbms>>, String> {
+    Ok(match name {
+        "reference" => vec![Box::new(ReferenceEngine::new())],
+        "batch" => vec![Box::new(BatchEngine::new())],
+        "functional" => vec![Box::new(FunctionalEngine::new())],
+        "cascade" => vec![Box::new(CascadeEngine::new())],
+        "all" => vec![
+            Box::new(ReferenceEngine::new()),
+            Box::new(BatchEngine::new()),
+            Box::new(FunctionalEngine::new()),
+            Box::new(CascadeEngine::new()),
+        ],
+        other => return Err(format!("unknown engine {other:?}")),
+    })
+}
+
+fn cmd_run(args: &[String]) -> i32 {
+    let flags = match Flags::parse(args) {
+        Ok(f) => f,
+        Err(e) => return fail(&e),
+    };
+    let hyper = match hyper_from(&flags) {
+        Ok(h) => h,
+        Err(e) => return fail(&e),
+    };
+    let queries = match parse_queries(&flags) {
+        Ok(q) => q,
+        Err(e) => return fail(&e),
+    };
+    let mut engines = match engines_from(flags.get("engine").unwrap_or("reference")) {
+        Ok(e) => e,
+        Err(e) => return fail(&e),
+    };
+
+    eprintln!("generating dataset ...");
+    let dataset = match Vcg::new(GenConfig::default()).generate(&hyper) {
+        Ok(d) => d,
+        Err(e) => return fail(&e.to_string()),
+    };
+
+    let mut cfg = VcdConfig {
+        validate: !flags.has("no-validate"),
+        ..Default::default()
+    };
+    if let Some(n) = flags.get("batch") {
+        match n.parse() {
+            Ok(n) => cfg.batch_size = Some(n),
+            Err(_) => return fail("--batch wants a number"),
+        }
+    }
+    if let Some(s) = flags.get("online") {
+        match s.parse() {
+            Ok(speedup) => cfg.mode = ExecutionMode::Online { speedup },
+            Err(_) => return fail("--online wants a speedup factor"),
+        }
+    }
+    if let Some(dir) = flags.get("write") {
+        match FlatStore::open(dir) {
+            Ok(store) => cfg.write_store = Some(store),
+            Err(e) => return fail(&e.to_string()),
+        }
+    }
+    let vcd = Vcd::new(&dataset, cfg);
+    for engine in engines.iter_mut() {
+        match vcd.run_queries(engine.as_mut(), &queries) {
+            Ok(report) => println!("{report}"),
+            Err(e) => return fail(&e.to_string()),
+        }
+    }
+    0
+}
+
+fn fail(msg: &str) -> i32 {
+    eprintln!("error: {msg}");
+    1
+}

@@ -1,0 +1,104 @@
+//! Random caption generation for Q6(b).
+//!
+//! "The VCD randomly generates the WebVTT file and randomly varies
+//! position and nonoverlapping duration of each annotation." (§4.1)
+
+use vr_base::{Duration, Timestamp, VrRng};
+use vr_vtt::{Cue, WebVtt};
+
+/// Phrases captions are assembled from (street-scene flavored, using
+/// only glyphs the bitmap font renders).
+const WORDS: &[&str] = &[
+    "TRAFFIC", "CAMERA", "NORTH", "SOUTH", "EAST", "WEST", "AVENUE", "MAIN", "JUNCTION",
+    "SIGNAL", "CLEAR", "BUSY", "ALERT", "SPEED", "ZONE", "LANE", "EXIT", "ROUTE", "PLAZA",
+    "BRIDGE",
+];
+
+/// Generate a WebVTT document with nonoverlapping cues spanning
+/// `duration`, each with random `line`/`position` settings.
+pub fn generate_captions(rng: &mut VrRng, duration: Duration) -> WebVtt {
+    let total_us = duration.as_micros().max(400_000);
+    let mut cues = Vec::new();
+    let mut cursor = 0u64;
+    let mut id = 1u32;
+    while cursor + 300_000 < total_us {
+        // Gap, then a cue of 0.3–3 s (clamped to what remains).
+        // WebVTT timestamps carry millisecond precision; keep cue
+        // boundaries on milliseconds so serialize/parse round-trips.
+        let gap = rng.range_u64(0, 400) * 1000;
+        let start = ((cursor + gap).min(total_us - 300_000) / 1000) * 1000;
+        let max_len = (total_us - start).min(3_000_000);
+        let len = (rng.range_u64(300_000, max_len.max(300_001)) / 1000) * 1000;
+        let n_words = rng.range(1, 3);
+        let text: Vec<&str> =
+            (0..n_words).map(|_| *rng.choose(WORDS)).collect();
+        cues.push(Cue {
+            id: Some(id.to_string()),
+            start: Timestamp::from_micros(start),
+            end: Timestamp::from_micros(start + len),
+            line_pct: Some(rng.range(5, 90) as u8),
+            position_pct: Some(rng.range(10, 90) as u8),
+            text: text.join(" "),
+        });
+        id += 1;
+        cursor = start + len;
+    }
+    if cues.is_empty() {
+        // Very short videos still get one cue so Q6(b) is non-trivial.
+        cues.push(Cue {
+            id: Some("1".into()),
+            start: Timestamp::ZERO,
+            end: Timestamp::from_micros((total_us / 1000) * 1000),
+            line_pct: Some(80),
+            position_pct: Some(50),
+            text: "CAMERA".into(),
+        });
+    }
+    WebVtt { cues }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cues_are_nonoverlapping_and_in_range() {
+        let mut rng = VrRng::seed_from(1);
+        let duration = Duration::from_secs(30.0);
+        let doc = generate_captions(&mut rng, duration);
+        assert!(!doc.cues.is_empty());
+        for w in doc.cues.windows(2) {
+            assert!(w[0].end <= w[1].start, "cues overlap: {w:?}");
+        }
+        for c in &doc.cues {
+            assert!(c.end.as_micros() <= duration.as_micros());
+            assert!(c.start < c.end);
+            assert!(c.line_pct.is_some() && c.position_pct.is_some());
+            assert!(!c.text.is_empty());
+        }
+    }
+
+    #[test]
+    fn serialized_document_parses_back() {
+        let mut rng = VrRng::seed_from(2);
+        let doc = generate_captions(&mut rng, Duration::from_secs(10.0));
+        let text = doc.serialize();
+        let parsed = WebVtt::parse(&text).unwrap();
+        assert_eq!(parsed, doc);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let mut a = VrRng::seed_from(3);
+        let mut b = VrRng::seed_from(3);
+        let d = Duration::from_secs(20.0);
+        assert_eq!(generate_captions(&mut a, d), generate_captions(&mut b, d));
+    }
+
+    #[test]
+    fn very_short_video_still_gets_a_cue() {
+        let mut rng = VrRng::seed_from(4);
+        let doc = generate_captions(&mut rng, Duration::from_secs(0.2));
+        assert_eq!(doc.cues.len(), 1);
+    }
+}

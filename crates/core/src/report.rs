@@ -1,0 +1,238 @@
+//! Benchmark result reporting.
+//!
+//! "When reporting results, an evaluator must report validation
+//! descriptive statistics for each query. For queries executed in
+//! online mode, this should be reported in frames per second. A VDBMS
+//! executing offline analytical queries should report total query
+//! runtime or frames per second." (§3.2)
+
+use std::fmt;
+use std::time::Duration as WallDuration;
+use vr_frame::metrics::PsnrStats;
+use vr_vdbms::QueryKind;
+
+/// Validation outcome for a query batch.
+#[derive(Debug, Clone, Default)]
+pub struct ValidationSummary {
+    /// Per-frame PSNR statistics against the reference output (frame
+    /// validation), aggregated over the batch.
+    pub psnr: Option<PsnrStats>,
+    /// Fraction of engine-reported boxes matching the reference boxes
+    /// at IoU ≥ 0.5 (semantic validation, Q2c/Q2d/Q8).
+    pub semantic_agreement: Option<f64>,
+    /// Fraction of ground-truth-visible objects the engine reported
+    /// (informational; algorithm quality is out of the benchmark's
+    /// scope, §4).
+    pub ground_truth_recall: Option<f64>,
+    /// F1 score of the engine's boxes against scene-geometry ground
+    /// truth — the figure §4 says benchmark users "could be required
+    /// to publish" if algorithm selection becomes a concern.
+    pub ground_truth_f1: Option<f64>,
+    /// Whether the batch validates under the benchmark's thresholds.
+    pub passed: bool,
+}
+
+/// Outcome of one query's batch on one engine.
+#[derive(Debug, Clone)]
+pub enum QueryStatus {
+    /// Executed to completion.
+    Completed {
+        /// Wall-clock time for the whole batch.
+        runtime: WallDuration,
+        /// Input frames processed across the batch.
+        frames: usize,
+        /// Frames per second (the online-mode reporting unit).
+        fps: f64,
+        /// Bytes persisted (write mode) across the batch.
+        bytes_written: usize,
+        validation: ValidationSummary,
+    },
+    /// The engine cannot express the query (reported as N/A, like
+    /// NoScope on Q3–Q10).
+    Unsupported,
+    /// The engine failed at runtime (like Scanner on Q4).
+    Failed { error: String },
+}
+
+/// One query's report row.
+#[derive(Debug, Clone)]
+pub struct QueryReport {
+    pub kind: QueryKind,
+    /// Instances in the batch (4·L).
+    pub batch_size: usize,
+    pub status: QueryStatus,
+}
+
+impl QueryReport {
+    /// Runtime, if completed.
+    pub fn runtime(&self) -> Option<WallDuration> {
+        match &self.status {
+            QueryStatus::Completed { runtime, .. } => Some(*runtime),
+            _ => None,
+        }
+    }
+
+    /// Frames per second, if completed.
+    pub fn fps(&self) -> Option<f64> {
+        match &self.status {
+            QueryStatus::Completed { fps, .. } => Some(*fps),
+            _ => None,
+        }
+    }
+}
+
+/// A full benchmark run on one engine.
+#[derive(Debug, Clone)]
+pub struct BenchmarkReport {
+    /// Engine name.
+    pub engine: String,
+    /// Global election: scale factor (§3.2).
+    pub scale: u32,
+    /// Global election: resolution.
+    pub resolution: String,
+    /// Global election: duration in seconds.
+    pub duration_secs: f64,
+    /// Global election: execution mode.
+    pub mode: String,
+    pub queries: Vec<QueryReport>,
+}
+
+impl BenchmarkReport {
+    /// The report row for a query, if that query ran.
+    pub fn query(&self, kind: QueryKind) -> Option<&QueryReport> {
+        self.queries.iter().find(|q| q.kind == kind)
+    }
+
+    /// Total runtime across completed queries.
+    pub fn total_runtime(&self) -> WallDuration {
+        self.queries.iter().filter_map(|q| q.runtime()).sum()
+    }
+}
+
+impl fmt::Display for BenchmarkReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Visual Road {} — engine: {} (L={}, R={}, t={:.1}s, {})",
+            crate::BENCHMARK_VERSION,
+            self.engine,
+            self.scale,
+            self.resolution,
+            self.duration_secs,
+            self.mode
+        )?;
+        writeln!(
+            f,
+            "{:<7} {:>6} {:>12} {:>10} {:>9}  {}",
+            "query", "batch", "runtime", "fps", "psnr", "verdict"
+        )?;
+        for q in &self.queries {
+            match &q.status {
+                QueryStatus::Completed { runtime, fps, validation, .. } => {
+                    let psnr = validation
+                        .psnr
+                        .map(|p| format!("{:.1}dB", p.mean))
+                        .unwrap_or_else(|| "-".into());
+                    let verdict = if validation.passed { "PASS" } else { "CHECK" };
+                    writeln!(
+                        f,
+                        "{:<7} {:>6} {:>11.3}s {:>10.1} {:>9}  {}",
+                        q.kind.label(),
+                        q.batch_size,
+                        runtime.as_secs_f64(),
+                        fps,
+                        psnr,
+                        verdict
+                    )?;
+                }
+                QueryStatus::Unsupported => {
+                    writeln!(
+                        f,
+                        "{:<7} {:>6} {:>12} {:>10} {:>9}  N/A (unsupported)",
+                        q.kind.label(),
+                        q.batch_size,
+                        "-",
+                        "-",
+                        "-"
+                    )?;
+                }
+                QueryStatus::Failed { error } => {
+                    writeln!(
+                        f,
+                        "{:<7} {:>6} {:>12} {:>10} {:>9}  FAILED: {}",
+                        q.kind.label(),
+                        q.batch_size,
+                        "-",
+                        "-",
+                        "-",
+                        error
+                    )?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_report() -> BenchmarkReport {
+        BenchmarkReport {
+            engine: "reference".into(),
+            scale: 2,
+            resolution: "192x108".into(),
+            duration_secs: 1.0,
+            mode: "offline/streaming".into(),
+            queries: vec![
+                QueryReport {
+                    kind: QueryKind::Q1Select,
+                    batch_size: 8,
+                    status: QueryStatus::Completed {
+                        runtime: WallDuration::from_millis(1500),
+                        frames: 240,
+                        fps: 160.0,
+                        bytes_written: 0,
+                        validation: ValidationSummary {
+                            psnr: PsnrStats::from_values(&[55.0, 60.0]),
+                            semantic_agreement: None,
+                            ground_truth_recall: None,
+                            ground_truth_f1: None,
+                            passed: true,
+                        },
+                    },
+                },
+                QueryReport {
+                    kind: QueryKind::Q4Upsample,
+                    batch_size: 8,
+                    status: QueryStatus::Failed { error: "resource exhausted".into() },
+                },
+                QueryReport {
+                    kind: QueryKind::Q9PanoramicStitching,
+                    batch_size: 8,
+                    status: QueryStatus::Unsupported,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn display_renders_all_statuses() {
+        let text = sample_report().to_string();
+        assert!(text.contains("Q1"));
+        assert!(text.contains("PASS"));
+        assert!(text.contains("FAILED: resource exhausted"));
+        assert!(text.contains("N/A (unsupported)"));
+        assert!(text.contains("L=2"));
+    }
+
+    #[test]
+    fn accessors() {
+        let r = sample_report();
+        assert!(r.query(QueryKind::Q1Select).unwrap().fps().unwrap() > 100.0);
+        assert!(r.query(QueryKind::Q4Upsample).unwrap().runtime().is_none());
+        assert!(r.query(QueryKind::Q2aGrayscale).is_none());
+        assert_eq!(r.total_runtime(), WallDuration::from_millis(1500));
+    }
+}

@@ -1,0 +1,458 @@
+//! The Visual City Generator (§3.1, §5).
+//!
+//! Accepts the four hyperparameters `{L, R, t, s}`, constructs a
+//! Visual City, renders every camera, encodes the frames, and muxes
+//! one container per video stream:
+//!
+//! * **video track** — codec packets (H264-like or HEVC-like profile);
+//! * **captions track** — a randomly-generated WebVTT document (Q6b);
+//! * **metadata track** — one sample per frame holding the serialized
+//!   reference bounding boxes (the precomputed `B` of Q6a).
+//!
+//! Generation supports single-node and "distributed" modes; in
+//! distributed mode tiles are rendered by a pool of worker threads
+//! (the EC2-node analogue — per-tile generation is embarrassingly
+//! parallel, which is exactly what Figure 9 measures). Output is
+//! bit-identical across node counts.
+
+use crate::captions::generate_captions;
+use crate::dataset::{Dataset, VideoMeta, VideoRole};
+use vr_base::{FrameRate, Hyperparameters, Result, Timestamp, VrRng};
+use vr_codec::{Encoder, EncoderConfig, Profile, RateControlMode};
+use vr_container::{ContainerWriter, TrackKind};
+use vr_frame::Frame;
+use vr_render::render_camera_frame;
+use vr_scene::{CityCamera, VisualCity};
+use vr_vdbms::kernels::{serialize_boxes, stitch_equirect};
+use vr_vdbms::query::FaceParams;
+use vr_vdbms::{InputVideo, OutputBox};
+
+/// Generator configuration (knobs *around* the benchmark
+/// hyperparameters — scaling controls and implementation choices that
+/// are reported alongside results).
+#[derive(Debug, Clone)]
+pub struct GenConfig {
+    /// Entity-density scale (1.0 = the paper's per-tile populations;
+    /// in-session runs default lighter).
+    pub density_scale: f64,
+    /// Worker "nodes" for distributed generation (1 = single node).
+    pub nodes: usize,
+    /// Codec profile for input videos.
+    pub profile: Profile,
+    /// Encode QP for input videos.
+    pub input_qp: u8,
+    /// Camera capture rate.
+    pub frame_rate: FrameRate,
+    /// Whether to also produce the pre-stitched 360° videos Q10
+    /// consumes.
+    pub generate_panoramas: bool,
+    /// Extra procedurally-generated tile layouts added to the pool
+    /// (0 = the paper's 72-tile pool; the future-work extension).
+    pub procedural_tile_variants: u8,
+}
+
+impl Default for GenConfig {
+    fn default() -> Self {
+        Self {
+            density_scale: 0.15,
+            nodes: 1,
+            profile: Profile::H264Like,
+            input_qp: 20,
+            frame_rate: FrameRate::STANDARD,
+            generate_panoramas: true,
+            procedural_tile_variants: 0,
+        }
+    }
+}
+
+/// The Visual City Generator.
+pub struct Vcg {
+    cfg: GenConfig,
+}
+
+impl Vcg {
+    /// Create a generator.
+    pub fn new(cfg: GenConfig) -> Self {
+        Self { cfg }
+    }
+
+    /// Generate a dataset single-threaded, recording each camera
+    /// stream's wall-clock generation time. Used by the Figure 9
+    /// reproduction to compute per-node-count makespans on machines
+    /// without enough cores to run the worker threads truly in
+    /// parallel (per-camera generation is fully independent, so the
+    /// makespan of a partition is exactly what a node cluster would
+    /// take).
+    pub fn generate_with_timings(
+        &self,
+        hyper: &Hyperparameters,
+    ) -> Result<(Dataset, Vec<std::time::Duration>)> {
+        let single = Vcg::new(GenConfig { nodes: 1, ..self.cfg.clone() });
+        let city = VisualCity::generate_extended(
+            hyper,
+            single.cfg.density_scale,
+            single.cfg.procedural_tile_variants,
+        );
+        let mut videos = Vec::new();
+        let mut meta = Vec::new();
+        let mut timings = Vec::new();
+        for cam in city.cameras() {
+            let t0 = std::time::Instant::now();
+            let (v, m) = generate_camera_video(&city, cam, hyper, &single.cfg)?;
+            timings.push(t0.elapsed());
+            videos.push(v);
+            meta.push(m);
+        }
+        if single.cfg.generate_panoramas {
+            for (rig, faces) in collect_rig_faces(&meta) {
+                let (video, m) =
+                    generate_panorama(&videos, &meta, rig, faces, &city, single.cfg.input_qp)?;
+                videos.push(video);
+                meta.push(m);
+            }
+        }
+        Ok((
+            Dataset {
+                hyper: *hyper,
+                city,
+                videos,
+                meta,
+                density_scale: single.cfg.density_scale,
+            },
+            timings,
+        ))
+    }
+
+    /// Generate a complete dataset.
+    pub fn generate(&self, hyper: &Hyperparameters) -> Result<Dataset> {
+        let city = VisualCity::generate_extended(
+            hyper,
+            self.cfg.density_scale,
+            self.cfg.procedural_tile_variants,
+        );
+        let cameras: Vec<CityCamera> = city.cameras().to_vec();
+        let nodes = self.cfg.nodes.max(1).min(cameras.len().max(1));
+
+        // Per-camera video generation is independent; shard cameras
+        // over "nodes". Results are written into a preallocated slot
+        // vector so the output order (and content) is identical for
+        // any node count.
+        let mut slots: Vec<Option<(InputVideo, VideoMeta)>> = Vec::new();
+        slots.resize_with(cameras.len(), || None);
+        let slot_chunks = shard_slots(&mut slots, &cameras, nodes);
+        std::thread::scope(|s| -> Result<()> {
+            let mut handles = Vec::new();
+            for (cam_shard, slot_shard) in slot_chunks {
+                let city = &city;
+                let cfg = &self.cfg;
+                handles.push(s.spawn(move || -> Result<()> {
+                    for (cam, slot) in cam_shard.iter().zip(slot_shard) {
+                        *slot = Some(generate_camera_video(city, cam, hyper, cfg)?);
+                    }
+                    Ok(())
+                }));
+            }
+            for h in handles {
+                h.join().expect("generator worker panicked")?;
+            }
+            Ok(())
+        })?;
+        let mut videos = Vec::with_capacity(slots.len());
+        let mut meta = Vec::with_capacity(slots.len());
+        for slot in slots {
+            let (v, m) = slot.expect("every camera slot filled");
+            videos.push(v);
+            meta.push(m);
+        }
+
+        // Derived 360° panoramas (stitched from the face videos with
+        // the reference stitcher).
+        if self.cfg.generate_panoramas {
+            let rig_faces = collect_rig_faces(&meta);
+            for (rig, face_indices) in rig_faces {
+                let (video, m) =
+                    generate_panorama(&videos, &meta, rig, face_indices, &city, self.cfg.input_qp)?;
+                videos.push(video);
+                meta.push(m);
+            }
+        }
+
+        Ok(Dataset {
+            hyper: *hyper,
+            city,
+            videos,
+            meta,
+            density_scale: self.cfg.density_scale,
+        })
+    }
+}
+
+/// Split the slot vector into per-node shards (round-robin by
+/// contiguous chunks).
+#[allow(clippy::type_complexity)]
+fn shard_slots<'a>(
+    slots: &'a mut [Option<(InputVideo, VideoMeta)>],
+    cameras: &'a [CityCamera],
+    nodes: usize,
+) -> Vec<(&'a [CityCamera], &'a mut [Option<(InputVideo, VideoMeta)>])> {
+    let chunk = cameras.len().div_ceil(nodes).max(1);
+    cameras.chunks(chunk).zip(slots.chunks_mut(chunk)).collect()
+}
+
+/// Render, encode, and mux one camera's stream.
+fn generate_camera_video(
+    city: &VisualCity,
+    cam: &CityCamera,
+    hyper: &Hyperparameters,
+    cfg: &GenConfig,
+) -> Result<(InputVideo, VideoMeta)> {
+    let (w, h) = (hyper.resolution.width, hyper.resolution.height);
+    let frames = hyper.duration.frames(cfg.frame_rate).max(1);
+    let enc_cfg = EncoderConfig {
+        profile: cfg.profile,
+        rate: RateControlMode::ConstantQp(cfg.input_qp),
+        gop: cfg.frame_rate.0,
+        frame_rate: cfg.frame_rate,
+    };
+    let mut encoder = Encoder::new(enc_cfg, w, h)?;
+    let mut writer = ContainerWriter::new();
+    let video_track = writer.add_track(TrackKind::Video, encoder.info().serialize());
+
+    // Captions (traffic cameras only — panoramic faces feed Q9).
+    let caption_track = if cam.kind == vr_base::CameraKind::Traffic {
+        Some(writer.add_track(TrackKind::Captions, Vec::new()))
+    } else {
+        None
+    };
+    let boxes_track = if cam.kind == vr_base::CameraKind::Traffic {
+        Some(writer.add_track(TrackKind::Metadata, Vec::new()))
+    } else {
+        None
+    };
+
+    for i in 0..frames {
+        let t = i as f64 * cfg.frame_rate.frame_interval_secs();
+        let frame = render_camera_frame(city, cam, t, w, h);
+        let packet = encoder.encode(&frame)?;
+        let ts = Timestamp::of_frame(i, cfg.frame_rate);
+        writer.push_sample(video_track, &packet.data, ts, packet.keyframe);
+        if let Some(bt) = boxes_track {
+            let truth = vr_scene::groundtruth::frame_truth(city, cam, t, w, h);
+            let boxes: Vec<OutputBox> = truth
+                .objects
+                .iter()
+                .filter(|o| !o.occluded)
+                .map(|o| OutputBox { class: o.class, rect: o.rect })
+                .collect();
+            writer.push_sample(bt, &serialize_boxes(&boxes), ts, true);
+        }
+    }
+    if let Some(ct) = caption_track {
+        let mut rng = VrRng::seed_from(vr_base::rng::mix64(hyper.seed, 0xCA90 ^ cam.id.0 as u64));
+        let doc = generate_captions(&mut rng, hyper.duration);
+        writer.push_sample(ct, doc.serialize().as_bytes(), Timestamp::ZERO, true);
+    }
+
+    let name = format!("{}-{}.vrmf", cam.id, role_tag(cam));
+    let input = InputVideo::from_bytes(name, writer.finish())?;
+    let role = match cam.kind {
+        vr_base::CameraKind::Traffic => VideoRole::Traffic,
+        vr_base::CameraKind::PanoramicFace(face) => VideoRole::PanoramicFace {
+            rig: rig_index_of(city, cam),
+            face,
+        },
+    };
+    Ok((input, VideoMeta { camera: Some(cam.id), tile: cam.tile, role }))
+}
+
+fn role_tag(cam: &CityCamera) -> String {
+    match cam.kind {
+        vr_base::CameraKind::Traffic => "traffic".to_string(),
+        vr_base::CameraKind::PanoramicFace(f) => format!("pano-f{f}"),
+    }
+}
+
+/// Which rig (by city order) a panoramic face camera belongs to.
+fn rig_index_of(city: &VisualCity, cam: &CityCamera) -> usize {
+    city.panoramic_rigs()
+        .iter()
+        .position(|rig| rig.iter().any(|f| f.id == cam.id))
+        .expect("face camera belongs to a rig")
+}
+
+fn collect_rig_faces(meta: &[VideoMeta]) -> Vec<(usize, [usize; 4])> {
+    let mut rigs: std::collections::BTreeMap<usize, [usize; 4]> = Default::default();
+    for (i, m) in meta.iter().enumerate() {
+        if let VideoRole::PanoramicFace { rig, face } = m.role {
+            rigs.entry(rig).or_insert([usize::MAX; 4])[face as usize] = i;
+        }
+    }
+    rigs.into_iter().filter(|(_, f)| f.iter().all(|&i| i != usize::MAX)).collect()
+}
+
+/// Build the pre-stitched 360° video for one rig.
+fn generate_panorama(
+    videos: &[InputVideo],
+    meta: &[VideoMeta],
+    rig: usize,
+    faces: [usize; 4],
+    city: &VisualCity,
+    qp: u8,
+) -> Result<(InputVideo, VideoMeta)> {
+    let rigs = city.panoramic_rigs();
+    let rig_cams = rigs[rig];
+    let params: [FaceParams; 4] = std::array::from_fn(|i| FaceParams {
+        yaw: rig_cams[i].camera.yaw,
+        pitch: rig_cams[i].camera.pitch,
+        hfov_deg: rig_cams[i].camera.hfov_deg,
+    });
+    let mut decoded: Vec<Vec<Frame>> = Vec::with_capacity(4);
+    let mut info = None;
+    for &fi in &faces {
+        let (vi, frames) = vr_vdbms::kernels::decode_all(&videos[fi])?;
+        info.get_or_insert(vi);
+        decoded.push(frames);
+    }
+    let info = info.expect("four faces decoded");
+    let n = decoded.iter().map(|d| d.len()).min().unwrap_or(0);
+    let out_w = (info.width * 2).max(4) & !1;
+    let out_h = info.width.max(4) & !1;
+
+    let enc_cfg = EncoderConfig {
+        profile: info.profile,
+        rate: RateControlMode::ConstantQp(qp),
+        gop: info.gop,
+        frame_rate: info.frame_rate,
+    };
+    let mut encoder = Encoder::new(enc_cfg, out_w, out_h)?;
+    let mut writer = ContainerWriter::new();
+    let track = writer.add_track(TrackKind::Video, encoder.info().serialize());
+    for t in 0..n {
+        let face_frames: [Frame; 4] = std::array::from_fn(|i| decoded[i][t].clone());
+        let stitched = stitch_equirect(&face_frames, &params, out_w, out_h);
+        let packet = encoder.encode(&stitched)?;
+        writer.push_sample(
+            track,
+            &packet.data,
+            Timestamp::of_frame(t as u64, info.frame_rate),
+            packet.keyframe,
+        );
+    }
+    let tile = meta[faces[0]].tile;
+    let input = InputVideo::from_bytes(format!("pano360-rig{rig}.vrmf"), writer.finish())?;
+    Ok((input, VideoMeta { camera: None, tile, role: VideoRole::Panorama360 { rig } }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vr_base::{Duration, Resolution};
+
+    fn hyper(l: u32, seed: u64) -> Hyperparameters {
+        Hyperparameters::new(l, Resolution::new(96, 56), Duration::from_secs(0.3), seed)
+            .unwrap()
+    }
+
+    fn fast_cfg() -> GenConfig {
+        GenConfig { density_scale: 0.05, ..Default::default() }
+    }
+
+    #[test]
+    fn generates_expected_video_inventory() {
+        let ds = Vcg::new(fast_cfg()).generate(&hyper(2, 7)).unwrap();
+        // Per tile: 4 traffic + 4 faces; plus 1 panorama per rig.
+        assert_eq!(ds.traffic_indices().len(), 8);
+        assert_eq!(ds.rig_faces().len(), 2);
+        assert_eq!(ds.panorama_indices().len(), 2);
+        assert_eq!(ds.videos.len(), 2 * 8 + 2);
+        // Every video decodes and has the right frame count (0.3 s at
+        // 30 fps = 9 frames).
+        for idx in ds.traffic_indices() {
+            assert_eq!(ds.videos[idx].frame_count(), 9);
+            vr_vdbms::kernels::decode_all(&ds.videos[idx]).unwrap();
+        }
+        assert!(ds.total_frames() > 0);
+        assert!(ds.total_bytes() > 0);
+    }
+
+    #[test]
+    fn traffic_videos_carry_aux_tracks() {
+        let ds = Vcg::new(fast_cfg()).generate(&hyper(1, 8)).unwrap();
+        for idx in ds.traffic_indices() {
+            let v = &ds.videos[idx];
+            assert!(v.container.track_of_kind(TrackKind::Captions).is_some());
+            assert!(v.container.track_of_kind(TrackKind::Metadata).is_some());
+            // Caption track parses as WebVTT.
+            vr_vdbms::kernels::caption_track(v).unwrap();
+            // Box track parses for frame 0.
+            vr_vdbms::kernels::box_track(v, 0).unwrap();
+        }
+        // Panoramic faces don't.
+        for faces in ds.rig_faces() {
+            for fi in faces {
+                assert!(ds.videos[fi]
+                    .container
+                    .track_of_kind(TrackKind::Captions)
+                    .is_none());
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_across_node_counts() {
+        let single = Vcg::new(GenConfig { nodes: 1, ..fast_cfg() })
+            .generate(&hyper(2, 9))
+            .unwrap();
+        let multi = Vcg::new(GenConfig { nodes: 4, ..fast_cfg() })
+            .generate(&hyper(2, 9))
+            .unwrap();
+        assert_eq!(single.videos.len(), multi.videos.len());
+        for (a, b) in single.videos.iter().zip(&multi.videos) {
+            assert_eq!(a.name, b.name);
+            assert_eq!(
+                a.container.raw_bytes(),
+                b.container.raw_bytes(),
+                "distributed output must be bit-identical ({})",
+                a.name
+            );
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = Vcg::new(fast_cfg()).generate(&hyper(1, 1)).unwrap();
+        let b = Vcg::new(fast_cfg()).generate(&hyper(1, 2)).unwrap();
+        assert_ne!(
+            a.videos[0].container.raw_bytes(),
+            b.videos[0].container.raw_bytes()
+        );
+    }
+
+    #[test]
+    fn sample_context_reflects_city() {
+        let ds = Vcg::new(fast_cfg()).generate(&hyper(2, 10)).unwrap();
+        let ctx = ds.sample_context(2);
+        assert!(!ctx.known_plates.is_empty());
+        assert_eq!(ctx.rigs.len(), 2);
+        assert_eq!(ctx.max_upsample_exp, 2);
+    }
+
+    #[test]
+    fn store_round_trip() {
+        let ds = Vcg::new(GenConfig { generate_panoramas: false, ..fast_cfg() })
+            .generate(&hyper(1, 11))
+            .unwrap();
+        let store = vr_storage::FlatStore::temp("vcg-store").unwrap();
+        ds.write_to_store(&store).unwrap();
+        assert_eq!(store.list().unwrap().len(), ds.videos.len());
+        let mut ds2 = Vcg::new(GenConfig { generate_panoramas: false, ..fast_cfg() })
+            .generate(&hyper(1, 11))
+            .unwrap();
+        ds2.reload_videos(&store).unwrap();
+        assert_eq!(
+            ds.videos[0].container.raw_bytes(),
+            ds2.videos[0].container.raw_bytes()
+        );
+        store.destroy().unwrap();
+    }
+}

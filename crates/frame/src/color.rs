@@ -1,0 +1,128 @@
+//! Color types and BT.601 full-range RGB ↔ YUV conversion.
+
+/// A YUV color sample. `u`/`v` are offset-binary with 128 neutral.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Yuv {
+    pub y: u8,
+    pub u: u8,
+    pub v: u8,
+}
+
+/// An RGB color.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Rgb {
+    pub r: u8,
+    pub g: u8,
+    pub b: u8,
+}
+
+impl Rgb {
+    pub const BLACK: Rgb = Rgb { r: 0, g: 0, b: 0 };
+    pub const WHITE: Rgb = Rgb { r: 255, g: 255, b: 255 };
+
+    /// Construct from components.
+    pub const fn new(r: u8, g: u8, b: u8) -> Self {
+        Self { r, g, b }
+    }
+
+    /// Integer luma (same weights as [`rgb_to_yuv`]).
+    pub fn luma(&self) -> u8 {
+        ((77 * self.r as u32 + 150 * self.g as u32 + 29 * self.b as u32) >> 8) as u8
+    }
+}
+
+impl Yuv {
+    /// Construct from components.
+    pub const fn new(y: u8, u: u8, v: u8) -> Self {
+        Self { y, u, v }
+    }
+
+    /// Neutral gray at the given luma.
+    pub const fn gray(y: u8) -> Self {
+        Self { y, u: 128, v: 128 }
+    }
+}
+
+/// BT.601 full-range RGB → YUV using 8-bit fixed-point arithmetic.
+///
+/// Fixed-point (rather than float) keeps the conversion exactly
+/// reproducible across platforms, which the determinism tests rely on.
+pub fn rgb_to_yuv(c: Rgb) -> Yuv {
+    let (r, g, b) = (c.r as i32, c.g as i32, c.b as i32);
+    let y = (77 * r + 150 * g + 29 * b + 128) >> 8;
+    let u = ((-43 * r - 85 * g + 128 * b + 128) >> 8) + 128;
+    let v = ((128 * r - 107 * g - 21 * b + 128) >> 8) + 128;
+    Yuv { y: clamp(y), u: clamp(u), v: clamp(v) }
+}
+
+/// BT.601 full-range YUV → RGB using 8-bit fixed-point arithmetic.
+pub fn yuv_to_rgb(c: Yuv) -> Rgb {
+    let y = c.y as i32;
+    let u = c.u as i32 - 128;
+    let v = c.v as i32 - 128;
+    let r = y + ((359 * v + 128) >> 8);
+    let g = y - ((88 * u + 183 * v + 128) >> 8);
+    let b = y + ((454 * u + 128) >> 8);
+    Rgb { r: clamp(r), g: clamp(g), b: clamp(b) }
+}
+
+#[inline]
+fn clamp(v: i32) -> u8 {
+    v.clamp(0, 255) as u8
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primaries_have_expected_luma_order() {
+        let yr = rgb_to_yuv(Rgb::new(255, 0, 0)).y;
+        let yg = rgb_to_yuv(Rgb::new(0, 255, 0)).y;
+        let yb = rgb_to_yuv(Rgb::new(0, 0, 255)).y;
+        assert!(yg > yr && yr > yb, "luma order G > R > B violated: {yg} {yr} {yb}");
+    }
+
+    #[test]
+    fn black_and_white_map_to_extremes() {
+        assert_eq!(rgb_to_yuv(Rgb::BLACK), Yuv { y: 0, u: 128, v: 128 });
+        let w = rgb_to_yuv(Rgb::WHITE);
+        assert!(w.y >= 254);
+        assert!(w.u.abs_diff(128) <= 1 && w.v.abs_diff(128) <= 1);
+    }
+
+    #[test]
+    fn round_trip_error_is_small() {
+        let mut max_err = 0i32;
+        for r in (0..=255).step_by(15) {
+            for g in (0..=255).step_by(15) {
+                for b in (0..=255).step_by(15) {
+                    let c = Rgb::new(r as u8, g as u8, b as u8);
+                    let back = yuv_to_rgb(rgb_to_yuv(c));
+                    max_err = max_err
+                        .max((back.r as i32 - c.r as i32).abs())
+                        .max((back.g as i32 - c.g as i32).abs())
+                        .max((back.b as i32 - c.b as i32).abs());
+                }
+            }
+        }
+        assert!(max_err <= 4, "round-trip error {max_err}");
+    }
+
+    #[test]
+    fn gray_has_neutral_chroma() {
+        for v in [0u8, 50, 128, 200, 255] {
+            let c = rgb_to_yuv(Rgb::new(v, v, v));
+            assert!(c.u.abs_diff(128) <= 1, "u {} for gray {v}", c.u);
+            assert!(c.v.abs_diff(128) <= 1, "v {} for gray {v}", c.v);
+        }
+        assert_eq!(Yuv::gray(10), Yuv { y: 10, u: 128, v: 128 });
+    }
+
+    #[test]
+    fn luma_helper_matches_conversion() {
+        for c in [Rgb::new(10, 200, 30), Rgb::new(255, 128, 0), Rgb::new(3, 3, 250)] {
+            assert!(c.luma().abs_diff(rgb_to_yuv(c).y) <= 1);
+        }
+    }
+}

@@ -1,0 +1,337 @@
+//! The planar YUV 4:2:0 [`Frame`] and packed [`RgbImage`] types.
+
+use crate::color::{rgb_to_yuv, yuv_to_rgb, Rgb, Yuv};
+
+/// A planar YUV 4:2:0 frame.
+///
+/// * The luma plane `Y` has one sample per pixel.
+/// * The chroma planes `U`/`V` each have one sample per 2×2 pixel
+///   block, so width and height must be even.
+/// * Neutral chroma is 128; the paper's "drop the chroma channels"
+///   (Q2a) therefore maps to setting U = V = 128.
+///
+/// The "null" sentinel color ω used by Q2(c)/Q6 (§4.1) is pure black:
+/// `Y = 0, U = 128, V = 128`.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Frame {
+    width: u32,
+    height: u32,
+    /// Y plane, `width * height` samples, row-major.
+    pub y: Vec<u8>,
+    /// U plane, `(width/2) * (height/2)` samples.
+    pub u: Vec<u8>,
+    /// V plane, `(width/2) * (height/2)` samples.
+    pub v: Vec<u8>,
+}
+
+impl std::fmt::Debug for Frame {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Frame")
+            .field("width", &self.width)
+            .field("height", &self.height)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Frame {
+    /// The ω sentinel (§4.1): pure black.
+    pub const OMEGA: Yuv = Yuv { y: 0, u: 128, v: 128 };
+
+    /// Allocate a black frame. Panics if either dimension is odd or
+    /// zero (4:2:0 chroma requires even dimensions).
+    pub fn new(width: u32, height: u32) -> Self {
+        assert!(width >= 2 && height >= 2, "frame dimensions must be >= 2");
+        assert!(width % 2 == 0 && height % 2 == 0, "4:2:0 frames need even dimensions");
+        let luma = (width * height) as usize;
+        let chroma = luma / 4;
+        Self {
+            width,
+            height,
+            y: vec![0; luma],
+            u: vec![128; chroma],
+            v: vec![128; chroma],
+        }
+    }
+
+    /// A frame filled with a uniform color.
+    pub fn filled(width: u32, height: u32, color: Yuv) -> Self {
+        let mut f = Self::new(width, height);
+        f.y.fill(color.y);
+        f.u.fill(color.u);
+        f.v.fill(color.v);
+        f
+    }
+
+    /// Frame width in pixels.
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Frame height in pixels.
+    pub fn height(&self) -> u32 {
+        self.height
+    }
+
+    /// `(width, height)` of the chroma planes.
+    pub fn chroma_dims(&self) -> (u32, u32) {
+        (self.width / 2, self.height / 2)
+    }
+
+    /// Luma sample at `(x, y)`.
+    #[inline]
+    pub fn get_y(&self, x: u32, y: u32) -> u8 {
+        debug_assert!(x < self.width && y < self.height);
+        self.y[(y * self.width + x) as usize]
+    }
+
+    /// Set the luma sample at `(x, y)`.
+    #[inline]
+    pub fn set_y(&mut self, x: u32, y: u32, v: u8) {
+        debug_assert!(x < self.width && y < self.height);
+        self.y[(y * self.width + x) as usize] = v;
+    }
+
+    /// U sample at chroma coordinates `(cx, cy)`.
+    #[inline]
+    pub fn get_u(&self, cx: u32, cy: u32) -> u8 {
+        self.u[(cy * self.width / 2 + cx) as usize]
+    }
+
+    /// V sample at chroma coordinates `(cx, cy)`.
+    #[inline]
+    pub fn get_v(&self, cx: u32, cy: u32) -> u8 {
+        self.v[(cy * self.width / 2 + cx) as usize]
+    }
+
+    /// Set the U sample at chroma coordinates.
+    #[inline]
+    pub fn set_u(&mut self, cx: u32, cy: u32, v: u8) {
+        self.u[(cy * self.width / 2 + cx) as usize] = v;
+    }
+
+    /// Set the V sample at chroma coordinates.
+    #[inline]
+    pub fn set_v(&mut self, cx: u32, cy: u32, v: u8) {
+        self.v[(cy * self.width / 2 + cx) as usize] = v;
+    }
+
+    /// Full YUV color at pixel `(x, y)` (chroma replicated from the
+    /// containing 2×2 block).
+    #[inline]
+    pub fn get(&self, x: u32, y: u32) -> Yuv {
+        Yuv {
+            y: self.get_y(x, y),
+            u: self.get_u(x / 2, y / 2),
+            v: self.get_v(x / 2, y / 2),
+        }
+    }
+
+    /// Set the full YUV color at pixel `(x, y)`. The chroma of the
+    /// containing 2×2 block is overwritten.
+    #[inline]
+    pub fn set(&mut self, x: u32, y: u32, c: Yuv) {
+        self.set_y(x, y, c.y);
+        self.set_u(x / 2, y / 2, c.u);
+        self.set_v(x / 2, y / 2, c.v);
+    }
+
+    /// Whether the pixel at `(x, y)` is the ω sentinel (black).
+    ///
+    /// A tolerance of ±4 on each channel absorbs codec quantization
+    /// noise, matching how the reference implementation re-detects ω
+    /// regions after a lossy round trip.
+    #[inline]
+    pub fn is_omega(&self, x: u32, y: u32) -> bool {
+        let c = self.get(x, y);
+        c.y <= 4 && c.u.abs_diff(128) <= 4 && c.v.abs_diff(128) <= 4
+    }
+
+    /// Convert to a packed RGB image.
+    pub fn to_rgb(&self) -> RgbImage {
+        let mut img = RgbImage::new(self.width, self.height);
+        for y in 0..self.height {
+            for x in 0..self.width {
+                img.set(x, y, yuv_to_rgb(self.get(x, y)));
+            }
+        }
+        img
+    }
+
+    /// Build a frame from a packed RGB image (dimensions must be even).
+    /// Chroma is averaged over each 2×2 block.
+    pub fn from_rgb(img: &RgbImage) -> Self {
+        let mut f = Frame::new(img.width(), img.height());
+        for y in 0..img.height() {
+            for x in 0..img.width() {
+                let c = rgb_to_yuv(img.get(x, y));
+                f.set_y(x, y, c.y);
+            }
+        }
+        let (cw, ch) = f.chroma_dims();
+        for cy in 0..ch {
+            for cx in 0..cw {
+                let mut su = 0u32;
+                let mut sv = 0u32;
+                for dy in 0..2 {
+                    for dx in 0..2 {
+                        let c = rgb_to_yuv(img.get(cx * 2 + dx, cy * 2 + dy));
+                        su += c.u as u32;
+                        sv += c.v as u32;
+                    }
+                }
+                f.set_u(cx, cy, (su / 4) as u8);
+                f.set_v(cx, cy, (sv / 4) as u8);
+            }
+        }
+        f
+    }
+
+    /// Total sample count across all three planes.
+    pub fn sample_count(&self) -> usize {
+        self.y.len() + self.u.len() + self.v.len()
+    }
+}
+
+/// A packed 8-bit-per-channel RGB image.
+#[derive(Clone, PartialEq, Eq)]
+pub struct RgbImage {
+    width: u32,
+    height: u32,
+    /// Interleaved RGB data, `3 * width * height` bytes.
+    pub data: Vec<u8>,
+}
+
+impl std::fmt::Debug for RgbImage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RgbImage")
+            .field("width", &self.width)
+            .field("height", &self.height)
+            .finish_non_exhaustive()
+    }
+}
+
+impl RgbImage {
+    /// Allocate a black image.
+    pub fn new(width: u32, height: u32) -> Self {
+        assert!(width > 0 && height > 0);
+        Self { width, height, data: vec![0; (width * height * 3) as usize] }
+    }
+
+    /// Image width in pixels.
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Image height in pixels.
+    pub fn height(&self) -> u32 {
+        self.height
+    }
+
+    /// Color at `(x, y)`.
+    #[inline]
+    pub fn get(&self, x: u32, y: u32) -> Rgb {
+        debug_assert!(x < self.width && y < self.height);
+        let i = ((y * self.width + x) * 3) as usize;
+        Rgb { r: self.data[i], g: self.data[i + 1], b: self.data[i + 2] }
+    }
+
+    /// Set the color at `(x, y)`.
+    #[inline]
+    pub fn set(&mut self, x: u32, y: u32, c: Rgb) {
+        debug_assert!(x < self.width && y < self.height);
+        let i = ((y * self.width + x) * 3) as usize;
+        self.data[i] = c.r;
+        self.data[i + 1] = c.g;
+        self.data[i + 2] = c.b;
+    }
+
+    /// Fill the whole image with one color.
+    pub fn fill(&mut self, c: Rgb) {
+        for px in self.data.chunks_exact_mut(3) {
+            px[0] = c.r;
+            px[1] = c.g;
+            px[2] = c.b;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[should_panic(expected = "even dimensions")]
+    fn odd_dimensions_rejected() {
+        let _ = Frame::new(3, 4);
+    }
+
+    #[test]
+    fn new_frame_is_black() {
+        let f = Frame::new(4, 4);
+        assert!(f.is_omega(0, 0));
+        assert!(f.is_omega(3, 3));
+        assert_eq!(f.sample_count(), 16 + 4 + 4);
+    }
+
+    #[test]
+    fn pixel_round_trip() {
+        let mut f = Frame::new(8, 8);
+        let c = Yuv { y: 200, u: 90, v: 160 };
+        f.set(5, 3, c);
+        assert_eq!(f.get(5, 3), c);
+        // Chroma is shared by the 2x2 block.
+        assert_eq!(f.get(4, 2).u, 90);
+        assert!(!f.is_omega(5, 3));
+    }
+
+    #[test]
+    fn filled_frame() {
+        let c = Yuv { y: 77, u: 10, v: 240 };
+        let f = Frame::filled(6, 4, c);
+        for y in 0..4 {
+            for x in 0..6 {
+                assert_eq!(f.get(x, y), c);
+            }
+        }
+    }
+
+    #[test]
+    fn rgb_round_trip_is_close() {
+        let img = {
+            let mut i = RgbImage::new(16, 16);
+            for y in 0..16 {
+                for x in 0..16 {
+                    i.set(x, y, Rgb { r: (x * 16) as u8, g: (y * 16) as u8, b: 128 });
+                }
+            }
+            i
+        };
+        let f = Frame::from_rgb(&img);
+        let back = f.to_rgb();
+        // Chroma subsampling + integer rounding: allow modest error.
+        let mut max_err = 0i32;
+        for i in 0..img.data.len() {
+            max_err = max_err.max((img.data[i] as i32 - back.data[i] as i32).abs());
+        }
+        assert!(max_err <= 12, "max channel error {max_err}");
+    }
+
+    #[test]
+    fn omega_tolerance_absorbs_noise() {
+        let mut f = Frame::new(4, 4);
+        f.set(1, 1, Yuv { y: 3, u: 126, v: 131 });
+        assert!(f.is_omega(1, 1));
+        f.set(1, 1, Yuv { y: 30, u: 128, v: 128 });
+        assert!(!f.is_omega(1, 1));
+    }
+
+    #[test]
+    fn rgb_image_accessors() {
+        let mut img = RgbImage::new(3, 2);
+        let c = Rgb { r: 1, g: 2, b: 3 };
+        img.set(2, 1, c);
+        assert_eq!(img.get(2, 1), c);
+        img.fill(Rgb { r: 9, g: 9, b: 9 });
+        assert_eq!(img.get(0, 0), Rgb { r: 9, g: 9, b: 9 });
+    }
+}

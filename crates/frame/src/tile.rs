@@ -1,0 +1,184 @@
+//! Frame tiling: partition a frame into a grid of sub-frames and
+//! stitch them back (Q3 subquery, Q10 tile-based encoding).
+
+use crate::frame::Frame;
+use vr_geom::Rect;
+
+/// The tile grid covering a `width`×`height` frame with tiles of
+/// nominal size `(dx, dy)`. Edge tiles absorb the remainder, and tile
+/// boundaries are snapped to even coordinates for chroma alignment.
+#[derive(Debug, Clone)]
+pub struct TileGrid {
+    width: u32,
+    height: u32,
+    xs: Vec<u32>,
+    ys: Vec<u32>,
+}
+
+impl TileGrid {
+    /// Build a grid for a frame of the given size with requested tile
+    /// dimensions `(dx, dy)`.
+    pub fn new(width: u32, height: u32, dx: u32, dy: u32) -> Self {
+        let dx = dx.clamp(2, width) & !1;
+        let dy = dy.clamp(2, height) & !1;
+        let mut xs: Vec<u32> = (0..width).step_by(dx.max(2) as usize).collect();
+        let mut ys: Vec<u32> = (0..height).step_by(dy.max(2) as usize).collect();
+        // Drop a final sliver column/row thinner than 2 pixels.
+        if let Some(&last) = xs.last() {
+            if width - last < 2 {
+                xs.pop();
+            }
+        }
+        if let Some(&last) = ys.last() {
+            if height - last < 2 {
+                ys.pop();
+            }
+        }
+        xs.push(width);
+        ys.push(height);
+        Self { width, height, xs, ys }
+    }
+
+    /// A uniform `cols`×`rows` grid (Q10 uses 3×3 = nine tiles).
+    pub fn uniform(width: u32, height: u32, cols: u32, rows: u32) -> Self {
+        assert!(cols >= 1 && rows >= 1);
+        let xs: Vec<u32> = (0..=cols).map(|c| (width * c / cols) & !1).collect();
+        let ys: Vec<u32> = (0..=rows).map(|r| (height * r / rows) & !1).collect();
+        let mut xs = xs;
+        let mut ys = ys;
+        *xs.last_mut().unwrap() = width;
+        *ys.last_mut().unwrap() = height;
+        Self { width, height, xs, ys }
+    }
+
+    /// Number of tile columns.
+    pub fn cols(&self) -> usize {
+        self.xs.len() - 1
+    }
+
+    /// Number of tile rows.
+    pub fn rows(&self) -> usize {
+        self.ys.len() - 1
+    }
+
+    /// Total tile count.
+    pub fn len(&self) -> usize {
+        self.cols() * self.rows()
+    }
+
+    /// Whether the grid is degenerate (never: there is always ≥1 tile).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Pixel rectangle of tile `(col, row)`.
+    pub fn rect(&self, col: usize, row: usize) -> Rect {
+        Rect::new(
+            self.xs[col] as i32,
+            self.ys[row] as i32,
+            self.xs[col + 1] as i32,
+            self.ys[row + 1] as i32,
+        )
+    }
+
+    /// Rectangles of all tiles in row-major order.
+    pub fn rects(&self) -> Vec<Rect> {
+        let mut out = Vec::with_capacity(self.len());
+        for row in 0..self.rows() {
+            for col in 0..self.cols() {
+                out.push(self.rect(col, row));
+            }
+        }
+        out
+    }
+
+    /// Cut `frame` into tiles (row-major order).
+    pub fn partition(&self, frame: &Frame) -> Vec<Frame> {
+        assert!(frame.width() == self.width && frame.height() == self.height);
+        self.rects().iter().map(|r| crate::ops::crop(frame, *r)).collect()
+    }
+
+    /// Reassemble tiles (in row-major order) into a full frame —
+    /// the "recombine" step of Q3.
+    pub fn stitch(&self, tiles: &[Frame]) -> Frame {
+        assert_eq!(tiles.len(), self.len(), "tile count mismatch");
+        let mut out = Frame::new(self.width, self.height);
+        let rects = self.rects();
+        for (tile, rect) in tiles.iter().zip(&rects) {
+            assert_eq!(tile.width(), rect.width(), "tile width mismatch");
+            assert_eq!(tile.height(), rect.height(), "tile height mismatch");
+            let (x0, y0) = (rect.x0 as u32, rect.y0 as u32);
+            for y in 0..tile.height() {
+                let srow = (y * tile.width()) as usize;
+                let drow = ((y0 + y) * self.width + x0) as usize;
+                out.y[drow..drow + tile.width() as usize]
+                    .copy_from_slice(&tile.y[srow..srow + tile.width() as usize]);
+            }
+            let (tcw, tch) = tile.chroma_dims();
+            let ocw = self.width / 2;
+            for cy in 0..tch {
+                let srow = (cy * tcw) as usize;
+                let drow = ((y0 / 2 + cy) * ocw + x0 / 2) as usize;
+                out.u[drow..drow + tcw as usize]
+                    .copy_from_slice(&tile.u[srow..srow + tcw as usize]);
+                out.v[drow..drow + tcw as usize]
+                    .copy_from_slice(&tile.v[srow..srow + tcw as usize]);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::structured_frame;
+
+    #[test]
+    fn uniform_three_by_three() {
+        let g = TileGrid::uniform(96, 54, 3, 3);
+        assert_eq!(g.len(), 9);
+        assert_eq!(g.cols(), 3);
+        assert_eq!(g.rows(), 3);
+        // Tiles cover the frame exactly.
+        let total: u64 = g.rects().iter().map(|r| r.area()).sum();
+        assert_eq!(total, 96 * 54);
+    }
+
+    #[test]
+    fn partition_stitch_round_trip() {
+        let f = structured_frame(64, 48, 7);
+        for (dx, dy) in [(16, 16), (32, 24), (10, 14), (64, 48)] {
+            let g = TileGrid::new(64, 48, dx, dy);
+            let tiles = g.partition(&f);
+            let back = g.stitch(&tiles);
+            assert_eq!(back, f, "round trip failed for tile size {dx}x{dy}");
+        }
+    }
+
+    #[test]
+    fn uniform_partition_stitch_round_trip() {
+        let f = structured_frame(90, 62, 8);
+        let g = TileGrid::uniform(90, 62, 3, 3);
+        let tiles = g.partition(&f);
+        assert_eq!(tiles.len(), 9);
+        assert_eq!(g.stitch(&tiles), f);
+    }
+
+    #[test]
+    fn edge_tiles_absorb_remainder() {
+        let g = TileGrid::new(100, 60, 48, 48);
+        assert_eq!(g.cols(), 3); // 48 + 48 + 4
+        assert_eq!(g.rows(), 2); // 48 + 12
+        let last = g.rect(2, 1);
+        assert_eq!(last.width(), 4);
+        assert_eq!(last.height(), 12);
+    }
+
+    #[test]
+    #[should_panic(expected = "tile count mismatch")]
+    fn stitch_validates_count() {
+        let g = TileGrid::uniform(32, 32, 2, 2);
+        let _ = g.stitch(&[Frame::new(16, 16)]);
+    }
+}

@@ -1,0 +1,197 @@
+//! 3D axis-aligned bounding boxes.
+
+use crate::vec::Vec3;
+
+/// An axis-aligned box in world space, described by its min/max corners.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Aabb3 {
+    pub min: Vec3,
+    pub max: Vec3,
+}
+
+impl Aabb3 {
+    /// Construct from two opposite corners (in any order).
+    pub fn new(a: Vec3, b: Vec3) -> Self {
+        Self {
+            min: Vec3::new(a.x.min(b.x), a.y.min(b.y), a.z.min(b.z)),
+            max: Vec3::new(a.x.max(b.x), a.y.max(b.y), a.z.max(b.z)),
+        }
+    }
+
+    /// A box centered at `c` with full extents `(sx, sy, sz)`.
+    pub fn centered(c: Vec3, sx: f32, sy: f32, sz: f32) -> Self {
+        let half = Vec3::new(sx / 2.0, sy / 2.0, sz / 2.0);
+        Self { min: c - half, max: c + half }
+    }
+
+    /// Center point.
+    pub fn center(&self) -> Vec3 {
+        (self.min + self.max) / 2.0
+    }
+
+    /// Full extents along each axis.
+    pub fn size(&self) -> Vec3 {
+        self.max - self.min
+    }
+
+    /// The eight corner points.
+    pub fn corners(&self) -> [Vec3; 8] {
+        let (a, b) = (self.min, self.max);
+        [
+            Vec3::new(a.x, a.y, a.z),
+            Vec3::new(b.x, a.y, a.z),
+            Vec3::new(a.x, b.y, a.z),
+            Vec3::new(b.x, b.y, a.z),
+            Vec3::new(a.x, a.y, b.z),
+            Vec3::new(b.x, a.y, b.z),
+            Vec3::new(a.x, b.y, b.z),
+            Vec3::new(b.x, b.y, b.z),
+        ]
+    }
+
+    /// Whether a point lies inside (inclusive).
+    pub fn contains(&self, p: Vec3) -> bool {
+        p.x >= self.min.x
+            && p.x <= self.max.x
+            && p.y >= self.min.y
+            && p.y <= self.max.y
+            && p.z >= self.min.z
+            && p.z <= self.max.z
+    }
+
+    /// Whether two boxes overlap.
+    pub fn intersects(&self, o: &Aabb3) -> bool {
+        self.min.x <= o.max.x
+            && self.max.x >= o.min.x
+            && self.min.y <= o.max.y
+            && self.max.y >= o.min.y
+            && self.min.z <= o.max.z
+            && self.max.z >= o.min.z
+    }
+
+    /// Translate by `d`.
+    pub fn translated(&self, d: Vec3) -> Aabb3 {
+        Aabb3 { min: self.min + d, max: self.max + d }
+    }
+
+    /// Ray–box intersection (slab method): the smallest `t ≥ 0` with
+    /// `origin + dir·t` inside the box, if one exists with `t <= tmax`.
+    /// Used for occlusion tests in ground-truth generation.
+    pub fn ray_hit(&self, origin: Vec3, dir: Vec3, tmax: f32) -> Option<f32> {
+        let mut t0 = 0.0f32;
+        let mut t1 = tmax;
+        for axis in 0..3 {
+            let (o, d, lo, hi) = match axis {
+                0 => (origin.x, dir.x, self.min.x, self.max.x),
+                1 => (origin.y, dir.y, self.min.y, self.max.y),
+                _ => (origin.z, dir.z, self.min.z, self.max.z),
+            };
+            if d.abs() < 1e-9 {
+                if o < lo || o > hi {
+                    return None;
+                }
+                continue;
+            }
+            let inv = 1.0 / d;
+            let (mut ta, mut tb) = ((lo - o) * inv, (hi - o) * inv);
+            if ta > tb {
+                std::mem::swap(&mut ta, &mut tb);
+            }
+            t0 = t0.max(ta);
+            t1 = t1.min(tb);
+            if t0 > t1 {
+                return None;
+            }
+        }
+        Some(t0)
+    }
+
+    /// The box rotated by `yaw` radians about its center's vertical
+    /// axis, then re-wrapped in an axis-aligned box (conservative).
+    pub fn yawed(&self, yaw: f32) -> Aabb3 {
+        let c = self.center();
+        let mut min = Vec3::new(f32::MAX, f32::MAX, self.min.z);
+        let mut max = Vec3::new(f32::MIN, f32::MIN, self.max.z);
+        for corner in self.corners() {
+            let rel = (corner - c).ground().rotated(yaw);
+            let p = c.ground() + rel;
+            min.x = min.x.min(p.x);
+            min.y = min.y.min(p.y);
+            max.x = max.x.max(p.x);
+            max.y = max.y.max(p.y);
+        }
+        Aabb3 { min, max }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_orders_corners() {
+        let b = Aabb3::new(Vec3::new(1.0, 5.0, -1.0), Vec3::new(0.0, 2.0, 3.0));
+        assert_eq!(b.min, Vec3::new(0.0, 2.0, -1.0));
+        assert_eq!(b.max, Vec3::new(1.0, 5.0, 3.0));
+    }
+
+    #[test]
+    fn centered_round_trip() {
+        let b = Aabb3::centered(Vec3::new(1.0, 2.0, 3.0), 4.0, 2.0, 6.0);
+        assert_eq!(b.center(), Vec3::new(1.0, 2.0, 3.0));
+        assert_eq!(b.size(), Vec3::new(4.0, 2.0, 6.0));
+    }
+
+    #[test]
+    fn containment_and_intersection() {
+        let a = Aabb3::centered(Vec3::ZERO, 2.0, 2.0, 2.0);
+        assert!(a.contains(Vec3::ZERO));
+        assert!(a.contains(Vec3::new(1.0, 1.0, 1.0))); // inclusive boundary
+        assert!(!a.contains(Vec3::new(1.1, 0.0, 0.0)));
+        let b = a.translated(Vec3::new(1.5, 0.0, 0.0));
+        assert!(a.intersects(&b));
+        let c = a.translated(Vec3::new(5.0, 0.0, 0.0));
+        assert!(!a.intersects(&c));
+    }
+
+    #[test]
+    fn corners_count_and_extremes() {
+        let b = Aabb3::centered(Vec3::ZERO, 2.0, 2.0, 2.0);
+        let corners = b.corners();
+        assert_eq!(corners.len(), 8);
+        assert!(corners.iter().any(|c| *c == b.min));
+        assert!(corners.iter().any(|c| *c == b.max));
+    }
+
+    #[test]
+    fn ray_hits_and_misses() {
+        let b = Aabb3::centered(Vec3::new(10.0, 0.0, 0.0), 2.0, 2.0, 2.0);
+        // Straight-on hit at t = 9 (box spans x 9..11).
+        let t = b.ray_hit(Vec3::ZERO, Vec3::new(1.0, 0.0, 0.0), 100.0).unwrap();
+        assert!((t - 9.0).abs() < 1e-4);
+        // Pointing away: miss.
+        assert!(b.ray_hit(Vec3::ZERO, Vec3::new(-1.0, 0.0, 0.0), 100.0).is_none());
+        // Offset parallel ray: miss.
+        assert!(b
+            .ray_hit(Vec3::new(0.0, 5.0, 0.0), Vec3::new(1.0, 0.0, 0.0), 100.0)
+            .is_none());
+        // tmax shorter than the hit distance: miss.
+        assert!(b.ray_hit(Vec3::ZERO, Vec3::new(1.0, 0.0, 0.0), 5.0).is_none());
+        // Origin inside the box: hit at t = 0.
+        let t = b
+            .ray_hit(Vec3::new(10.0, 0.0, 0.0), Vec3::new(0.0, 1.0, 0.0), 100.0)
+            .unwrap();
+        assert_eq!(t, 0.0);
+    }
+
+    #[test]
+    fn yaw_quarter_turn_swaps_footprint() {
+        // A 4x2 footprint yawed 90° becomes (conservatively) 2x4.
+        let b = Aabb3::centered(Vec3::ZERO, 4.0, 2.0, 1.0);
+        let r = b.yawed(std::f32::consts::FRAC_PI_2);
+        let s = r.size();
+        assert!((s.x - 2.0).abs() < 1e-4, "x extent {}", s.x);
+        assert!((s.y - 4.0).abs() < 1e-4, "y extent {}", s.y);
+        assert!((s.z - 1.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,131 @@
+//! Lighting, sky, fog, and weather color helpers.
+
+use vr_frame::Rgb;
+use vr_geom::Vec3;
+use vr_scene::Weather;
+
+/// Sun direction (pointing *from* the sun toward the scene) for a
+/// weather configuration.
+pub fn sun_direction(weather: &Weather) -> Vec3 {
+    use vr_scene::weather::SunPosition;
+    match weather.sun {
+        SunPosition::Noon => Vec3::new(0.2, 0.1, -1.0),
+        SunPosition::Sunset => Vec3::new(-0.9, 0.2, -0.35),
+        SunPosition::Overcast => Vec3::new(0.4, 0.4, -0.8),
+    }
+    .normalized()
+    .unwrap()
+}
+
+/// Scale a color by a brightness factor and warm it (shift toward
+/// orange) by the weather's warmth.
+pub fn lit(base: Rgb, brightness: f32, weather: &Weather) -> Rgb {
+    let b = brightness.clamp(0.0, 1.4);
+    let warmth = weather.warmth();
+    let r = base.r as f32 * b * (1.0 + 0.25 * warmth);
+    let g = base.g as f32 * b * (1.0 + 0.05 * warmth);
+    let bl = base.b as f32 * b * (1.0 - 0.25 * warmth);
+    Rgb::new(clamp(r), clamp(g), clamp(bl))
+}
+
+/// Diffuse shading for a surface with outward normal `n`.
+pub fn shade_face(base: Rgb, n: Vec3, weather: &Weather) -> Rgb {
+    let sun = sun_direction(weather);
+    // Lambert term against the light direction (-sun), plus ambient.
+    let diffuse = (-sun.dot(n)).max(0.0);
+    let brightness = weather.ambient() * (0.55 + 0.45 * diffuse);
+    lit(base, brightness, weather)
+}
+
+/// Sky color for a view ray elevation `sin_elev ∈ [-1, 1]`.
+pub fn sky_color(sin_elev: f32, weather: &Weather) -> Rgb {
+    let t = ((sin_elev + 0.1) * 2.0).clamp(0.0, 1.0);
+    // Horizon → zenith gradient.
+    let (horizon, zenith) = match weather.sky {
+        vr_scene::weather::Sky::Clear => (Rgb::new(200, 215, 235), Rgb::new(90, 140, 220)),
+        vr_scene::weather::Sky::Cloudy => (Rgb::new(190, 195, 205), Rgb::new(140, 150, 170)),
+        vr_scene::weather::Sky::Wet => (Rgb::new(170, 175, 185), Rgb::new(120, 130, 150)),
+        vr_scene::weather::Sky::HardRain => (Rgb::new(130, 135, 145), Rgb::new(80, 90, 105)),
+    };
+    let mix = |a: u8, b: u8| (a as f32 + (b as f32 - a as f32) * t) as u8;
+    lit(
+        Rgb::new(mix(horizon.r, zenith.r), mix(horizon.g, zenith.g), mix(horizon.b, zenith.b)),
+        weather.ambient().max(0.6),
+        weather,
+    )
+}
+
+/// Blend `color` toward the horizon sky color by distance fog.
+pub fn apply_fog(color: Rgb, depth: f32, weather: &Weather) -> Rgb {
+    let fog = weather.fog();
+    if fog <= 0.0 || !depth.is_finite() {
+        return color;
+    }
+    // Exponential fog with weather-scaled extinction.
+    let f = 1.0 - (-depth * fog * 0.012).exp();
+    let sky = sky_color(0.0, weather);
+    let mix = |a: u8, b: u8| (a as f32 + (b as f32 - a as f32) * f) as u8;
+    Rgb::new(mix(color.r, sky.r), mix(color.g, sky.g), mix(color.b, sky.b))
+}
+
+#[inline]
+fn clamp(v: f32) -> u8 {
+    v.clamp(0.0, 255.0) as u8
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vr_scene::weather::{Sky, SunPosition};
+
+    fn w(sky: Sky, sun: SunPosition) -> Weather {
+        Weather { sky, sun }
+    }
+
+    #[test]
+    fn sun_is_unit_and_downward() {
+        for sun in [SunPosition::Noon, SunPosition::Sunset, SunPosition::Overcast] {
+            let d = sun_direction(&w(Sky::Clear, sun));
+            assert!((d.length() - 1.0).abs() < 1e-5);
+            assert!(d.z < 0.0, "sun must shine downward");
+        }
+    }
+
+    #[test]
+    fn sunset_warms_colors() {
+        let base = Rgb::new(128, 128, 128);
+        let noon = lit(base, 1.0, &w(Sky::Clear, SunPosition::Noon));
+        let sunset = lit(base, 1.0, &w(Sky::Clear, SunPosition::Sunset));
+        assert!(sunset.r > noon.r);
+        assert!(sunset.b < noon.b);
+    }
+
+    #[test]
+    fn upward_faces_catch_noon_sun() {
+        let weather = w(Sky::Clear, SunPosition::Noon);
+        let up = shade_face(Rgb::new(100, 100, 100), Vec3::UP, &weather);
+        let down = shade_face(Rgb::new(100, 100, 100), -Vec3::UP, &weather);
+        assert!(up.g > down.g, "up-facing brighter at noon: {up:?} vs {down:?}");
+    }
+
+    #[test]
+    fn rainy_sky_is_darker() {
+        let clear = sky_color(0.5, &w(Sky::Clear, SunPosition::Noon));
+        let rain = sky_color(0.5, &w(Sky::HardRain, SunPosition::Noon));
+        assert!(rain.g < clear.g);
+    }
+
+    #[test]
+    fn fog_pulls_distant_colors_toward_sky() {
+        let weather = w(Sky::HardRain, SunPosition::Noon);
+        let c = Rgb::new(0, 0, 0);
+        let near = apply_fog(c, 5.0, &weather);
+        let far = apply_fog(c, 400.0, &weather);
+        let sky = sky_color(0.0, &weather);
+        assert!(far.g > near.g);
+        assert!(far.g.abs_diff(sky.g) < 40, "far fog approaches sky: {far:?} vs {sky:?}");
+        // No fog in clear weather.
+        let clear = w(Sky::Clear, SunPosition::Noon);
+        assert_eq!(apply_fog(c, 400.0, &clear), c);
+    }
+}

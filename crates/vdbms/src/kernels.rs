@@ -1,0 +1,482 @@
+//! Shared query kernels.
+//!
+//! Correct single implementations of the operations every engine
+//! needs (decode, encode, stitching, box overlays, Q3 re-encode).
+//! Engines differ in *scheduling* (eager vs streamed, cached vs not)
+//! and in a few deliberately divergent kernels (the batch engine's
+//! slow resize, the functional engine's scalar captioner) — those
+//! live in the engine modules; everything here is the shared fast
+//! path, which doubles as the reference implementation.
+
+use crate::io::{InputVideo, OutputBox};
+use vr_base::{Error, Result};
+use vr_codec::{encode_sequence, Decoder, EncodedVideo, EncoderConfig, RateControlMode, VideoInfo};
+use vr_container::TrackKind;
+use vr_frame::tile::TileGrid;
+use vr_frame::{draw, ops, Frame, Yuv};
+use vr_geom::{Camera, Equirect, Vec3};
+use vr_scene::ObjectClass;
+use vr_vision::Detection;
+use vr_vtt::WebVtt;
+
+/// Decode every frame of an input's video track.
+pub fn decode_all(input: &InputVideo) -> Result<(VideoInfo, Vec<Frame>)> {
+    let info = input.video_info()?;
+    let track = input
+        .container
+        .track_of_kind(TrackKind::Video)
+        .ok_or_else(|| Error::NotFound(format!("video track in {}", input.name)))?;
+    let mut dec = Decoder::new(info);
+    let n = input.container.tracks()[track].samples.len();
+    let mut frames = Vec::with_capacity(n);
+    for i in 0..n {
+        frames.push(dec.decode(input.container.sample(track, i)?)?);
+    }
+    Ok((info, frames))
+}
+
+/// Decode only frames `[from, to]` (inclusive), seeking to the
+/// nearest preceding keyframe instead of decoding from the start —
+/// the random-access path offline mode's sample index exists for.
+pub fn decode_range(
+    input: &InputVideo,
+    from: usize,
+    to: usize,
+) -> Result<(VideoInfo, Vec<Frame>)> {
+    let info = input.video_info()?;
+    let track = input
+        .container
+        .track_of_kind(TrackKind::Video)
+        .ok_or_else(|| Error::NotFound(format!("video track in {}", input.name)))?;
+    let samples = &input.container.tracks()[track].samples;
+    if samples.is_empty() || from > to {
+        return Err(Error::InvalidConfig(format!(
+            "bad decode range {from}..={to} over {} samples",
+            samples.len()
+        )));
+    }
+    let to = to.min(samples.len() - 1);
+    let from = from.min(to);
+    // Seek: the last keyframe at or before `from`.
+    let seek = (0..=from).rev().find(|&i| samples[i].keyframe).unwrap_or(0);
+    let mut dec = Decoder::new(info);
+    let mut out = Vec::with_capacity(to - from + 1);
+    for i in seek..=to {
+        let frame = dec.decode(input.container.sample(track, i)?)?;
+        if i >= from {
+            out.push(frame);
+        }
+    }
+    Ok((info, out))
+}
+
+/// A forward-only decoded-frame stream (one frame resident at a
+/// time) — the functional engine's GOP-streamed access pattern.
+pub struct FrameStream<'a> {
+    input: &'a InputVideo,
+    track: usize,
+    decoder: Decoder,
+    next: usize,
+    len: usize,
+}
+
+impl<'a> FrameStream<'a> {
+    /// Open a stream over the input's video track.
+    pub fn open(input: &'a InputVideo) -> Result<Self> {
+        let info = input.video_info()?;
+        let track = input
+            .container
+            .track_of_kind(TrackKind::Video)
+            .ok_or_else(|| Error::NotFound(format!("video track in {}", input.name)))?;
+        let len = input.container.tracks()[track].samples.len();
+        Ok(Self { input, track, decoder: Decoder::new(info), next: 0, len })
+    }
+
+    /// Stream parameters.
+    pub fn info(&self) -> VideoInfo {
+        self.decoder.info()
+    }
+
+    /// Total frame count.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the stream has no frames.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Decode and return the next frame.
+    pub fn next_frame(&mut self) -> Option<Result<Frame>> {
+        if self.next >= self.len {
+            return None;
+        }
+        let sample = match self.input.container.sample(self.track, self.next) {
+            Ok(s) => s,
+            Err(e) => return Some(Err(e)),
+        };
+        self.next += 1;
+        Some(self.decoder.decode(sample))
+    }
+}
+
+/// Encode processed frames as a query result at constant QP.
+pub fn encode_output(frames: &[Frame], info: VideoInfo, qp: u8) -> Result<EncodedVideo> {
+    let cfg = EncoderConfig {
+        profile: info.profile,
+        rate: RateControlMode::ConstantQp(qp),
+        gop: info.gop,
+        frame_rate: info.frame_rate,
+    };
+    encode_sequence(&cfg, frames)
+}
+
+/// The caption document muxed into an input (Q6b).
+pub fn caption_track(input: &InputVideo) -> Result<WebVtt> {
+    let track = input
+        .container
+        .track_of_kind(TrackKind::Captions)
+        .ok_or_else(|| Error::NotFound(format!("caption track in {}", input.name)))?;
+    let mut text = String::new();
+    for i in 0..input.container.tracks()[track].samples.len() {
+        let sample = input.container.sample(track, i)?;
+        text.push_str(
+            std::str::from_utf8(sample)
+                .map_err(|_| Error::Corrupt("caption track is not UTF-8".into()))?,
+        );
+    }
+    WebVtt::parse(&text)
+}
+
+/// The precomputed bounding-box track muxed into an input (Q6a's
+/// serialized-box format). One sample per frame.
+pub fn box_track(input: &InputVideo, frame: usize) -> Result<Vec<OutputBox>> {
+    let track = input
+        .container
+        .track_of_kind(TrackKind::Metadata)
+        .ok_or_else(|| Error::NotFound(format!("box metadata track in {}", input.name)))?;
+    let data = input.container.sample(track, frame)?;
+    deserialize_boxes(data)
+}
+
+/// Serialize per-frame boxes for the metadata track / box output.
+pub fn serialize_boxes(boxes: &[OutputBox]) -> Vec<u8> {
+    let mut w = vr_bitstream::bytesio::ByteWriter::new();
+    w.put_u32(boxes.len() as u32);
+    for b in boxes {
+        w.put_u8(match b.class {
+            ObjectClass::Vehicle => 0,
+            ObjectClass::Pedestrian => 1,
+        });
+        w.put_i32(b.rect.x0);
+        w.put_i32(b.rect.y0);
+        w.put_i32(b.rect.x1);
+        w.put_i32(b.rect.y1);
+    }
+    w.finish()
+}
+
+/// Inverse of [`serialize_boxes`].
+pub fn deserialize_boxes(data: &[u8]) -> Result<Vec<OutputBox>> {
+    let mut r = vr_bitstream::bytesio::ByteReader::new(data);
+    let n = r.get_u32()? as usize;
+    if n > 1 << 20 {
+        return Err(Error::Corrupt("absurd box count".into()));
+    }
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        let class = match r.get_u8()? {
+            0 => ObjectClass::Vehicle,
+            1 => ObjectClass::Pedestrian,
+            other => return Err(Error::Corrupt(format!("bad class {other}"))),
+        };
+        out.push(OutputBox {
+            class,
+            rect: vr_geom::Rect {
+                x0: r.get_i32()?,
+                y0: r.get_i32()?,
+                x1: r.get_i32()?,
+                y1: r.get_i32()?,
+            },
+        });
+    }
+    Ok(out)
+}
+
+/// Render a Q2(c) box frame: each detected instance's rectangle filled
+/// with its class color `c_j`, ω (black) elsewhere (§4.1).
+pub fn boxes_frame(width: u32, height: u32, detections: &[Detection]) -> Frame {
+    let mut f = Frame::new(width, height); // all ω
+    for d in detections {
+        let rgb = d.class.color();
+        let yuv = vr_frame::color::rgb_to_yuv(rgb);
+        draw::fill_rect(&mut f, d.rect, yuv);
+    }
+    f
+}
+
+/// Filter detections to one class (Q2c takes `O` as a parameter).
+pub fn filter_class(detections: Vec<Detection>, class: ObjectClass) -> Vec<Detection> {
+    detections.into_iter().filter(|d| d.class == class).collect()
+}
+
+/// Q3 core: partition each frame into (dx, dy) tiles, re-encode each
+/// tile's temporal sequence at its assigned bitrate, decode, and
+/// recombine. Returns the recombined frames (engines then encode the
+/// final output themselves).
+pub fn subquery_reencode(
+    frames: &[Frame],
+    info: VideoInfo,
+    dx: u32,
+    dy: u32,
+    bitrates: &[u32],
+) -> Result<Vec<Frame>> {
+    assert!(!frames.is_empty());
+    let (w, h) = (frames[0].width(), frames[0].height());
+    let grid = TileGrid::new(w, h, dx, dy);
+    if bitrates.len() != grid.len() {
+        return Err(Error::InvalidConfig(format!(
+            "Q3 got {} bitrates for a {}-tile grid",
+            bitrates.len(),
+            grid.len()
+        )));
+    }
+    // Per tile: gather the tile across time, encode at its bitrate,
+    // decode back.
+    let rects = grid.rects();
+    let mut decoded_tiles: Vec<Vec<Frame>> = Vec::with_capacity(rects.len());
+    for (rect, &bitrate) in rects.iter().zip(bitrates) {
+        let tile_frames: Vec<Frame> =
+            frames.iter().map(|f| ops::crop(f, *rect)).collect();
+        let cfg = EncoderConfig {
+            profile: info.profile,
+            rate: RateControlMode::Bitrate(bitrate),
+            gop: info.gop,
+            frame_rate: info.frame_rate,
+        };
+        let encoded = encode_sequence(&cfg, &tile_frames)?;
+        decoded_tiles.push(encoded.decode_all()?);
+    }
+    // Recombine per time step.
+    let mut out = Vec::with_capacity(frames.len());
+    for t in 0..frames.len() {
+        let tiles_at_t: Vec<Frame> =
+            decoded_tiles.iter().map(|tile| tile[t].clone()).collect();
+        out.push(grid.stitch(&tiles_at_t));
+    }
+    Ok(out)
+}
+
+/// Q9 core: stitch four 120°-FOV faces into an equirectangular frame.
+///
+/// For each output pixel, the direction is mapped into each face
+/// camera's space; the face whose optical axis is closest supplies a
+/// bilinear sample. Face cameras share a position, so only
+/// orientation matters.
+pub fn stitch_equirect(
+    faces: &[Frame; 4],
+    params: &[crate::query::FaceParams; 4],
+    out_w: u32,
+    out_h: u32,
+) -> Frame {
+    let cams: Vec<Camera> = params
+        .iter()
+        .map(|p| Camera::new(Vec3::ZERO, p.yaw, p.pitch, p.hfov_deg))
+        .collect();
+    let eq = Equirect::new(out_w, out_h);
+    let mut out = Frame::new(out_w, out_h);
+    let (fw, fh) = (faces[0].width(), faces[0].height());
+    for py in 0..out_h {
+        for px in 0..out_w {
+            let dir = eq.pixel_to_dir(px as f32 + 0.5, py as f32 + 0.5);
+            // Pick the face with the largest forward component.
+            let mut best = 0usize;
+            let mut best_dot = f32::MIN;
+            for (i, cam) in cams.iter().enumerate() {
+                let d = cam.forward().dot(dir);
+                if d > best_dot {
+                    best_dot = d;
+                    best = i;
+                }
+            }
+            let cam = &cams[best];
+            // Project the direction through the face camera.
+            let target = cam.position + dir * 100.0;
+            if let Some((x, y, _)) = cam.project(target, fw, fh) {
+                let c = sample_bilinear(&faces[best], x, y);
+                out.set(px, py, c);
+            } else {
+                // Above/below every face's FOV: approximate with the
+                // nearest row of the best face.
+                let x = fw as f32 / 2.0;
+                let y = if dir.z > 0.0 { 0.0 } else { fh as f32 - 1.0 };
+                out.set(px, py, sample_bilinear(&faces[best], x, y));
+            }
+        }
+    }
+    out
+}
+
+/// Clamped bilinear sample of a frame.
+pub fn sample_bilinear(f: &Frame, x: f32, y: f32) -> Yuv {
+    let xf = (x - 0.5).clamp(0.0, f.width() as f32 - 1.0);
+    let yf = (y - 0.5).clamp(0.0, f.height() as f32 - 1.0);
+    let x0 = xf.floor() as u32;
+    let y0 = yf.floor() as u32;
+    let x1 = (x0 + 1).min(f.width() - 1);
+    let y1 = (y0 + 1).min(f.height() - 1);
+    let tx = xf - x0 as f32;
+    let ty = yf - y0 as f32;
+    let blend = |a: u8, b: u8, t: f32| a as f32 + (b as f32 - a as f32) * t;
+    let sample = |getter: &dyn Fn(u32, u32) -> u8| {
+        let top = blend(getter(x0, y0), getter(x1, y0), tx);
+        let bot = blend(getter(x0, y1), getter(x1, y1), tx);
+        (top + (bot - top) * ty).round().clamp(0.0, 255.0) as u8
+    };
+    Yuv {
+        y: sample(&|x, y| f.get_y(x, y)),
+        u: sample(&|x, y| f.get_u(x / 2, y / 2)),
+        v: sample(&|x, y| f.get_v(x / 2, y / 2)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::FaceParams;
+    use vr_codec::Profile;
+
+    fn face_params() -> [FaceParams; 4] {
+        std::array::from_fn(|i| FaceParams {
+            yaw: i as f32 * std::f32::consts::FRAC_PI_2,
+            pitch: 0.0,
+            hfov_deg: 120.0,
+        })
+    }
+
+    #[test]
+    fn boxes_round_trip() {
+        let boxes = vec![
+            OutputBox { class: ObjectClass::Vehicle, rect: vr_geom::Rect::new(1, 2, 30, 20) },
+            OutputBox { class: ObjectClass::Pedestrian, rect: vr_geom::Rect::new(-5, 0, 4, 9) },
+        ];
+        let bytes = serialize_boxes(&boxes);
+        assert_eq!(deserialize_boxes(&bytes).unwrap(), boxes);
+        assert!(deserialize_boxes(&[1, 2]).is_err());
+    }
+
+    #[test]
+    fn boxes_frame_colors_by_class() {
+        let dets = vec![
+            Detection {
+                class: ObjectClass::Vehicle,
+                rect: vr_geom::Rect::from_origin_size(2, 2, 6, 6),
+                score: 0.9,
+            },
+            Detection {
+                class: ObjectClass::Pedestrian,
+                rect: vr_geom::Rect::from_origin_size(20, 2, 6, 10),
+                score: 0.9,
+            },
+        ];
+        let f = boxes_frame(32, 16, &dets);
+        assert!(!f.is_omega(4, 4));
+        assert!(!f.is_omega(22, 6));
+        assert!(f.is_omega(14, 8), "outside any box must be ω");
+        // Vehicle regions are reddish (V channel high), pedestrians
+        // greenish (low U/V energy relative).
+        let vehicle = f.get(4, 4);
+        let ped = f.get(22, 6);
+        assert_ne!(vehicle, ped);
+    }
+
+    #[test]
+    fn stitch_covers_all_directions_smoothly() {
+        // Four flat faces with distinct luma: the equirect output must
+        // contain all four values, each about a quarter of the image.
+        let faces: [Frame; 4] = std::array::from_fn(|i| {
+            Frame::filled(64, 64, Yuv::gray(50 + i as u8 * 40))
+        });
+        let out = stitch_equirect(&faces, &face_params(), 128, 64);
+        let mut counts = [0usize; 4];
+        for y in 0..64 {
+            for x in 0..128 {
+                let v = out.get_y(x, y);
+                for (i, c) in counts.iter_mut().enumerate() {
+                    if v == 50 + i as u8 * 40 {
+                        *c += 1;
+                    }
+                }
+            }
+        }
+        let total: usize = counts.iter().sum();
+        assert!(total as f32 > 128.0 * 64.0 * 0.95, "unfilled pixels");
+        for (i, c) in counts.iter().enumerate() {
+            let share = *c as f32 / total as f32;
+            assert!(
+                (0.15..0.35).contains(&share),
+                "face {i} covers {share} of the sphere"
+            );
+        }
+    }
+
+    #[test]
+    fn bilinear_sampling_interpolates() {
+        let mut f = Frame::new(4, 4);
+        f.set_y(0, 0, 0);
+        f.set_y(1, 0, 100);
+        let mid = sample_bilinear(&f, 1.0, 0.5);
+        assert!((mid.y as i32 - 50).abs() <= 2, "got {}", mid.y);
+    }
+
+    #[test]
+    fn subquery_reencode_validates_bitrate_count() {
+        let frames = vec![Frame::filled(64, 64, Yuv::gray(90)); 3];
+        let info = VideoInfo {
+            profile: Profile::H264Like,
+            width: 64,
+            height: 64,
+            frame_rate: vr_base::FrameRate(30),
+            gop: 3,
+        };
+        assert!(subquery_reencode(&frames, info, 32, 32, &[1 << 18]).is_err());
+        let out = subquery_reencode(&frames, info, 32, 32, &[1 << 20; 4]).unwrap();
+        assert_eq!(out.len(), 3);
+        assert_eq!(out[0].width(), 64);
+        // Flat frames survive re-encode nearly unchanged.
+        let p = vr_frame::metrics::psnr_y(&frames[0], &out[0]);
+        assert!(p > 35.0, "psnr {p}");
+    }
+}
+
+#[cfg(test)]
+mod range_tests {
+    use super::*;
+
+    #[test]
+    fn decode_range_matches_full_decode() {
+        let input = crate::io::tests::tiny_input("range.vrmf");
+        let (_, all) = decode_all(&input).unwrap();
+        for (from, to) in [(0usize, 3usize), (1, 2), (2, 2), (3, 3), (0, 0)] {
+            let (_, part) = decode_range(&input, from, to).unwrap();
+            assert_eq!(part.len(), to - from + 1, "range {from}..={to}");
+            for (i, f) in part.iter().enumerate() {
+                assert_eq!(
+                    f, &all[from + i],
+                    "range {from}..={to} frame {i} must match full decode"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn decode_range_clamps_and_validates() {
+        let input = crate::io::tests::tiny_input("range2.vrmf");
+        // `to` beyond the end clamps.
+        let (_, part) = decode_range(&input, 2, 99).unwrap();
+        assert_eq!(part.len(), 2);
+        // Inverted range errors.
+        assert!(decode_range(&input, 3, 1).is_err());
+    }
+}

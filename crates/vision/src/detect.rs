@@ -1,0 +1,78 @@
+//! Detection types and non-maximum suppression.
+
+use vr_geom::Rect;
+use vr_scene::ObjectClass;
+
+/// One detected object instance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Detection {
+    pub class: ObjectClass,
+    pub rect: Rect,
+    /// Confidence in `[0, 1]`.
+    pub score: f32,
+}
+
+/// Greedy non-maximum suppression: keep the highest-scoring detection
+/// and drop any same-class detection overlapping it by more than
+/// `iou_threshold`; repeat.
+pub fn nms(mut detections: Vec<Detection>, iou_threshold: f64) -> Vec<Detection> {
+    detections.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap());
+    let mut keep: Vec<Detection> = Vec::with_capacity(detections.len());
+    'candidates: for d in detections {
+        for k in &keep {
+            if k.class == d.class && k.rect.iou(&d.rect) > iou_threshold {
+                continue 'candidates;
+            }
+        }
+        keep.push(d);
+    }
+    keep
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn det(class: ObjectClass, x: i32, score: f32) -> Detection {
+        Detection { class, rect: Rect::from_origin_size(x, 0, 10, 10), score }
+    }
+
+    #[test]
+    fn overlapping_same_class_is_suppressed() {
+        let out = nms(
+            vec![
+                det(ObjectClass::Vehicle, 0, 0.9),
+                det(ObjectClass::Vehicle, 2, 0.7), // IoU with first ≈ 0.67
+                det(ObjectClass::Vehicle, 30, 0.5),
+            ],
+            0.5,
+        );
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].score, 0.9);
+        assert_eq!(out[1].score, 0.5);
+    }
+
+    #[test]
+    fn different_classes_do_not_suppress() {
+        let out = nms(
+            vec![det(ObjectClass::Vehicle, 0, 0.9), det(ObjectClass::Pedestrian, 1, 0.8)],
+            0.5,
+        );
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn keeps_highest_score() {
+        let out = nms(
+            vec![det(ObjectClass::Vehicle, 0, 0.3), det(ObjectClass::Vehicle, 1, 0.95)],
+            0.5,
+        );
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].score, 0.95);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(nms(Vec::new(), 0.5).is_empty());
+    }
+}

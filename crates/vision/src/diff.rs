@@ -1,0 +1,89 @@
+//! Frame-difference detection — the cheap first stage of a
+//! NoScope-style inference cascade.
+
+use vr_frame::Frame;
+
+/// Tracks the previous frame and reports how much a new frame
+/// differs. The cascade engine consults this before deciding whether
+/// to run the expensive detector.
+#[derive(Debug, Default)]
+pub struct FrameDiff {
+    previous: Option<Frame>,
+}
+
+impl FrameDiff {
+    /// New detector with no history.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Mean absolute luma difference against the previous frame
+    /// (`f64::MAX` for the first frame, forcing a full run), then
+    /// remembers `frame`.
+    pub fn step(&mut self, frame: &Frame) -> f64 {
+        let score = match &self.previous {
+            Some(prev)
+                if prev.width() == frame.width() && prev.height() == frame.height() =>
+            {
+                let total: u64 = prev
+                    .y
+                    .iter()
+                    .zip(&frame.y)
+                    .map(|(&a, &b)| a.abs_diff(b) as u64)
+                    .sum();
+                total as f64 / frame.y.len() as f64
+            }
+            _ => f64::MAX,
+        };
+        self.previous = Some(frame.clone());
+        score
+    }
+
+    /// Forget the history (e.g. at a video boundary).
+    pub fn reset(&mut self) {
+        self.previous = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vr_frame::Yuv;
+
+    #[test]
+    fn first_frame_forces_full_run() {
+        let mut d = FrameDiff::new();
+        assert_eq!(d.step(&Frame::new(16, 16)), f64::MAX);
+    }
+
+    #[test]
+    fn identical_frames_score_zero() {
+        let mut d = FrameDiff::new();
+        let f = Frame::filled(16, 16, Yuv::gray(90));
+        d.step(&f);
+        assert_eq!(d.step(&f), 0.0);
+    }
+
+    #[test]
+    fn difference_scales_with_change() {
+        let mut d = FrameDiff::new();
+        let a = Frame::filled(16, 16, Yuv::gray(90));
+        let mut small = a.clone();
+        small.set_y(0, 0, 200); // one changed pixel
+        let big = Frame::filled(16, 16, Yuv::gray(200));
+        d.step(&a);
+        let s_small = d.step(&small);
+        d.reset();
+        d.step(&a);
+        let s_big = d.step(&big);
+        assert!(s_small > 0.0 && s_small < 1.0);
+        assert!((s_big - 110.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn resolution_change_forces_full_run() {
+        let mut d = FrameDiff::new();
+        d.step(&Frame::new(16, 16));
+        assert_eq!(d.step(&Frame::new(32, 32)), f64::MAX);
+    }
+}

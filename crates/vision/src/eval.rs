@@ -1,0 +1,341 @@
+//! Detection evaluation: precision, recall, and average precision at
+//! an IoU threshold (PASCAL VOC-style), used to reproduce the §6.3.1
+//! video-quality experiment (AP@50 on Visual Road vs real video).
+
+use crate::detect::Detection;
+use vr_geom::Rect;
+use vr_scene::ObjectClass;
+
+/// Ground truth for evaluation: class + box per object.
+#[derive(Debug, Clone, Copy)]
+pub struct GroundTruthBox {
+    pub class: ObjectClass,
+    pub rect: Rect,
+}
+
+/// One frame's detections paired with its ground truth.
+///
+/// `ignore` boxes implement the UA-DETRAC-style evaluation protocol:
+/// objects real enough to attract detections but too small/marginal
+/// to annotate. A detection matching an ignore box is dropped from
+/// scoring (neither true nor false positive); ignore boxes never
+/// count as misses.
+#[derive(Debug, Clone, Default)]
+pub struct EvalFrame {
+    pub detections: Vec<Detection>,
+    pub truth: Vec<GroundTruthBox>,
+    pub ignore: Vec<GroundTruthBox>,
+}
+
+/// Precision/recall summary.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PrSummary {
+    pub true_positives: usize,
+    pub false_positives: usize,
+    pub false_negatives: usize,
+}
+
+impl PrSummary {
+    pub fn precision(&self) -> f64 {
+        let denom = self.true_positives + self.false_positives;
+        if denom == 0 {
+            0.0
+        } else {
+            self.true_positives as f64 / denom as f64
+        }
+    }
+
+    pub fn recall(&self) -> f64 {
+        let denom = self.true_positives + self.false_negatives;
+        if denom == 0 {
+            0.0
+        } else {
+            self.true_positives as f64 / denom as f64
+        }
+    }
+
+    pub fn f1(&self) -> f64 {
+        let p = self.precision();
+        let r = self.recall();
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+}
+
+/// Match detections to ground truth greedily by descending score at
+/// `iou_threshold`; each truth box matches at most one detection.
+pub fn match_frame(frame: &EvalFrame, class: ObjectClass, iou_threshold: f64) -> PrSummary {
+    let mut dets: Vec<&Detection> =
+        frame.detections.iter().filter(|d| d.class == class).collect();
+    dets.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap());
+    let truths: Vec<&GroundTruthBox> =
+        frame.truth.iter().filter(|t| t.class == class).collect();
+    let mut used = vec![false; truths.len()];
+    let mut tp = 0;
+    let mut fp = 0;
+    for d in dets {
+        if matches_ignore(frame, d, iou_threshold) {
+            continue;
+        }
+        let mut best: Option<(usize, f64)> = None;
+        for (i, t) in truths.iter().enumerate() {
+            if used[i] {
+                continue;
+            }
+            let iou = d.rect.iou(&t.rect);
+            if iou >= iou_threshold && best.map(|(_, b)| iou > b).unwrap_or(true) {
+                best = Some((i, iou));
+            }
+        }
+        match best {
+            Some((i, _)) => {
+                used[i] = true;
+                tp += 1;
+            }
+            None => fp += 1,
+        }
+    }
+    let fnn = used.iter().filter(|&&u| !u).count();
+    PrSummary { true_positives: tp, false_positives: fp, false_negatives: fnn }
+}
+
+/// Whether a detection overlaps an ignore region enough to be
+/// excluded from scoring (intersection covers most of the detection,
+/// or IoU clears the matching threshold).
+fn matches_ignore(frame: &EvalFrame, d: &Detection, iou_threshold: f64) -> bool {
+    frame.ignore.iter().any(|g| {
+        g.class == d.class
+            && (d.rect.iou(&g.rect) >= iou_threshold
+                || d.rect.intersect(&g.rect).area() as f64 >= 0.5 * d.rect.area() as f64)
+    })
+}
+
+/// Average precision over a set of frames for one class at an IoU
+/// threshold (all-points interpolation over the score-ranked list).
+pub fn average_precision(frames: &[EvalFrame], class: ObjectClass, iou_threshold: f64) -> f64 {
+    // Global ranking: (score, is_tp) across all frames, with per-frame
+    // greedy matching.
+    let mut labelled: Vec<(f32, bool)> = Vec::new();
+    let mut total_truth = 0usize;
+    for frame in frames {
+        let truths: Vec<&GroundTruthBox> =
+            frame.truth.iter().filter(|t| t.class == class).collect();
+        total_truth += truths.len();
+        let mut dets: Vec<&Detection> =
+            frame.detections.iter().filter(|d| d.class == class).collect();
+        dets.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap());
+        let mut used = vec![false; truths.len()];
+        for d in dets {
+            if matches_ignore(frame, d, iou_threshold) {
+                continue;
+            }
+            let mut best: Option<(usize, f64)> = None;
+            for (i, t) in truths.iter().enumerate() {
+                if used[i] {
+                    continue;
+                }
+                let iou = d.rect.iou(&t.rect);
+                if iou >= iou_threshold && best.map(|(_, b)| iou > b).unwrap_or(true) {
+                    best = Some((i, iou));
+                }
+            }
+            match best {
+                Some((i, _)) => {
+                    used[i] = true;
+                    labelled.push((d.score, true));
+                }
+                None => labelled.push((d.score, false)),
+            }
+        }
+    }
+    if total_truth == 0 {
+        return 0.0;
+    }
+    labelled.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap());
+    // Precision-recall points, then all-points AP with monotone
+    // precision envelope.
+    let mut tp = 0usize;
+    let mut fp = 0usize;
+    let mut points: Vec<(f64, f64)> = Vec::with_capacity(labelled.len());
+    for (_, is_tp) in &labelled {
+        if *is_tp {
+            tp += 1;
+        } else {
+            fp += 1;
+        }
+        points.push((
+            tp as f64 / total_truth as f64,
+            tp as f64 / (tp + fp) as f64,
+        ));
+    }
+    // Monotone envelope from the right.
+    for i in (0..points.len().saturating_sub(1)).rev() {
+        points[i].1 = points[i].1.max(points[i + 1].1);
+    }
+    let mut ap = 0.0;
+    let mut prev_recall = 0.0;
+    for (recall, precision) in points {
+        ap += (recall - prev_recall) * precision;
+        prev_recall = recall;
+    }
+    ap
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gt(x: i32) -> GroundTruthBox {
+        GroundTruthBox { class: ObjectClass::Vehicle, rect: Rect::from_origin_size(x, 0, 20, 20) }
+    }
+
+    fn det(x: i32, score: f32) -> Detection {
+        Detection {
+            class: ObjectClass::Vehicle,
+            rect: Rect::from_origin_size(x, 0, 20, 20),
+            score,
+        }
+    }
+
+    #[test]
+    fn perfect_detections_give_ap_one() {
+        let frames = vec![EvalFrame {
+            detections: vec![det(0, 0.9), det(100, 0.8)],
+            truth: vec![gt(0), gt(100)],
+            ignore: Vec::new(),
+        }];
+        let ap = average_precision(&frames, ObjectClass::Vehicle, 0.5);
+        assert!((ap - 1.0).abs() < 1e-9, "ap {ap}");
+        let pr = match_frame(&frames[0], ObjectClass::Vehicle, 0.5);
+        assert_eq!(pr.true_positives, 2);
+        assert_eq!(pr.false_positives, 0);
+        assert_eq!(pr.false_negatives, 0);
+        assert_eq!(pr.f1(), 1.0);
+    }
+
+    #[test]
+    fn misses_reduce_recall_and_ap() {
+        let frames = vec![EvalFrame {
+            detections: vec![det(0, 0.9)],
+            truth: vec![gt(0), gt(100)],
+            ignore: Vec::new(),
+        }];
+        let pr = match_frame(&frames[0], ObjectClass::Vehicle, 0.5);
+        assert_eq!(pr.recall(), 0.5);
+        assert_eq!(pr.precision(), 1.0);
+        let ap = average_precision(&frames, ObjectClass::Vehicle, 0.5);
+        assert!((ap - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn false_positives_reduce_precision() {
+        let frame = EvalFrame {
+            detections: vec![det(0, 0.9), det(500, 0.8)],
+            truth: vec![gt(0)],
+            ignore: Vec::new(),
+        };
+        let pr = match_frame(&frame, ObjectClass::Vehicle, 0.5);
+        assert_eq!(pr.precision(), 0.5);
+        assert_eq!(pr.recall(), 1.0);
+    }
+
+    #[test]
+    fn low_scored_fps_hurt_ap_less_than_high_scored() {
+        let high_fp = vec![EvalFrame {
+            detections: vec![det(500, 0.95), det(0, 0.9)],
+            truth: vec![gt(0)],
+            ignore: Vec::new(),
+        }];
+        let low_fp = vec![EvalFrame {
+            detections: vec![det(0, 0.9), det(500, 0.2)],
+            truth: vec![gt(0)],
+            ignore: Vec::new(),
+        }];
+        let ap_high = average_precision(&high_fp, ObjectClass::Vehicle, 0.5);
+        let ap_low = average_precision(&low_fp, ObjectClass::Vehicle, 0.5);
+        assert!(ap_low > ap_high, "{ap_low} vs {ap_high}");
+    }
+
+    #[test]
+    fn iou_threshold_matters() {
+        // A detection shifted by 8 px of a 20 px box: IoU ≈ 0.43.
+        let frame = EvalFrame { detections: vec![det(8, 0.9)], truth: vec![gt(0)], ignore: Vec::new() };
+        assert_eq!(match_frame(&frame, ObjectClass::Vehicle, 0.5).true_positives, 0);
+        assert_eq!(match_frame(&frame, ObjectClass::Vehicle, 0.3).true_positives, 1);
+    }
+
+    #[test]
+    fn one_truth_matches_at_most_one_detection() {
+        let frame = EvalFrame {
+            detections: vec![det(0, 0.9), det(1, 0.8)],
+            truth: vec![gt(0)],
+            ignore: Vec::new(),
+        };
+        let pr = match_frame(&frame, ObjectClass::Vehicle, 0.5);
+        assert_eq!(pr.true_positives, 1);
+        assert_eq!(pr.false_positives, 1);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert_eq!(average_precision(&[], ObjectClass::Vehicle, 0.5), 0.0);
+        let pr = match_frame(&EvalFrame::default(), ObjectClass::Vehicle, 0.5);
+        assert_eq!(pr.precision(), 0.0);
+        assert_eq!(pr.recall(), 0.0);
+    }
+}
+
+#[cfg(test)]
+mod ignore_tests {
+    use super::*;
+
+    #[test]
+    fn ignored_detections_are_neither_tp_nor_fp() {
+        let gt = GroundTruthBox {
+            class: ObjectClass::Vehicle,
+            rect: Rect::from_origin_size(0, 0, 20, 20),
+        };
+        let ignored = GroundTruthBox {
+            class: ObjectClass::Vehicle,
+            rect: Rect::from_origin_size(100, 0, 10, 10),
+        };
+        let frame = EvalFrame {
+            detections: vec![
+                Detection { class: ObjectClass::Vehicle, rect: gt.rect, score: 0.9 },
+                Detection { class: ObjectClass::Vehicle, rect: ignored.rect, score: 0.8 },
+            ],
+            truth: vec![gt],
+            ignore: vec![ignored],
+        };
+        let pr = match_frame(&frame, ObjectClass::Vehicle, 0.5);
+        assert_eq!(pr.true_positives, 1);
+        assert_eq!(pr.false_positives, 0, "ignored detection must not count as FP");
+        assert_eq!(pr.false_negatives, 0, "ignore boxes are not misses");
+        let ap = average_precision(&[frame], ObjectClass::Vehicle, 0.5);
+        assert!((ap - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn partial_overlap_with_ignore_region_excludes() {
+        // A detection mostly inside an ignore region is excluded even
+        // below the IoU threshold.
+        let ignored = GroundTruthBox {
+            class: ObjectClass::Vehicle,
+            rect: Rect::from_origin_size(0, 0, 40, 40),
+        };
+        let frame = EvalFrame {
+            detections: vec![Detection {
+                class: ObjectClass::Vehicle,
+                rect: Rect::from_origin_size(5, 5, 10, 10),
+                score: 0.9,
+            }],
+            truth: Vec::new(),
+            ignore: vec![ignored],
+        };
+        let pr = match_frame(&frame, ObjectClass::Vehicle, 0.5);
+        assert_eq!(pr.false_positives, 0);
+    }
+}

@@ -1,0 +1,35 @@
+//! Computer-vision substrate: the stand-ins for YOLO and OpenALPR.
+//!
+//! The benchmark "requires that all VDBMSs use specified,
+//! state-of-the-art algorithms, and focuses on evaluating the
+//! execution performance of queries that need to apply those
+//! algorithms rather than their quality" (§4). Accordingly this crate
+//! provides:
+//!
+//! * [`YoloDetector`] — a *real* pixel-level detector (background
+//!   modelling → foreground connected components → geometric
+//!   classification) wrapped in a deterministic [`cost::CostModel`]
+//!   calibrated to CNN-like per-frame compute, so query runtimes have
+//!   the right shape (Q2(c) dominates Figures 5/6) *and* the right
+//!   data-dependence (NoScope-style difference cascades genuinely
+//!   save work on static scenes).
+//! * [`OracleDetector`] — scene-geometry ground truth plus seeded
+//!   jitter/drop-out; the VCD uses it to produce reference boxes for
+//!   semantic validation.
+//! * [`AlprRecognizer`] — license-plate localization and glyph
+//!   decoding from pixels (plates are rendered as 5×7 glyph bitmaps).
+//! * [`eval`] — precision/recall/average-precision, used to reproduce
+//!   the §6.3.1 video-quality experiment.
+
+pub mod alpr;
+pub mod cost;
+pub mod detect;
+pub mod diff;
+pub mod eval;
+pub mod oracle;
+pub mod yolo;
+
+pub use alpr::AlprRecognizer;
+pub use detect::{nms, Detection};
+pub use oracle::OracleDetector;
+pub use yolo::{YoloConfig, YoloDetector};

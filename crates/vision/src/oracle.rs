@@ -1,0 +1,173 @@
+//! The oracle detector: ground truth plus configurable imperfection.
+//!
+//! Used by the VCD to generate reference bounding boxes for semantic
+//! validation (perfect mode), and by the quality experiment (§6.3.1)
+//! to model a detector with realistic noise characteristics.
+
+use crate::detect::Detection;
+use vr_base::VrRng;
+use vr_scene::groundtruth::FrameTruth;
+use vr_scene::ObjectClass;
+
+/// Ground-truth-backed detector with seeded jitter and error rates.
+#[derive(Debug, Clone)]
+pub struct OracleDetector {
+    /// Std-dev of box-corner jitter in pixels.
+    pub jitter_px: f64,
+    /// Probability of missing a visible object.
+    pub miss_rate: f64,
+    /// Expected number of spurious detections per frame.
+    pub false_positives_per_frame: f64,
+    rng: VrRng,
+}
+
+impl OracleDetector {
+    /// A perfect oracle (exact ground truth, no errors).
+    pub fn perfect() -> Self {
+        Self { jitter_px: 0.0, miss_rate: 0.0, false_positives_per_frame: 0.0, rng: VrRng::seed_from(0) }
+    }
+
+    /// A noisy oracle seeded for reproducibility.
+    pub fn noisy(jitter_px: f64, miss_rate: f64, false_positives_per_frame: f64, seed: u64) -> Self {
+        Self {
+            jitter_px,
+            miss_rate,
+            false_positives_per_frame,
+            rng: VrRng::seed_from(seed),
+        }
+    }
+
+    /// Produce detections for a frame's ground truth. `width`/`height`
+    /// bound any generated false positives.
+    pub fn detect(&mut self, truth: &FrameTruth, width: u32, height: u32) -> Vec<Detection> {
+        let mut out = Vec::new();
+        for obj in &truth.objects {
+            if obj.occluded {
+                continue;
+            }
+            if self.miss_rate > 0.0 && self.rng.chance(self.miss_rate) {
+                continue;
+            }
+            let mut rect = obj.rect;
+            if self.jitter_px > 0.0 {
+                let j = self.jitter_px;
+                rect = vr_geom::Rect::new(
+                    rect.x0 + (self.rng.normal() * j) as i32,
+                    rect.y0 + (self.rng.normal() * j) as i32,
+                    rect.x1 + (self.rng.normal() * j) as i32,
+                    rect.y1 + (self.rng.normal() * j) as i32,
+                )
+                .clipped(width, height);
+                if rect.is_empty() {
+                    continue;
+                }
+            }
+            // Confidence decays with distance, as real detectors'
+            // scores do for small objects.
+            let score = (1.0 - obj.distance as f64 / 400.0).clamp(0.3, 0.99) as f32;
+            out.push(Detection { class: obj.class, rect, score });
+        }
+        // Poisson-ish false positives: one Bernoulli trial per unit of
+        // expectation.
+        let mut fp_budget = self.false_positives_per_frame;
+        while fp_budget > 0.0 {
+            let p = fp_budget.min(1.0);
+            if self.rng.chance(p) {
+                let w = self.rng.range(8, 40) as u32;
+                let h = self.rng.range(8, 40) as u32;
+                let x = self.rng.range(0, (width.saturating_sub(w)) as usize) as i32;
+                let y = self.rng.range(0, (height.saturating_sub(h)) as usize) as i32;
+                let class = if self.rng.chance(0.5) {
+                    ObjectClass::Vehicle
+                } else {
+                    ObjectClass::Pedestrian
+                };
+                out.push(Detection {
+                    class,
+                    rect: vr_geom::Rect::from_origin_size(x, y, w, h),
+                    score: self.rng.range_f64(0.3, 0.6) as f32,
+                });
+            }
+            fp_budget -= 1.0;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vr_scene::groundtruth::TruthObject;
+
+    fn truth_with(n: usize, occluded: usize) -> FrameTruth {
+        let mut objects = Vec::new();
+        for i in 0..n + occluded {
+            objects.push(TruthObject {
+                class: ObjectClass::Vehicle,
+                entity_id: i as u32,
+                rect: vr_geom::Rect::from_origin_size(10 * i as i32, 10, 20, 12),
+                distance: 30.0,
+                occluded: i >= n,
+                plate: None,
+                plate_visible: false,
+            });
+        }
+        FrameTruth { objects }
+    }
+
+    #[test]
+    fn perfect_oracle_returns_exact_visible_boxes() {
+        let truth = truth_with(3, 2);
+        let mut oracle = OracleDetector::perfect();
+        let out = oracle.detect(&truth, 640, 480);
+        assert_eq!(out.len(), 3, "occluded objects must be skipped");
+        for (d, t) in out.iter().zip(&truth.objects) {
+            assert_eq!(d.rect, t.rect);
+        }
+    }
+
+    #[test]
+    fn miss_rate_drops_detections() {
+        let truth = truth_with(100, 0);
+        let mut oracle = OracleDetector::noisy(0.0, 0.3, 0.0, 7);
+        let out = oracle.detect(&truth, 2000, 480);
+        assert!(out.len() < 90, "expected ~70 kept, got {}", out.len());
+        assert!(out.len() > 50);
+    }
+
+    #[test]
+    fn jitter_moves_but_overlaps() {
+        let truth = truth_with(50, 0);
+        let mut oracle = OracleDetector::noisy(1.5, 0.0, 0.0, 8);
+        let out = oracle.detect(&truth, 2000, 480);
+        assert_eq!(out.len(), 50);
+        let mut moved = 0;
+        for (d, t) in out.iter().zip(&truth.objects) {
+            assert!(d.rect.iou(&t.rect) > 0.4, "jitter too large");
+            if d.rect != t.rect {
+                moved += 1;
+            }
+        }
+        assert!(moved > 30, "jitter should move most boxes");
+    }
+
+    #[test]
+    fn false_positives_appear() {
+        let truth = FrameTruth::default();
+        let mut oracle = OracleDetector::noisy(0.0, 0.0, 2.0, 9);
+        let mut total = 0;
+        for _ in 0..50 {
+            total += oracle.detect(&truth, 640, 480).len();
+        }
+        // Expect ~100; allow a wide band.
+        assert!((50..170).contains(&total), "got {total} false positives");
+    }
+
+    #[test]
+    fn seeded_oracle_is_reproducible() {
+        let truth = truth_with(20, 0);
+        let mut a = OracleDetector::noisy(2.0, 0.2, 1.0, 42);
+        let mut b = OracleDetector::noisy(2.0, 0.2, 1.0, 42);
+        assert_eq!(a.detect(&truth, 640, 480), b.detect(&truth, 640, 480));
+    }
+}

@@ -1,0 +1,46 @@
+//! Quickstart: generate a small Visual Road dataset and run two
+//! microbenchmark queries on the reference engine.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use visual_road::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Pick benchmark hyperparameters {L, R, t, s}. This is a
+    //    scaled-down configuration that runs in seconds; the paper's
+    //    presets (visual_road::base::presets::PRESETS) are hours of
+    //    1κ-4κ video.
+    let hyper = Hyperparameters::new(
+        /* scale L    */ 1,
+        /* resolution */ Resolution::new(192, 108),
+        /* duration   */ Duration::from_secs(1.0),
+        /* seed       */ 42,
+    )?;
+
+    // 2. Generate the dataset: a simulated city, rendered and encoded.
+    println!(
+        "generating Visual City (L={}, R={}, t={}) ...",
+        hyper.scale, hyper.resolution, hyper.duration
+    );
+    let dataset = Vcg::new(GenConfig::default()).generate(&hyper)?;
+    println!(
+        "  {} input videos, {} frames, {:.1} KiB encoded",
+        dataset.videos.len(),
+        dataset.total_frames(),
+        dataset.total_bytes() as f64 / 1024.0
+    );
+
+    // 3. Drive the reference engine through Q1 (spatio-temporal
+    //    selection) and Q2(a) (grayscale).
+    let vcd = Vcd::new(&dataset, VcdConfig::default());
+    let mut engine = ReferenceEngine::new();
+    let report =
+        vcd.run_queries(&mut engine, &[QueryKind::Q1Select, QueryKind::Q2aGrayscale])?;
+
+    // 4. The report carries runtimes, frames/second, and validation
+    //    statistics (per-frame PSNR against the reference output).
+    println!("\n{report}");
+    Ok(())
+}

@@ -1,0 +1,100 @@
+//! Determinism guarantees: "a random seed s allows other users to
+//! deterministically reproduce datasets" (§3.1). The whole pipeline —
+//! city, rendering, encoding, query batches, query outputs — must be
+//! a pure function of the configuration.
+
+use visual_road::prelude::*;
+use visual_road::vdbms::{ExecContext, QueryKind, Vdbms};
+
+fn gen(seed: u64, nodes: usize) -> visual_road::Dataset {
+    let hyper =
+        Hyperparameters::new(2, Resolution::new(96, 56), Duration::from_secs(0.3), seed).unwrap();
+    Vcg::new(GenConfig { density_scale: 0.1, nodes, ..Default::default() })
+        .generate(&hyper)
+        .unwrap()
+}
+
+/// Same configuration → bit-identical dataset.
+#[test]
+fn identical_configuration_reproduces_dataset_bytes() {
+    let a = gen(1234, 1);
+    let b = gen(1234, 1);
+    assert_eq!(a.videos.len(), b.videos.len());
+    for (va, vb) in a.videos.iter().zip(&b.videos) {
+        assert_eq!(va.name, vb.name);
+        assert_eq!(
+            va.container.raw_bytes(),
+            vb.container.raw_bytes(),
+            "video {} differs between identical runs",
+            va.name
+        );
+    }
+}
+
+/// Distributed generation (the EC2-node analogue) produces the same
+/// bytes as single-node generation.
+#[test]
+fn node_count_does_not_change_output() {
+    let single = gen(77, 1);
+    let distributed = gen(77, 3);
+    for (a, b) in single.videos.iter().zip(&distributed.videos) {
+        assert_eq!(a.container.raw_bytes(), b.container.raw_bytes(), "{}", a.name);
+    }
+}
+
+/// Different seeds produce different cities and different video bytes.
+#[test]
+fn seeds_differentiate_datasets() {
+    let a = gen(1, 1);
+    let b = gen(2, 1);
+    assert_ne!(a.videos[0].container.raw_bytes(), b.videos[0].container.raw_bytes());
+}
+
+/// Query batches (instance parameters and input assignments) are a
+/// pure function of (seed, query kind).
+#[test]
+fn query_batches_are_deterministic() {
+    let dataset = gen(555, 1);
+    let vcd1 = Vcd::new(&dataset, VcdConfig::default());
+    let vcd2 = Vcd::new(&dataset, VcdConfig::default());
+    for kind in QueryKind::ALL {
+        let a = vcd1.batch(kind).unwrap();
+        let b = vcd2.batch(kind).unwrap();
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a.len(), dataset.hyper.batch_size());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.spec, y.spec, "{kind:?}");
+            assert_eq!(x.inputs, y.inputs, "{kind:?}");
+        }
+    }
+}
+
+/// Executing the same instance twice yields bit-identical output.
+#[test]
+fn query_outputs_are_deterministic() {
+    let dataset = gen(901, 1);
+    let vcd = Vcd::new(&dataset, VcdConfig { batch_size: Some(1), ..Default::default() });
+    let batch = vcd.batch(QueryKind::Q2bBlur).unwrap();
+    let ctx = ExecContext::default();
+    let mut engine = ReferenceEngine::new();
+    let out1 = engine.execute(&batch[0], &dataset.videos, &ctx).unwrap();
+    let out2 = engine.execute(&batch[0], &dataset.videos, &ctx).unwrap();
+    let (Some(v1), Some(v2)) = (out1.primary_video(), out2.primary_video()) else {
+        panic!("Q2b yields videos");
+    };
+    assert_eq!(v1.len(), v2.len());
+    for (p1, p2) in v1.packets.iter().zip(&v2.packets) {
+        assert_eq!(p1.data, p2.data);
+    }
+}
+
+/// The published Table 2 presets map to the expected hyperparameters.
+#[test]
+fn presets_are_stable() {
+    use visual_road::base::presets::{preset, PRESETS};
+    assert_eq!(PRESETS.len(), 6);
+    let p = preset("2k-short").unwrap().hyperparameters(5);
+    assert_eq!(p.resolution, Resolution::K2);
+    assert_eq!(p.scale, 2);
+    assert_eq!(p.duration.as_secs_f64(), 15.0 * 60.0);
+}
