@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Tier-1 verification. Must pass with zero network access: the
+# workspace is std-only, so a cold crates.io cache resolves offline.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== guard: no registry dependencies in any manifest =="
+if grep -rn 'crossbeam\|parking_lot\|proptest\|criterion\|^rand\b\|^\s*rand ' \
+    Cargo.toml crates/*/Cargo.toml; then
+    echo "FAIL: a crate manifest names a registry dependency" >&2
+    exit 1
+fi
+
+echo "== cargo build --release --offline =="
+cargo build --release --offline
+
+echo "== cargo test -q --offline =="
+cargo test -q --offline
+
+echo "CI OK"

@@ -19,6 +19,7 @@ pub mod error;
 pub mod id;
 pub mod presets;
 pub mod rng;
+pub mod sync;
 pub mod units;
 
 pub use error::{Error, Result};

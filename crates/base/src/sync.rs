@@ -1,0 +1,526 @@
+//! Std-only concurrency primitives.
+//!
+//! The workspace builds with zero registry dependencies (DESIGN.md,
+//! "std-only substitution"): this module supplies the small slice of
+//! `crossbeam` and `parking_lot` the repository actually used —
+//!
+//! * a bounded MPMC [`channel`] with blocking send/recv and
+//!   disconnect-on-drop semantics (the storage pipe's backpressure
+//!   mechanism),
+//! * [`Mutex`] / [`RwLock`] / [`Condvar`] wrappers over `std::sync`
+//!   that return guards directly instead of a poison `Result` (a
+//!   poisoned lock means a panicked holder; propagating the panic is
+//!   the only sane response in this codebase),
+//! * a small [`WorkerPool`] plus a [`parallel_chunks`] helper for the
+//!   batch engine's data-parallel frame maps.
+//!
+//! Everything here is built from `std::sync` + `std::thread` only.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+// ---------------------------------------------------------------------------
+// Lock wrappers
+// ---------------------------------------------------------------------------
+
+/// A mutex whose `lock()` returns the guard directly.
+///
+/// Poisoning (a holder panicked) is converted into a panic here: the
+/// protected data may be mid-update and no caller in this workspace
+/// can recover meaningfully.
+#[derive(Debug, Default)]
+pub struct Mutex<T: ?Sized>(std::sync::Mutex<T>);
+
+impl<T> Mutex<T> {
+    /// Wrap a value.
+    pub const fn new(value: T) -> Self {
+        Self(std::sync::Mutex::new(value))
+    }
+
+    /// Consume the mutex, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.0.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquire the lock, blocking until available.
+    pub fn lock(&self) -> std::sync::MutexGuard<'_, T> {
+        self.0.lock().expect("vr_base::sync::Mutex poisoned: a holder panicked")
+    }
+
+    /// Mutable access without locking (requires exclusive borrow).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.0.get_mut().expect("vr_base::sync::Mutex poisoned: a holder panicked")
+    }
+}
+
+/// A reader-writer lock whose `read()`/`write()` return guards
+/// directly (see [`Mutex`] for the poisoning policy).
+#[derive(Debug, Default)]
+pub struct RwLock<T: ?Sized>(std::sync::RwLock<T>);
+
+impl<T> RwLock<T> {
+    /// Wrap a value.
+    pub const fn new(value: T) -> Self {
+        Self(std::sync::RwLock::new(value))
+    }
+
+    /// Consume the lock, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.0.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    /// Acquire shared read access.
+    pub fn read(&self) -> std::sync::RwLockReadGuard<'_, T> {
+        self.0.read().expect("vr_base::sync::RwLock poisoned: a holder panicked")
+    }
+
+    /// Acquire exclusive write access.
+    pub fn write(&self) -> std::sync::RwLockWriteGuard<'_, T> {
+        self.0.write().expect("vr_base::sync::RwLock poisoned: a holder panicked")
+    }
+
+    /// Mutable access without locking (requires exclusive borrow).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.0.get_mut().expect("vr_base::sync::RwLock poisoned: a holder panicked")
+    }
+}
+
+/// A condition variable paired with [`Mutex`] guards.
+#[derive(Debug, Default)]
+pub struct Condvar(std::sync::Condvar);
+
+impl Condvar {
+    /// Create a condition variable.
+    pub const fn new() -> Self {
+        Self(std::sync::Condvar::new())
+    }
+
+    /// Atomically release the guard and wait for a notification.
+    pub fn wait<'a, T>(
+        &self,
+        guard: std::sync::MutexGuard<'a, T>,
+    ) -> std::sync::MutexGuard<'a, T> {
+        self.0.wait(guard).expect("vr_base::sync::Condvar: mutex poisoned")
+    }
+
+    /// Wake one waiter.
+    pub fn notify_one(&self) {
+        self.0.notify_one()
+    }
+
+    /// Wake every waiter.
+    pub fn notify_all(&self) {
+        self.0.notify_all()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Bounded MPMC channel
+// ---------------------------------------------------------------------------
+
+/// Error returned by [`Sender::send`] when every receiver has been
+/// dropped; carries the unsent value back to the caller.
+#[derive(Debug, PartialEq, Eq)]
+pub struct SendError<T>(pub T);
+
+/// Error returned by [`Receiver::recv`] when the channel is empty and
+/// every sender has been dropped.
+#[derive(Debug, PartialEq, Eq)]
+pub struct RecvError;
+
+/// Error returned by [`Receiver::try_recv`].
+#[derive(Debug, PartialEq, Eq)]
+pub enum TryRecvError {
+    /// No message is ready, but senders are still alive.
+    Empty,
+    /// The channel is empty and every sender has been dropped.
+    Disconnected,
+}
+
+struct ChannelState<T> {
+    queue: VecDeque<T>,
+    capacity: usize,
+    senders: usize,
+    receivers: usize,
+}
+
+struct Channel<T> {
+    state: Mutex<ChannelState<T>>,
+    /// Signals receivers: an item arrived or the last sender left.
+    readable: Condvar,
+    /// Signals senders: a slot opened or the last receiver left.
+    writable: Condvar,
+}
+
+/// The sending half of a bounded channel; cloneable (MPMC).
+pub struct Sender<T>(Arc<Channel<T>>);
+
+/// The receiving half of a bounded channel; cloneable (MPMC).
+pub struct Receiver<T>(Arc<Channel<T>>);
+
+/// Create a bounded MPMC channel with room for `capacity` in-flight
+/// messages (`capacity >= 1`). `send` blocks while the queue is full;
+/// `recv` blocks while it is empty. Dropping the last sender
+/// disconnects receivers once the queue drains; dropping the last
+/// receiver makes further sends fail immediately.
+pub fn channel<T>(capacity: usize) -> (Sender<T>, Receiver<T>) {
+    let chan = Arc::new(Channel {
+        state: Mutex::new(ChannelState {
+            queue: VecDeque::with_capacity(capacity.max(1)),
+            capacity: capacity.max(1),
+            senders: 1,
+            receivers: 1,
+        }),
+        readable: Condvar::new(),
+        writable: Condvar::new(),
+    });
+    (Sender(Arc::clone(&chan)), Receiver(chan))
+}
+
+impl<T> Sender<T> {
+    /// Block until the value is enqueued, or fail with the value if
+    /// every receiver has been dropped.
+    pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+        let mut st = self.0.state.lock();
+        loop {
+            if st.receivers == 0 {
+                return Err(SendError(value));
+            }
+            if st.queue.len() < st.capacity {
+                st.queue.push_back(value);
+                drop(st);
+                self.0.readable.notify_one();
+                return Ok(());
+            }
+            st = self.0.writable.wait(st);
+        }
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        self.0.state.lock().senders += 1;
+        Self(Arc::clone(&self.0))
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let mut st = self.0.state.lock();
+        st.senders -= 1;
+        if st.senders == 0 {
+            drop(st);
+            // Wake blocked receivers so they observe the disconnect.
+            self.0.readable.notify_all();
+        }
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Block until a message arrives, or fail once the channel is
+    /// empty and every sender has been dropped.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        let mut st = self.0.state.lock();
+        loop {
+            if let Some(v) = st.queue.pop_front() {
+                drop(st);
+                self.0.writable.notify_one();
+                return Ok(v);
+            }
+            if st.senders == 0 {
+                return Err(RecvError);
+            }
+            st = self.0.readable.wait(st);
+        }
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        let mut st = self.0.state.lock();
+        if let Some(v) = st.queue.pop_front() {
+            drop(st);
+            self.0.writable.notify_one();
+            return Ok(v);
+        }
+        if st.senders == 0 {
+            Err(TryRecvError::Disconnected)
+        } else {
+            Err(TryRecvError::Empty)
+        }
+    }
+}
+
+impl<T> Clone for Receiver<T> {
+    fn clone(&self) -> Self {
+        self.0.state.lock().receivers += 1;
+        Self(Arc::clone(&self.0))
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        let mut st = self.0.state.lock();
+        st.receivers -= 1;
+        if st.receivers == 0 {
+            drop(st);
+            // Wake blocked senders so they observe the broken pipe.
+            self.0.writable.notify_all();
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Worker pool
+// ---------------------------------------------------------------------------
+
+/// A fixed-size pool of worker threads executing boxed closures.
+///
+/// Jobs are `'static`; for borrowed data-parallel maps use
+/// [`parallel_chunks`], which runs on scoped threads instead.
+pub struct WorkerPool {
+    tx: Option<Sender<Box<dyn FnOnce() + Send + 'static>>>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    /// Spawn `workers` threads (at least one) pulling from a shared
+    /// queue of `queue_depth` pending jobs.
+    pub fn new(workers: usize, queue_depth: usize) -> Self {
+        let workers = workers.max(1);
+        let (tx, rx) = channel::<Box<dyn FnOnce() + Send + 'static>>(queue_depth.max(1));
+        let handles = (0..workers)
+            .map(|i| {
+                let rx = rx.clone();
+                std::thread::Builder::new()
+                    .name(format!("vr-worker-{i}"))
+                    .spawn(move || {
+                        while let Ok(job) = rx.recv() {
+                            job();
+                        }
+                    })
+                    .expect("failed to spawn worker thread")
+            })
+            .collect();
+        Self { tx: Some(tx), handles }
+    }
+
+    /// Enqueue a job, blocking while the queue is full.
+    pub fn execute(&self, job: impl FnOnce() + Send + 'static) {
+        self.tx
+            .as_ref()
+            .expect("worker pool already shut down")
+            .send(Box::new(job))
+            .ok()
+            .expect("worker pool threads exited early");
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.handles.len()
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        // Disconnect the queue; workers drain outstanding jobs and exit.
+        self.tx.take();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Apply `f` to every element of `items` in place, splitting the slice
+/// across `workers` scoped threads. `f` receives `(global_index,
+/// &mut item)`. With one worker (or one item) runs inline.
+pub fn parallel_chunks<T: Send, F>(items: &mut [T], workers: usize, f: F)
+where
+    F: Fn(usize, &mut T) + Send + Sync,
+{
+    let workers = workers.max(1).min(items.len().max(1));
+    if workers <= 1 {
+        for (i, item) in items.iter_mut().enumerate() {
+            f(i, item);
+        }
+        return;
+    }
+    let chunk = items.len().div_ceil(workers);
+    let f = &f;
+    std::thread::scope(|scope| {
+        for (c, part) in items.chunks_mut(chunk).enumerate() {
+            scope.spawn(move || {
+                for (i, item) in part.iter_mut().enumerate() {
+                    f(c * chunk + i, item);
+                }
+            });
+        }
+    });
+}
+
+/// A monotonically increasing counter usable across threads; used for
+/// cheap instrumentation where a full lock is overkill.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicUsize);
+
+impl Counter {
+    /// Zero-initialized counter.
+    pub const fn new() -> Self {
+        Self(AtomicUsize::new(0))
+    }
+
+    /// Add `n`, returning the previous value.
+    pub fn add(&self, n: usize) -> usize {
+        self.0.fetch_add(n, Ordering::Relaxed)
+    }
+
+    /// Current value.
+    pub fn get(&self) -> usize {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::{Duration, Instant};
+
+    #[test]
+    fn channel_round_trips_in_order() {
+        let (tx, rx) = channel(4);
+        for i in 0..4 {
+            tx.send(i).unwrap();
+        }
+        for i in 0..4 {
+            assert_eq!(rx.recv(), Ok(i));
+        }
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+    }
+
+    #[test]
+    fn send_blocks_until_capacity_frees() {
+        let (tx, rx) = channel(1);
+        tx.send(1u32).unwrap();
+        let start = Instant::now();
+        let sender = std::thread::spawn(move || {
+            tx.send(2).unwrap();
+        });
+        std::thread::sleep(Duration::from_millis(40));
+        assert_eq!(rx.recv(), Ok(1));
+        sender.join().unwrap();
+        assert!(start.elapsed() >= Duration::from_millis(40), "send returned early");
+        assert_eq!(rx.recv(), Ok(2));
+    }
+
+    #[test]
+    fn recv_blocks_until_message_arrives() {
+        let (tx, rx) = channel::<u32>(1);
+        let receiver = std::thread::spawn(move || rx.recv().unwrap());
+        std::thread::sleep(Duration::from_millis(20));
+        tx.send(7).unwrap();
+        assert_eq!(receiver.join().unwrap(), 7);
+    }
+
+    #[test]
+    fn dropping_receiver_breaks_send() {
+        let (tx, rx) = channel(1);
+        drop(rx);
+        assert_eq!(tx.send(5u8), Err(SendError(5)));
+    }
+
+    #[test]
+    fn dropping_sender_drains_then_disconnects() {
+        let (tx, rx) = channel(4);
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        drop(tx);
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.recv(), Ok(2));
+        assert_eq!(rx.recv(), Err(RecvError));
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+    }
+
+    #[test]
+    fn mpmc_fan_in_fan_out_delivers_everything() {
+        let (tx, rx) = channel::<usize>(8);
+        let producers: Vec<_> = (0..3)
+            .map(|p| {
+                let tx = tx.clone();
+                std::thread::spawn(move || {
+                    for i in 0..50 {
+                        tx.send(p * 1000 + i).unwrap();
+                    }
+                })
+            })
+            .collect();
+        drop(tx);
+        let consumers: Vec<_> = (0..2)
+            .map(|_| {
+                let rx = rx.clone();
+                std::thread::spawn(move || {
+                    let mut got = Vec::new();
+                    while let Ok(v) = rx.recv() {
+                        got.push(v);
+                    }
+                    got
+                })
+            })
+            .collect();
+        drop(rx);
+        for p in producers {
+            p.join().unwrap();
+        }
+        let mut all: Vec<usize> =
+            consumers.into_iter().flat_map(|c| c.join().unwrap()).collect();
+        all.sort_unstable();
+        let mut expect: Vec<usize> =
+            (0..3).flat_map(|p| (0..50).map(move |i| p * 1000 + i)).collect();
+        expect.sort_unstable();
+        assert_eq!(all, expect);
+    }
+
+    #[test]
+    fn mutex_and_rwlock_guard_directly() {
+        let m = Mutex::new(1);
+        *m.lock() += 1;
+        assert_eq!(*m.lock(), 2);
+        let rw = RwLock::new(vec![1, 2]);
+        assert_eq!(rw.read().len(), 2);
+        rw.write().push(3);
+        assert_eq!(rw.into_inner(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn worker_pool_runs_every_job() {
+        let counter = Arc::new(Counter::new());
+        {
+            let pool = WorkerPool::new(3, 4);
+            assert_eq!(pool.workers(), 3);
+            for _ in 0..20 {
+                let c = Arc::clone(&counter);
+                pool.execute(move || {
+                    c.add(1);
+                });
+            }
+            // Drop joins the pool, draining the queue.
+        }
+        assert_eq!(counter.get(), 20);
+    }
+
+    #[test]
+    fn parallel_chunks_covers_all_indices() {
+        let mut data = vec![0usize; 37];
+        parallel_chunks(&mut data, 4, |i, slot| *slot = i * 2);
+        for (i, v) in data.iter().enumerate() {
+            assert_eq!(*v, i * 2);
+        }
+        // Single-worker inline path.
+        let mut small = vec![0usize; 3];
+        parallel_chunks(&mut small, 1, |i, slot| *slot = i + 10);
+        assert_eq!(small, vec![10, 11, 12]);
+    }
+}

@@ -1,9 +1,9 @@
-//! Criterion microbenchmarks for the codec substrate: per-frame
-//! encode and decode throughput for both profiles, plus bitrate-mode
-//! encoding. These are the kernels every benchmark query pays for.
+//! Microbenchmarks for the codec substrate: per-frame encode and
+//! decode throughput for both profiles, plus bitrate-mode encoding.
+//! These are the kernels every benchmark query pays for.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use vr_base::VrRng;
+use vr_bench::harness::{Criterion, Throughput};
 use vr_codec::{encode_sequence, EncoderConfig, Profile};
 use vr_frame::Frame;
 
@@ -54,5 +54,6 @@ fn bench_codec(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_codec);
-criterion_main!(benches);
+fn main() {
+    vr_bench::harness::main(&[bench_codec]);
+}

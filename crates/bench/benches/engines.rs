@@ -1,10 +1,10 @@
-//! Criterion end-to-end engine benchmarks: the same query instance on
-//! every engine, exposing the architectural deltas (framework
-//! overhead on the batch NN path, the cascade's skip rate, the
-//! streaming pipeline's per-frame costs).
+//! End-to-end engine benchmarks: the same query instance on every
+//! engine, exposing the architectural deltas (framework overhead on
+//! the batch NN path, the cascade's skip rate, the streaming
+//! pipeline's per-frame costs).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use vr_base::{FrameRate, Timestamp};
+use vr_bench::harness::Criterion;
 use vr_codec::{encode_sequence, EncoderConfig};
 use vr_container::{ContainerWriter, TrackKind};
 use vr_frame::{Frame, Yuv};
@@ -84,5 +84,6 @@ fn bench_engines(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_engines);
-criterion_main!(benches);
+fn main() {
+    vr_bench::harness::main(&[bench_engines]);
+}

@@ -1,7 +1,7 @@
-//! Criterion microbenchmarks for the per-frame image kernels behind
-//! the microbenchmark queries (Q1/Q2/Q4/Q5/Q6).
+//! Microbenchmarks for the per-frame image kernels behind the
+//! microbenchmark queries (Q1/Q2/Q4/Q5/Q6).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use vr_bench::harness::Criterion;
 use vr_frame::tile::TileGrid;
 use vr_frame::{ops, Frame, Yuv};
 use vr_geom::Rect;
@@ -47,5 +47,6 @@ fn bench_ops(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_ops);
-criterion_main!(benches);
+fn main() {
+    vr_bench::harness::main(&[bench_ops]);
+}

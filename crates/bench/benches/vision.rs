@@ -1,9 +1,9 @@
-//! Criterion microbenchmarks for the vision substrate: the YOLO
-//! stand-in with and without the CNN cost model (showing the model
-//! dominates, as a real network would), the frame-difference
-//! detector, and the plate recognizer.
+//! Microbenchmarks for the vision substrate: the YOLO stand-in with
+//! and without the CNN cost model (showing the model dominates, as a
+//! real network would), the frame-difference detector, and the plate
+//! recognizer.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use vr_bench::harness::Criterion;
 use vr_frame::{Frame, Yuv};
 use vr_vision::diff::FrameDiff;
 use vr_vision::{AlprRecognizer, YoloConfig, YoloDetector};
@@ -44,5 +44,6 @@ fn bench_vision(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_vision);
-criterion_main!(benches);
+fn main() {
+    vr_bench::harness::main(&[bench_vision]);
+}

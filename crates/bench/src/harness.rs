@@ -1,0 +1,225 @@
+//! A dependency-free micro-benchmark harness (the criterion
+//! replacement).
+//!
+//! The four `benches/*.rs` targets keep their `harness = false`
+//! `[[bench]]` wiring and their criterion-era shape — a `Criterion`
+//! context, `benchmark_group`, `bench_function`, `Bencher::iter` — but
+//! all timing is `std::time::Instant`.
+//!
+//! Cargo invokes bench binaries in two ways: `cargo bench` passes
+//! `--bench` and expects full measurements; `cargo test` passes
+//! `--test` and expects a fast smoke run. The harness honors both: in
+//! test mode each benchmark body executes exactly once (proving it
+//! still runs) and no statistics are reported.
+
+use std::time::{Duration, Instant};
+
+/// Measurement configuration plus the CLI-selected mode.
+pub struct Criterion {
+    test_mode: bool,
+    /// Optional substring filter (first free CLI argument).
+    filter: Option<String>,
+}
+
+/// Throughput annotation for a benchmark group (elements per
+/// iteration; reported as elements/second).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// The number of logical elements (e.g. pixels) one iteration
+    /// processes.
+    Elements(u64),
+}
+
+impl Criterion {
+    /// Build from the process arguments cargo passed to the bench
+    /// binary.
+    pub fn from_args() -> Self {
+        let mut test_mode = false;
+        let mut filter = None;
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--test" => test_mode = true,
+                "--bench" => {}
+                s if !s.starts_with('-') && filter.is_none() => filter = Some(s.to_string()),
+                _ => {}
+            }
+        }
+        Self { test_mode, filter }
+    }
+
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> Group<'_> {
+        Group {
+            c: self,
+            name: name.into(),
+            sample_size: 10,
+            throughput: None,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and settings.
+pub struct Group<'a> {
+    c: &'a Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl Group<'_> {
+    /// Number of timed samples per benchmark (default 10).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Annotate the group with per-iteration throughput.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function(
+        &mut self,
+        name: impl AsRef<str>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = format!("{}/{}", self.name, name.as_ref());
+        if let Some(filter) = &self.c.filter {
+            if !id.contains(filter.as_str()) {
+                return self;
+            }
+        }
+        let mut b = Bencher {
+            samples: Vec::new(),
+            target_samples: self.sample_size,
+            test_mode: self.c.test_mode,
+        };
+        f(&mut b);
+        if self.c.test_mode {
+            println!("test {id} ... ok");
+            return self;
+        }
+        let mut ns: Vec<u128> = b.samples.iter().map(|d| d.as_nanos()).collect();
+        ns.sort_unstable();
+        if ns.is_empty() {
+            println!("{id:<50} (no samples)");
+            return self;
+        }
+        let median = ns[ns.len() / 2];
+        let mean: u128 = ns.iter().sum::<u128>() / ns.len() as u128;
+        let mut line = format!(
+            "{id:<50} median {} (min {}, mean {}, {} samples)",
+            fmt_ns(median),
+            fmt_ns(ns[0]),
+            fmt_ns(mean),
+            ns.len()
+        );
+        if let Some(Throughput::Elements(e)) = self.throughput {
+            if median > 0 {
+                let per_sec = e as f64 * 1e9 / median as f64;
+                line.push_str(&format!(", {:.1} Melem/s", per_sec / 1e6));
+            }
+        }
+        println!("{line}");
+        self
+    }
+
+    /// End the group (kept for criterion API parity).
+    pub fn finish(&mut self) {}
+}
+
+/// Passed to each benchmark body; times the closure handed to
+/// [`iter`](Bencher::iter).
+pub struct Bencher {
+    samples: Vec<Duration>,
+    target_samples: usize,
+    test_mode: bool,
+}
+
+impl Bencher {
+    /// Run the routine: once in test mode, `sample_size` timed
+    /// iterations (after one untimed warm-up) otherwise.
+    pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
+        if self.test_mode {
+            std::hint::black_box(routine());
+            return;
+        }
+        // Warm-up iteration: first-touch allocation and caches.
+        std::hint::black_box(routine());
+        for _ in 0..self.target_samples {
+            let t0 = Instant::now();
+            std::hint::black_box(routine());
+            self.samples.push(t0.elapsed());
+        }
+    }
+}
+
+/// Entry point for a `harness = false` bench target: run every
+/// registered bench function with a [`Criterion`] built from the CLI.
+pub fn main(benches: &[fn(&mut Criterion)]) {
+    let mut c = Criterion::from_args();
+    for bench in benches {
+        bench(&mut c);
+    }
+}
+
+fn fmt_ns(ns: u128) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_times_iterations() {
+        let mut b = Bencher { samples: Vec::new(), target_samples: 10, test_mode: false };
+        let mut runs = 0u32;
+        b.iter(|| {
+            runs += 1;
+            runs
+        });
+        // One warm-up + ten timed samples.
+        assert_eq!(runs, 11);
+        assert_eq!(b.samples.len(), 10);
+    }
+
+    #[test]
+    fn test_mode_runs_once() {
+        let mut b = Bencher { samples: Vec::new(), target_samples: 10, test_mode: true };
+        let mut runs = 0u32;
+        b.iter(|| runs += 1);
+        assert_eq!(runs, 1);
+        assert!(b.samples.is_empty());
+    }
+
+    #[test]
+    fn groups_respect_filters() {
+        let c = Criterion { test_mode: true, filter: Some("match-me".into()) };
+        let mut hit = 0;
+        let mut c = c;
+        let mut g = c.benchmark_group("g");
+        g.bench_function("match-me", |b| b.iter(|| hit += 1));
+        g.bench_function("skip-me", |b| b.iter(|| hit += 100));
+        g.finish();
+        assert_eq!(hit, 1);
+    }
+
+    #[test]
+    fn ns_formatting() {
+        assert_eq!(fmt_ns(12), "12 ns");
+        assert_eq!(fmt_ns(1_500), "1.500 µs");
+        assert_eq!(fmt_ns(2_500_000), "2.500 ms");
+        assert_eq!(fmt_ns(3_000_000_000), "3.000 s");
+    }
+}

@@ -8,6 +8,7 @@
 
 pub mod args;
 pub mod corpus_input;
+pub mod harness;
 pub mod loc;
 pub mod table;
 

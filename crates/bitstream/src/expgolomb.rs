@@ -61,7 +61,7 @@ pub fn zigzag_decode(u: u64) -> i64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use vr_base::VrRng;
 
     #[test]
     fn ue_known_codes() {
@@ -100,28 +100,55 @@ mod tests {
         }
     }
 
-    proptest! {
-        #[test]
-        fn prop_ue_round_trip(v in 0u64..(1 << 48)) {
+    /// Seeded randomized round trips (the former proptest suite).
+    #[test]
+    fn prop_ue_round_trip() {
+        let mut rng = VrRng::seed_from(0xe960_0001);
+        for _ in 0..512 {
+            let v = rng.below(1 << 48);
             let mut w = BitWriter::new();
             put_ue(&mut w, v);
             let bytes = w.finish();
             let mut r = BitReader::new(&bytes);
-            prop_assert_eq!(read_ue(&mut r).unwrap(), v);
+            assert_eq!(read_ue(&mut r).unwrap(), v);
         }
+    }
 
-        #[test]
-        fn prop_se_round_trip(v in -(1i64 << 40)..(1i64 << 40)) {
+    #[test]
+    fn prop_se_round_trip() {
+        let mut rng = VrRng::seed_from(0xe960_0002);
+        for _ in 0..512 {
+            let v = rng.range_i64(-(1i64 << 40), 1i64 << 40);
             let mut w = BitWriter::new();
             put_se(&mut w, v);
             let bytes = w.finish();
             let mut r = BitReader::new(&bytes);
-            prop_assert_eq!(read_se(&mut r).unwrap(), v);
+            assert_eq!(read_se(&mut r).unwrap(), v);
         }
+    }
 
-        #[test]
-        fn prop_zigzag_bijective(u in 0u64..(1 << 50)) {
-            prop_assert_eq!(zigzag_encode(zigzag_decode(u)), u);
+    #[test]
+    fn prop_zigzag_bijective() {
+        let mut rng = VrRng::seed_from(0xe960_0003);
+        for _ in 0..512 {
+            let u = rng.below(1 << 50);
+            assert_eq!(zigzag_encode(zigzag_decode(u)), u);
+        }
+    }
+
+    /// Exhaustive small-value sweep: every value below 2^12 round
+    /// trips through both codes, and the zig-zag map is bijective.
+    #[test]
+    fn exhaustive_small_values_round_trip() {
+        for v in 0u64..(1 << 12) {
+            let mut w = BitWriter::new();
+            put_ue(&mut w, v);
+            put_se(&mut w, v as i64 - 2048);
+            let bytes = w.finish();
+            let mut r = BitReader::new(&bytes);
+            assert_eq!(read_ue(&mut r).unwrap(), v);
+            assert_eq!(read_se(&mut r).unwrap(), v as i64 - 2048);
+            assert_eq!(zigzag_encode(zigzag_decode(v)), v);
         }
     }
 }

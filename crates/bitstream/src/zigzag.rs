@@ -46,7 +46,7 @@ pub fn inverse<T: Copy + Default>(scanned: &[T], order: &[usize]) -> Vec<T> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use vr_base::VrRng;
 
     #[test]
     fn four_by_four_matches_h264_table() {
@@ -73,13 +73,28 @@ mod tests {
         }
     }
 
-    proptest! {
-        #[test]
-        fn prop_forward_inverse_round_trip(data in proptest::collection::vec(-512i32..512, 64)) {
-            let order = scan_order(8);
+    /// Seeded randomized round trips (the former proptest suite).
+    #[test]
+    fn prop_forward_inverse_round_trip() {
+        let mut rng = VrRng::seed_from(0x2162_0001);
+        let order = scan_order(8);
+        for _ in 0..256 {
+            let data: Vec<i32> =
+                (0..64).map(|_| rng.range_i64(-512, 511) as i32).collect();
             let scanned = forward(&data, &order);
             let back = inverse(&scanned, &order);
-            prop_assert_eq!(back, data);
+            assert_eq!(back, data);
+        }
+    }
+
+    /// Exhaustive block-size sweep: forward∘inverse is the identity
+    /// for every block size the codec could plausibly use.
+    #[test]
+    fn exhaustive_block_sizes_round_trip() {
+        for n in 1usize..=16 {
+            let order = scan_order(n);
+            let data: Vec<i32> = (0..(n * n) as i32).collect();
+            assert_eq!(inverse(&forward(&data, &order), &order), data, "n={n}");
         }
     }
 }

@@ -9,7 +9,7 @@
 use std::fmt;
 use std::time::Duration as WallDuration;
 use vr_frame::metrics::PsnrStats;
-use vr_vdbms::QueryKind;
+use vr_vdbms::{PipelineSnapshot, QueryKind, StageKind};
 
 /// Validation outcome for a query batch.
 #[derive(Debug, Clone, Default)]
@@ -45,6 +45,9 @@ pub enum QueryStatus {
         fps: f64,
         /// Bytes persisted (write mode) across the batch.
         bytes_written: usize,
+        /// Per-operator (scan/decode/kernel/encode/sink) time, frame
+        /// and byte aggregates from the engine's physical pipeline.
+        stages: PipelineSnapshot,
         validation: ValidationSummary,
     },
     /// The engine cannot express the query (reported as N/A, like
@@ -128,7 +131,7 @@ impl fmt::Display for BenchmarkReport {
         )?;
         for q in &self.queries {
             match &q.status {
-                QueryStatus::Completed { runtime, fps, validation, .. } => {
+                QueryStatus::Completed { runtime, fps, stages, validation, .. } => {
                     let psnr = validation
                         .psnr
                         .map(|p| format!("{:.1}dB", p.mean))
@@ -143,6 +146,20 @@ impl fmt::Display for BenchmarkReport {
                         fps,
                         psnr,
                         verdict
+                    )?;
+                    let ms = |k: StageKind| stages.stage(k).nanos as f64 / 1e6;
+                    writeln!(
+                        f,
+                        "        stages: decode {:.1}ms/{}fr  kernel {:.1}ms/{}fr  \
+                         encode {:.1}ms/{}B  (scan {:.1}ms, sink {:.1}ms)",
+                        ms(StageKind::Decode),
+                        stages.stage(StageKind::Decode).frames,
+                        ms(StageKind::Kernel),
+                        stages.stage(StageKind::Kernel).frames,
+                        ms(StageKind::Encode),
+                        stages.stage(StageKind::Encode).bytes,
+                        ms(StageKind::Scan),
+                        ms(StageKind::Sink),
                     )?;
                 }
                 QueryStatus::Unsupported => {
@@ -194,6 +211,7 @@ mod tests {
                         frames: 240,
                         fps: 160.0,
                         bytes_written: 0,
+                        stages: PipelineSnapshot::default(),
                         validation: ValidationSummary {
                             psnr: PsnrStats::from_values(&[55.0, 60.0]),
                             semantic_agreement: None,
@@ -225,6 +243,7 @@ mod tests {
         assert!(text.contains("FAILED: resource exhausted"));
         assert!(text.contains("N/A (unsupported)"));
         assert!(text.contains("L=2"));
+        assert!(text.contains("stages: decode"));
     }
 
     #[test]

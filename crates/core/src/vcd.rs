@@ -19,6 +19,7 @@
 
 use crate::dataset::Dataset;
 use crate::report::{BenchmarkReport, QueryReport, QueryStatus, ValidationSummary};
+use std::sync::Arc;
 use std::time::Instant;
 use vr_base::rng::mix64;
 use vr_base::{Resolution, Result, VrRng};
@@ -29,7 +30,9 @@ use vr_storage::rtp::{RtpDepacketizer, RtpPacketizer};
 use vr_storage::{FlatStore, Pacer};
 use vr_vdbms::query::{QueryInstance, QuerySpec};
 use vr_vdbms::reference::execute_reference;
-use vr_vdbms::{ExecContext, InputVideo, QueryKind, QueryOutput, ResultMode, Vdbms};
+use vr_vdbms::{
+    ExecContext, InputVideo, PipelineMetrics, QueryKind, QueryOutput, ResultMode, Vdbms,
+};
 
 /// Offline (random file access) vs online (rate-throttled forward-only
 /// streams) execution (§3.2).
@@ -202,6 +205,7 @@ impl<'d> Vcd<'d> {
                 None => ResultMode::Streaming,
             },
             output_qp: self.cfg.output_qp,
+            metrics: Arc::new(PipelineMetrics::default()),
         }
     }
 
@@ -219,7 +223,7 @@ impl<'d> Vcd<'d> {
         let mut frames = 0usize;
         let mut bytes_written = 0usize;
         let start = Instant::now();
-        engine.prepare_batch(&batch, inputs);
+        engine.prepare_batch(&batch, inputs, &ctx);
         for instance in &batch {
             // Online mode: the engine may not read faster than the
             // capture rate; stream the inputs through paced RTP first.
@@ -250,6 +254,9 @@ impl<'d> Vcd<'d> {
         }
         let runtime = start.elapsed();
         let fps = frames as f64 / runtime.as_secs_f64().max(1e-9);
+        // Per-operator stage aggregates accumulated by the engine's
+        // pipeline over the whole measured batch.
+        let stages = ctx.metrics.snapshot();
 
         let validation = if self.cfg.validate {
             self.validate_batch(&batch, &outputs)?
@@ -265,6 +272,7 @@ impl<'d> Vcd<'d> {
                 frames,
                 fps,
                 bytes_written,
+                stages,
                 validation,
             },
         })
@@ -277,8 +285,13 @@ impl<'d> Vcd<'d> {
         batch: &[QueryInstance],
         outputs: &[QueryOutput],
     ) -> Result<ValidationSummary> {
-        let ref_ctx =
-            ExecContext { result_mode: ResultMode::Streaming, output_qp: self.cfg.output_qp };
+        // The reference runs get their own metrics so validation work
+        // never pollutes the measured engine's stage aggregates.
+        let ref_ctx = ExecContext {
+            result_mode: ResultMode::Streaming,
+            output_qp: self.cfg.output_qp,
+            metrics: Arc::new(PipelineMetrics::default()),
+        };
         let mut psnr_values: Vec<f64> = Vec::new();
         let mut box_matches = 0usize;
         let mut box_total = 0usize;

@@ -182,45 +182,67 @@ mod tests {
 }
 
 #[cfg(test)]
-mod prop_tests {
+mod randomized_tests {
+    //! Seeded randomized invariant checks (the former proptest suite),
+    //! driven by the in-repo deterministic generator.
     use super::*;
-    use proptest::prelude::*;
+    use vr_base::VrRng;
 
-    fn arb_path() -> impl Strategy<Value = Path> {
-        proptest::collection::vec((-100.0f32..100.0, -100.0f32..100.0), 2..12)
-            .prop_map(|pts| Path::new(pts.into_iter().map(|(x, y)| Vec2::new(x, y)).collect()))
+    fn arb_path(rng: &mut VrRng) -> Path {
+        let n = rng.range(2, 11);
+        Path::new(
+            (0..n)
+                .map(|_| Vec2::new(rng.range_f32(-100.0, 100.0), rng.range_f32(-100.0, 100.0)))
+                .collect(),
+        )
     }
 
-    proptest! {
-        #[test]
-        fn prop_position_is_on_or_between_waypoints(p in arb_path(), t in 0.0f32..1.0) {
+    #[test]
+    fn prop_position_is_on_or_between_waypoints() {
+        let mut rng = VrRng::seed_from(0x9a74_0001);
+        for _ in 0..200 {
+            let p = arb_path(&mut rng);
+            let t = rng.range_f32(0.0, 1.0);
             let s = t * p.length();
             let pos = p.position_at(s);
             // The position lies within the waypoints' bounding box.
             let (mut min_x, mut min_y) = (f32::MAX, f32::MAX);
             let (mut max_x, mut max_y) = (f32::MIN, f32::MIN);
             for w in p.points() {
-                min_x = min_x.min(w.x); max_x = max_x.max(w.x);
-                min_y = min_y.min(w.y); max_y = max_y.max(w.y);
+                min_x = min_x.min(w.x);
+                max_x = max_x.max(w.x);
+                min_y = min_y.min(w.y);
+                max_y = max_y.max(w.y);
             }
-            prop_assert!(pos.x >= min_x - 1e-3 && pos.x <= max_x + 1e-3);
-            prop_assert!(pos.y >= min_y - 1e-3 && pos.y <= max_y + 1e-3);
+            assert!(pos.x >= min_x - 1e-3 && pos.x <= max_x + 1e-3);
+            assert!(pos.y >= min_y - 1e-3 && pos.y <= max_y + 1e-3);
         }
+    }
 
-        #[test]
-        fn prop_arc_length_is_monotone(p in arb_path(), a in 0.0f32..1.0, b in 0.0f32..1.0) {
+    #[test]
+    fn prop_arc_length_is_monotone() {
+        let mut rng = VrRng::seed_from(0x9a74_0002);
+        for _ in 0..200 {
+            let p = arb_path(&mut rng);
+            let a = rng.range_f32(0.0, 1.0);
+            let b = rng.range_f32(0.0, 1.0);
             // Distance travelled along the path between two arc
             // lengths never exceeds their difference (paths don't
             // teleport).
             let (lo, hi) = (a.min(b) * p.length(), a.max(b) * p.length());
             let d = p.position_at(lo).distance(p.position_at(hi));
-            prop_assert!(d <= (hi - lo) + 1e-3, "{d} > {}", hi - lo);
+            assert!(d <= (hi - lo) + 1e-3, "{d} > {}", hi - lo);
         }
+    }
 
-        #[test]
-        fn prop_direction_is_unit(p in arb_path(), t in 0.0f32..1.0) {
+    #[test]
+    fn prop_direction_is_unit() {
+        let mut rng = VrRng::seed_from(0x9a74_0003);
+        for _ in 0..200 {
+            let p = arb_path(&mut rng);
+            let t = rng.range_f32(0.0, 1.0);
             let d = p.direction_at(t * p.length());
-            prop_assert!((d.length() - 1.0).abs() < 1e-4);
+            assert!((d.length() - 1.0).abs() < 1e-4);
         }
     }
 }

@@ -192,59 +192,113 @@ mod tests {
 }
 
 #[cfg(test)]
-mod prop_tests {
+mod randomized_tests {
+    //! Seeded randomized invariant checks (the former proptest suite),
+    //! driven by the in-repo deterministic generator.
     use super::*;
-    use proptest::prelude::*;
+    use vr_base::VrRng;
 
-    fn arb_rect() -> impl Strategy<Value = Rect> {
-        (-100i32..100, -100i32..100, 1i32..120, 1i32..120)
-            .prop_map(|(x, y, w, h)| Rect::from_origin_size(x, y, w as u32, h as u32))
+    fn arb_rect(rng: &mut VrRng) -> Rect {
+        let x = rng.range_i64(-100, 100) as i32;
+        let y = rng.range_i64(-100, 100) as i32;
+        let w = rng.range(1, 120) as u32;
+        let h = rng.range(1, 120) as u32;
+        Rect::from_origin_size(x, y, w, h)
     }
 
-    proptest! {
-        #[test]
-        fn prop_iou_is_symmetric_and_bounded(a in arb_rect(), b in arb_rect()) {
+    #[test]
+    fn prop_iou_is_symmetric_and_bounded() {
+        let mut rng = VrRng::seed_from(0x9ec7_0001);
+        for _ in 0..256 {
+            let (a, b) = (arb_rect(&mut rng), arb_rect(&mut rng));
             let ab = a.iou(&b);
             let ba = b.iou(&a);
-            prop_assert!((ab - ba).abs() < 1e-12);
-            prop_assert!((0.0..=1.0).contains(&ab));
+            assert!((ab - ba).abs() < 1e-12, "{a:?} {b:?}");
+            assert!((0.0..=1.0).contains(&ab), "{a:?} {b:?}");
         }
+    }
 
-        #[test]
-        fn prop_intersection_within_both(a in arb_rect(), b in arb_rect()) {
+    #[test]
+    fn prop_intersection_within_both() {
+        let mut rng = VrRng::seed_from(0x9ec7_0002);
+        for _ in 0..256 {
+            let (a, b) = (arb_rect(&mut rng), arb_rect(&mut rng));
             let i = a.intersect(&b);
             if !i.is_empty() {
-                prop_assert!(i.x0 >= a.x0 && i.x1 <= a.x1);
-                prop_assert!(i.x0 >= b.x0 && i.x1 <= b.x1);
-                prop_assert!(i.area() <= a.area());
-                prop_assert!(i.area() <= b.area());
+                assert!(i.x0 >= a.x0 && i.x1 <= a.x1, "{a:?} {b:?}");
+                assert!(i.x0 >= b.x0 && i.x1 <= b.x1, "{a:?} {b:?}");
+                assert!(i.area() <= a.area());
+                assert!(i.area() <= b.area());
             }
         }
+    }
 
-        #[test]
-        fn prop_union_contains_both(a in arb_rect(), b in arb_rect()) {
+    #[test]
+    fn prop_union_contains_both() {
+        let mut rng = VrRng::seed_from(0x9ec7_0003);
+        for _ in 0..256 {
+            let (a, b) = (arb_rect(&mut rng), arb_rect(&mut rng));
             let u = a.union_bounds(&b);
             for r in [a, b] {
-                prop_assert!(u.x0 <= r.x0 && u.x1 >= r.x1);
-                prop_assert!(u.y0 <= r.y0 && u.y1 >= r.y1);
+                assert!(u.x0 <= r.x0 && u.x1 >= r.x1, "{a:?} {b:?}");
+                assert!(u.y0 <= r.y0 && u.y1 >= r.y1, "{a:?} {b:?}");
             }
         }
+    }
 
-        #[test]
-        fn prop_clip_never_grows(a in arb_rect(), w in 1u32..200, h in 1u32..200) {
+    #[test]
+    fn prop_clip_never_grows() {
+        let mut rng = VrRng::seed_from(0x9ec7_0004);
+        for _ in 0..256 {
+            let a = arb_rect(&mut rng);
+            let w = rng.range(1, 200) as u32;
+            let h = rng.range(1, 200) as u32;
             let c = a.clipped(w, h);
-            prop_assert!(c.area() <= a.area());
+            assert!(c.area() <= a.area(), "{a:?} {w}x{h}");
             if !c.is_empty() {
-                prop_assert!(c.x0 >= 0 && c.y0 >= 0);
-                prop_assert!(c.x1 <= w as i32 && c.y1 <= h as i32);
+                assert!(c.x0 >= 0 && c.y0 >= 0);
+                assert!(c.x1 <= w as i32 && c.y1 <= h as i32);
             }
         }
+    }
 
-        #[test]
-        fn prop_shift_preserves_area(a in arb_rect(), dx in -50i32..50, dy in -50i32..50) {
-            prop_assert_eq!(a.shifted(dx, dy).area(), a.area());
+    #[test]
+    fn prop_shift_preserves_area() {
+        let mut rng = VrRng::seed_from(0x9ec7_0005);
+        for _ in 0..256 {
+            let a = arb_rect(&mut rng);
+            let dx = rng.range_i64(-50, 50) as i32;
+            let dy = rng.range_i64(-50, 50) as i32;
+            assert_eq!(a.shifted(dx, dy).area(), a.area());
             // Shifting is invertible.
-            prop_assert_eq!(a.shifted(dx, dy).shifted(-dx, -dy), a);
+            assert_eq!(a.shifted(dx, dy).shifted(-dx, -dy), a);
+        }
+    }
+
+    /// Exhaustive small-input sweep: every pair of 1–3 pixel rects in
+    /// a 6×6 grid satisfies the IoU/intersection invariants at once.
+    #[test]
+    fn exhaustive_small_rect_pairs() {
+        let mut rects = Vec::new();
+        for x in 0..4i32 {
+            for y in 0..4i32 {
+                for w in 1..=3u32 {
+                    for h in 1..=3u32 {
+                        rects.push(Rect::from_origin_size(x, y, w, h));
+                    }
+                }
+            }
+        }
+        for a in &rects {
+            for b in &rects {
+                let i = a.intersect(b);
+                assert!(i.area() <= a.area().min(b.area()));
+                let iou = a.iou(b);
+                assert!((0.0..=1.0).contains(&iou));
+                if a == b {
+                    assert_eq!(iou, 1.0);
+                }
+            }
         }
     }
 }

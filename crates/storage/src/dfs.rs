@@ -7,8 +7,8 @@
 //! blocks, with round-robin placement, configurable replication,
 //! datanode failure, and replica failover on read.
 
-use parking_lot::RwLock;
 use std::collections::HashMap;
+use vr_base::sync::RwLock;
 use vr_base::{Error, Result};
 
 /// Default block size (64 KiB — scaled down from HDFS's 128 MiB so

@@ -7,9 +7,8 @@
 //! (writers block when the pipe is full, readers block when it is
 //! empty) without requiring OS-specific mkfifo.
 
-use crossbeam::channel::{bounded, Receiver, Sender};
-use parking_lot::Mutex;
 use std::collections::HashMap;
+use vr_base::sync::{channel, Mutex, Receiver, Sender};
 use vr_base::{Error, Result};
 
 /// Writing half of a pipe.
@@ -65,7 +64,7 @@ impl PipeRegistry {
         if pipes.contains_key(name) {
             return Err(Error::InvalidConfig(format!("pipe {name} already exists")));
         }
-        let (tx, rx) = bounded(capacity.max(1));
+        let (tx, rx) = channel(capacity.max(1));
         pipes.insert(name.to_string(), rx);
         Ok(PipeWriter { tx })
     }

@@ -24,22 +24,27 @@
 //!   eagerly materializes every output frame of the batch; the
 //!   allocation tracker rejects it.
 //!
-//! Everything else reuses the shared (reference) kernels, run over the
-//! frame table with a worker pool.
+//! Every query runs through the shared pipeline's **eager** policy:
+//! a [`MemoryScan`](crate::pipeline::MemoryScan) over the frame table
+//! feeds data-parallel or whole-sequence kernels, with decode cost
+//! recorded at materialization and table reads recorded as Scan work.
 
 use crate::engine::Vdbms;
 use crate::io::{ExecContext, InputVideo, QueryOutput};
-use crate::kernels::{boxes_frame, decode_all, encode_output, filter_class};
+use crate::kernels::{boxes_frame, decode_all, filter_class};
+use crate::pipeline::{self, FrameKernel, KernelOut, Pipeline, PipelineMetrics, StageKind};
 use crate::query::{QueryInstance, QueryKind, QuerySpec};
 use crate::reference;
-use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::Arc;
+use std::time::Instant;
+use vr_base::sync::Mutex;
 use vr_base::{Error, Result};
 use vr_codec::VideoInfo;
 use vr_frame::{ops, Frame};
+use vr_scene::ObjectClass;
 use vr_vision::cost::CostModel;
-use vr_vision::{YoloConfig, YoloDetector};
+use vr_vision::{Detection, YoloConfig, YoloDetector};
 
 /// Batch-engine configuration.
 #[derive(Debug, Clone)]
@@ -109,7 +114,14 @@ impl BatchEngine {
 
     /// Materialize an input into the frame table (decode on miss,
     /// evicting least-recently-used entries to stay under capacity).
-    fn materialize(&self, input: &InputVideo) -> Result<(VideoInfo, Arc<Vec<Frame>>)> {
+    /// Decode cost on a miss is recorded as pipeline Decode work;
+    /// a hit costs nothing here (reading the table shows up as Scan
+    /// work when the frames flow through a memory scan).
+    fn materialize(
+        &self,
+        input: &InputVideo,
+        metrics: &PipelineMetrics,
+    ) -> Result<(VideoInfo, Arc<Vec<Frame>>)> {
         let now = {
             let mut c = self.clock.lock();
             *c += 1;
@@ -124,8 +136,15 @@ impl BatchEngine {
             }
         }
         self.stats.lock().1 += 1;
+        let t0 = Instant::now();
         let (info, frames) = decode_all(input)?;
         let bytes: usize = frames.iter().map(|f| f.sample_count()).sum();
+        metrics.record(
+            StageKind::Decode,
+            t0.elapsed().as_nanos() as u64,
+            frames.len() as u64,
+            bytes as u64,
+        );
         let frames = Arc::new(frames);
         let mut table = self.table.lock();
         // Evict LRU entries until the new entry fits.
@@ -146,30 +165,6 @@ impl BatchEngine {
             );
         }
         Ok((info, frames))
-    }
-
-    /// Run a frame kernel over the table with the worker pool.
-    fn parallel_map<F>(&self, frames: &[Frame], kernel: F) -> Vec<Frame>
-    where
-        F: Fn(&Frame) -> Frame + Sync,
-    {
-        let workers = self.cfg.workers.max(1).min(frames.len().max(1));
-        if workers <= 1 || frames.len() < 4 {
-            return frames.iter().map(&kernel).collect();
-        }
-        let chunk = frames.len().div_ceil(workers);
-        let mut out: Vec<Option<Frame>> = vec![None; frames.len()];
-        let out_chunks: Vec<&mut [Option<Frame>]> = out.chunks_mut(chunk).collect();
-        std::thread::scope(|s| {
-            for (in_chunk, out_chunk) in frames.chunks(chunk).zip(out_chunks) {
-                s.spawn(|| {
-                    for (i, f) in in_chunk.iter().enumerate() {
-                        out_chunk[i] = Some(kernel(f));
-                    }
-                });
-            }
-        });
-        out.into_iter().map(|f| f.expect("kernel filled every slot")).collect()
     }
 }
 
@@ -202,6 +197,38 @@ fn slow_float_crop(frame: &Frame, rect: vr_geom::Rect) -> Frame {
     out
 }
 
+/// The Caffe-analogue Q2(c) kernel: layout conversion + framework
+/// overhead around the shared detector, serial (single inference
+/// queue). This is the batch engine's deliberate divergence from the
+/// shared [`DetectBoxes`](crate::pipeline::DetectBoxes) operator.
+struct CaffeBoxesKernel {
+    detector: YoloDetector,
+    framework: CostModel,
+    class: ObjectClass,
+}
+
+impl FrameKernel for CaffeBoxesKernel {
+    fn push(&mut self, f: Frame, _index: usize, out: &mut Vec<KernelOut>) -> Result<()> {
+        self.framework.run(
+            ((f.width() * f.height()) as usize).max(vr_vision::yolo::NETWORK_INPUT_PIXELS),
+        );
+        // Blob conversion round trip (planar → packed → planar), as
+        // Caffe's data layer would do.
+        let blob = f.to_rgb();
+        let back = Frame::from_rgb(&blob);
+        let dets = filter_class(self.detector.detect(&back), self.class);
+        let boxes = dets
+            .iter()
+            .map(|d| crate::io::OutputBox { class: d.class, rect: d.rect })
+            .collect();
+        out.push(KernelOut {
+            frame: boxes_frame(f.width(), f.height(), &dets),
+            boxes: Some(boxes),
+        });
+        Ok(())
+    }
+}
+
 impl Vdbms for BatchEngine {
     fn name(&self) -> &'static str {
         "batch (Scanner-like)"
@@ -214,7 +241,12 @@ impl Vdbms for BatchEngine {
         true
     }
 
-    fn prepare_batch(&mut self, instances: &[QueryInstance], inputs: &[InputVideo]) {
+    fn prepare_batch(
+        &mut self,
+        instances: &[QueryInstance],
+        inputs: &[InputVideo],
+        ctx: &ExecContext,
+    ) {
         // Eager batch materialization: the dataflow decodes every
         // input of the batch into the frame table before kernels run.
         // When the working set fits the cache this amortizes decode
@@ -228,7 +260,7 @@ impl Vdbms for BatchEngine {
             for &i in &instance.inputs {
                 if let Some(input) = inputs.get(i) {
                     if seen.insert(&input.name) {
-                        let _ = self.materialize(input);
+                        let _ = self.materialize(input, &ctx.metrics);
                     }
                 }
             }
@@ -241,6 +273,7 @@ impl Vdbms for BatchEngine {
         inputs: &[InputVideo],
         ctx: &ExecContext,
     ) -> Result<QueryOutput> {
+        let pl = Pipeline::new(ctx);
         let input = |i: usize| -> Result<&InputVideo> {
             instance
                 .inputs
@@ -250,72 +283,64 @@ impl Vdbms for BatchEngine {
         };
         let output = match &instance.spec {
             QuerySpec::Q1 { rect, t1, t2 } => {
-                let (info, frames) = self.materialize(input(0)?)?;
-                let first = t1.frame_index(info.frame_rate) as usize;
-                let last =
-                    (t2.frame_index(info.frame_rate) as usize).min(frames.len().saturating_sub(1));
-                let first = first.min(last);
-                let selected = &frames[first..=last];
-                let out = self.parallel_map(selected, |f| slow_float_crop(f, *rect));
-                QueryOutput::Video(reference::encode_cropped(&out, info, ctx.output_qp)?)
+                let (info, frames) = self.materialize(input(0)?, &ctx.metrics)?;
+                let last = (t2.frame_index(info.frame_rate) as usize)
+                    .min(frames.len().saturating_sub(1));
+                let first = (t1.frame_index(info.frame_rate) as usize).min(last);
+                let rect = *rect;
+                let mut scan = pl.memory_scan(info, frames, first..last + 1);
+                let out =
+                    pl.run_eager(&mut scan, self.cfg.workers, |f| slow_float_crop(f, rect))?;
+                QueryOutput::Video(out)
             }
             QuerySpec::Q2a => {
-                let (info, frames) = self.materialize(input(0)?)?;
-                let out = self.parallel_map(&frames, ops::grayscale);
-                QueryOutput::Video(encode_output(&out, info, ctx.output_qp)?)
+                let (info, frames) = self.materialize(input(0)?, &ctx.metrics)?;
+                let mut scan = pl.memory_scan(info, frames, 0..usize::MAX);
+                QueryOutput::Video(pl.run_eager(&mut scan, self.cfg.workers, ops::grayscale)?)
             }
             QuerySpec::Q2b { d } => {
-                let (info, frames) = self.materialize(input(0)?)?;
-                let out = self.parallel_map(&frames, |f| ops::gaussian_blur(f, *d));
-                QueryOutput::Video(encode_output(&out, info, ctx.output_qp)?)
+                let (info, frames) = self.materialize(input(0)?, &ctx.metrics)?;
+                let d = *d;
+                let mut scan = pl.memory_scan(info, frames, 0..usize::MAX);
+                let out =
+                    pl.run_eager(&mut scan, self.cfg.workers, move |f| ops::gaussian_blur(f, d))?;
+                QueryOutput::Video(out)
             }
             QuerySpec::Q2c { class } => {
-                let (info, frames) = self.materialize(input(0)?)?;
-                // Caffe-analogue path: layout conversion + framework
-                // overhead around the shared detector, serial (single
-                // inference queue).
-                let mut detector = YoloDetector::new(YoloConfig::default());
-                let mut framework = CostModel::new(self.cfg.nn_framework_macs_per_pixel);
-                let mut out_frames = Vec::with_capacity(frames.len());
-                let mut out_boxes = Vec::with_capacity(frames.len());
-                for f in frames.iter() {
-                    framework.run(
-                        ((f.width() * f.height()) as usize)
-                            .max(vr_vision::yolo::NETWORK_INPUT_PIXELS),
-                    );
-                    // Blob conversion round trip (planar → packed →
-                    // planar), as Caffe's data layer would do.
-                    let blob = f.to_rgb();
-                    let back = Frame::from_rgb(&blob);
-                    let dets = filter_class(detector.detect(&back), *class);
-                    out_frames.push(boxes_frame(f.width(), f.height(), &dets));
-                    out_boxes.push(
-                        dets.iter()
-                            .map(|d| crate::io::OutputBox { class: d.class, rect: d.rect })
-                            .collect(),
-                    );
-                }
-                QueryOutput::BoxedVideo {
-                    video: encode_output(&out_frames, info, ctx.output_qp)?,
-                    boxes: out_boxes,
-                }
+                let (info, frames) = self.materialize(input(0)?, &ctx.metrics)?;
+                let mut scan = pl.memory_scan(info, frames, 0..usize::MAX);
+                let mut kernel = CaffeBoxesKernel {
+                    detector: YoloDetector::new(YoloConfig::default()),
+                    framework: CostModel::new(self.cfg.nn_framework_macs_per_pixel),
+                    class: *class,
+                };
+                let r = pl.run_streaming(&mut scan, &mut kernel)?;
+                QueryOutput::BoxedVideo { video: r.video, boxes: r.boxes.unwrap_or_default() }
             }
             QuerySpec::Q2d { m, epsilon } => {
-                let (info, frames) = self.materialize(input(0)?)?;
-                let out = reference::q2d_masking(&frames, *m, *epsilon);
-                QueryOutput::Video(encode_output(&out, info, ctx.output_qp)?)
+                let (info, frames) = self.materialize(input(0)?, &ctx.metrics)?;
+                let (m, epsilon) = (*m, *epsilon);
+                let mut scan = pl.memory_scan(info, frames, 0..usize::MAX);
+                let out = pl.run_sequence(&mut scan, |frames, _| {
+                    Ok(reference::q2d_masking(&frames, m, epsilon))
+                })?;
+                QueryOutput::Video(out)
             }
             QuerySpec::Q3 { dx, dy, bitrates } => {
-                let (info, frames) = self.materialize(input(0)?)?;
-                let out = crate::kernels::subquery_reencode(&frames, info, *dx, *dy, bitrates)?;
-                QueryOutput::Video(encode_output(&out, info, ctx.output_qp)?)
+                let (info, frames) = self.materialize(input(0)?, &ctx.metrics)?;
+                let (dx, dy) = (*dx, *dy);
+                let mut scan = pl.memory_scan(info, frames, 0..usize::MAX);
+                let out = pl.run_sequence(&mut scan, |frames, info| {
+                    crate::kernels::subquery_reencode(&frames, info, dx, dy, bitrates)
+                })?;
+                QueryOutput::Video(out)
             }
             QuerySpec::Q4 { alpha, beta } => {
                 // Eager materialization of the upsampled batch: check
                 // the allocation against the budget — and fail, as
                 // Scanner does ("quickly allocates all available
                 // memory and thereafter fails to make progress").
-                let (_info, frames) = self.materialize(input(0)?)?;
+                let (_info, frames) = self.materialize(input(0)?, &ctx.metrics)?;
                 let out_bytes: usize = frames
                     .iter()
                     .map(|f| f.sample_count() * (*alpha as usize) * (*beta as usize))
@@ -327,46 +352,57 @@ impl Vdbms for BatchEngine {
                 )));
             }
             QuerySpec::Q5 { alpha, beta } => {
-                let (info, frames) = self.materialize(input(0)?)?;
-                let out = self.parallel_map(&frames, |f| {
+                let (info, frames) = self.materialize(input(0)?, &ctx.metrics)?;
+                let (alpha, beta) = (*alpha, *beta);
+                let mut scan = pl.memory_scan(info, frames, 0..usize::MAX);
+                let out = pl.run_eager(&mut scan, self.cfg.workers, move |f| {
                     ops::downsample(f, (f.width() / alpha).max(2), (f.height() / beta).max(2))
-                });
-                QueryOutput::Video(reference::encode_cropped(&out, info, ctx.output_qp)?)
+                })?;
+                QueryOutput::Video(out)
             }
             QuerySpec::Q6a => {
                 let inp = input(0)?;
-                let (info, frames) = self.materialize(inp)?;
-                let out = reference::q6a_union_boxes(inp, &frames)?;
-                QueryOutput::Video(encode_output(&out, info, ctx.output_qp)?)
+                let (info, frames) = self.materialize(inp, &ctx.metrics)?;
+                let mut scan = pl.memory_scan(info, frames, 0..usize::MAX);
+                let mut kernel = pipeline::try_map(|f: Frame, i: usize| {
+                    let boxes = crate::kernels::box_track(inp, i)?;
+                    let dets: Vec<Detection> = boxes
+                        .iter()
+                        .map(|b| Detection { class: b.class, rect: b.rect, score: 1.0 })
+                        .collect();
+                    let overlay = boxes_frame(f.width(), f.height(), &dets);
+                    Ok(ops::coalesce(&f, &overlay))
+                });
+                QueryOutput::Video(pl.run_streaming(&mut scan, &mut kernel)?.video)
             }
             QuerySpec::Q6b => {
                 let inp = input(0)?;
-                let (info, frames) = self.materialize(inp)?;
+                let (info, frames) = self.materialize(inp, &ctx.metrics)?;
                 let doc = crate::kernels::caption_track(inp)?;
                 let style = vr_vtt::CaptionStyle::default();
                 let rate = info.frame_rate;
-                let indexed: Vec<(usize, &Frame)> = frames.iter().enumerate().collect();
-                let mut out = Vec::with_capacity(frames.len());
-                for (i, f) in indexed {
+                let mut scan = pl.memory_scan(info, frames, 0..usize::MAX);
+                let mut kernel = pipeline::map(move |f, i| {
                     let t = vr_base::Timestamp::of_frame(i as u64, rate);
                     let overlay =
                         vr_vtt::render_cues_frame(&doc, t, f.width(), f.height(), &style);
-                    out.push(ops::coalesce(f, &overlay));
-                }
-                QueryOutput::Video(encode_output(&out, info, ctx.output_qp)?)
+                    ops::coalesce(&f, &overlay)
+                });
+                QueryOutput::Video(pl.run_streaming(&mut scan, &mut kernel)?.video)
             }
             QuerySpec::Q7 { class } => {
-                let (info, frames) = self.materialize(input(0)?)?;
-                let out = reference::q7_object_detection(
-                    &frames,
-                    *class,
-                    YoloConfig {
-                        macs_per_pixel: YoloConfig::default().macs_per_pixel
-                            + self.cfg.nn_framework_macs_per_pixel,
-                        ..YoloConfig::default()
-                    },
-                );
-                QueryOutput::Video(encode_output(&out, info, ctx.output_qp)?)
+                let (info, frames) = self.materialize(input(0)?, &ctx.metrics)?;
+                let class = *class;
+                let cfg = YoloConfig {
+                    macs_per_pixel: YoloConfig::default().macs_per_pixel
+                        + self.cfg.nn_framework_macs_per_pixel,
+                    ..YoloConfig::default()
+                };
+                let mut scan = pl.memory_scan(info, frames, 0..usize::MAX);
+                let out = pl.run_sequence(&mut scan, |frames, _| {
+                    Ok(reference::q7_object_detection(&frames, class, cfg))
+                })?;
+                QueryOutput::Video(out)
             }
             QuerySpec::Q8 { plate } => {
                 let videos: Result<Vec<&InputVideo>> = instance
@@ -378,32 +414,25 @@ impl Vdbms for BatchEngine {
                         })
                     })
                     .collect();
-                QueryOutput::Video(reference::q8_vehicle_tracking(
-                    &videos?,
-                    *plate,
-                    ctx.output_qp,
-                )?)
+                QueryOutput::Video(reference::q8_vehicle_tracking(&pl, &videos?, *plate)?)
             }
             QuerySpec::Q9 { faces, output } => QueryOutput::Video(reference::q9_stitch(
+                &pl,
                 &[input(0)?, input(1)?, input(2)?, input(3)?],
                 faces,
                 *output,
-                ctx.output_qp,
             )?),
             QuerySpec::Q10 { high_bitrate, low_bitrate, high_tiles, client } => {
-                let (info, frames) = self.materialize(input(0)?)?;
-                let out = reference::q10_tile_encode(
-                    &frames,
-                    info,
-                    *high_bitrate,
-                    *low_bitrate,
-                    high_tiles,
-                    *client,
-                )?;
-                QueryOutput::Video(reference::encode_cropped(&out, info, ctx.output_qp)?)
+                let (info, frames) = self.materialize(input(0)?, &ctx.metrics)?;
+                let (hb, lb, client) = (*high_bitrate, *low_bitrate, *client);
+                let mut scan = pl.memory_scan(info, frames, 0..usize::MAX);
+                let out = pl.run_sequence(&mut scan, |frames, info| {
+                    reference::q10_tile_encode(&frames, info, hb, lb, high_tiles, client)
+                })?;
+                QueryOutput::Video(out)
             }
         };
-        ctx.result_mode.sink(instance.index, &output)?;
+        pl.sink(instance.index, &output)?;
         Ok(output)
     }
 
@@ -419,13 +448,16 @@ mod tests {
     #[test]
     fn cache_hits_on_repeated_access() {
         let engine = BatchEngine::new();
+        let metrics = PipelineMetrics::default();
         let input = crate::io::tests::tiny_input("cache-a.vrmf");
-        engine.materialize(&input).unwrap();
-        engine.materialize(&input).unwrap();
-        engine.materialize(&input).unwrap();
+        engine.materialize(&input, &metrics).unwrap();
+        engine.materialize(&input, &metrics).unwrap();
+        engine.materialize(&input, &metrics).unwrap();
         let (hits, misses) = engine.cache_stats();
         assert_eq!(misses, 1);
         assert_eq!(hits, 2);
+        // Only the miss decodes.
+        assert_eq!(metrics.snapshot().stage(StageKind::Decode).frames, 4);
     }
 
     #[test]
@@ -434,9 +466,10 @@ mod tests {
             cache_bytes: 1, // nothing fits
             ..Default::default()
         });
+        let metrics = PipelineMetrics::default();
         let input = crate::io::tests::tiny_input("thrash.vrmf");
-        engine.materialize(&input).unwrap();
-        engine.materialize(&input).unwrap();
+        engine.materialize(&input, &metrics).unwrap();
+        engine.materialize(&input, &metrics).unwrap();
         let (hits, misses) = engine.cache_stats();
         assert_eq!(hits, 0, "nothing should fit the cache");
         assert_eq!(misses, 2);
@@ -450,11 +483,12 @@ mod tests {
             cache_bytes: 8000,
             ..Default::default()
         });
+        let metrics = PipelineMetrics::default();
         let a = crate::io::tests::tiny_input("lru-a.vrmf");
         let b = crate::io::tests::tiny_input("lru-b.vrmf");
-        engine.materialize(&a).unwrap(); // miss, cached
-        engine.materialize(&b).unwrap(); // miss, evicts a
-        engine.materialize(&a).unwrap(); // miss again
+        engine.materialize(&a, &metrics).unwrap(); // miss, cached
+        engine.materialize(&b, &metrics).unwrap(); // miss, evicts a
+        engine.materialize(&a, &metrics).unwrap(); // miss again
         let (hits, misses) = engine.cache_stats();
         assert_eq!(misses, 3);
         assert_eq!(hits, 0);
@@ -478,10 +512,11 @@ mod tests {
     #[test]
     fn quiesce_drops_cache() {
         let mut engine = BatchEngine::new();
+        let metrics = PipelineMetrics::default();
         let input = crate::io::tests::tiny_input("q.vrmf");
-        engine.materialize(&input).unwrap();
+        engine.materialize(&input, &metrics).unwrap();
         engine.quiesce();
-        engine.materialize(&input).unwrap();
+        engine.materialize(&input, &metrics).unwrap();
         assert_eq!(engine.cache_stats().1, 2, "post-quiesce access re-decodes");
     }
 

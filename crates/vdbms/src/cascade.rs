@@ -14,12 +14,12 @@
 
 use crate::engine::Vdbms;
 use crate::io::{ExecContext, InputVideo, OutputBox, QueryOutput};
-use crate::kernels::{boxes_frame, decode_all, encode_output, filter_class};
+use crate::kernels::{boxes_frame, filter_class};
+use crate::pipeline::{self, DiffGate, FrameSource, KernelOut, Pipeline};
 use crate::query::{QueryInstance, QueryKind, QuerySpec};
-use crate::reference;
 use vr_base::{Error, Result};
 
-use vr_vision::diff::FrameDiff;
+use vr_frame::ops;
 use vr_vision::{Detection, YoloConfig, YoloDetector};
 
 /// Cascade configuration.
@@ -108,15 +108,23 @@ impl Vdbms for CascadeEngine {
             .first()
             .and_then(|&idx| inputs.get(idx))
             .ok_or_else(|| Error::InvalidConfig("missing input".into()))?;
+        let pl = Pipeline::new(ctx);
         let output = match &instance.spec {
             QuerySpec::Q1 { rect, t1, t2 } => {
-                let (info, frames) = decode_all(input)?;
-                let out = reference::q1_select(&frames, info, *rect, *t1, *t2);
-                QueryOutput::Video(reference::encode_cropped(&out, info, ctx.output_qp)?)
+                let mut scan = pl.stream_scan(input)?;
+                let info = scan.info();
+                let last = (t2.frame_index(info.frame_rate) as usize)
+                    .min(scan.len().saturating_sub(1));
+                let first = (t1.frame_index(info.frame_rate) as usize).min(last);
+                let rect = *rect;
+                let mut kernel = pipeline::filter_map(move |f, i| {
+                    (first..=last).contains(&i).then(|| ops::crop(&f, rect))
+                });
+                QueryOutput::Video(pl.run_streaming(&mut scan, &mut kernel)?.video)
             }
             QuerySpec::Q2c { class } => {
-                let (info, frames) = decode_all(input)?;
-                let mut diff = FrameDiff::new();
+                let mut scan = pl.stream_scan(input)?;
+                let mut gate = DiffGate::new(self.cfg.diff_threshold, self.cfg.max_skip);
                 let mut cheap = YoloDetector::new(YoloConfig {
                     macs_per_pixel: self.cfg.cheap_macs_per_pixel,
                     ..YoloConfig::default()
@@ -126,44 +134,38 @@ impl Vdbms for CascadeEngine {
                     ..YoloConfig::default()
                 });
                 let mut last_dets: Vec<Detection> = Vec::new();
-                let mut skipped = 0u32;
-                let mut out_frames = Vec::with_capacity(frames.len());
-                let mut out_boxes = Vec::with_capacity(frames.len());
-                for f in &frames {
-                    let score = diff.step(f);
-                    let dets = if score < self.cfg.diff_threshold
-                        && skipped < self.cfg.max_skip
-                    {
-                        // Cheap path: specialized model confirms the
-                        // previous result still holds.
-                        self.stats.0 += 1;
-                        skipped += 1;
-                        let _ = cheap.detect(f);
-                        last_dets.clone()
-                    } else {
+                let class = *class;
+                let stats = &mut self.stats;
+                let mut kernel = |f: vr_frame::Frame, _i: usize, escalate: bool| {
+                    let dets = if escalate {
                         // Escalate to the full model.
-                        self.stats.1 += 1;
-                        skipped = 0;
-                        let dets = full.detect(f);
+                        stats.1 += 1;
+                        let dets = full.detect(&f);
                         last_dets = dets.clone();
                         dets
+                    } else {
+                        // Cheap path: specialized model confirms the
+                        // previous result still holds.
+                        stats.0 += 1;
+                        let _ = cheap.detect(&f);
+                        last_dets.clone()
                     };
-                    let dets = filter_class(dets, *class);
-                    out_frames.push(boxes_frame(f.width(), f.height(), &dets));
-                    out_boxes.push(
-                        dets.iter()
-                            .map(|d| OutputBox { class: d.class, rect: d.rect })
-                            .collect(),
-                    );
-                }
-                QueryOutput::BoxedVideo {
-                    video: encode_output(&out_frames, info, ctx.output_qp)?,
-                    boxes: out_boxes,
-                }
+                    let dets = filter_class(dets, class);
+                    let boxes = dets
+                        .iter()
+                        .map(|d| OutputBox { class: d.class, rect: d.rect })
+                        .collect();
+                    Ok(KernelOut {
+                        frame: boxes_frame(f.width(), f.height(), &dets),
+                        boxes: Some(boxes),
+                    })
+                };
+                let r = pl.run_short_circuit(&mut scan, &mut gate, &mut kernel)?;
+                QueryOutput::BoxedVideo { video: r.video, boxes: r.boxes.unwrap_or_default() }
             }
             _ => unreachable!("supports() filtered other kinds"),
         };
-        ctx.result_mode.sink(instance.index, &output)?;
+        pl.sink(instance.index, &output)?;
         Ok(output)
     }
 }

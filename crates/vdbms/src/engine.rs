@@ -22,9 +22,15 @@ pub trait Vdbms {
     /// Called once before a query batch with every instance the
     /// driver is about to submit. Engines that plan batch-wide (like
     /// Scanner's eager table materialization) hook in here; the
-    /// default does nothing. Runs inside the measured window.
-    fn prepare_batch(&mut self, instances: &[QueryInstance], inputs: &[InputVideo]) {
-        let _ = (instances, inputs);
+    /// default does nothing. Runs inside the measured window, so the
+    /// context's pipeline metrics record work done here too.
+    fn prepare_batch(
+        &mut self,
+        instances: &[QueryInstance],
+        inputs: &[InputVideo],
+        ctx: &ExecContext,
+    ) {
+        let _ = (instances, inputs, ctx);
     }
 
     /// Execute one query instance. `inputs` is the whole dataset;

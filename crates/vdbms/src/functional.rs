@@ -5,9 +5,13 @@
 //! GOP-at-a-time with GPU kernels. Architectural consequences
 //! reproduced here by construction:
 //!
-//! * **Streaming execution.** Per-frame queries decode, process, and
-//!   release one frame at a time (bounded memory — no thrash at large
-//!   scale factors, Figure 6).
+//! * **Streaming execution.** Per-frame queries run the shared
+//!   pipeline's streaming policy — decode, process, and release one
+//!   frame at a time (bounded memory — no thrash at large scale
+//!   factors, Figure 6). Q1 uses the keyframe-seeking range scan
+//!   (the lazy algebra's temporal predicate pushdown) and Q2(d) the
+//!   windowed [`TemporalMaskKernel`] (only the m-frame ring is
+//!   resident).
 //! * **Fast fixed-point kernels.** The shared `vr-frame` kernels *are*
 //!   the fixed-point fast path ("GPU").
 //! * **Device-memory pool.** Q3/Q4 hold per-video device allocations
@@ -22,16 +26,14 @@
 
 use crate::engine::Vdbms;
 use crate::io::{ExecContext, InputVideo, QueryOutput};
-use crate::kernels::{
-    boxes_frame, caption_track, encode_output, filter_class, FrameStream,
-};
+use crate::kernels::{boxes_frame, caption_track};
+use crate::pipeline::{self, DetectBoxes, FrameSource, Pipeline, TemporalMaskKernel};
 use crate::query::{QueryInstance, QueryKind, QuerySpec};
 use crate::reference;
 use vr_base::{Error, Result, Timestamp};
-use vr_codec::{Encoder, EncoderConfig, Packet, RateControlMode, VideoInfo};
 use vr_frame::{ops, Frame};
 use vr_vision::cost::CostModel;
-use vr_vision::{YoloConfig, YoloDetector};
+use vr_vision::{Detection, YoloConfig};
 
 /// Functional-engine configuration.
 #[derive(Debug, Clone)]
@@ -86,42 +88,6 @@ impl FunctionalEngine {
         }
         Ok(())
     }
-
-    /// Stream a per-frame kernel: decode → kernel → encode, one frame
-    /// resident at a time.
-    fn stream_map(
-        &self,
-        input: &InputVideo,
-        qp: u8,
-        mut kernel: impl FnMut(Frame, usize) -> Frame,
-    ) -> Result<(VideoInfo, Vec<Packet>, Option<VideoInfo>)> {
-        let mut stream = FrameStream::open(input)?;
-        let info = stream.info();
-        let mut encoder: Option<Encoder> = None;
-        let mut out_info = None;
-        let mut packets = Vec::with_capacity(stream.len());
-        let mut index = 0usize;
-        while let Some(frame) = stream.next_frame() {
-            let processed = kernel(frame?, index);
-            index += 1;
-            if encoder.is_none() {
-                let cfg = EncoderConfig {
-                    profile: info.profile,
-                    rate: RateControlMode::ConstantQp(qp),
-                    gop: info.gop,
-                    frame_rate: info.frame_rate,
-                };
-                let enc = Encoder::new(cfg, processed.width(), processed.height())?;
-                out_info = Some(enc.info());
-                encoder = Some(enc);
-            }
-            packets.push(encoder.as_mut().unwrap().encode(&processed)?);
-        }
-        if packets.is_empty() {
-            return Err(Error::InvalidConfig(format!("{} has no frames", input.name)));
-        }
-        Ok((info, packets, out_info))
-    }
 }
 
 impl Default for FunctionalEngine {
@@ -145,6 +111,7 @@ impl Vdbms for FunctionalEngine {
         inputs: &[InputVideo],
         ctx: &ExecContext,
     ) -> Result<QueryOutput> {
+        let pl = Pipeline::new(ctx);
         let input = |i: usize| -> Result<&InputVideo> {
             instance
                 .inputs
@@ -152,7 +119,6 @@ impl Vdbms for FunctionalEngine {
                 .and_then(|&idx| inputs.get(idx))
                 .ok_or_else(|| Error::InvalidConfig(format!("missing input {i}")))
         };
-        let qp = ctx.output_qp;
         let output = match &instance.spec {
             QuerySpec::Q1 { rect, t1, t2 } => {
                 // Random access: seek to the keyframe preceding t1 and
@@ -161,163 +127,86 @@ impl Vdbms for FunctionalEngine {
                 let inp = input(0)?;
                 let info = inp.video_info()?;
                 let n = inp.frame_count();
-                let first = t1.frame_index(info.frame_rate) as usize;
                 let last =
                     (t2.frame_index(info.frame_rate) as usize).min(n.saturating_sub(1));
-                let first = first.min(last);
-                let (_, frames) = crate::kernels::decode_range(inp, first, last)?;
-                let out: Vec<Frame> = frames.iter().map(|f| ops::crop(f, *rect)).collect();
-                QueryOutput::Video(reference::encode_cropped(&out, info, qp)?)
+                let first = (t1.frame_index(info.frame_rate) as usize).min(last);
+                let rect = *rect;
+                let mut scan = pl.range_scan(inp, first, last)?;
+                let mut kernel = pipeline::map(move |f, _| ops::crop(&f, rect));
+                QueryOutput::Video(pl.run_streaming(&mut scan, &mut kernel)?.video)
             }
             QuerySpec::Q2a => {
-                let (_info, packets, out_info) =
-                    self.stream_map(input(0)?, qp, |mut f, _| {
-                        ops::grayscale_in_place(&mut f);
-                        f
-                    })?;
-                QueryOutput::Video(vr_codec::EncodedVideo {
-                    info: out_info.unwrap(),
-                    packets,
-                })
+                let mut scan = pl.stream_scan(input(0)?)?;
+                let mut kernel = pipeline::map(|mut f: Frame, _| {
+                    ops::grayscale_in_place(&mut f);
+                    f
+                });
+                QueryOutput::Video(pl.run_streaming(&mut scan, &mut kernel)?.video)
             }
             QuerySpec::Q2b { d } => {
                 let d = *d;
-                let (_info, packets, out_info) =
-                    self.stream_map(input(0)?, qp, move |f, _| ops::gaussian_blur(&f, d))?;
-                QueryOutput::Video(vr_codec::EncodedVideo {
-                    info: out_info.unwrap(),
-                    packets,
-                })
+                let mut scan = pl.stream_scan(input(0)?)?;
+                let mut kernel = pipeline::map(move |f, _| ops::gaussian_blur(&f, d));
+                QueryOutput::Video(pl.run_streaming(&mut scan, &mut kernel)?.video)
             }
             QuerySpec::Q2c { class } => {
                 // Streamed detection with the fast fixed-point path
-                // (no framework conversion).
-                let class = *class;
-                let mut detector = YoloDetector::new(YoloConfig::default());
-                let mut boxes = Vec::new();
-                let (_info, packets, out_info) = self.stream_map(input(0)?, qp, |f, _| {
-                    let dets = filter_class(detector.detect(&f), class);
-                    let out = boxes_frame(f.width(), f.height(), &dets);
-                    boxes.push(
-                        dets.iter()
-                            .map(|d| crate::io::OutputBox { class: d.class, rect: d.rect })
-                            .collect(),
-                    );
-                    out
-                })?;
-                QueryOutput::BoxedVideo {
-                    video: vr_codec::EncodedVideo { info: out_info.unwrap(), packets },
-                    boxes,
-                }
+                // (no framework conversion) — the shared operator.
+                let mut scan = pl.stream_scan(input(0)?)?;
+                let mut kernel = DetectBoxes::new(*class, YoloConfig::default());
+                let r = pl.run_streaming(&mut scan, &mut kernel)?;
+                QueryOutput::BoxedVideo { video: r.video, boxes: r.boxes.unwrap_or_default() }
             }
             QuerySpec::Q2d { m, epsilon } => {
                 // Streamed with a genuine m-frame look-ahead ring:
                 // only the current window (and the encoder) are
                 // resident — the bounded-memory property that keeps
                 // this engine stable at large scale factors.
-                let inp = input(0)?;
-                let mut stream = FrameStream::open(inp)?;
-                let info = stream.info();
-                let n = stream.len();
-                if n == 0 {
-                    return Err(Error::InvalidConfig(format!("{} has no frames", inp.name)));
-                }
-                let m_len = (*m as usize).clamp(1, n);
-                let mut window: std::collections::VecDeque<Frame> =
-                    std::collections::VecDeque::with_capacity(m_len);
-                // Rolling luma sum over the window.
-                let mut sum: Vec<u32> = Vec::new();
-                let mut push = |w: &mut std::collections::VecDeque<Frame>,
-                                sum: &mut Vec<u32>,
-                                f: Frame| {
-                    if sum.is_empty() {
-                        sum.resize(f.y.len(), 0);
-                    }
-                    for (s, &p) in sum.iter_mut().zip(&f.y) {
-                        *s += p as u32;
-                    }
-                    w.push_back(f);
-                };
-                for _ in 0..m_len {
-                    let f = stream
-                        .next_frame()
-                        .expect("stream length checked above")?;
-                    push(&mut window, &mut sum, f);
-                }
-                let mut background = Frame::new(info.width, info.height);
-                let enc_cfg = EncoderConfig {
-                    profile: info.profile,
-                    rate: RateControlMode::ConstantQp(qp),
-                    gop: info.gop,
-                    frame_rate: info.frame_rate,
-                };
-                let mut encoder = Encoder::new(enc_cfg, info.width, info.height)?;
-                let mut packets = Vec::with_capacity(n);
-                for j in 0..n {
-                    for (b, &s) in background.y.iter_mut().zip(&sum) {
-                        *b = ((s + (m_len as u32) / 2) / m_len as u32) as u8;
-                    }
-                    // Frame j sits at the window's front while frames
-                    // remain ahead (window = [j, j+m)); once the
-                    // stream drains, the window freezes on the final
-                    // full m frames ([n-m, n)) and j walks through it.
-                    let idx = if j + m_len <= n { 0 } else { j + m_len - n };
-                    let masked = ops::background_mask(&window[idx], &background, *epsilon);
-                    packets.push(encoder.encode(&masked)?);
-                    // Slide: drop frame j, pull frame j + m when it
-                    // exists.
-                    if j + m_len < n {
-                        if let Some(next) = stream.next_frame() {
-                            let old = window.pop_front().expect("window is non-empty");
-                            for (s, &p) in sum.iter_mut().zip(&old.y) {
-                                *s -= p as u32;
-                            }
-                            push(&mut window, &mut sum, next?);
-                        }
-                    }
-                }
-                QueryOutput::Video(vr_codec::EncodedVideo { info: encoder.info(), packets })
+                let mut scan = pl.stream_scan(input(0)?)?;
+                let mut kernel = TemporalMaskKernel::new(*m, *epsilon, scan.len());
+                QueryOutput::Video(pl.run_streaming(&mut scan, &mut kernel)?.video)
             }
             QuerySpec::Q3 { dx, dy, bitrates } => {
                 let inp = input(0)?;
                 self.claim_device_slot(&inp.name)?;
-                let (info, frames) = crate::kernels::decode_all(inp)?;
-                let out = crate::kernels::subquery_reencode(&frames, info, *dx, *dy, bitrates)?;
-                QueryOutput::Video(encode_output(&out, info, qp)?)
+                let (dx, dy) = (*dx, *dy);
+                let mut scan = pl.stream_scan(inp)?;
+                let out = pl.run_sequence(&mut scan, |frames, info| {
+                    crate::kernels::subquery_reencode(&frames, info, dx, dy, bitrates)
+                })?;
+                QueryOutput::Video(out)
             }
             QuerySpec::Q4 { alpha, beta } => {
                 let inp = input(0)?;
                 self.claim_device_slot(&inp.name)?;
                 let (alpha, beta) = (*alpha, *beta);
-                let (_info, packets, out_info) =
-                    self.stream_map(inp, qp, move |f, _| {
-                        ops::interpolate_bilinear(&f, f.width() * alpha, f.height() * beta)
-                    })?;
-                QueryOutput::Video(vr_codec::EncodedVideo {
-                    info: out_info.unwrap(),
-                    packets,
-                })
+                let mut scan = pl.stream_scan(inp)?;
+                let mut kernel = pipeline::map(move |f, _| {
+                    ops::interpolate_bilinear(&f, f.width() * alpha, f.height() * beta)
+                });
+                QueryOutput::Video(pl.run_streaming(&mut scan, &mut kernel)?.video)
             }
             QuerySpec::Q5 { alpha, beta } => {
                 let (alpha, beta) = (*alpha, *beta);
-                let (_info, packets, out_info) =
-                    self.stream_map(input(0)?, qp, move |f, _| {
-                        ops::downsample(
-                            &f,
-                            (f.width() / alpha).max(2),
-                            (f.height() / beta).max(2),
-                        )
-                    })?;
-                QueryOutput::Video(vr_codec::EncodedVideo {
-                    info: out_info.unwrap(),
-                    packets,
-                })
+                let mut scan = pl.stream_scan(input(0)?)?;
+                let mut kernel = pipeline::map(move |f, _| {
+                    ops::downsample(&f, (f.width() / alpha).max(2), (f.height() / beta).max(2))
+                });
+                QueryOutput::Video(pl.run_streaming(&mut scan, &mut kernel)?.video)
             }
             QuerySpec::Q6a => {
                 let inp = input(0)?;
-                let (info, frames) = crate::kernels::decode_all(inp)?;
-                let out = reference::q6a_union_boxes(inp, &frames)?;
-                QueryOutput::Video(encode_output(&out, info, qp)?)
+                let mut scan = pl.stream_scan(inp)?;
+                let mut kernel = pipeline::try_map(|f: Frame, i: usize| {
+                    let boxes = crate::kernels::box_track(inp, i)?;
+                    let dets: Vec<Detection> = boxes
+                        .iter()
+                        .map(|b| Detection { class: b.class, rect: b.rect, score: 1.0 })
+                        .collect();
+                    let overlay = boxes_frame(f.width(), f.height(), &dets);
+                    Ok(ops::coalesce(&f, &overlay))
+                });
+                QueryOutput::Video(pl.run_streaming(&mut scan, &mut kernel)?.video)
             }
             QuerySpec::Q6b => {
                 // CPU-only captioning: scalar compositor with
@@ -326,7 +215,8 @@ impl Vdbms for FunctionalEngine {
                 let doc = caption_track(inp)?;
                 let style = vr_vtt::CaptionStyle::default();
                 let mut cost = CostModel::new(self.cfg.caption_macs_per_pixel);
-                let (_info, packets, out_info) = self.stream_map(inp, qp, |f, i| {
+                let mut scan = pl.stream_scan(inp)?;
+                let mut kernel = pipeline::map(move |f: Frame, i| {
                     cost.run((f.width() * f.height()) as usize);
                     let t = Timestamp::of_frame(i as u64, vr_base::FrameRate(30));
                     let overlay =
@@ -341,17 +231,16 @@ impl Vdbms for FunctionalEngine {
                         }
                     }
                     out
-                })?;
-                QueryOutput::Video(vr_codec::EncodedVideo {
-                    info: out_info.unwrap(),
-                    packets,
-                })
+                });
+                QueryOutput::Video(pl.run_streaming(&mut scan, &mut kernel)?.video)
             }
             QuerySpec::Q7 { class } => {
-                let (info, frames) = crate::kernels::decode_all(input(0)?)?;
-                let out =
-                    reference::q7_object_detection(&frames, *class, YoloConfig::default());
-                QueryOutput::Video(encode_output(&out, info, qp)?)
+                let class = *class;
+                let mut scan = pl.stream_scan(input(0)?)?;
+                let out = pl.run_sequence(&mut scan, |frames, _| {
+                    Ok(reference::q7_object_detection(&frames, class, YoloConfig::default()))
+                })?;
+                QueryOutput::Video(out)
             }
             QuerySpec::Q8 { plate } => {
                 let videos: Result<Vec<&InputVideo>> = instance
@@ -363,28 +252,24 @@ impl Vdbms for FunctionalEngine {
                         })
                     })
                     .collect();
-                QueryOutput::Video(reference::q8_vehicle_tracking(&videos?, *plate, qp)?)
+                QueryOutput::Video(reference::q8_vehicle_tracking(&pl, &videos?, *plate)?)
             }
             QuerySpec::Q9 { faces, output } => QueryOutput::Video(reference::q9_stitch(
+                &pl,
                 &[input(0)?, input(1)?, input(2)?, input(3)?],
                 faces,
                 *output,
-                qp,
             )?),
             QuerySpec::Q10 { high_bitrate, low_bitrate, high_tiles, client } => {
-                let (info, frames) = crate::kernels::decode_all(input(0)?)?;
-                let out = reference::q10_tile_encode(
-                    &frames,
-                    info,
-                    *high_bitrate,
-                    *low_bitrate,
-                    high_tiles,
-                    *client,
-                )?;
-                QueryOutput::Video(reference::encode_cropped(&out, info, qp)?)
+                let (hb, lb, client) = (*high_bitrate, *low_bitrate, *client);
+                let mut scan = pl.stream_scan(input(0)?)?;
+                let out = pl.run_sequence(&mut scan, |frames, info| {
+                    reference::q10_tile_encode(&frames, info, hb, lb, high_tiles, client)
+                })?;
+                QueryOutput::Video(out)
             }
         };
-        ctx.result_mode.sink(instance.index, &output)?;
+        pl.sink(instance.index, &output)?;
         Ok(output)
     }
 

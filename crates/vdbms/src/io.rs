@@ -140,11 +140,18 @@ pub struct ExecContext {
     /// QP engines use when encoding results (kept high-quality so
     /// frame validation headroom stays above the 40 dB threshold).
     pub output_qp: u8,
+    /// Per-stage pipeline counters every operator records into;
+    /// cloning the context shares the counters.
+    pub metrics: Arc<crate::pipeline::PipelineMetrics>,
 }
 
 impl Default for ExecContext {
     fn default() -> Self {
-        Self { result_mode: ResultMode::Streaming, output_qp: 10 }
+        Self {
+            result_mode: ResultMode::Streaming,
+            output_qp: 10,
+            metrics: Arc::new(crate::pipeline::PipelineMetrics::default()),
+        }
     }
 }
 

@@ -15,7 +15,11 @@
 //!
 //! The engines execute queries *for real* (decode → kernels → encode);
 //! their performance differences emerge from their architectures, not
-//! from hard-coded delays.
+//! from hard-coded delays. All of them execute through the shared
+//! physical-operator [`pipeline`] (Scan → Decode → Kernel → Encode →
+//! Sink), differing in which scan operator and execution policy they
+//! pick; per-stage wall time, frames, and bytes are recorded into the
+//! [`ExecContext`]'s [`pipeline::PipelineMetrics`].
 
 pub mod batch;
 pub mod cascade;
@@ -23,6 +27,7 @@ pub mod engine;
 pub mod functional;
 pub mod io;
 pub mod kernels;
+pub mod pipeline;
 pub mod query;
 pub mod reference;
 
@@ -31,5 +36,6 @@ pub use cascade::CascadeEngine;
 pub use engine::Vdbms;
 pub use functional::FunctionalEngine;
 pub use io::{ExecContext, InputVideo, OutputBox, QueryOutput, ResultMode};
+pub use pipeline::{Pipeline, PipelineMetrics, PipelineSnapshot, StageKind, StageSnapshot};
 pub use query::{FaceParams, QueryInstance, QueryKind, QuerySpec};
 pub use reference::ReferenceEngine;

@@ -1,0 +1,1033 @@
+//! The shared physical-operator pipeline.
+//!
+//! Every engine executes queries through the same five physical
+//! stages — **Scan → Decode → Kernel → Encode → Sink** — differing
+//! only in which scan operator feeds the pipeline and which execution
+//! policy drives it:
+//!
+//! * **eager** ([`Pipeline::run_eager`]): materialize every frame,
+//!   run a data-parallel kernel over the whole batch, encode at the
+//!   end — the Scanner-style dataflow (batch engine).
+//! * **streaming** ([`Pipeline::run_streaming`]): one frame resident
+//!   at a time, incremental encode — the LightDB-style lazy algebra
+//!   (functional engine) and the reference implementation.
+//! * **short-circuit** ([`Pipeline::run_short_circuit`]): a
+//!   difference-detector gate routes each frame to a cheap or a full
+//!   kernel — the NoScope-style inference cascade (cascade engine).
+//!
+//! Whole-sequence operators (Q2(d)'s temporal mean, Q3's tile
+//! re-encode, the composite queries) run under
+//! [`Pipeline::run_sequence`], and multi-camera queries (Q8) under
+//! [`Pipeline::run_streaming_multi`].
+//!
+//! Every operator records wall time, frames, and bytes into the
+//! [`PipelineMetrics`] carried by the [`ExecContext`]; the VCD
+//! snapshots them per query batch and the report prints the
+//! per-stage breakdown.
+
+use crate::io::{ExecContext, InputVideo, OutputBox, QueryOutput};
+use crate::kernels::{boxes_frame, filter_class, FrameStream};
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+use vr_base::sync::parallel_chunks;
+use vr_base::{Error, Result};
+use vr_codec::{Decoder, EncodedVideo, Encoder, EncoderConfig, RateControlMode, VideoInfo};
+use vr_container::TrackKind;
+use vr_frame::Frame;
+use vr_scene::ObjectClass;
+use vr_vision::diff::FrameDiff;
+use vr_vision::{YoloConfig, YoloDetector};
+
+// ---------------------------------------------------------------------------
+// Stage metrics
+// ---------------------------------------------------------------------------
+
+/// The five physical stages every query passes through.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StageKind {
+    /// Reading already-decoded frames (frame-table / memory reads).
+    Scan,
+    /// Bitstream decode.
+    Decode,
+    /// The query's transform (per-frame or whole-sequence).
+    Kernel,
+    /// Result encode.
+    Encode,
+    /// Result persistence (write mode) or discard (streaming mode).
+    Sink,
+}
+
+impl StageKind {
+    /// All stages in pipeline order.
+    pub const ALL: [StageKind; 5] =
+        [StageKind::Scan, StageKind::Decode, StageKind::Kernel, StageKind::Encode, StageKind::Sink];
+
+    /// Lower-case report label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            StageKind::Scan => "scan",
+            StageKind::Decode => "decode",
+            StageKind::Kernel => "kernel",
+            StageKind::Encode => "encode",
+            StageKind::Sink => "sink",
+        }
+    }
+
+    fn idx(self) -> usize {
+        self as usize
+    }
+}
+
+#[derive(Default)]
+struct AtomicStage {
+    nanos: AtomicU64,
+    frames: AtomicU64,
+    bytes: AtomicU64,
+    invocations: AtomicU64,
+}
+
+/// Per-stage counters shared by every operator of one execution
+/// context. Thread-safe (eager kernels run on a worker pool).
+#[derive(Default)]
+pub struct PipelineMetrics {
+    stages: [AtomicStage; 5],
+}
+
+impl PipelineMetrics {
+    /// Add one stage invocation.
+    pub fn record(&self, stage: StageKind, nanos: u64, frames: u64, bytes: u64) {
+        let s = &self.stages[stage.idx()];
+        s.nanos.fetch_add(nanos, Ordering::Relaxed);
+        s.frames.fetch_add(frames, Ordering::Relaxed);
+        s.bytes.fetch_add(bytes, Ordering::Relaxed);
+        s.invocations.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Current totals.
+    pub fn snapshot(&self) -> PipelineSnapshot {
+        PipelineSnapshot {
+            stages: std::array::from_fn(|i| {
+                let s = &self.stages[i];
+                StageSnapshot {
+                    nanos: s.nanos.load(Ordering::Relaxed),
+                    frames: s.frames.load(Ordering::Relaxed),
+                    bytes: s.bytes.load(Ordering::Relaxed),
+                    invocations: s.invocations.load(Ordering::Relaxed),
+                }
+            }),
+        }
+    }
+
+    /// Zero every counter.
+    pub fn reset(&self) {
+        for s in &self.stages {
+            s.nanos.store(0, Ordering::Relaxed);
+            s.frames.store(0, Ordering::Relaxed);
+            s.bytes.store(0, Ordering::Relaxed);
+            s.invocations.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+impl fmt::Debug for PipelineMetrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "PipelineMetrics({})", self.snapshot())
+    }
+}
+
+/// One stage's totals at a point in time.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StageSnapshot {
+    pub nanos: u64,
+    pub frames: u64,
+    pub bytes: u64,
+    pub invocations: u64,
+}
+
+/// All five stages' totals at a point in time.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PipelineSnapshot {
+    /// Indexed by [`StageKind`] order.
+    pub stages: [StageSnapshot; 5],
+}
+
+impl PipelineSnapshot {
+    /// One stage's totals.
+    pub fn stage(&self, kind: StageKind) -> StageSnapshot {
+        self.stages[kind.idx()]
+    }
+
+    /// Counters accumulated since `earlier` (saturating).
+    pub fn since(&self, earlier: &PipelineSnapshot) -> PipelineSnapshot {
+        PipelineSnapshot {
+            stages: std::array::from_fn(|i| StageSnapshot {
+                nanos: self.stages[i].nanos.saturating_sub(earlier.stages[i].nanos),
+                frames: self.stages[i].frames.saturating_sub(earlier.stages[i].frames),
+                bytes: self.stages[i].bytes.saturating_sub(earlier.stages[i].bytes),
+                invocations: self.stages[i]
+                    .invocations
+                    .saturating_sub(earlier.stages[i].invocations),
+            }),
+        }
+    }
+}
+
+impl fmt::Display for PipelineSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, kind) in StageKind::ALL.iter().enumerate() {
+            if i > 0 {
+                write!(f, " | ")?;
+            }
+            let s = self.stage(*kind);
+            write!(f, "{} {}ns/{}fr/{}B", kind.label(), s.nanos, s.frames, s.bytes)?;
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Scan operators
+// ---------------------------------------------------------------------------
+
+/// A physical scan: yields decoded frames one at a time, recording its
+/// own Scan/Decode cost as it goes.
+pub trait FrameSource {
+    /// Stream parameters of the underlying video.
+    fn info(&self) -> VideoInfo;
+    /// Frames this source will yield in total.
+    fn len(&self) -> usize;
+    /// Whether the source yields nothing.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+    /// The next frame, if any.
+    fn next_frame(&mut self) -> Option<Result<Frame>>;
+}
+
+/// Forward-only streaming decode of a whole video track (the lazy
+/// access path). Records Decode time per frame.
+pub struct StreamScan<'a> {
+    stream: FrameStream<'a>,
+    metrics: Arc<PipelineMetrics>,
+}
+
+impl FrameSource for StreamScan<'_> {
+    fn info(&self) -> VideoInfo {
+        self.stream.info()
+    }
+
+    fn len(&self) -> usize {
+        self.stream.len()
+    }
+
+    fn next_frame(&mut self) -> Option<Result<Frame>> {
+        let t0 = Instant::now();
+        let frame = self.stream.next_frame()?;
+        if let Ok(f) = &frame {
+            self.metrics.record(
+                StageKind::Decode,
+                t0.elapsed().as_nanos() as u64,
+                1,
+                f.sample_count() as u64,
+            );
+        }
+        Some(frame)
+    }
+}
+
+/// Random-access decode of `[from, to]` (inclusive): seeks to the
+/// nearest preceding keyframe and yields only the requested range —
+/// temporal predicate pushdown. Pre-roll decode cost is recorded too.
+pub struct RangeScan<'a> {
+    input: &'a InputVideo,
+    track: usize,
+    decoder: Decoder,
+    next: usize,
+    from: usize,
+    to: usize,
+    metrics: Arc<PipelineMetrics>,
+}
+
+impl<'a> RangeScan<'a> {
+    fn open(
+        input: &'a InputVideo,
+        from: usize,
+        to: usize,
+        metrics: Arc<PipelineMetrics>,
+    ) -> Result<Self> {
+        let info = input.video_info()?;
+        let track = input
+            .container
+            .track_of_kind(TrackKind::Video)
+            .ok_or_else(|| Error::NotFound(format!("video track in {}", input.name)))?;
+        let samples = &input.container.tracks()[track].samples;
+        if samples.is_empty() || from > to {
+            return Err(Error::InvalidConfig(format!(
+                "bad scan range {from}..={to} over {} samples",
+                samples.len()
+            )));
+        }
+        let to = to.min(samples.len() - 1);
+        let from = from.min(to);
+        let seek = (0..=from).rev().find(|&i| samples[i].keyframe).unwrap_or(0);
+        Ok(Self { input, track, decoder: Decoder::new(info), next: seek, from, to, metrics })
+    }
+}
+
+impl FrameSource for RangeScan<'_> {
+    fn info(&self) -> VideoInfo {
+        self.decoder.info()
+    }
+
+    fn len(&self) -> usize {
+        self.to - self.from + 1
+    }
+
+    fn next_frame(&mut self) -> Option<Result<Frame>> {
+        while self.next <= self.to {
+            let t0 = Instant::now();
+            let i = self.next;
+            self.next += 1;
+            let frame = self
+                .input
+                .container
+                .sample(self.track, i)
+                .and_then(|s| self.decoder.decode(s));
+            match frame {
+                Ok(f) => {
+                    self.metrics.record(
+                        StageKind::Decode,
+                        t0.elapsed().as_nanos() as u64,
+                        1,
+                        f.sample_count() as u64,
+                    );
+                    if i >= self.from {
+                        return Some(Ok(f));
+                    }
+                }
+                Err(e) => return Some(Err(e)),
+            }
+        }
+        None
+    }
+}
+
+/// Scan over already-decoded frames (a materialized frame table).
+/// Records Scan time per frame read.
+pub struct MemoryScan {
+    info: VideoInfo,
+    frames: Arc<Vec<Frame>>,
+    next: usize,
+    end: usize,
+    metrics: Arc<PipelineMetrics>,
+}
+
+impl MemoryScan {
+    fn new(
+        info: VideoInfo,
+        frames: Arc<Vec<Frame>>,
+        range: std::ops::Range<usize>,
+        metrics: Arc<PipelineMetrics>,
+    ) -> Self {
+        let end = range.end.min(frames.len());
+        Self { info, frames, next: range.start.min(end), end, metrics }
+    }
+}
+
+impl FrameSource for MemoryScan {
+    fn info(&self) -> VideoInfo {
+        self.info
+    }
+
+    fn len(&self) -> usize {
+        self.end - self.next
+    }
+
+    fn next_frame(&mut self) -> Option<Result<Frame>> {
+        if self.next >= self.end {
+            return None;
+        }
+        let t0 = Instant::now();
+        let f = self.frames[self.next].clone();
+        self.next += 1;
+        self.metrics.record(
+            StageKind::Scan,
+            t0.elapsed().as_nanos() as u64,
+            1,
+            f.sample_count() as u64,
+        );
+        Some(Ok(f))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Kernel operators
+// ---------------------------------------------------------------------------
+
+/// One kernel emission: a processed frame plus optional per-frame
+/// boxes (Q2(c)-style results).
+pub struct KernelOut {
+    pub frame: Frame,
+    pub boxes: Option<Vec<OutputBox>>,
+}
+
+impl From<Frame> for KernelOut {
+    fn from(frame: Frame) -> Self {
+        Self { frame, boxes: None }
+    }
+}
+
+/// A push-based streaming kernel. `push` receives frames in order and
+/// may emit zero or more outputs per input (windowed operators buffer
+/// internally); `finish` drains whatever remains.
+pub trait FrameKernel {
+    /// Consume one input frame (index is per-source).
+    fn push(&mut self, frame: Frame, index: usize, out: &mut Vec<KernelOut>) -> Result<()>;
+
+    /// Called when one input of a multi-source scan is exhausted.
+    fn end_of_source(&mut self, out: &mut Vec<KernelOut>) -> Result<()> {
+        let _ = out;
+        Ok(())
+    }
+
+    /// Called after all input is consumed.
+    fn finish(&mut self, out: &mut Vec<KernelOut>) -> Result<()> {
+        let _ = out;
+        Ok(())
+    }
+}
+
+/// A one-in-one-out kernel from a closure.
+pub struct MapKernel<F>(F);
+
+impl<F: FnMut(Frame, usize) -> Frame> FrameKernel for MapKernel<F> {
+    fn push(&mut self, frame: Frame, index: usize, out: &mut Vec<KernelOut>) -> Result<()> {
+        out.push(KernelOut::from((self.0)(frame, index)));
+        Ok(())
+    }
+}
+
+/// Build a [`MapKernel`].
+pub fn map<F: FnMut(Frame, usize) -> Frame>(f: F) -> MapKernel<F> {
+    MapKernel(f)
+}
+
+/// A fallible one-in-one-out kernel from a closure.
+pub struct TryMapKernel<F>(F);
+
+impl<F: FnMut(Frame, usize) -> Result<Frame>> FrameKernel for TryMapKernel<F> {
+    fn push(&mut self, frame: Frame, index: usize, out: &mut Vec<KernelOut>) -> Result<()> {
+        out.push(KernelOut::from((self.0)(frame, index)?));
+        Ok(())
+    }
+}
+
+/// Build a [`TryMapKernel`].
+pub fn try_map<F: FnMut(Frame, usize) -> Result<Frame>>(f: F) -> TryMapKernel<F> {
+    TryMapKernel(f)
+}
+
+/// A selective kernel from a closure: `None` drops the frame (Q1's
+/// temporal predicate).
+pub struct FilterMapKernel<F>(F);
+
+impl<F: FnMut(Frame, usize) -> Option<Frame>> FrameKernel for FilterMapKernel<F> {
+    fn push(&mut self, frame: Frame, index: usize, out: &mut Vec<KernelOut>) -> Result<()> {
+        if let Some(f) = (self.0)(frame, index) {
+            out.push(KernelOut::from(f));
+        }
+        Ok(())
+    }
+}
+
+/// Build a [`FilterMapKernel`].
+pub fn filter_map<F: FnMut(Frame, usize) -> Option<Frame>>(f: F) -> FilterMapKernel<F> {
+    FilterMapKernel(f)
+}
+
+/// The shared Q2(c) kernel: detect, filter to one class, emit the
+/// class-colored box frame plus the boxes themselves. Used verbatim
+/// by the reference and functional engines (the batch engine runs its
+/// heavyweight NN-framework variant instead).
+pub struct DetectBoxes {
+    detector: YoloDetector,
+    class: ObjectClass,
+}
+
+impl DetectBoxes {
+    /// Build the kernel for one object class.
+    pub fn new(class: ObjectClass, cfg: YoloConfig) -> Self {
+        Self { detector: YoloDetector::new(cfg), class }
+    }
+}
+
+impl FrameKernel for DetectBoxes {
+    fn push(&mut self, frame: Frame, _index: usize, out: &mut Vec<KernelOut>) -> Result<()> {
+        let dets = filter_class(self.detector.detect(&frame), self.class);
+        let boxes =
+            dets.iter().map(|d| OutputBox { class: d.class, rect: d.rect }).collect();
+        out.push(KernelOut {
+            frame: boxes_frame(frame.width(), frame.height(), &dets),
+            boxes: Some(boxes),
+        });
+        Ok(())
+    }
+}
+
+/// Streaming Q2(d): an m-frame look-ahead ring with a rolling luma
+/// sum, so only the window (never the whole video) is resident. For
+/// frame `j` the window covers `[j, j+m)` until the stream drains,
+/// after which it freezes on the final full window — matching the
+/// reference implementation's clamped formulation exactly.
+pub struct TemporalMaskKernel {
+    m: usize,
+    epsilon: f64,
+    total: usize,
+    window: std::collections::VecDeque<Frame>,
+    sum: Vec<u32>,
+    emitted: usize,
+}
+
+impl TemporalMaskKernel {
+    /// `total` is the source's frame count (the window clamps to it).
+    pub fn new(m: u32, epsilon: f64, total: usize) -> Self {
+        Self {
+            m: (m as usize).clamp(1, total.max(1)),
+            epsilon,
+            total,
+            window: std::collections::VecDeque::new(),
+            sum: Vec::new(),
+            emitted: 0,
+        }
+    }
+
+    fn background(&self) -> Frame {
+        let front = self.window.front().expect("window is non-empty");
+        let mut bg = Frame::new(front.width(), front.height());
+        let m = self.m as u32;
+        for (b, &s) in bg.y.iter_mut().zip(&self.sum) {
+            *b = ((s + m / 2) / m) as u8;
+        }
+        bg
+    }
+
+    fn emit(&mut self, idx: usize, out: &mut Vec<KernelOut>) {
+        let bg = self.background();
+        let masked = vr_frame::ops::background_mask(&self.window[idx], &bg, self.epsilon);
+        out.push(KernelOut::from(masked));
+        self.emitted += 1;
+    }
+}
+
+impl FrameKernel for TemporalMaskKernel {
+    fn push(&mut self, frame: Frame, _index: usize, out: &mut Vec<KernelOut>) -> Result<()> {
+        if self.window.len() == self.m {
+            // Window [emitted, emitted + m) is complete and a new
+            // frame arrived: mask frame `emitted` against the current
+            // mean, then slide the window forward.
+            self.emit(0, out);
+            let old = self.window.pop_front().expect("window is non-empty");
+            for (s, &p) in self.sum.iter_mut().zip(&old.y) {
+                *s -= p as u32;
+            }
+        }
+        if self.sum.is_empty() {
+            self.sum.resize(frame.y.len(), 0);
+        }
+        for (s, &p) in self.sum.iter_mut().zip(&frame.y) {
+            *s += p as u32;
+        }
+        self.window.push_back(frame);
+        Ok(())
+    }
+
+    fn finish(&mut self, out: &mut Vec<KernelOut>) -> Result<()> {
+        // The stream drained with the window frozen on the last full m
+        // frames; walk the remaining indices through it.
+        while self.emitted < self.total {
+            let idx = (self.emitted + self.m).saturating_sub(self.total);
+            self.emit(idx.min(self.window.len().saturating_sub(1)), out);
+        }
+        Ok(())
+    }
+}
+
+/// The NoScope-style difference-detector gate: frames whose
+/// mean-absolute luma delta stays below the threshold take the cheap
+/// path, up to `max_skip` in a row before the full kernel is forced
+/// (bounding drift, as NoScope's periodic reference invocations do).
+pub struct DiffGate {
+    diff: FrameDiff,
+    threshold: f64,
+    max_skip: u32,
+    skipped: u32,
+}
+
+impl DiffGate {
+    /// Build a gate.
+    pub fn new(threshold: f64, max_skip: u32) -> Self {
+        Self { diff: FrameDiff::new(), threshold, max_skip, skipped: 0 }
+    }
+
+    /// Whether this frame must escalate to the full kernel.
+    pub fn escalate(&mut self, frame: &Frame) -> bool {
+        let score = self.diff.step(frame);
+        if score < self.threshold && self.skipped < self.max_skip {
+            self.skipped += 1;
+            false
+        } else {
+            self.skipped = 0;
+            true
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The executor
+// ---------------------------------------------------------------------------
+
+/// A streaming run's result: the encoded video plus per-frame boxes if
+/// the kernel emitted any.
+pub struct StreamResult {
+    pub video: EncodedVideo,
+    pub boxes: Option<Vec<Vec<OutputBox>>>,
+}
+
+/// The pipeline executor, bound to one execution context. Owns the
+/// stage timing; engines choose the scan operator, the kernel, and the
+/// execution policy.
+pub struct Pipeline<'c> {
+    ctx: &'c ExecContext,
+}
+
+impl<'c> Pipeline<'c> {
+    /// Bind to an execution context.
+    pub fn new(ctx: &'c ExecContext) -> Self {
+        Self { ctx }
+    }
+
+    /// The metrics this pipeline records into.
+    pub fn metrics(&self) -> &Arc<PipelineMetrics> {
+        &self.ctx.metrics
+    }
+
+    /// Open a streaming scan over a whole input.
+    pub fn stream_scan<'a>(&self, input: &'a InputVideo) -> Result<StreamScan<'a>> {
+        Ok(StreamScan { stream: FrameStream::open(input)?, metrics: self.ctx.metrics.clone() })
+    }
+
+    /// Open a keyframe-seeking scan over frames `[from, to]`.
+    pub fn range_scan<'a>(
+        &self,
+        input: &'a InputVideo,
+        from: usize,
+        to: usize,
+    ) -> Result<RangeScan<'a>> {
+        RangeScan::open(input, from, to, self.ctx.metrics.clone())
+    }
+
+    /// Open a scan over already-decoded frames.
+    pub fn memory_scan(
+        &self,
+        info: VideoInfo,
+        frames: Arc<Vec<Frame>>,
+        range: std::ops::Range<usize>,
+    ) -> MemoryScan {
+        MemoryScan::new(info, frames, range, self.ctx.metrics.clone())
+    }
+
+    /// Streaming policy: decode → kernel → encode with one frame
+    /// resident at a time and an incrementally-fed encoder.
+    pub fn run_streaming(
+        &self,
+        source: &mut dyn FrameSource,
+        kernel: &mut dyn FrameKernel,
+    ) -> Result<StreamResult> {
+        let mut sink = EncodeStage::new(self, source.info());
+        let mut buf = Vec::new();
+        let mut index = 0usize;
+        while let Some(frame) = source.next_frame() {
+            let frame = frame?;
+            self.kernel_span(1, || kernel.push(frame, index, &mut buf))?;
+            index += 1;
+            for ko in buf.drain(..) {
+                sink.consume(ko)?;
+            }
+        }
+        self.kernel_span(0, || kernel.finish(&mut buf))?;
+        for ko in buf.drain(..) {
+            sink.consume(ko)?;
+        }
+        sink.into_result()
+    }
+
+    /// Streaming over several sources in order (Q8's multi-camera
+    /// scan); the kernel sees each source's end.
+    pub fn run_streaming_multi(
+        &self,
+        sources: &mut [&mut dyn FrameSource],
+        kernel: &mut dyn FrameKernel,
+    ) -> Result<StreamResult> {
+        let info = sources
+            .first()
+            .map(|s| s.info())
+            .ok_or_else(|| Error::InvalidConfig("multi-scan needs at least one source".into()))?;
+        let mut sink = EncodeStage::new(self, info);
+        let mut buf = Vec::new();
+        for source in sources.iter_mut() {
+            let mut index = 0usize;
+            while let Some(frame) = source.next_frame() {
+                let frame = frame?;
+                self.kernel_span(1, || kernel.push(frame, index, &mut buf))?;
+                index += 1;
+                for ko in buf.drain(..) {
+                    sink.consume(ko)?;
+                }
+            }
+            self.kernel_span(0, || kernel.end_of_source(&mut buf))?;
+            for ko in buf.drain(..) {
+                sink.consume(ko)?;
+            }
+        }
+        self.kernel_span(0, || kernel.finish(&mut buf))?;
+        for ko in buf.drain(..) {
+            sink.consume(ko)?;
+        }
+        sink.into_result()
+    }
+
+    /// Eager policy: materialize every frame, run a stateless kernel
+    /// data-parallel over the batch, encode the whole output.
+    pub fn run_eager(
+        &self,
+        source: &mut dyn FrameSource,
+        workers: usize,
+        kernel: impl Fn(&Frame) -> Frame + Send + Sync,
+    ) -> Result<EncodedVideo> {
+        let info = source.info();
+        let mut frames = self.drain(source)?;
+        let n = frames.len() as u64;
+        self.kernel_span(n, || {
+            parallel_chunks(&mut frames, workers, |_, f| *f = kernel(f));
+        });
+        self.encode_frames(&frames, info)
+    }
+
+    /// Whole-sequence policy: materialize, apply a sequence kernel
+    /// (temporal aggregation, tiling, composites), encode.
+    pub fn run_sequence(
+        &self,
+        source: &mut dyn FrameSource,
+        kernel: impl FnOnce(Vec<Frame>, VideoInfo) -> Result<Vec<Frame>>,
+    ) -> Result<EncodedVideo> {
+        let info = source.info();
+        let frames = self.drain(source)?;
+        let n = frames.len() as u64;
+        let out = self.kernel_span(n, || kernel(frames, info))?;
+        self.encode_frames(&out, info)
+    }
+
+    /// Short-circuit policy: a gate routes each frame to the cheap
+    /// (`escalate = false`) or full (`escalate = true`) path of the
+    /// kernel; everything still flows through the shared encode stage.
+    pub fn run_short_circuit(
+        &self,
+        source: &mut dyn FrameSource,
+        gate: &mut DiffGate,
+        kernel: &mut dyn FnMut(Frame, usize, bool) -> Result<KernelOut>,
+    ) -> Result<StreamResult> {
+        let mut sink = EncodeStage::new(self, source.info());
+        let mut index = 0usize;
+        while let Some(frame) = source.next_frame() {
+            let frame = frame?;
+            let ko = self.kernel_span(1, || {
+                let escalate = gate.escalate(&frame);
+                kernel(frame, index, escalate)
+            })?;
+            index += 1;
+            sink.consume(ko)?;
+        }
+        sink.into_result()
+    }
+
+    /// Drain a source into a vector (Scan/Decode time recorded by the
+    /// source itself).
+    pub fn drain(&self, source: &mut dyn FrameSource) -> Result<Vec<Frame>> {
+        let mut frames = Vec::with_capacity(source.len());
+        while let Some(f) = source.next_frame() {
+            frames.push(f?);
+        }
+        Ok(frames)
+    }
+
+    /// Time a closure as Kernel-stage work over `frames` frames.
+    pub fn kernel_span<T>(&self, frames: u64, f: impl FnOnce() -> T) -> T {
+        let t0 = Instant::now();
+        let out = f();
+        self.ctx.metrics.record(StageKind::Kernel, t0.elapsed().as_nanos() as u64, frames, 0);
+        out
+    }
+
+    /// Encode a finished frame sequence (dimensions taken from the
+    /// first frame, stream parameters from `info`), recording Encode
+    /// time and output bytes.
+    pub fn encode_frames(&self, frames: &[Frame], info: VideoInfo) -> Result<EncodedVideo> {
+        let mut stage = EncodeStage::new(self, info);
+        for f in frames {
+            stage.consume(KernelOut::from(f.clone()))?;
+        }
+        Ok(stage.into_result()?.video)
+    }
+
+    /// Sink stage: apply the context's result mode (persist or
+    /// discard), recording Sink time and persisted bytes.
+    pub fn sink(&self, instance_index: usize, output: &QueryOutput) -> Result<usize> {
+        let t0 = Instant::now();
+        let bytes = self.ctx.result_mode.sink(instance_index, output)?;
+        let frames = output.primary_video().map(|v| v.len() as u64).unwrap_or(0);
+        self.ctx.metrics.record(
+            StageKind::Sink,
+            t0.elapsed().as_nanos() as u64,
+            frames,
+            bytes as u64,
+        );
+        Ok(bytes)
+    }
+}
+
+/// The shared encode stage: a lazily-created constant-QP encoder fed
+/// one frame at a time (identical output to whole-sequence encoding —
+/// the encoder is sequential either way).
+struct EncodeStage<'p, 'c> {
+    pl: &'p Pipeline<'c>,
+    info: VideoInfo,
+    encoder: Option<Encoder>,
+    packets: Vec<vr_codec::Packet>,
+    boxes: Vec<Vec<OutputBox>>,
+    any_boxes: bool,
+}
+
+impl<'p, 'c> EncodeStage<'p, 'c> {
+    fn new(pl: &'p Pipeline<'c>, info: VideoInfo) -> Self {
+        Self { pl, info, encoder: None, packets: Vec::new(), boxes: Vec::new(), any_boxes: false }
+    }
+
+    fn consume(&mut self, ko: KernelOut) -> Result<()> {
+        let t0 = Instant::now();
+        if self.encoder.is_none() {
+            let cfg = EncoderConfig {
+                profile: self.info.profile,
+                rate: RateControlMode::ConstantQp(self.pl.ctx.output_qp),
+                gop: self.info.gop,
+                frame_rate: self.info.frame_rate,
+            };
+            self.encoder = Some(Encoder::new(cfg, ko.frame.width(), ko.frame.height())?);
+        }
+        let packet = self.encoder.as_mut().expect("encoder was just created").encode(&ko.frame)?;
+        self.pl.ctx.metrics.record(
+            StageKind::Encode,
+            t0.elapsed().as_nanos() as u64,
+            1,
+            packet.data.len() as u64,
+        );
+        self.packets.push(packet);
+        match ko.boxes {
+            Some(b) => {
+                self.any_boxes = true;
+                self.boxes.push(b);
+            }
+            None => self.boxes.push(Vec::new()),
+        }
+        Ok(())
+    }
+
+    fn into_result(self) -> Result<StreamResult> {
+        let encoder = self
+            .encoder
+            .ok_or_else(|| Error::InvalidConfig("pipeline produced no frames".into()))?;
+        Ok(StreamResult {
+            video: EncodedVideo { info: encoder.info(), packets: self.packets },
+            boxes: self.any_boxes.then_some(self.boxes),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::io::tests::tiny_input;
+    use crate::kernels::decode_all;
+    use vr_frame::ops;
+
+    fn ctx() -> ExecContext {
+        ExecContext::default()
+    }
+
+    #[test]
+    fn metrics_record_and_snapshot() {
+        let m = PipelineMetrics::default();
+        m.record(StageKind::Decode, 100, 2, 64);
+        m.record(StageKind::Decode, 50, 1, 32);
+        m.record(StageKind::Encode, 10, 1, 8);
+        let snap = m.snapshot();
+        assert_eq!(snap.stage(StageKind::Decode).nanos, 150);
+        assert_eq!(snap.stage(StageKind::Decode).frames, 3);
+        assert_eq!(snap.stage(StageKind::Decode).bytes, 96);
+        assert_eq!(snap.stage(StageKind::Decode).invocations, 2);
+        assert_eq!(snap.stage(StageKind::Encode).bytes, 8);
+        assert_eq!(snap.stage(StageKind::Kernel), StageSnapshot::default());
+        let text = snap.to_string();
+        assert!(text.contains("decode 150ns/3fr/96B"), "{text}");
+        assert!(text.contains("kernel 0ns/0fr/0B"), "{text}");
+        m.reset();
+        assert_eq!(m.snapshot(), PipelineSnapshot::default());
+    }
+
+    #[test]
+    fn snapshot_since_subtracts() {
+        let m = PipelineMetrics::default();
+        m.record(StageKind::Scan, 10, 1, 1);
+        let before = m.snapshot();
+        m.record(StageKind::Scan, 30, 2, 2);
+        let delta = m.snapshot().since(&before);
+        assert_eq!(delta.stage(StageKind::Scan).nanos, 30);
+        assert_eq!(delta.stage(StageKind::Scan).frames, 2);
+    }
+
+    #[test]
+    fn streaming_identity_preserves_frames_and_records_stages() {
+        let ctx = ctx();
+        let pl = Pipeline::new(&ctx);
+        let input = tiny_input("pipe-id.vrmf");
+        let mut scan = pl.stream_scan(&input).unwrap();
+        let mut kernel = map(|f, _| f);
+        let r = pl.run_streaming(&mut scan, &mut kernel).unwrap();
+        assert_eq!(r.video.len(), 4);
+        assert!(r.boxes.is_none());
+        r.video.decode_all().unwrap();
+        let snap = ctx.metrics.snapshot();
+        assert_eq!(snap.stage(StageKind::Decode).frames, 4);
+        assert_eq!(snap.stage(StageKind::Kernel).frames, 4);
+        assert_eq!(snap.stage(StageKind::Encode).frames, 4);
+        assert!(snap.stage(StageKind::Encode).bytes > 0);
+    }
+
+    #[test]
+    fn eager_and_streaming_policies_encode_identically() {
+        let input = tiny_input("pipe-eq.vrmf");
+        let ctx_a = ctx();
+        let pl_a = Pipeline::new(&ctx_a);
+        let mut scan = pl_a.stream_scan(&input).unwrap();
+        let mut kernel = map(|f, _| ops::grayscale(&f));
+        let streamed = pl_a.run_streaming(&mut scan, &mut kernel).unwrap();
+
+        let ctx_b = ctx();
+        let pl_b = Pipeline::new(&ctx_b);
+        let (info, frames) = decode_all(&input).unwrap();
+        let mut scan = pl_b.memory_scan(info, Arc::new(frames), 0..usize::MAX);
+        let eager = pl_b.run_eager(&mut scan, 2, ops::grayscale).unwrap();
+
+        assert_eq!(streamed.video.len(), eager.len());
+        for (a, b) in streamed.video.packets.iter().zip(&eager.packets) {
+            assert_eq!(a.data, b.data, "policies must produce identical bitstreams");
+        }
+        // The eager run reads from memory: Scan recorded, not Decode.
+        let snap = ctx_b.metrics.snapshot();
+        assert_eq!(snap.stage(StageKind::Scan).frames, 4);
+        assert_eq!(snap.stage(StageKind::Decode).frames, 0);
+    }
+
+    #[test]
+    fn range_scan_matches_full_decode() {
+        let ctx = ctx();
+        let pl = Pipeline::new(&ctx);
+        let input = tiny_input("pipe-range.vrmf");
+        let (_, all) = decode_all(&input).unwrap();
+        for (from, to) in [(0usize, 3usize), (1, 2), (3, 3)] {
+            let mut scan = pl.range_scan(&input, from, to).unwrap();
+            assert_eq!(scan.len(), to - from + 1);
+            let got = pl.drain(&mut scan).unwrap();
+            for (i, f) in got.iter().enumerate() {
+                assert_eq!(f, &all[from + i], "range {from}..={to} frame {i}");
+            }
+        }
+        assert!(pl.range_scan(&input, 3, 1).is_err());
+    }
+
+    #[test]
+    fn temporal_mask_matches_reference_masking() {
+        let ctx = ctx();
+        let pl = Pipeline::new(&ctx);
+        let input = tiny_input("pipe-mask.vrmf");
+        let (_, frames) = decode_all(&input).unwrap();
+        for m in [1u32, 2, 3, 4, 9] {
+            let eps = 0.2;
+            let expect = crate::reference::q2d_masking(&frames, m, eps);
+            let mut scan = pl.stream_scan(&input).unwrap();
+            let mut kernel = TemporalMaskKernel::new(m, eps, scan.len());
+            let got = pl.run_streaming(&mut scan, &mut kernel).unwrap();
+            let got = got.video.decode_all().unwrap();
+            assert_eq!(got.len(), expect.len(), "m={m}");
+            for (i, (a, b)) in got.iter().zip(&expect).enumerate() {
+                let p = vr_frame::metrics::psnr_y(a, b);
+                assert!(p > 45.0, "m={m} frame {i}: {p} dB");
+            }
+        }
+    }
+
+    #[test]
+    fn filter_map_selects_range() {
+        let ctx = ctx();
+        let pl = Pipeline::new(&ctx);
+        let input = tiny_input("pipe-filter.vrmf");
+        let mut scan = pl.stream_scan(&input).unwrap();
+        let mut kernel = filter_map(|f, i| (1..=2).contains(&i).then_some(f));
+        let r = pl.run_streaming(&mut scan, &mut kernel).unwrap();
+        assert_eq!(r.video.len(), 2);
+    }
+
+    #[test]
+    fn short_circuit_gates_on_difference() {
+        let ctx = ctx();
+        let pl = Pipeline::new(&ctx);
+        let input = tiny_input("pipe-gate.vrmf");
+        let mut scan = pl.stream_scan(&input).unwrap();
+        // tiny_input drifts +7 luma per frame: every frame escalates
+        // at a tight threshold.
+        let mut gate = DiffGate::new(0.5, 4);
+        let mut escalations = 0u32;
+        let mut kernel = |f: Frame, _i: usize, escalate: bool| {
+            if escalate {
+                escalations += 1;
+            }
+            Ok(KernelOut::from(f))
+        };
+        let r = pl.run_short_circuit(&mut scan, &mut gate, &mut kernel).unwrap();
+        assert_eq!(r.video.len(), 4);
+        assert_eq!(escalations, 4, "drifting video escalates every frame");
+    }
+
+    #[test]
+    fn empty_pipeline_errors() {
+        let ctx = ctx();
+        let pl = Pipeline::new(&ctx);
+        let input = tiny_input("pipe-empty.vrmf");
+        let mut scan = pl.stream_scan(&input).unwrap();
+        let mut kernel = filter_map(|_f, _i| None);
+        assert!(pl.run_streaming(&mut scan, &mut kernel).is_err());
+    }
+
+    #[test]
+    fn sink_records_stage() {
+        let ctx = ctx();
+        let pl = Pipeline::new(&ctx);
+        let input = tiny_input("pipe-sink.vrmf");
+        let mut scan = pl.stream_scan(&input).unwrap();
+        let mut kernel = map(|f, _| f);
+        let r = pl.run_streaming(&mut scan, &mut kernel).unwrap();
+        pl.sink(0, &QueryOutput::Video(r.video)).unwrap();
+        assert_eq!(ctx.metrics.snapshot().stage(StageKind::Sink).invocations, 1);
+    }
+}

@@ -2,17 +2,19 @@
 //! (§5, "we also develop a Visual Road reference implementation for
 //! use in verifying benchmark results").
 //!
-//! Straightforward decode → kernel → encode, no scheduling tricks.
-//! The per-query functions are `pub` so the composite queries and the
-//! other engines can reuse the exact reference semantics where their
-//! architecture does not deliberately diverge.
+//! Streaming scans through the shared physical-operator pipeline with
+//! no scheduling tricks. The per-query functions are `pub` so the
+//! composite queries and the other engines can reuse the exact
+//! reference semantics where their architecture does not deliberately
+//! diverge.
 
 use crate::engine::Vdbms;
 use crate::io::{ExecContext, InputVideo, OutputBox, QueryOutput};
 use crate::kernels::{
-    boxes_frame, caption_track, decode_all, encode_output, filter_class, stitch_equirect,
+    boxes_frame, caption_track, encode_output, filter_class, stitch_equirect,
     subquery_reencode,
 };
+use crate::pipeline::{self, DetectBoxes, FrameKernel, FrameSource, KernelOut, Pipeline};
 use crate::query::{FaceParams, QueryInstance, QueryKind, QuerySpec};
 use vr_base::{Error, LicensePlate, Resolution, Result, Timestamp};
 use vr_codec::{EncodedVideo, VideoInfo};
@@ -52,18 +54,20 @@ impl Vdbms for ReferenceEngine {
         ctx: &ExecContext,
     ) -> Result<QueryOutput> {
         let output = execute_reference(instance, inputs, ctx)?;
-        ctx.result_mode.sink(instance.index, &output)?;
+        Pipeline::new(ctx).sink(instance.index, &output)?;
         Ok(output)
     }
 }
 
 /// Execute an instance with the reference semantics (shared with the
 /// driver's validation path, which must not double-sink results).
+/// Every arm runs through the shared pipeline's streaming policy.
 pub fn execute_reference(
     instance: &QueryInstance,
     inputs: &[InputVideo],
     ctx: &ExecContext,
 ) -> Result<QueryOutput> {
+    let pl = Pipeline::new(ctx);
     let input = |i: usize| -> Result<&InputVideo> {
         instance
             .inputs
@@ -73,88 +77,103 @@ pub fn execute_reference(
     };
     match &instance.spec {
         QuerySpec::Q1 { rect, t1, t2 } => {
-            let (info, frames) = decode_all(input(0)?)?;
-            let out = q1_select(&frames, info, *rect, *t1, *t2);
-            Ok(QueryOutput::Video(encode_cropped(&out, info, ctx.output_qp)?))
+            let mut scan = pl.stream_scan(input(0)?)?;
+            let info = scan.info();
+            let last = (t2.frame_index(info.frame_rate) as usize)
+                .min(scan.len().saturating_sub(1));
+            let first = (t1.frame_index(info.frame_rate) as usize).min(last);
+            let rect = *rect;
+            let mut kernel = pipeline::filter_map(move |f, i| {
+                (first..=last).contains(&i).then(|| ops::crop(&f, rect))
+            });
+            Ok(QueryOutput::Video(pl.run_streaming(&mut scan, &mut kernel)?.video))
         }
         QuerySpec::Q2a => {
-            let (info, frames) = decode_all(input(0)?)?;
-            let out: Vec<Frame> = frames.iter().map(ops::grayscale).collect();
-            Ok(QueryOutput::Video(encode_output(&out, info, ctx.output_qp)?))
+            let mut scan = pl.stream_scan(input(0)?)?;
+            let mut kernel = pipeline::map(|f, _| ops::grayscale(&f));
+            Ok(QueryOutput::Video(pl.run_streaming(&mut scan, &mut kernel)?.video))
         }
         QuerySpec::Q2b { d } => {
-            let (info, frames) = decode_all(input(0)?)?;
-            let out: Vec<Frame> = frames.iter().map(|f| ops::gaussian_blur(f, *d)).collect();
-            Ok(QueryOutput::Video(encode_output(&out, info, ctx.output_qp)?))
+            let mut scan = pl.stream_scan(input(0)?)?;
+            let d = *d;
+            let mut kernel = pipeline::map(move |f, _| ops::gaussian_blur(&f, d));
+            Ok(QueryOutput::Video(pl.run_streaming(&mut scan, &mut kernel)?.video))
         }
         QuerySpec::Q2c { class } => {
-            let (info, frames) = decode_all(input(0)?)?;
-            let (out, boxes) = q2c_boxes(&frames, *class, YoloConfig::default());
+            let mut scan = pl.stream_scan(input(0)?)?;
+            let mut kernel = DetectBoxes::new(*class, YoloConfig::default());
+            let r = pl.run_streaming(&mut scan, &mut kernel)?;
             Ok(QueryOutput::BoxedVideo {
-                video: encode_output(&out, info, ctx.output_qp)?,
-                boxes,
+                video: r.video,
+                boxes: r.boxes.unwrap_or_default(),
             })
         }
         QuerySpec::Q2d { m, epsilon } => {
-            let (info, frames) = decode_all(input(0)?)?;
-            let out = q2d_masking(&frames, *m, *epsilon);
-            Ok(QueryOutput::Video(encode_output(&out, info, ctx.output_qp)?))
+            let mut scan = pl.stream_scan(input(0)?)?;
+            let (m, epsilon) = (*m, *epsilon);
+            let out = pl.run_sequence(&mut scan, |frames, _| {
+                Ok(q2d_masking(&frames, m, epsilon))
+            })?;
+            Ok(QueryOutput::Video(out))
         }
         QuerySpec::Q3 { dx, dy, bitrates } => {
-            let (info, frames) = decode_all(input(0)?)?;
-            let out = subquery_reencode(&frames, info, *dx, *dy, bitrates)?;
-            Ok(QueryOutput::Video(encode_output(&out, info, ctx.output_qp)?))
+            let mut scan = pl.stream_scan(input(0)?)?;
+            let (dx, dy) = (*dx, *dy);
+            let out = pl.run_sequence(&mut scan, |frames, info| {
+                subquery_reencode(&frames, info, dx, dy, bitrates)
+            })?;
+            Ok(QueryOutput::Video(out))
         }
         QuerySpec::Q4 { alpha, beta } => {
-            let (info, frames) = decode_all(input(0)?)?;
-            let out: Vec<Frame> = frames
-                .iter()
-                .map(|f| {
-                    ops::interpolate_bilinear(f, f.width() * alpha, f.height() * beta)
-                })
-                .collect();
-            Ok(QueryOutput::Video(encode_cropped(&out, info, ctx.output_qp)?))
+            let mut scan = pl.stream_scan(input(0)?)?;
+            let (alpha, beta) = (*alpha, *beta);
+            let mut kernel = pipeline::map(move |f, _| {
+                ops::interpolate_bilinear(&f, f.width() * alpha, f.height() * beta)
+            });
+            Ok(QueryOutput::Video(pl.run_streaming(&mut scan, &mut kernel)?.video))
         }
         QuerySpec::Q5 { alpha, beta } => {
-            let (info, frames) = decode_all(input(0)?)?;
-            let out: Vec<Frame> = frames
-                .iter()
-                .map(|f| {
-                    ops::downsample(
-                        f,
-                        (f.width() / alpha).max(2),
-                        (f.height() / beta).max(2),
-                    )
-                })
-                .collect();
-            Ok(QueryOutput::Video(encode_cropped(&out, info, ctx.output_qp)?))
+            let mut scan = pl.stream_scan(input(0)?)?;
+            let (alpha, beta) = (*alpha, *beta);
+            let mut kernel = pipeline::map(move |f, _| {
+                ops::downsample(&f, (f.width() / alpha).max(2), (f.height() / beta).max(2))
+            });
+            Ok(QueryOutput::Video(pl.run_streaming(&mut scan, &mut kernel)?.video))
         }
         QuerySpec::Q6a => {
             let inp = input(0)?;
-            let (info, frames) = decode_all(inp)?;
-            let out = q6a_union_boxes(inp, &frames)?;
-            Ok(QueryOutput::Video(encode_output(&out, info, ctx.output_qp)?))
+            let mut scan = pl.stream_scan(inp)?;
+            let mut kernel = pipeline::try_map(|f: Frame, i: usize| {
+                let boxes = crate::kernels::box_track(inp, i)?;
+                let dets: Vec<Detection> = boxes
+                    .iter()
+                    .map(|b| Detection { class: b.class, rect: b.rect, score: 1.0 })
+                    .collect();
+                let overlay = boxes_frame(f.width(), f.height(), &dets);
+                Ok(ops::coalesce(&f, &overlay))
+            });
+            Ok(QueryOutput::Video(pl.run_streaming(&mut scan, &mut kernel)?.video))
         }
         QuerySpec::Q6b => {
             let inp = input(0)?;
-            let (info, frames) = decode_all(inp)?;
             let doc = caption_track(inp)?;
             let style = CaptionStyle::default();
-            let out: Vec<Frame> = frames
-                .iter()
-                .enumerate()
-                .map(|(i, f)| {
-                    let t = Timestamp::of_frame(i as u64, info.frame_rate);
-                    let overlay = render_cues_frame(&doc, t, f.width(), f.height(), &style);
-                    ops::coalesce(f, &overlay)
-                })
-                .collect();
-            Ok(QueryOutput::Video(encode_output(&out, info, ctx.output_qp)?))
+            let mut scan = pl.stream_scan(inp)?;
+            let frame_rate = scan.info().frame_rate;
+            let mut kernel = pipeline::map(move |f, i| {
+                let t = Timestamp::of_frame(i as u64, frame_rate);
+                let overlay = render_cues_frame(&doc, t, f.width(), f.height(), &style);
+                ops::coalesce(&f, &overlay)
+            });
+            Ok(QueryOutput::Video(pl.run_streaming(&mut scan, &mut kernel)?.video))
         }
         QuerySpec::Q7 { class } => {
-            let (info, frames) = decode_all(input(0)?)?;
-            let out = q7_object_detection(&frames, *class, YoloConfig::default());
-            Ok(QueryOutput::Video(encode_output(&out, info, ctx.output_qp)?))
+            let mut scan = pl.stream_scan(input(0)?)?;
+            let class = *class;
+            let out = pl.run_sequence(&mut scan, |frames, _| {
+                Ok(q7_object_detection(&frames, class, YoloConfig::default()))
+            })?;
+            Ok(QueryOutput::Video(out))
         }
         QuerySpec::Q8 { plate } => {
             let videos: Result<Vec<_>> =
@@ -164,29 +183,25 @@ pub fn execute_reference(
                         .ok_or_else(|| Error::InvalidConfig(format!("missing input {i}")))
                 }).collect();
             let videos = videos?;
-            let out = q8_vehicle_tracking(&videos, *plate, ctx.output_qp)?;
+            let out = q8_vehicle_tracking(&pl, &videos, *plate)?;
             Ok(QueryOutput::Video(out))
         }
         QuerySpec::Q9 { faces, output } => {
             let out = q9_stitch(
+                &pl,
                 &[input(0)?, input(1)?, input(2)?, input(3)?],
                 faces,
                 *output,
-                ctx.output_qp,
             )?;
             Ok(QueryOutput::Video(out))
         }
         QuerySpec::Q10 { high_bitrate, low_bitrate, high_tiles, client } => {
-            let (info, frames) = decode_all(input(0)?)?;
-            let out = q10_tile_encode(
-                &frames,
-                info,
-                *high_bitrate,
-                *low_bitrate,
-                high_tiles,
-                *client,
-            )?;
-            Ok(QueryOutput::Video(encode_cropped(&out, info, ctx.output_qp)?))
+            let mut scan = pl.stream_scan(input(0)?)?;
+            let (hb, lb, client) = (*high_bitrate, *low_bitrate, *client);
+            let out = pl.run_sequence(&mut scan, |frames, info| {
+                q10_tile_encode(&frames, info, hb, lb, high_tiles, client)
+            })?;
+            Ok(QueryOutput::Video(out))
         }
     }
 }
@@ -298,77 +313,115 @@ pub fn q7_object_detection(frames: &[Frame], class: ObjectClass, cfg: YoloConfig
     q2d_masking(&unioned, 10, 0.2)
 }
 
+/// The Q8 tracking kernel: per-frame plate recognition with ≤3-frame
+/// gap bridging, segments buffered internally and emitted at finish.
+/// A VTS is a maximal run of frames where the plate is identifiable;
+/// short gaps are bridged, matching momentary recognition dropouts.
+struct Q8Kernel {
+    recognizer: AlprRecognizer,
+    plate: LicensePlate,
+    info: VideoInfo,
+    segments: Vec<Frame>,
+    gap: usize,
+}
+
+impl Q8Kernel {
+    fn new(plate: LicensePlate, info: VideoInfo) -> Self {
+        Self {
+            recognizer: AlprRecognizer::default(),
+            plate,
+            info,
+            segments: Vec::new(),
+            gap: usize::MAX,
+        }
+    }
+}
+
+impl FrameKernel for Q8Kernel {
+    fn push(&mut self, mut f: Frame, _index: usize, _out: &mut Vec<KernelOut>) -> Result<()> {
+        let reads = self.recognizer.recognize(&f);
+        let hit = reads.iter().find(|r| r.plate == self.plate);
+        match hit {
+            Some(read) => {
+                // Overlay the identified plate region (Q6a step of
+                // the Table 7 recurrence).
+                vr_frame::draw::outline_rect(
+                    &mut f,
+                    read.rect.inflated(2),
+                    vr_frame::color::rgb_to_yuv(ObjectClass::Vehicle.color()),
+                    2,
+                );
+                self.segments.push(f);
+                self.gap = 0;
+            }
+            None if self.gap <= 3 => {
+                // Bridge: keep the frame inside the segment.
+                self.segments.push(f);
+                self.gap += 1;
+            }
+            None => self.gap = self.gap.saturating_add(1),
+        }
+        Ok(())
+    }
+
+    fn end_of_source(&mut self, _out: &mut Vec<KernelOut>) -> Result<()> {
+        // Trim trailing bridge frames that never reconnected.
+        while self.gap > 0 && self.gap != usize::MAX && !self.segments.is_empty() && self.gap <= 3
+        {
+            self.segments.pop();
+            self.gap -= 1;
+        }
+        self.gap = usize::MAX;
+        Ok(())
+    }
+
+    fn finish(&mut self, out: &mut Vec<KernelOut>) -> Result<()> {
+        if self.segments.is_empty() {
+            // No sighting: the tracking video is a single black frame
+            // (a zero-length video cannot be encoded or validated).
+            self.segments.push(Frame::new(self.info.width, self.info.height));
+        }
+        out.extend(self.segments.drain(..).map(KernelOut::from));
+        Ok(())
+    }
+}
+
 /// Q8 reference: scan each traffic video with the plate recognizer,
 /// collect vehicle tracking segments (VTSs) for the target plate, and
-/// concatenate them ordered by entry time.
+/// concatenate them ordered by entry time. Runs as one multi-source
+/// streaming pipeline.
 pub fn q8_vehicle_tracking(
+    pl: &Pipeline,
     videos: &[&InputVideo],
     plate: LicensePlate,
-    output_qp: u8,
 ) -> Result<EncodedVideo> {
-    let mut recognizer = AlprRecognizer::default();
-    let mut segments: Vec<Frame> = Vec::new();
-    let mut info: Option<VideoInfo> = None;
-    for video in videos {
-        let (vinfo, frames) = decode_all(video)?;
-        info.get_or_insert(vinfo);
-        // A VTS is a maximal run of frames where the plate is
-        // identifiable; short gaps (≤ 3 frames) are bridged, matching
-        // momentary recognition dropouts.
-        let mut gap = usize::MAX;
-        for f in &frames {
-            let reads = recognizer.recognize(f);
-            let hit = reads.iter().find(|r| r.plate == plate);
-            match hit {
-                Some(read) => {
-                    // Overlay the identified plate region (Q6a step of
-                    // the Table 7 recurrence).
-                    let mut out = f.clone();
-                    vr_frame::draw::outline_rect(
-                        &mut out,
-                        read.rect.inflated(2),
-                        vr_frame::color::rgb_to_yuv(ObjectClass::Vehicle.color()),
-                        2,
-                    );
-                    segments.push(out);
-                    gap = 0;
-                }
-                None if gap <= 3 => {
-                    // Bridge: keep the frame inside the segment.
-                    segments.push(f.clone());
-                    gap += 1;
-                }
-                None => gap = gap.saturating_add(1),
-            }
-        }
-        // Trim trailing bridge frames that never reconnected.
-        while gap > 0 && gap != usize::MAX && !segments.is_empty() && gap <= 3 {
-            segments.pop();
-            gap -= 1;
-        }
-    }
-    let info = info.ok_or_else(|| Error::InvalidConfig("Q8 needs at least one input".into()))?;
-    if segments.is_empty() {
-        // No sighting: the tracking video is a single black frame
-        // (a zero-length video cannot be encoded or validated).
-        segments.push(Frame::new(info.width, info.height));
-    }
-    encode_output(&segments, info, output_qp)
+    let first = videos
+        .first()
+        .ok_or_else(|| Error::InvalidConfig("Q8 needs at least one input".into()))?;
+    let info = first.video_info()?;
+    let mut scans = videos
+        .iter()
+        .map(|v| pl.stream_scan(v))
+        .collect::<Result<Vec<_>>>()?;
+    let mut sources: Vec<&mut dyn FrameSource> =
+        scans.iter_mut().map(|s| s as &mut dyn FrameSource).collect();
+    let mut kernel = Q8Kernel::new(plate, info);
+    Ok(pl.run_streaming_multi(&mut sources, &mut kernel)?.video)
 }
 
 /// Q9 reference: decode the four faces and stitch per frame.
 pub fn q9_stitch(
+    pl: &Pipeline,
     faces: &[&InputVideo; 4],
     params: &[FaceParams; 4],
     output: Resolution,
-    output_qp: u8,
 ) -> Result<EncodedVideo> {
     let mut decoded = Vec::with_capacity(4);
     let mut info = None;
     for face in faces {
-        let (vinfo, frames) = decode_all(face)?;
-        info.get_or_insert(vinfo);
-        decoded.push(frames);
+        let mut scan = pl.stream_scan(face)?;
+        info.get_or_insert(scan.info());
+        decoded.push(pl.drain(&mut scan)?);
     }
     let info = info.unwrap();
     let n = decoded.iter().map(|d| d.len()).min().unwrap_or(0);
@@ -377,13 +430,15 @@ pub fn q9_stitch(
     }
     let out_w = output.width.max(4) & !1;
     let out_h = output.height.max(4) & !1;
-    let mut out = Vec::with_capacity(n);
-    for t in 0..n {
-        let frames: [Frame; 4] = std::array::from_fn(|i| decoded[i][t].clone());
-        out.push(stitch_equirect(&frames, params, out_w, out_h));
-    }
-    let out_info = VideoInfo { width: out_w, height: out_h, ..info };
-    encode_output(&out, out_info, output_qp)
+    let out = pl.kernel_span(n as u64, || {
+        let mut out = Vec::with_capacity(n);
+        for t in 0..n {
+            let frames: [Frame; 4] = std::array::from_fn(|i| decoded[i][t].clone());
+            out.push(stitch_equirect(&frames, params, out_w, out_h));
+        }
+        out
+    });
+    pl.encode_frames(&out, VideoInfo { width: out_w, height: out_h, ..info })
 }
 
 /// Q10 reference: 3×3 two-bitrate tile re-encode, then downsample to
