@@ -5,7 +5,9 @@ set -euo pipefail
 cd "$(dirname "$0")"
 
 echo "== guard: no registry dependencies in any manifest =="
-if grep -rn 'crossbeam\|parking_lot\|proptest\|criterion\|^rand\b\|^\s*rand ' \
+# Match only dependency *declarations* (`name = ...`), so prose in
+# comments — "the criterion replacement" — never trips the guard.
+if grep -En '^[[:space:]]*(rand|crossbeam[a-z_-]*|parking_lot|proptest|criterion)[[:space:]]*=' \
     Cargo.toml crates/*/Cargo.toml; then
     echo "FAIL: a crate manifest names a registry dependency" >&2
     exit 1
@@ -16,5 +18,36 @@ cargo build --release --offline
 
 echo "== cargo test -q --offline =="
 cargo test -q --offline
+
+echo "== bench smoke: every benchmark body still runs =="
+cargo bench -q --offline -- --test
+
+echo "== determinism gate: VR_WORKERS=4 output is byte-identical across runs =="
+DET_A="$(mktemp -d)"
+DET_B="$(mktemp -d)"
+trap 'rm -rf "$DET_A" "$DET_B"' EXIT
+for OUT in "$DET_A" "$DET_B"; do
+    VR_WORKERS=4 ./target/release/visualroad run --engine all --queries Q1,Q2c \
+        --scale 1 --res 128x72 --duration 0.4 --batch 2 --no-validate \
+        --write "$OUT" >/dev/null
+done
+if ! diff -r "$DET_A" "$DET_B"; then
+    echo "FAIL: parallel execution produced run-to-run differences" >&2
+    exit 1
+fi
+echo "outputs identical across runs"
+
+echo "== bench-regression gate =="
+# Warm-up pass (populates caches, JIT-warms the page cache), then the
+# measured pass whose medians land in BENCH_engines.json.
+cargo bench -q --offline -p vr-bench --bench engines >/dev/null
+cargo bench -q --offline -p vr-bench --bench engines
+if [ -f results/bench_baseline.json ]; then
+    ./target/release/bench_gate results/bench_baseline.json BENCH_engines.json
+else
+    mkdir -p results
+    cp BENCH_engines.json results/bench_baseline.json
+    echo "seeded results/bench_baseline.json from this run; commit it"
+fi
 
 echo "CI OK"

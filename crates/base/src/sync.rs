@@ -128,6 +128,15 @@ impl Condvar {
 #[derive(Debug, PartialEq, Eq)]
 pub struct SendError<T>(pub T);
 
+/// Error returned by [`Sender::try_send`].
+#[derive(Debug, PartialEq, Eq)]
+pub enum TrySendError<T> {
+    /// The queue is full; carries the unsent value back.
+    Full(T),
+    /// Every receiver has been dropped; carries the unsent value back.
+    Disconnected(T),
+}
+
 /// Error returned by [`Receiver::recv`] when the channel is empty and
 /// every sender has been dropped.
 #[derive(Debug, PartialEq, Eq)]
@@ -198,6 +207,25 @@ impl<T> Sender<T> {
                 return Ok(());
             }
             st = self.0.writable.wait(st);
+        }
+    }
+
+    /// Non-blocking send: enqueue if a slot is free, otherwise report
+    /// [`TrySendError::Full`] without waiting. Callers that fall back
+    /// to the blocking [`send`](Sender::send) can time that wait —
+    /// which is exactly how the pipeline's contention counter works.
+    pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+        let mut st = self.0.state.lock();
+        if st.receivers == 0 {
+            return Err(TrySendError::Disconnected(value));
+        }
+        if st.queue.len() < st.capacity {
+            st.queue.push_back(value);
+            drop(st);
+            self.0.readable.notify_one();
+            Ok(())
+        } else {
+            Err(TrySendError::Full(value))
         }
     }
 }
@@ -362,6 +390,32 @@ where
     });
 }
 
+// ---------------------------------------------------------------------------
+// Worker budget
+// ---------------------------------------------------------------------------
+
+/// Default number of workers for parallel execution.
+///
+/// Resolved once per process: `VR_WORKERS` (a positive integer) wins;
+/// otherwise `std::thread::available_parallelism()`. `VR_WORKERS=1`
+/// forces the sequential code paths everywhere for debugging. Callers
+/// that need a race-free per-run override (tests, benches) should set
+/// the worker count on their execution context instead of mutating
+/// the environment.
+pub fn worker_budget() -> usize {
+    static BUDGET: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *BUDGET.get_or_init(|| {
+        if let Ok(raw) = std::env::var("VR_WORKERS") {
+            if let Ok(n) = raw.trim().parse::<usize>() {
+                if n >= 1 {
+                    return n;
+                }
+            }
+        }
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    })
+}
+
 /// A monotonically increasing counter usable across threads; used for
 /// cheap instrumentation where a full lock is overkill.
 #[derive(Debug, Default)]
@@ -481,6 +535,25 @@ mod tests {
             (0..3).flat_map(|p| (0..50).map(move |i| p * 1000 + i)).collect();
         expect.sort_unstable();
         assert_eq!(all, expect);
+    }
+
+    #[test]
+    fn try_send_reports_full_and_disconnected() {
+        let (tx, rx) = channel(1);
+        assert_eq!(tx.try_send(1u8), Ok(()));
+        assert_eq!(tx.try_send(2), Err(TrySendError::Full(2)));
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(tx.try_send(3), Ok(()));
+        assert_eq!(rx.recv(), Ok(3));
+        drop(rx);
+        assert_eq!(tx.try_send(4), Err(TrySendError::Disconnected(4)));
+    }
+
+    #[test]
+    fn worker_budget_is_at_least_one() {
+        assert!(worker_budget() >= 1);
+        // Cached: repeated calls agree.
+        assert_eq!(worker_budget(), worker_budget());
     }
 
     #[test]

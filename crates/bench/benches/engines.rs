@@ -39,7 +39,10 @@ fn make_input(frames: usize) -> InputVideo {
 
 fn bench_engines(c: &mut Criterion) {
     let inputs = vec![make_input(12)];
-    let ctx = ExecContext::default();
+    // Pin the legacy benchmarks to one worker so their medians are
+    // comparable across hosts (and against the committed baseline)
+    // regardless of core count or VR_WORKERS.
+    let ctx = ExecContext { workers: 1, ..ExecContext::default() };
     let q1 = QueryInstance {
         index: 0,
         spec: QuerySpec::Q1 {
@@ -58,32 +61,64 @@ fn bench_engines(c: &mut Criterion) {
     let mut group = c.benchmark_group("engines_256x144x12");
     group.sample_size(10);
     group.bench_function("q1_reference", |b| {
-        let mut e = ReferenceEngine::new();
+        let e = ReferenceEngine::new();
         b.iter(|| e.execute(&q1, &inputs, &ctx).unwrap())
     });
     group.bench_function("q1_batch_slow_resize", |b| {
-        let mut e = BatchEngine::new();
+        let e = BatchEngine::new();
         b.iter(|| e.execute(&q1, &inputs, &ctx).unwrap())
     });
     group.bench_function("q1_functional_streamed", |b| {
-        let mut e = FunctionalEngine::new();
+        let e = FunctionalEngine::new();
         b.iter(|| e.execute(&q1, &inputs, &ctx).unwrap())
     });
     group.bench_function("q2c_reference", |b| {
-        let mut e = ReferenceEngine::new();
+        let e = ReferenceEngine::new();
         b.iter(|| e.execute(&q2c, &inputs, &ctx).unwrap())
     });
     group.bench_function("q2c_batch_framework_overhead", |b| {
-        let mut e = BatchEngine::new();
+        let e = BatchEngine::new();
         b.iter(|| e.execute(&q2c, &inputs, &ctx).unwrap())
     });
     group.bench_function("q2c_cascade_skips", |b| {
-        let mut e = CascadeEngine::new();
+        let e = CascadeEngine::new();
         b.iter(|| e.execute(&q2c, &inputs, &ctx).unwrap())
     });
     group.finish();
 }
 
+/// The parallel-pipeline worker sweep: the same Q1 instance on the
+/// batch engine at 1 vs 4 workers. `bench_gate` derives the CI
+/// speedup contract from this pair, so the ids must stay stable.
+fn bench_worker_sweep(c: &mut Criterion) {
+    // A longer input than the engine sweep, so the parallel sections
+    // (GOP-parallel decode, chunked kernels) dominate thread setup.
+    let inputs = vec![make_input(48)];
+    let q1 = QueryInstance {
+        index: 0,
+        spec: QuerySpec::Q1 {
+            rect: vr_geom::Rect::new(10, 10, 200, 120),
+            t1: Timestamp::ZERO,
+            t2: Timestamp::from_micros(1_400_000),
+        },
+        inputs: vec![0],
+    };
+    let mut group = c.benchmark_group("engines_256x144x48");
+    group.sample_size(10);
+    for workers in [1usize, 4] {
+        let ctx = ExecContext { workers, ..ExecContext::default() };
+        group.bench_function(format!("q1_batch_workers{workers}"), |b| {
+            // A fresh engine per iteration: the frame-table cache must
+            // not hide the (parallel) decode from the measurement.
+            b.iter(|| BatchEngine::new().execute(&q1, &inputs, &ctx).unwrap())
+        });
+    }
+    group.finish();
+}
+
 fn main() {
-    vr_bench::harness::main(&[bench_engines]);
+    vr_bench::harness::main_with_json(
+        &[bench_engines, bench_worker_sweep],
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_engines.json"),
+    );
 }

@@ -62,7 +62,7 @@ fn main() {
     let mut t = TextTable::new(&["cache / working set", "4-pass runtime", "hits", "misses"]);
     for factor in [0.0f64, 0.3, 0.6, 1.1, 2.0] {
         let cache_bytes = (working_set as f64 * factor) as usize;
-        let mut engine = BatchEngine::with_config(BatchConfig {
+        let engine = BatchEngine::with_config(BatchConfig {
             cache_bytes,
             ..Default::default()
         });

@@ -81,7 +81,7 @@ fn run_with_stats(
     ctx: &ExecContext,
     threshold: f64,
 ) -> ((f64, u64, u64), Boxes) {
-    let mut engine = CascadeEngine::with_config(CascadeConfig {
+    let engine = CascadeEngine::with_config(CascadeConfig {
         diff_threshold: threshold,
         ..Default::default()
     });

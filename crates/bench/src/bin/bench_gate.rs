@@ -1,0 +1,169 @@
+//! CI bench-regression gate: compare a measured benchmark-result file
+//! (written by the harness's `--save-json`) against a committed
+//! baseline and fail on regressions beyond tolerance.
+//!
+//! ```text
+//! bench_gate <baseline.json> <current.json> [--tolerance 0.30]
+//! ```
+//!
+//! Verdicts per benchmark id:
+//!
+//! * `PASS`      — current median within ±tolerance of the baseline;
+//! * `FASTER`    — improved beyond tolerance (informational; the
+//!   baseline should be refreshed to lock the win in);
+//! * `REGRESSED` — slower beyond tolerance (fails the gate);
+//! * `MISSING`   — in the baseline but not the current run (fails the
+//!   gate: a renamed or deleted benchmark must update the baseline);
+//! * `NEW`       — not in the baseline yet (informational).
+//!
+//! The gate additionally checks the parallel-pipeline speedup contract
+//! when the current run carries the `q1_batch_workers1` /
+//! `q1_batch_workers4` pair: at 4 workers Q1 must run ≥ 1.5× faster
+//! than at 1 worker. On single-core hosts (where no wall-clock speedup
+//! is physically available) the ratio is reported but not enforced.
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+use vr_bench::json;
+
+const DEFAULT_TOLERANCE: f64 = 0.30;
+const Q1_SPEEDUP_FLOOR: f64 = 1.5;
+
+fn load_medians(path: &str) -> Result<BTreeMap<String, f64>, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {path}: {e}"))?;
+    let doc = json::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+    let benches = doc
+        .get("benchmarks")
+        .and_then(|b| b.as_array())
+        .ok_or_else(|| format!("{path}: no \"benchmarks\" array"))?;
+    let mut medians = BTreeMap::new();
+    for b in benches {
+        let id = b
+            .get("id")
+            .and_then(|v| v.as_str())
+            .ok_or_else(|| format!("{path}: benchmark without an id"))?;
+        let median = b
+            .get("median_ns")
+            .and_then(|v| v.as_f64())
+            .ok_or_else(|| format!("{path}: {id} has no median_ns"))?;
+        medians.insert(id.to_string(), median);
+    }
+    Ok(medians)
+}
+
+fn fmt_ms(ns: f64) -> String {
+    format!("{:.3}ms", ns / 1e6)
+}
+
+fn run() -> Result<bool, String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut positional = Vec::new();
+    let mut tolerance = DEFAULT_TOLERANCE;
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == "--tolerance" {
+            i += 1;
+            tolerance = args
+                .get(i)
+                .and_then(|t| t.parse::<f64>().ok())
+                .filter(|t| *t > 0.0)
+                .ok_or("--tolerance needs a positive number")?;
+        } else {
+            positional.push(args[i].clone());
+        }
+        i += 1;
+    }
+    let [baseline_path, current_path] = positional.as_slice() else {
+        return Err("usage: bench_gate <baseline.json> <current.json> [--tolerance 0.30]".into());
+    };
+
+    let baseline = load_medians(baseline_path)?;
+    let current = load_medians(current_path)?;
+    if current.is_empty() {
+        return Err(format!("{current_path} holds no benchmarks"));
+    }
+
+    println!(
+        "bench gate: {} current vs {} baseline benchmarks (tolerance ±{:.0}%)",
+        current.len(),
+        baseline.len(),
+        tolerance * 100.0
+    );
+    println!(
+        "{:<50} {:>12} {:>12} {:>8}  {}",
+        "benchmark", "baseline", "current", "ratio", "verdict"
+    );
+    let mut failures = 0usize;
+    for (id, &cur) in &current {
+        match baseline.get(id) {
+            Some(&base) if base > 0.0 => {
+                let ratio = cur / base;
+                let verdict = if ratio > 1.0 + tolerance {
+                    failures += 1;
+                    "REGRESSED"
+                } else if ratio < 1.0 / (1.0 + tolerance) {
+                    "FASTER"
+                } else {
+                    "PASS"
+                };
+                println!(
+                    "{id:<50} {:>12} {:>12} {ratio:>7.2}x  {verdict}",
+                    fmt_ms(base),
+                    fmt_ms(cur)
+                );
+            }
+            _ => {
+                println!("{id:<50} {:>12} {:>12} {:>8}  NEW", "-", fmt_ms(cur), "-");
+            }
+        }
+    }
+    for id in baseline.keys() {
+        if !current.contains_key(id) {
+            failures += 1;
+            println!("{id:<50} {:>12} {:>12} {:>8}  MISSING", "?", "-", "-");
+        }
+    }
+
+    // Parallel-speedup contract on the Q1 worker-sweep pair.
+    let w1 = current.iter().find(|(id, _)| id.ends_with("q1_batch_workers1"));
+    let w4 = current.iter().find(|(id, _)| id.ends_with("q1_batch_workers4"));
+    if let (Some((_, &w1)), Some((_, &w4))) = (w1, w4) {
+        let speedup = w1 / w4.max(1.0);
+        let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        if cores >= 2 {
+            let ok = speedup >= Q1_SPEEDUP_FLOOR;
+            if !ok {
+                failures += 1;
+            }
+            println!(
+                "q1 speedup at 4 workers: {speedup:.2}x on {cores} cores \
+                 (floor {Q1_SPEEDUP_FLOOR}x) — {}",
+                if ok { "PASS" } else { "REGRESSED" }
+            );
+        } else {
+            println!(
+                "q1 speedup at 4 workers: {speedup:.2}x — informational \
+                 ({cores} core host, floor not enforced)"
+            );
+        }
+    }
+
+    if failures > 0 {
+        println!("bench gate: {failures} failure(s)");
+    } else {
+        println!("bench gate: all benchmarks within tolerance");
+    }
+    Ok(failures == 0)
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::FAILURE,
+        Err(e) => {
+            eprintln!("bench_gate: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

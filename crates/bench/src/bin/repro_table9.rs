@@ -121,7 +121,7 @@ fn main() {
                     inputs: vec![i],
                 })
                 .collect();
-            let mut functional = FunctionalEngine::new();
+            let functional = FunctionalEngine::new();
             let (ok_f, t_f) = vr_bench::time(|| {
                 let mut ok = 0usize;
                 for inst in &instances {
@@ -131,7 +131,7 @@ fn main() {
                 }
                 ok
             });
-            let mut batch = BatchEngine::new();
+            let batch = BatchEngine::new();
             let (ok_b, t_b) = vr_bench::time(|| {
                 let mut ok = 0usize;
                 for inst in &instances {

@@ -11,14 +11,38 @@
 //! `--test` and expects a fast smoke run. The harness honors both: in
 //! test mode each benchmark body executes exactly once (proving it
 //! still runs) and no statistics are reported.
+//!
+//! Measured runs can additionally be persisted machine-readably:
+//! `--save-json <path>` (or [`main_with_json`]'s default path) writes
+//! every benchmark's median/mean/min nanoseconds and throughput, the
+//! format `bench_gate` compares against a committed baseline in CI.
 
 use std::time::{Duration, Instant};
+
+/// One benchmark's folded measurements, as persisted by `--save-json`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchResult {
+    /// `group/function` id.
+    pub id: String,
+    pub median_ns: u128,
+    pub mean_ns: u128,
+    pub min_ns: u128,
+    /// Timed samples folded into the statistics.
+    pub samples: usize,
+    /// Elements per second at the median, when the group declared a
+    /// [`Throughput`].
+    pub throughput_eps: Option<f64>,
+}
 
 /// Measurement configuration plus the CLI-selected mode.
 pub struct Criterion {
     test_mode: bool,
     /// Optional substring filter (first free CLI argument).
     filter: Option<String>,
+    /// Where to persist machine-readable results (`--save-json`).
+    save_json: Option<String>,
+    /// Results recorded by measured (non-test-mode) runs.
+    results: Vec<BenchResult>,
 }
 
 /// Throughput annotation for a benchmark group (elements per
@@ -34,17 +58,41 @@ impl Criterion {
     /// Build from the process arguments cargo passed to the bench
     /// binary.
     pub fn from_args() -> Self {
+        Self::parse(std::env::args().skip(1))
+    }
+
+    /// Parse a bench binary's CLI. Only free (non-dash) arguments are
+    /// filters; `--flag value` pairs for flags this harness does not
+    /// know are skipped *with* their value, so e.g. cargo's
+    /// `--logfile out.txt` never turns `out.txt` into a filter that
+    /// silently deselects every benchmark.
+    fn parse(args: impl Iterator<Item = String>) -> Self {
         let mut test_mode = false;
         let mut filter = None;
-        for arg in std::env::args().skip(1) {
+        let mut save_json = None;
+        let mut args = args.peekable();
+        while let Some(arg) = args.next() {
             match arg.as_str() {
                 "--test" => test_mode = true,
-                "--bench" => {}
-                s if !s.starts_with('-') && filter.is_none() => filter = Some(s.to_string()),
+                "--save-json" => save_json = args.next(),
+                // Known boolean flags (cargo / libtest pass-throughs):
+                // nothing to consume after them.
+                "--bench" | "--exact" | "--ignored" | "--include-ignored" | "--list"
+                | "--nocapture" | "--quiet" | "-q" | "--show-output" => {}
+                s if s.starts_with("--") => {
+                    // Unknown option: `--flag=value` is self-contained;
+                    // otherwise the next non-dash argument is its
+                    // value, not a filter.
+                    if !s.contains('=') && args.peek().is_some_and(|n| !n.starts_with('-')) {
+                        let _ = args.next();
+                    }
+                }
+                s if s.starts_with('-') => {}
+                s if filter.is_none() => filter = Some(s.to_string()),
                 _ => {}
             }
         }
-        Self { test_mode, filter }
+        Self { test_mode, filter, save_json, results: Vec::new() }
     }
 
     /// Open a named benchmark group.
@@ -56,11 +104,53 @@ impl Criterion {
             throughput: None,
         }
     }
+
+    /// Results recorded so far (empty in test mode).
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
+    }
+
+    /// Test support: a measured-mode context preloaded with results.
+    #[cfg(test)]
+    pub(crate) fn with_results(results: Vec<BenchResult>) -> Self {
+        Self { test_mode: false, filter: None, save_json: None, results }
+    }
+
+    /// Persist recorded results as JSON. No-op in test mode (a smoke
+    /// run measures nothing worth comparing against a baseline).
+    pub fn write_json(&self, path: &str) -> std::io::Result<()> {
+        if self.test_mode {
+            return Ok(());
+        }
+        std::fs::write(path, render_json(&self.results))?;
+        println!("wrote {} benchmark results to {path}", self.results.len());
+        Ok(())
+    }
+}
+
+/// Render results in the schema `bench_gate` consumes.
+fn render_json(results: &[BenchResult]) -> String {
+    let mut out = String::from("{\n  \"benchmarks\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"id\": \"{}\", \"median_ns\": {}, \"mean_ns\": {}, \
+             \"min_ns\": {}, \"samples\": {}, \"throughput_eps\": {}}}{}\n",
+            r.id.replace('\\', "\\\\").replace('"', "\\\""),
+            r.median_ns,
+            r.mean_ns,
+            r.min_ns,
+            r.samples,
+            r.throughput_eps.map(|t| format!("{t:.3}")).unwrap_or_else(|| "null".into()),
+            if i + 1 == results.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
 }
 
 /// A group of related benchmarks sharing a name prefix and settings.
 pub struct Group<'a> {
-    c: &'a Criterion,
+    c: &'a mut Criterion,
     name: String,
     sample_size: usize,
     throughput: Option<Throughput>,
@@ -109,6 +199,12 @@ impl Group<'_> {
         }
         let median = ns[ns.len() / 2];
         let mean: u128 = ns.iter().sum::<u128>() / ns.len() as u128;
+        let throughput_eps = match self.throughput {
+            Some(Throughput::Elements(e)) if median > 0 => {
+                Some(e as f64 * 1e9 / median as f64)
+            }
+            _ => None,
+        };
         let mut line = format!(
             "{id:<50} median {} (min {}, mean {}, {} samples)",
             fmt_ns(median),
@@ -116,13 +212,18 @@ impl Group<'_> {
             fmt_ns(mean),
             ns.len()
         );
-        if let Some(Throughput::Elements(e)) = self.throughput {
-            if median > 0 {
-                let per_sec = e as f64 * 1e9 / median as f64;
-                line.push_str(&format!(", {:.1} Melem/s", per_sec / 1e6));
-            }
+        if let Some(per_sec) = throughput_eps {
+            line.push_str(&format!(", {:.1} Melem/s", per_sec / 1e6));
         }
         println!("{line}");
+        self.c.results.push(BenchResult {
+            id,
+            median_ns: median,
+            mean_ns: mean,
+            min_ns: ns[0],
+            samples: ns.len(),
+            throughput_eps,
+        });
         self
     }
 
@@ -163,6 +264,21 @@ pub fn main(benches: &[fn(&mut Criterion)]) {
     for bench in benches {
         bench(&mut c);
     }
+    if let Some(path) = c.save_json.clone() {
+        c.write_json(&path).expect("write bench results");
+    }
+}
+
+/// Like [`main`], but measured runs always persist JSON results —
+/// to `--save-json <path>` when given, else to `default_json_path`.
+pub fn main_with_json(benches: &[fn(&mut Criterion)], default_json_path: &str) {
+    let mut c = Criterion::from_args();
+    for bench in benches {
+        bench(&mut c);
+    }
+    let path =
+        c.save_json.clone().unwrap_or_else(|| default_json_path.to_string());
+    c.write_json(&path).expect("write bench results");
 }
 
 fn fmt_ns(ns: u128) -> String {
@@ -180,6 +296,15 @@ fn fmt_ns(ns: u128) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn criterion(test_mode: bool, filter: Option<&str>) -> Criterion {
+        Criterion {
+            test_mode,
+            filter: filter.map(String::from),
+            save_json: None,
+            results: Vec::new(),
+        }
+    }
 
     #[test]
     fn bencher_times_iterations() {
@@ -205,14 +330,60 @@ mod tests {
 
     #[test]
     fn groups_respect_filters() {
-        let c = Criterion { test_mode: true, filter: Some("match-me".into()) };
+        let mut c = criterion(true, Some("match-me"));
         let mut hit = 0;
-        let mut c = c;
         let mut g = c.benchmark_group("g");
         g.bench_function("match-me", |b| b.iter(|| hit += 1));
         g.bench_function("skip-me", |b| b.iter(|| hit += 100));
         g.finish();
         assert_eq!(hit, 1);
+    }
+
+    #[test]
+    fn measured_runs_record_results() {
+        let mut c = criterion(false, None);
+        {
+            let mut g = c.benchmark_group("g");
+            g.sample_size(3).throughput(Throughput::Elements(1000));
+            g.bench_function("work", |b| b.iter(|| std::hint::black_box(7 * 6)));
+            g.finish();
+        }
+        let results = c.results();
+        assert_eq!(results.len(), 1);
+        assert_eq!(results[0].id, "g/work");
+        assert_eq!(results[0].samples, 3);
+        assert!(results[0].min_ns <= results[0].median_ns);
+        let json = render_json(results);
+        assert!(json.contains("\"id\": \"g/work\""), "{json}");
+        assert!(json.contains("\"median_ns\": "), "{json}");
+    }
+
+    #[test]
+    fn arg_parsing_distinguishes_flags_values_and_filters() {
+        let parse = |args: &[&str]| {
+            Criterion::parse(args.iter().map(|s| s.to_string()))
+        };
+        // The criterion-era bug: an unknown flag's value became the
+        // filter and deselected everything.
+        let c = parse(&["--bench", "--logfile", "out.txt"]);
+        assert_eq!(c.filter, None);
+        // ... while a genuine free argument still filters.
+        let c = parse(&["--bench", "q1"]);
+        assert_eq!(c.filter.as_deref(), Some("q1"));
+        // Known boolean flags never swallow the filter after them.
+        let c = parse(&["--test", "--nocapture", "q2"]);
+        assert!(c.test_mode);
+        assert_eq!(c.filter.as_deref(), Some("q2"));
+        // `--flag=value` is self-contained.
+        let c = parse(&["--logfile=out.txt", "q3"]);
+        assert_eq!(c.filter.as_deref(), Some("q3"));
+        // An unknown flag followed by another flag consumes nothing.
+        let c = parse(&["--color", "--test"]);
+        assert!(c.test_mode);
+        // --save-json takes its path operand.
+        let c = parse(&["--save-json", "results.json", "q4"]);
+        assert_eq!(c.save_json.as_deref(), Some("results.json"));
+        assert_eq!(c.filter.as_deref(), Some("q4"));
     }
 
     #[test]

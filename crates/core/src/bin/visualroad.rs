@@ -41,8 +41,12 @@ USAGE:
   visualroad run [--engine NAME|all] [--queries Q1,Q2a,...|--full-suite]
                  [--scale L] [--res WxH] [--duration SECS] [--seed S]
                  [--batch N] [--online SPEEDUP] [--write DIR] [--no-validate]
+                 [--workers N]
       Generate a dataset and drive the chosen engine(s) through the
-      benchmark, printing the report.
+      benchmark, printing the report. --workers caps both the driver's
+      batch scheduler and each engine's pipelined executor (default:
+      the VR_WORKERS environment variable, else all cores; 1 forces
+      the sequential paths).
 
 ENGINES: reference | batch | functional | cascade | all
 QUERIES: Q1 Q2a Q2b Q2c Q2d Q3 Q4 Q5 Q6a Q6b Q7 Q8 Q9 Q10"
@@ -248,6 +252,15 @@ fn cmd_run(args: &[String]) -> i32 {
         match FlatStore::open(dir) {
             Ok(store) => cfg.write_store = Some(store),
             Err(e) => return fail(&e.to_string()),
+        }
+    }
+    if let Some(w) = flags.get("workers") {
+        match w.parse::<usize>() {
+            Ok(w) if w >= 1 => {
+                cfg.pipeline_workers = Some(w);
+                cfg.batch_workers = Some(w);
+            }
+            _ => return fail("--workers wants a positive integer"),
         }
     }
     let vcd = Vcd::new(&dataset, cfg);

@@ -47,7 +47,7 @@ pub mod vcd;
 pub mod vcg;
 
 pub use dataset::{Dataset, VideoMeta, VideoRole};
-pub use report::{BenchmarkReport, QueryReport, QueryStatus, ValidationSummary};
+pub use report::{BenchmarkReport, QueryReport, QueryStatus, SchedulerStats, ValidationSummary};
 pub use vcd::{ExecutionMode, Vcd, VcdConfig};
 pub use vcg::{GenConfig, Vcg};
 

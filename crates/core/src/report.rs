@@ -32,6 +32,50 @@ pub struct ValidationSummary {
     pub passed: bool,
 }
 
+/// Per-batch accounting from the driver's instance scheduler: how
+/// many workers dispatched the batch, tail and mean per-instance
+/// latency, and how many instances blew the configured deadline.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SchedulerStats {
+    /// Worker threads the scheduler dispatched this batch across
+    /// (1 = the sequential driver loop).
+    pub workers: usize,
+    /// Instances actually executed (the sequential driver stops at
+    /// the first failure, so this can be < batch size).
+    pub instances: usize,
+    /// Slowest single instance, in nanoseconds.
+    pub max_instance_nanos: u64,
+    /// Mean per-instance latency, in nanoseconds.
+    pub mean_instance_nanos: u64,
+    /// Instances whose latency exceeded the configured per-instance
+    /// deadline (0 when no deadline is set).
+    pub deadline_misses: usize,
+}
+
+impl SchedulerStats {
+    /// Fold per-instance latencies into batch statistics.
+    pub fn from_durations(
+        workers: usize,
+        nanos: &[u64],
+        deadline: Option<WallDuration>,
+    ) -> Self {
+        let deadline_nanos = deadline.map(|d| d.as_nanos() as u64);
+        Self {
+            workers,
+            instances: nanos.len(),
+            max_instance_nanos: nanos.iter().copied().max().unwrap_or(0),
+            mean_instance_nanos: if nanos.is_empty() {
+                0
+            } else {
+                nanos.iter().sum::<u64>() / nanos.len() as u64
+            },
+            deadline_misses: deadline_nanos
+                .map(|d| nanos.iter().filter(|&&n| n > d).count())
+                .unwrap_or(0),
+        }
+    }
+}
+
 /// Outcome of one query's batch on one engine.
 #[derive(Debug, Clone)]
 pub enum QueryStatus {
@@ -48,6 +92,9 @@ pub enum QueryStatus {
         /// Per-operator (scan/decode/kernel/encode/sink) time, frame
         /// and byte aggregates from the engine's physical pipeline.
         stages: PipelineSnapshot,
+        /// Batch-scheduler accounting (workers, per-instance latency,
+        /// deadline misses).
+        scheduler: SchedulerStats,
         validation: ValidationSummary,
     },
     /// The engine cannot express the query (reported as N/A, like
@@ -131,7 +178,7 @@ impl fmt::Display for BenchmarkReport {
         )?;
         for q in &self.queries {
             match &q.status {
-                QueryStatus::Completed { runtime, fps, stages, validation, .. } => {
+                QueryStatus::Completed { runtime, fps, stages, scheduler, validation, .. } => {
                     let psnr = validation
                         .psnr
                         .map(|p| format!("{:.1}dB", p.mean))
@@ -160,6 +207,21 @@ impl fmt::Display for BenchmarkReport {
                         stages.stage(StageKind::Encode).bytes,
                         ms(StageKind::Scan),
                         ms(StageKind::Sink),
+                    )?;
+                    writeln!(
+                        f,
+                        "        sched: {} worker{} / {} instance{}  \
+                         max {:.1}ms  mean {:.1}ms  {} deadline miss{}  \
+                         | contention {}ns",
+                        scheduler.workers,
+                        if scheduler.workers == 1 { "" } else { "s" },
+                        scheduler.instances,
+                        if scheduler.instances == 1 { "" } else { "s" },
+                        scheduler.max_instance_nanos as f64 / 1e6,
+                        scheduler.mean_instance_nanos as f64 / 1e6,
+                        scheduler.deadline_misses,
+                        if scheduler.deadline_misses == 1 { "" } else { "es" },
+                        stages.contention_nanos,
                     )?;
                 }
                 QueryStatus::Unsupported => {
@@ -212,6 +274,11 @@ mod tests {
                         fps: 160.0,
                         bytes_written: 0,
                         stages: PipelineSnapshot::default(),
+                        scheduler: SchedulerStats::from_durations(
+                            2,
+                            &[700_000_000, 800_000_000],
+                            Some(WallDuration::from_millis(750)),
+                        ),
                         validation: ValidationSummary {
                             psnr: PsnrStats::from_values(&[55.0, 60.0]),
                             semantic_agreement: None,
@@ -244,6 +311,26 @@ mod tests {
         assert!(text.contains("N/A (unsupported)"));
         assert!(text.contains("L=2"));
         assert!(text.contains("stages: decode"));
+        assert!(text.contains("sched: 2 workers / 2 instances"));
+        assert!(text.contains("1 deadline miss "));
+    }
+
+    #[test]
+    fn scheduler_stats_fold_durations() {
+        let s = SchedulerStats::from_durations(
+            4,
+            &[100, 300, 200],
+            Some(WallDuration::from_nanos(250)),
+        );
+        assert_eq!(s.workers, 4);
+        assert_eq!(s.instances, 3);
+        assert_eq!(s.max_instance_nanos, 300);
+        assert_eq!(s.mean_instance_nanos, 200);
+        assert_eq!(s.deadline_misses, 1);
+        assert_eq!(SchedulerStats::from_durations(1, &[], None), SchedulerStats {
+            workers: 1,
+            ..SchedulerStats::default()
+        });
     }
 
     #[test]

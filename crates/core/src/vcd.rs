@@ -18,9 +18,12 @@
 //!   informationally).
 
 use crate::dataset::Dataset;
-use crate::report::{BenchmarkReport, QueryReport, QueryStatus, ValidationSummary};
+use crate::report::{
+    BenchmarkReport, QueryReport, QueryStatus, SchedulerStats, ValidationSummary,
+};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 use vr_base::rng::mix64;
 use vr_base::{Resolution, Result, VrRng};
 use vr_container::TrackKind;
@@ -73,6 +76,20 @@ pub struct VcdConfig {
     /// engine's frame table) — the scale-factor experiments run
     /// without it to expose cross-batch caching behaviour.
     pub quiesce_between_batches: bool,
+    /// Worker budget handed to each engine's pipelined executor via
+    /// [`ExecContext::workers`]. `None` defers to `VR_WORKERS` / the
+    /// machine's parallelism; `Some(1)` forces every engine down its
+    /// sequential path.
+    pub pipeline_workers: Option<usize>,
+    /// Worker threads the driver dispatches one batch's instances
+    /// across. `None` defers to `VR_WORKERS` / the machine's
+    /// parallelism; `Some(1)` is the classic sequential driver loop
+    /// (which also aborts the batch at the first failing instance).
+    pub batch_workers: Option<usize>,
+    /// Per-instance latency deadline. Instances that exceed it are
+    /// counted in [`SchedulerStats::deadline_misses`] — accounting
+    /// only; execution is never cut short.
+    pub instance_deadline: Option<Duration>,
 }
 
 impl Default for VcdConfig {
@@ -86,6 +103,9 @@ impl Default for VcdConfig {
             max_upsample_exp: 2,
             semantic_threshold: 0.7,
             quiesce_between_batches: true,
+            pipeline_workers: None,
+            batch_workers: None,
+            instance_deadline: None,
         }
     }
 }
@@ -206,6 +226,11 @@ impl<'d> Vcd<'d> {
             },
             output_qp: self.cfg.output_qp,
             metrics: Arc::new(PipelineMetrics::default()),
+            workers: self
+                .cfg
+                .pipeline_workers
+                .unwrap_or_else(vr_base::sync::worker_budget)
+                .max(1),
         }
     }
 
@@ -218,25 +243,40 @@ impl<'d> Vcd<'d> {
         }
         let ctx = self.exec_context(kind);
         let inputs = &self.dataset.videos;
+        let workers = self
+            .cfg
+            .batch_workers
+            .unwrap_or_else(vr_base::sync::worker_budget)
+            .clamp(1, batch.len().max(1));
 
+        let start = Instant::now();
+        engine.prepare_batch(&batch, inputs, &ctx);
+        // `prepare_batch` needed the exclusive reference; dispatch
+        // shares the engine across scheduler workers.
+        let engine: &dyn Vdbms = engine;
+        let slots = if workers <= 1 {
+            self.dispatch_sequential(engine, &batch, &ctx)?
+        } else {
+            self.dispatch_concurrent(engine, &batch, &ctx, workers)?
+        };
+        let runtime = start.elapsed();
+
+        // Fold the per-instance slots in submission order: the first
+        // (lowest-index) failure decides the batch's status, exactly
+        // as under the sequential driver.
         let mut outputs: Vec<QueryOutput> = Vec::with_capacity(batch.len());
         let mut frames = 0usize;
         let mut bytes_written = 0usize;
-        let start = Instant::now();
-        engine.prepare_batch(&batch, inputs, &ctx);
-        for instance in &batch {
-            // Online mode: the engine may not read faster than the
-            // capture rate; stream the inputs through paced RTP first.
-            if let ExecutionMode::Online { speedup } = self.cfg.mode {
-                for &i in &instance.inputs {
-                    ingest_online(&self.dataset.videos[i], speedup)?;
-                }
-            }
-            for &i in &instance.inputs {
-                frames += self.dataset.videos[i].frame_count();
-            }
-            match engine.execute(instance, inputs, &ctx) {
+        let mut latencies: Vec<u64> = Vec::with_capacity(batch.len());
+        let mut failure: Option<String> = None;
+        for (slot, instance) in slots.into_iter().zip(&batch) {
+            let Some((result, nanos)) = slot else { break };
+            latencies.push(nanos);
+            match result {
                 Ok(out) => {
+                    for &i in &instance.inputs {
+                        frames += self.dataset.videos[i].frame_count();
+                    }
                     bytes_written += match &ctx.result_mode {
                         ResultMode::Write { .. } => out.size_bytes(),
                         ResultMode::Streaming => 0,
@@ -244,19 +284,20 @@ impl<'d> Vcd<'d> {
                     outputs.push(out);
                 }
                 Err(e) => {
-                    return Ok(QueryReport {
-                        kind,
-                        batch_size,
-                        status: QueryStatus::Failed { error: e.to_string() },
-                    });
+                    failure = Some(e.to_string());
+                    break;
                 }
             }
         }
-        let runtime = start.elapsed();
+        if let Some(error) = failure {
+            return Ok(QueryReport { kind, batch_size, status: QueryStatus::Failed { error } });
+        }
         let fps = frames as f64 / runtime.as_secs_f64().max(1e-9);
         // Per-operator stage aggregates accumulated by the engine's
         // pipeline over the whole measured batch.
         let stages = ctx.metrics.snapshot();
+        let scheduler =
+            SchedulerStats::from_durations(workers, &latencies, self.cfg.instance_deadline);
 
         let validation = if self.cfg.validate {
             self.validate_batch(&batch, &outputs)?
@@ -273,9 +314,105 @@ impl<'d> Vcd<'d> {
                 fps,
                 bytes_written,
                 stages,
+                scheduler,
                 validation,
             },
         })
+    }
+
+    /// Online mode: the engine may not read faster than the capture
+    /// rate; stream the instance's inputs through paced RTP first.
+    fn ingest_instance(&self, instance: &QueryInstance) -> Result<()> {
+        if let ExecutionMode::Online { speedup } = self.cfg.mode {
+            for &i in &instance.inputs {
+                ingest_online(&self.dataset.videos[i], speedup)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// The classic driver loop: one instance at a time, stopping at
+    /// the first failure (trailing slots stay `None`). Each slot holds
+    /// the instance's result plus its latency in nanoseconds.
+    #[allow(clippy::type_complexity)]
+    fn dispatch_sequential(
+        &self,
+        engine: &dyn Vdbms,
+        batch: &[QueryInstance],
+        ctx: &ExecContext,
+    ) -> Result<Vec<Option<(Result<QueryOutput>, u64)>>> {
+        let mut slots: Vec<Option<(Result<QueryOutput>, u64)>> =
+            (0..batch.len()).map(|_| None).collect();
+        for (i, instance) in batch.iter().enumerate() {
+            self.ingest_instance(instance)?;
+            let t0 = Instant::now();
+            let result = engine.execute(instance, &self.dataset.videos, ctx);
+            let failed = result.is_err();
+            slots[i] = Some((result, t0.elapsed().as_nanos() as u64));
+            if failed {
+                break;
+            }
+        }
+        Ok(slots)
+    }
+
+    /// Dispatch one batch's instances across `workers` scoped threads.
+    /// Workers pull the next instance index from a shared atomic
+    /// counter, so an expensive instance never stalls the rest of the
+    /// batch behind it; results land in per-index slots to keep the
+    /// fold deterministic regardless of completion order. Online-mode
+    /// ingest happens inside the worker job, pacing each stream
+    /// concurrently the way a rack of live cameras would.
+    #[allow(clippy::type_complexity)]
+    fn dispatch_concurrent(
+        &self,
+        engine: &dyn Vdbms,
+        batch: &[QueryInstance],
+        ctx: &ExecContext,
+        workers: usize,
+    ) -> Result<Vec<Option<(Result<QueryOutput>, u64)>>> {
+        let next = AtomicUsize::new(0);
+        let per_worker: Vec<(Vec<(usize, Result<QueryOutput>, u64)>, Result<()>)> =
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..workers)
+                    .map(|_| {
+                        let next = &next;
+                        scope.spawn(move || {
+                            let mut local = Vec::new();
+                            loop {
+                                let i = next.fetch_add(1, Ordering::Relaxed);
+                                let Some(instance) = batch.get(i) else {
+                                    return (local, Ok(()));
+                                };
+                                if let Err(e) = self.ingest_instance(instance) {
+                                    // Driver-side ingest errors are hard
+                                    // failures, like under the
+                                    // sequential loop.
+                                    return (local, Err(e));
+                                }
+                                let t0 = Instant::now();
+                                let result =
+                                    engine.execute(instance, &self.dataset.videos, ctx);
+                                local.push((i, result, t0.elapsed().as_nanos() as u64));
+                            }
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("scheduler worker panicked"))
+                    .collect()
+            });
+
+        let mut slots: Vec<Option<(Result<QueryOutput>, u64)>> =
+            (0..batch.len()).map(|_| None).collect();
+        for (local, status) in per_worker {
+            for (i, result, nanos) in local {
+                slots[i] = Some((result, nanos));
+            }
+            status?;
+        }
+        Ok(slots)
     }
 
     /// Validate a batch's outputs against the reference
@@ -291,6 +428,10 @@ impl<'d> Vcd<'d> {
             result_mode: ResultMode::Streaming,
             output_qp: self.cfg.output_qp,
             metrics: Arc::new(PipelineMetrics::default()),
+            // The reference implementation defines correct output;
+            // keep it on the sequential path so validation never
+            // depends on the host's parallelism.
+            workers: 1,
         };
         let mut psnr_values: Vec<f64> = Vec::new();
         let mut box_matches = 0usize;

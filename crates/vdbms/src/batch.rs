@@ -31,7 +31,7 @@
 
 use crate::engine::Vdbms;
 use crate::io::{ExecContext, InputVideo, QueryOutput};
-use crate::kernels::{boxes_frame, decode_all, filter_class};
+use crate::kernels::{boxes_frame, decode_all_parallel, filter_class};
 use crate::pipeline::{self, FrameKernel, KernelOut, Pipeline, PipelineMetrics, StageKind};
 use crate::query::{QueryInstance, QueryKind, QuerySpec};
 use crate::reference;
@@ -114,13 +114,15 @@ impl BatchEngine {
 
     /// Materialize an input into the frame table (decode on miss,
     /// evicting least-recently-used entries to stay under capacity).
-    /// Decode cost on a miss is recorded as pipeline Decode work;
-    /// a hit costs nothing here (reading the table shows up as Scan
-    /// work when the frames flow through a memory scan).
+    /// A miss decodes GOP-parallel across `workers` threads and its
+    /// cost is recorded as pipeline Decode work; a hit costs nothing
+    /// here (reading the table shows up as Scan work when the frames
+    /// flow through a memory scan).
     fn materialize(
         &self,
         input: &InputVideo,
         metrics: &PipelineMetrics,
+        workers: usize,
     ) -> Result<(VideoInfo, Arc<Vec<Frame>>)> {
         let now = {
             let mut c = self.clock.lock();
@@ -137,7 +139,7 @@ impl BatchEngine {
         }
         self.stats.lock().1 += 1;
         let t0 = Instant::now();
-        let (info, frames) = decode_all(input)?;
+        let (info, frames) = decode_all_parallel(input, workers)?;
         let bytes: usize = frames.iter().map(|f| f.sample_count()).sum();
         metrics.record(
             StageKind::Decode,
@@ -255,12 +257,13 @@ impl Vdbms for BatchEngine {
         // materialization and instances re-decode on miss — the
         // memory-thrash regime the paper observes at large scale
         // factors.
+        let workers = self.cfg.workers.min(ctx.workers).max(1);
         let mut seen = std::collections::HashSet::new();
         for instance in instances {
             for &i in &instance.inputs {
                 if let Some(input) = inputs.get(i) {
                     if seen.insert(&input.name) {
-                        let _ = self.materialize(input, &ctx.metrics);
+                        let _ = self.materialize(input, &ctx.metrics, workers);
                     }
                 }
             }
@@ -268,11 +271,12 @@ impl Vdbms for BatchEngine {
     }
 
     fn execute(
-        &mut self,
+        &self,
         instance: &QueryInstance,
         inputs: &[InputVideo],
         ctx: &ExecContext,
     ) -> Result<QueryOutput> {
+        let workers = self.cfg.workers.min(ctx.workers).max(1);
         let pl = Pipeline::new(ctx);
         let input = |i: usize| -> Result<&InputVideo> {
             instance
@@ -283,7 +287,7 @@ impl Vdbms for BatchEngine {
         };
         let output = match &instance.spec {
             QuerySpec::Q1 { rect, t1, t2 } => {
-                let (info, frames) = self.materialize(input(0)?, &ctx.metrics)?;
+                let (info, frames) = self.materialize(input(0)?, &ctx.metrics, workers)?;
                 let last = (t2.frame_index(info.frame_rate) as usize)
                     .min(frames.len().saturating_sub(1));
                 let first = (t1.frame_index(info.frame_rate) as usize).min(last);
@@ -294,12 +298,12 @@ impl Vdbms for BatchEngine {
                 QueryOutput::Video(out)
             }
             QuerySpec::Q2a => {
-                let (info, frames) = self.materialize(input(0)?, &ctx.metrics)?;
+                let (info, frames) = self.materialize(input(0)?, &ctx.metrics, workers)?;
                 let mut scan = pl.memory_scan(info, frames, 0..usize::MAX);
                 QueryOutput::Video(pl.run_eager(&mut scan, self.cfg.workers, ops::grayscale)?)
             }
             QuerySpec::Q2b { d } => {
-                let (info, frames) = self.materialize(input(0)?, &ctx.metrics)?;
+                let (info, frames) = self.materialize(input(0)?, &ctx.metrics, workers)?;
                 let d = *d;
                 let mut scan = pl.memory_scan(info, frames, 0..usize::MAX);
                 let out =
@@ -307,7 +311,7 @@ impl Vdbms for BatchEngine {
                 QueryOutput::Video(out)
             }
             QuerySpec::Q2c { class } => {
-                let (info, frames) = self.materialize(input(0)?, &ctx.metrics)?;
+                let (info, frames) = self.materialize(input(0)?, &ctx.metrics, workers)?;
                 let mut scan = pl.memory_scan(info, frames, 0..usize::MAX);
                 let mut kernel = CaffeBoxesKernel {
                     detector: YoloDetector::new(YoloConfig::default()),
@@ -318,7 +322,7 @@ impl Vdbms for BatchEngine {
                 QueryOutput::BoxedVideo { video: r.video, boxes: r.boxes.unwrap_or_default() }
             }
             QuerySpec::Q2d { m, epsilon } => {
-                let (info, frames) = self.materialize(input(0)?, &ctx.metrics)?;
+                let (info, frames) = self.materialize(input(0)?, &ctx.metrics, workers)?;
                 let (m, epsilon) = (*m, *epsilon);
                 let mut scan = pl.memory_scan(info, frames, 0..usize::MAX);
                 let out = pl.run_sequence(&mut scan, |frames, _| {
@@ -327,7 +331,7 @@ impl Vdbms for BatchEngine {
                 QueryOutput::Video(out)
             }
             QuerySpec::Q3 { dx, dy, bitrates } => {
-                let (info, frames) = self.materialize(input(0)?, &ctx.metrics)?;
+                let (info, frames) = self.materialize(input(0)?, &ctx.metrics, workers)?;
                 let (dx, dy) = (*dx, *dy);
                 let mut scan = pl.memory_scan(info, frames, 0..usize::MAX);
                 let out = pl.run_sequence(&mut scan, |frames, info| {
@@ -340,7 +344,7 @@ impl Vdbms for BatchEngine {
                 // the allocation against the budget — and fail, as
                 // Scanner does ("quickly allocates all available
                 // memory and thereafter fails to make progress").
-                let (_info, frames) = self.materialize(input(0)?, &ctx.metrics)?;
+                let (_info, frames) = self.materialize(input(0)?, &ctx.metrics, workers)?;
                 let out_bytes: usize = frames
                     .iter()
                     .map(|f| f.sample_count() * (*alpha as usize) * (*beta as usize))
@@ -352,7 +356,7 @@ impl Vdbms for BatchEngine {
                 )));
             }
             QuerySpec::Q5 { alpha, beta } => {
-                let (info, frames) = self.materialize(input(0)?, &ctx.metrics)?;
+                let (info, frames) = self.materialize(input(0)?, &ctx.metrics, workers)?;
                 let (alpha, beta) = (*alpha, *beta);
                 let mut scan = pl.memory_scan(info, frames, 0..usize::MAX);
                 let out = pl.run_eager(&mut scan, self.cfg.workers, move |f| {
@@ -362,7 +366,7 @@ impl Vdbms for BatchEngine {
             }
             QuerySpec::Q6a => {
                 let inp = input(0)?;
-                let (info, frames) = self.materialize(inp, &ctx.metrics)?;
+                let (info, frames) = self.materialize(inp, &ctx.metrics, workers)?;
                 let mut scan = pl.memory_scan(info, frames, 0..usize::MAX);
                 let mut kernel = pipeline::try_map(|f: Frame, i: usize| {
                     let boxes = crate::kernels::box_track(inp, i)?;
@@ -377,7 +381,7 @@ impl Vdbms for BatchEngine {
             }
             QuerySpec::Q6b => {
                 let inp = input(0)?;
-                let (info, frames) = self.materialize(inp, &ctx.metrics)?;
+                let (info, frames) = self.materialize(inp, &ctx.metrics, workers)?;
                 let doc = crate::kernels::caption_track(inp)?;
                 let style = vr_vtt::CaptionStyle::default();
                 let rate = info.frame_rate;
@@ -391,7 +395,7 @@ impl Vdbms for BatchEngine {
                 QueryOutput::Video(pl.run_streaming(&mut scan, &mut kernel)?.video)
             }
             QuerySpec::Q7 { class } => {
-                let (info, frames) = self.materialize(input(0)?, &ctx.metrics)?;
+                let (info, frames) = self.materialize(input(0)?, &ctx.metrics, workers)?;
                 let class = *class;
                 let cfg = YoloConfig {
                     macs_per_pixel: YoloConfig::default().macs_per_pixel
@@ -423,7 +427,7 @@ impl Vdbms for BatchEngine {
                 *output,
             )?),
             QuerySpec::Q10 { high_bitrate, low_bitrate, high_tiles, client } => {
-                let (info, frames) = self.materialize(input(0)?, &ctx.metrics)?;
+                let (info, frames) = self.materialize(input(0)?, &ctx.metrics, workers)?;
                 let (hb, lb, client) = (*high_bitrate, *low_bitrate, *client);
                 let mut scan = pl.memory_scan(info, frames, 0..usize::MAX);
                 let out = pl.run_sequence(&mut scan, |frames, info| {
@@ -450,9 +454,9 @@ mod tests {
         let engine = BatchEngine::new();
         let metrics = PipelineMetrics::default();
         let input = crate::io::tests::tiny_input("cache-a.vrmf");
-        engine.materialize(&input, &metrics).unwrap();
-        engine.materialize(&input, &metrics).unwrap();
-        engine.materialize(&input, &metrics).unwrap();
+        engine.materialize(&input, &metrics, 1).unwrap();
+        engine.materialize(&input, &metrics, 1).unwrap();
+        engine.materialize(&input, &metrics, 1).unwrap();
         let (hits, misses) = engine.cache_stats();
         assert_eq!(misses, 1);
         assert_eq!(hits, 2);
@@ -468,8 +472,8 @@ mod tests {
         });
         let metrics = PipelineMetrics::default();
         let input = crate::io::tests::tiny_input("thrash.vrmf");
-        engine.materialize(&input, &metrics).unwrap();
-        engine.materialize(&input, &metrics).unwrap();
+        engine.materialize(&input, &metrics, 1).unwrap();
+        engine.materialize(&input, &metrics, 1).unwrap();
         let (hits, misses) = engine.cache_stats();
         assert_eq!(hits, 0, "nothing should fit the cache");
         assert_eq!(misses, 2);
@@ -486,9 +490,9 @@ mod tests {
         let metrics = PipelineMetrics::default();
         let a = crate::io::tests::tiny_input("lru-a.vrmf");
         let b = crate::io::tests::tiny_input("lru-b.vrmf");
-        engine.materialize(&a, &metrics).unwrap(); // miss, cached
-        engine.materialize(&b, &metrics).unwrap(); // miss, evicts a
-        engine.materialize(&a, &metrics).unwrap(); // miss again
+        engine.materialize(&a, &metrics, 1).unwrap(); // miss, cached
+        engine.materialize(&b, &metrics, 1).unwrap(); // miss, evicts a
+        engine.materialize(&a, &metrics, 1).unwrap(); // miss again
         let (hits, misses) = engine.cache_stats();
         assert_eq!(misses, 3);
         assert_eq!(hits, 0);
@@ -496,7 +500,7 @@ mod tests {
 
     #[test]
     fn q4_exhausts_memory() {
-        let mut engine = BatchEngine::new();
+        let engine = BatchEngine::new();
         let input = crate::io::tests::tiny_input("q4.vrmf");
         let instance = QueryInstance {
             index: 0,
@@ -514,16 +518,16 @@ mod tests {
         let mut engine = BatchEngine::new();
         let metrics = PipelineMetrics::default();
         let input = crate::io::tests::tiny_input("q.vrmf");
-        engine.materialize(&input, &metrics).unwrap();
+        engine.materialize(&input, &metrics, 1).unwrap();
         engine.quiesce();
-        engine.materialize(&input, &metrics).unwrap();
+        engine.materialize(&input, &metrics, 1).unwrap();
         assert_eq!(engine.cache_stats().1, 2, "post-quiesce access re-decodes");
     }
 
     #[test]
     fn slow_crop_matches_fast_crop() {
         let input = crate::io::tests::tiny_input("crop.vrmf");
-        let (_, frames) = decode_all(&input).unwrap();
+        let (_, frames) = crate::kernels::decode_all(&input).unwrap();
         let rect = vr_geom::Rect::new(4, 4, 24, 20);
         let slow = slow_float_crop(&frames[0], rect);
         let fast = ops::crop(&frames[0], rect);

@@ -53,8 +53,9 @@ impl Default for CascadeConfig {
 pub struct CascadeEngine {
     cfg: CascadeConfig,
     /// (cheap-path frames, full-path frames) since construction —
-    /// exposed so benches can report the skip rate.
-    stats: (u64, u64),
+    /// exposed so benches can report the skip rate; mutexed so
+    /// concurrent instances can record into it.
+    stats: vr_base::sync::Mutex<(u64, u64)>,
 }
 
 impl CascadeEngine {
@@ -65,13 +66,13 @@ impl CascadeEngine {
 
     /// Create an engine with an explicit configuration.
     pub fn with_config(cfg: CascadeConfig) -> Self {
-        Self { cfg, stats: (0, 0) }
+        Self { cfg, stats: vr_base::sync::Mutex::new((0, 0)) }
     }
 
     /// (frames handled by the cheap path, frames escalated to the full
     /// model).
     pub fn cascade_stats(&self) -> (u64, u64) {
-        self.stats
+        *self.stats.lock()
     }
 }
 
@@ -91,7 +92,7 @@ impl Vdbms for CascadeEngine {
     }
 
     fn execute(
-        &mut self,
+        &self,
         instance: &QueryInstance,
         inputs: &[InputVideo],
         ctx: &ExecContext,
@@ -135,18 +136,18 @@ impl Vdbms for CascadeEngine {
                 });
                 let mut last_dets: Vec<Detection> = Vec::new();
                 let class = *class;
-                let stats = &mut self.stats;
+                let stats = &self.stats;
                 let mut kernel = |f: vr_frame::Frame, _i: usize, escalate: bool| {
                     let dets = if escalate {
                         // Escalate to the full model.
-                        stats.1 += 1;
+                        stats.lock().1 += 1;
                         let dets = full.detect(&f);
                         last_dets = dets.clone();
                         dets
                     } else {
                         // Cheap path: specialized model confirms the
                         // previous result still holds.
-                        stats.0 += 1;
+                        stats.lock().0 += 1;
                         let _ = cheap.detect(&f);
                         last_dets.clone()
                     };
@@ -189,7 +190,7 @@ mod tests {
 
     #[test]
     fn unsupported_query_errors() {
-        let mut engine = CascadeEngine::new();
+        let engine = CascadeEngine::new();
         let inputs = vec![crate::io::tests::tiny_input("c.vrmf")];
         let instance =
             QueryInstance { index: 0, spec: QuerySpec::Q2a, inputs: vec![0] };
@@ -201,7 +202,7 @@ mod tests {
 
     #[test]
     fn static_video_mostly_takes_cheap_path() {
-        let mut engine = CascadeEngine::new();
+        let engine = CascadeEngine::new();
         // tiny_input's frames drift slowly (luma +7 per frame over the
         // whole frame → diff = 7 > 2.5); build a *static* input
         // instead.

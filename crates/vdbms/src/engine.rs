@@ -11,7 +11,12 @@ use vr_base::Result;
 /// either select specific applicable queries or groups of queries
 /// appropriate for their systems" (§1) — hence
 /// [`supports`](Vdbms::supports).
-pub trait Vdbms {
+///
+/// `Send + Sync` and the shared-reference [`execute`](Vdbms::execute)
+/// let the VCD's batch scheduler dispatch one batch's instances across
+/// worker threads; engines guard their mutable state (caches, device
+/// pools, counters) internally.
+pub trait Vdbms: Send + Sync {
     /// Engine name for reports.
     fn name(&self) -> &'static str;
 
@@ -34,9 +39,10 @@ pub trait Vdbms {
     }
 
     /// Execute one query instance. `inputs` is the whole dataset;
-    /// `instance.inputs` indexes into it.
+    /// `instance.inputs` indexes into it. Takes `&self` so the driver
+    /// may run several instances of one batch concurrently.
     fn execute(
-        &mut self,
+        &self,
         instance: &QueryInstance,
         inputs: &[InputVideo],
         ctx: &ExecContext,

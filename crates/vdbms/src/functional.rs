@@ -54,8 +54,9 @@ impl Default for FunctionalConfig {
 /// The LightDB-like engine.
 pub struct FunctionalEngine {
     cfg: FunctionalConfig,
-    /// Device allocations held since the last quiesce (video names).
-    device_held: Vec<String>,
+    /// Device allocations held since the last quiesce (video names);
+    /// mutexed so concurrent instances of one batch share the pool.
+    device_held: vr_base::sync::Mutex<Vec<String>>,
 }
 
 impl FunctionalEngine {
@@ -66,25 +67,26 @@ impl FunctionalEngine {
 
     /// Create an engine with an explicit configuration.
     pub fn with_config(cfg: FunctionalConfig) -> Self {
-        Self { cfg, device_held: Vec::new() }
+        Self { cfg, device_held: vr_base::sync::Mutex::new(Vec::new()) }
     }
 
     /// Videos currently holding device allocations.
     pub fn device_slots_used(&self) -> usize {
-        self.device_held.len()
+        self.device_held.lock().len()
     }
 
     /// Claim a device slot for a Q3/Q4 input.
-    fn claim_device_slot(&mut self, name: &str) -> Result<()> {
-        if !self.device_held.iter().any(|n| n == name) {
-            if self.device_held.len() >= self.cfg.device_video_slots {
+    fn claim_device_slot(&self, name: &str) -> Result<()> {
+        let mut held = self.device_held.lock();
+        if !held.iter().any(|n| n == name) {
+            if held.len() >= self.cfg.device_video_slots {
                 return Err(Error::ResourceExhausted(format!(
                     "device memory pool exhausted after {} videos; \
                      quiesce between batches to release it",
-                    self.device_held.len()
+                    held.len()
                 )));
             }
-            self.device_held.push(name.to_string());
+            held.push(name.to_string());
         }
         Ok(())
     }
@@ -106,7 +108,7 @@ impl Vdbms for FunctionalEngine {
     }
 
     fn execute(
-        &mut self,
+        &self,
         instance: &QueryInstance,
         inputs: &[InputVideo],
         ctx: &ExecContext,
@@ -274,7 +276,7 @@ impl Vdbms for FunctionalEngine {
     }
 
     fn quiesce(&mut self) {
-        self.device_held.clear();
+        self.device_held.lock().clear();
     }
 }
 
@@ -317,7 +319,7 @@ mod tests {
 
     #[test]
     fn q4_upsamples_resolution() {
-        let mut engine = FunctionalEngine::new();
+        let engine = FunctionalEngine::new();
         let inputs = vec![crate::io::tests::tiny_input("up.vrmf")];
         let instance = QueryInstance {
             index: 0,
@@ -333,7 +335,7 @@ mod tests {
 
     #[test]
     fn same_input_reuses_its_slot() {
-        let mut engine = FunctionalEngine::with_config(FunctionalConfig {
+        let engine = FunctionalEngine::with_config(FunctionalConfig {
             device_video_slots: 1,
             ..Default::default()
         });

@@ -143,6 +143,10 @@ pub struct ExecContext {
     /// Per-stage pipeline counters every operator records into;
     /// cloning the context shares the counters.
     pub metrics: Arc<crate::pipeline::PipelineMetrics>,
+    /// Worker budget for the pipelined executor and data-parallel
+    /// kernels; `1` forces every policy down its sequential path.
+    /// Defaults to `VR_WORKERS` / the machine's parallelism.
+    pub workers: usize,
 }
 
 impl Default for ExecContext {
@@ -151,6 +155,7 @@ impl Default for ExecContext {
             result_mode: ResultMode::Streaming,
             output_qp: 10,
             metrics: Arc::new(crate::pipeline::PipelineMetrics::default()),
+            workers: vr_base::sync::worker_budget(),
         }
     }
 }

@@ -35,6 +35,63 @@ pub fn decode_all(input: &InputVideo) -> Result<(VideoInfo, Vec<Frame>)> {
     Ok((info, frames))
 }
 
+/// Decode every frame of an input's video track, splitting the work
+/// across `workers` threads at GOP boundaries. Keyframes reset the
+/// decoder, so each chunk decodes independently with a fresh decoder
+/// and the in-order concatenation is bit-identical to [`decode_all`]
+/// (the same property `decode_range`'s keyframe seek relies on).
+pub fn decode_all_parallel(
+    input: &InputVideo,
+    workers: usize,
+) -> Result<(VideoInfo, Vec<Frame>)> {
+    let info = input.video_info()?;
+    let track = input
+        .container
+        .track_of_kind(TrackKind::Video)
+        .ok_or_else(|| Error::NotFound(format!("video track in {}", input.name)))?;
+    let samples = &input.container.tracks()[track].samples;
+    let n = samples.len();
+    // GOP starts: every keyframe index. A stream that does not open on
+    // a keyframe cannot be chunked; neither can a trivial one.
+    let gop_starts: Vec<usize> = (0..n).filter(|&i| samples[i].keyframe).collect();
+    if workers <= 1 || n < 2 || gop_starts.first() != Some(&0) || gop_starts.len() < 2 {
+        return decode_all(input);
+    }
+    let chunks = workers.min(gop_starts.len());
+    // Contiguous runs of GOPs per chunk; bounds are sample indices.
+    let bounds: Vec<(usize, usize)> = (0..chunks)
+        .map(|c| {
+            let g0 = c * gop_starts.len() / chunks;
+            let g1 = (c + 1) * gop_starts.len() / chunks;
+            (gop_starts[g0], gop_starts.get(g1).copied().unwrap_or(n))
+        })
+        .collect();
+    let mut parts: Vec<Result<Vec<Frame>>> = bounds
+        .iter()
+        .map(|&(from, to)| Ok(Vec::with_capacity(to - from)))
+        .collect();
+    vr_base::sync::parallel_chunks(&mut parts, chunks, |c, part| {
+        let (from, to) = bounds[c];
+        let mut dec = Decoder::new(info);
+        let mut out = Vec::with_capacity(to - from);
+        for i in from..to {
+            match input.container.sample(track, i).and_then(|s| dec.decode(s)) {
+                Ok(f) => out.push(f),
+                Err(e) => {
+                    *part = Err(e);
+                    return;
+                }
+            }
+        }
+        *part = Ok(out);
+    });
+    let mut frames = Vec::with_capacity(n);
+    for part in parts {
+        frames.extend(part?);
+    }
+    Ok((info, frames))
+}
+
 /// Decode only frames `[from, to]` (inclusive), seeking to the
 /// nearest preceding keyframe instead of decoding from the start —
 /// the random-access path offline mode's sample index exists for.
@@ -467,6 +524,47 @@ mod range_tests {
                     "range {from}..={to} frame {i} must match full decode"
                 );
             }
+        }
+    }
+
+    #[test]
+    fn decode_all_parallel_matches_sequential() {
+        // 9 frames at gop 2 → 5 independent GOPs to split across
+        // workers; every budget must reproduce the sequential decode.
+        let frames: Vec<Frame> = (0..9)
+            .map(|i| {
+                let mut f = Frame::new(32, 32);
+                for y in 0..32 {
+                    for x in 0..32 {
+                        f.set_y(x, y, (x * 5 + y * 3 + i * 11) as u8);
+                    }
+                }
+                f
+            })
+            .collect();
+        let cfg = EncoderConfig {
+            profile: vr_codec::Profile::H264Like,
+            rate: RateControlMode::ConstantQp(16),
+            gop: 2,
+            frame_rate: vr_base::FrameRate(30),
+        };
+        let video = encode_sequence(&cfg, &frames).unwrap();
+        let mut w = vr_container::ContainerWriter::new();
+        let t = w.add_track(TrackKind::Video, video.info.serialize());
+        for (i, p) in video.packets.iter().enumerate() {
+            w.push_sample(
+                t,
+                &p.data,
+                vr_base::Timestamp::of_frame(i as u64, vr_base::FrameRate(30)),
+                p.keyframe,
+            );
+        }
+        let input = InputVideo::from_bytes("par.vrmf", w.finish()).unwrap();
+        let (_, seq) = decode_all(&input).unwrap();
+        assert_eq!(seq.len(), 9);
+        for workers in [1usize, 2, 3, 8, 64] {
+            let (_, par) = decode_all_parallel(&input, workers).unwrap();
+            assert_eq!(par, seq, "workers={workers}");
         }
     }
 

@@ -31,7 +31,7 @@ use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
-use vr_base::sync::parallel_chunks;
+use vr_base::sync::{channel, parallel_chunks, SendError, Sender, TrySendError};
 use vr_base::{Error, Result};
 use vr_codec::{Decoder, EncodedVideo, Encoder, EncoderConfig, RateControlMode, VideoInfo};
 use vr_container::TrackKind;
@@ -89,10 +89,11 @@ struct AtomicStage {
 }
 
 /// Per-stage counters shared by every operator of one execution
-/// context. Thread-safe (eager kernels run on a worker pool).
+/// context. Thread-safe (pipelined stages run on worker threads).
 #[derive(Default)]
 pub struct PipelineMetrics {
     stages: [AtomicStage; 5],
+    contention_nanos: AtomicU64,
 }
 
 impl PipelineMetrics {
@@ -103,6 +104,12 @@ impl PipelineMetrics {
         s.frames.fetch_add(frames, Ordering::Relaxed);
         s.bytes.fetch_add(bytes, Ordering::Relaxed);
         s.invocations.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Add time a pipelined stage spent blocked on a full channel
+    /// (backpressure from the next stage).
+    pub fn record_contention(&self, nanos: u64) {
+        self.contention_nanos.fetch_add(nanos, Ordering::Relaxed);
     }
 
     /// Current totals.
@@ -117,6 +124,7 @@ impl PipelineMetrics {
                     invocations: s.invocations.load(Ordering::Relaxed),
                 }
             }),
+            contention_nanos: self.contention_nanos.load(Ordering::Relaxed),
         }
     }
 
@@ -128,6 +136,7 @@ impl PipelineMetrics {
             s.bytes.store(0, Ordering::Relaxed);
             s.invocations.store(0, Ordering::Relaxed);
         }
+        self.contention_nanos.store(0, Ordering::Relaxed);
     }
 }
 
@@ -151,6 +160,9 @@ pub struct StageSnapshot {
 pub struct PipelineSnapshot {
     /// Indexed by [`StageKind`] order.
     pub stages: [StageSnapshot; 5],
+    /// Nanoseconds pipelined stages spent blocked on full inter-stage
+    /// channels (zero on the sequential path).
+    pub contention_nanos: u64,
 }
 
 impl PipelineSnapshot {
@@ -170,6 +182,7 @@ impl PipelineSnapshot {
                     .invocations
                     .saturating_sub(earlier.stages[i].invocations),
             }),
+            contention_nanos: self.contention_nanos.saturating_sub(earlier.contention_nanos),
         }
     }
 }
@@ -183,7 +196,7 @@ impl fmt::Display for PipelineSnapshot {
             let s = self.stage(*kind);
             write!(f, "{} {}ns/{}fr/{}B", kind.label(), s.nanos, s.frames, s.bytes)?;
         }
-        Ok(())
+        write!(f, " | contention {}ns", self.contention_nanos)
     }
 }
 
@@ -193,7 +206,10 @@ impl fmt::Display for PipelineSnapshot {
 
 /// A physical scan: yields decoded frames one at a time, recording its
 /// own Scan/Decode cost as it goes.
-pub trait FrameSource {
+///
+/// `Send` is a supertrait so the pipelined executor can move the scan
+/// onto its producer thread; every scan here is plain data + a decoder.
+pub trait FrameSource: Send {
     /// Stream parameters of the underlying video.
     fn info(&self) -> VideoInfo;
     /// Frames this source will yield in total.
@@ -595,6 +611,33 @@ pub struct StreamResult {
     pub boxes: Option<Vec<Vec<OutputBox>>>,
 }
 
+/// In-flight frames per inter-stage channel of the pipelined executor.
+/// Deep enough to ride out stage-time jitter, shallow enough that a
+/// slow consumer exerts backpressure instead of buffering the video.
+const PIPE_DEPTH: usize = 8;
+
+/// Send on a pipelined stage boundary, charging any time spent blocked
+/// on a full channel to the contention counter. An `Err` means the
+/// downstream stage is gone (it failed and hung up); the caller stops.
+fn send_stage<T>(tx: &Sender<T>, value: T, metrics: &PipelineMetrics) -> Result<(), SendError<T>> {
+    match tx.try_send(value) {
+        Ok(()) => Ok(()),
+        Err(TrySendError::Disconnected(v)) => Err(SendError(v)),
+        Err(TrySendError::Full(v)) => {
+            let t0 = Instant::now();
+            let out = tx.send(v);
+            metrics.record_contention(t0.elapsed().as_nanos() as u64);
+            out
+        }
+    }
+}
+
+/// Producer-side message of the multi-source pipelined scan.
+enum MultiMsg {
+    Frame(Result<Frame>),
+    EndOfSource,
+}
+
 /// The pipeline executor, bound to one execution context. Owns the
 /// stage timing; engines choose the scan operator, the kernel, and the
 /// execution policy.
@@ -640,7 +683,88 @@ impl<'c> Pipeline<'c> {
 
     /// Streaming policy: decode → kernel → encode with one frame
     /// resident at a time and an incrementally-fed encoder.
+    ///
+    /// With a worker budget above one (`ctx.workers`, defaulting to
+    /// `VR_WORKERS` / the machine), the three stages run pipelined on
+    /// separate threads connected by bounded channels; the kernel stays
+    /// on the calling thread and sees frames in scan order, so the
+    /// output is bit-identical to the sequential path.
     pub fn run_streaming(
+        &self,
+        source: &mut dyn FrameSource,
+        kernel: &mut dyn FrameKernel,
+    ) -> Result<StreamResult> {
+        if self.ctx.workers <= 1 {
+            return self.run_streaming_seq(source, kernel);
+        }
+        let info = source.info();
+        std::thread::scope(|scope| {
+            let (ftx, frx) = channel::<Result<Frame>>(PIPE_DEPTH);
+            let (ktx, krx) = channel::<KernelOut>(PIPE_DEPTH);
+            let metrics = Arc::clone(&self.ctx.metrics);
+            scope.spawn(move || {
+                while let Some(frame) = source.next_frame() {
+                    let stop = frame.is_err();
+                    if send_stage(&ftx, frame, &metrics).is_err() || stop {
+                        break;
+                    }
+                }
+            });
+            let encoder = scope.spawn(move || {
+                let mut sink = EncodeStage::new(self, info);
+                while let Ok(ko) = krx.recv() {
+                    sink.consume(ko)?;
+                }
+                sink.into_result()
+            });
+
+            let mut result = Ok(());
+            let mut buf = Vec::new();
+            let mut index = 0usize;
+            'stream: while let Ok(frame) = frx.recv() {
+                let frame = match frame {
+                    Ok(f) => f,
+                    Err(e) => {
+                        result = Err(e);
+                        break;
+                    }
+                };
+                if let Err(e) = self.kernel_span(1, || kernel.push(frame, index, &mut buf)) {
+                    result = Err(e);
+                    break;
+                }
+                index += 1;
+                for ko in buf.drain(..) {
+                    if send_stage(&ktx, ko, &self.ctx.metrics).is_err() {
+                        // The encode stage failed and hung up; its
+                        // error surfaces via join below.
+                        break 'stream;
+                    }
+                }
+            }
+            if result.is_ok() {
+                match self.kernel_span(0, || kernel.finish(&mut buf)) {
+                    Ok(()) => {
+                        for ko in buf.drain(..) {
+                            if send_stage(&ktx, ko, &self.ctx.metrics).is_err() {
+                                break;
+                            }
+                        }
+                    }
+                    Err(e) => result = Err(e),
+                }
+            }
+            // Hang up both channels: an aborted producer unblocks, and
+            // the encoder drains what it has and returns.
+            drop(frx);
+            drop(ktx);
+            let encoded = encoder.join().expect("encode stage panicked");
+            result.and(encoded)
+        })
+    }
+
+    /// The single-thread streaming policy (`VR_WORKERS=1`).
+    fn run_streaming_seq(
         &self,
         source: &mut dyn FrameSource,
         kernel: &mut dyn FrameKernel,
@@ -664,7 +788,10 @@ impl<'c> Pipeline<'c> {
     }
 
     /// Streaming over several sources in order (Q8's multi-camera
-    /// scan); the kernel sees each source's end.
+    /// scan); the kernel sees each source's end. Pipelined like
+    /// [`run_streaming`] when the worker budget allows: the producer
+    /// thread walks the sources in order and marks each one's end, so
+    /// the kernel observes the exact sequential event order.
     pub fn run_streaming_multi(
         &self,
         sources: &mut [&mut dyn FrameSource],
@@ -674,6 +801,86 @@ impl<'c> Pipeline<'c> {
             .first()
             .map(|s| s.info())
             .ok_or_else(|| Error::InvalidConfig("multi-scan needs at least one source".into()))?;
+        if self.ctx.workers <= 1 {
+            return self.run_streaming_multi_seq(sources, kernel, info);
+        }
+        std::thread::scope(|scope| {
+            let (ftx, frx) = channel::<MultiMsg>(PIPE_DEPTH);
+            let (ktx, krx) = channel::<KernelOut>(PIPE_DEPTH);
+            let metrics = Arc::clone(&self.ctx.metrics);
+            scope.spawn(move || {
+                'producer: for source in sources.iter_mut() {
+                    while let Some(frame) = source.next_frame() {
+                        let stop = frame.is_err();
+                        if send_stage(&ftx, MultiMsg::Frame(frame), &metrics).is_err() || stop {
+                            break 'producer;
+                        }
+                    }
+                    if send_stage(&ftx, MultiMsg::EndOfSource, &metrics).is_err() {
+                        break;
+                    }
+                }
+            });
+            let encoder = scope.spawn(move || {
+                let mut sink = EncodeStage::new(self, info);
+                while let Ok(ko) = krx.recv() {
+                    sink.consume(ko)?;
+                }
+                sink.into_result()
+            });
+
+            let mut result = Ok(());
+            let mut buf = Vec::new();
+            let mut index = 0usize;
+            'stream: while let Ok(msg) = frx.recv() {
+                let kerneled = match msg {
+                    MultiMsg::Frame(Ok(frame)) => {
+                        let r = self.kernel_span(1, || kernel.push(frame, index, &mut buf));
+                        index += 1;
+                        r
+                    }
+                    MultiMsg::Frame(Err(e)) => Err(e),
+                    MultiMsg::EndOfSource => {
+                        index = 0;
+                        self.kernel_span(0, || kernel.end_of_source(&mut buf))
+                    }
+                };
+                if let Err(e) = kerneled {
+                    result = Err(e);
+                    break;
+                }
+                for ko in buf.drain(..) {
+                    if send_stage(&ktx, ko, &self.ctx.metrics).is_err() {
+                        break 'stream;
+                    }
+                }
+            }
+            if result.is_ok() {
+                match self.kernel_span(0, || kernel.finish(&mut buf)) {
+                    Ok(()) => {
+                        for ko in buf.drain(..) {
+                            if send_stage(&ktx, ko, &self.ctx.metrics).is_err() {
+                                break;
+                            }
+                        }
+                    }
+                    Err(e) => result = Err(e),
+                }
+            }
+            drop(frx);
+            drop(ktx);
+            let encoded = encoder.join().expect("encode stage panicked");
+            result.and(encoded)
+        })
+    }
+
+    /// The single-thread multi-source streaming policy.
+    fn run_streaming_multi_seq(
+        &self,
+        sources: &mut [&mut dyn FrameSource],
+        kernel: &mut dyn FrameKernel,
+        info: VideoInfo,
+    ) -> Result<StreamResult> {
         let mut sink = EncodeStage::new(self, info);
         let mut buf = Vec::new();
         for source in sources.iter_mut() {
@@ -699,13 +906,16 @@ impl<'c> Pipeline<'c> {
     }
 
     /// Eager policy: materialize every frame, run a stateless kernel
-    /// data-parallel over the batch, encode the whole output.
+    /// data-parallel over the batch, encode the whole output. The
+    /// engine's worker request is clamped by the context's budget, so
+    /// `VR_WORKERS=1` forces the sequential kernel here too.
     pub fn run_eager(
         &self,
         source: &mut dyn FrameSource,
         workers: usize,
         kernel: impl Fn(&Frame) -> Frame + Send + Sync,
     ) -> Result<EncodedVideo> {
+        let workers = workers.min(self.ctx.workers).max(1);
         let info = source.info();
         let mut frames = self.drain(source)?;
         let n = frames.len() as u64;
@@ -732,7 +942,76 @@ impl<'c> Pipeline<'c> {
     /// Short-circuit policy: a gate routes each frame to the cheap
     /// (`escalate = false`) or full (`escalate = true`) path of the
     /// kernel; everything still flows through the shared encode stage.
+    ///
+    /// The gate's difference detector is stateful over the frame
+    /// sequence, so gate + kernel stay on the calling thread in scan
+    /// order even when pipelined; decode and encode run alongside.
     pub fn run_short_circuit(
+        &self,
+        source: &mut dyn FrameSource,
+        gate: &mut DiffGate,
+        kernel: &mut dyn FnMut(Frame, usize, bool) -> Result<KernelOut>,
+    ) -> Result<StreamResult> {
+        if self.ctx.workers <= 1 {
+            return self.run_short_circuit_seq(source, gate, kernel);
+        }
+        let info = source.info();
+        std::thread::scope(|scope| {
+            let (ftx, frx) = channel::<Result<Frame>>(PIPE_DEPTH);
+            let (ktx, krx) = channel::<KernelOut>(PIPE_DEPTH);
+            let metrics = Arc::clone(&self.ctx.metrics);
+            scope.spawn(move || {
+                while let Some(frame) = source.next_frame() {
+                    let stop = frame.is_err();
+                    if send_stage(&ftx, frame, &metrics).is_err() || stop {
+                        break;
+                    }
+                }
+            });
+            let encoder = scope.spawn(move || {
+                let mut sink = EncodeStage::new(self, info);
+                while let Ok(ko) = krx.recv() {
+                    sink.consume(ko)?;
+                }
+                sink.into_result()
+            });
+
+            let mut result = Ok(());
+            let mut index = 0usize;
+            while let Ok(frame) = frx.recv() {
+                let frame = match frame {
+                    Ok(f) => f,
+                    Err(e) => {
+                        result = Err(e);
+                        break;
+                    }
+                };
+                let ko = self.kernel_span(1, || {
+                    let escalate = gate.escalate(&frame);
+                    kernel(frame, index, escalate)
+                });
+                index += 1;
+                match ko {
+                    Ok(ko) => {
+                        if send_stage(&ktx, ko, &self.ctx.metrics).is_err() {
+                            break;
+                        }
+                    }
+                    Err(e) => {
+                        result = Err(e);
+                        break;
+                    }
+                }
+            }
+            drop(frx);
+            drop(ktx);
+            let encoded = encoder.join().expect("encode stage panicked");
+            result.and(encoded)
+        })
+    }
+
+    /// The single-thread short-circuit policy.
+    fn run_short_circuit_seq(
         &self,
         source: &mut dyn FrameSource,
         gate: &mut DiffGate,
@@ -862,7 +1141,11 @@ mod tests {
     use vr_frame::ops;
 
     fn ctx() -> ExecContext {
-        ExecContext::default()
+        ctx_workers(1)
+    }
+
+    fn ctx_workers(workers: usize) -> ExecContext {
+        ExecContext { workers, ..ExecContext::default() }
     }
 
     #[test]
@@ -1007,6 +1290,103 @@ mod tests {
         let r = pl.run_short_circuit(&mut scan, &mut gate, &mut kernel).unwrap();
         assert_eq!(r.video.len(), 4);
         assert_eq!(escalations, 4, "drifting video escalates every frame");
+    }
+
+    #[test]
+    fn parallel_streaming_is_bit_identical_to_sequential() {
+        let input = tiny_input("pipe-par-stream.vrmf");
+        let run = |workers: usize| {
+            let ctx = ctx_workers(workers);
+            let pl = Pipeline::new(&ctx);
+            let mut scan = pl.stream_scan(&input).unwrap();
+            let mut kernel = map(|f, _| ops::grayscale(&f));
+            pl.run_streaming(&mut scan, &mut kernel).unwrap()
+        };
+        let seq = run(1);
+        for workers in [2, 4, 8] {
+            let par = run(workers);
+            assert_eq!(seq.video.len(), par.video.len());
+            for (a, b) in seq.video.packets.iter().zip(&par.video.packets) {
+                assert_eq!(a.data, b.data, "workers={workers}");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_multi_source_is_bit_identical_to_sequential() {
+        let inputs =
+            [tiny_input("pipe-par-m0.vrmf"), tiny_input("pipe-par-m1.vrmf")];
+        let run = |workers: usize| {
+            let ctx = ctx_workers(workers);
+            let pl = Pipeline::new(&ctx);
+            let mut scans = Vec::new();
+            for input in &inputs {
+                scans.push(pl.stream_scan(input).unwrap());
+            }
+            let mut sources: Vec<&mut dyn FrameSource> =
+                scans.iter_mut().map(|s| s as &mut dyn FrameSource).collect();
+            let mut kernel = map(|f, _| f);
+            pl.run_streaming_multi(&mut sources, &mut kernel).unwrap()
+        };
+        let seq = run(1);
+        let par = run(4);
+        assert_eq!(seq.video.len(), par.video.len());
+        for (a, b) in seq.video.packets.iter().zip(&par.video.packets) {
+            assert_eq!(a.data, b.data);
+        }
+    }
+
+    #[test]
+    fn parallel_short_circuit_is_bit_identical_and_gates_in_order() {
+        let input = tiny_input("pipe-par-gate.vrmf");
+        let run = |workers: usize| {
+            let ctx = ctx_workers(workers);
+            let pl = Pipeline::new(&ctx);
+            let mut scan = pl.stream_scan(&input).unwrap();
+            let mut gate = DiffGate::new(0.5, 4);
+            let mut escalations = 0u32;
+            let mut kernel = |f: Frame, _i: usize, escalate: bool| {
+                if escalate {
+                    escalations += 1;
+                }
+                Ok(KernelOut::from(f))
+            };
+            let r = pl.run_short_circuit(&mut scan, &mut gate, &mut kernel).unwrap();
+            (r, escalations)
+        };
+        let (seq, seq_esc) = run(1);
+        let (par, par_esc) = run(4);
+        assert_eq!(seq_esc, par_esc, "the gate must see frames in order");
+        assert_eq!(seq.video.len(), par.video.len());
+        for (a, b) in seq.video.packets.iter().zip(&par.video.packets) {
+            assert_eq!(a.data, b.data);
+        }
+    }
+
+    #[test]
+    fn parallel_kernel_error_propagates() {
+        let ctx = ctx_workers(4);
+        let pl = Pipeline::new(&ctx);
+        let input = tiny_input("pipe-par-err.vrmf");
+        let mut scan = pl.stream_scan(&input).unwrap();
+        let mut kernel = filter_map(|_f, _i| None);
+        assert!(pl.run_streaming(&mut scan, &mut kernel).is_err());
+    }
+
+    #[test]
+    fn send_stage_records_contention_when_channel_is_full() {
+        let metrics = PipelineMetrics::default();
+        let (tx, rx) = vr_base::sync::channel::<u32>(1);
+        tx.send(1).unwrap();
+        // The channel is full: the next send must block until the
+        // reader drains it, and that wait lands in the counter.
+        let reader = std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            (rx.recv().unwrap(), rx.recv().unwrap())
+        });
+        send_stage(&tx, 2, &metrics).unwrap();
+        assert_eq!(reader.join().unwrap(), (1, 2));
+        assert!(metrics.snapshot().contention_nanos > 0);
     }
 
     #[test]

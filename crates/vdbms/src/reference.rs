@@ -48,7 +48,7 @@ impl Vdbms for ReferenceEngine {
     }
 
     fn execute(
-        &mut self,
+        &self,
         instance: &QueryInstance,
         inputs: &[InputVideo],
         ctx: &ExecContext,

@@ -75,6 +75,130 @@ fn every_engine_validates_on_every_supported_query() {
     }
 }
 
+/// The tentpole contract of the parallel executor: with the pipeline
+/// fanned out to four workers, every engine produces *byte-identical*
+/// output to its sequential run on every query it supports — and the
+/// sanctioned failure (batch Q4) raises the same error. Fresh engines
+/// per run keep caches from leaking between the two configurations.
+#[test]
+fn parallel_execution_is_bit_identical_to_sequential() {
+    use visual_road::vdbms::ExecContext;
+    let dataset = tiny_dataset(44);
+    let vcd = Vcd::new(&dataset, VcdConfig { batch_size: Some(1), ..Default::default() });
+    let factories: Vec<(&str, fn() -> Box<dyn Vdbms>)> = vec![
+        ("reference", || Box::new(ReferenceEngine::new())),
+        ("batch", || Box::new(BatchEngine::new())),
+        ("functional", || Box::new(FunctionalEngine::new())),
+        ("cascade", || Box::new(CascadeEngine::new())),
+    ];
+    for (name, factory) in factories {
+        for kind in QueryKind::ALL {
+            if !factory().supports(kind) {
+                continue;
+            }
+            let batch = vcd.batch(kind).unwrap();
+            let run = |workers: usize| -> Vec<Result<String, String>> {
+                let engine = factory();
+                let ctx = ExecContext { workers, ..ExecContext::default() };
+                batch
+                    .iter()
+                    .map(|inst| {
+                        engine
+                            .execute(inst, &dataset.videos, &ctx)
+                            .map(|out| format!("{out:?}"))
+                            .map_err(|e| e.to_string())
+                    })
+                    .collect()
+            };
+            let seq = run(1);
+            let par = run(4);
+            assert_eq!(seq, par, "{name} diverged on {}", kind.label());
+        }
+    }
+}
+
+/// The driver's concurrent batch scheduler reports the same frames,
+/// bytes, and validation verdicts as the classic sequential loop, and
+/// its per-instance latency accounting lands in the report.
+#[test]
+fn concurrent_batch_scheduler_matches_sequential_driver() {
+    let dataset = tiny_dataset(45);
+    let run = |batch_workers: usize| {
+        let vcd = Vcd::new(
+            &dataset,
+            VcdConfig {
+                batch_size: Some(3),
+                batch_workers: Some(batch_workers),
+                pipeline_workers: Some(1),
+                instance_deadline: Some(std::time::Duration::from_secs(3600)),
+                ..Default::default()
+            },
+        );
+        let mut engine = ReferenceEngine::new();
+        vcd.run_queries(&mut engine, &[QueryKind::Q1Select, QueryKind::Q2cBoxes]).unwrap()
+    };
+    let seq = run(1);
+    let par = run(4);
+    for (a, b) in seq.queries.iter().zip(&par.queries) {
+        let (
+            QueryStatus::Completed {
+                frames: fa,
+                bytes_written: ba,
+                validation: va,
+                scheduler: sa,
+                ..
+            },
+            QueryStatus::Completed {
+                frames: fb,
+                bytes_written: bb,
+                validation: vb,
+                scheduler: sb,
+                ..
+            },
+        ) = (&a.status, &b.status)
+        else {
+            panic!("{} did not complete under both schedulers", a.kind.label());
+        };
+        assert!(va.passed && vb.passed, "{} failed validation", a.kind.label());
+        assert_eq!(fa, fb, "{}", a.kind.label());
+        assert_eq!(ba, bb, "{}", a.kind.label());
+        assert_eq!(sa.workers, 1);
+        // Four requested workers clamp to the three-instance batch.
+        assert_eq!(sb.workers, 3);
+        assert_eq!((sa.instances, sb.instances), (3, 3));
+        for s in [sa, sb] {
+            assert!(s.max_instance_nanos > 0);
+            assert!(s.mean_instance_nanos <= s.max_instance_nanos);
+            assert_eq!(s.deadline_misses, 0, "hour-long deadline never misses");
+        }
+    }
+}
+
+/// A deliberately-impossible deadline is charged to every instance —
+/// accounting only; execution still completes and validates.
+#[test]
+fn scheduler_counts_deadline_misses() {
+    let dataset = tiny_dataset(46);
+    let vcd = Vcd::new(
+        &dataset,
+        VcdConfig {
+            batch_size: Some(2),
+            batch_workers: Some(2),
+            instance_deadline: Some(std::time::Duration::from_nanos(1)),
+            ..Default::default()
+        },
+    );
+    let mut engine = ReferenceEngine::new();
+    let report = vcd.run_queries(&mut engine, &[QueryKind::Q1Select]).unwrap();
+    let QueryStatus::Completed { scheduler, validation, .. } = &report.queries[0].status
+    else {
+        panic!("Q1 did not complete");
+    };
+    assert!(validation.passed);
+    assert_eq!(scheduler.instances, 2);
+    assert_eq!(scheduler.deadline_misses, 2);
+}
+
 /// The pipeline's per-operator metrics are populated for the pixel
 /// queries (Q1–Q5): every completed query decoded frames, spent
 /// kernel time, and encoded output bytes.
