@@ -37,17 +37,34 @@ if ! diff -r "$DET_A" "$DET_B"; then
 fi
 echo "outputs identical across runs"
 
+echo "== chaos gate: full query suite completes under the default fault schedule =="
+# Faults are injected deterministically (seeded); the run must finish
+# every query — possibly degraded, never panicked or hung — and the
+# CLI's built-in accounting check must find every injected fault
+# matched by a recovery counter (it exits nonzero on any mismatch).
+# The batch leg exercises corruption/stall/io-write faults under the
+# parallel scheduler with write-mode sinks plus an enforced deadline;
+# the online leg exercises RTP packet loss.
+CHAOS_OUT="$(mktemp -d)"
+VR_WORKERS=4 timeout 900 ./target/release/visualroad run --engine all --full-suite \
+    --scale 1 --res 128x72 --duration 0.4 --batch 2 --no-validate \
+    --write "$CHAOS_OUT" --deadline-ms 30000 \
+    --faults "corrupt_bitstream=0.01,stall_stage=kernel:2ms,io_fail=write:0.02,panic_kernel=q4:frame2" \
+    --fault-seed 7
+rm -rf "$CHAOS_OUT"
+VR_WORKERS=4 timeout 900 ./target/release/visualroad run --engine reference --queries Q1,Q2a \
+    --scale 1 --res 128x72 --duration 0.4 --batch 2 --no-validate \
+    --online 1000 --faults "drop_rtp=0.2" --fault-seed 11
+echo "chaos gate OK"
+
 echo "== bench-regression gate =="
 # Warm-up pass (populates caches, JIT-warms the page cache), then the
-# measured pass whose medians land in BENCH_engines.json.
+# measured pass whose medians land in BENCH_engines.json. A benchmark
+# that is new this revision is seeded into the committed baseline
+# (bench_gate --seed-new) instead of failing the gate.
 cargo bench -q --offline -p vr-bench --bench engines >/dev/null
 cargo bench -q --offline -p vr-bench --bench engines
-if [ -f results/bench_baseline.json ]; then
-    ./target/release/bench_gate results/bench_baseline.json BENCH_engines.json
-else
-    mkdir -p results
-    cp BENCH_engines.json results/bench_baseline.json
-    echo "seeded results/bench_baseline.json from this run; commit it"
-fi
+mkdir -p results
+./target/release/bench_gate results/bench_baseline.json BENCH_engines.json --seed-new
 
 echo "CI OK"

@@ -31,6 +31,12 @@ pub enum Error {
     /// Query output failed validation (PSNR below threshold, semantic
     /// mismatch against scene geometry).
     ValidationFailed(String),
+    /// A pipeline stage panicked or stalled and was contained by a
+    /// stage watchdog instead of poisoning its channels.
+    StagePanic(String),
+    /// Execution was cancelled cooperatively (deadline enforcement or
+    /// an explicit cancellation token).
+    Cancelled(String),
 }
 
 impl fmt::Display for Error {
@@ -43,6 +49,8 @@ impl fmt::Display for Error {
             Error::ResourceExhausted(m) => write!(f, "resource exhausted: {m}"),
             Error::Io(e) => write!(f, "i/o error: {e}"),
             Error::ValidationFailed(m) => write!(f, "validation failed: {m}"),
+            Error::StagePanic(m) => write!(f, "stage panicked: {m}"),
+            Error::Cancelled(m) => write!(f, "cancelled: {m}"),
         }
     }
 }

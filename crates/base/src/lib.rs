@@ -16,6 +16,7 @@
 //! change between releases.
 
 pub mod error;
+pub mod fault;
 pub mod id;
 pub mod presets;
 pub mod rng;

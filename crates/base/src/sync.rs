@@ -108,6 +108,20 @@ impl Condvar {
         self.0.wait(guard).expect("vr_base::sync::Condvar: mutex poisoned")
     }
 
+    /// Like [`wait`](Condvar::wait), but give up after `dur`; the
+    /// returned flag reports whether the wait timed out.
+    pub fn wait_timeout<'a, T>(
+        &self,
+        guard: std::sync::MutexGuard<'a, T>,
+        dur: std::time::Duration,
+    ) -> (std::sync::MutexGuard<'a, T>, bool) {
+        let (guard, res) = self
+            .0
+            .wait_timeout(guard, dur)
+            .expect("vr_base::sync::Condvar: mutex poisoned");
+        (guard, res.timed_out())
+    }
+
     /// Wake one waiter.
     pub fn notify_one(&self) {
         self.0.notify_one()
@@ -147,6 +161,15 @@ pub struct RecvError;
 pub enum TryRecvError {
     /// No message is ready, but senders are still alive.
     Empty,
+    /// The channel is empty and every sender has been dropped.
+    Disconnected,
+}
+
+/// Error returned by [`Receiver::recv_timeout`].
+#[derive(Debug, PartialEq, Eq)]
+pub enum RecvTimeoutError {
+    /// No message arrived within the timeout; senders are still alive.
+    Timeout,
     /// The channel is empty and every sender has been dropped.
     Disconnected,
 }
@@ -264,6 +287,31 @@ impl<T> Receiver<T> {
                 return Err(RecvError);
             }
             st = self.0.readable.wait(st);
+        }
+    }
+
+    /// Block until a message arrives, the senders disconnect, or
+    /// `timeout` elapses — the pipeline's stage watchdogs use this to
+    /// turn a stalled upstream stage into a typed error instead of an
+    /// unbounded hang.
+    pub fn recv_timeout(&self, timeout: std::time::Duration) -> Result<T, RecvTimeoutError> {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut st = self.0.state.lock();
+        loop {
+            if let Some(v) = st.queue.pop_front() {
+                drop(st);
+                self.0.writable.notify_one();
+                return Ok(v);
+            }
+            if st.senders == 0 {
+                return Err(RecvTimeoutError::Disconnected);
+            }
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                return Err(RecvTimeoutError::Timeout);
+            }
+            let (guard, _timed_out) = self.0.readable.wait_timeout(st, deadline - now);
+            st = guard;
         }
     }
 
@@ -416,6 +464,61 @@ pub fn worker_budget() -> usize {
     })
 }
 
+// ---------------------------------------------------------------------------
+// Cooperative cancellation
+// ---------------------------------------------------------------------------
+
+/// A cooperative cancellation token: cheap to clone, checked by the
+/// pipeline once per frame. Cancellation fires either explicitly (via
+/// [`cancel`](CancelToken::cancel)) or implicitly once an optional
+/// deadline passes — the benchmark driver hands each query instance a
+/// deadline-bearing token so a straggler can be cut off and reported
+/// as a degraded row instead of blocking the batch.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<std::sync::atomic::AtomicBool>,
+    deadline: Option<std::time::Instant>,
+}
+
+impl CancelToken {
+    /// A token that never cancels unless [`cancel`](CancelToken::cancel)
+    /// is called.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A token that auto-cancels once `deadline` passes.
+    pub fn with_deadline(deadline: std::time::Instant) -> Self {
+        Self { flag: Arc::default(), deadline: Some(deadline) }
+    }
+
+    /// Request cancellation; every clone observes it.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Release);
+    }
+
+    /// Whether cancellation was requested or the deadline has passed.
+    pub fn cancelled(&self) -> bool {
+        if self.flag.load(Ordering::Acquire) {
+            return true;
+        }
+        match self.deadline {
+            Some(d) if std::time::Instant::now() >= d => {
+                // Latch, so clones without a clock check agree and the
+                // (cheap) flag path answers subsequent calls.
+                self.flag.store(true, Ordering::Release);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// The deadline, if this token carries one.
+    pub fn deadline(&self) -> Option<std::time::Instant> {
+        self.deadline
+    }
+}
+
 /// A monotonically increasing counter usable across threads; used for
 /// cheap instrumentation where a full lock is overkill.
 #[derive(Debug, Default)]
@@ -547,6 +650,37 @@ mod tests {
         assert_eq!(rx.recv(), Ok(3));
         drop(rx);
         assert_eq!(tx.try_send(4), Err(TrySendError::Disconnected(4)));
+    }
+
+    #[test]
+    fn recv_timeout_times_out_then_delivers() {
+        let (tx, rx) = channel::<u32>(1);
+        let start = Instant::now();
+        assert_eq!(rx.recv_timeout(Duration::from_millis(30)), Err(RecvTimeoutError::Timeout));
+        assert!(start.elapsed() >= Duration::from_millis(30));
+        tx.send(9).unwrap();
+        assert_eq!(rx.recv_timeout(Duration::from_millis(30)), Ok(9));
+        drop(tx);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(30)),
+            Err(RecvTimeoutError::Disconnected)
+        );
+    }
+
+    #[test]
+    fn cancel_token_fires_on_request_and_deadline() {
+        let t = CancelToken::new();
+        let clone = t.clone();
+        assert!(!t.cancelled());
+        clone.cancel();
+        assert!(t.cancelled(), "clones share the flag");
+
+        let t = CancelToken::with_deadline(Instant::now() + Duration::from_millis(25));
+        assert!(!t.cancelled());
+        std::thread::sleep(Duration::from_millis(30));
+        assert!(t.cancelled(), "deadline passed");
+        assert!(t.cancelled(), "cancellation latches");
+        assert!(t.deadline().is_some());
     }
 
     #[test]

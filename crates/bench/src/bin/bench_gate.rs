@@ -3,7 +3,7 @@
 //! baseline and fail on regressions beyond tolerance.
 //!
 //! ```text
-//! bench_gate <baseline.json> <current.json> [--tolerance 0.30]
+//! bench_gate <baseline.json> <current.json> [--tolerance 0.30] [--seed-new]
 //! ```
 //!
 //! Verdicts per benchmark id:
@@ -14,7 +14,12 @@
 //! * `REGRESSED` — slower beyond tolerance (fails the gate);
 //! * `MISSING`   — in the baseline but not the current run (fails the
 //!   gate: a renamed or deleted benchmark must update the baseline);
-//! * `NEW`       — not in the baseline yet (informational).
+//! * `NEW`       — not in the baseline yet. A warning, never a
+//!   failure: a freshly added benchmark has nothing to regress
+//!   against. With `--seed-new` the entry (and, when the baseline
+//!   file is missing entirely, the whole current result set) is
+//!   merged into the baseline so the first run seeds it and the next
+//!   run gates it.
 //!
 //! The gate additionally checks the parallel-pipeline speedup contract
 //! when the current run carries the `q1_batch_workers1` /
@@ -60,6 +65,7 @@ fn run() -> Result<bool, String> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut positional = Vec::new();
     let mut tolerance = DEFAULT_TOLERANCE;
+    let mut seed_new = false;
     let mut i = 0;
     while i < args.len() {
         if args[i] == "--tolerance" {
@@ -69,14 +75,29 @@ fn run() -> Result<bool, String> {
                 .and_then(|t| t.parse::<f64>().ok())
                 .filter(|t| *t > 0.0)
                 .ok_or("--tolerance needs a positive number")?;
+        } else if args[i] == "--seed-new" {
+            seed_new = true;
         } else {
             positional.push(args[i].clone());
         }
         i += 1;
     }
     let [baseline_path, current_path] = positional.as_slice() else {
-        return Err("usage: bench_gate <baseline.json> <current.json> [--tolerance 0.30]".into());
+        return Err(
+            "usage: bench_gate <baseline.json> <current.json> [--tolerance 0.30] [--seed-new]"
+                .into(),
+        );
     };
+
+    // First run ever: no baseline to gate against. With --seed-new the
+    // current results become the baseline; without it that is an error
+    // (CI must opt in to self-seeding explicitly).
+    if seed_new && !std::path::Path::new(baseline_path).exists() {
+        std::fs::copy(current_path, baseline_path)
+            .map_err(|e| format!("cannot seed {baseline_path}: {e}"))?;
+        println!("bench gate: no baseline at {baseline_path}; seeded it from {current_path}");
+        return Ok(true);
+    }
 
     let baseline = load_medians(baseline_path)?;
     let current = load_medians(current_path)?;
@@ -95,6 +116,7 @@ fn run() -> Result<bool, String> {
         "benchmark", "baseline", "current", "ratio", "verdict"
     );
     let mut failures = 0usize;
+    let mut new_ids: Vec<String> = Vec::new();
     for (id, &cur) in &current {
         match baseline.get(id) {
             Some(&base) if base > 0.0 => {
@@ -114,7 +136,14 @@ fn run() -> Result<bool, String> {
                 );
             }
             _ => {
-                println!("{id:<50} {:>12} {:>12} {:>8}  NEW", "-", fmt_ms(cur), "-");
+                new_ids.push(id.clone());
+                println!(
+                    "{id:<50} {:>12} {:>12} {:>8}  NEW ({})",
+                    "-",
+                    fmt_ms(cur),
+                    "-",
+                    if seed_new { "seeding" } else { "warn: not in baseline" }
+                );
             }
         }
     }
@@ -149,12 +178,60 @@ fn run() -> Result<bool, String> {
         }
     }
 
+    if seed_new && !new_ids.is_empty() {
+        seed_baseline(baseline_path, current_path, &new_ids)?;
+        println!(
+            "bench gate: seeded {} new benchmark(s) into {baseline_path}",
+            new_ids.len()
+        );
+    }
+
     if failures > 0 {
         println!("bench gate: {failures} failure(s)");
     } else {
         println!("bench gate: all benchmarks within tolerance");
     }
     Ok(failures == 0)
+}
+
+/// Merge the entries for `new_ids` from the current result file into
+/// the committed baseline, preserving every existing entry verbatim.
+/// Both files use the one-entry-per-line schema the harness writes.
+fn seed_baseline(
+    baseline_path: &str,
+    current_path: &str,
+    new_ids: &[String],
+) -> Result<(), String> {
+    let entry_of = |text: &str, id: &str| -> Option<String> {
+        let needle = format!("\"id\": \"{id}\"");
+        text.lines()
+            .find(|l| l.contains(&needle))
+            .map(|l| l.trim().trim_end_matches(',').to_string())
+    };
+    let baseline_text = std::fs::read_to_string(baseline_path)
+        .map_err(|e| format!("cannot read {baseline_path}: {e}"))?;
+    let current_text = std::fs::read_to_string(current_path)
+        .map_err(|e| format!("cannot read {current_path}: {e}"))?;
+
+    let mut entries: Vec<String> = baseline_text
+        .lines()
+        .filter(|l| l.trim_start().starts_with("{\"id\":"))
+        .map(|l| l.trim().trim_end_matches(',').to_string())
+        .collect();
+    for id in new_ids {
+        entries.push(entry_of(&current_text, id).ok_or_else(|| {
+            format!("{current_path}: cannot locate the result line for {id}")
+        })?);
+    }
+
+    let mut out = String::from("{\n  \"benchmarks\": [\n");
+    for (i, e) in entries.iter().enumerate() {
+        out.push_str("    ");
+        out.push_str(e);
+        out.push_str(if i + 1 == entries.len() { "\n" } else { ",\n" });
+    }
+    out.push_str("  ]\n}\n");
+    std::fs::write(baseline_path, out).map_err(|e| format!("cannot write {baseline_path}: {e}"))
 }
 
 fn main() -> ExitCode {

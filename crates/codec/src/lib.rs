@@ -36,9 +36,11 @@ pub mod motion;
 pub mod packet;
 pub mod quant;
 pub mod ratecontrol;
+pub mod resilient;
 pub mod transform;
 
 pub use decoder::Decoder;
+pub use resilient::{DecodeOutcome, ResilientDecoder};
 pub use encoder::{Encoder, EncoderConfig};
 pub use packet::{Packet, Profile, RateControlMode, VideoInfo};
 

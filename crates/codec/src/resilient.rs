@@ -1,0 +1,191 @@
+//! Error-resilient decoding: concealment + resync-at-keyframe.
+//!
+//! A production decoder facing a torn or corrupted bitstream does not
+//! abort the stream — it conceals the damaged frame (repeating the
+//! last good picture, or emitting a grey frame if none exists yet),
+//! drops its now-unreliable reference state, and resynchronizes at the
+//! next keyframe. [`ResilientDecoder`] wraps [`Decoder`] with exactly
+//! that policy so the query pipeline can keep its frame cadence while
+//! the benchmark driver accounts for every concealed frame.
+
+use crate::decoder::Decoder;
+use crate::packet::VideoInfo;
+use vr_frame::Frame;
+
+/// How a [`ResilientDecoder`] produced a frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodeOutcome {
+    /// The packet decoded normally.
+    Decoded,
+    /// The frame was concealed (decode failed, the sample was flagged
+    /// missing/corrupt, or the stream is awaiting a keyframe resync).
+    Concealed,
+}
+
+/// A [`Decoder`] that never fails: damaged input yields a concealed
+/// frame instead of an error, and decode restarts at the next
+/// keyframe.
+pub struct ResilientDecoder {
+    inner: Decoder,
+    /// Last successfully decoded picture, used for concealment.
+    last_good: Option<Frame>,
+    /// After damage, inter frames cannot be trusted until the stream
+    /// produces an independently decodable picture.
+    awaiting_keyframe: bool,
+    concealed: u64,
+}
+
+impl ResilientDecoder {
+    /// Wrap a fresh decoder for the given stream parameters.
+    pub fn new(info: VideoInfo) -> Self {
+        Self {
+            inner: Decoder::new(info),
+            last_good: None,
+            awaiting_keyframe: false,
+            concealed: 0,
+        }
+    }
+
+    /// Stream parameters.
+    pub fn info(&self) -> VideoInfo {
+        self.inner.info()
+    }
+
+    /// Decode one packet; `keyframe` is the container's keyframe flag
+    /// for the sample. Always returns a frame: on any decode failure
+    /// the frame is concealed and the decoder resynchronizes at the
+    /// next keyframe.
+    pub fn decode(&mut self, data: &[u8], keyframe: bool) -> (Frame, DecodeOutcome) {
+        if self.awaiting_keyframe && !keyframe {
+            return (self.conceal(), DecodeOutcome::Concealed);
+        }
+        if self.awaiting_keyframe {
+            // Resync attempt: drop the stale reference first.
+            self.inner.reset();
+        }
+        match self.inner.decode(data) {
+            Ok(frame) => {
+                self.awaiting_keyframe = false;
+                self.last_good = Some(frame.clone());
+                (frame, DecodeOutcome::Decoded)
+            }
+            Err(_) => {
+                self.resync();
+                (self.conceal(), DecodeOutcome::Concealed)
+            }
+        }
+    }
+
+    /// The sample never arrived (demuxer skipped it on CRC failure,
+    /// packet loss, ...): conceal the frame and schedule a resync.
+    pub fn conceal_missing(&mut self) -> Frame {
+        self.resync();
+        self.conceal()
+    }
+
+    /// Frames concealed so far.
+    pub fn concealed(&self) -> u64 {
+        self.concealed
+    }
+
+    fn resync(&mut self) {
+        self.inner.reset();
+        self.awaiting_keyframe = true;
+    }
+
+    fn conceal(&mut self) -> Frame {
+        self.concealed += 1;
+        match &self.last_good {
+            Some(f) => f.clone(),
+            None => {
+                let info = self.inner.info();
+                Frame::new(info.width, info.height)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encoder::EncoderConfig;
+    use crate::testutil::moving_square_sequence;
+    use vr_frame::metrics::psnr_y;
+
+    #[test]
+    fn clean_stream_matches_plain_decoder() {
+        let frames = moving_square_sequence(64, 64, 6, 11);
+        let video =
+            crate::encode_sequence(&EncoderConfig::constant_qp(20).with_gop(3), &frames).unwrap();
+        let plain = video.decode_all().unwrap();
+        let mut res = ResilientDecoder::new(video.info);
+        for (i, p) in video.packets.iter().enumerate() {
+            let (frame, outcome) = res.decode(&p.data, p.keyframe);
+            assert_eq!(outcome, DecodeOutcome::Decoded);
+            assert_eq!(frame.y, plain[i].y, "frame {i} must be bit-identical");
+        }
+        assert_eq!(res.concealed(), 0);
+    }
+
+    #[test]
+    fn corrupt_packet_conceals_then_resyncs_at_keyframe() {
+        let frames = moving_square_sequence(64, 64, 7, 12);
+        let video =
+            crate::encode_sequence(&EncoderConfig::constant_qp(18).with_gop(3), &frames).unwrap();
+        let mut res = ResilientDecoder::new(video.info);
+        let mut outcomes = Vec::new();
+        for (i, p) in video.packets.iter().enumerate() {
+            let data = if i == 1 {
+                b"garbage packet".to_vec() // corrupt the first P-frame
+            } else {
+                p.data.clone()
+            };
+            let (frame, outcome) = res.decode(&data, p.keyframe);
+            assert_eq!(frame.width(), 64);
+            outcomes.push(outcome);
+            if outcome == DecodeOutcome::Decoded && i >= 3 {
+                // After the GOP-3 keyframe resync, quality recovers.
+                assert!(psnr_y(&frames[i], &frame) > 25.0);
+            }
+        }
+        use DecodeOutcome::*;
+        // Frame 0 decodes; 1 is corrupt (concealed); 2 is an inter
+        // frame with no trusted reference (concealed); 3 is the next
+        // keyframe (resync); the rest decode.
+        assert_eq!(
+            outcomes,
+            vec![Decoded, Concealed, Concealed, Decoded, Decoded, Decoded, Decoded]
+        );
+        assert_eq!(res.concealed(), 2);
+    }
+
+    #[test]
+    fn missing_sample_concealment_keeps_cadence() {
+        let frames = moving_square_sequence(64, 64, 6, 13);
+        let video =
+            crate::encode_sequence(&EncoderConfig::constant_qp(18).with_gop(3), &frames).unwrap();
+        let mut res = ResilientDecoder::new(video.info);
+        let mut out = Vec::new();
+        for (i, p) in video.packets.iter().enumerate() {
+            if i == 2 {
+                out.push(res.conceal_missing()); // demuxer skipped it
+            } else {
+                out.push(res.decode(&p.data, p.keyframe).0);
+            }
+        }
+        assert_eq!(out.len(), frames.len(), "cadence preserved");
+        // The concealed frame repeats the last good picture.
+        assert_eq!(out[2].y, out[1].y);
+        assert!(res.concealed() >= 1);
+    }
+
+    #[test]
+    fn concealment_before_any_good_frame_is_grey() {
+        let frames = moving_square_sequence(32, 32, 2, 14);
+        let video = crate::encode_sequence(&EncoderConfig::constant_qp(20), &frames).unwrap();
+        let mut res = ResilientDecoder::new(video.info);
+        let (frame, outcome) = res.decode(b"not a packet", true);
+        assert_eq!(outcome, DecodeOutcome::Concealed);
+        assert_eq!((frame.width(), frame.height()), (32, 32));
+    }
+}

@@ -51,7 +51,8 @@ impl Container {
                 let size = ir.get_u32()?;
                 let timestamp = Timestamp::from_micros(ir.get_u64()?);
                 let keyframe = ir.get_u8()? != 0;
-                samples.push(SampleInfo { offset, size, timestamp, keyframe });
+                let crc = ir.get_u32()?;
+                samples.push(SampleInfo { offset, size, timestamp, keyframe, crc });
             }
             tracks.push(Track { kind, config, samples });
         }
@@ -64,10 +65,19 @@ impl Container {
             )));
         }
         let data_start = r.position();
-        // Validate every sample lies inside the data section.
+        // Validate every sample lies inside the data section. The
+        // end offset is computed with checked arithmetic: a corrupted
+        // index can carry offsets near u64::MAX, and a wrapped sum
+        // would sail past this check.
         for (ti, t) in tracks.iter().enumerate() {
             for (si, s) in t.samples.iter().enumerate() {
-                if s.offset + s.size as u64 > data_len as u64 {
+                let end = s
+                    .offset
+                    .checked_add(s.size as u64)
+                    .ok_or_else(|| {
+                        Error::Corrupt(format!("sample {si} of track {ti} overflows u64"))
+                    })?;
+                if end > data_len as u64 {
                     return Err(Error::Corrupt(format!(
                         "sample {si} of track {ti} out of bounds"
                     )));
@@ -108,8 +118,35 @@ impl Container {
             .samples
             .get(index)
             .ok_or_else(|| Error::NotFound(format!("sample {index} of track {track}")))?;
-        let start = self.data_start + s.offset as usize;
-        Ok(&self.data[start..start + s.size as usize])
+        // Bounds were validated at parse; re-check with safe slicing
+        // anyway so a length-corrupted index can never slice past the
+        // buffer — it surfaces as a typed error instead.
+        let start = self
+            .data_start
+            .checked_add(s.offset as usize)
+            .ok_or_else(|| Error::Corrupt(format!("sample {index} offset overflow")))?;
+        let end = start
+            .checked_add(s.size as usize)
+            .ok_or_else(|| Error::Corrupt(format!("sample {index} length overflow")))?;
+        self.data
+            .get(start..end)
+            .ok_or_else(|| Error::Corrupt(format!("sample {index} of track {track} truncated")))
+    }
+
+    /// Like [`sample`](Container::sample), but additionally checks the
+    /// payload against the per-sample CRC recorded in the index.
+    /// Returns [`Error::Corrupt`] on mismatch so a resilient reader
+    /// can skip the sample and continue (concealing the frame) rather
+    /// than feed garbage to the decoder.
+    pub fn sample_verified(&self, track: usize, index: usize) -> Result<&[u8]> {
+        let data = self.sample(track, index)?;
+        let expected = self.tracks[track].samples[index].crc;
+        if crc32(data) != expected {
+            return Err(Error::Corrupt(format!(
+                "sample {index} of track {track} payload CRC mismatch"
+            )));
+        }
+        Ok(data)
     }
 
     /// A forward-only cursor over a track (online mode: "video data is
@@ -158,6 +195,29 @@ mod robustness_tests {
             let len = rng.range(0, 2047);
             let data: Vec<u8> = (0..len).map(|_| rng.next_u32() as u8).collect();
             let _ = Container::parse(data);
+        }
+    }
+
+    #[test]
+    fn sample_crc_catches_payload_corruption() {
+        use crate::ContainerWriter;
+        let mut w = ContainerWriter::new();
+        let t = w.add_track(crate::TrackKind::Video, Vec::new());
+        w.push_sample(t, &[1u8; 16], vr_base::Timestamp::ZERO, true);
+        w.push_sample(t, &[2u8; 16], vr_base::Timestamp::from_micros(1000), false);
+        let mut bytes = w.finish();
+        // Flip a byte in the *data* section (the last payload byte):
+        // the index CRC still matches, so parse succeeds.
+        let n = bytes.len();
+        bytes[n - 1] ^= 0xFF;
+        let c = Container::parse(bytes).unwrap();
+        // The unchecked read hands back the corrupted payload ...
+        assert!(c.sample(0, 1).is_ok());
+        // ... the verified read reports it as a typed error.
+        assert!(c.sample_verified(0, 0).is_ok(), "untouched sample verifies");
+        match c.sample_verified(0, 1) {
+            Err(Error::Corrupt(m)) => assert!(m.contains("CRC")),
+            other => panic!("expected Corrupt, got {other:?}"),
         }
     }
 

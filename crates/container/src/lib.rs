@@ -10,9 +10,12 @@
 //!   a metadata track within the input video's container"), and
 //!   opaque metadata (per-frame ground truth),
 //! * a **sample index** per track (offset, size, timestamp, keyframe
-//!   flag) enabling random access for *offline* benchmark mode, while
-//!   *online* mode reads samples strictly forward,
-//! * a CRC-32 over the index so corruption fails fast at open time.
+//!   flag, payload CRC) enabling random access for *offline* benchmark
+//!   mode, while *online* mode reads samples strictly forward,
+//! * a CRC-32 over the index so corruption fails fast at open time,
+//!   plus a CRC-32 per sample payload so a resilient reader can skip
+//!   an individually corrupted sample and continue
+//!   ([`Container::sample_verified`]).
 //!
 //! Layout: `magic ∥ version ∥ index-length ∥ index (+CRC) ∥ data`.
 //! Sample offsets are relative to the data section, so the index can
@@ -28,8 +31,9 @@ use vr_base::{Error, Result, Timestamp};
 
 /// Container format magic.
 pub(crate) const MAGIC: &[u8; 4] = b"VRMF";
-/// Container format version.
-pub(crate) const VERSION: u16 = 1;
+/// Container format version. Version 2 added a CRC-32 per sample
+/// payload to the index.
+pub(crate) const VERSION: u16 = 2;
 
 /// What a track carries.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -74,6 +78,8 @@ pub struct SampleInfo {
     pub timestamp: Timestamp,
     /// Whether the sample is independently decodable.
     pub keyframe: bool,
+    /// CRC-32 of the payload bytes, for per-sample integrity checks.
+    pub crc: u32,
 }
 
 /// Per-track header and sample table.

@@ -47,6 +47,7 @@ impl ContainerWriter {
             size: data.len() as u32,
             timestamp,
             keyframe,
+            crc: crc32(data),
         });
     }
 
@@ -69,6 +70,7 @@ impl ContainerWriter {
                 idx.put_u32(s.size);
                 idx.put_u64(s.timestamp.as_micros());
                 idx.put_u8(s.keyframe as u8);
+                idx.put_u32(s.crc);
             }
         }
         let index = idx.finish();

@@ -8,6 +8,7 @@
 //! visualroad run --engine all --full-suite --scale 1
 //! ```
 
+use visual_road::base::fault::{self, FaultInjector};
 use visual_road::prelude::*;
 use visual_road::storage::FlatStore;
 use visual_road::vdbms::QueryKind;
@@ -41,12 +42,19 @@ USAGE:
   visualroad run [--engine NAME|all] [--queries Q1,Q2a,...|--full-suite]
                  [--scale L] [--res WxH] [--duration SECS] [--seed S]
                  [--batch N] [--online SPEEDUP] [--write DIR] [--no-validate]
-                 [--workers N]
+                 [--workers N] [--faults SPEC] [--fault-seed S]
+                 [--deadline-ms N]
       Generate a dataset and drive the chosen engine(s) through the
       benchmark, printing the report. --workers caps both the driver's
       batch scheduler and each engine's pipelined executor (default:
       the VR_WORKERS environment variable, else all cores; 1 forces
-      the sequential paths).
+      the sequential paths). --faults installs a deterministic fault
+      plan (same grammar as the VR_FAULTS environment variable, e.g.
+      corrupt_bitstream=0.01,drop_rtp=0.05,stall_stage=kernel:20ms,
+      io_fail=read:0.02,panic_kernel=q4:frame37); after the run the
+      injected-fault counts are checked against the recovery counters
+      and any mismatch exits nonzero. --deadline-ms enforces a
+      per-instance latency deadline via cooperative cancellation.
 
 ENGINES: reference | batch | functional | cascade | all
 QUERIES: Q1 Q2a Q2b Q2c Q2d Q3 Q4 Q5 Q6a Q6b Q7 Q8 Q9 Q10"
@@ -263,6 +271,41 @@ fn cmd_run(args: &[String]) -> i32 {
             _ => return fail("--workers wants a positive integer"),
         }
     }
+    if let Some(ms) = flags.get("deadline-ms") {
+        match ms.parse::<u64>() {
+            Ok(ms) if ms >= 1 => {
+                cfg.instance_deadline = Some(std::time::Duration::from_millis(ms))
+            }
+            _ => return fail("--deadline-ms wants a positive integer"),
+        }
+    }
+
+    // The fault plan is installed only after dataset generation, so
+    // chaos runs exercise the query path against a pristine dataset.
+    let injector = match flags.get("faults") {
+        Some(spec) => {
+            let seed = match flags.parsed("fault-seed", 0u64) {
+                Ok(s) => s,
+                Err(e) => return fail(&e),
+            };
+            match FaultInjector::from_spec(spec, seed) {
+                Ok(inj) => {
+                    let inj = std::sync::Arc::new(inj);
+                    fault::install(Some(std::sync::Arc::clone(&inj)));
+                    Some(inj)
+                }
+                Err(e) => return fail(&e.to_string()),
+            }
+        }
+        None => match fault::init_from_env() {
+            Ok(inj) => inj,
+            Err(e) => return fail(&e.to_string()),
+        },
+    };
+    if let Some(inj) = &injector {
+        eprintln!("fault plan active (seed {}): {:?}", inj.seed(), inj.plan());
+    }
+
     let vcd = Vcd::new(&dataset, cfg);
     for engine in engines.iter_mut() {
         match vcd.run_queries(engine.as_mut(), &queries) {
@@ -270,7 +313,73 @@ fn cmd_run(args: &[String]) -> i32 {
             Err(e) => return fail(&e.to_string()),
         }
     }
-    0
+    match &injector {
+        Some(inj) => verify_fault_accounting(inj),
+        None => 0,
+    }
+}
+
+/// Cross-check what the injector says it injected against what the
+/// recovery layers say they absorbed. Any mismatch means a fault
+/// escaped its handler (or a handler double-counted) — the chaos gate
+/// fails on it.
+fn verify_fault_accounting(inj: &FaultInjector) -> i32 {
+    let injected = inj.injected();
+    let recovered = fault::degradation_snapshot();
+    println!(
+        "fault accounting: injected {injected:?}\n\
+         fault accounting: recovered {recovered:?}"
+    );
+    let mut bad = Vec::new();
+    if injected.corrupt_bitstream != recovered.skipped_samples {
+        bad.push(format!(
+            "corrupted samples {} != skipped samples {}",
+            injected.corrupt_bitstream, recovered.skipped_samples
+        ));
+    }
+    if recovered.concealed_frames < recovered.skipped_samples {
+        bad.push(format!(
+            "concealed frames {} < skipped samples {}",
+            recovered.concealed_frames, recovered.skipped_samples
+        ));
+    }
+    if injected.drop_rtp != recovered.skipped_packets {
+        bad.push(format!(
+            "dropped rtp packets {} != skipped packets {}",
+            injected.drop_rtp, recovered.skipped_packets
+        ));
+    }
+    if injected.io_fail_read + injected.io_fail_write
+        != recovered.io_retries + recovered.io_give_ups
+    {
+        bad.push(format!(
+            "injected io failures {} != retries {} + give-ups {}",
+            injected.io_fail_read + injected.io_fail_write,
+            recovered.io_retries,
+            recovered.io_give_ups
+        ));
+    }
+    if injected.kernel_panics != recovered.stage_panics {
+        bad.push(format!(
+            "injected kernel panics {} != contained stage panics {}",
+            injected.kernel_panics, recovered.stage_panics
+        ));
+    }
+    if injected.stalls != recovered.stalls_absorbed {
+        bad.push(format!(
+            "injected stalls {} != absorbed stalls {}",
+            injected.stalls, recovered.stalls_absorbed
+        ));
+    }
+    if bad.is_empty() {
+        println!("fault accounting: OK");
+        0
+    } else {
+        for b in &bad {
+            eprintln!("fault accounting MISMATCH: {b}");
+        }
+        1
+    }
 }
 
 fn fail(msg: &str) -> i32 {

@@ -47,7 +47,10 @@ pub mod vcd;
 pub mod vcg;
 
 pub use dataset::{Dataset, VideoMeta, VideoRole};
-pub use report::{BenchmarkReport, QueryReport, QueryStatus, SchedulerStats, ValidationSummary};
+pub use report::{
+    BenchmarkReport, DegradationStats, QueryReport, QueryStatus, SchedulerStats,
+    ValidationSummary,
+};
 pub use vcd::{ExecutionMode, Vcd, VcdConfig};
 pub use vcg::{GenConfig, Vcg};
 

@@ -76,6 +76,77 @@ impl SchedulerStats {
     }
 }
 
+/// Degraded-operation accounting for one query batch under fault
+/// injection (and deadline enforcement): how the system bent instead
+/// of breaking. All zero / `None` on a clean run.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct DegradationStats {
+    /// Frames the resilient decoder concealed (repeat-last-good or
+    /// grey) instead of failing the query.
+    pub concealed_frames: u64,
+    /// Container samples skipped on payload-CRC mismatch.
+    pub skipped_samples: u64,
+    /// RTP packets declared lost by the jitter buffer at ingest.
+    pub skipped_packets: u64,
+    /// Transient storage I/O failures absorbed by retry-with-backoff.
+    pub io_retries: u64,
+    /// Retry budgets exhausted (the error surfaced after backoff).
+    pub io_give_ups: u64,
+    /// Stage panics contained at a pipeline boundary into typed errors.
+    pub stage_panics: u64,
+    /// Injected stage stalls slept out inside the watchdog budget.
+    pub stalls_absorbed: u64,
+    /// Instances cancelled (deadline or explicit token) and folded as
+    /// degraded rows instead of failing the batch.
+    pub cancelled_instances: u64,
+    /// Instances that failed with a typed error and were folded as
+    /// degraded rows (only under active faults / deadline enforcement).
+    pub failed_instances: u64,
+    /// Mean PSNR vs. the clean reference achieved while faults were
+    /// active (`None` when faults were off or nothing was comparable).
+    pub achieved_psnr_db: Option<f64>,
+    /// Whether a fault plan was active during the batch.
+    pub faults_active: bool,
+}
+
+impl DegradationStats {
+    /// Whether any degradation occurred.
+    pub fn any(&self) -> bool {
+        self.concealed_frames > 0
+            || self.skipped_samples > 0
+            || self.skipped_packets > 0
+            || self.io_retries > 0
+            || self.io_give_ups > 0
+            || self.stage_panics > 0
+            || self.stalls_absorbed > 0
+            || self.cancelled_instances > 0
+            || self.failed_instances > 0
+    }
+}
+
+impl fmt::Display for DegradationStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "concealed {} | skipped samples {} | skipped pkts {} | io retries {} \
+             (gave up {}) | stage panics {} | stalls {} | cancelled {} | failed {}",
+            self.concealed_frames,
+            self.skipped_samples,
+            self.skipped_packets,
+            self.io_retries,
+            self.io_give_ups,
+            self.stage_panics,
+            self.stalls_absorbed,
+            self.cancelled_instances,
+            self.failed_instances,
+        )?;
+        if let Some(p) = self.achieved_psnr_db {
+            write!(f, " | achieved {p:.1}dB")?;
+        }
+        Ok(())
+    }
+}
+
 /// Outcome of one query's batch on one engine.
 #[derive(Debug, Clone)]
 pub enum QueryStatus {
@@ -96,6 +167,8 @@ pub enum QueryStatus {
         /// deadline misses).
         scheduler: SchedulerStats,
         validation: ValidationSummary,
+        /// Fault-tolerance accounting (all zero on a clean run).
+        degradation: DegradationStats,
     },
     /// The engine cannot express the query (reported as N/A, like
     /// NoScope on Q3–Q10).
@@ -178,7 +251,9 @@ impl fmt::Display for BenchmarkReport {
         )?;
         for q in &self.queries {
             match &q.status {
-                QueryStatus::Completed { runtime, fps, stages, scheduler, validation, .. } => {
+                QueryStatus::Completed {
+                    runtime, fps, stages, scheduler, validation, degradation, ..
+                } => {
                     let psnr = validation
                         .psnr
                         .map(|p| format!("{:.1}dB", p.mean))
@@ -223,6 +298,9 @@ impl fmt::Display for BenchmarkReport {
                         if scheduler.deadline_misses == 1 { "" } else { "es" },
                         stages.contention_nanos,
                     )?;
+                    if degradation.any() || degradation.faults_active {
+                        writeln!(f, "        degraded: {degradation}")?;
+                    }
                 }
                 QueryStatus::Unsupported => {
                     writeln!(
@@ -286,6 +364,13 @@ mod tests {
                             ground_truth_f1: None,
                             passed: true,
                         },
+                        degradation: DegradationStats {
+                            concealed_frames: 3,
+                            skipped_samples: 2,
+                            achieved_psnr_db: Some(41.5),
+                            faults_active: true,
+                            ..DegradationStats::default()
+                        },
                     },
                 },
                 QueryReport {
@@ -313,6 +398,18 @@ mod tests {
         assert!(text.contains("stages: decode"));
         assert!(text.contains("sched: 2 workers / 2 instances"));
         assert!(text.contains("1 deadline miss "));
+        assert!(text.contains("degraded: concealed 3"));
+        assert!(text.contains("achieved 41.5dB"));
+    }
+
+    #[test]
+    fn degradation_any_and_display() {
+        let clean = DegradationStats::default();
+        assert!(!clean.any());
+        let degraded = DegradationStats { io_retries: 1, ..DegradationStats::default() };
+        assert!(degraded.any());
+        assert!(degraded.to_string().contains("io retries 1"));
+        assert!(!degraded.to_string().contains("achieved"));
     }
 
     #[test]

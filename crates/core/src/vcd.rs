@@ -19,13 +19,15 @@
 
 use crate::dataset::Dataset;
 use crate::report::{
-    BenchmarkReport, QueryReport, QueryStatus, SchedulerStats, ValidationSummary,
+    BenchmarkReport, DegradationStats, QueryReport, QueryStatus, SchedulerStats,
+    ValidationSummary,
 };
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use vr_base::rng::mix64;
-use vr_base::{Resolution, Result, VrRng};
+use vr_base::sync::CancelToken;
+use vr_base::{fault, Error, Resolution, Result, VrRng};
 use vr_container::TrackKind;
 use vr_frame::metrics::{psnr_y, PsnrStats, VALIDATION_THRESHOLD_DB};
 use vr_scene::groundtruth::frame_truth;
@@ -87,8 +89,13 @@ pub struct VcdConfig {
     /// (which also aborts the batch at the first failing instance).
     pub batch_workers: Option<usize>,
     /// Per-instance latency deadline. Instances that exceed it are
-    /// counted in [`SchedulerStats::deadline_misses`] — accounting
-    /// only; execution is never cut short.
+    /// counted in [`SchedulerStats::deadline_misses`] AND enforced:
+    /// the scheduler arms each instance's [`CancelToken`] with this
+    /// deadline, the pipeline unwinds with
+    /// [`Error::Cancelled`](vr_base::Error::Cancelled) at the next
+    /// frame boundary, and the instance is folded into the report as a
+    /// degraded row ([`DegradationStats::cancelled_instances`])
+    /// instead of blocking or failing the batch.
     pub instance_deadline: Option<Duration>,
 }
 
@@ -231,7 +238,32 @@ impl<'d> Vcd<'d> {
                 .pipeline_workers
                 .unwrap_or_else(vr_base::sync::worker_budget)
                 .max(1),
+            query_label: kind.label().replace(['(', ')'], ""),
+            cancel: CancelToken::new(),
+            stage_timeout: Some(vr_vdbms::io::DEFAULT_STAGE_TIMEOUT),
         }
+    }
+
+    /// Per-instance context: same shared metrics/result mode, but a
+    /// fresh cancellation token armed with the configured deadline so
+    /// one straggler's cancellation never leaks into its neighbours.
+    fn instance_context(&self, ctx: &ExecContext) -> ExecContext {
+        let mut ictx = ctx.clone();
+        ictx.cancel = match self.cfg.instance_deadline {
+            Some(d) => CancelToken::with_deadline(Instant::now() + d),
+            None => CancelToken::new(),
+        };
+        ictx
+    }
+
+    /// Whether the driver folds failing/cancelled instances into the
+    /// report as degraded rows instead of failing the whole batch:
+    /// on when a fault plan is active (chaos runs must always
+    /// terminate with an accurate report) or when a deadline is being
+    /// enforced. Off by default, preserving the classic semantics
+    /// where the first failing instance decides the batch.
+    fn degrade_mode(&self) -> bool {
+        fault::active() || self.cfg.instance_deadline.is_some()
     }
 
     /// Execute one query's batch on the engine; measure and validate.
@@ -249,6 +281,8 @@ impl<'d> Vcd<'d> {
             .unwrap_or_else(vr_base::sync::worker_budget)
             .clamp(1, batch.len().max(1));
 
+        let degrade = self.degrade_mode();
+        let deg_before = fault::degradation_snapshot();
         let start = Instant::now();
         engine.prepare_batch(&batch, inputs, &ctx);
         // `prepare_batch` needed the exclusive reference; dispatch
@@ -260,14 +294,20 @@ impl<'d> Vcd<'d> {
             self.dispatch_concurrent(engine, &batch, &ctx, workers)?
         };
         let runtime = start.elapsed();
+        let recovered = fault::degradation_snapshot().since(&deg_before);
 
-        // Fold the per-instance slots in submission order: the first
-        // (lowest-index) failure decides the batch's status, exactly
-        // as under the sequential driver.
-        let mut outputs: Vec<QueryOutput> = Vec::with_capacity(batch.len());
+        // Fold the per-instance slots in submission order. Classic
+        // semantics: the first (lowest-index) failure decides the
+        // batch's status, exactly as under the sequential driver.
+        // Degrade mode (faults active or a deadline enforced):
+        // cancelled/failed instances become degraded rows and the
+        // batch always completes with the surviving outputs.
+        let mut completed: Vec<(&QueryInstance, QueryOutput)> = Vec::with_capacity(batch.len());
         let mut frames = 0usize;
         let mut bytes_written = 0usize;
         let mut latencies: Vec<u64> = Vec::with_capacity(batch.len());
+        let mut cancelled_instances = 0u64;
+        let mut failed_instances = 0u64;
         let mut failure: Option<String> = None;
         for (slot, instance) in slots.into_iter().zip(&batch) {
             let Some((result, nanos)) = slot else { break };
@@ -281,8 +321,10 @@ impl<'d> Vcd<'d> {
                         ResultMode::Write { .. } => out.size_bytes(),
                         ResultMode::Streaming => 0,
                     };
-                    outputs.push(out);
+                    completed.push((instance, out));
                 }
+                Err(Error::Cancelled(_)) if degrade => cancelled_instances += 1,
+                Err(_) if degrade => failed_instances += 1,
                 Err(e) => {
                     failure = Some(e.to_string());
                     break;
@@ -300,9 +342,32 @@ impl<'d> Vcd<'d> {
             SchedulerStats::from_durations(workers, &latencies, self.cfg.instance_deadline);
 
         let validation = if self.cfg.validate {
-            self.validate_batch(&batch, &outputs)?
+            // Validation (reference runs + PSNR) happens outside the
+            // measured window AND outside the fault plan: injecting
+            // faults into the correctness oracle would make every
+            // verdict meaningless.
+            fault::suppress(|| self.validate_batch(&completed))?
         } else {
             ValidationSummary { passed: true, ..Default::default() }
+        };
+
+        let faults_active = fault::active();
+        let degradation = DegradationStats {
+            concealed_frames: recovered.concealed_frames,
+            skipped_samples: recovered.skipped_samples,
+            skipped_packets: recovered.skipped_packets,
+            io_retries: recovered.io_retries,
+            io_give_ups: recovered.io_give_ups,
+            stage_panics: recovered.stage_panics,
+            stalls_absorbed: recovered.stalls_absorbed,
+            cancelled_instances,
+            failed_instances,
+            achieved_psnr_db: if faults_active {
+                validation.psnr.map(|p| p.mean)
+            } else {
+                None
+            },
+            faults_active,
         };
 
         Ok(QueryReport {
@@ -316,6 +381,7 @@ impl<'d> Vcd<'d> {
                 stages,
                 scheduler,
                 validation,
+                degradation,
             },
         })
     }
@@ -341,15 +407,25 @@ impl<'d> Vcd<'d> {
         batch: &[QueryInstance],
         ctx: &ExecContext,
     ) -> Result<Vec<Option<(Result<QueryOutput>, u64)>>> {
+        let degrade = self.degrade_mode();
         let mut slots: Vec<Option<(Result<QueryOutput>, u64)>> =
             (0..batch.len()).map(|_| None).collect();
         for (i, instance) in batch.iter().enumerate() {
-            self.ingest_instance(instance)?;
             let t0 = Instant::now();
-            let result = engine.execute(instance, &self.dataset.videos, ctx);
+            if let Err(e) = self.ingest_instance(instance) {
+                // Under degrade mode an ingest failure (e.g. an
+                // exhausted retry budget) costs that instance only.
+                if degrade {
+                    slots[i] = Some((Err(e), t0.elapsed().as_nanos() as u64));
+                    continue;
+                }
+                return Err(e);
+            }
+            let ictx = self.instance_context(ctx);
+            let result = engine.execute(instance, &self.dataset.videos, &ictx);
             let failed = result.is_err();
             slots[i] = Some((result, t0.elapsed().as_nanos() as u64));
-            if failed {
+            if failed && !degrade {
                 break;
             }
         }
@@ -371,6 +447,7 @@ impl<'d> Vcd<'d> {
         ctx: &ExecContext,
         workers: usize,
     ) -> Result<Vec<Option<(Result<QueryOutput>, u64)>>> {
+        let degrade = self.degrade_mode();
         let next = AtomicUsize::new(0);
         let per_worker: Vec<(Vec<(usize, Result<QueryOutput>, u64)>, Result<()>)> =
             std::thread::scope(|scope| {
@@ -384,15 +461,25 @@ impl<'d> Vcd<'d> {
                                 let Some(instance) = batch.get(i) else {
                                     return (local, Ok(()));
                                 };
+                                let t0 = Instant::now();
                                 if let Err(e) = self.ingest_instance(instance) {
-                                    // Driver-side ingest errors are hard
-                                    // failures, like under the
-                                    // sequential loop.
+                                    // Under degrade mode an ingest
+                                    // failure costs that instance only;
+                                    // otherwise it is a hard failure,
+                                    // like under the sequential loop.
+                                    if degrade {
+                                        local.push((
+                                            i,
+                                            Err(e),
+                                            t0.elapsed().as_nanos() as u64,
+                                        ));
+                                        continue;
+                                    }
                                     return (local, Err(e));
                                 }
-                                let t0 = Instant::now();
+                                let ictx = self.instance_context(ctx);
                                 let result =
-                                    engine.execute(instance, &self.dataset.videos, ctx);
+                                    engine.execute(instance, &self.dataset.videos, &ictx);
                                 local.push((i, result, t0.elapsed().as_nanos() as u64));
                             }
                         })
@@ -400,7 +487,17 @@ impl<'d> Vcd<'d> {
                     .collect();
                 handles
                     .into_iter()
-                    .map(|h| h.join().expect("scheduler worker panicked"))
+                    .map(|h| match h.join() {
+                        Ok(r) => r,
+                        // A worker that somehow panicked past the
+                        // pipeline's containment boundaries loses its
+                        // local results; surface a typed error rather
+                        // than poisoning the whole process.
+                        Err(p) => {
+                            fault::note_stage_panic();
+                            (Vec::new(), Err(Error::StagePanic(panic_message(p))))
+                        }
+                    })
                     .collect()
             });
 
@@ -415,12 +512,13 @@ impl<'d> Vcd<'d> {
         Ok(slots)
     }
 
-    /// Validate a batch's outputs against the reference
-    /// implementation (and, for Q2(c), scene geometry).
+    /// Validate the completed (instance, output) pairs of a batch
+    /// against the reference implementation (and, for Q2(c), scene
+    /// geometry). Under degrade mode cancelled/failed instances are
+    /// absent from `completed`, so only what actually ran is judged.
     fn validate_batch(
         &self,
-        batch: &[QueryInstance],
-        outputs: &[QueryOutput],
+        completed: &[(&QueryInstance, QueryOutput)],
     ) -> Result<ValidationSummary> {
         // The reference runs get their own metrics so validation work
         // never pollutes the measured engine's stage aggregates.
@@ -432,6 +530,9 @@ impl<'d> Vcd<'d> {
             // keep it on the sequential path so validation never
             // depends on the host's parallelism.
             workers: 1,
+            query_label: String::new(),
+            cancel: CancelToken::new(),
+            stage_timeout: Some(vr_vdbms::io::DEFAULT_STAGE_TIMEOUT),
         };
         let mut psnr_values: Vec<f64> = Vec::new();
         let mut box_matches = 0usize;
@@ -441,7 +542,7 @@ impl<'d> Vcd<'d> {
         let mut gt_false_pos = 0usize;
         let mut length_mismatch = false;
 
-        for (instance, output) in batch.iter().zip(outputs) {
+        for (instance, output) in completed {
             let reference = execute_reference(instance, &self.dataset.videos, &ref_ctx)?;
             match (output, &reference) {
                 (
@@ -544,11 +645,9 @@ impl<'d> Vcd<'d> {
         let Some(camera_id) = meta.camera else {
             return Ok((0, 0, 0));
         };
-        let camera = self
-            .dataset
-            .city
-            .camera(camera_id)
-            .expect("dataset camera exists in city");
+        let camera = self.dataset.city.camera(camera_id).ok_or_else(|| {
+            Error::NotFound(format!("camera {camera_id:?} (instance {}) in city", instance.index))
+        })?;
         let info = self.dataset.videos[input_idx].video_info()?;
         let mut found = 0usize;
         let mut total = 0usize;
@@ -573,6 +672,17 @@ impl<'d> Vcd<'d> {
             }
         }
         Ok((found, total, false_pos))
+    }
+}
+
+/// Best-effort text from a propagated panic payload.
+fn panic_message(p: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
     }
 }
 
@@ -606,7 +716,13 @@ pub fn ingest_online_pipe(input: &InputVideo, speedup: f64) -> Result<usize> {
         while let Some(frame) = reader.read() {
             bytes += frame.len();
         }
-        producer.join().expect("producer thread does not panic")?;
+        match producer.join() {
+            Ok(r) => r?,
+            Err(p) => {
+                vr_base::fault::note_stage_panic();
+                return Err(vr_base::Error::StagePanic(panic_message(p)));
+            }
+        }
         Ok(bytes)
     })
 }
@@ -625,14 +741,29 @@ pub fn ingest_online(input: &InputVideo, speedup: f64) -> Result<usize> {
     let mut tx = RtpPacketizer::new(input.name.len() as u32 + 1, 1400);
     let mut rx = RtpDepacketizer::new(input.name.len() as u32 + 1);
     let mut bytes = 0usize;
+    // Packets produced by the sender — the depacketizer needs the
+    // final sequence number to account for tail loss exactly.
+    let mut produced: u64 = 0;
     for i in 0..n {
         pacer.wait_for_frame(i as u64);
         let sample = input.container.sample(track, i)?;
         for pkt in tx.packetize(sample, (i as u32).wrapping_mul(3000)) {
+            produced += 1;
+            // A dropped packet vanishes on the wire; the jitter buffer
+            // discovers the gap and skips past it.
+            if let Some(inj) = vr_base::fault::global() {
+                if inj.drop_rtp_packet() {
+                    continue;
+                }
+            }
             for frame in rx.push(&pkt)? {
                 bytes += frame.len();
             }
         }
     }
+    for frame in rx.finish(produced as u16) {
+        bytes += frame.len();
+    }
+    vr_base::fault::note_skipped_packets(rx.skipped());
     Ok(bytes)
 }

@@ -8,6 +8,7 @@
 //! datanode failure, and replica failover on read.
 
 use std::collections::HashMap;
+use vr_base::fault::{self, IoOp};
 use vr_base::sync::RwLock;
 use vr_base::{Error, Result};
 
@@ -109,8 +110,21 @@ impl MiniDfs {
         Ok(())
     }
 
-    /// Read a file back, failing over dead replicas.
+    /// Read a file back, failing over dead replicas. Transient I/O
+    /// failures (injected or real) are retried with bounded, seeded
+    /// backoff before the error surfaces.
     pub fn get(&self, name: &str) -> Result<Vec<u8>> {
+        fault::with_retry("dfs.get", || {
+            if let Some(inj) = fault::global() {
+                if let Some(e) = inj.io_fail(IoOp::Read) {
+                    return Err(e);
+                }
+            }
+            self.get_inner(name)
+        })
+    }
+
+    fn get_inner(&self, name: &str) -> Result<Vec<u8>> {
         let nn = self.name.read();
         let blocks = nn
             .files

@@ -6,6 +6,7 @@
 //! can never escape the store root.
 
 use std::path::{Path, PathBuf};
+use vr_base::fault::{self, IoOp};
 use vr_base::{Error, Result};
 
 /// A flat-file store rooted at a directory.
@@ -47,25 +48,42 @@ impl FlatStore {
         Ok(self.root.join(name))
     }
 
-    /// Write (create or replace) a file.
+    /// Write (create or replace) a file. Transient I/O failures
+    /// (injected or real) are retried with bounded, seeded backoff.
     pub fn put(&self, name: &str, data: &[u8]) -> Result<()> {
         let path = self.path_of(name)?;
         if let Some(parent) = path.parent() {
             std::fs::create_dir_all(parent)?;
         }
-        std::fs::write(path, data)?;
-        Ok(())
+        fault::with_retry("flat.put", || {
+            if let Some(inj) = fault::global() {
+                if let Some(e) = inj.io_fail(IoOp::Write) {
+                    return Err(e);
+                }
+            }
+            std::fs::write(&path, data)?;
+            Ok(())
+        })
     }
 
-    /// Read a whole file.
+    /// Read a whole file. Transient I/O failures (injected or real)
+    /// are retried with bounded, seeded backoff; a missing file is
+    /// [`Error::NotFound`] immediately (retrying cannot help).
     pub fn get(&self, name: &str) -> Result<Vec<u8>> {
         let path = self.path_of(name)?;
-        std::fs::read(&path).map_err(|e| {
-            if e.kind() == std::io::ErrorKind::NotFound {
-                Error::NotFound(format!("{name} in {}", self.root.display()))
-            } else {
-                Error::Io(e)
+        fault::with_retry("flat.get", || {
+            if let Some(inj) = fault::global() {
+                if let Some(e) = inj.io_fail(IoOp::Read) {
+                    return Err(e);
+                }
             }
+            std::fs::read(&path).map_err(|e| {
+                if e.kind() == std::io::ErrorKind::NotFound {
+                    Error::NotFound(format!("{name} in {}", self.root.display()))
+                } else {
+                    Error::Io(e)
+                }
+            })
         })
     }
 

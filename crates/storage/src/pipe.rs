@@ -8,6 +8,7 @@
 //! empty) without requiring OS-specific mkfifo.
 
 use std::collections::HashMap;
+use vr_base::fault::{self, IoOp};
 use vr_base::sync::{channel, Mutex, Receiver, Sender};
 use vr_base::{Error, Result};
 
@@ -23,11 +24,28 @@ pub struct PipeReader {
 
 impl PipeWriter {
     /// Write one message, blocking while the pipe is full. Fails when
-    /// the reader is gone.
+    /// the reader is gone; transient (injected) write faults are
+    /// retried with bounded, seeded backoff.
     pub fn write(&self, data: Vec<u8>) -> Result<()> {
-        self.tx
-            .send(data)
-            .map_err(|_| Error::Io(std::io::Error::new(std::io::ErrorKind::BrokenPipe, "reader closed")))
+        let mut data = Some(data);
+        fault::with_retry("pipe.write", || {
+            if let Some(inj) = fault::global() {
+                if let Some(e) = inj.io_fail(IoOp::Write) {
+                    return Err(e);
+                }
+            }
+            let payload = data.take().expect("payload consumed only by a successful send");
+            match self.tx.send(payload) {
+                Ok(()) => Ok(()),
+                Err(vr_base::sync::SendError(payload)) => {
+                    data = Some(payload);
+                    Err(Error::Io(std::io::Error::new(
+                        std::io::ErrorKind::BrokenPipe,
+                        "reader closed",
+                    )))
+                }
+            }
+        })
     }
 }
 

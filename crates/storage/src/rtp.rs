@@ -105,7 +105,19 @@ impl RtpPacketizer {
     }
 }
 
+/// Default bound on out-of-order packets held while waiting for a gap
+/// to fill; beyond it the depacketizer declares the gap a loss and
+/// skips ahead.
+pub const DEFAULT_JITTER_CAPACITY: usize = 64;
+
 /// Reorders packets and reassembles frames.
+///
+/// The jitter buffer is **bounded**: a gap that stays unfilled while
+/// more than the capacity of later packets pile up is declared lost.
+/// The depacketizer then skips to the nearest buffered sequence
+/// number, discards any frame left incomplete by the gap, and counts
+/// every skipped packet in [`skipped`](Self::skipped) — a lost packet
+/// degrades one frame instead of stalling reassembly forever.
 pub struct RtpDepacketizer {
     expected_ssrc: u32,
     /// Out-of-order packets keyed by sequence distance from `next`.
@@ -113,6 +125,13 @@ pub struct RtpDepacketizer {
     next_seq: u16,
     /// Payload fragments of the in-progress frame.
     current: Vec<u8>,
+    /// Bound on `buffer` before a gap is declared lost.
+    capacity: usize,
+    /// After a gap skip, drop fragments until the next frame boundary
+    /// (a truncated frame must not be emitted as if whole).
+    discard_until_marker: bool,
+    /// Total packets declared lost and skipped over.
+    skipped: u64,
 }
 
 impl RtpDepacketizer {
@@ -132,11 +151,21 @@ impl RtpDepacketizer {
             buffer: BTreeMap::new(),
             next_seq: seq,
             current: Vec::new(),
+            capacity: DEFAULT_JITTER_CAPACITY,
+            discard_until_marker: false,
+            skipped: 0,
         }
     }
 
+    /// Override the jitter-buffer bound (tests; `cap >= 1`).
+    pub fn with_capacity(mut self, cap: usize) -> Self {
+        self.capacity = cap.max(1);
+        self
+    }
+
     /// Feed one packet (possibly out of order); returns any frames
-    /// completed by it, in order.
+    /// completed by it, in order. Frames truncated by a declared
+    /// packet loss are dropped, never emitted partially.
     pub fn push(&mut self, packet: &[u8]) -> Result<Vec<Vec<u8>>> {
         let header = RtpHeader::parse(packet)?;
         if header.ssrc != self.expected_ssrc {
@@ -145,23 +174,92 @@ impl RtpDepacketizer {
                 header.ssrc, self.expected_ssrc
             )));
         }
+        // Ignore stale (already consumed or skipped) sequence numbers:
+        // wrapping distance >= 2^15 means the packet is behind us.
+        if header.sequence.wrapping_sub(self.next_seq) >= 0x8000 {
+            return Ok(Vec::new());
+        }
         let payload = packet[HEADER_LEN..].to_vec();
         self.buffer.insert(header.sequence, (header, payload));
-        // Drain in-order packets.
         let mut frames = Vec::new();
+        self.drain_ready(&mut frames);
+        // A gap that outlives the jitter window is a loss: skip it.
+        while self.buffer.len() > self.capacity {
+            self.skip_gap();
+            self.drain_ready(&mut frames);
+        }
+        Ok(frames)
+    }
+
+    /// Pull consecutive packets out of the reorder buffer.
+    fn drain_ready(&mut self, frames: &mut Vec<Vec<u8>>) {
         while let Some((header, payload)) = self.buffer.remove(&self.next_seq) {
-            self.current.extend_from_slice(&payload);
-            if header.marker {
-                frames.push(std::mem::take(&mut self.current));
+            if self.discard_until_marker {
+                if header.marker {
+                    self.discard_until_marker = false;
+                    self.current.clear();
+                }
+            } else {
+                self.current.extend_from_slice(&payload);
+                if header.marker {
+                    frames.push(std::mem::take(&mut self.current));
+                }
             }
             self.next_seq = self.next_seq.wrapping_add(1);
         }
-        Ok(frames)
+    }
+
+    /// Declare the gap in front of `next_seq` lost: jump to the
+    /// nearest buffered sequence number and arrange for the frame the
+    /// gap tore to be discarded at its boundary.
+    fn skip_gap(&mut self) {
+        let Some(seq) = self.buffer.keys().copied().min_by_key(|s| s.wrapping_sub(self.next_seq))
+        else {
+            return;
+        };
+        let dist = seq.wrapping_sub(self.next_seq) as u64;
+        if dist == 0 {
+            return;
+        }
+        self.skipped += dist;
+        self.next_seq = seq;
+        // The in-progress frame (and the one the skipped packets
+        // belonged to) is torn; drop fragments until a frame boundary.
+        self.current.clear();
+        self.discard_until_marker = true;
+    }
+
+    /// End of stream: the sender produced packets up to (excluding)
+    /// `end_seq`. Flushes everything still reorderable, declares any
+    /// remaining gaps lost, and returns the frames recovered. After
+    /// this, [`skipped`](Self::skipped) is the exact count of packets
+    /// that never arrived.
+    pub fn finish(&mut self, end_seq: u16) -> Vec<Vec<u8>> {
+        let mut frames = Vec::new();
+        self.drain_ready(&mut frames);
+        while !self.buffer.is_empty() {
+            self.skip_gap();
+            self.drain_ready(&mut frames);
+        }
+        // Tail packets that never arrived.
+        let tail = end_seq.wrapping_sub(self.next_seq) as u64;
+        if tail > 0 && tail < 0x8000 {
+            self.skipped += tail;
+            self.next_seq = end_seq;
+            self.current.clear();
+            self.discard_until_marker = false;
+        }
+        frames
     }
 
     /// Packets waiting for a gap to fill.
     pub fn pending(&self) -> usize {
         self.buffer.len()
+    }
+
+    /// Total packets declared lost and skipped over so far.
+    pub fn skipped(&self) -> u64 {
+        self.skipped
     }
 }
 
@@ -242,6 +340,79 @@ mod tests {
         let mut bad = pkts[0].clone();
         bad[0] = 0;
         assert!(RtpHeader::parse(&bad).is_err());
+    }
+
+    #[test]
+    fn bounded_buffer_skips_lost_packet_and_counts_it() {
+        let mut tx = RtpPacketizer::new(5, 24); // 12-byte payloads
+        let mut rx = RtpDepacketizer::new(5).with_capacity(4);
+        // Three frames of 3 packets each; drop the middle packet of
+        // frame 1 (seq 4).
+        let frames: Vec<Vec<u8>> = (0..3).map(|f| vec![f as u8; 30]).collect();
+        let mut got = Vec::new();
+        let mut end_seq = 0u16;
+        for (fi, frame) in frames.iter().enumerate() {
+            for (pi, p) in tx.packetize(frame, fi as u32).into_iter().enumerate() {
+                end_seq = end_seq.wrapping_add(1);
+                if fi == 1 && pi == 1 {
+                    continue; // lost on the wire
+                }
+                got.extend(rx.push(&p).unwrap());
+            }
+        }
+        got.extend(rx.finish(end_seq));
+        // Frames 0 and 2 recovered whole; torn frame 1 never emitted.
+        assert_eq!(got, vec![frames[0].clone(), frames[2].clone()]);
+        assert_eq!(rx.skipped(), 1);
+        assert_eq!(rx.pending(), 0);
+    }
+
+    #[test]
+    fn finish_accounts_tail_loss_exactly() {
+        let mut tx = RtpPacketizer::new(6, 24);
+        let mut rx = RtpDepacketizer::new(6);
+        let frame = vec![7u8; 30]; // 3 packets
+        let pkts = tx.packetize(&frame, 0);
+        assert_eq!(pkts.len(), 3);
+        // Deliver only the first packet; the rest are lost.
+        let out = rx.push(&pkts[0]).unwrap();
+        assert!(out.is_empty());
+        let out = rx.finish(3);
+        assert!(out.is_empty(), "torn frame must not surface");
+        assert_eq!(rx.skipped(), 2);
+        // A clean stream reports zero loss through finish.
+        let mut rx = RtpDepacketizer::new(6);
+        let mut got = Vec::new();
+        for p in &pkts {
+            // Re-packetize under the same ssrc/sequence numbering.
+            got.extend(rx.push(p).unwrap());
+        }
+        got.extend(rx.finish(3));
+        assert_eq!(got, vec![frame]);
+        assert_eq!(rx.skipped(), 0);
+    }
+
+    #[test]
+    fn stale_packets_are_ignored_after_a_skip() {
+        let mut tx = RtpPacketizer::new(8, 24);
+        let mut rx = RtpDepacketizer::new(8).with_capacity(2);
+        let a = vec![1u8; 30];
+        let b = vec![2u8; 30];
+        let pkts_a = tx.packetize(&a, 0);
+        let pkts_b = tx.packetize(&b, 1);
+        // Drop all of frame A except its last packet; push frame B so
+        // the bounded buffer forces a skip past the gap.
+        let mut got = Vec::new();
+        got.extend(rx.push(&pkts_a[2]).unwrap());
+        for p in &pkts_b {
+            got.extend(rx.push(p).unwrap());
+        }
+        got.extend(rx.finish(6));
+        assert_eq!(got, vec![b]);
+        assert_eq!(rx.skipped(), 2, "the two missing packets of frame A");
+        // A very late duplicate of an already-skipped packet is inert.
+        assert!(rx.push(&pkts_a[0]).unwrap().is_empty());
+        assert_eq!(rx.pending(), 0);
     }
 
     #[test]

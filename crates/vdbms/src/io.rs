@@ -147,7 +147,24 @@ pub struct ExecContext {
     /// kernels; `1` forces every policy down its sequential path.
     /// Defaults to `VR_WORKERS` / the machine's parallelism.
     pub workers: usize,
+    /// Label of the running query ("q4", ...) — the fault injector
+    /// targets `panic_kernel` specs against it.
+    pub query_label: String,
+    /// Cooperative cancellation: the scheduler arms this with the
+    /// instance deadline; operators poll it per frame and unwind with
+    /// [`Error::Cancelled`](vr_base::Error::Cancelled).
+    pub cancel: vr_base::sync::CancelToken,
+    /// Watchdog bound on a single inter-stage channel wait. A stage
+    /// stalled past this is reported as a typed
+    /// [`Error::StagePanic`](vr_base::Error::StagePanic) instead of
+    /// hanging the query. `None` waits forever (single-threaded-safe
+    /// default for tests that run stages inline).
+    pub stage_timeout: Option<std::time::Duration>,
 }
+
+/// Default watchdog bound: generous enough that only a genuine hang
+/// (or an injected stall far beyond it) trips, never a slow machine.
+pub const DEFAULT_STAGE_TIMEOUT: std::time::Duration = std::time::Duration::from_secs(60);
 
 impl Default for ExecContext {
     fn default() -> Self {
@@ -156,6 +173,9 @@ impl Default for ExecContext {
             output_qp: 10,
             metrics: Arc::new(crate::pipeline::PipelineMetrics::default()),
             workers: vr_base::sync::worker_budget(),
+            query_label: String::new(),
+            cancel: vr_base::sync::CancelToken::new(),
+            stage_timeout: Some(DEFAULT_STAGE_TIMEOUT),
         }
     }
 }

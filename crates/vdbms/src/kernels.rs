@@ -9,8 +9,11 @@
 //! path, which doubles as the reference implementation.
 
 use crate::io::{InputVideo, OutputBox};
-use vr_base::{Error, Result};
-use vr_codec::{encode_sequence, Decoder, EncodedVideo, EncoderConfig, RateControlMode, VideoInfo};
+use vr_base::{fault, Error, Result};
+use vr_codec::{
+    encode_sequence, DecodeOutcome, Decoder, EncodedVideo, EncoderConfig, RateControlMode,
+    ResilientDecoder, VideoInfo,
+};
 use vr_container::TrackKind;
 use vr_frame::tile::TileGrid;
 use vr_frame::{draw, ops, Frame, Yuv};
@@ -19,6 +22,65 @@ use vr_scene::ObjectClass;
 use vr_vision::Detection;
 use vr_vtt::WebVtt;
 
+/// The shared sample→frame decode step, switching between the fast
+/// path (zero-copy decode, any error propagates) and the resilient
+/// path used while a fault plan is active (corruption injection, CRC
+/// skip-and-conceal at the demuxer boundary, decoder resync at the
+/// next keyframe). Every engine decode route goes through this, so
+/// injected faults surface the same way everywhere and the fast path
+/// stays bit-identical when faults are off.
+pub enum SampleDecoder {
+    /// No fault plan installed: plain decode.
+    Fast(Decoder),
+    /// Fault plan active: conceal instead of fail.
+    Resilient(ResilientDecoder),
+}
+
+impl SampleDecoder {
+    /// Pick the path for this run (sticky for the decoder's lifetime).
+    pub fn new(info: VideoInfo) -> Self {
+        if fault::active() {
+            SampleDecoder::Resilient(ResilientDecoder::new(info))
+        } else {
+            SampleDecoder::Fast(Decoder::new(info))
+        }
+    }
+
+    /// Decode sample `index` of `track`.
+    pub fn decode_sample(
+        &mut self,
+        input: &InputVideo,
+        track: usize,
+        index: usize,
+    ) -> Result<Frame> {
+        match self {
+            SampleDecoder::Fast(dec) => dec.decode(input.container.sample(track, index)?),
+            SampleDecoder::Resilient(dec) => {
+                let sinfo = input.container.tracks()[track].samples[index];
+                let sample = input.container.sample(track, index)?;
+                let mut owned = sample.to_vec();
+                if let Some(inj) = fault::global() {
+                    inj.corrupt_sample(&mut owned);
+                }
+                // Demuxer integrity check: a payload that fails its
+                // index CRC is skipped (never fed to the decoder) and
+                // the frame concealed to keep cadence.
+                if vr_bitstream::crc32(&owned) != sinfo.crc {
+                    fault::note_skipped_sample();
+                    let frame = dec.conceal_missing();
+                    fault::note_concealed(1);
+                    return Ok(frame);
+                }
+                let (frame, outcome) = dec.decode(&owned, sinfo.keyframe);
+                if outcome == DecodeOutcome::Concealed {
+                    fault::note_concealed(1);
+                }
+                Ok(frame)
+            }
+        }
+    }
+}
+
 /// Decode every frame of an input's video track.
 pub fn decode_all(input: &InputVideo) -> Result<(VideoInfo, Vec<Frame>)> {
     let info = input.video_info()?;
@@ -26,11 +88,11 @@ pub fn decode_all(input: &InputVideo) -> Result<(VideoInfo, Vec<Frame>)> {
         .container
         .track_of_kind(TrackKind::Video)
         .ok_or_else(|| Error::NotFound(format!("video track in {}", input.name)))?;
-    let mut dec = Decoder::new(info);
+    let mut dec = SampleDecoder::new(info);
     let n = input.container.tracks()[track].samples.len();
     let mut frames = Vec::with_capacity(n);
     for i in 0..n {
-        frames.push(dec.decode(input.container.sample(track, i)?)?);
+        frames.push(dec.decode_sample(input, track, i)?);
     }
     Ok((info, frames))
 }
@@ -72,10 +134,10 @@ pub fn decode_all_parallel(
         .collect();
     vr_base::sync::parallel_chunks(&mut parts, chunks, |c, part| {
         let (from, to) = bounds[c];
-        let mut dec = Decoder::new(info);
+        let mut dec = SampleDecoder::new(info);
         let mut out = Vec::with_capacity(to - from);
         for i in from..to {
-            match input.container.sample(track, i).and_then(|s| dec.decode(s)) {
+            match dec.decode_sample(input, track, i) {
                 Ok(f) => out.push(f),
                 Err(e) => {
                     *part = Err(e);
@@ -116,10 +178,10 @@ pub fn decode_range(
     let from = from.min(to);
     // Seek: the last keyframe at or before `from`.
     let seek = (0..=from).rev().find(|&i| samples[i].keyframe).unwrap_or(0);
-    let mut dec = Decoder::new(info);
+    let mut dec = SampleDecoder::new(info);
     let mut out = Vec::with_capacity(to - from + 1);
     for i in seek..=to {
-        let frame = dec.decode(input.container.sample(track, i)?)?;
+        let frame = dec.decode_sample(input, track, i)?;
         if i >= from {
             out.push(frame);
         }
@@ -132,7 +194,8 @@ pub fn decode_range(
 pub struct FrameStream<'a> {
     input: &'a InputVideo,
     track: usize,
-    decoder: Decoder,
+    info: VideoInfo,
+    decoder: SampleDecoder,
     next: usize,
     len: usize,
 }
@@ -146,12 +209,12 @@ impl<'a> FrameStream<'a> {
             .track_of_kind(TrackKind::Video)
             .ok_or_else(|| Error::NotFound(format!("video track in {}", input.name)))?;
         let len = input.container.tracks()[track].samples.len();
-        Ok(Self { input, track, decoder: Decoder::new(info), next: 0, len })
+        Ok(Self { input, track, info, decoder: SampleDecoder::new(info), next: 0, len })
     }
 
     /// Stream parameters.
     pub fn info(&self) -> VideoInfo {
-        self.decoder.info()
+        self.info
     }
 
     /// Total frame count.
@@ -169,12 +232,9 @@ impl<'a> FrameStream<'a> {
         if self.next >= self.len {
             return None;
         }
-        let sample = match self.input.container.sample(self.track, self.next) {
-            Ok(s) => s,
-            Err(e) => return Some(Err(e)),
-        };
+        let i = self.next;
         self.next += 1;
-        Some(self.decoder.decode(sample))
+        Some(self.decoder.decode_sample(self.input, self.track, i))
     }
 }
 

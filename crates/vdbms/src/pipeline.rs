@@ -26,14 +26,16 @@
 //! per-stage breakdown.
 
 use crate::io::{ExecContext, InputVideo, OutputBox, QueryOutput};
-use crate::kernels::{boxes_frame, filter_class, FrameStream};
+use crate::kernels::{boxes_frame, filter_class, FrameStream, SampleDecoder};
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
-use vr_base::sync::{channel, parallel_chunks, SendError, Sender, TrySendError};
-use vr_base::{Error, Result};
-use vr_codec::{Decoder, EncodedVideo, Encoder, EncoderConfig, RateControlMode, VideoInfo};
+use std::time::{Duration, Instant};
+use vr_base::sync::{
+    channel, parallel_chunks, Receiver, RecvTimeoutError, SendError, Sender, TrySendError,
+};
+use vr_base::{fault, Error, Result};
+use vr_codec::{EncodedVideo, Encoder, EncoderConfig, RateControlMode, VideoInfo};
 use vr_container::TrackKind;
 use vr_frame::Frame;
 use vr_scene::ObjectClass;
@@ -259,7 +261,8 @@ impl FrameSource for StreamScan<'_> {
 pub struct RangeScan<'a> {
     input: &'a InputVideo,
     track: usize,
-    decoder: Decoder,
+    info: VideoInfo,
+    decoder: SampleDecoder,
     next: usize,
     from: usize,
     to: usize,
@@ -288,13 +291,22 @@ impl<'a> RangeScan<'a> {
         let to = to.min(samples.len() - 1);
         let from = from.min(to);
         let seek = (0..=from).rev().find(|&i| samples[i].keyframe).unwrap_or(0);
-        Ok(Self { input, track, decoder: Decoder::new(info), next: seek, from, to, metrics })
+        Ok(Self {
+            input,
+            track,
+            info,
+            decoder: SampleDecoder::new(info),
+            next: seek,
+            from,
+            to,
+            metrics,
+        })
     }
 }
 
 impl FrameSource for RangeScan<'_> {
     fn info(&self) -> VideoInfo {
-        self.decoder.info()
+        self.info
     }
 
     fn len(&self) -> usize {
@@ -306,11 +318,7 @@ impl FrameSource for RangeScan<'_> {
             let t0 = Instant::now();
             let i = self.next;
             self.next += 1;
-            let frame = self
-                .input
-                .container
-                .sample(self.track, i)
-                .and_then(|s| self.decoder.decode(s));
+            let frame = self.decoder.decode_sample(self.input, self.track, i);
             match frame {
                 Ok(f) => {
                     self.metrics.record(
@@ -519,21 +527,24 @@ impl TemporalMaskKernel {
         }
     }
 
-    fn background(&self) -> Frame {
-        let front = self.window.front().expect("window is non-empty");
+    fn background(&self) -> Option<Frame> {
+        let front = self.window.front()?;
         let mut bg = Frame::new(front.width(), front.height());
         let m = self.m as u32;
         for (b, &s) in bg.y.iter_mut().zip(&self.sum) {
             *b = ((s + m / 2) / m) as u8;
         }
-        bg
+        Some(bg)
     }
 
-    fn emit(&mut self, idx: usize, out: &mut Vec<KernelOut>) {
-        let bg = self.background();
+    fn emit(&mut self, idx: usize, out: &mut Vec<KernelOut>) -> Result<()> {
+        let bg = self
+            .background()
+            .ok_or_else(|| Error::InvalidConfig("temporal mask window is empty".into()))?;
         let masked = vr_frame::ops::background_mask(&self.window[idx], &bg, self.epsilon);
         out.push(KernelOut::from(masked));
         self.emitted += 1;
+        Ok(())
     }
 }
 
@@ -543,10 +554,11 @@ impl FrameKernel for TemporalMaskKernel {
             // Window [emitted, emitted + m) is complete and a new
             // frame arrived: mask frame `emitted` against the current
             // mean, then slide the window forward.
-            self.emit(0, out);
-            let old = self.window.pop_front().expect("window is non-empty");
-            for (s, &p) in self.sum.iter_mut().zip(&old.y) {
-                *s -= p as u32;
+            self.emit(0, out)?;
+            if let Some(old) = self.window.pop_front() {
+                for (s, &p) in self.sum.iter_mut().zip(&old.y) {
+                    *s -= p as u32;
+                }
             }
         }
         if self.sum.is_empty() {
@@ -564,7 +576,7 @@ impl FrameKernel for TemporalMaskKernel {
         // frames; walk the remaining indices through it.
         while self.emitted < self.total {
             let idx = (self.emitted + self.m).saturating_sub(self.total);
-            self.emit(idx.min(self.window.len().saturating_sub(1)), out);
+            self.emit(idx.min(self.window.len().saturating_sub(1)), out)?;
         }
         Ok(())
     }
@@ -632,6 +644,46 @@ fn send_stage<T>(tx: &Sender<T>, value: T, metrics: &PipelineMetrics) -> Result<
     }
 }
 
+/// Human-readable panic payload.
+fn panic_payload(p: Box<dyn std::any::Any + Send>) -> String {
+    match p.downcast_ref::<&str>() {
+        Some(s) => (*s).to_string(),
+        None => match p.downcast_ref::<String>() {
+            Some(s) => s.clone(),
+            None => "opaque panic payload".into(),
+        },
+    }
+}
+
+/// Contain a panic at a stage boundary: a panicking stage (injected or
+/// organic) degrades into a typed [`Error::StagePanic`] instead of
+/// unwinding through the executor and poisoning its channels.
+fn contain_panic<T>(f: impl FnOnce() -> Result<T>) -> Result<T> {
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(f)) {
+        Ok(r) => r,
+        Err(p) => {
+            fault::note_stage_panic();
+            Err(Error::StagePanic(panic_payload(p)))
+        }
+    }
+}
+
+/// Receive on a stage boundary under the watchdog: `Ok(None)` is a
+/// clean hang-up, a wait past `timeout` means the upstream stage is
+/// stalled or dead and becomes a typed error instead of a hang.
+fn recv_guarded<T>(rx: &Receiver<T>, timeout: Option<Duration>) -> Result<Option<T>> {
+    match timeout {
+        None => Ok(rx.recv().ok()),
+        Some(t) => match rx.recv_timeout(t) {
+            Ok(v) => Ok(Some(v)),
+            Err(RecvTimeoutError::Disconnected) => Ok(None),
+            Err(RecvTimeoutError::Timeout) => Err(Error::StagePanic(format!(
+                "upstream pipeline stage stalled past {t:?}"
+            ))),
+        },
+    }
+}
+
 /// Producer-side message of the multi-source pipelined scan.
 enum MultiMsg {
     Frame(Result<Frame>),
@@ -658,6 +710,7 @@ impl<'c> Pipeline<'c> {
 
     /// Open a streaming scan over a whole input.
     pub fn stream_scan<'a>(&self, input: &'a InputVideo) -> Result<StreamScan<'a>> {
+        self.absorb_stall("decode");
         Ok(StreamScan { stream: FrameStream::open(input)?, metrics: self.ctx.metrics.clone() })
     }
 
@@ -668,6 +721,7 @@ impl<'c> Pipeline<'c> {
         from: usize,
         to: usize,
     ) -> Result<RangeScan<'a>> {
+        self.absorb_stall("decode");
         RangeScan::open(input, from, to, self.ctx.metrics.clone())
     }
 
@@ -678,6 +732,7 @@ impl<'c> Pipeline<'c> {
         frames: Arc<Vec<Frame>>,
         range: std::ops::Range<usize>,
     ) -> MemoryScan {
+        self.absorb_stall("scan");
         MemoryScan::new(info, frames, range, self.ctx.metrics.clone())
     }
 
@@ -694,6 +749,7 @@ impl<'c> Pipeline<'c> {
         source: &mut dyn FrameSource,
         kernel: &mut dyn FrameKernel,
     ) -> Result<StreamResult> {
+        self.absorb_stall("kernel");
         if self.ctx.workers <= 1 {
             return self.run_streaming_seq(source, kernel);
         }
@@ -702,9 +758,10 @@ impl<'c> Pipeline<'c> {
             let (ftx, frx) = channel::<Result<Frame>>(PIPE_DEPTH);
             let (ktx, krx) = channel::<KernelOut>(PIPE_DEPTH);
             let metrics = Arc::clone(&self.ctx.metrics);
+            let cancel = self.ctx.cancel.clone();
             scope.spawn(move || {
                 while let Some(frame) = source.next_frame() {
-                    let stop = frame.is_err();
+                    let stop = frame.is_err() || cancel.cancelled();
                     if send_stage(&ftx, frame, &metrics).is_err() || stop {
                         break;
                     }
@@ -712,7 +769,7 @@ impl<'c> Pipeline<'c> {
             });
             let encoder = scope.spawn(move || {
                 let mut sink = EncodeStage::new(self, info);
-                while let Ok(ko) = krx.recv() {
+                while let Some(ko) = recv_guarded(&krx, self.ctx.stage_timeout)? {
                     sink.consume(ko)?;
                 }
                 sink.into_result()
@@ -721,15 +778,17 @@ impl<'c> Pipeline<'c> {
             let mut result = Ok(());
             let mut buf = Vec::new();
             let mut index = 0usize;
-            'stream: while let Ok(frame) = frx.recv() {
-                let frame = match frame {
-                    Ok(f) => f,
-                    Err(e) => {
+            'stream: loop {
+                let frame = match recv_guarded(&frx, self.ctx.stage_timeout) {
+                    Ok(Some(Ok(f))) => f,
+                    Ok(Some(Err(e))) | Err(e) => {
                         result = Err(e);
                         break;
                     }
+                    Ok(None) => break,
                 };
-                if let Err(e) = self.kernel_span(1, || kernel.push(frame, index, &mut buf)) {
+                if let Err(e) = self.kernel_stage(1, index, || kernel.push(frame, index, &mut buf))
+                {
                     result = Err(e);
                     break;
                 }
@@ -743,7 +802,7 @@ impl<'c> Pipeline<'c> {
                 }
             }
             if result.is_ok() {
-                match self.kernel_span(0, || kernel.finish(&mut buf)) {
+                match self.kernel_stage(0, index, || kernel.finish(&mut buf)) {
                     Ok(()) => {
                         for ko in buf.drain(..) {
                             if send_stage(&ktx, ko, &self.ctx.metrics).is_err() {
@@ -758,7 +817,13 @@ impl<'c> Pipeline<'c> {
             // the encoder drains what it has and returns.
             drop(frx);
             drop(ktx);
-            let encoded = encoder.join().expect("encode stage panicked");
+            let encoded = match encoder.join() {
+                Ok(r) => r,
+                Err(p) => {
+                    fault::note_stage_panic();
+                    Err(Error::StagePanic(panic_payload(p)))
+                }
+            };
             result.and(encoded)
         })
     }
@@ -774,13 +839,13 @@ impl<'c> Pipeline<'c> {
         let mut index = 0usize;
         while let Some(frame) = source.next_frame() {
             let frame = frame?;
-            self.kernel_span(1, || kernel.push(frame, index, &mut buf))?;
+            self.kernel_stage(1, index, || kernel.push(frame, index, &mut buf))?;
             index += 1;
             for ko in buf.drain(..) {
                 sink.consume(ko)?;
             }
         }
-        self.kernel_span(0, || kernel.finish(&mut buf))?;
+        self.kernel_stage(0, index, || kernel.finish(&mut buf))?;
         for ko in buf.drain(..) {
             sink.consume(ko)?;
         }
@@ -801,6 +866,7 @@ impl<'c> Pipeline<'c> {
             .first()
             .map(|s| s.info())
             .ok_or_else(|| Error::InvalidConfig("multi-scan needs at least one source".into()))?;
+        self.absorb_stall("kernel");
         if self.ctx.workers <= 1 {
             return self.run_streaming_multi_seq(sources, kernel, info);
         }
@@ -808,10 +874,11 @@ impl<'c> Pipeline<'c> {
             let (ftx, frx) = channel::<MultiMsg>(PIPE_DEPTH);
             let (ktx, krx) = channel::<KernelOut>(PIPE_DEPTH);
             let metrics = Arc::clone(&self.ctx.metrics);
+            let cancel = self.ctx.cancel.clone();
             scope.spawn(move || {
                 'producer: for source in sources.iter_mut() {
                     while let Some(frame) = source.next_frame() {
-                        let stop = frame.is_err();
+                        let stop = frame.is_err() || cancel.cancelled();
                         if send_stage(&ftx, MultiMsg::Frame(frame), &metrics).is_err() || stop {
                             break 'producer;
                         }
@@ -823,7 +890,7 @@ impl<'c> Pipeline<'c> {
             });
             let encoder = scope.spawn(move || {
                 let mut sink = EncodeStage::new(self, info);
-                while let Ok(ko) = krx.recv() {
+                while let Some(ko) = recv_guarded(&krx, self.ctx.stage_timeout)? {
                     sink.consume(ko)?;
                 }
                 sink.into_result()
@@ -832,17 +899,26 @@ impl<'c> Pipeline<'c> {
             let mut result = Ok(());
             let mut buf = Vec::new();
             let mut index = 0usize;
-            'stream: while let Ok(msg) = frx.recv() {
+            'stream: loop {
+                let msg = match recv_guarded(&frx, self.ctx.stage_timeout) {
+                    Ok(Some(m)) => m,
+                    Ok(None) => break,
+                    Err(e) => {
+                        result = Err(e);
+                        break;
+                    }
+                };
                 let kerneled = match msg {
                     MultiMsg::Frame(Ok(frame)) => {
-                        let r = self.kernel_span(1, || kernel.push(frame, index, &mut buf));
+                        let r =
+                            self.kernel_stage(1, index, || kernel.push(frame, index, &mut buf));
                         index += 1;
                         r
                     }
                     MultiMsg::Frame(Err(e)) => Err(e),
                     MultiMsg::EndOfSource => {
                         index = 0;
-                        self.kernel_span(0, || kernel.end_of_source(&mut buf))
+                        self.kernel_stage(0, index, || kernel.end_of_source(&mut buf))
                     }
                 };
                 if let Err(e) = kerneled {
@@ -856,7 +932,7 @@ impl<'c> Pipeline<'c> {
                 }
             }
             if result.is_ok() {
-                match self.kernel_span(0, || kernel.finish(&mut buf)) {
+                match self.kernel_stage(0, index, || kernel.finish(&mut buf)) {
                     Ok(()) => {
                         for ko in buf.drain(..) {
                             if send_stage(&ktx, ko, &self.ctx.metrics).is_err() {
@@ -869,7 +945,13 @@ impl<'c> Pipeline<'c> {
             }
             drop(frx);
             drop(ktx);
-            let encoded = encoder.join().expect("encode stage panicked");
+            let encoded = match encoder.join() {
+                Ok(r) => r,
+                Err(p) => {
+                    fault::note_stage_panic();
+                    Err(Error::StagePanic(panic_payload(p)))
+                }
+            };
             result.and(encoded)
         })
     }
@@ -887,18 +969,18 @@ impl<'c> Pipeline<'c> {
             let mut index = 0usize;
             while let Some(frame) = source.next_frame() {
                 let frame = frame?;
-                self.kernel_span(1, || kernel.push(frame, index, &mut buf))?;
+                self.kernel_stage(1, index, || kernel.push(frame, index, &mut buf))?;
                 index += 1;
                 for ko in buf.drain(..) {
                     sink.consume(ko)?;
                 }
             }
-            self.kernel_span(0, || kernel.end_of_source(&mut buf))?;
+            self.kernel_stage(0, 0, || kernel.end_of_source(&mut buf))?;
             for ko in buf.drain(..) {
                 sink.consume(ko)?;
             }
         }
-        self.kernel_span(0, || kernel.finish(&mut buf))?;
+        self.kernel_stage(0, 0, || kernel.finish(&mut buf))?;
         for ko in buf.drain(..) {
             sink.consume(ko)?;
         }
@@ -915,13 +997,45 @@ impl<'c> Pipeline<'c> {
         workers: usize,
         kernel: impl Fn(&Frame) -> Frame + Send + Sync,
     ) -> Result<EncodedVideo> {
+        self.absorb_stall("kernel");
         let workers = workers.min(self.ctx.workers).max(1);
         let info = source.info();
         let mut frames = self.drain(source)?;
         let n = frames.len() as u64;
+        // Per-item containment: a worker that panics (injected or
+        // organic) poisons only its own frame; the first error wins.
+        let first_err: vr_base::sync::Mutex<Option<Error>> = vr_base::sync::Mutex::new(None);
         self.kernel_span(n, || {
-            parallel_chunks(&mut frames, workers, |_, f| *f = kernel(f));
+            parallel_chunks(&mut frames, workers, |i, f| {
+                if self.ctx.cancel.cancelled() {
+                    first_err.lock().get_or_insert_with(|| {
+                        Error::Cancelled(format!(
+                            "query {} at frame {i}",
+                            self.ctx.query_label
+                        ))
+                    });
+                    return;
+                }
+                let due = fault::global()
+                    .map(|inj| inj.kernel_panic_due(&self.ctx.query_label, i as u64))
+                    .unwrap_or(false);
+                let r = contain_panic(|| {
+                    if due {
+                        panic!("injected kernel panic (frame {i})");
+                    }
+                    Ok(kernel(f))
+                });
+                match r {
+                    Ok(nf) => *f = nf,
+                    Err(e) => {
+                        first_err.lock().get_or_insert(e);
+                    }
+                }
+            });
         });
+        if let Some(e) = first_err.lock().take() {
+            return Err(e);
+        }
         self.encode_frames(&frames, info)
     }
 
@@ -932,10 +1046,11 @@ impl<'c> Pipeline<'c> {
         source: &mut dyn FrameSource,
         kernel: impl FnOnce(Vec<Frame>, VideoInfo) -> Result<Vec<Frame>>,
     ) -> Result<EncodedVideo> {
+        self.absorb_stall("kernel");
         let info = source.info();
         let frames = self.drain(source)?;
         let n = frames.len() as u64;
-        let out = self.kernel_span(n, || kernel(frames, info))?;
+        let out = self.kernel_stage(n, 0, || kernel(frames, info))?;
         self.encode_frames(&out, info)
     }
 
@@ -952,6 +1067,7 @@ impl<'c> Pipeline<'c> {
         gate: &mut DiffGate,
         kernel: &mut dyn FnMut(Frame, usize, bool) -> Result<KernelOut>,
     ) -> Result<StreamResult> {
+        self.absorb_stall("kernel");
         if self.ctx.workers <= 1 {
             return self.run_short_circuit_seq(source, gate, kernel);
         }
@@ -960,9 +1076,10 @@ impl<'c> Pipeline<'c> {
             let (ftx, frx) = channel::<Result<Frame>>(PIPE_DEPTH);
             let (ktx, krx) = channel::<KernelOut>(PIPE_DEPTH);
             let metrics = Arc::clone(&self.ctx.metrics);
+            let cancel = self.ctx.cancel.clone();
             scope.spawn(move || {
                 while let Some(frame) = source.next_frame() {
-                    let stop = frame.is_err();
+                    let stop = frame.is_err() || cancel.cancelled();
                     if send_stage(&ftx, frame, &metrics).is_err() || stop {
                         break;
                     }
@@ -970,7 +1087,7 @@ impl<'c> Pipeline<'c> {
             });
             let encoder = scope.spawn(move || {
                 let mut sink = EncodeStage::new(self, info);
-                while let Ok(ko) = krx.recv() {
+                while let Some(ko) = recv_guarded(&krx, self.ctx.stage_timeout)? {
                     sink.consume(ko)?;
                 }
                 sink.into_result()
@@ -978,15 +1095,16 @@ impl<'c> Pipeline<'c> {
 
             let mut result = Ok(());
             let mut index = 0usize;
-            while let Ok(frame) = frx.recv() {
-                let frame = match frame {
-                    Ok(f) => f,
-                    Err(e) => {
+            loop {
+                let frame = match recv_guarded(&frx, self.ctx.stage_timeout) {
+                    Ok(Some(Ok(f))) => f,
+                    Ok(Some(Err(e))) | Err(e) => {
                         result = Err(e);
                         break;
                     }
+                    Ok(None) => break,
                 };
-                let ko = self.kernel_span(1, || {
+                let ko = self.kernel_stage(1, index, || {
                     let escalate = gate.escalate(&frame);
                     kernel(frame, index, escalate)
                 });
@@ -1005,7 +1123,13 @@ impl<'c> Pipeline<'c> {
             }
             drop(frx);
             drop(ktx);
-            let encoded = encoder.join().expect("encode stage panicked");
+            let encoded = match encoder.join() {
+                Ok(r) => r,
+                Err(p) => {
+                    fault::note_stage_panic();
+                    Err(Error::StagePanic(panic_payload(p)))
+                }
+            };
             result.and(encoded)
         })
     }
@@ -1021,7 +1145,7 @@ impl<'c> Pipeline<'c> {
         let mut index = 0usize;
         while let Some(frame) = source.next_frame() {
             let frame = frame?;
-            let ko = self.kernel_span(1, || {
+            let ko = self.kernel_stage(1, index, || {
                 let escalate = gate.escalate(&frame);
                 kernel(frame, index, escalate)
             })?;
@@ -1036,6 +1160,7 @@ impl<'c> Pipeline<'c> {
     pub fn drain(&self, source: &mut dyn FrameSource) -> Result<Vec<Frame>> {
         let mut frames = Vec::with_capacity(source.len());
         while let Some(f) = source.next_frame() {
+            self.check_cancelled(frames.len())?;
             frames.push(f?);
         }
         Ok(frames)
@@ -1047,6 +1172,54 @@ impl<'c> Pipeline<'c> {
         let out = f();
         self.ctx.metrics.record(StageKind::Kernel, t0.elapsed().as_nanos() as u64, frames, 0);
         out
+    }
+
+    /// One guarded kernel invocation: cooperative cancellation is
+    /// checked first, an injected kernel panic fires inside the
+    /// containment scope, and any panic (injected or organic) becomes
+    /// a typed error at the stage boundary. Timed as Kernel work.
+    fn kernel_stage<T>(
+        &self,
+        frames: u64,
+        index: usize,
+        f: impl FnOnce() -> Result<T>,
+    ) -> Result<T> {
+        self.check_cancelled(index)?;
+        let due = fault::global()
+            .map(|inj| inj.kernel_panic_due(&self.ctx.query_label, index as u64))
+            .unwrap_or(false);
+        self.kernel_span(frames, || {
+            contain_panic(|| {
+                if due {
+                    panic!("injected kernel panic (frame {index})");
+                }
+                f()
+            })
+        })
+    }
+
+    /// Error out if the context's cancellation token has fired (the
+    /// scheduler arms it with the instance deadline).
+    fn check_cancelled(&self, index: usize) -> Result<()> {
+        if self.ctx.cancel.cancelled() {
+            return Err(Error::Cancelled(format!(
+                "query {} at frame {index}",
+                self.ctx.query_label
+            )));
+        }
+        Ok(())
+    }
+
+    /// Sleep out an injected stall at a named stage entry (the
+    /// watchdog's budget is far above any plan's stall, so an absorbed
+    /// stall degrades latency without tripping anything).
+    fn absorb_stall(&self, stage: &str) {
+        if let Some(inj) = fault::global() {
+            if let Some(d) = inj.stall(stage) {
+                std::thread::sleep(d);
+                fault::note_stall_absorbed();
+            }
+        }
     }
 
     /// Encode a finished frame sequence (dimensions taken from the
@@ -1063,6 +1236,7 @@ impl<'c> Pipeline<'c> {
     /// Sink stage: apply the context's result mode (persist or
     /// discard), recording Sink time and persisted bytes.
     pub fn sink(&self, instance_index: usize, output: &QueryOutput) -> Result<usize> {
+        self.absorb_stall("sink");
         let t0 = Instant::now();
         let bytes = self.ctx.result_mode.sink(instance_index, output)?;
         let frames = output.primary_video().map(|v| v.len() as u64).unwrap_or(0);
@@ -1090,10 +1264,17 @@ struct EncodeStage<'p, 'c> {
 
 impl<'p, 'c> EncodeStage<'p, 'c> {
     fn new(pl: &'p Pipeline<'c>, info: VideoInfo) -> Self {
+        pl.absorb_stall("encode");
         Self { pl, info, encoder: None, packets: Vec::new(), boxes: Vec::new(), any_boxes: false }
     }
 
     fn consume(&mut self, ko: KernelOut) -> Result<()> {
+        if self.pl.ctx.cancel.cancelled() {
+            return Err(Error::Cancelled(format!(
+                "query {} at encode",
+                self.pl.ctx.query_label
+            )));
+        }
         let t0 = Instant::now();
         if self.encoder.is_none() {
             let cfg = EncoderConfig {
@@ -1104,7 +1285,11 @@ impl<'p, 'c> EncodeStage<'p, 'c> {
             };
             self.encoder = Some(Encoder::new(cfg, ko.frame.width(), ko.frame.height())?);
         }
-        let packet = self.encoder.as_mut().expect("encoder was just created").encode(&ko.frame)?;
+        let packet = self
+            .encoder
+            .as_mut()
+            .ok_or_else(|| Error::InvalidConfig("encode stage has no encoder".into()))?
+            .encode(&ko.frame)?;
         self.pl.ctx.metrics.record(
             StageKind::Encode,
             t0.elapsed().as_nanos() as u64,
