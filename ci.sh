@@ -1,70 +1,180 @@
 #!/usr/bin/env bash
-# Tier-1 verification. Must pass with zero network access: the
-# workspace is std-only, so a cold crates.io cache resolves offline.
+# Tier-1 verification, structured as a staged harness.
+#
+#   ./ci.sh            run every stage in order, print a summary table
+#   ./ci.sh <stage>    run one stage (guard|build|test|bench-smoke|
+#                      determinism|chaos|bench-gate|obs-gate)
+#
+# Must pass with zero network access: the workspace is std-only, so a
+# cold crates.io cache resolves offline. Gate artifacts (determinism
+# output dirs, chaos logs, bench JSON + delta table, traces and metric
+# snapshots) are collected under results/ci/ and survive failures so a
+# red gate can be diagnosed offline.
 set -euo pipefail
 cd "$(dirname "$0")"
 
-echo "== guard: no registry dependencies in any manifest =="
-# Match only dependency *declarations* (`name = ...`), so prose in
-# comments — "the criterion replacement" — never trips the guard.
-if grep -En '^[[:space:]]*(rand|crossbeam[a-z_-]*|parking_lot|proptest|criterion)[[:space:]]*=' \
-    Cargo.toml crates/*/Cargo.toml; then
-    echo "FAIL: a crate manifest names a registry dependency" >&2
-    exit 1
-fi
+ART="results/ci"
+STAGES=(guard build test bench-smoke determinism chaos bench-gate obs-gate)
 
-echo "== cargo build --release --offline =="
-cargo build --release --offline
+# Shared query-path invocation for the determinism and obs gates: small
+# enough to run in seconds, wide enough to cross every engine and both
+# tile layouts.
+RUN_ARGS=(run --engine all --queries Q1,Q2c --scale 1 --res 128x72
+          --duration 0.4 --batch 2 --no-validate)
 
-echo "== cargo test -q --offline =="
-cargo test -q --offline
+stage_guard() {
+    echo "-- no registry dependencies in any manifest"
+    # Match only dependency *declarations* (`name = ...`), so prose in
+    # comments — "the criterion replacement" — never trips the guard.
+    if grep -En '^[[:space:]]*(rand|crossbeam[a-z_-]*|parking_lot|proptest|criterion)[[:space:]]*=' \
+        Cargo.toml crates/*/Cargo.toml; then
+        echo "FAIL: a crate manifest names a registry dependency" >&2
+        return 1
+    fi
+    echo "-- warnings are errors across every target"
+    RUSTFLAGS="-D warnings" cargo check -q --release --offline --all-targets
+}
 
-echo "== bench smoke: every benchmark body still runs =="
-cargo bench -q --offline -- --test
+stage_build() {
+    cargo build --release --offline
+}
 
-echo "== determinism gate: VR_WORKERS=4 output is byte-identical across runs =="
-DET_A="$(mktemp -d)"
-DET_B="$(mktemp -d)"
-trap 'rm -rf "$DET_A" "$DET_B"' EXIT
-for OUT in "$DET_A" "$DET_B"; do
-    VR_WORKERS=4 ./target/release/visualroad run --engine all --queries Q1,Q2c \
+stage_test() {
+    cargo test -q --offline
+}
+
+stage_bench_smoke() {
+    # Every benchmark body still runs (single-iteration test mode).
+    cargo bench -q --offline -- --test
+}
+
+stage_determinism() {
+    # VR_WORKERS=4 output must be byte-identical across runs. Tracing
+    # stays off here: the gate pins the untraced production path.
+    local det="$ART/determinism"
+    rm -rf "$det"
+    mkdir -p "$det/run_a" "$det/run_b"
+    for out in "$det/run_a" "$det/run_b"; do
+        VR_WORKERS=4 ./target/release/visualroad "${RUN_ARGS[@]}" \
+            --write "$out" >/dev/null
+    done
+    if ! diff -r "$det/run_a" "$det/run_b" > "$det/diff.txt" 2>&1; then
+        cat "$det/diff.txt"
+        echo "FAIL: parallel execution produced run-to-run differences (see $det)" >&2
+        return 1
+    fi
+    echo "outputs identical across runs"
+}
+
+stage_chaos() {
+    # Faults are injected deterministically (seeded); the run must
+    # finish every query — possibly degraded, never panicked or hung —
+    # and the CLI's built-in accounting check must find every injected
+    # fault matched by a recovery counter (nonzero exit on mismatch).
+    # The batch leg exercises corruption/stall/io-write faults under
+    # the parallel scheduler with write-mode sinks plus an enforced
+    # deadline; the online leg exercises RTP packet loss.
+    local chaos="$ART/chaos"
+    rm -rf "$chaos"
+    mkdir -p "$chaos/out"
+    VR_WORKERS=4 timeout 900 ./target/release/visualroad run --engine all --full-suite \
         --scale 1 --res 128x72 --duration 0.4 --batch 2 --no-validate \
-        --write "$OUT" >/dev/null
-done
-if ! diff -r "$DET_A" "$DET_B"; then
-    echo "FAIL: parallel execution produced run-to-run differences" >&2
-    exit 1
+        --write "$chaos/out" --deadline-ms 30000 \
+        --faults "corrupt_bitstream=0.01,stall_stage=kernel:2ms,io_fail=write:0.02,panic_kernel=q4:frame2" \
+        --fault-seed 7 | tee "$chaos/batch.log"
+    rm -rf "$chaos/out"
+    VR_WORKERS=4 timeout 900 ./target/release/visualroad run --engine reference --queries Q1,Q2a \
+        --scale 1 --res 128x72 --duration 0.4 --batch 2 --no-validate \
+        --online 1000 --faults "drop_rtp=0.2" --fault-seed 11 | tee "$chaos/online.log"
+    echo "chaos gate OK"
+}
+
+stage_bench_gate() {
+    # Warm-up pass (populates caches, warms the page cache), then the
+    # measured pass whose medians land in BENCH_engines.json. A
+    # benchmark that is new this revision is seeded into the committed
+    # baseline (bench_gate --seed-new) instead of failing the gate.
+    # Tracing stays off: the baseline was recorded untraced.
+    cargo bench -q --offline -p vr-bench --bench engines >/dev/null
+    cargo bench -q --offline -p vr-bench --bench engines
+    mkdir -p results "$ART"
+    ./target/release/bench_gate results/bench_baseline.json BENCH_engines.json \
+        --seed-new --deltas-out "$ART/bench_deltas.txt"
+    cp BENCH_engines.json "$ART/bench_current.json"
+}
+
+stage_obs_gate() {
+    # Observability gate, three assertions:
+    #   1. a traced run emits a chrome-trace profile that validates
+    #      (well-formed events, balanced B/E pairs, a span for every
+    #      pipeline stage and at least one scheduler instance);
+    #   2. the traced run's query output is byte-identical to the
+    #      untraced baseline — telemetry never feeds back into results;
+    #   3. an explicit VR_TRACE=0 run is also byte-identical, pinning
+    #      the disabled path.
+    local obs="$ART/obs"
+    rm -rf "$obs"
+    mkdir -p "$obs/base" "$obs/traced" "$obs/untraced"
+    VR_WORKERS=4 ./target/release/visualroad "${RUN_ARGS[@]}" \
+        --write "$obs/base" >/dev/null
+    VR_WORKERS=4 ./target/release/visualroad "${RUN_ARGS[@]}" \
+        --write "$obs/traced" --trace-out "$obs/trace.json" \
+        --metrics-out "$obs/metrics.json" > "$obs/traced_report.txt"
+    ./target/release/trace_check "$obs/trace.json"
+    VR_WORKERS=4 VR_TRACE=0 ./target/release/visualroad "${RUN_ARGS[@]}" \
+        --write "$obs/untraced" >/dev/null
+    for variant in traced untraced; do
+        if ! diff -r "$obs/base" "$obs/$variant" > "$obs/diff_$variant.txt" 2>&1; then
+            cat "$obs/diff_$variant.txt"
+            echo "FAIL: $variant run differs from the untraced baseline (see $obs)" >&2
+            return 1
+        fi
+    done
+    echo "traced and VR_TRACE=0 outputs byte-identical to baseline"
+}
+
+run_one() {
+    local name="$1"
+    local fn="stage_${name//-/_}"
+    if ! declare -F "$fn" >/dev/null; then
+        echo "ci.sh: unknown stage '$name' (stages: ${STAGES[*]})" >&2
+        exit 2
+    fi
+    mkdir -p "$ART"
+    "$fn"
+}
+
+if [[ $# -gt 0 ]]; then
+    run_one "$1"
+    exit 0
 fi
-echo "outputs identical across runs"
 
-echo "== chaos gate: full query suite completes under the default fault schedule =="
-# Faults are injected deterministically (seeded); the run must finish
-# every query — possibly degraded, never panicked or hung — and the
-# CLI's built-in accounting check must find every injected fault
-# matched by a recovery counter (it exits nonzero on any mismatch).
-# The batch leg exercises corruption/stall/io-write faults under the
-# parallel scheduler with write-mode sinks plus an enforced deadline;
-# the online leg exercises RTP packet loss.
-CHAOS_OUT="$(mktemp -d)"
-VR_WORKERS=4 timeout 900 ./target/release/visualroad run --engine all --full-suite \
-    --scale 1 --res 128x72 --duration 0.4 --batch 2 --no-validate \
-    --write "$CHAOS_OUT" --deadline-ms 30000 \
-    --faults "corrupt_bitstream=0.01,stall_stage=kernel:2ms,io_fail=write:0.02,panic_kernel=q4:frame2" \
-    --fault-seed 7
-rm -rf "$CHAOS_OUT"
-VR_WORKERS=4 timeout 900 ./target/release/visualroad run --engine reference --queries Q1,Q2a \
-    --scale 1 --res 128x72 --duration 0.4 --batch 2 --no-validate \
-    --online 1000 --faults "drop_rtp=0.2" --fault-seed 11
-echo "chaos gate OK"
+# Full run: every stage in order, timed, with a final summary table
+# that prints even when a stage fails.
+SUMMARY=()
+print_summary() {
+    echo
+    echo "== CI summary =="
+    printf '%-14s %8s  %s\n' "stage" "seconds" "status"
+    local row
+    for row in "${SUMMARY[@]}"; do
+        printf '%-14s %8s  %s\n' $row
+    done
+}
+trap print_summary EXIT
 
-echo "== bench-regression gate =="
-# Warm-up pass (populates caches, JIT-warms the page cache), then the
-# measured pass whose medians land in BENCH_engines.json. A benchmark
-# that is new this revision is seeded into the committed baseline
-# (bench_gate --seed-new) instead of failing the gate.
-cargo bench -q --offline -p vr-bench --bench engines >/dev/null
-cargo bench -q --offline -p vr-bench --bench engines
-mkdir -p results
-./target/release/bench_gate results/bench_baseline.json BENCH_engines.json --seed-new
+for stage in "${STAGES[@]}"; do
+    echo
+    echo "== stage: $stage =="
+    t0=$SECONDS
+    if bash "$0" "$stage"; then
+        SUMMARY+=("$stage $((SECONDS - t0)) PASS")
+    else
+        SUMMARY+=("$stage $((SECONDS - t0)) FAIL")
+        echo "CI FAILED at stage '$stage' (artifacts under $ART)" >&2
+        exit 1
+    fi
+done
 
+echo
 echo "CI OK"

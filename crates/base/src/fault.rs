@@ -404,26 +404,37 @@ pub fn init_from_env() -> Result<Option<Arc<FaultInjector>>> {
 
 /// Global recovery counters: what the system *did* about injected (or
 /// real) faults. Snapshot/delta these per query batch.
-#[derive(Debug, Default)]
+///
+/// The counters live in the process-global [`crate::obs::metrics`]
+/// registry under `degradation.*`, so they appear in metrics exports
+/// alongside the pipeline telemetry; this struct caches the handles so
+/// the hot recovery paths stay one relaxed atomic add.
+#[derive(Debug)]
 struct Degradation {
-    concealed_frames: AtomicU64,
-    skipped_samples: AtomicU64,
-    skipped_packets: AtomicU64,
-    io_retries: AtomicU64,
-    io_give_ups: AtomicU64,
-    stage_panics: AtomicU64,
-    stalls_absorbed: AtomicU64,
+    concealed_frames: Arc<crate::obs::metrics::Counter>,
+    skipped_samples: Arc<crate::obs::metrics::Counter>,
+    skipped_packets: Arc<crate::obs::metrics::Counter>,
+    io_retries: Arc<crate::obs::metrics::Counter>,
+    io_give_ups: Arc<crate::obs::metrics::Counter>,
+    stage_panics: Arc<crate::obs::metrics::Counter>,
+    stalls_absorbed: Arc<crate::obs::metrics::Counter>,
 }
 
-static DEGRADATION: Degradation = Degradation {
-    concealed_frames: AtomicU64::new(0),
-    skipped_samples: AtomicU64::new(0),
-    skipped_packets: AtomicU64::new(0),
-    io_retries: AtomicU64::new(0),
-    io_give_ups: AtomicU64::new(0),
-    stage_panics: AtomicU64::new(0),
-    stalls_absorbed: AtomicU64::new(0),
-};
+fn degradation() -> &'static Degradation {
+    static DEGRADATION: std::sync::OnceLock<Degradation> = std::sync::OnceLock::new();
+    DEGRADATION.get_or_init(|| {
+        let c = crate::obs::metrics::counter;
+        Degradation {
+            concealed_frames: c("degradation.concealed_frames"),
+            skipped_samples: c("degradation.skipped_samples"),
+            skipped_packets: c("degradation.skipped_packets"),
+            io_retries: c("degradation.io_retries"),
+            io_give_ups: c("degradation.io_give_ups"),
+            stage_panics: c("degradation.stage_panics"),
+            stalls_absorbed: c("degradation.stalls_absorbed"),
+        }
+    })
+}
 
 /// A point-in-time copy of the recovery counters; subtract snapshots
 /// to get a batch's delta.
@@ -467,40 +478,41 @@ impl DegradationSnapshot {
 
 /// Current recovery-counter totals.
 pub fn degradation_snapshot() -> DegradationSnapshot {
+    let d = degradation();
     DegradationSnapshot {
-        concealed_frames: DEGRADATION.concealed_frames.load(Ordering::Relaxed),
-        skipped_samples: DEGRADATION.skipped_samples.load(Ordering::Relaxed),
-        skipped_packets: DEGRADATION.skipped_packets.load(Ordering::Relaxed),
-        io_retries: DEGRADATION.io_retries.load(Ordering::Relaxed),
-        io_give_ups: DEGRADATION.io_give_ups.load(Ordering::Relaxed),
-        stage_panics: DEGRADATION.stage_panics.load(Ordering::Relaxed),
-        stalls_absorbed: DEGRADATION.stalls_absorbed.load(Ordering::Relaxed),
+        concealed_frames: d.concealed_frames.get(),
+        skipped_samples: d.skipped_samples.get(),
+        skipped_packets: d.skipped_packets.get(),
+        io_retries: d.io_retries.get(),
+        io_give_ups: d.io_give_ups.get(),
+        stage_panics: d.stage_panics.get(),
+        stalls_absorbed: d.stalls_absorbed.get(),
     }
 }
 
 /// Record concealed frames.
 pub fn note_concealed(n: u64) {
-    DEGRADATION.concealed_frames.fetch_add(n, Ordering::Relaxed);
+    degradation().concealed_frames.add(n);
 }
 
 /// Record demuxer-skipped samples.
 pub fn note_skipped_sample() {
-    DEGRADATION.skipped_samples.fetch_add(1, Ordering::Relaxed);
+    degradation().skipped_samples.inc();
 }
 
 /// Record depacketizer-skipped packets.
 pub fn note_skipped_packets(n: u64) {
-    DEGRADATION.skipped_packets.fetch_add(n, Ordering::Relaxed);
+    degradation().skipped_packets.add(n);
 }
 
 /// Record a contained stage panic.
 pub fn note_stage_panic() {
-    DEGRADATION.stage_panics.fetch_add(1, Ordering::Relaxed);
+    degradation().stage_panics.inc();
 }
 
 /// Record an absorbed stage stall.
 pub fn note_stall_absorbed() {
-    DEGRADATION.stalls_absorbed.fetch_add(1, Ordering::Relaxed);
+    degradation().stalls_absorbed.inc();
 }
 
 // ---------------------------------------------------------------------------
@@ -556,11 +568,14 @@ pub fn with_retry<T>(site: &str, mut f: impl FnMut() -> Result<T>) -> Result<T> 
                     return Err(e);
                 }
                 if attempt + 1 >= RETRY_MAX_ATTEMPTS {
-                    DEGRADATION.io_give_ups.fetch_add(1, Ordering::Relaxed);
+                    degradation().io_give_ups.inc();
                     return Err(e);
                 }
-                DEGRADATION.io_retries.fetch_add(1, Ordering::Relaxed);
-                std::thread::sleep(backoff_delay(seed, site_hash, attempt));
+                degradation().io_retries.inc();
+                {
+                    let _span = crate::obs::trace::span("fault", "retry_backoff");
+                    std::thread::sleep(backoff_delay(seed, site_hash, attempt));
+                }
                 attempt += 1;
             }
             Err(e) => return Err(e),

@@ -18,6 +18,7 @@
 pub mod error;
 pub mod fault;
 pub mod id;
+pub mod obs;
 pub mod presets;
 pub mod rng;
 pub mod sync;

@@ -1,0 +1,64 @@
+//! Observability: span tracing and a process-global metrics registry.
+//!
+//! This module is the workspace's single telemetry surface. It has two
+//! halves with one shared contract — *telemetry must never feed back
+//! into query results*:
+//!
+//! * [`trace`] — a span tracer ([`trace::span`] guards record
+//!   enter/exit with monotonic timestamps, thread track ids, and
+//!   parent links) plus a chrome-trace (`trace_event` JSON) exporter
+//!   for `chrome://tracing` / Perfetto. Off by default; enabled by the
+//!   CLI via `--trace-out` / `VR_TRACE`. With the `obs` cargo feature
+//!   disabled the call sites compile to no-ops.
+//! * [`metrics`] — named counters, gauges, and fixed-bucket latency
+//!   histograms (p50/p95/p99 snapshots) in a process-global
+//!   [`metrics::Registry`], exported as deterministic JSON/text and
+//!   diffed per query with [`metrics::MetricsSnapshot::since`].
+//!
+//! ### Span taxonomy
+//!
+//! | category    | names                                   | recorded by |
+//! |-------------|-----------------------------------------|-------------|
+//! | `pipeline`  | `scan`/`decode`/`kernel`/`encode`/`sink`, `run_*` policies | vr-vdbms stage execution |
+//! | `decoder`   | `decode_parallel`, `gop_chunk<i>`, `conceal` | GOP-parallel decode, resilient concealment |
+//! | `scheduler` | `instance.<query>.<index>`              | VCD batch scheduler (both dispatch modes) |
+//! | `vcd`       | `batch.<query>`, `validate`             | per-query driver |
+//! | `storage`   | `flat.put`/`flat.get`/`dfs.put`/`dfs.get` | storage backends |
+//! | `fault`     | `retry_backoff`                         | fault-injector recovery paths |
+//!
+//! ### Metric naming
+//!
+//! Dotted lowercase names, unit as the last segment where one applies:
+//! `stage.decode.nanos` (histogram), `stage.decode.frames` (counter),
+//! `degradation.io_retries` (counter),
+//! `scheduler.worker_utilization` (gauge).
+
+pub mod metrics;
+pub mod trace;
+
+/// Escape a string for embedding in a JSON string literal.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn json_escape_handles_quotes_and_control_chars() {
+        assert_eq!(super::json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(super::json_escape("\u{1}"), "\\u0001");
+        assert_eq!(super::json_escape("plain"), "plain");
+    }
+}

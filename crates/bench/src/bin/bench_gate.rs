@@ -4,7 +4,12 @@
 //!
 //! ```text
 //! bench_gate <baseline.json> <current.json> [--tolerance 0.30] [--seed-new]
+//!            [--deltas-out FILE]
 //! ```
+//!
+//! The per-benchmark delta table is always printed — on pass as well
+//! as on failure — and with `--deltas-out` it is additionally written
+//! to FILE so CI can keep it as an artifact.
 //!
 //! Verdicts per benchmark id:
 //!
@@ -66,6 +71,7 @@ fn run() -> Result<bool, String> {
     let mut positional = Vec::new();
     let mut tolerance = DEFAULT_TOLERANCE;
     let mut seed_new = false;
+    let mut deltas_out: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         if args[i] == "--tolerance" {
@@ -77,6 +83,10 @@ fn run() -> Result<bool, String> {
                 .ok_or("--tolerance needs a positive number")?;
         } else if args[i] == "--seed-new" {
             seed_new = true;
+        } else if args[i] == "--deltas-out" {
+            i += 1;
+            deltas_out =
+                Some(args.get(i).ok_or("--deltas-out needs a file path")?.clone());
         } else {
             positional.push(args[i].clone());
         }
@@ -84,7 +94,8 @@ fn run() -> Result<bool, String> {
     }
     let [baseline_path, current_path] = positional.as_slice() else {
         return Err(
-            "usage: bench_gate <baseline.json> <current.json> [--tolerance 0.30] [--seed-new]"
+            "usage: bench_gate <baseline.json> <current.json> [--tolerance 0.30] [--seed-new] \
+             [--deltas-out FILE]"
                 .into(),
         );
     };
@@ -105,16 +116,19 @@ fn run() -> Result<bool, String> {
         return Err(format!("{current_path} holds no benchmarks"));
     }
 
-    println!(
+    // The delta table is built up as lines so it can be both printed
+    // (pass and fail alike) and persisted via --deltas-out.
+    let mut table: Vec<String> = Vec::new();
+    table.push(format!(
         "bench gate: {} current vs {} baseline benchmarks (tolerance ±{:.0}%)",
         current.len(),
         baseline.len(),
         tolerance * 100.0
-    );
-    println!(
+    ));
+    table.push(format!(
         "{:<50} {:>12} {:>12} {:>8}  {}",
         "benchmark", "baseline", "current", "ratio", "verdict"
-    );
+    ));
     let mut failures = 0usize;
     let mut new_ids: Vec<String> = Vec::new();
     for (id, &cur) in &current {
@@ -129,28 +143,28 @@ fn run() -> Result<bool, String> {
                 } else {
                     "PASS"
                 };
-                println!(
+                table.push(format!(
                     "{id:<50} {:>12} {:>12} {ratio:>7.2}x  {verdict}",
                     fmt_ms(base),
                     fmt_ms(cur)
-                );
+                ));
             }
             _ => {
                 new_ids.push(id.clone());
-                println!(
+                table.push(format!(
                     "{id:<50} {:>12} {:>12} {:>8}  NEW ({})",
                     "-",
                     fmt_ms(cur),
                     "-",
                     if seed_new { "seeding" } else { "warn: not in baseline" }
-                );
+                ));
             }
         }
     }
     for id in baseline.keys() {
         if !current.contains_key(id) {
             failures += 1;
-            println!("{id:<50} {:>12} {:>12} {:>8}  MISSING", "?", "-", "-");
+            table.push(format!("{id:<50} {:>12} {:>12} {:>8}  MISSING", "?", "-", "-"));
         }
     }
 
@@ -165,17 +179,32 @@ fn run() -> Result<bool, String> {
             if !ok {
                 failures += 1;
             }
-            println!(
+            table.push(format!(
                 "q1 speedup at 4 workers: {speedup:.2}x on {cores} cores \
                  (floor {Q1_SPEEDUP_FLOOR}x) — {}",
                 if ok { "PASS" } else { "REGRESSED" }
-            );
+            ));
         } else {
-            println!(
+            table.push(format!(
                 "q1 speedup at 4 workers: {speedup:.2}x — informational \
                  ({cores} core host, floor not enforced)"
-            );
+            ));
         }
+    }
+
+    if failures > 0 {
+        table.push(format!("bench gate: {failures} failure(s)"));
+    } else {
+        table.push("bench gate: all benchmarks within tolerance".to_string());
+    }
+
+    for line in &table {
+        println!("{line}");
+    }
+    if let Some(path) = &deltas_out {
+        let mut text = table.join("\n");
+        text.push('\n');
+        std::fs::write(path, text).map_err(|e| format!("cannot write {path}: {e}"))?;
     }
 
     if seed_new && !new_ids.is_empty() {
@@ -184,12 +213,6 @@ fn run() -> Result<bool, String> {
             "bench gate: seeded {} new benchmark(s) into {baseline_path}",
             new_ids.len()
         );
-    }
-
-    if failures > 0 {
-        println!("bench gate: {failures} failure(s)");
-    } else {
-        println!("bench gate: all benchmarks within tolerance");
     }
     Ok(failures == 0)
 }

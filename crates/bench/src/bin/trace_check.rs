@@ -1,0 +1,196 @@
+//! CI obs-gate validator for chrome-trace profiles emitted by
+//! `visualroad run --trace-out`.
+//!
+//! ```text
+//! trace_check <trace.json> [--require name1,name2,...]
+//! ```
+//!
+//! Checks, in order:
+//!
+//! 1. the document parses and holds a non-empty `traceEvents` array;
+//! 2. every event is well-formed: non-empty string `name`, string
+//!    `cat`, `ph` of `"B"` or `"E"`, numeric `ts >= 0`, numeric
+//!    `pid`/`tid`;
+//! 3. B/E pairs balance per track: replaying each `tid`'s events in
+//!    file order, every `E` must close the innermost open `B` with the
+//!    same name, timestamps must be non-decreasing within a track, and
+//!    every track's stack must be empty at the end;
+//! 4. every required span name appears as a `B` event (default: the
+//!    five pipeline stages `scan,decode,kernel,encode,sink`), and at
+//!    least one scheduler instance span (`cat == "scheduler"`, name
+//!    `instance.*`) is present.
+//!
+//! Exit code 0 when the profile passes, 1 with a diagnostic on the
+//! first violation.
+
+use std::process::ExitCode;
+use vr_bench::json::{self, Value};
+
+const DEFAULT_REQUIRED: &str = "scan,decode,kernel,encode,sink";
+
+struct Event<'a> {
+    name: &'a str,
+    cat: &'a str,
+    begin: bool,
+    ts: f64,
+    tid: u64,
+    index: usize,
+}
+
+fn parse_event<'a>(v: &'a Value, index: usize) -> Result<Event<'a>, String> {
+    let name = v
+        .get("name")
+        .and_then(Value::as_str)
+        .filter(|n| !n.is_empty())
+        .ok_or_else(|| format!("event {index}: missing or empty \"name\""))?;
+    let cat = v
+        .get("cat")
+        .and_then(Value::as_str)
+        .ok_or_else(|| format!("event {index}: missing \"cat\""))?;
+    let ph = v
+        .get("ph")
+        .and_then(Value::as_str)
+        .ok_or_else(|| format!("event {index}: missing \"ph\""))?;
+    let begin = match ph {
+        "B" => true,
+        "E" => false,
+        other => return Err(format!("event {index}: unexpected phase {other:?}")),
+    };
+    let ts = v
+        .get("ts")
+        .and_then(Value::as_f64)
+        .filter(|t| t.is_finite() && *t >= 0.0)
+        .ok_or_else(|| format!("event {index}: missing or negative \"ts\""))?;
+    v.get("pid")
+        .and_then(Value::as_f64)
+        .ok_or_else(|| format!("event {index}: missing \"pid\""))?;
+    let tid = v
+        .get("tid")
+        .and_then(Value::as_f64)
+        .filter(|t| *t >= 0.0)
+        .ok_or_else(|| format!("event {index}: missing \"tid\""))? as u64;
+    Ok(Event { name, cat, begin, ts, tid, index })
+}
+
+fn run() -> Result<String, String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut path = None;
+    let mut required: Vec<String> =
+        DEFAULT_REQUIRED.split(',').map(str::to_string).collect();
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == "--require" {
+            i += 1;
+            required = args
+                .get(i)
+                .ok_or("--require needs a comma-separated name list")?
+                .split(',')
+                .filter(|s| !s.is_empty())
+                .map(str::to_string)
+                .collect();
+        } else if path.is_none() {
+            path = Some(args[i].clone());
+        } else {
+            return Err(format!("unexpected argument {:?}", args[i]));
+        }
+        i += 1;
+    }
+    let path =
+        path.ok_or("usage: trace_check <trace.json> [--require name1,name2,...]")?;
+
+    let text = std::fs::read_to_string(&path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let doc = json::parse(&text).map_err(|e| format!("{path}: invalid JSON: {e}"))?;
+    let raw = doc
+        .get("traceEvents")
+        .and_then(Value::as_array)
+        .ok_or_else(|| format!("{path}: no \"traceEvents\" array"))?;
+    if raw.is_empty() {
+        return Err(format!("{path}: traceEvents is empty"));
+    }
+
+    let events: Vec<Event> = raw
+        .iter()
+        .enumerate()
+        .map(|(i, v)| parse_event(v, i))
+        .collect::<Result<_, _>>()?;
+
+    // Per-track balance: an E must close the innermost open B of the
+    // same name, and timestamps must be monotonic within the track.
+    let mut tracks: std::collections::BTreeMap<u64, (Vec<&Event>, f64)> =
+        std::collections::BTreeMap::new();
+    for e in &events {
+        let (stack, last_ts) = tracks.entry(e.tid).or_insert_with(|| (Vec::new(), 0.0));
+        if e.ts + 1e-9 < *last_ts {
+            return Err(format!(
+                "event {}: ts {} goes backwards on tid {} (previous {})",
+                e.index, e.ts, e.tid, last_ts
+            ));
+        }
+        *last_ts = e.ts;
+        if e.begin {
+            stack.push(e);
+        } else {
+            match stack.pop() {
+                Some(open) if open.name == e.name => {}
+                Some(open) => {
+                    return Err(format!(
+                        "event {}: E {:?} closes B {:?} on tid {}",
+                        e.index, e.name, open.name, e.tid
+                    ));
+                }
+                None => {
+                    return Err(format!(
+                        "event {}: E {:?} with no open span on tid {}",
+                        e.index, e.name, e.tid
+                    ));
+                }
+            }
+        }
+    }
+    for (tid, (stack, _)) in &tracks {
+        if let Some(open) = stack.last() {
+            return Err(format!(
+                "tid {tid}: span {:?} (event {}) never closed",
+                open.name, open.index
+            ));
+        }
+    }
+
+    // Required span coverage.
+    let begin_names: std::collections::BTreeSet<&str> =
+        events.iter().filter(|e| e.begin).map(|e| e.name).collect();
+    for want in &required {
+        if !begin_names.contains(want.as_str()) {
+            return Err(format!("no span named {want:?} in the profile"));
+        }
+    }
+    let instances = events
+        .iter()
+        .filter(|e| e.begin && e.cat == "scheduler" && e.name.starts_with("instance."))
+        .count();
+    if instances == 0 {
+        return Err("no scheduler instance span (cat \"scheduler\", name \"instance.*\")".into());
+    }
+
+    Ok(format!(
+        "trace OK: {} events, {} spans, {} distinct names, {} tracks, {} scheduler instances",
+        events.len(),
+        events.iter().filter(|e| e.begin).count(),
+        begin_names.len(),
+        tracks.len(),
+        instances
+    ))
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(summary) => {
+            println!("{summary}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("trace_check: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -94,6 +94,7 @@ impl ResilientDecoder {
     }
 
     fn conceal(&mut self) -> Frame {
+        let _span = vr_base::obs::trace::span("decoder", "conceal");
         self.concealed += 1;
         match &self.last_good {
             Some(f) => f.clone(),

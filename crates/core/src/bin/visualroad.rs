@@ -43,7 +43,7 @@ USAGE:
                  [--scale L] [--res WxH] [--duration SECS] [--seed S]
                  [--batch N] [--online SPEEDUP] [--write DIR] [--no-validate]
                  [--workers N] [--faults SPEC] [--fault-seed S]
-                 [--deadline-ms N]
+                 [--deadline-ms N] [--trace-out FILE] [--metrics-out FILE]
       Generate a dataset and drive the chosen engine(s) through the
       benchmark, printing the report. --workers caps both the driver's
       batch scheduler and each engine's pipelined executor (default:
@@ -55,6 +55,13 @@ USAGE:
       injected-fault counts are checked against the recovery counters
       and any mismatch exits nonzero. --deadline-ms enforces a
       per-instance latency deadline via cooperative cancellation.
+      --trace-out enables span tracing and writes a chrome-trace
+      (trace_event JSON) profile loadable in chrome://tracing or
+      Perfetto; the VR_TRACE environment variable (any value but 0)
+      does the same. --metrics-out writes the process-global metrics
+      registry (counters/gauges/latency histograms) as JSON, or as
+      flat text when FILE ends in .txt. Tracing never changes query
+      results: timestamps exist only in the exported profile.
 
 ENGINES: reference | batch | functional | cascade | all
 QUERIES: Q1 Q2a Q2b Q2c Q2d Q3 Q4 Q5 Q6a Q6b Q7 Q8 Q9 Q10"
@@ -306,6 +313,21 @@ fn cmd_run(args: &[String]) -> i32 {
         eprintln!("fault plan active (seed {}): {:?}", inj.seed(), inj.plan());
     }
 
+    // Tracing is opt-in: `--trace-out FILE`, or VR_TRACE as the
+    // destination path (any value but empty/0; `VR_TRACE=1` defaults
+    // to trace.json). Enabled only after dataset generation so the
+    // profile covers the query path, not the generator.
+    let trace_out: Option<String> = flags
+        .get("trace-out")
+        .map(str::to_string)
+        .or_else(|| match std::env::var("VR_TRACE").ok().filter(|v| !v.is_empty() && v != "0") {
+            Some(v) if v == "1" => Some("trace.json".to_string()),
+            other => other,
+        });
+    if trace_out.is_some() {
+        vr_base::obs::trace::set_enabled(true);
+    }
+
     let vcd = Vcd::new(&dataset, cfg);
     for engine in engines.iter_mut() {
         match vcd.run_queries(engine.as_mut(), &queries) {
@@ -313,6 +335,23 @@ fn cmd_run(args: &[String]) -> i32 {
             Err(e) => return fail(&e.to_string()),
         }
     }
+
+    if let Some(path) = &trace_out {
+        vr_base::obs::trace::set_enabled(false);
+        match vr_base::obs::trace::save(path) {
+            Ok(n) => eprintln!("wrote {n} trace events to {path}"),
+            Err(e) => return fail(&format!("cannot write trace to {path}: {e}")),
+        }
+    }
+    if let Some(path) = flags.get("metrics-out") {
+        let snap = vr_base::obs::metrics::snapshot();
+        let body = if path.ends_with(".txt") { snap.to_text() } else { snap.to_json() };
+        if let Err(e) = std::fs::write(path, body) {
+            return fail(&format!("cannot write metrics to {path}: {e}"));
+        }
+        eprintln!("wrote metrics snapshot to {path}");
+    }
+
     match &injector {
         Some(inj) => verify_fault_accounting(inj),
         None => 0,

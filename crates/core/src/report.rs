@@ -147,6 +147,42 @@ impl fmt::Display for DegradationStats {
     }
 }
 
+/// One pipeline stage's latency distribution over a query batch,
+/// extracted from the global metrics registry's per-stage histograms
+/// (`stage.<name>.nanos`) as a before/after delta around the measured
+/// window.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StageLatency {
+    /// Stage label (`scan`/`decode`/`kernel`/`encode`/`sink`).
+    pub stage: &'static str,
+    /// Stage invocations observed during the batch.
+    pub count: u64,
+    /// Median invocation latency estimate, nanoseconds.
+    pub p50_nanos: u64,
+    /// 95th-percentile invocation latency estimate, nanoseconds.
+    pub p95_nanos: u64,
+    /// 99th-percentile invocation latency estimate, nanoseconds.
+    pub p99_nanos: u64,
+}
+
+/// Observability aggregates for one query batch: per-stage latency
+/// histograms plus the scheduler's worker-utilization gauge.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ObsStats {
+    /// Latency distribution per pipeline stage (only stages that ran).
+    pub stage_latency: Vec<StageLatency>,
+    /// Busy fraction of the scheduler's worker pool over the measured
+    /// window: sum of per-instance latencies / (workers × runtime).
+    pub worker_utilization: f64,
+}
+
+impl ObsStats {
+    /// Whether any stage-latency data was captured.
+    pub fn any(&self) -> bool {
+        !self.stage_latency.is_empty()
+    }
+}
+
 /// Outcome of one query's batch on one engine.
 #[derive(Debug, Clone)]
 pub enum QueryStatus {
@@ -169,6 +205,9 @@ pub enum QueryStatus {
         validation: ValidationSummary,
         /// Fault-tolerance accounting (all zero on a clean run).
         degradation: DegradationStats,
+        /// Registry-derived stage-latency histograms and
+        /// worker-utilization for the batch.
+        obs: ObsStats,
     },
     /// The engine cannot express the query (reported as N/A, like
     /// NoScope on Q3–Q10).
@@ -252,7 +291,7 @@ impl fmt::Display for BenchmarkReport {
         for q in &self.queries {
             match &q.status {
                 QueryStatus::Completed {
-                    runtime, fps, stages, scheduler, validation, degradation, ..
+                    runtime, fps, stages, scheduler, validation, degradation, obs, ..
                 } => {
                     let psnr = validation
                         .psnr
@@ -298,6 +337,21 @@ impl fmt::Display for BenchmarkReport {
                         if scheduler.deadline_misses == 1 { "" } else { "es" },
                         stages.contention_nanos,
                     )?;
+                    if obs.any() {
+                        write!(f, "        obs:")?;
+                        for s in &obs.stage_latency {
+                            write!(
+                                f,
+                                " {} p50 {:.2}ms p95 {:.2}ms p99 {:.2}ms ({})",
+                                s.stage,
+                                s.p50_nanos as f64 / 1e6,
+                                s.p95_nanos as f64 / 1e6,
+                                s.p99_nanos as f64 / 1e6,
+                                s.count,
+                            )?;
+                        }
+                        writeln!(f, " | util {:.0}%", obs.worker_utilization * 100.0)?;
+                    }
                     if degradation.any() || degradation.faults_active {
                         writeln!(f, "        degraded: {degradation}")?;
                     }
@@ -371,6 +425,16 @@ mod tests {
                             faults_active: true,
                             ..DegradationStats::default()
                         },
+                        obs: ObsStats {
+                            stage_latency: vec![StageLatency {
+                                stage: "decode",
+                                count: 240,
+                                p50_nanos: 500_000,
+                                p95_nanos: 2_000_000,
+                                p99_nanos: 5_000_000,
+                            }],
+                            worker_utilization: 0.5,
+                        },
                     },
                 },
                 QueryReport {
@@ -398,6 +462,8 @@ mod tests {
         assert!(text.contains("stages: decode"));
         assert!(text.contains("sched: 2 workers / 2 instances"));
         assert!(text.contains("1 deadline miss "));
+        assert!(text.contains("obs: decode p50 0.50ms p95 2.00ms p99 5.00ms (240)"));
+        assert!(text.contains("util 50%"));
         assert!(text.contains("degraded: concealed 3"));
         assert!(text.contains("achieved 41.5dB"));
     }

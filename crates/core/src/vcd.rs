@@ -19,12 +19,13 @@
 
 use crate::dataset::Dataset;
 use crate::report::{
-    BenchmarkReport, DegradationStats, QueryReport, QueryStatus, SchedulerStats,
-    ValidationSummary,
+    BenchmarkReport, DegradationStats, ObsStats, QueryReport, QueryStatus, SchedulerStats,
+    StageLatency, ValidationSummary,
 };
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+use vr_base::obs::{metrics, trace};
 use vr_base::rng::mix64;
 use vr_base::sync::CancelToken;
 use vr_base::{fault, Error, Resolution, Result, VrRng};
@@ -282,7 +283,12 @@ impl<'d> Vcd<'d> {
             .clamp(1, batch.len().max(1));
 
         let degrade = self.degrade_mode();
+        let batch_span = trace::span_dyn("vcd", || format!("batch.{}", kind.label()));
         let deg_before = fault::degradation_snapshot();
+        // Registry state at the measured window's start; the
+        // after-snapshot is taken before validation so the reference
+        // pipelines the oracle runs never pollute this batch's deltas.
+        let obs_before = metrics::snapshot();
         let start = Instant::now();
         engine.prepare_batch(&batch, inputs, &ctx);
         // `prepare_batch` needed the exclusive reference; dispatch
@@ -294,7 +300,9 @@ impl<'d> Vcd<'d> {
             self.dispatch_concurrent(engine, &batch, &ctx, workers)?
         };
         let runtime = start.elapsed();
+        let obs_delta = metrics::snapshot().since(&obs_before);
         let recovered = fault::degradation_snapshot().since(&deg_before);
+        drop(batch_span);
 
         // Fold the per-instance slots in submission order. Classic
         // semantics: the first (lowest-index) failure decides the
@@ -341,11 +349,38 @@ impl<'d> Vcd<'d> {
         let scheduler =
             SchedulerStats::from_durations(workers, &latencies, self.cfg.instance_deadline);
 
+        // Worker-pool busy fraction over the measured window, also
+        // published as a gauge for the metrics exporters.
+        let busy_nanos: u64 = latencies.iter().sum();
+        let worker_utilization = (busy_nanos as f64
+            / (workers as f64 * runtime.as_nanos().max(1) as f64))
+            .min(1.0);
+        metrics::gauge("scheduler.worker_utilization").set(worker_utilization);
+        metrics::gauge("scheduler.workers").set(workers as f64);
+        let obs = ObsStats {
+            stage_latency: vr_vdbms::StageKind::ALL
+                .iter()
+                .filter_map(|kind| {
+                    let stage = kind.label();
+                    let h = obs_delta.histograms.get(&format!("stage.{stage}.nanos"))?;
+                    (h.count > 0).then(|| StageLatency {
+                        stage,
+                        count: h.count,
+                        p50_nanos: h.p50(),
+                        p95_nanos: h.p95(),
+                        p99_nanos: h.p99(),
+                    })
+                })
+                .collect(),
+            worker_utilization,
+        };
+
         let validation = if self.cfg.validate {
             // Validation (reference runs + PSNR) happens outside the
             // measured window AND outside the fault plan: injecting
             // faults into the correctness oracle would make every
             // verdict meaningless.
+            let _span = trace::span("vcd", "validate");
             fault::suppress(|| self.validate_batch(&completed))?
         } else {
             ValidationSummary { passed: true, ..Default::default() }
@@ -382,6 +417,7 @@ impl<'d> Vcd<'d> {
                 scheduler,
                 validation,
                 degradation,
+                obs,
             },
         })
     }
@@ -411,6 +447,7 @@ impl<'d> Vcd<'d> {
         let mut slots: Vec<Option<(Result<QueryOutput>, u64)>> =
             (0..batch.len()).map(|_| None).collect();
         for (i, instance) in batch.iter().enumerate() {
+            let _span = trace::span_dyn("scheduler", || format!("instance.{}.{i}", ctx.query_label));
             let t0 = Instant::now();
             if let Err(e) = self.ingest_instance(instance) {
                 // Under degrade mode an ingest failure (e.g. an
@@ -461,6 +498,9 @@ impl<'d> Vcd<'d> {
                                 let Some(instance) = batch.get(i) else {
                                     return (local, Ok(()));
                                 };
+                                let _span = trace::span_dyn("scheduler", || {
+                                    format!("instance.{}.{i}", ctx.query_label)
+                                });
                                 let t0 = Instant::now();
                                 if let Err(e) = self.ingest_instance(instance) {
                                     // Under degrade mode an ingest

@@ -70,6 +70,7 @@ impl MiniDfs {
 
     /// Store a file, splitting it into replicated blocks.
     pub fn put(&self, name: &str, data: &[u8]) -> Result<()> {
+        let _span = vr_base::obs::trace::span("storage", "dfs.put");
         let chunks: Vec<&[u8]> = if data.is_empty() {
             vec![&[][..]]
         } else {
@@ -114,6 +115,7 @@ impl MiniDfs {
     /// failures (injected or real) are retried with bounded, seeded
     /// backoff before the error surfaces.
     pub fn get(&self, name: &str) -> Result<Vec<u8>> {
+        let _span = vr_base::obs::trace::span("storage", "dfs.get");
         fault::with_retry("dfs.get", || {
             if let Some(inj) = fault::global() {
                 if let Some(e) = inj.io_fail(IoOp::Read) {

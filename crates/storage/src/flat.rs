@@ -51,6 +51,7 @@ impl FlatStore {
     /// Write (create or replace) a file. Transient I/O failures
     /// (injected or real) are retried with bounded, seeded backoff.
     pub fn put(&self, name: &str, data: &[u8]) -> Result<()> {
+        let _span = vr_base::obs::trace::span("storage", "flat.put");
         let path = self.path_of(name)?;
         if let Some(parent) = path.parent() {
             std::fs::create_dir_all(parent)?;
@@ -70,6 +71,7 @@ impl FlatStore {
     /// are retried with bounded, seeded backoff; a missing file is
     /// [`Error::NotFound`] immediately (retrying cannot help).
     pub fn get(&self, name: &str) -> Result<Vec<u8>> {
+        let _span = vr_base::obs::trace::span("storage", "flat.get");
         let path = self.path_of(name)?;
         fault::with_retry("flat.get", || {
             if let Some(inj) = fault::global() {

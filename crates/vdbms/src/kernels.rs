@@ -119,6 +119,7 @@ pub fn decode_all_parallel(
     if workers <= 1 || n < 2 || gop_starts.first() != Some(&0) || gop_starts.len() < 2 {
         return decode_all(input);
     }
+    let _span = vr_base::obs::trace::span("decoder", "decode_parallel");
     let chunks = workers.min(gop_starts.len());
     // Contiguous runs of GOPs per chunk; bounds are sample indices.
     let bounds: Vec<(usize, usize)> = (0..chunks)
@@ -133,6 +134,7 @@ pub fn decode_all_parallel(
         .map(|&(from, to)| Ok(Vec::with_capacity(to - from)))
         .collect();
     vr_base::sync::parallel_chunks(&mut parts, chunks, |c, part| {
+        let _span = vr_base::obs::trace::span_dyn("decoder", || format!("gop_chunk{c}"));
         let (from, to) = bounds[c];
         let mut dec = SampleDecoder::new(info);
         let mut out = Vec::with_capacity(to - from);

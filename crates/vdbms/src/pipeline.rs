@@ -31,6 +31,7 @@ use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+use vr_base::obs::{metrics, trace};
 use vr_base::sync::{
     channel, parallel_chunks, Receiver, RecvTimeoutError, SendError, Sender, TrySendError,
 };
@@ -92,10 +93,38 @@ struct AtomicStage {
 
 /// Per-stage counters shared by every operator of one execution
 /// context. Thread-safe (pipelined stages run on worker threads).
-#[derive(Default)]
+///
+/// Every `record` also feeds the process-global
+/// [`vr_base::obs::metrics`] registry: per-stage invocation-latency
+/// histograms (`stage.<name>.nanos`) plus frame/byte counters, so
+/// cross-query aggregates and p50/p95/p99 latencies are available from
+/// one place while this struct keeps serving per-context deltas.
 pub struct PipelineMetrics {
     stages: [AtomicStage; 5],
     contention_nanos: AtomicU64,
+    stage_latency: [Arc<metrics::Histogram>; 5],
+    stage_frames: [Arc<metrics::Counter>; 5],
+    stage_bytes: [Arc<metrics::Counter>; 5],
+    contention_total: Arc<metrics::Counter>,
+}
+
+impl Default for PipelineMetrics {
+    fn default() -> Self {
+        Self {
+            stages: Default::default(),
+            contention_nanos: AtomicU64::new(0),
+            stage_latency: std::array::from_fn(|i| {
+                metrics::histogram(&format!("stage.{}.nanos", StageKind::ALL[i].label()))
+            }),
+            stage_frames: std::array::from_fn(|i| {
+                metrics::counter(&format!("stage.{}.frames", StageKind::ALL[i].label()))
+            }),
+            stage_bytes: std::array::from_fn(|i| {
+                metrics::counter(&format!("stage.{}.bytes", StageKind::ALL[i].label()))
+            }),
+            contention_total: metrics::counter("pipeline.contention_nanos"),
+        }
+    }
 }
 
 impl PipelineMetrics {
@@ -106,12 +135,20 @@ impl PipelineMetrics {
         s.frames.fetch_add(frames, Ordering::Relaxed);
         s.bytes.fetch_add(bytes, Ordering::Relaxed);
         s.invocations.fetch_add(1, Ordering::Relaxed);
+        self.stage_latency[stage.idx()].observe(nanos);
+        if frames > 0 {
+            self.stage_frames[stage.idx()].add(frames);
+        }
+        if bytes > 0 {
+            self.stage_bytes[stage.idx()].add(bytes);
+        }
     }
 
     /// Add time a pipelined stage spent blocked on a full channel
     /// (backpressure from the next stage).
     pub fn record_contention(&self, nanos: u64) {
         self.contention_nanos.fetch_add(nanos, Ordering::Relaxed);
+        self.contention_total.add(nanos);
     }
 
     /// Current totals.
@@ -241,6 +278,7 @@ impl FrameSource for StreamScan<'_> {
     }
 
     fn next_frame(&mut self) -> Option<Result<Frame>> {
+        let _span = trace::span("pipeline", "decode");
         let t0 = Instant::now();
         let frame = self.stream.next_frame()?;
         if let Ok(f) = &frame {
@@ -315,6 +353,7 @@ impl FrameSource for RangeScan<'_> {
 
     fn next_frame(&mut self) -> Option<Result<Frame>> {
         while self.next <= self.to {
+            let _span = trace::span("pipeline", "decode");
             let t0 = Instant::now();
             let i = self.next;
             self.next += 1;
@@ -373,6 +412,7 @@ impl FrameSource for MemoryScan {
         if self.next >= self.end {
             return None;
         }
+        let _span = trace::span("pipeline", "scan");
         let t0 = Instant::now();
         let f = self.frames[self.next].clone();
         self.next += 1;
@@ -749,6 +789,7 @@ impl<'c> Pipeline<'c> {
         source: &mut dyn FrameSource,
         kernel: &mut dyn FrameKernel,
     ) -> Result<StreamResult> {
+        let _span = trace::span("pipeline", "run_streaming");
         self.absorb_stall("kernel");
         if self.ctx.workers <= 1 {
             return self.run_streaming_seq(source, kernel);
@@ -862,6 +903,7 @@ impl<'c> Pipeline<'c> {
         sources: &mut [&mut dyn FrameSource],
         kernel: &mut dyn FrameKernel,
     ) -> Result<StreamResult> {
+        let _span = trace::span("pipeline", "run_streaming_multi");
         let info = sources
             .first()
             .map(|s| s.info())
@@ -997,6 +1039,7 @@ impl<'c> Pipeline<'c> {
         workers: usize,
         kernel: impl Fn(&Frame) -> Frame + Send + Sync,
     ) -> Result<EncodedVideo> {
+        let _span = trace::span("pipeline", "run_eager");
         self.absorb_stall("kernel");
         let workers = workers.min(self.ctx.workers).max(1);
         let info = source.info();
@@ -1046,6 +1089,7 @@ impl<'c> Pipeline<'c> {
         source: &mut dyn FrameSource,
         kernel: impl FnOnce(Vec<Frame>, VideoInfo) -> Result<Vec<Frame>>,
     ) -> Result<EncodedVideo> {
+        let _span = trace::span("pipeline", "run_sequence");
         self.absorb_stall("kernel");
         let info = source.info();
         let frames = self.drain(source)?;
@@ -1067,6 +1111,7 @@ impl<'c> Pipeline<'c> {
         gate: &mut DiffGate,
         kernel: &mut dyn FnMut(Frame, usize, bool) -> Result<KernelOut>,
     ) -> Result<StreamResult> {
+        let _span = trace::span("pipeline", "run_short_circuit");
         self.absorb_stall("kernel");
         if self.ctx.workers <= 1 {
             return self.run_short_circuit_seq(source, gate, kernel);
@@ -1168,6 +1213,7 @@ impl<'c> Pipeline<'c> {
 
     /// Time a closure as Kernel-stage work over `frames` frames.
     pub fn kernel_span<T>(&self, frames: u64, f: impl FnOnce() -> T) -> T {
+        let _span = trace::span("pipeline", "kernel");
         let t0 = Instant::now();
         let out = f();
         self.ctx.metrics.record(StageKind::Kernel, t0.elapsed().as_nanos() as u64, frames, 0);
@@ -1236,6 +1282,7 @@ impl<'c> Pipeline<'c> {
     /// Sink stage: apply the context's result mode (persist or
     /// discard), recording Sink time and persisted bytes.
     pub fn sink(&self, instance_index: usize, output: &QueryOutput) -> Result<usize> {
+        let _span = trace::span("pipeline", "sink");
         self.absorb_stall("sink");
         let t0 = Instant::now();
         let bytes = self.ctx.result_mode.sink(instance_index, output)?;
@@ -1275,6 +1322,7 @@ impl<'p, 'c> EncodeStage<'p, 'c> {
                 self.pl.ctx.query_label
             )));
         }
+        let _span = trace::span("pipeline", "encode");
         let t0 = Instant::now();
         if self.encoder.is_none() {
             let cfg = EncoderConfig {

@@ -76,7 +76,7 @@ fn query_outputs_are_deterministic() {
     let vcd = Vcd::new(&dataset, VcdConfig { batch_size: Some(1), ..Default::default() });
     let batch = vcd.batch(QueryKind::Q2bBlur).unwrap();
     let ctx = ExecContext::default();
-    let mut engine = ReferenceEngine::new();
+    let engine = ReferenceEngine::new();
     let out1 = engine.execute(&batch[0], &dataset.videos, &ctx).unwrap();
     let out2 = engine.execute(&batch[0], &dataset.videos, &ctx).unwrap();
     let (Some(v1), Some(v2)) = (out1.primary_video(), out2.primary_video()) else {
