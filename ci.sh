@@ -104,23 +104,33 @@ stage_bench_gate() {
 }
 
 stage_obs_gate() {
-    # Observability gate, three assertions:
+    # Observability gate, six assertions:
     #   1. a traced run emits a chrome-trace profile that validates
     #      (well-formed events, balanced B/E pairs, a span for every
     #      pipeline stage and at least one scheduler instance);
     #   2. the traced run's query output is byte-identical to the
     #      untraced baseline — telemetry never feeds back into results;
     #   3. an explicit VR_TRACE=0 run is also byte-identical, pinning
-    #      the disabled path.
+    #      the disabled path;
+    #   4. an EXPLAIN ANALYZE run at one worker (the regime where
+    #      per-node self times must sum to <= wall) exits zero, every
+    #      pipeline stage appears as a plan node with nonzero wall
+    #      time, and the collapsed-stacks export validates;
+    #   5. the metrics snapshots validate (non-negative counters,
+    #      histogram buckets summing to count) and counters are
+    #      monotonic across a genuine mid-run/end-of-run pair;
+    #   6. a run with the live endpoint serving on an ephemeral port
+    #      produces result files byte-identical to the unserved
+    #      baseline — the server is provably non-perturbing.
     local obs="$ART/obs"
     rm -rf "$obs"
-    mkdir -p "$obs/base" "$obs/traced" "$obs/untraced"
+    mkdir -p "$obs/base" "$obs/traced" "$obs/untraced" "$obs/served"
     VR_WORKERS=4 ./target/release/visualroad "${RUN_ARGS[@]}" \
-        --write "$obs/base" >/dev/null
+        --write "$obs/base" > "$obs/base_report.txt"
     VR_WORKERS=4 ./target/release/visualroad "${RUN_ARGS[@]}" \
         --write "$obs/traced" --trace-out "$obs/trace.json" \
         --metrics-out "$obs/metrics.json" > "$obs/traced_report.txt"
-    ./target/release/trace_check "$obs/trace.json"
+    ./target/release/trace_check "$obs/trace.json" --metrics "$obs/metrics.json"
     VR_WORKERS=4 VR_TRACE=0 ./target/release/visualroad "${RUN_ARGS[@]}" \
         --write "$obs/untraced" >/dev/null
     for variant in traced untraced; do
@@ -131,6 +141,43 @@ stage_obs_gate() {
         fi
     done
     echo "traced and VR_TRACE=0 outputs byte-identical to baseline"
+
+    # 4+5. EXPLAIN ANALYZE leg: the binary itself exits nonzero if any
+    # plan fails the self-time invariant; on top of that, require each
+    # pipeline stage to show up as an annotated plan node with nonzero
+    # wall time, and validate the folded stacks and the mid/end
+    # metrics-snapshot pair.
+    VR_WORKERS=1 ./target/release/visualroad "${RUN_ARGS[@]}" \
+        --explain-analyze --explain-out "$obs/plans.txt" \
+        --folded-out "$obs/folded.txt" \
+        --metrics-mid-out "$obs/metrics_mid.json" \
+        --metrics-out "$obs/metrics_analyze.json" > "$obs/analyze_report.txt"
+    for node in scan decode kernel encode sink; do
+        if ! grep -Eq "^ *${node}[: ].*wall=[1-9]" "$obs/plans.txt"; then
+            echo "FAIL: no annotated '$node' plan node with nonzero wall time in $obs/plans.txt" >&2
+            return 1
+        fi
+    done
+    ./target/release/trace_check \
+        --metrics-pair "$obs/metrics_mid.json" "$obs/metrics_analyze.json" \
+        --folded "$obs/folded.txt"
+    echo "explain-analyze plans, folded stacks, and metrics snapshots OK"
+
+    # 6. Served-vs-unserved byte identity: the endpoint binds an
+    # ephemeral loopback port (announced on stderr only) and must not
+    # perturb a single byte of the written results. (Reports carry
+    # wall-clock runtimes, so only the result files can be compared
+    # across runs; they are kept as artifacts regardless.)
+    VR_WORKERS=4 ./target/release/visualroad "${RUN_ARGS[@]}" \
+        --write "$obs/served" --serve-metrics 0 \
+        > "$obs/served_report.txt" 2> "$obs/served_stderr.txt"
+    grep -q "serving metrics on http://127.0.0.1:" "$obs/served_stderr.txt"
+    if ! diff -r "$obs/base" "$obs/served" > "$obs/diff_served.txt" 2>&1; then
+        cat "$obs/diff_served.txt"
+        echo "FAIL: serving /metrics perturbed the written results (see $obs)" >&2
+        return 1
+    fi
+    echo "served run byte-identical to unserved baseline"
 }
 
 run_one() {

@@ -74,6 +74,25 @@ impl Gauge {
         self.0.store(v.to_bits(), Ordering::Relaxed);
     }
 
+    /// Raise the gauge to `v` if `v` exceeds the current value (CAS
+    /// loop). High-water marks — peak allocation bytes per scope — are
+    /// max-merged rather than last-write-wins, so concurrent scopes
+    /// never lower each other's peak.
+    pub fn set_max(&self, v: f64) {
+        let mut cur = self.0.load(Ordering::Relaxed);
+        while v > f64::from_bits(cur) {
+            match self.0.compare_exchange_weak(
+                cur,
+                v.to_bits(),
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
     /// Current value.
     pub fn get(&self) -> f64 {
         f64::from_bits(self.0.load(Ordering::Relaxed))
@@ -184,10 +203,20 @@ impl Default for HistogramSnapshot {
 impl HistogramSnapshot {
     /// Estimate the `q`-quantile (`0.0 ..= 1.0`) as the upper bound of
     /// the bucket containing the target rank. Overflow-bucket hits
-    /// report twice the last finite bound. Returns 0 when empty.
+    /// report twice the last finite bound.
+    ///
+    /// Degenerate histograms get exact answers instead of bucket
+    /// estimates: an empty histogram reports 0, and a single-sample
+    /// histogram reports the sample itself (recoverable as `sum` when
+    /// `count == 1`) — so p50/p95/p99 are defined for every histogram
+    /// a snapshot can contain, including one-observation `since`
+    /// deltas.
     pub fn quantile(&self, q: f64) -> u64 {
         if self.count == 0 {
             return 0;
+        }
+        if self.count == 1 {
+            return self.sum;
         }
         let target = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
         let mut cumulative = 0u64;
@@ -431,6 +460,44 @@ impl MetricsSnapshot {
         out
     }
 
+    /// Render in the Prometheus text exposition format (version 0.0.4)
+    /// — the flavour served by `--serve-metrics` at `/metrics`.
+    ///
+    /// Instrument names are sanitised to `[a-zA-Z0-9_:]` (dots become
+    /// underscores) and prefixed `vr_`; histograms expand to the
+    /// conventional cumulative `_bucket{le="..."}` series plus `_sum`
+    /// and `_count`. BTreeMap iteration keeps the output
+    /// deterministic.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        for (k, v) in &self.counters {
+            let name = prometheus_name(k);
+            out.push_str(&format!("# TYPE {name} counter\n{name} {v}\n"));
+        }
+        for (k, v) in &self.gauges {
+            let name = prometheus_name(k);
+            out.push_str(&format!("# TYPE {name} gauge\n{name} {}\n", fmt_f64(*v)));
+        }
+        for (k, h) in &self.histograms {
+            let name = prometheus_name(k);
+            out.push_str(&format!("# TYPE {name} histogram\n"));
+            let mut cumulative = 0u64;
+            for (i, &n) in h.buckets.iter().enumerate() {
+                cumulative += n;
+                match BUCKET_BOUNDS_NANOS.get(i) {
+                    Some(bound) => out.push_str(&format!(
+                        "{name}_bucket{{le=\"{bound}\"}} {cumulative}\n"
+                    )),
+                    None => out.push_str(&format!(
+                        "{name}_bucket{{le=\"+Inf\"}} {cumulative}\n"
+                    )),
+                }
+            }
+            out.push_str(&format!("{name}_sum {}\n{name}_count {}\n", h.sum, h.count));
+        }
+        out
+    }
+
     /// Render as flat `name value` lines (one instrument per line,
     /// sorted) — the text flavour for quick diffing and grepping.
     pub fn to_text(&self) -> String {
@@ -470,6 +537,22 @@ fn push_entries<'a>(out: &mut String, entries: impl Iterator<Item = (&'a String,
     if !first {
         out.push_str("\n  ");
     }
+}
+
+/// Sanitise a registry name into a legal Prometheus metric name:
+/// `vr_` prefix, every character outside `[a-zA-Z0-9_:]` replaced by
+/// an underscore.
+fn prometheus_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 3);
+    out.push_str("vr_");
+    for c in name.chars() {
+        if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out
 }
 
 fn fmt_f64(v: f64) -> String {
@@ -537,6 +620,65 @@ mod tests {
         assert_eq!(s.p95(), 1_000);
         assert_eq!(s.quantile(1.0), 5_000_000);
         assert_eq!(HistogramSnapshot::default().p99(), 0);
+    }
+
+    #[test]
+    fn quantiles_on_empty_and_single_sample_histograms_are_defined() {
+        // Empty: every quantile is 0.
+        let empty = HistogramSnapshot::default();
+        assert_eq!(empty.p50(), 0);
+        assert_eq!(empty.p95(), 0);
+        assert_eq!(empty.p99(), 0);
+        // Single sample: every quantile is the sample itself, not the
+        // containing bucket's upper bound.
+        let h = Histogram::new();
+        h.observe(1_500);
+        let s = h.snapshot();
+        assert_eq!(s.p50(), 1_500);
+        assert_eq!(s.p95(), 1_500);
+        assert_eq!(s.p99(), 1_500);
+        assert_eq!(s.quantile(0.0), 1_500);
+        assert_eq!(s.quantile(1.0), 1_500);
+        // A since-delta that isolates one observation gets the same
+        // exact treatment.
+        h.observe(9_000);
+        let delta = h.snapshot().since(&s);
+        assert_eq!(delta.count, 1);
+        assert_eq!(delta.p95(), 9_000);
+    }
+
+    #[test]
+    fn gauge_set_max_keeps_the_high_water_mark() {
+        let g = Gauge::new();
+        g.set_max(10.0);
+        g.set_max(3.0);
+        assert_eq!(g.get(), 10.0);
+        g.set_max(12.5);
+        assert_eq!(g.get(), 12.5);
+        // Plain set still overwrites downwards.
+        g.set(1.0);
+        assert_eq!(g.get(), 1.0);
+    }
+
+    #[test]
+    fn prometheus_export_is_wellformed_and_cumulative() {
+        let registry = Registry::new();
+        registry.counter("a.count").add(2);
+        registry.gauge("b.gauge").set(0.5);
+        let h = registry.histogram("stage.kernel.nanos");
+        h.observe(1_500);
+        h.observe(900);
+        let text = registry.snapshot().to_prometheus();
+        assert!(text.contains("# TYPE vr_a_count counter\nvr_a_count 2\n"));
+        assert!(text.contains("# TYPE vr_b_gauge gauge\nvr_b_gauge 0.5\n"));
+        assert!(text.contains("# TYPE vr_stage_kernel_nanos histogram\n"));
+        // Buckets are cumulative: the 2_000 bound has seen both
+        // observations, the 1_000 bound only the 900ns one.
+        assert!(text.contains("vr_stage_kernel_nanos_bucket{le=\"1000\"} 1\n"));
+        assert!(text.contains("vr_stage_kernel_nanos_bucket{le=\"2000\"} 2\n"));
+        assert!(text.contains("vr_stage_kernel_nanos_bucket{le=\"+Inf\"} 2\n"));
+        assert!(text.contains("vr_stage_kernel_nanos_sum 2400\n"));
+        assert!(text.contains("vr_stage_kernel_nanos_count 2\n"));
     }
 
     #[test]

@@ -12,8 +12,22 @@
 //!   disabled the call sites compile to no-ops.
 //! * [`metrics`] — named counters, gauges, and fixed-bucket latency
 //!   histograms (p50/p95/p99 snapshots) in a process-global
-//!   [`metrics::Registry`], exported as deterministic JSON/text and
-//!   diffed per query with [`metrics::MetricsSnapshot::since`].
+//!   [`metrics::Registry`], exported as deterministic JSON/text (and
+//!   Prometheus text for the live endpoint) and diffed per query with
+//!   [`metrics::MetricsSnapshot::since`].
+//!
+//! Layer 2 (EXPLAIN ANALYZE support) builds three more surfaces on the
+//! same contract:
+//!
+//! * [`alloc`] — a counting `GlobalAlloc` wrapper with per-thread
+//!   scoped accounting (allocations, bytes, high-water marks), one
+//!   relaxed atomic per allocation when tracking is off
+//!   (`VR_ALLOC_TRACK` / [`alloc::set_tracking`]);
+//! * [`folded`] — collapsed-stacks (flamegraph) export of the span
+//!   buffer, with a self-time invariant check;
+//! * [`serve`] — a loopback-bound `TcpListener` endpoint
+//!   (`/metrics`, `/metrics.json`, `/healthz`, `/explain`) serving
+//!   read-only snapshots while a run is in flight.
 //!
 //! ### Span taxonomy
 //!
@@ -31,9 +45,14 @@
 //! Dotted lowercase names, unit as the last segment where one applies:
 //! `stage.decode.nanos` (histogram), `stage.decode.frames` (counter),
 //! `degradation.io_retries` (counter),
-//! `scheduler.worker_utilization` (gauge).
+//! `scheduler.worker_utilization` (gauge), and for the allocator
+//! scopes `alloc.<scope>.allocs` / `alloc.<scope>.bytes` (counters)
+//! plus `alloc.<scope>.peak_bytes` (max-merged gauge).
 
+pub mod alloc;
+pub mod folded;
 pub mod metrics;
+pub mod serve;
 pub mod trace;
 
 /// Escape a string for embedding in a JSON string literal.

@@ -1,0 +1,246 @@
+//! Live telemetry endpoint: a minimal HTTP/1.1 server over
+//! `std::net::TcpListener` exposing registry snapshots while a run is
+//! in flight.
+//!
+//! Routes:
+//!
+//! | path            | body                                            |
+//! |-----------------|-------------------------------------------------|
+//! | `/metrics`      | Prometheus text exposition of the registry      |
+//! | `/metrics.json` | the registry's deterministic JSON snapshot      |
+//! | `/healthz`      | `ok` (liveness probe)                           |
+//! | `/explain`      | plan tree of the in-flight batch (text)         |
+//!
+//! Threat model / non-perturbation contract:
+//!
+//! * **read-only** — every response is rendered from a point-in-time
+//!   [`super::metrics::MetricsSnapshot`] or from the explain string
+//!   published via [`set_explain`]; no handler can mutate engine or
+//!   registry state.
+//! * **loopback-bound** — the listener binds `127.0.0.1` only; the
+//!   endpoint is a local debugging/scrape surface, not a network
+//!   service. There is no TLS, auth, or request body parsing to get
+//!   wrong — anything that is not a known `GET` path is a 404.
+//! * **non-perturbing** — the server runs on its own thread, touches
+//!   only snapshots, and query results must be byte-identical with
+//!   the server on or off (the obs-gate CI leg diffs exactly that).
+//!
+//! The server is off by default and owned by whoever calls
+//! [`MetricsServer::start`] (the CLI's `--serve-metrics <port>`);
+//! dropping the handle shuts the listener down.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::Duration;
+
+use crate::sync::RwLock;
+
+/// The explain text published for the in-flight batch (empty until the
+/// driver publishes one).
+static EXPLAIN: OnceLock<RwLock<String>> = OnceLock::new();
+
+fn explain_cell() -> &'static RwLock<String> {
+    EXPLAIN.get_or_init(|| RwLock::new(String::new()))
+}
+
+/// Publish the plan tree of the batch currently executing, replacing
+/// any previous one. The driver calls this at batch start (plan shape)
+/// and again after execution (annotated plan).
+pub fn set_explain(text: impl Into<String>) {
+    *explain_cell().write() = text.into();
+}
+
+/// The currently published explain text, if any.
+pub fn explain_text() -> Option<String> {
+    let text = explain_cell().read();
+    if text.is_empty() {
+        None
+    } else {
+        Some(text.clone())
+    }
+}
+
+/// A running metrics endpoint. Stop it explicitly with
+/// [`MetricsServer::stop`] or implicitly by dropping it.
+pub struct MetricsServer {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl MetricsServer {
+    /// Bind `127.0.0.1:port` (`port` 0 picks an ephemeral port — the
+    /// actual one is in [`MetricsServer::addr`]) and serve until
+    /// stopped.
+    pub fn start(port: u16) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(("127.0.0.1", port))?;
+        let addr = listener.local_addr()?;
+        // Non-blocking accept so the loop can observe shutdown without
+        // a wake-up connection.
+        listener.set_nonblocking(true)?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&shutdown);
+        let handle = std::thread::Builder::new()
+            .name("vr-metrics-serve".to_string())
+            .spawn(move || serve_loop(listener, flag))?;
+        Ok(Self { addr, shutdown, handle: Some(handle) })
+    }
+
+    /// The bound address (the real port when started with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The bound port.
+    pub fn port(&self) -> u16 {
+        self.addr.port()
+    }
+
+    /// Shut the listener down and join the serving thread.
+    pub fn stop(mut self) {
+        self.shutdown_and_join();
+    }
+
+    fn shutdown_and_join(&mut self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        self.shutdown_and_join();
+    }
+}
+
+fn serve_loop(listener: TcpListener, shutdown: Arc<AtomicBool>) {
+    while !shutdown.load(Ordering::Relaxed) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                // Requests are tiny and handlers only read snapshots;
+                // serving inline keeps the server single-threaded and
+                // bounded.
+                let _ = handle_connection(stream);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(5)),
+        }
+    }
+}
+
+fn handle_connection(mut stream: TcpStream) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_millis(500)))?;
+    stream.set_write_timeout(Some(Duration::from_millis(500)))?;
+    // Read the request head (bounded; no bodies are accepted).
+    let mut buf = [0u8; 4096];
+    let mut len = 0usize;
+    loop {
+        match stream.read(&mut buf[len..]) {
+            Ok(0) => break,
+            Ok(n) => {
+                len += n;
+                if buf[..len].windows(4).any(|w| w == b"\r\n\r\n") || len == buf.len() {
+                    break;
+                }
+            }
+            Err(_) => break,
+        }
+    }
+    let head = String::from_utf8_lossy(&buf[..len]);
+    let mut parts = head.lines().next().unwrap_or("").split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let path = parts.next().unwrap_or("");
+    let (status, content_type, body) = route(method, path);
+    let response = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(response.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+fn route(method: &str, path: &str) -> (&'static str, &'static str, String) {
+    if method != "GET" {
+        return ("405 Method Not Allowed", "text/plain; charset=utf-8", "method not allowed\n".into());
+    }
+    match path {
+        "/metrics" => (
+            "200 OK",
+            "text/plain; version=0.0.4; charset=utf-8",
+            super::metrics::snapshot().to_prometheus(),
+        ),
+        "/metrics.json" => {
+            ("200 OK", "application/json; charset=utf-8", super::metrics::snapshot().to_json())
+        }
+        "/healthz" => ("200 OK", "text/plain; charset=utf-8", "ok\n".into()),
+        "/explain" => match explain_text() {
+            Some(text) => ("200 OK", "text/plain; charset=utf-8", text),
+            None => ("200 OK", "text/plain; charset=utf-8", "no batch in flight\n".into()),
+        },
+        _ => ("404 Not Found", "text/plain; charset=utf-8", "not found\n".into()),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Tests
+// ---------------------------------------------------------------------------
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn get(addr: SocketAddr, path: &str) -> String {
+        let mut stream = TcpStream::connect(addr).expect("connect to metrics server");
+        write!(stream, "GET {path} HTTP/1.1\r\nHost: localhost\r\n\r\n").unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        response
+    }
+
+    #[test]
+    fn smoke_metrics_and_healthz_on_an_ephemeral_port() {
+        // Port 0: the OS assigns an ephemeral port, so the test cannot
+        // collide with a parallel run.
+        let server = MetricsServer::start(0).expect("bind ephemeral port");
+        assert_ne!(server.port(), 0);
+        let addr = server.addr();
+
+        let health = get(addr, "/healthz");
+        assert!(health.starts_with("HTTP/1.1 200 OK"), "healthz response: {health}");
+        assert!(health.ends_with("ok\n"));
+
+        super::super::metrics::counter("serve.test.count").add(3);
+        let metrics = get(addr, "/metrics");
+        assert!(metrics.starts_with("HTTP/1.1 200 OK"));
+        assert!(metrics.contains("# TYPE vr_serve_test_count counter"));
+        assert!(metrics.contains("vr_serve_test_count 3"));
+
+        let json = get(addr, "/metrics.json");
+        assert!(json.contains("application/json"));
+        assert!(json.contains("\"serve.test.count\": 3"));
+
+        let missing = get(addr, "/nope");
+        assert!(missing.starts_with("HTTP/1.1 404"));
+
+        server.stop();
+    }
+
+    #[test]
+    fn explain_route_serves_the_published_plan() {
+        let server = MetricsServer::start(0).expect("bind ephemeral port");
+        set_explain("query.q1 (engine=reference)\n  sink\n");
+        let response = get(server.addr(), "/explain");
+        assert!(response.starts_with("HTTP/1.1 200 OK"));
+        assert!(response.contains("query.q1 (engine=reference)"));
+        set_explain("");
+        server.stop();
+    }
+}

@@ -206,6 +206,17 @@ pub fn drain() -> Vec<TraceEvent> {
     std::mem::take(&mut *EVENTS.lock())
 }
 
+/// Copy the buffered events without draining them (exporters that
+/// must coexist — chrome trace and folded stacks — both read this).
+pub fn events() -> Vec<TraceEvent> {
+    EVENTS.lock().clone()
+}
+
+/// Serialises tests — across this crate's modules — that enable the
+/// process-global tracer.
+#[cfg(test)]
+pub(crate) static TEST_LOCK: Mutex<()> = Mutex::new(());
+
 /// Serialize the buffered events as a chrome-trace (`trace_event`)
 /// JSON document without draining them. Loadable in `chrome://tracing`
 /// and Perfetto. Returns the number of events written.
@@ -254,10 +265,9 @@ pub fn save(path: &str) -> std::io::Result<usize> {
 mod tests {
     use super::*;
 
-    /// The tracer is process-global; tests that flip it on must not
-    /// interleave. (Other crates' tests never enable tracing, so this
-    /// lock only needs to cover this module.)
-    static TEST_LOCK: Mutex<()> = Mutex::new(());
+    // The tracer is process-global; tests that flip it on must not
+    // interleave — they share `super::TEST_LOCK` with the folded
+    // exporter's tests. (Other crates' tests never enable tracing.)
 
     fn with_tracer<R>(f: impl FnOnce() -> R) -> R {
         let _guard = TEST_LOCK.lock();

@@ -9,7 +9,12 @@
 //!
 //! The per-benchmark delta table is always printed — on pass as well
 //! as on failure — and with `--deltas-out` it is additionally written
-//! to FILE so CI can keep it as an artifact.
+//! to FILE so CI can keep it as an artifact. When the result files
+//! carry a `"stages"` section (per-stage latency quantiles the
+//! harness appends from the metrics registry), the table also shows
+//! per-stage p95 columns; those rows are informational and never fail
+//! the gate, but they make stage-level regressions attributable from
+//! the CI artifact alone.
 //!
 //! Verdicts per benchmark id:
 //!
@@ -60,6 +65,26 @@ fn load_medians(path: &str) -> Result<BTreeMap<String, f64>, String> {
         medians.insert(id.to_string(), median);
     }
     Ok(medians)
+}
+
+/// Per-stage p95 latencies from a result file's `"stages"` section.
+/// Absent or empty sections (committed baselines rebuilt by
+/// `--seed-new` keep only the benchmark lines) yield an empty map.
+fn load_stage_p95(path: &str) -> Result<BTreeMap<String, f64>, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {path}: {e}"))?;
+    let doc = json::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+    let mut stages = BTreeMap::new();
+    if let Some(map) = doc.get("stages").and_then(|s| s.as_object()) {
+        for (stage, entry) in map {
+            let p95 = entry
+                .get("p95_ns")
+                .and_then(|v| v.as_f64())
+                .ok_or_else(|| format!("{path}: stage {stage:?} has no p95_ns"))?;
+            stages.insert(stage.clone(), p95);
+        }
+    }
+    Ok(stages)
 }
 
 fn fmt_ms(ns: f64) -> String {
@@ -165,6 +190,40 @@ fn run() -> Result<bool, String> {
         if !current.contains_key(id) {
             failures += 1;
             table.push(format!("{id:<50} {:>12} {:>12} {:>8}  MISSING", "?", "-", "-"));
+        }
+    }
+
+    // Per-stage p95 latency columns: informational only, so a noisy
+    // stage quantile can never fail the gate, but stage-level
+    // regressions stay attributable from the persisted delta table.
+    let baseline_stages = load_stage_p95(baseline_path)?;
+    let current_stages = load_stage_p95(current_path)?;
+    if !current_stages.is_empty() {
+        table.push(format!(
+            "{:<50} {:>12} {:>12} {:>8}  {}",
+            "stage p95 latency", "baseline", "current", "ratio", "(informational)"
+        ));
+        for (stage, &cur) in &current_stages {
+            match baseline_stages.get(stage) {
+                Some(&base) if base > 0.0 => {
+                    table.push(format!(
+                        "{:<50} {:>12} {:>12} {:>7.2}x  STAGE",
+                        format!("stage/{stage}"),
+                        fmt_ms(base),
+                        fmt_ms(cur),
+                        cur / base
+                    ));
+                }
+                _ => {
+                    table.push(format!(
+                        "{:<50} {:>12} {:>12} {:>8}  STAGE (no baseline)",
+                        format!("stage/{stage}"),
+                        "-",
+                        fmt_ms(cur),
+                        "-"
+                    ));
+                }
+            }
         }
     }
 

@@ -1,11 +1,15 @@
-//! CI obs-gate validator for chrome-trace profiles emitted by
-//! `visualroad run --trace-out`.
+//! CI obs-gate validator for the observability artifacts emitted by
+//! `visualroad run`: chrome-trace profiles (`--trace-out`), metrics
+//! snapshots (`--metrics-out`), and collapsed-stack flamegraph files
+//! (`--folded-out`).
 //!
 //! ```text
-//! trace_check <trace.json> [--require name1,name2,...]
+//! trace_check [<trace.json>] [--require name1,name2,...]
+//!             [--metrics snap.json]... [--metrics-pair before.json after.json]
+//!             [--folded folded.txt]...
 //! ```
 //!
-//! Checks, in order:
+//! Trace checks, in order:
 //!
 //! 1. the document parses and holds a non-empty `traceEvents` array;
 //! 2. every event is well-formed: non-empty string `name`, string
@@ -20,8 +24,18 @@
 //!    least one scheduler instance span (`cat == "scheduler"`, name
 //!    `instance.*`) is present.
 //!
-//! Exit code 0 when the profile passes, 1 with a diagnostic on the
-//! first violation.
+//! Metrics checks (`--metrics`, and each side of `--metrics-pair`):
+//! the snapshot parses, every counter is a non-negative finite number,
+//! and every histogram's bucket counts sum to its `count`. A
+//! `--metrics-pair` additionally requires every counter present in
+//! both snapshots to be monotonic (after >= before).
+//!
+//! Folded checks (`--folded`): the file is non-empty and every line is
+//! `stack <nanos>` with a `;`-separated non-empty stack and a
+//! parseable non-negative integer count.
+//!
+//! Exit code 0 when every requested artifact passes, 1 with a
+//! diagnostic on the first violation.
 
 use std::process::ExitCode;
 use vr_bench::json::{self, Value};
@@ -72,9 +86,106 @@ fn parse_event<'a>(v: &'a Value, index: usize) -> Result<Event<'a>, String> {
     Ok(Event { name, cat, begin, ts, tid, index })
 }
 
+/// Parse and sanity-check one `--metrics-out` snapshot. Returns the
+/// parsed document so pair checks can compare counters.
+fn check_metrics(path: &str) -> Result<Value, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let doc = json::parse(&text).map_err(|e| format!("{path}: invalid JSON: {e}"))?;
+    let counters = doc
+        .get("counters")
+        .and_then(Value::as_object)
+        .ok_or_else(|| format!("{path}: no \"counters\" object"))?;
+    for (name, value) in counters {
+        let v = value
+            .as_f64()
+            .ok_or_else(|| format!("{path}: counter {name:?} is not a number"))?;
+        if !v.is_finite() || v < 0.0 {
+            return Err(format!("{path}: counter {name:?} is negative or non-finite ({v})"));
+        }
+    }
+    if let Some(histograms) = doc.get("histograms").and_then(Value::as_object) {
+        for (name, hist) in histograms {
+            let count = hist
+                .get("count")
+                .and_then(Value::as_f64)
+                .filter(|c| c.is_finite() && *c >= 0.0)
+                .ok_or_else(|| format!("{path}: histogram {name:?} missing \"count\""))?;
+            let buckets = hist
+                .get("buckets")
+                .and_then(Value::as_array)
+                .ok_or_else(|| format!("{path}: histogram {name:?} missing \"buckets\""))?;
+            let mut sum = 0.0;
+            for (i, b) in buckets.iter().enumerate() {
+                let b = b
+                    .as_f64()
+                    .filter(|b| b.is_finite() && *b >= 0.0)
+                    .ok_or_else(|| format!("{path}: histogram {name:?} bucket {i} is invalid"))?;
+                sum += b;
+            }
+            if sum != count {
+                return Err(format!(
+                    "{path}: histogram {name:?} buckets sum to {sum} but count is {count}"
+                ));
+            }
+        }
+    }
+    Ok(doc)
+}
+
+/// Require every counter present in both snapshots to be monotonic.
+fn check_metrics_pair(before_path: &str, after_path: &str) -> Result<usize, String> {
+    let before = check_metrics(before_path)?;
+    let after = check_metrics(after_path)?;
+    let before_counters = before.get("counters").and_then(Value::as_object).unwrap();
+    let after_counters = after.get("counters").and_then(Value::as_object).unwrap();
+    let mut compared = 0;
+    for (name, b) in before_counters {
+        let Some(a) = after_counters.get(name.as_str()).and_then(Value::as_f64) else {
+            continue;
+        };
+        let b = b.as_f64().unwrap();
+        if a < b {
+            return Err(format!(
+                "counter {name:?} went backwards: {b} in {before_path} but {a} in {after_path}"
+            ));
+        }
+        compared += 1;
+    }
+    Ok(compared)
+}
+
+/// Validate one collapsed-stacks file: non-empty, every line
+/// `frame;frame;... <nanos>`.
+fn check_folded(path: &str) -> Result<usize, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let mut lines = 0;
+    for (i, line) in text.lines().enumerate() {
+        if line.is_empty() {
+            continue;
+        }
+        let (stack, count) = line
+            .rsplit_once(' ')
+            .ok_or_else(|| format!("{path}:{}: no \"stack count\" separator", i + 1))?;
+        if stack.is_empty() || stack.split(';').any(str::is_empty) {
+            return Err(format!("{path}:{}: empty frame in stack {stack:?}", i + 1));
+        }
+        count
+            .parse::<u64>()
+            .map_err(|_| format!("{path}:{}: count {count:?} is not a non-negative integer", i + 1))?;
+        lines += 1;
+    }
+    if lines == 0 {
+        return Err(format!("{path}: no folded stacks"));
+    }
+    Ok(lines)
+}
+
 fn run() -> Result<String, String> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut path = None;
+    let mut metrics_paths: Vec<String> = Vec::new();
+    let mut metrics_pairs: Vec<(String, String)> = Vec::new();
+    let mut folded_paths: Vec<String> = Vec::new();
     let mut required: Vec<String> =
         DEFAULT_REQUIRED.split(',').map(str::to_string).collect();
     let mut i = 0;
@@ -88,6 +199,25 @@ fn run() -> Result<String, String> {
                 .filter(|s| !s.is_empty())
                 .map(str::to_string)
                 .collect();
+        } else if args[i] == "--metrics" {
+            i += 1;
+            metrics_paths
+                .push(args.get(i).ok_or("--metrics needs a snapshot path")?.clone());
+        } else if args[i] == "--metrics-pair" {
+            let before = args
+                .get(i + 1)
+                .ok_or("--metrics-pair needs two snapshot paths")?
+                .clone();
+            let after = args
+                .get(i + 2)
+                .ok_or("--metrics-pair needs two snapshot paths")?
+                .clone();
+            metrics_pairs.push((before, after));
+            i += 2;
+        } else if args[i] == "--folded" {
+            i += 1;
+            folded_paths
+                .push(args.get(i).ok_or("--folded needs a collapsed-stacks path")?.clone());
         } else if path.is_none() {
             path = Some(args[i].clone());
         } else {
@@ -95,8 +225,31 @@ fn run() -> Result<String, String> {
         }
         i += 1;
     }
-    let path =
-        path.ok_or("usage: trace_check <trace.json> [--require name1,name2,...]")?;
+    let mut summary: Vec<String> = Vec::new();
+    for m in &metrics_paths {
+        check_metrics(m)?;
+        summary.push(format!("metrics OK: {m}"));
+    }
+    for (before, after) in &metrics_pairs {
+        let compared = check_metrics_pair(before, after)?;
+        summary.push(format!(
+            "metrics pair OK: {compared} counters monotonic ({before} -> {after})"
+        ));
+    }
+    for f in &folded_paths {
+        let lines = check_folded(f)?;
+        summary.push(format!("folded OK: {f} ({lines} stacks)"));
+    }
+    let Some(path) = path else {
+        if summary.is_empty() {
+            return Err(
+                "usage: trace_check [<trace.json>] [--require names] [--metrics snap.json] \
+                 [--metrics-pair before.json after.json] [--folded folded.txt]"
+                    .into(),
+            );
+        }
+        return Ok(summary.join("\n"));
+    };
 
     let text = std::fs::read_to_string(&path).map_err(|e| format!("cannot read {path}: {e}"))?;
     let doc = json::parse(&text).map_err(|e| format!("{path}: invalid JSON: {e}"))?;
@@ -172,14 +325,15 @@ fn run() -> Result<String, String> {
         return Err("no scheduler instance span (cat \"scheduler\", name \"instance.*\")".into());
     }
 
-    Ok(format!(
+    summary.push(format!(
         "trace OK: {} events, {} spans, {} distinct names, {} tracks, {} scheduler instances",
         events.len(),
         events.iter().filter(|e| e.begin).count(),
         begin_names.len(),
         tracks.len(),
         instances
-    ))
+    ));
+    Ok(summary.join("\n"))
 }
 
 fn main() -> ExitCode {

@@ -122,14 +122,50 @@ impl Criterion {
         if self.test_mode {
             return Ok(());
         }
-        std::fs::write(path, render_json(&self.results))?;
+        std::fs::write(path, render_json(&self.results, &stage_quantiles()))?;
         println!("wrote {} benchmark results to {path}", self.results.len());
         Ok(())
     }
 }
 
-/// Render results in the schema `bench_gate` consumes.
-fn render_json(results: &[BenchResult]) -> String {
+/// One pipeline stage's latency quantiles, pulled from the global
+/// metrics registry after the benchmarks have run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StageQuantiles {
+    pub stage: String,
+    pub count: u64,
+    pub p50_ns: u64,
+    pub p95_ns: u64,
+    pub p99_ns: u64,
+}
+
+/// Per-stage latency quantiles accumulated by the benchmarks just run.
+/// Engine benchmarks drive `vr-vdbms` pipelines, whose stage spans
+/// feed `stage.<name>.nanos` histograms in the global registry; other
+/// bench targets simply report no stages.
+fn stage_quantiles() -> Vec<StageQuantiles> {
+    let snapshot = vr_base::obs::metrics::snapshot();
+    snapshot
+        .histograms
+        .iter()
+        .filter_map(|(name, h)| {
+            let stage = name.strip_prefix("stage.")?.strip_suffix(".nanos")?;
+            (h.count > 0).then(|| StageQuantiles {
+                stage: stage.to_string(),
+                count: h.count,
+                p50_ns: h.p50(),
+                p95_ns: h.p95(),
+                p99_ns: h.p99(),
+            })
+        })
+        .collect()
+}
+
+/// Render results in the schema `bench_gate` consumes. The `stages`
+/// section is informational: `bench_gate` surfaces the p95 columns but
+/// never fails on them, and its baseline-seeding rebuild (which keeps
+/// only `{"id":` lines) drops the section from committed baselines.
+fn render_json(results: &[BenchResult], stages: &[StageQuantiles]) -> String {
     let mut out = String::from("{\n  \"benchmarks\": [\n");
     for (i, r) in results.iter().enumerate() {
         out.push_str(&format!(
@@ -144,7 +180,20 @@ fn render_json(results: &[BenchResult]) -> String {
             if i + 1 == results.len() { "" } else { "," }
         ));
     }
-    out.push_str("  ]\n}\n");
+    out.push_str("  ],\n  \"stages\": {");
+    for (i, s) in stages.iter().enumerate() {
+        out.push_str(&format!(
+            "{}    \"{}\": {{\"count\": {}, \"p50_ns\": {}, \"p95_ns\": {}, \"p99_ns\": {}}}{}",
+            if i == 0 { "\n" } else { "" },
+            s.stage,
+            s.count,
+            s.p50_ns,
+            s.p95_ns,
+            s.p99_ns,
+            if i + 1 == stages.len() { "\n  " } else { ",\n" }
+        ));
+    }
+    out.push_str("}\n}\n");
     out
 }
 
@@ -353,9 +402,29 @@ mod tests {
         assert_eq!(results[0].id, "g/work");
         assert_eq!(results[0].samples, 3);
         assert!(results[0].min_ns <= results[0].median_ns);
-        let json = render_json(results);
+        let json = render_json(
+            results,
+            &[StageQuantiles {
+                stage: "kernel".into(),
+                count: 4,
+                p50_ns: 100,
+                p95_ns: 200,
+                p99_ns: 200,
+            }],
+        );
         assert!(json.contains("\"id\": \"g/work\""), "{json}");
         assert!(json.contains("\"median_ns\": "), "{json}");
+        assert!(
+            json.contains("\"kernel\": {\"count\": 4, \"p50_ns\": 100, \"p95_ns\": 200, \"p99_ns\": 200}"),
+            "{json}"
+        );
+    }
+
+    #[test]
+    fn render_json_with_no_stages_stays_wellformed() {
+        let json = render_json(&[], &[]);
+        assert!(json.contains("\"benchmarks\": [\n  ]"), "{json}");
+        assert!(json.contains("\"stages\": {}"), "{json}");
     }
 
     #[test]

@@ -52,6 +52,14 @@ impl Value {
             _ => None,
         }
     }
+
+    /// The member map, if this is an object.
+    pub fn as_object(&self) -> Option<&BTreeMap<String, Value>> {
+        match self {
+            Value::Object(map) => Some(map),
+            _ => None,
+        }
+    }
 }
 
 /// Parse a complete JSON document. Trailing content (other than

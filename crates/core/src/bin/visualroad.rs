@@ -44,6 +44,9 @@ USAGE:
                  [--batch N] [--online SPEEDUP] [--write DIR] [--no-validate]
                  [--workers N] [--faults SPEC] [--fault-seed S]
                  [--deadline-ms N] [--trace-out FILE] [--metrics-out FILE]
+                 [--metrics-mid-out FILE]
+                 [--explain | --explain-analyze] [--explain-out FILE]
+                 [--folded-out FILE] [--serve-metrics PORT]
       Generate a dataset and drive the chosen engine(s) through the
       benchmark, printing the report. --workers caps both the driver's
       batch scheduler and each engine's pipelined executor (default:
@@ -60,8 +63,25 @@ USAGE:
       Perfetto; the VR_TRACE environment variable (any value but 0)
       does the same. --metrics-out writes the process-global metrics
       registry (counters/gauges/latency histograms) as JSON, or as
-      flat text when FILE ends in .txt. Tracing never changes query
-      results: timestamps exist only in the exported profile.
+      flat text when FILE ends in .txt; --metrics-mid-out additionally
+      snapshots the registry after the first engine finishes, giving
+      validators a genuine before/after pair for counter-monotonicity
+      checks. Tracing never changes query results: timestamps exist
+      only in the exported profile.
+      --explain prints each engine's plan tree per query and exits
+      without executing anything; --explain-analyze executes, then
+      annotates each plan node with wall/self time, frame/byte flow,
+      and allocator-scope peak memory (alloc tracking is switched on
+      for the run), exiting nonzero if any plan fails its self-time
+      invariant. --explain-out also writes the plans to FILE (a JSON
+      document when FILE ends in .json, text otherwise). --folded-out
+      enables tracing and writes the span tree as collapsed stacks
+      (flamegraph.pl / inferno input). --serve-metrics starts a
+      loopback-bound read-only HTTP endpoint for the duration of the
+      run (/metrics Prometheus text, /metrics.json, /healthz,
+      /explain for the in-flight batch); PORT 0 picks an ephemeral
+      port, printed on stderr. VR_ALLOC_TRACK=1 enables allocator
+      scope tracking without --explain-analyze.
 
 ENGINES: reference | batch | functional | cascade | all
 QUERIES: Q1 Q2a Q2b Q2c Q2d Q3 Q4 Q5 Q6a Q6b Q7 Q8 Q9 Q10"
@@ -286,6 +306,14 @@ fn cmd_run(args: &[String]) -> i32 {
             _ => return fail("--deadline-ms wants a positive integer"),
         }
     }
+    // Allocator scope tracking: VR_ALLOC_TRACK, or implied by
+    // --explain-analyze (whose plan nodes report peak memory).
+    vr_base::obs::alloc::init_from_env();
+    let explain_only = flags.has("explain");
+    if flags.has("explain-analyze") {
+        cfg.explain = visual_road::ExplainMode::Analyze;
+        vr_base::obs::alloc::set_tracking(true);
+    }
 
     // The fault plan is installed only after dataset generation, so
     // chaos runs exercise the query path against a pristine dataset.
@@ -324,20 +352,128 @@ fn cmd_run(args: &[String]) -> i32 {
             Some(v) if v == "1" => Some("trace.json".to_string()),
             other => other,
         });
-    if trace_out.is_some() {
+    // Collapsed-stacks export folds the span buffer, so it implies
+    // tracing even without a chrome-trace destination.
+    let folded_out: Option<String> = flags.get("folded-out").map(str::to_string);
+    if trace_out.is_some() || folded_out.is_some() {
         vr_base::obs::trace::set_enabled(true);
     }
 
+    // The live endpoint is read-only over registry snapshots and must
+    // never perturb results (the obs-gate CI leg diffs a served vs.
+    // unserved run byte for byte).
+    let server = match flags.get("serve-metrics") {
+        Some(port) => match port.parse::<u16>() {
+            Ok(port) => match vr_base::obs::serve::MetricsServer::start(port) {
+                Ok(server) => {
+                    eprintln!("serving metrics on http://{}", server.addr());
+                    Some(server)
+                }
+                Err(e) => return fail(&format!("cannot bind metrics endpoint: {e}")),
+            },
+            Err(_) => return fail("--serve-metrics wants a port number (0 = ephemeral)"),
+        },
+        None => None,
+    };
+
     let vcd = Vcd::new(&dataset, cfg);
-    for engine in engines.iter_mut() {
-        match vcd.run_queries(engine.as_mut(), &queries) {
-            Ok(report) => println!("{report}"),
-            Err(e) => return fail(&e.to_string()),
+
+    // EXPLAIN without execution: print (and optionally save) each
+    // engine's plan per query, then exit.
+    if explain_only {
+        let mut doc = String::new();
+        for engine in &engines {
+            match vcd.explain(engine.as_ref(), &queries) {
+                Ok(plans) => {
+                    for (kind, text) in plans {
+                        doc.push_str(&format!("== {} {} ==\n{text}", engine.name(), kind.label()));
+                    }
+                }
+                Err(e) => return fail(&e.to_string()),
+            }
         }
+        print!("{doc}");
+        if let Some(path) = flags.get("explain-out") {
+            if let Err(e) = std::fs::write(path, &doc) {
+                return fail(&format!("cannot write plans to {path}: {e}"));
+            }
+            eprintln!("wrote plans to {path}");
+        }
+        return 0;
     }
 
-    if let Some(path) = &trace_out {
+    let mut explain_doc = String::new();
+    let mut explain_json: Vec<String> = Vec::new();
+    let mut explain_violations = 0usize;
+    let mut metrics_mid_out = flags.get("metrics-mid-out");
+    for engine in engines.iter_mut() {
+        match vcd.run_queries(engine.as_mut(), &queries) {
+            Ok(report) => {
+                println!("{report}");
+                for q in &report.queries {
+                    let QueryStatus::Completed { explain: Some(info), .. } = &q.status else {
+                        continue;
+                    };
+                    explain_doc.push_str(&format!(
+                        "== {} {} ==\n{}",
+                        report.engine,
+                        q.kind.label(),
+                        info.text
+                    ));
+                    explain_json.push(format!(
+                        "{{\"engine\": \"{}\", \"query\": \"{}\", \"plan\": {}}}",
+                        visual_road::base::obs::json_escape(&report.engine),
+                        q.kind.label(),
+                        info.json.trim_end()
+                    ));
+                    if let Some(err) = &info.verify_error {
+                        eprintln!(
+                            "explain verify FAILED ({} {}): {err}",
+                            report.engine,
+                            q.kind.label()
+                        );
+                        explain_violations += 1;
+                    }
+                }
+            }
+            Err(e) => return fail(&e.to_string()),
+        }
+        // A mid-run registry snapshot after the first engine: paired
+        // with the final --metrics-out it gives validators a true
+        // before/after monotonicity fixture from one process.
+        if let Some(path) = metrics_mid_out.take() {
+            let snap = vr_base::obs::metrics::snapshot();
+            let body = if path.ends_with(".txt") { snap.to_text() } else { snap.to_json() };
+            if let Err(e) = std::fs::write(path, body) {
+                return fail(&format!("cannot write metrics to {path}: {e}"));
+            }
+            eprintln!("wrote mid-run metrics snapshot to {path}");
+        }
+    }
+    if let Some(path) = flags.get("explain-out") {
+        let body = if path.ends_with(".json") {
+            format!("[{}]\n", explain_json.join(",\n "))
+        } else {
+            explain_doc.clone()
+        };
+        if let Err(e) = std::fs::write(path, body) {
+            return fail(&format!("cannot write plans to {path}: {e}"));
+        }
+        eprintln!("wrote plans to {path}");
+    }
+
+    if trace_out.is_some() || folded_out.is_some() {
         vr_base::obs::trace::set_enabled(false);
+    }
+    // Fold before the chrome-trace export: `trace::save` drains the
+    // buffer the fold reads.
+    if let Some(path) = &folded_out {
+        match vr_base::obs::folded::save(path) {
+            Ok(n) => eprintln!("wrote {n} folded stacks to {path}"),
+            Err(e) => return fail(&format!("cannot write folded stacks to {path}: {e}")),
+        }
+    }
+    if let Some(path) = &trace_out {
         match vr_base::obs::trace::save(path) {
             Ok(n) => eprintln!("wrote {n} trace events to {path}"),
             Err(e) => return fail(&format!("cannot write trace to {path}: {e}")),
@@ -352,10 +488,17 @@ fn cmd_run(args: &[String]) -> i32 {
         eprintln!("wrote metrics snapshot to {path}");
     }
 
-    match &injector {
+    // Stop the endpoint before verdicts so nothing polls a dead run.
+    drop(server);
+    let fault_code = match &injector {
         Some(inj) => verify_fault_accounting(inj),
         None => 0,
+    };
+    if explain_violations > 0 {
+        eprintln!("error: {explain_violations} plan(s) failed EXPLAIN ANALYZE verification");
+        return 1;
     }
+    fault_code
 }
 
 /// Cross-check what the injector says it injected against what the

@@ -48,10 +48,10 @@ pub mod vcg;
 
 pub use dataset::{Dataset, VideoMeta, VideoRole};
 pub use report::{
-    BenchmarkReport, DegradationStats, QueryReport, QueryStatus, SchedulerStats,
+    BenchmarkReport, DegradationStats, ExplainInfo, QueryReport, QueryStatus, SchedulerStats,
     ValidationSummary,
 };
-pub use vcd::{ExecutionMode, Vcd, VcdConfig};
+pub use vcd::{ExecutionMode, ExplainMode, Vcd, VcdConfig};
 pub use vcg::{GenConfig, Vcg};
 
 // Re-export the substrate crates under one roof so downstream users
@@ -74,8 +74,8 @@ pub const BENCHMARK_VERSION: &str = "1.0";
 /// Common imports for benchmark users.
 pub mod prelude {
     pub use crate::dataset::Dataset;
-    pub use crate::report::{BenchmarkReport, QueryReport, QueryStatus};
-    pub use crate::vcd::{ExecutionMode, Vcd, VcdConfig};
+    pub use crate::report::{BenchmarkReport, ExplainInfo, QueryReport, QueryStatus};
+    pub use crate::vcd::{ExecutionMode, ExplainMode, Vcd, VcdConfig};
     pub use crate::vcg::{GenConfig, Vcg};
     pub use vr_base::{Duration, FrameRate, Hyperparameters, Resolution};
     pub use vr_vdbms::{

@@ -183,6 +183,22 @@ impl ObsStats {
     }
 }
 
+/// EXPLAIN / EXPLAIN ANALYZE artifact for one query batch: the
+/// engine's plan tree, annotated with per-node measurements when the
+/// batch executed under `--explain-analyze`.
+#[derive(Debug, Clone, Default)]
+pub struct ExplainInfo {
+    /// Indented plan tree (one operator per line), with a per-node
+    /// measurement bracket when analyzed.
+    pub text: String,
+    /// The same tree as a JSON document.
+    pub json: String,
+    /// Failure from [`vr_vdbms::PlanNode::verify`] — the self-time /
+    /// wall-time invariant or a zero-wall executed stage. `None` when
+    /// the plan is consistent (or was never analyzed).
+    pub verify_error: Option<String>,
+}
+
 /// Outcome of one query's batch on one engine.
 #[derive(Debug, Clone)]
 pub enum QueryStatus {
@@ -208,6 +224,9 @@ pub enum QueryStatus {
         /// Registry-derived stage-latency histograms and
         /// worker-utilization for the batch.
         obs: ObsStats,
+        /// Plan tree (EXPLAIN) / annotated plan tree (EXPLAIN
+        /// ANALYZE), when requested.
+        explain: Option<ExplainInfo>,
     },
     /// The engine cannot express the query (reported as N/A, like
     /// NoScope on Q3–Q10).
@@ -291,7 +310,7 @@ impl fmt::Display for BenchmarkReport {
         for q in &self.queries {
             match &q.status {
                 QueryStatus::Completed {
-                    runtime, fps, stages, scheduler, validation, degradation, obs, ..
+                    runtime, fps, stages, scheduler, validation, degradation, obs, explain, ..
                 } => {
                     let psnr = validation
                         .psnr
@@ -354,6 +373,15 @@ impl fmt::Display for BenchmarkReport {
                     }
                     if degradation.any() || degradation.faults_active {
                         writeln!(f, "        degraded: {degradation}")?;
+                    }
+                    if let Some(info) = explain {
+                        writeln!(f, "        plan:")?;
+                        for line in info.text.lines() {
+                            writeln!(f, "          {line}")?;
+                        }
+                        if let Some(err) = &info.verify_error {
+                            writeln!(f, "          !! {err}")?;
+                        }
                     }
                 }
                 QueryStatus::Unsupported => {
@@ -435,6 +463,11 @@ mod tests {
                             }],
                             worker_utilization: 0.5,
                         },
+                        explain: Some(ExplainInfo {
+                            text: "query (Q1)\n  sink (mode=stream)\n".into(),
+                            json: "{\"op\": \"query\"}".into(),
+                            verify_error: Some("self-time invariant violated".into()),
+                        }),
                     },
                 },
                 QueryReport {
@@ -466,6 +499,9 @@ mod tests {
         assert!(text.contains("util 50%"));
         assert!(text.contains("degraded: concealed 3"));
         assert!(text.contains("achieved 41.5dB"));
+        assert!(text.contains("plan:"));
+        assert!(text.contains("          query (Q1)"));
+        assert!(text.contains("!! self-time invariant violated"));
     }
 
     #[test]

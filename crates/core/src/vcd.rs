@@ -19,13 +19,13 @@
 
 use crate::dataset::Dataset;
 use crate::report::{
-    BenchmarkReport, DegradationStats, ObsStats, QueryReport, QueryStatus, SchedulerStats,
-    StageLatency, ValidationSummary,
+    BenchmarkReport, DegradationStats, ExplainInfo, ObsStats, QueryReport, QueryStatus,
+    SchedulerStats, StageLatency, ValidationSummary,
 };
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
-use vr_base::obs::{metrics, trace};
+use vr_base::obs::{metrics, serve, trace};
 use vr_base::rng::mix64;
 use vr_base::sync::CancelToken;
 use vr_base::{fault, Error, Resolution, Result, VrRng};
@@ -49,6 +49,19 @@ pub enum ExecutionMode {
     /// at faithful real time; larger values compress the wait
     /// proportionally (reported with results).
     Online { speedup: f64 },
+}
+
+/// How much plan-tree detail the driver attaches to each query row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExplainMode {
+    /// No plan trees.
+    #[default]
+    Off,
+    /// Attach the pre-execution plan shape (EXPLAIN).
+    Plan,
+    /// Attach the plan annotated with wall/self time, frame/byte flow,
+    /// and allocator scopes after the batch runs (EXPLAIN ANALYZE).
+    Analyze,
 }
 
 /// Driver configuration.
@@ -98,6 +111,10 @@ pub struct VcdConfig {
     /// degraded row ([`DegradationStats::cancelled_instances`])
     /// instead of blocking or failing the batch.
     pub instance_deadline: Option<Duration>,
+    /// Plan-tree reporting: off, EXPLAIN (shape only), or EXPLAIN
+    /// ANALYZE (annotated post-execution). The in-flight plan is also
+    /// published to the live endpoint's `/explain` route.
+    pub explain: ExplainMode,
 }
 
 impl Default for VcdConfig {
@@ -114,6 +131,7 @@ impl Default for VcdConfig {
             pipeline_workers: None,
             batch_workers: None,
             instance_deadline: None,
+            explain: ExplainMode::Off,
         }
     }
 }
@@ -223,6 +241,28 @@ impl<'d> Vcd<'d> {
         self.run_queries(engine, &QueryKind::ALL)
     }
 
+    /// EXPLAIN without execution: the plan tree the engine would run
+    /// for each query's batch, rendered as text. Unsupported queries
+    /// report as such instead of erroring, mirroring the N/A report
+    /// rows.
+    pub fn explain(
+        &self,
+        engine: &dyn Vdbms,
+        kinds: &[QueryKind],
+    ) -> Result<Vec<(QueryKind, String)>> {
+        let mut out = Vec::with_capacity(kinds.len());
+        for &kind in kinds {
+            if !engine.supports(kind) {
+                out.push((kind, "unsupported\n".to_string()));
+                continue;
+            }
+            let batch = self.batch(kind)?;
+            let ctx = self.exec_context(kind);
+            out.push((kind, engine.plan(&batch[0], &ctx).render_text()));
+        }
+        Ok(out)
+    }
+
     fn exec_context(&self, kind: QueryKind) -> ExecContext {
         ExecContext {
             result_mode: match &self.cfg.write_store {
@@ -283,6 +323,16 @@ impl<'d> Vcd<'d> {
             .clamp(1, batch.len().max(1));
 
         let degrade = self.degrade_mode();
+        // Plan description for the batch: built (and published to the
+        // live endpoint's /explain route) before the measured window
+        // opens, so describing the plan never perturbs the
+        // measurement. Instances of one batch share a plan shape — the
+        // first instance stands for all of them.
+        let mut plan = (self.cfg.explain != ExplainMode::Off).then(|| {
+            let plan = engine.plan(&batch[0], &ctx);
+            serve::set_explain(plan.render_text());
+            plan
+        });
         let batch_span = trace::span_dyn("vcd", || format!("batch.{}", kind.label()));
         let deg_before = fault::degradation_snapshot();
         // Registry state at the measured window's start; the
@@ -346,6 +396,21 @@ impl<'d> Vcd<'d> {
         // Per-operator stage aggregates accumulated by the engine's
         // pipeline over the whole measured batch.
         let stages = ctx.metrics.snapshot();
+        let explain = plan.take().map(|mut plan| {
+            let verify_error = if self.cfg.explain == ExplainMode::Analyze {
+                plan.annotate(&stages, runtime.as_nanos() as u64);
+                // Measured stage work may legitimately exceed wall
+                // time when pipeline stages and scheduler workers
+                // overlap; the invariant bound scales with the total
+                // fan-out.
+                plan.verify(runtime.as_nanos() as u64, ctx.workers.max(1) * workers).err()
+            } else {
+                None
+            };
+            let text = plan.render_text();
+            serve::set_explain(text.clone());
+            ExplainInfo { text, json: plan.render_json(), verify_error }
+        });
         let scheduler =
             SchedulerStats::from_durations(workers, &latencies, self.cfg.instance_deadline);
 
@@ -418,6 +483,7 @@ impl<'d> Vcd<'d> {
                 validation,
                 degradation,
                 obs,
+                explain,
             },
         })
     }

@@ -33,6 +33,7 @@ use crate::engine::Vdbms;
 use crate::io::{ExecContext, InputVideo, QueryOutput};
 use crate::kernels::{boxes_frame, decode_all_parallel, filter_class};
 use crate::pipeline::{self, FrameKernel, KernelOut, Pipeline, PipelineMetrics, StageKind};
+use crate::plan::PlanNode;
 use crate::query::{QueryInstance, QueryKind, QuerySpec};
 use crate::reference;
 use std::collections::HashMap;
@@ -438,6 +439,71 @@ impl Vdbms for BatchEngine {
         };
         pl.sink(instance.index, &output)?;
         Ok(output)
+    }
+
+    fn plan(&self, instance: &QueryInstance, ctx: &ExecContext) -> PlanNode {
+        use crate::plan::{Policy, ScanOp};
+        // One arm per `execute` arm: the eager dataflow materializes
+        // into the frame table, so every single-input query scans
+        // memory; Q8/Q9 delegate to the reference multi-stream
+        // helpers.
+        let (policy, scan, kernel) = match &instance.spec {
+            QuerySpec::Q1 { .. } => {
+                (Policy::Eager, ScanOp::Memory, "slow_float_crop".to_string())
+            }
+            QuerySpec::Q2a => (Policy::Eager, ScanOp::Memory, "grayscale".to_string()),
+            QuerySpec::Q2b { d } => {
+                (Policy::Eager, ScanOp::Memory, format!("gaussian_blur(d={d})"))
+            }
+            QuerySpec::Q2c { class } => (
+                Policy::Streaming,
+                ScanOp::Memory,
+                format!("detect_boxes({class:?})+framework"),
+            ),
+            QuerySpec::Q2d { m, .. } => {
+                (Policy::Sequence, ScanOp::Memory, format!("temporal-mask(m={m})"))
+            }
+            QuerySpec::Q3 { .. } => {
+                (Policy::Sequence, ScanOp::Memory, "subquery-reencode".to_string())
+            }
+            QuerySpec::Q4 { alpha, beta } => (
+                Policy::Eager,
+                ScanOp::Memory,
+                format!("interpolate-bilinear(x{alpha},x{beta}) budget-checked"),
+            ),
+            QuerySpec::Q5 { .. } => (Policy::Eager, ScanOp::Memory, "downsample".to_string()),
+            QuerySpec::Q6a => (Policy::Streaming, ScanOp::Memory, "box-overlay".to_string()),
+            QuerySpec::Q6b => {
+                (Policy::Streaming, ScanOp::Memory, "caption-overlay".to_string())
+            }
+            QuerySpec::Q7 { class } => (
+                Policy::Sequence,
+                ScanOp::Memory,
+                format!("object-detection({class:?})+framework"),
+            ),
+            QuerySpec::Q8 { .. } => (
+                Policy::StreamingMulti,
+                ScanOp::Multi(instance.inputs.len()),
+                "plate-track".to_string(),
+            ),
+            QuerySpec::Q9 { .. } => {
+                (Policy::StreamingMulti, ScanOp::Multi(4), "panoramic-stitch".to_string())
+            }
+            QuerySpec::Q10 { .. } => {
+                (Policy::Sequence, ScanOp::Memory, "tile-encode".to_string())
+            }
+        };
+        crate::plan::build(
+            &crate::plan::PlanDesc {
+                engine: "batch",
+                query: instance.spec.kind().label(),
+                policy,
+                scan,
+                kernel,
+                gate: None,
+            },
+            ctx,
+        )
     }
 
     fn quiesce(&mut self) {

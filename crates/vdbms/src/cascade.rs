@@ -16,6 +16,7 @@ use crate::engine::Vdbms;
 use crate::io::{ExecContext, InputVideo, OutputBox, QueryOutput};
 use crate::kernels::{boxes_frame, filter_class};
 use crate::pipeline::{self, DiffGate, FrameSource, KernelOut, Pipeline};
+use crate::plan::PlanNode;
 use crate::query::{QueryInstance, QueryKind, QuerySpec};
 use vr_base::{Error, Result};
 
@@ -168,6 +169,34 @@ impl Vdbms for CascadeEngine {
         };
         pl.sink(instance.index, &output)?;
         Ok(output)
+    }
+
+    fn plan(&self, instance: &QueryInstance, ctx: &ExecContext) -> PlanNode {
+        use crate::plan::{Policy, ScanOp};
+        let (policy, kernel, gate) = match &instance.spec {
+            QuerySpec::Q1 { .. } => {
+                (Policy::Streaming, "crop+temporal-select".to_string(), None)
+            }
+            QuerySpec::Q2c { class } => (
+                Policy::ShortCircuit,
+                format!("detect_boxes({class:?})"),
+                Some("frame-diff".to_string()),
+            ),
+            // supports() rejects everything else; the plan still says
+            // so instead of panicking.
+            _ => (Policy::Streaming, "unsupported".to_string(), None),
+        };
+        crate::plan::build(
+            &crate::plan::PlanDesc {
+                engine: "cascade",
+                query: instance.spec.kind().label(),
+                policy,
+                scan: ScanOp::Stream,
+                kernel,
+                gate,
+            },
+            ctx,
+        )
     }
 }
 

@@ -48,6 +48,27 @@ pub trait Vdbms: Send + Sync {
         ctx: &ExecContext,
     ) -> Result<QueryOutput>;
 
+    /// Describe the physical plan the engine would run for this
+    /// instance under this context, without executing anything
+    /// (EXPLAIN). The default is a generic streaming chain; engines
+    /// override it to expose their real policy, scan operator, and
+    /// kernel per query. Must be deterministic for a given
+    /// (instance, context) pair — the driver renders it before
+    /// execution and annotates the same tree afterwards.
+    fn plan(&self, instance: &QueryInstance, ctx: &ExecContext) -> crate::plan::PlanNode {
+        crate::plan::build(
+            &crate::plan::PlanDesc {
+                engine: self.name(),
+                query: instance.spec.kind().label(),
+                policy: crate::plan::Policy::Streaming,
+                scan: crate::plan::ScanOp::Stream,
+                kernel: "kernel".to_string(),
+                gate: None,
+            },
+            ctx,
+        )
+    }
+
     /// Called by the driver between query batches ("a VDBMS … may
     /// optionally quiesce or restart upon completing a batch", §3.2).
     /// Engines use this to drop caches and release pooled resources.

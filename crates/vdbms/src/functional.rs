@@ -28,6 +28,7 @@ use crate::engine::Vdbms;
 use crate::io::{ExecContext, InputVideo, QueryOutput};
 use crate::kernels::{boxes_frame, caption_track};
 use crate::pipeline::{self, DetectBoxes, FrameSource, Pipeline, TemporalMaskKernel};
+use crate::plan::PlanNode;
 use crate::query::{QueryInstance, QueryKind, QuerySpec};
 use crate::reference;
 use vr_base::{Error, Result, Timestamp};
@@ -273,6 +274,66 @@ impl Vdbms for FunctionalEngine {
         };
         pl.sink(instance.index, &output)?;
         Ok(output)
+    }
+
+    fn plan(&self, instance: &QueryInstance, ctx: &ExecContext) -> PlanNode {
+        use crate::plan::{Policy, ScanOp};
+        // The lazy algebra streams everything; Q1's temporal predicate
+        // pushes down into a keyframe-seeking range scan, and Q2d
+        // streams through the bounded look-ahead window kernel.
+        let (policy, scan, kernel) = match &instance.spec {
+            QuerySpec::Q1 { .. } => (Policy::Streaming, ScanOp::Range, "crop".to_string()),
+            QuerySpec::Q2a => {
+                (Policy::Streaming, ScanOp::Stream, "grayscale-in-place".to_string())
+            }
+            QuerySpec::Q2b { d } => {
+                (Policy::Streaming, ScanOp::Stream, format!("gaussian_blur(d={d})"))
+            }
+            QuerySpec::Q2c { class } => {
+                (Policy::Streaming, ScanOp::Stream, format!("detect_boxes({class:?})"))
+            }
+            QuerySpec::Q2d { m, .. } => {
+                (Policy::Streaming, ScanOp::Stream, format!("temporal-mask-window(m={m})"))
+            }
+            QuerySpec::Q3 { .. } => {
+                (Policy::Sequence, ScanOp::Stream, "subquery-reencode".to_string())
+            }
+            QuerySpec::Q4 { alpha, beta } => (
+                Policy::Streaming,
+                ScanOp::Stream,
+                format!("interpolate-bilinear(x{alpha},x{beta})"),
+            ),
+            QuerySpec::Q5 { .. } => (Policy::Streaming, ScanOp::Stream, "downsample".to_string()),
+            QuerySpec::Q6a => (Policy::Streaming, ScanOp::Stream, "box-overlay".to_string()),
+            QuerySpec::Q6b => {
+                (Policy::Streaming, ScanOp::Stream, "caption-overlay(scalar)".to_string())
+            }
+            QuerySpec::Q7 { class } => {
+                (Policy::Sequence, ScanOp::Stream, format!("object-detection({class:?})"))
+            }
+            QuerySpec::Q8 { .. } => (
+                Policy::StreamingMulti,
+                ScanOp::Multi(instance.inputs.len()),
+                "plate-track".to_string(),
+            ),
+            QuerySpec::Q9 { .. } => {
+                (Policy::StreamingMulti, ScanOp::Multi(4), "panoramic-stitch".to_string())
+            }
+            QuerySpec::Q10 { .. } => {
+                (Policy::Sequence, ScanOp::Stream, "tile-encode".to_string())
+            }
+        };
+        crate::plan::build(
+            &crate::plan::PlanDesc {
+                engine: "functional",
+                query: instance.spec.kind().label(),
+                policy,
+                scan,
+                kernel,
+                gate: None,
+            },
+            ctx,
+        )
     }
 
     fn quiesce(&mut self) {

@@ -28,6 +28,7 @@ pub mod functional;
 pub mod io;
 pub mod kernels;
 pub mod pipeline;
+pub mod plan;
 pub mod query;
 pub mod reference;
 
@@ -37,5 +38,6 @@ pub use engine::Vdbms;
 pub use functional::FunctionalEngine;
 pub use io::{ExecContext, InputVideo, OutputBox, QueryOutput, ResultMode};
 pub use pipeline::{Pipeline, PipelineMetrics, PipelineSnapshot, StageKind, StageSnapshot};
+pub use plan::{NodeStats, PlanDesc, PlanNode, Policy, ScanOp};
 pub use query::{FaceParams, QueryInstance, QueryKind, QuerySpec};
 pub use reference::ReferenceEngine;

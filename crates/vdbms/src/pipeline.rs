@@ -31,7 +31,7 @@ use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
-use vr_base::obs::{metrics, trace};
+use vr_base::obs::{alloc, metrics, trace};
 use vr_base::sync::{
     channel, parallel_chunks, Receiver, RecvTimeoutError, SendError, Sender, TrySendError,
 };
@@ -89,6 +89,9 @@ struct AtomicStage {
     frames: AtomicU64,
     bytes: AtomicU64,
     invocations: AtomicU64,
+    allocs: AtomicU64,
+    alloc_bytes: AtomicU64,
+    alloc_peak: AtomicU64,
 }
 
 /// Per-stage counters shared by every operator of one execution
@@ -105,6 +108,9 @@ pub struct PipelineMetrics {
     stage_latency: [Arc<metrics::Histogram>; 5],
     stage_frames: [Arc<metrics::Counter>; 5],
     stage_bytes: [Arc<metrics::Counter>; 5],
+    stage_allocs: [Arc<metrics::Counter>; 5],
+    stage_alloc_bytes: [Arc<metrics::Counter>; 5],
+    stage_alloc_peak: [Arc<metrics::Gauge>; 5],
     contention_total: Arc<metrics::Counter>,
 }
 
@@ -121,6 +127,15 @@ impl Default for PipelineMetrics {
             }),
             stage_bytes: std::array::from_fn(|i| {
                 metrics::counter(&format!("stage.{}.bytes", StageKind::ALL[i].label()))
+            }),
+            stage_allocs: std::array::from_fn(|i| {
+                metrics::counter(&format!("alloc.stage.{}.allocs", StageKind::ALL[i].label()))
+            }),
+            stage_alloc_bytes: std::array::from_fn(|i| {
+                metrics::counter(&format!("alloc.stage.{}.bytes", StageKind::ALL[i].label()))
+            }),
+            stage_alloc_peak: std::array::from_fn(|i| {
+                metrics::gauge(&format!("alloc.stage.{}.peak_bytes", StageKind::ALL[i].label()))
             }),
             contention_total: metrics::counter("pipeline.contention_nanos"),
         }
@@ -144,6 +159,23 @@ impl PipelineMetrics {
         }
     }
 
+    /// Fold one allocator-scope delta into a stage's accounting (a
+    /// no-op delta — tracking off — is dropped before touching any
+    /// atomics). Counts and bytes accumulate; the peak is max-merged,
+    /// so the stage reports its worst single invocation.
+    pub fn record_alloc(&self, stage: StageKind, delta: &alloc::AllocDelta) {
+        if delta.allocs == 0 && delta.bytes == 0 && delta.peak_bytes == 0 {
+            return;
+        }
+        let s = &self.stages[stage.idx()];
+        s.allocs.fetch_add(delta.allocs, Ordering::Relaxed);
+        s.alloc_bytes.fetch_add(delta.bytes, Ordering::Relaxed);
+        s.alloc_peak.fetch_max(delta.peak_bytes, Ordering::Relaxed);
+        self.stage_allocs[stage.idx()].add(delta.allocs);
+        self.stage_alloc_bytes[stage.idx()].add(delta.bytes);
+        self.stage_alloc_peak[stage.idx()].set_max(delta.peak_bytes as f64);
+    }
+
     /// Add time a pipelined stage spent blocked on a full channel
     /// (backpressure from the next stage).
     pub fn record_contention(&self, nanos: u64) {
@@ -161,6 +193,9 @@ impl PipelineMetrics {
                     frames: s.frames.load(Ordering::Relaxed),
                     bytes: s.bytes.load(Ordering::Relaxed),
                     invocations: s.invocations.load(Ordering::Relaxed),
+                    allocs: s.allocs.load(Ordering::Relaxed),
+                    alloc_bytes: s.alloc_bytes.load(Ordering::Relaxed),
+                    peak_alloc_bytes: s.alloc_peak.load(Ordering::Relaxed),
                 }
             }),
             contention_nanos: self.contention_nanos.load(Ordering::Relaxed),
@@ -174,6 +209,9 @@ impl PipelineMetrics {
             s.frames.store(0, Ordering::Relaxed);
             s.bytes.store(0, Ordering::Relaxed);
             s.invocations.store(0, Ordering::Relaxed);
+            s.allocs.store(0, Ordering::Relaxed);
+            s.alloc_bytes.store(0, Ordering::Relaxed);
+            s.alloc_peak.store(0, Ordering::Relaxed);
         }
         self.contention_nanos.store(0, Ordering::Relaxed);
     }
@@ -192,6 +230,14 @@ pub struct StageSnapshot {
     pub frames: u64,
     pub bytes: u64,
     pub invocations: u64,
+    /// Allocations observed inside the stage's measured regions (zero
+    /// unless `obs::alloc` tracking is on).
+    pub allocs: u64,
+    /// Bytes requested by those allocations.
+    pub alloc_bytes: u64,
+    /// Worst single-invocation high-water mark (max-merged, so
+    /// `since()` keeps the later absolute value rather than a delta).
+    pub peak_alloc_bytes: u64,
 }
 
 /// All five stages' totals at a point in time.
@@ -220,6 +266,12 @@ impl PipelineSnapshot {
                 invocations: self.stages[i]
                     .invocations
                     .saturating_sub(earlier.stages[i].invocations),
+                allocs: self.stages[i].allocs.saturating_sub(earlier.stages[i].allocs),
+                alloc_bytes: self.stages[i]
+                    .alloc_bytes
+                    .saturating_sub(earlier.stages[i].alloc_bytes),
+                // A peak is a high-water mark, not an accumulator.
+                peak_alloc_bytes: self.stages[i].peak_alloc_bytes,
             }),
             contention_nanos: self.contention_nanos.saturating_sub(earlier.contention_nanos),
         }
@@ -279,6 +331,7 @@ impl FrameSource for StreamScan<'_> {
 
     fn next_frame(&mut self) -> Option<Result<Frame>> {
         let _span = trace::span("pipeline", "decode");
+        let scope = alloc::ScopeGuard::begin();
         let t0 = Instant::now();
         let frame = self.stream.next_frame()?;
         if let Ok(f) = &frame {
@@ -288,6 +341,7 @@ impl FrameSource for StreamScan<'_> {
                 1,
                 f.sample_count() as u64,
             );
+            self.metrics.record_alloc(StageKind::Decode, &scope.finish());
         }
         Some(frame)
     }
@@ -354,6 +408,7 @@ impl FrameSource for RangeScan<'_> {
     fn next_frame(&mut self) -> Option<Result<Frame>> {
         while self.next <= self.to {
             let _span = trace::span("pipeline", "decode");
+            let scope = alloc::ScopeGuard::begin();
             let t0 = Instant::now();
             let i = self.next;
             self.next += 1;
@@ -366,6 +421,7 @@ impl FrameSource for RangeScan<'_> {
                         1,
                         f.sample_count() as u64,
                     );
+                    self.metrics.record_alloc(StageKind::Decode, &scope.finish());
                     if i >= self.from {
                         return Some(Ok(f));
                     }
@@ -413,6 +469,7 @@ impl FrameSource for MemoryScan {
             return None;
         }
         let _span = trace::span("pipeline", "scan");
+        let scope = alloc::ScopeGuard::begin();
         let t0 = Instant::now();
         let f = self.frames[self.next].clone();
         self.next += 1;
@@ -422,6 +479,7 @@ impl FrameSource for MemoryScan {
             1,
             f.sample_count() as u64,
         );
+        self.metrics.record_alloc(StageKind::Scan, &scope.finish());
         Some(Ok(f))
     }
 }
@@ -1214,9 +1272,11 @@ impl<'c> Pipeline<'c> {
     /// Time a closure as Kernel-stage work over `frames` frames.
     pub fn kernel_span<T>(&self, frames: u64, f: impl FnOnce() -> T) -> T {
         let _span = trace::span("pipeline", "kernel");
+        let scope = alloc::ScopeGuard::begin();
         let t0 = Instant::now();
         let out = f();
         self.ctx.metrics.record(StageKind::Kernel, t0.elapsed().as_nanos() as u64, frames, 0);
+        self.ctx.metrics.record_alloc(StageKind::Kernel, &scope.finish());
         out
     }
 
@@ -1284,6 +1344,7 @@ impl<'c> Pipeline<'c> {
     pub fn sink(&self, instance_index: usize, output: &QueryOutput) -> Result<usize> {
         let _span = trace::span("pipeline", "sink");
         self.absorb_stall("sink");
+        let scope = alloc::ScopeGuard::begin();
         let t0 = Instant::now();
         let bytes = self.ctx.result_mode.sink(instance_index, output)?;
         let frames = output.primary_video().map(|v| v.len() as u64).unwrap_or(0);
@@ -1293,6 +1354,7 @@ impl<'c> Pipeline<'c> {
             frames,
             bytes as u64,
         );
+        self.ctx.metrics.record_alloc(StageKind::Sink, &scope.finish());
         Ok(bytes)
     }
 }
@@ -1323,6 +1385,7 @@ impl<'p, 'c> EncodeStage<'p, 'c> {
             )));
         }
         let _span = trace::span("pipeline", "encode");
+        let scope = alloc::ScopeGuard::begin();
         let t0 = Instant::now();
         if self.encoder.is_none() {
             let cfg = EncoderConfig {
@@ -1344,6 +1407,7 @@ impl<'p, 'c> EncodeStage<'p, 'c> {
             1,
             packet.data.len() as u64,
         );
+        self.pl.ctx.metrics.record_alloc(StageKind::Encode, &scope.finish());
         self.packets.push(packet);
         match ko.boxes {
             Some(b) => {
@@ -1642,5 +1706,46 @@ mod tests {
         let r = pl.run_streaming(&mut scan, &mut kernel).unwrap();
         pl.sink(0, &QueryOutput::Video(r.video)).unwrap();
         assert_eq!(ctx.metrics.snapshot().stage(StageKind::Sink).invocations, 1);
+    }
+
+    /// Two identical sequential runs allocate identically: the alloc
+    /// scopes observe only their own thread, the workload is
+    /// deterministic, and nothing in the stage path allocates
+    /// conditionally — so EXPLAIN ANALYZE memory figures are
+    /// reproducible, not noise.
+    #[test]
+    fn alloc_accounting_is_deterministic_across_identical_runs() {
+        use vr_base::obs::alloc;
+        let run = || {
+            let ctx = ctx_workers(1);
+            let pl = Pipeline::new(&ctx);
+            let input = tiny_input("pipe-alloc-det.vrmf");
+            let mut scan = pl.stream_scan(&input).unwrap();
+            let mut kernel = map(|f, _| ops::grayscale(&f));
+            let r = pl.run_streaming(&mut scan, &mut kernel).unwrap();
+            pl.sink(0, &QueryOutput::Video(r.video)).unwrap();
+            ctx.metrics.snapshot()
+        };
+        alloc::set_tracking(true);
+        // Warm-up run: lazily initialized state (codec tables, global
+        // registry entries) allocates once per process.
+        let _ = run();
+        let a = run();
+        let b = run();
+        alloc::set_tracking(false);
+        for kind in StageKind::ALL {
+            let (sa, sb) = (a.stage(kind), b.stage(kind));
+            // The streaming path never touches Scan, and a streaming
+            // sink is a no-op; the working stages must all allocate.
+            if matches!(kind, StageKind::Decode | StageKind::Kernel | StageKind::Encode) {
+                assert!(sa.allocs > 0, "{kind:?} recorded no allocs");
+            }
+            assert_eq!(sa.allocs, sb.allocs, "{kind:?} alloc counts differ");
+            assert_eq!(sa.alloc_bytes, sb.alloc_bytes, "{kind:?} alloc bytes differ");
+            assert_eq!(
+                sa.peak_alloc_bytes, sb.peak_alloc_bytes,
+                "{kind:?} peak alloc differs"
+            );
+        }
     }
 }
