@@ -3,7 +3,7 @@
 #
 #   ./ci.sh            run every stage in order, print a summary table
 #   ./ci.sh <stage>    run one stage (guard|build|test|bench-smoke|
-#                      determinism|chaos|bench-gate|obs-gate)
+#                      determinism|chaos|bench-gate|alloc-gate|obs-gate)
 #
 # Must pass with zero network access: the workspace is std-only, so a
 # cold crates.io cache resolves offline. Gate artifacts (determinism
@@ -14,7 +14,7 @@ set -euo pipefail
 cd "$(dirname "$0")"
 
 ART="results/ci"
-STAGES=(guard build test bench-smoke determinism chaos bench-gate obs-gate)
+STAGES=(guard build test bench-smoke determinism chaos bench-gate alloc-gate obs-gate)
 
 # Shared query-path invocation for the determinism and obs gates: small
 # enough to run in seconds, wide enough to cross every engine and both
@@ -101,6 +101,37 @@ stage_bench_gate() {
     ./target/release/bench_gate results/bench_baseline.json BENCH_engines.json \
         --seed-new --deltas-out "$ART/bench_deltas.txt"
     cp BENCH_engines.json "$ART/bench_current.json"
+}
+
+stage_alloc_gate() {
+    # Allocation budget of the zero-copy data plane, enforced on the
+    # canonical sequential Q1 batch run. Before the shared-buffer
+    # refactor this run cost 585 stage-scoped heap allocations per
+    # query (storage reads copied, scans cloned whole frames, every
+    # 8x8 block heap-allocated its run-level pairs); after it, ~107.
+    # The budget pins well over the required 30% reduction, with
+    # headroom for allocator-neutral drift.
+    local alloc="$ART/alloc"
+    local budget=150
+    rm -rf "$alloc"
+    mkdir -p "$alloc"
+    VR_WORKERS=1 VR_ALLOC_TRACK=1 ./target/release/visualroad run \
+        --engine batch --queries Q1 --scale 1 --res 128x72 \
+        --duration 0.4 --batch 2 --no-validate \
+        --metrics-out "$alloc/metrics.json" >/dev/null
+    local total
+    total=$(awk -F'[:,]' '/"alloc\.stage\.[a-z]+\.allocs"/ { sum += $2 } END { print sum + 0 }' \
+        "$alloc/metrics.json")
+    echo "per-query stage allocations: $total (budget $budget)"
+    if [[ -z "$total" || "$total" -le 0 ]]; then
+        echo "FAIL: alloc tracking recorded nothing (see $alloc/metrics.json)" >&2
+        return 1
+    fi
+    if [[ "$total" -gt "$budget" ]]; then
+        echo "FAIL: Q1 batch allocated $total times per query (budget $budget);" \
+             "the zero-copy data plane has regressed (see $alloc/metrics.json)" >&2
+        return 1
+    fi
 }
 
 stage_obs_gate() {

@@ -15,6 +15,7 @@
 //! crate rather than borrowed from an external crate whose stream might
 //! change between releases.
 
+pub mod buf;
 pub mod error;
 pub mod fault;
 pub mod id;
@@ -24,6 +25,7 @@ pub mod rng;
 pub mod sync;
 pub mod units;
 
+pub use buf::{BufSlice, FramePool, SharedBuf};
 pub use error::{Error, Result};
 pub use id::{CameraId, CameraKind, LicensePlate, PedestrianId, QueryId, TileId, VehicleId, VideoId};
 pub use rng::VrRng;

@@ -32,10 +32,14 @@
 //!   run gates it.
 //!
 //! The gate additionally checks the parallel-pipeline speedup contract
-//! when the current run carries the `q1_batch_workers1` /
-//! `q1_batch_workers4` pair: at 4 workers Q1 must run ≥ 1.5× faster
-//! than at 1 worker. On single-core hosts (where no wall-clock speedup
-//! is physically available) the ratio is reported but not enforced.
+//! on every `*workers1` / `*workers4` benchmark pair the current run
+//! carries (today the Q1 batch sweep): at 4 workers the query must
+//! run ≥ 1.5× faster than at 1 worker. On single-core hosts (where no
+//! wall-clock speedup is physically available) the contract inverts
+//! into an overhead cap — workers4 must stay within 25 % of workers1,
+//! so the parallel path can never be pathologically slower than the
+//! sequential one (the margin absorbs thread-spawn and channel
+//! scheduling noise on a loaded single core).
 
 use std::collections::BTreeMap;
 use std::process::ExitCode;
@@ -43,6 +47,13 @@ use vr_bench::json;
 
 const DEFAULT_TOLERANCE: f64 = 0.30;
 const Q1_SPEEDUP_FLOOR: f64 = 1.5;
+/// Single-core hosts cannot speed up, but the parallel pipeline's
+/// bookkeeping must not make workers4 meaningfully slower than the
+/// sequential run. 25 % headroom absorbs thread-spawn and channel
+/// scheduling noise on a contended single core while still flagging
+/// pathological serialization (a per-sample contention bug shows up
+/// as 1.5–2×, far past this cap).
+const SINGLE_CORE_OVERHEAD_CAP: f64 = 1.25;
 
 fn load_medians(path: &str) -> Result<BTreeMap<String, f64>, String> {
     let text = std::fs::read_to_string(path)
@@ -227,26 +238,44 @@ fn run() -> Result<bool, String> {
         }
     }
 
-    // Parallel-speedup contract on the Q1 worker-sweep pair.
-    let w1 = current.iter().find(|(id, _)| id.ends_with("q1_batch_workers1"));
-    let w4 = current.iter().find(|(id, _)| id.ends_with("q1_batch_workers4"));
-    if let (Some((_, &w1)), Some((_, &w4))) = (w1, w4) {
+    // Parallel-speedup contract, enforced on every workers1/workers4
+    // benchmark pair the current run carries (today the Q1 batch
+    // sweep; any future sweep joins the contract by naming). On
+    // multi-core hosts 4 workers must deliver a real speedup; on a
+    // single core no speedup is physically available, but the
+    // parallel path's overhead must still keep workers4 within a few
+    // percent of workers1 — a pipelined run that is meaningfully
+    // *slower* than sequential is a scaling regression either way.
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let pairs: Vec<(String, f64, f64)> = current
+        .iter()
+        .filter_map(|(id, &w1)| {
+            let stem = id.strip_suffix("workers1")?;
+            current.get(&format!("{stem}workers4")).map(|&w4| (id.clone(), w1, w4))
+        })
+        .collect();
+    for (id, w1, w4) in pairs {
         let speedup = w1 / w4.max(1.0);
-        let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
         if cores >= 2 {
             let ok = speedup >= Q1_SPEEDUP_FLOOR;
             if !ok {
                 failures += 1;
             }
             table.push(format!(
-                "q1 speedup at 4 workers: {speedup:.2}x on {cores} cores \
+                "{id}: speedup at 4 workers {speedup:.2}x on {cores} cores \
                  (floor {Q1_SPEEDUP_FLOOR}x) — {}",
                 if ok { "PASS" } else { "REGRESSED" }
             ));
         } else {
+            let ok = w4 <= w1 * SINGLE_CORE_OVERHEAD_CAP;
+            if !ok {
+                failures += 1;
+            }
             table.push(format!(
-                "q1 speedup at 4 workers: {speedup:.2}x — informational \
-                 ({cores} core host, floor not enforced)"
+                "{id}: speedup at 4 workers {speedup:.2}x on a single core \
+                 (workers4 must stay within {:.0}% of workers1) — {}",
+                (SINGLE_CORE_OVERHEAD_CAP - 1.0) * 100.0,
+                if ok { "PASS" } else { "REGRESSED" }
             ));
         }
     }

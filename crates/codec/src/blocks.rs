@@ -29,9 +29,26 @@ impl<'a> PlaneRef<'a> {
     /// outside; clamped).
     pub fn gather(&self, x0: i32, y0: i32, n: usize, out: &mut [f32]) {
         debug_assert_eq!(out.len(), n * n);
-        for r in 0..n {
-            for c in 0..n {
-                out[r * n + c] = self.sample(x0 + c as i32, y0 + r as i32) as f32;
+        // Fast path: block fully inside the plane — straight
+        // row-slice widening copies the autovectorizer can lower.
+        let inside = x0 >= 0
+            && y0 >= 0
+            && x0 + n as i32 <= self.width as i32
+            && y0 + n as i32 <= self.height as i32;
+        if inside {
+            for r in 0..n {
+                let s0 = (y0 as usize + r) * self.width as usize + x0 as usize;
+                let src = &self.data[s0..s0 + n];
+                let dst = &mut out[r * n..(r + 1) * n];
+                for (d, &s) in dst.iter_mut().zip(src) {
+                    *d = s as f32;
+                }
+            }
+        } else {
+            for r in 0..n {
+                for c in 0..n {
+                    out[r * n + c] = self.sample(x0 + c as i32, y0 + r as i32) as f32;
+                }
             }
         }
     }
@@ -96,6 +113,21 @@ impl<'a> PlaneRef<'a> {
 /// of non-multiple-of-16 frames).
 pub fn scatter(plane: &mut [u8], width: u32, height: u32, x0: i32, y0: i32, n: usize, block: &[f32]) {
     debug_assert_eq!(block.len(), n * n);
+    // Fast path: block fully inside the plane — per-row slices with no
+    // per-sample bounds tests (identical rounding/clamping math).
+    let inside =
+        x0 >= 0 && y0 >= 0 && x0 + n as i32 <= width as i32 && y0 + n as i32 <= height as i32;
+    if inside {
+        for r in 0..n {
+            let d0 = (y0 as usize + r) * width as usize + x0 as usize;
+            let dst = &mut plane[d0..d0 + n];
+            let src = &block[r * n..(r + 1) * n];
+            for (d, &s) in dst.iter_mut().zip(src) {
+                *d = s.round().clamp(0.0, 255.0) as u8;
+            }
+        }
+        return;
+    }
     for r in 0..n {
         let y = y0 + r as i32;
         if y < 0 || y >= height as i32 {

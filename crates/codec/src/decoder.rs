@@ -8,20 +8,26 @@ use crate::motion::MotionVector;
 use crate::packet::{FrameType, VideoInfo};
 use crate::quant::dequantize;
 use crate::transform::{idct, BLOCK, N};
-use vr_base::{Error, Result};
+use std::sync::Arc;
+use vr_base::{Error, FramePool, Result};
 use vr_bitstream::BitReader;
 use vr_frame::Frame;
 
 /// A streaming decoder: feed packets in decode order.
+///
+/// Reconstruction frames are drawn from a per-decoder [`FramePool`]
+/// and recycled when the caller drops them, so steady-state decoding
+/// allocates no plane buffers.
 pub struct Decoder {
     info: VideoInfo,
     reference: Option<Frame>,
+    pool: Arc<FramePool>,
 }
 
 impl Decoder {
     /// Create a decoder for a stream with the given parameters.
     pub fn new(info: VideoInfo) -> Self {
-        Self { info, reference: None }
+        Self { info, reference: None, pool: FramePool::from_env() }
     }
 
     /// Stream parameters.
@@ -38,16 +44,20 @@ impl Decoder {
             return Err(Error::Corrupt(format!("QP {qp} out of range")));
         }
         let (w, h) = (self.info.width, self.info.height);
-        let mut recon = Frame::new(w, h);
+        let mut recon = Frame::new_pooled(w, h, &self.pool);
         match frame_type {
             FrameType::Intra => self.decode_intra(&mut r, &mut recon, qp)?,
             FrameType::Inter => {
+                // Taking the reference out makes its planes unique
+                // again once replaced below, so they recycle.
                 let reference = self.reference.take().ok_or_else(|| {
                     Error::Corrupt("inter frame without a decoded reference".into())
                 })?;
                 self.decode_inter(&mut r, &reference, &mut recon, qp)?;
             }
         }
+        // O(1): planes are copy-on-write, so keeping the reference is
+        // a refcount bump, not a frame copy.
         self.reference = Some(recon.clone());
         Ok(recon)
     }

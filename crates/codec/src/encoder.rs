@@ -8,7 +8,8 @@ use crate::packet::{FrameType, Packet, Profile, RateControlMode, VideoInfo};
 use crate::quant::{dequantize, quantize, qstep};
 use crate::ratecontrol::RateController;
 use crate::transform::{dct, idct, BLOCK, N};
-use vr_base::{Error, FrameRate, Result};
+use std::sync::Arc;
+use vr_base::{Error, FramePool, FrameRate, Result};
 use vr_bitstream::BitWriter;
 use vr_frame::Frame;
 
@@ -72,6 +73,13 @@ pub struct Encoder {
     reference: Option<Frame>,
     frame_index: u64,
     rc: Option<RateController>,
+    /// Recycles reconstruction planes across GOPs: the old reference
+    /// returns here when replaced, so steady-state encoding allocates
+    /// no plane buffers.
+    pool: Arc<FramePool>,
+    /// Bitstream capacity hint, grown to the largest packet seen so
+    /// the writer never reallocates mid-frame after warmup.
+    pkt_capacity: usize,
 }
 
 impl Encoder {
@@ -94,7 +102,16 @@ impl Encoder {
             }
             RateControlMode::ConstantQp(_) => None,
         };
-        Ok(Self { cfg, width, height, reference: None, frame_index: 0, rc })
+        Ok(Self {
+            cfg,
+            width,
+            height,
+            reference: None,
+            frame_index: 0,
+            rc,
+            pool: FramePool::from_env(),
+            pkt_capacity: width as usize * height as usize / 8,
+        })
     }
 
     /// Stream parameters for the container/track header.
@@ -127,11 +144,11 @@ impl Encoder {
             (None, RateControlMode::Bitrate(_)) => unreachable!("rc always set for bitrate mode"),
         };
 
-        let mut w = BitWriter::with_capacity(self.width as usize * self.height as usize / 8);
+        let mut w = BitWriter::with_capacity(self.pkt_capacity);
         w.put_bits(frame_type.to_u8() as u64, 8);
         w.put_bits(qp as u64, 8);
 
-        let mut recon = Frame::new(self.width, self.height);
+        let mut recon = Frame::new_pooled(self.width, self.height, &self.pool);
         match frame_type {
             FrameType::Intra => self.encode_intra(frame, &mut recon, qp, &mut w),
             FrameType::Inter => {
@@ -146,9 +163,12 @@ impl Encoder {
         if let Some(rc) = &mut self.rc {
             rc.update(bits, intra);
         }
+        // Dropping the old reference recycles its planes into the pool.
         self.reference = Some(recon);
         self.frame_index += 1;
-        Ok(Packet { data: w.finish(), keyframe: intra })
+        let data = w.finish();
+        self.pkt_capacity = self.pkt_capacity.max(data.len() + 64);
+        Ok(Packet { data, keyframe: intra })
     }
 
     fn encode_intra(&self, frame: &Frame, recon: &mut Frame, qp: u8, w: &mut BitWriter) {

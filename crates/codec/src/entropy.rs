@@ -27,20 +27,24 @@ fn scan() -> &'static [usize; BLOCK] {
 /// Encode one quantized 8×8 block.
 pub fn put_block(w: &mut BitWriter, levels: &[i32; BLOCK]) {
     let order = scan();
-    // Collect (run, level) pairs in scan order.
-    let mut pairs: Vec<(u32, i32)> = Vec::with_capacity(16);
+    // Collect (run, level) pairs in scan order. A block holds at most
+    // BLOCK nonzero coefficients, so a fixed stack array suffices —
+    // this is the encoder's innermost loop and must not heap-allocate.
+    let mut pairs = [(0u32, 0i32); BLOCK];
+    let mut n = 0usize;
     let mut run = 0u32;
     for &idx in order.iter() {
         let l = levels[idx];
         if l == 0 {
             run += 1;
         } else {
-            pairs.push((run, l));
+            pairs[n] = (run, l);
+            n += 1;
             run = 0;
         }
     }
-    put_ue(w, pairs.len() as u64);
-    for (run, level) in pairs {
+    put_ue(w, n as u64);
+    for &(run, level) in &pairs[..n] {
         put_ue(w, run as u64);
         put_se(w, level as i64);
     }

@@ -30,30 +30,60 @@ fn basis() -> &'static [[f32; N]; N] {
     })
 }
 
+/// The transposed basis (`basis_t[k][u] = basis[u][k]`), so passes
+/// whose natural inner dimension walks a basis *column* can instead
+/// walk a contiguous row.
+fn basis_t() -> &'static [[f32; N]; N] {
+    use std::sync::OnceLock;
+    static BASIS_T: OnceLock<[[f32; N]; N]> = OnceLock::new();
+    BASIS_T.get_or_init(|| {
+        let b = basis();
+        let mut t = [[0.0f32; N]; N];
+        for u in 0..N {
+            for k in 0..N {
+                t[k][u] = b[u][k];
+            }
+        }
+        t
+    })
+}
+
+// Both transforms are written so the innermost loop runs over eight
+// *contiguous* output lanes with a broadcast scalar multiply-add —
+// the shape the autovectorizer lowers to packed FMA/mul+add. Each
+// output element still accumulates its eight products in ascending
+// index order (lanes are independent accumulators), so results are
+// bit-identical to the scalar reduction form they replaced.
+
 /// Forward DCT of an 8×8 block (row-major). Input values are pixel
 /// residuals (typically −255..255); output coefficients.
 pub fn dct(block: &[f32; BLOCK]) -> [f32; BLOCK] {
     let b = basis();
+    let bt = basis_t();
     let mut tmp = [0.0f32; BLOCK];
     // Row pass: tmp = block · Bᵀ  (transform each row).
     for r in 0..N {
-        for u in 0..N {
-            let mut acc = 0.0;
-            for k in 0..N {
-                acc += block[r * N + k] * b[u][k];
+        let row = &block[r * N..(r + 1) * N];
+        let acc = &mut tmp[r * N..(r + 1) * N];
+        for k in 0..N {
+            let s = row[k];
+            let bk = &bt[k];
+            for u in 0..N {
+                acc[u] += s * bk[u];
             }
-            tmp[r * N + u] = acc;
         }
     }
     // Column pass: out = B · tmp (transform each column).
     let mut out = [0.0f32; BLOCK];
     for u in 0..N {
-        for c in 0..N {
-            let mut acc = 0.0;
-            for k in 0..N {
-                acc += tmp[k * N + c] * b[u][k];
+        let bu = &b[u];
+        let acc = &mut out[u * N..(u + 1) * N];
+        for k in 0..N {
+            let s = bu[k];
+            let trow = &tmp[k * N..(k + 1) * N];
+            for c in 0..N {
+                acc[c] += trow[c] * s;
             }
-            out[u * N + c] = acc;
         }
     }
     out
@@ -65,23 +95,26 @@ pub fn idct(coeffs: &[f32; BLOCK]) -> [f32; BLOCK] {
     let mut tmp = [0.0f32; BLOCK];
     // Column pass: tmp = Bᵀ · coeffs.
     for k in 0..N {
-        for c in 0..N {
-            let mut acc = 0.0;
-            for u in 0..N {
-                acc += coeffs[u * N + c] * b[u][k];
+        let acc = &mut tmp[k * N..(k + 1) * N];
+        for u in 0..N {
+            let s = b[u][k];
+            let crow = &coeffs[u * N..(u + 1) * N];
+            for c in 0..N {
+                acc[c] += crow[c] * s;
             }
-            tmp[k * N + c] = acc;
         }
     }
     // Row pass: out = tmp · B.
     let mut out = [0.0f32; BLOCK];
     for r in 0..N {
-        for k in 0..N {
-            let mut acc = 0.0;
-            for u in 0..N {
-                acc += tmp[r * N + u] * b[u][k];
+        let trow = &tmp[r * N..(r + 1) * N];
+        let acc = &mut out[r * N..(r + 1) * N];
+        for u in 0..N {
+            let s = trow[u];
+            let bu = &b[u];
+            for k in 0..N {
+                acc[k] += s * bu[k];
             }
-            out[r * N + k] = acc;
         }
     }
     out

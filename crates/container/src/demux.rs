@@ -2,23 +2,26 @@
 //! cursors (online mode).
 
 use crate::{SampleInfo, Track, TrackKind, MAGIC, VERSION};
-use vr_base::{Error, Result, Timestamp};
+use vr_base::{BufSlice, Error, Result, SharedBuf, Timestamp};
 use vr_bitstream::bytesio::ByteReader;
 use vr_bitstream::crc32;
 
-/// A parsed container. Owns the file bytes; samples are borrowed
-/// slices into the data section (zero-copy).
+/// A parsed container. Shares the file bytes ([`SharedBuf`]); samples
+/// resolve to borrowed slices or owned zero-copy [`BufSlice`] views
+/// into the data section — the file is read once and never copied.
 #[derive(Debug)]
 pub struct Container {
     tracks: Vec<Track>,
-    data: Vec<u8>,
-    /// Offset of the data section within the owned buffer.
+    data: SharedBuf,
+    /// Offset of the data section within the shared buffer.
     data_start: usize,
 }
 
 impl Container {
-    /// Parse a container from owned bytes.
-    pub fn parse(bytes: Vec<u8>) -> Result<Self> {
+    /// Parse a container from a shared buffer (a `Vec<u8>` converts
+    /// for free — no byte copy).
+    pub fn parse(bytes: impl Into<SharedBuf>) -> Result<Self> {
+        let bytes = bytes.into();
         let mut r = ByteReader::new(&bytes);
         let magic = r.get_bytes(4)?;
         if magic != MAGIC {
@@ -92,6 +95,14 @@ impl Container {
         Self::parse(std::fs::read(path)?)
     }
 
+    /// Random access to a sample as an owned zero-copy [`BufSlice`]
+    /// view (shares the container's buffer; useful for handing samples
+    /// to pipes or threads without copying and without a borrow).
+    pub fn sample_slice(&self, track: usize, index: usize) -> Result<BufSlice> {
+        let (start, end) = self.sample_range(track, index)?;
+        Ok(self.data.slice(start..end))
+    }
+
     /// The complete serialized container (what was parsed) — lets a
     /// holder re-persist the file without re-muxing.
     pub fn raw_bytes(&self) -> &[u8] {
@@ -110,6 +121,15 @@ impl Container {
 
     /// Random access to a sample's payload (offline mode).
     pub fn sample(&self, track: usize, index: usize) -> Result<&[u8]> {
+        let (start, end) = self.sample_range(track, index)?;
+        Ok(&self.data.as_slice()[start..end])
+    }
+
+    /// Resolve a sample's validated byte range within the shared
+    /// buffer. Bounds were validated at parse; re-check with checked
+    /// arithmetic anyway so a length-corrupted index can never slice
+    /// past the buffer — it surfaces as a typed error instead.
+    fn sample_range(&self, track: usize, index: usize) -> Result<(usize, usize)> {
         let t = self
             .tracks
             .get(track)
@@ -118,9 +138,6 @@ impl Container {
             .samples
             .get(index)
             .ok_or_else(|| Error::NotFound(format!("sample {index} of track {track}")))?;
-        // Bounds were validated at parse; re-check with safe slicing
-        // anyway so a length-corrupted index can never slice past the
-        // buffer — it surfaces as a typed error instead.
         let start = self
             .data_start
             .checked_add(s.offset as usize)
@@ -128,9 +145,10 @@ impl Container {
         let end = start
             .checked_add(s.size as usize)
             .ok_or_else(|| Error::Corrupt(format!("sample {index} length overflow")))?;
-        self.data
-            .get(start..end)
-            .ok_or_else(|| Error::Corrupt(format!("sample {index} of track {track} truncated")))
+        if end > self.data.len() || start > end {
+            return Err(Error::Corrupt(format!("sample {index} of track {track} truncated")));
+        }
+        Ok((start, end))
     }
 
     /// Like [`sample`](Container::sample), but additionally checks the
@@ -179,6 +197,16 @@ impl<'a> SampleCursor<'a> {
         self.next += 1;
         Some((info, data))
     }
+
+    /// The next sample as an owned zero-copy [`BufSlice`] view
+    /// (online mode handing samples across threads or into pipes).
+    pub fn next_sample_slice(&mut self) -> Option<(SampleInfo, BufSlice)> {
+        let t = &self.container.tracks[self.track];
+        let info = *t.samples.get(self.next)?;
+        let data = self.container.sample_slice(self.track, self.next).ok()?;
+        self.next += 1;
+        Some((info, data))
+    }
 }
 
 #[cfg(test)]
@@ -219,6 +247,33 @@ mod robustness_tests {
             Err(Error::Corrupt(m)) => assert!(m.contains("CRC")),
             other => panic!("expected Corrupt, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn sample_slice_is_a_zero_copy_view() {
+        use crate::ContainerWriter;
+        let mut w = ContainerWriter::new();
+        let t = w.add_track(crate::TrackKind::Video, Vec::new());
+        w.push_sample(t, &[7u8; 24], vr_base::Timestamp::ZERO, true);
+        w.push_sample(t, &[9u8; 24], vr_base::Timestamp::from_micros(1000), false);
+        let c = Container::parse(w.finish()).unwrap();
+        for i in 0..2 {
+            let borrowed = c.sample(0, i).unwrap();
+            let slice = c.sample_slice(0, i).unwrap();
+            assert_eq!(slice.as_slice(), borrowed);
+            // Same backing storage, not a copy: both views start at
+            // the same address inside the container's shared buffer.
+            assert_eq!(slice.as_slice().as_ptr(), borrowed.as_ptr());
+        }
+        // The cursor's owned slices alias the same buffer too.
+        let mut cur = c.cursor(0).unwrap();
+        let mut n = 0;
+        while let Some((info, slice)) = cur.next_sample_slice() {
+            assert_eq!(slice.as_slice(), c.sample(0, n).unwrap());
+            assert_eq!(info.keyframe, n == 0);
+            n += 1;
+        }
+        assert_eq!(n, 2);
     }
 
     #[test]

@@ -813,8 +813,10 @@ pub fn ingest_online_pipe(input: &InputVideo, speedup: f64) -> Result<usize> {
             let pacer = Pacer::with_speedup(info.frame_rate, speedup.max(1e-3));
             for i in 0..n {
                 pacer.wait_for_frame(i as u64);
-                let sample = input.container.sample(track, i)?;
-                writer.write(sample.to_vec())?;
+                // Zero-copy: the pipe message is a view into the
+                // container's shared buffer, not a per-sample copy.
+                let sample = input.container.sample_slice(track, i)?;
+                writer.write(sample)?;
             }
             Ok(())
         });

@@ -1,6 +1,155 @@
 //! The planar YUV 4:2:0 [`Frame`] and packed [`RgbImage`] types.
 
 use crate::color::{rgb_to_yuv, yuv_to_rgb, Rgb, Yuv};
+use std::ops::{Deref, DerefMut};
+use std::sync::Arc;
+use vr_base::FramePool;
+
+/// One copy-on-write sample plane of a [`Frame`].
+///
+/// Behaves like a `Vec<u8>` at every call site (it derefs to `[u8]`
+/// for reads and writes), but cloning is a refcount bump instead of a
+/// buffer copy: planes are shared until one side mutates, at which
+/// point the writer transparently gets a private copy. A plane drawn
+/// from a [`FramePool`] carries its pool handle and returns its buffer
+/// on drop once it is the last holder, making steady-state
+/// decode/encode loops allocation-free.
+pub struct Plane {
+    /// Always `Some` outside `drop`.
+    data: Option<Arc<Vec<u8>>>,
+    /// Pool to recycle the buffer into, if pooled.
+    pool: Option<Arc<FramePool>>,
+}
+
+impl Plane {
+    /// A fresh (unpooled) plane of `len` samples, all `fill`.
+    pub fn new(len: usize, fill: u8) -> Self {
+        Self { data: Some(Arc::new(vec![fill; len])), pool: None }
+    }
+
+    /// Wrap an owned buffer (no copy).
+    pub fn from_vec(v: Vec<u8>) -> Self {
+        Self { data: Some(Arc::new(v)), pool: None }
+    }
+
+    /// A plane of `len` samples, all `fill`, drawn from `pool`
+    /// (allocation-free once the pool is warm). Observationally
+    /// identical to [`Plane::new`].
+    pub fn pooled(len: usize, fill: u8, pool: &Arc<FramePool>) -> Self {
+        Self { data: Some(pool.take(len, fill)), pool: Some(Arc::clone(pool)) }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.data.as_ref().expect("plane present").len()
+    }
+
+    /// Whether the plane has no samples.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The samples as a shared slice.
+    pub fn as_slice(&self) -> &[u8] {
+        self.data.as_ref().expect("plane present").as_slice()
+    }
+
+    /// The samples as a mutable slice (copy-on-write: if the plane is
+    /// shared, the caller gets a private copy first).
+    pub fn as_mut_slice(&mut self) -> &mut [u8] {
+        Arc::make_mut(self.data.as_mut().expect("plane present")).as_mut_slice()
+    }
+
+    /// Whether this plane currently shares its buffer with another.
+    pub fn is_shared(&self) -> bool {
+        Arc::strong_count(self.data.as_ref().expect("plane present")) > 1
+    }
+}
+
+impl Deref for Plane {
+    type Target = [u8];
+    #[inline]
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl DerefMut for Plane {
+    #[inline]
+    fn deref_mut(&mut self) -> &mut [u8] {
+        self.as_mut_slice()
+    }
+}
+
+impl Clone for Plane {
+    /// O(1): bumps the refcount; the buffer is shared until mutated.
+    fn clone(&self) -> Self {
+        Self { data: self.data.clone(), pool: self.pool.clone() }
+    }
+}
+
+impl Drop for Plane {
+    fn drop(&mut self) {
+        if let (Some(arc), Some(pool)) = (self.data.take(), self.pool.take()) {
+            pool.put(arc);
+        }
+    }
+}
+
+impl PartialEq for Plane {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+impl Eq for Plane {}
+
+impl PartialEq<Vec<u8>> for Plane {
+    fn eq(&self, other: &Vec<u8>) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+impl PartialEq<Plane> for Vec<u8> {
+    fn eq(&self, other: &Plane) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+impl PartialEq<[u8]> for Plane {
+    fn eq(&self, other: &[u8]) -> bool {
+        self.as_slice() == other
+    }
+}
+
+impl std::fmt::Debug for Plane {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Plane")
+            .field("len", &self.len())
+            .field("shared", &self.is_shared())
+            .field("pooled", &self.pool.is_some())
+            .finish()
+    }
+}
+
+impl<'a> IntoIterator for &'a Plane {
+    type Item = &'a u8;
+    type IntoIter = std::slice::Iter<'a, u8>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a mut Plane {
+    type Item = &'a mut u8;
+    type IntoIter = std::slice::IterMut<'a, u8>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_mut_slice().iter_mut()
+    }
+}
+
+impl From<Vec<u8>> for Plane {
+    fn from(v: Vec<u8>) -> Self {
+        Self::from_vec(v)
+    }
+}
 
 /// A planar YUV 4:2:0 frame.
 ///
@@ -12,16 +161,19 @@ use crate::color::{rgb_to_yuv, yuv_to_rgb, Rgb, Yuv};
 ///
 /// The "null" sentinel color ω used by Q2(c)/Q6 (§4.1) is pure black:
 /// `Y = 0, U = 128, V = 128`.
+///
+/// Planes are copy-on-write ([`Plane`]): `Frame::clone` is O(1) and
+/// frames travel through pipeline channels without copying pixels.
 #[derive(Clone, PartialEq, Eq)]
 pub struct Frame {
     width: u32,
     height: u32,
     /// Y plane, `width * height` samples, row-major.
-    pub y: Vec<u8>,
+    pub y: Plane,
     /// U plane, `(width/2) * (height/2)` samples.
-    pub u: Vec<u8>,
+    pub u: Plane,
     /// V plane, `(width/2) * (height/2)` samples.
-    pub v: Vec<u8>,
+    pub v: Plane,
 }
 
 impl std::fmt::Debug for Frame {
@@ -47,9 +199,26 @@ impl Frame {
         Self {
             width,
             height,
-            y: vec![0; luma],
-            u: vec![128; chroma],
-            v: vec![128; chroma],
+            y: Plane::new(luma, 0),
+            u: Plane::new(chroma, 128),
+            v: Plane::new(chroma, 128),
+        }
+    }
+
+    /// Allocate a black frame whose planes come from (and return to)
+    /// `pool`. Identical contents to [`Frame::new`]; allocation-free
+    /// once the pool is warm.
+    pub fn new_pooled(width: u32, height: u32, pool: &Arc<FramePool>) -> Self {
+        assert!(width >= 2 && height >= 2, "frame dimensions must be >= 2");
+        assert!(width % 2 == 0 && height % 2 == 0, "4:2:0 frames need even dimensions");
+        let luma = (width * height) as usize;
+        let chroma = luma / 4;
+        Self {
+            width,
+            height,
+            y: Plane::pooled(luma, 0, pool),
+            u: Plane::pooled(chroma, 128, pool),
+            v: Plane::pooled(chroma, 128, pool),
         }
     }
 
@@ -323,6 +492,42 @@ mod tests {
         assert!(f.is_omega(1, 1));
         f.set(1, 1, Yuv { y: 30, u: 128, v: 128 });
         assert!(!f.is_omega(1, 1));
+    }
+
+    #[test]
+    fn plane_clone_is_shared_until_written() {
+        let mut f = Frame::new(4, 4);
+        f.set_y(1, 1, 200);
+        let g = f.clone();
+        assert!(f.y.is_shared() && g.y.is_shared());
+        assert_eq!(f, g);
+        // Writing one side detaches it; the other is untouched.
+        let mut h = g.clone();
+        h.set_y(0, 0, 99);
+        assert_eq!(h.get_y(0, 0), 99);
+        assert_eq!(g.get_y(0, 0), 0);
+        assert_eq!(f.get_y(1, 1), 200);
+    }
+
+    #[test]
+    fn pooled_frames_match_fresh_and_recycle() {
+        let pool = vr_base::FramePool::new(4);
+        let a = Frame::new_pooled(8, 6, &pool);
+        assert_eq!(a, Frame::new(8, 6), "pooled frame must be bit-identical to fresh");
+        drop(a);
+        assert_eq!(pool.retained(), 3, "all three planes return to the pool");
+        // A recycled frame is reset even if the previous user wrote it.
+        let mut b = Frame::new_pooled(8, 6, &pool);
+        b.set_y(3, 3, 250);
+        drop(b);
+        let c = Frame::new_pooled(8, 6, &pool);
+        assert_eq!(c, Frame::new(8, 6));
+        // A plane still shared elsewhere is not recycled into the pool.
+        let d = Frame::new_pooled(8, 6, &pool);
+        let alias = d.y.clone();
+        drop(d);
+        assert_eq!(pool.retained(), 2);
+        drop(alias);
     }
 
     #[test]

@@ -24,7 +24,7 @@ pub mod ops;
 pub mod tile;
 
 pub use color::{rgb_to_yuv, yuv_to_rgb, Rgb, Yuv};
-pub use frame::{Frame, RgbImage};
+pub use frame::{Frame, Plane, RgbImage};
 pub use metrics::{mse_y, psnr, psnr_y, PSNR_LOSSLESS_DB, VALIDATION_THRESHOLD_DB};
 
 #[cfg(test)]

@@ -45,8 +45,11 @@ pub fn crop(src: &Frame, rect: Rect) -> Frame {
 /// returns (y, 0, 0)" with offset-binary chroma.
 pub fn grayscale(src: &Frame) -> Frame {
     let mut dst = src.clone();
-    dst.u.fill(128);
-    dst.v.fill(128);
+    // Fresh neutral planes instead of `fill(128)`: filling a shared
+    // copy-on-write plane would first copy the chroma it is about to
+    // overwrite. The luma plane stays shared with `src` (zero-copy).
+    dst.u = crate::frame::Plane::new(src.u.len(), 128);
+    dst.v = crate::frame::Plane::new(src.v.len(), 128);
     dst
 }
 
@@ -257,22 +260,25 @@ pub fn background_mask(frame: &Frame, background: &Frame, epsilon: f64) -> Frame
     // neutralized only when all four covered pixels are masked, so a
     // surviving foreground pixel keeps its color.
     let mut out = frame.clone();
+    // Resolve the copy-on-write planes once, outside the pixel loops.
+    let oy = out.y.as_mut_slice();
     for y in 0..h {
         for x in 0..w {
             if mask[(y * w + x) as usize] {
-                out.set_y(x, y, 0);
+                oy[(y * w + x) as usize] = 0;
             }
         }
     }
     let (cw, ch) = frame.chroma_dims();
+    let (ou, ov) = (out.u.as_mut_slice(), out.v.as_mut_slice());
     for cy in 0..ch {
         for cx in 0..cw {
             let all = (0..2).all(|dy| {
                 (0..2).all(|dx| mask[((cy * 2 + dy) * w + cx * 2 + dx) as usize])
             });
             if all {
-                out.set_u(cx, cy, 128);
-                out.set_v(cx, cy, 128);
+                ou[(cy * w / 2 + cx) as usize] = 128;
+                ov[(cy * w / 2 + cx) as usize] = 128;
             }
         }
     }
@@ -285,10 +291,16 @@ pub fn background_mask(frame: &Frame, background: &Frame, epsilon: f64) -> Frame
 pub fn coalesce(base: &Frame, overlay: &Frame) -> Frame {
     assert!(base.width() == overlay.width() && base.height() == overlay.height());
     let mut out = base.clone();
-    for y in 0..base.height() {
-        for x in 0..base.width() {
+    let (w, h) = (base.width(), base.height());
+    // Resolve the copy-on-write planes once, outside the pixel loop.
+    let (oy, ou, ov) = (out.y.as_mut_slice(), out.u.as_mut_slice(), out.v.as_mut_slice());
+    for y in 0..h {
+        for x in 0..w {
             if !overlay.is_omega(x, y) {
-                out.set(x, y, overlay.get(x, y));
+                let c = overlay.get(x, y);
+                oy[(y * w + x) as usize] = c.y;
+                ou[((y / 2) * w / 2 + x / 2) as usize] = c.u;
+                ov[((y / 2) * w / 2 + x / 2) as usize] = c.v;
             }
         }
     }

@@ -10,7 +10,7 @@
 use std::collections::HashMap;
 use vr_base::fault::{self, IoOp};
 use vr_base::sync::RwLock;
-use vr_base::{Error, Result};
+use vr_base::{Error, Result, SharedBuf};
 
 /// Default block size (64 KiB — scaled down from HDFS's 128 MiB so
 /// benchmark-sized videos span multiple blocks).
@@ -111,10 +111,13 @@ impl MiniDfs {
         Ok(())
     }
 
-    /// Read a file back, failing over dead replicas. Transient I/O
-    /// failures (injected or real) are retried with bounded, seeded
-    /// backoff before the error surfaces.
-    pub fn get(&self, name: &str) -> Result<Vec<u8>> {
+    /// Read a file back into a [`SharedBuf`], failing over dead
+    /// replicas. The result is preallocated from the summed block
+    /// sizes (one allocation, no growth) and shared zero-copy with
+    /// downstream consumers. Transient I/O failures (injected or real)
+    /// are retried with bounded, seeded backoff before the error
+    /// surfaces.
+    pub fn get(&self, name: &str) -> Result<SharedBuf> {
         let _span = vr_base::obs::trace::span("storage", "dfs.get");
         fault::with_retry("dfs.get", || {
             if let Some(inj) = fault::global() {
@@ -126,37 +129,57 @@ impl MiniDfs {
         })
     }
 
-    fn get_inner(&self, name: &str) -> Result<Vec<u8>> {
+    fn get_inner(&self, name: &str) -> Result<SharedBuf> {
         let nn = self.name.read();
         let blocks = nn
             .files
             .get(name)
             .ok_or_else(|| Error::NotFound(format!("dfs file {name}")))?;
-        let mut out = Vec::new();
+        // Pass 1: resolve a live replica per block and sum sizes, so
+        // the assembly buffer is allocated exactly once.
+        let mut picked = Vec::with_capacity(blocks.len());
+        let mut total = 0usize;
         for b in blocks {
             let holders = nn
                 .replicas
                 .get(&b.0)
                 .ok_or_else(|| Error::Corrupt(format!("dangling block {}", b.0)))?;
-            let mut found = false;
+            let mut found = None;
             for &h in holders {
                 let node = self.nodes[h].read();
                 if node.alive {
                     if let Some(data) = node.blocks.get(&b.0) {
-                        out.extend_from_slice(data);
-                        found = true;
+                        total += data.len();
+                        found = Some(h);
                         break;
                     }
                 }
             }
-            if !found {
-                return Err(Error::ResourceExhausted(format!(
-                    "all replicas of block {} are unavailable",
-                    b.0
-                )));
+            match found {
+                Some(h) => picked.push((b.0, h)),
+                None => {
+                    return Err(Error::ResourceExhausted(format!(
+                        "all replicas of block {} are unavailable",
+                        b.0
+                    )))
+                }
             }
         }
-        Ok(out)
+        // Pass 2: copy block contents into the presized buffer. A
+        // replica can die between passes; treat that as unavailable.
+        let mut out = Vec::with_capacity(total);
+        for (id, h) in picked {
+            let node = self.nodes[h].read();
+            match node.blocks.get(&id) {
+                Some(data) if node.alive => out.extend_from_slice(data),
+                _ => {
+                    return Err(Error::ResourceExhausted(format!(
+                        "all replicas of block {id} are unavailable"
+                    )))
+                }
+            }
+        }
+        Ok(SharedBuf::from_vec(out))
     }
 
     /// Whether a file exists.

@@ -7,7 +7,7 @@
 
 use std::path::{Path, PathBuf};
 use vr_base::fault::{self, IoOp};
-use vr_base::{Error, Result};
+use vr_base::{Error, Result, SharedBuf};
 
 /// A flat-file store rooted at a directory.
 #[derive(Debug, Clone)]
@@ -67,10 +67,14 @@ impl FlatStore {
         })
     }
 
-    /// Read a whole file. Transient I/O failures (injected or real)
-    /// are retried with bounded, seeded backoff; a missing file is
-    /// [`Error::NotFound`] immediately (retrying cannot help).
-    pub fn get(&self, name: &str) -> Result<Vec<u8>> {
+    /// Read a whole file into a [`SharedBuf`] that downstream
+    /// consumers (container parse, pipeline, pipes) share without
+    /// copying. The buffer is preallocated from the file length so the
+    /// read is a single allocation with no growth reallocations.
+    /// Transient I/O failures (injected or real) are retried with
+    /// bounded, seeded backoff; a missing file is [`Error::NotFound`]
+    /// immediately (retrying cannot help).
+    pub fn get(&self, name: &str) -> Result<SharedBuf> {
         let _span = vr_base::obs::trace::span("storage", "flat.get");
         let path = self.path_of(name)?;
         fault::with_retry("flat.get", || {
@@ -79,13 +83,18 @@ impl FlatStore {
                     return Err(e);
                 }
             }
-            std::fs::read(&path).map_err(|e| {
+            let map_err = |e: std::io::Error| {
                 if e.kind() == std::io::ErrorKind::NotFound {
                     Error::NotFound(format!("{name} in {}", self.root.display()))
                 } else {
                     Error::Io(e)
                 }
-            })
+            };
+            let mut file = std::fs::File::open(&path).map_err(map_err)?;
+            let len = file.metadata().map(|m| m.len() as usize).unwrap_or(0);
+            let mut buf = Vec::with_capacity(len);
+            std::io::Read::read_to_end(&mut file, &mut buf).map_err(map_err)?;
+            Ok(SharedBuf::from_vec(buf))
         })
     }
 

@@ -10,24 +10,28 @@
 use std::collections::HashMap;
 use vr_base::fault::{self, IoOp};
 use vr_base::sync::{channel, Mutex, Receiver, Sender};
-use vr_base::{Error, Result};
+use vr_base::{BufSlice, Error, Result};
 
-/// Writing half of a pipe.
+/// Writing half of a pipe. Messages are [`BufSlice`] views, so pushing
+/// a container sample through a pipe shares the file bytes instead of
+/// copying them per message.
 pub struct PipeWriter {
-    tx: Sender<Vec<u8>>,
+    tx: Sender<BufSlice>,
 }
 
 /// Reading half of a pipe (forward-only, blocking).
 pub struct PipeReader {
-    rx: Receiver<Vec<u8>>,
+    rx: Receiver<BufSlice>,
 }
 
 impl PipeWriter {
-    /// Write one message, blocking while the pipe is full. Fails when
+    /// Write one message, blocking while the pipe is full. Accepts
+    /// anything convertible to a [`BufSlice`] (a `Vec<u8>`, a
+    /// `SharedBuf`, or a zero-copy container-sample view). Fails when
     /// the reader is gone; transient (injected) write faults are
     /// retried with bounded, seeded backoff.
-    pub fn write(&self, data: Vec<u8>) -> Result<()> {
-        let mut data = Some(data);
+    pub fn write(&self, data: impl Into<BufSlice>) -> Result<()> {
+        let mut data = Some(data.into());
         fault::with_retry("pipe.write", || {
             if let Some(inj) = fault::global() {
                 if let Some(e) = inj.io_fail(IoOp::Write) {
@@ -52,12 +56,12 @@ impl PipeWriter {
 impl PipeReader {
     /// Read the next message, blocking while the pipe is empty.
     /// Returns `None` when the writer is closed and the pipe drained.
-    pub fn read(&self) -> Option<Vec<u8>> {
+    pub fn read(&self) -> Option<BufSlice> {
         self.rx.recv().ok()
     }
 
     /// Non-blocking read.
-    pub fn try_read(&self) -> Option<Vec<u8>> {
+    pub fn try_read(&self) -> Option<BufSlice> {
         self.rx.try_recv().ok()
     }
 }
@@ -65,7 +69,7 @@ impl PipeReader {
 /// A registry of named pipes.
 #[derive(Default)]
 pub struct PipeRegistry {
-    pipes: Mutex<HashMap<String, Receiver<Vec<u8>>>>,
+    pipes: Mutex<HashMap<String, Receiver<BufSlice>>>,
 }
 
 impl PipeRegistry {

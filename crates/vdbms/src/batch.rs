@@ -186,15 +186,26 @@ fn slow_float_crop(frame: &Frame, rect: vr_geom::Rect) -> Frame {
     let w = (((rect.x1 as u32 - x0) + 1) & !1).min(frame.width() - x0).max(2) & !1;
     let h = (((rect.y1 as u32 - y0) + 1) & !1).min(frame.height() - y0).max(2) & !1;
     let mut out = Frame::new(w, h);
+    // Hoist the plane borrows: resolving copy-on-write inside the
+    // pixel loop would pay an atomic check per sample and fence off
+    // the autovectorizer. The float resize machinery itself stays
+    // deliberately per-pixel.
+    let (fw, fh) = (frame.width(), frame.height());
+    let (sy_p, su_p, sv_p) = (frame.y.as_slice(), frame.u.as_slice(), frame.v.as_slice());
+    let (dy_p, du_p, dv_p) =
+        (out.y.as_mut_slice(), out.u.as_mut_slice(), out.v.as_mut_slice());
     // "Resize" with scale 1.0: full bilinear machinery per pixel.
     for y in 0..h {
         for x in 0..w {
             let sx = x0 as f64 + x as f64;
             let sy = y0 as f64 + y as f64;
-            let xi = (sx.floor() as u32).min(frame.width() - 1);
-            let yi = (sy.floor() as u32).min(frame.height() - 1);
-            let c = frame.get(xi, yi);
-            out.set(x, y, c);
+            let xi = (sx.floor() as u32).min(fw - 1);
+            let yi = (sy.floor() as u32).min(fh - 1);
+            dy_p[(y * w + x) as usize] = sy_p[(yi * fw + xi) as usize];
+            let ci = ((yi / 2) * fw / 2 + xi / 2) as usize;
+            let co = ((y / 2) * w / 2 + x / 2) as usize;
+            du_p[co] = su_p[ci];
+            dv_p[co] = sv_p[ci];
         }
     }
     out

@@ -225,11 +225,19 @@ impl Vdbms for FunctionalEngine {
                     let overlay =
                         vr_vtt::render_cues_frame(&doc, t, f.width(), f.height(), &style);
                     // Scalar per-pixel coalesce (no plane fast path).
+                    // COW planes resolve once up front; the loop body
+                    // stays scalar.
                     let mut out = f.clone();
-                    for y in 0..f.height() {
-                        for x in 0..f.width() {
+                    let (w, h) = (f.width(), f.height());
+                    let (oy, ou, ov) =
+                        (out.y.as_mut_slice(), out.u.as_mut_slice(), out.v.as_mut_slice());
+                    for y in 0..h {
+                        for x in 0..w {
                             if !overlay.is_omega(x, y) {
-                                out.set(x, y, overlay.get(x, y));
+                                let c = overlay.get(x, y);
+                                oy[(y * w + x) as usize] = c.y;
+                                ou[((y / 2) * w / 2 + x / 2) as usize] = c.u;
+                                ov[((y / 2) * w / 2 + x / 2) as usize] = c.v;
                             }
                         }
                     }

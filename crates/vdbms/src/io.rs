@@ -20,8 +20,10 @@ pub struct InputVideo {
 }
 
 impl InputVideo {
-    /// Wrap raw container bytes.
-    pub fn from_bytes(name: impl Into<String>, bytes: Vec<u8>) -> Result<Self> {
+    /// Wrap raw container bytes (anything convertible to a
+    /// [`vr_base::SharedBuf`]; a storage read shares its buffer here
+    /// without copying).
+    pub fn from_bytes(name: impl Into<String>, bytes: impl Into<vr_base::SharedBuf>) -> Result<Self> {
         Ok(Self { name: name.into(), container: Arc::new(Container::parse(bytes)?) })
     }
 

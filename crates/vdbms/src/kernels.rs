@@ -58,20 +58,28 @@ impl SampleDecoder {
             SampleDecoder::Resilient(dec) => {
                 let sinfo = input.container.tracks()[track].samples[index];
                 let sample = input.container.sample(track, index)?;
-                let mut owned = sample.to_vec();
-                if let Some(inj) = fault::global() {
+                // The sample is only copied when an injector may
+                // mutate it; otherwise the decoder reads the shared
+                // container bytes in place.
+                let corrupted;
+                let payload: &[u8] = if let Some(inj) = fault::global() {
+                    let mut owned = sample.to_vec();
                     inj.corrupt_sample(&mut owned);
-                }
+                    corrupted = owned;
+                    &corrupted
+                } else {
+                    sample
+                };
                 // Demuxer integrity check: a payload that fails its
                 // index CRC is skipped (never fed to the decoder) and
                 // the frame concealed to keep cadence.
-                if vr_bitstream::crc32(&owned) != sinfo.crc {
+                if vr_bitstream::crc32(payload) != sinfo.crc {
                     fault::note_skipped_sample();
                     let frame = dec.conceal_missing();
                     fault::note_concealed(1);
                     return Ok(frame);
                 }
-                let (frame, outcome) = dec.decode(&owned, sinfo.keyframe);
+                let (frame, outcome) = dec.decode(payload, sinfo.keyframe);
                 if outcome == DecodeOutcome::Concealed {
                     fault::note_concealed(1);
                 }
@@ -406,6 +414,8 @@ pub fn stitch_equirect(
     let eq = Equirect::new(out_w, out_h);
     let mut out = Frame::new(out_w, out_h);
     let (fw, fh) = (faces[0].width(), faces[0].height());
+    // Resolve the copy-on-write planes once, outside the pixel loop.
+    let (oy, ou, ov) = (out.y.as_mut_slice(), out.u.as_mut_slice(), out.v.as_mut_slice());
     for py in 0..out_h {
         for px in 0..out_w {
             let dir = eq.pixel_to_dir(px as f32 + 0.5, py as f32 + 0.5);
@@ -422,16 +432,18 @@ pub fn stitch_equirect(
             let cam = &cams[best];
             // Project the direction through the face camera.
             let target = cam.position + dir * 100.0;
-            if let Some((x, y, _)) = cam.project(target, fw, fh) {
-                let c = sample_bilinear(&faces[best], x, y);
-                out.set(px, py, c);
+            let c = if let Some((x, y, _)) = cam.project(target, fw, fh) {
+                sample_bilinear(&faces[best], x, y)
             } else {
                 // Above/below every face's FOV: approximate with the
                 // nearest row of the best face.
                 let x = fw as f32 / 2.0;
                 let y = if dir.z > 0.0 { 0.0 } else { fh as f32 - 1.0 };
-                out.set(px, py, sample_bilinear(&faces[best], x, y));
-            }
+                sample_bilinear(&faces[best], x, y)
+            };
+            oy[(py * out_w + px) as usize] = c.y;
+            ou[((py / 2) * out_w / 2 + px / 2) as usize] = c.u;
+            ov[((py / 2) * out_w / 2 + px / 2) as usize] = c.v;
         }
     }
     out
@@ -448,15 +460,22 @@ pub fn sample_bilinear(f: &Frame, x: f32, y: f32) -> Yuv {
     let tx = xf - x0 as f32;
     let ty = yf - y0 as f32;
     let blend = |a: u8, b: u8, t: f32| a as f32 + (b as f32 - a as f32) * t;
-    let sample = |getter: &dyn Fn(u32, u32) -> u8| {
+    // Generic over the getter (not `&dyn Fn`) so each plane's sampling
+    // inlines into straight-line code in this per-pixel hot loop.
+    fn sample_one(
+        getter: impl Fn(u32, u32) -> u8,
+        (x0, x1, tx): (u32, u32, f32),
+        (y0, y1, ty): (u32, u32, f32),
+        blend: impl Fn(u8, u8, f32) -> f32,
+    ) -> u8 {
         let top = blend(getter(x0, y0), getter(x1, y0), tx);
         let bot = blend(getter(x0, y1), getter(x1, y1), tx);
         (top + (bot - top) * ty).round().clamp(0.0, 255.0) as u8
-    };
+    }
     Yuv {
-        y: sample(&|x, y| f.get_y(x, y)),
-        u: sample(&|x, y| f.get_u(x / 2, y / 2)),
-        v: sample(&|x, y| f.get_v(x / 2, y / 2)),
+        y: sample_one(|x, y| f.get_y(x, y), (x0, x1, tx), (y0, y1, ty), blend),
+        u: sample_one(|x, y| f.get_u(x / 2, y / 2), (x0, x1, tx), (y0, y1, ty), blend),
+        v: sample_one(|x, y| f.get_v(x / 2, y / 2), (x0, x1, tx), (y0, y1, ty), blend),
     }
 }
 

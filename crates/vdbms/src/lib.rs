@@ -31,6 +31,8 @@ pub mod pipeline;
 pub mod plan;
 pub mod query;
 pub mod reference;
+#[cfg(test)]
+mod zero_copy;
 
 pub use batch::BatchEngine;
 pub use cascade::CascadeEngine;

@@ -471,6 +471,8 @@ impl FrameSource for MemoryScan {
         let _span = trace::span("pipeline", "scan");
         let scope = alloc::ScopeGuard::begin();
         let t0 = Instant::now();
+        // O(1): planes are copy-on-write, so serving a frame from the
+        // materialized table is a refcount bump, not a pixel copy.
         let f = self.frames[self.next].clone();
         self.next += 1;
         self.metrics.record(
