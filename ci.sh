@@ -3,7 +3,8 @@
 #
 #   ./ci.sh            run every stage in order, print a summary table
 #   ./ci.sh <stage>    run one stage (guard|build|test|bench-smoke|
-#                      determinism|chaos|bench-gate|alloc-gate|obs-gate)
+#                      determinism|chaos|bench-gate|optimizer-gate|
+#                      alloc-gate|obs-gate)
 #
 # Must pass with zero network access: the workspace is std-only, so a
 # cold crates.io cache resolves offline. Gate artifacts (determinism
@@ -14,7 +15,7 @@ set -euo pipefail
 cd "$(dirname "$0")"
 
 ART="results/ci"
-STAGES=(guard build test bench-smoke determinism chaos bench-gate alloc-gate obs-gate)
+STAGES=(guard build test bench-smoke determinism chaos bench-gate optimizer-gate alloc-gate obs-gate)
 
 # Shared query-path invocation for the determinism and obs gates: small
 # enough to run in seconds, wide enough to cross every engine and both
@@ -33,6 +34,12 @@ stage_guard() {
     fi
     echo "-- warnings are errors across every target"
     RUSTFLAGS="-D warnings" cargo check -q --release --offline --all-targets
+    echo "-- committed gate artifacts parse cleanly"
+    # Fail fast on a corrupt baseline or calibration profile before any
+    # expensive stage spends minutes to trip over it.
+    cargo build -q --release --offline -p vr-bench --bin bench_gate
+    ./target/release/bench_gate --verify \
+        results/bench_baseline.json results/optimizer_profile.json
 }
 
 stage_build() {
@@ -101,6 +108,28 @@ stage_bench_gate() {
     ./target/release/bench_gate results/bench_baseline.json BENCH_engines.json \
         --seed-new --deltas-out "$ART/bench_deltas.txt"
     cp BENCH_engines.json "$ART/bench_current.json"
+}
+
+stage_optimizer_gate() {
+    # Run the bench suite twice — hand-tuned defaults (VR_OPTIMIZER=off)
+    # and cost-based plans (VR_OPTIMIZER=on) — then compare. The gate
+    # fails when any optimizer-chosen plan is >=10% slower than the
+    # hand-tuned one, or when a known-bad pick survives (Q2c must
+    # short-circuit the cascade; Q1@48f must not fan out while the
+    # measured worker sweep shows fan-out losing). Plan labels travel
+    # inside the bench JSON, so flips are visible in the delta table.
+    # cargo bench runs with the package dir as cwd: --save-json paths
+    # must be absolute.
+    local opt="$ART/optimizer"
+    rm -rf "$opt"
+    mkdir -p "$opt"
+    cargo build -q --release --offline -p vr-bench --bin optimizer_gate
+    VR_OPTIMIZER=off cargo bench -q --offline -p vr-bench --bench engines -- \
+        --save-json "$(pwd)/$opt/off.json" | tee "$opt/off.log"
+    VR_OPTIMIZER=on cargo bench -q --offline -p vr-bench --bench engines -- \
+        --save-json "$(pwd)/$opt/on.json" | tee "$opt/on.log"
+    ./target/release/optimizer_gate "$opt/off.json" "$opt/on.json" \
+        --deltas-out "$opt/deltas.txt"
 }
 
 stage_alloc_gate() {
@@ -227,16 +256,30 @@ if [[ $# -gt 0 ]]; then
     exit 0
 fi
 
+# Where a stage leaves its diagnostics, for the summary table. Paths
+# are space-free by construction (the summary rows are word-split).
+artifact_of() {
+    case "$1" in
+        determinism)    echo "$ART/determinism" ;;
+        chaos)          echo "$ART/chaos" ;;
+        bench-gate)     echo "$ART/bench_deltas.txt" ;;
+        optimizer-gate) echo "$ART/optimizer" ;;
+        alloc-gate)     echo "$ART/alloc/metrics.json" ;;
+        obs-gate)       echo "$ART/obs" ;;
+        *)              echo "-" ;;
+    esac
+}
+
 # Full run: every stage in order, timed, with a final summary table
 # that prints even when a stage fails.
 SUMMARY=()
 print_summary() {
     echo
     echo "== CI summary =="
-    printf '%-14s %8s  %s\n' "stage" "seconds" "status"
+    printf '%-14s %8s  %-6s %s\n' "stage" "seconds" "status" "artifacts"
     local row
     for row in "${SUMMARY[@]}"; do
-        printf '%-14s %8s  %s\n' $row
+        printf '%-14s %8s  %-6s %s\n' $row
     done
 }
 trap print_summary EXIT
@@ -246,9 +289,9 @@ for stage in "${STAGES[@]}"; do
     echo "== stage: $stage =="
     t0=$SECONDS
     if bash "$0" "$stage"; then
-        SUMMARY+=("$stage $((SECONDS - t0)) PASS")
+        SUMMARY+=("$stage $((SECONDS - t0)) PASS $(artifact_of "$stage")")
     else
-        SUMMARY+=("$stage $((SECONDS - t0)) FAIL")
+        SUMMARY+=("$stage $((SECONDS - t0)) FAIL $(artifact_of "$stage")")
         echo "CI FAILED at stage '$stage' (artifacts under $ART)" >&2
         exit 1
     fi

@@ -464,6 +464,17 @@ pub fn worker_budget() -> usize {
     })
 }
 
+/// The machine's actual parallelism, independent of `VR_WORKERS`: the
+/// ceiling above which extra compute threads only add spawn and
+/// scheduling overhead. Data-parallel fan-outs clamp to it so a
+/// hand-tuned `workers=4` never oversubscribes a smaller host (the
+/// classic single-core case where 4-way eager decode *lost* to the
+/// sequential path).
+pub fn hardware_parallelism() -> usize {
+    static CORES: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *CORES.get_or_init(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1))
+}
+
 // ---------------------------------------------------------------------------
 // Cooperative cancellation
 // ---------------------------------------------------------------------------

@@ -3,6 +3,7 @@
 //! the batch NN path, the cascade's skip rate, the streaming
 //! pipeline's per-frame costs).
 
+use std::sync::Arc;
 use vr_base::{FrameRate, Timestamp};
 use vr_bench::harness::Criterion;
 use vr_codec::{encode_sequence, EncoderConfig};
@@ -11,8 +12,8 @@ use vr_frame::{Frame, Yuv};
 use vr_scene::ObjectClass;
 use vr_vdbms::query::{QueryInstance, QuerySpec};
 use vr_vdbms::{
-    BatchEngine, CascadeEngine, ExecContext, FunctionalEngine, InputVideo, ReferenceEngine,
-    Vdbms,
+    BatchEngine, CalibrationProfile, CascadeEngine, ExecContext, FunctionalEngine, InputVideo,
+    Optimizer, ReferenceEngine, Vdbms, Workload,
 };
 
 fn make_input(frames: usize) -> InputVideo {
@@ -116,9 +117,77 @@ fn bench_worker_sweep(c: &mut Criterion) {
     group.finish();
 }
 
+/// The optimizer A/B suite: the same instances with the cost-based
+/// optimizer off (hand-tuned plans) vs on (`VR_OPTIMIZER=on`). The
+/// `optimizer-gate` CI stage runs this group twice and compares the
+/// two JSON files, so the ids — and the `plan` labels recorded per
+/// bench — must stay stable.
+fn bench_optimizer(c: &mut Criterion) {
+    let on = std::env::var("VR_OPTIMIZER").map(|v| v == "on").unwrap_or(false);
+    let make_ctx = |frames: u64| {
+        let mut ctx = ExecContext { workers: 4, ..ExecContext::default() };
+        if on {
+            ctx.optimizer = Some(Arc::new(
+                Optimizer::new(CalibrationProfile::builtin())
+                    .with_workload(Workload { width: 256, height: 144, frames }),
+            ));
+        }
+        ctx
+    };
+    // The engine's chosen plan for a bench: the optimizer's cached
+    // decision label when on, the hand-tuned default when off.
+    let plan_label = |engine: &dyn Vdbms, q: &QueryInstance, ctx: &ExecContext, off: &str| {
+        let _ = engine.plan(q, ctx); // primes (and caches) the decision
+        ctx.optimizer
+            .as_ref()
+            .and_then(|opt| opt.decision(&engine.plan_key(q)))
+            .map(|d| d.chosen.label())
+            .unwrap_or_else(|| off.to_string())
+    };
+
+    let inputs48 = vec![make_input(48)];
+    let q1 = QueryInstance {
+        index: 0,
+        spec: QuerySpec::Q1 {
+            rect: vr_geom::Rect::new(10, 10, 200, 120),
+            t1: Timestamp::ZERO,
+            t2: Timestamp::from_micros(1_400_000),
+        },
+        inputs: vec![0],
+    };
+    let inputs12 = vec![make_input(12)];
+    let q2c = QueryInstance {
+        index: 0,
+        spec: QuerySpec::Q2c { class: ObjectClass::Vehicle },
+        inputs: vec![0],
+    };
+
+    let mut group = c.benchmark_group("optimizer");
+    group.sample_size(10);
+    {
+        let ctx = make_ctx(48);
+        let label = plan_label(&BatchEngine::new(), &q1, &ctx, "eager workers=4");
+        group.plan(label);
+        group.bench_function("q1_batch_48f", |b| {
+            // A fresh engine per iteration so the frame-table cache
+            // never hides the decode fan-out choice being measured.
+            b.iter(|| BatchEngine::new().execute(&q1, &inputs48, &ctx).unwrap())
+        });
+    }
+    {
+        let ctx = make_ctx(12);
+        let label = plan_label(&BatchEngine::new(), &q2c, &ctx, "streaming workers=1");
+        group.plan(label);
+        group.bench_function("q2c_batch_12f", |b| {
+            b.iter(|| BatchEngine::new().execute(&q2c, &inputs12, &ctx).unwrap())
+        });
+    }
+    group.finish();
+}
+
 fn main() {
     vr_bench::harness::main_with_json(
-        &[bench_engines, bench_worker_sweep],
+        &[bench_engines, bench_worker_sweep, bench_optimizer],
         concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_engines.json"),
     );
 }

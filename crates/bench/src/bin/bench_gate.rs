@@ -55,6 +55,38 @@ const Q1_SPEEDUP_FLOOR: f64 = 1.5;
 /// as 1.5–2×, far past this cap).
 const SINGLE_CORE_OVERHEAD_CAP: f64 = 1.25;
 
+/// `--verify` mode: check that each artifact parses cleanly as either
+/// a harness benchmark-result file with at least one benchmark, or an
+/// optimizer calibration profile. The CI guard stage runs this against
+/// the committed baseline and profile so a corrupt artifact fails
+/// before any expensive stage spends minutes rebuilding.
+fn verify_artifacts(paths: &[String]) -> Result<(), String> {
+    for path in paths {
+        let as_bench = load_medians(path);
+        match as_bench {
+            Ok(medians) if !medians.is_empty() => {
+                println!("verify {path}: OK ({} benchmarks)", medians.len());
+                continue;
+            }
+            Ok(_) => return Err(format!("{path}: benchmark file holds no benchmarks")),
+            Err(bench_err) => {
+                let text = std::fs::read_to_string(path)
+                    .map_err(|e| format!("cannot read {path}: {e}"))?;
+                match vr_vdbms::CalibrationProfile::parse(&text) {
+                    Ok(_) => println!("verify {path}: OK (calibration profile)"),
+                    Err(profile_err) => {
+                        return Err(format!(
+                            "{path}: neither a benchmark file ({bench_err}) nor a \
+                             calibration profile ({profile_err})"
+                        ))
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
 fn load_medians(path: &str) -> Result<BTreeMap<String, f64>, String> {
     let text = std::fs::read_to_string(path)
         .map_err(|e| format!("cannot read {path}: {e}"))?;
@@ -98,12 +130,42 @@ fn load_stage_p95(path: &str) -> Result<BTreeMap<String, f64>, String> {
     Ok(stages)
 }
 
+/// Plan labels (`"plan"` field) per benchmark id, when a result file
+/// carries them. Ids without a plan simply stay absent.
+fn load_plans(path: &str) -> Result<BTreeMap<String, String>, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {path}: {e}"))?;
+    let doc = json::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+    let benches = doc
+        .get("benchmarks")
+        .and_then(|b| b.as_array())
+        .ok_or_else(|| format!("{path}: no \"benchmarks\" array"))?;
+    let mut plans = BTreeMap::new();
+    for b in benches {
+        if let (Some(id), Some(plan)) = (
+            b.get("id").and_then(|v| v.as_str()),
+            b.get("plan").and_then(|v| v.as_str()),
+        ) {
+            plans.insert(id.to_string(), plan.to_string());
+        }
+    }
+    Ok(plans)
+}
+
 fn fmt_ms(ns: f64) -> String {
     format!("{:.3}ms", ns / 1e6)
 }
 
 fn run() -> Result<bool, String> {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    // Artifact verification mode: `bench_gate --verify FILE...`.
+    if args.first().map(String::as_str) == Some("--verify") {
+        if args.len() < 2 {
+            return Err("--verify needs at least one file path".into());
+        }
+        verify_artifacts(&args[1..])?;
+        return Ok(true);
+    }
     let mut positional = Vec::new();
     let mut tolerance = DEFAULT_TOLERANCE;
     let mut seed_new = false;
@@ -131,7 +193,7 @@ fn run() -> Result<bool, String> {
     let [baseline_path, current_path] = positional.as_slice() else {
         return Err(
             "usage: bench_gate <baseline.json> <current.json> [--tolerance 0.30] [--seed-new] \
-             [--deltas-out FILE]"
+             [--deltas-out FILE] | bench_gate --verify FILE..."
                 .into(),
         );
     };
@@ -201,6 +263,25 @@ fn run() -> Result<bool, String> {
         if !current.contains_key(id) {
             failures += 1;
             table.push(format!("{id:<50} {:>12} {:>12} {:>8}  MISSING", "?", "-", "-"));
+        }
+    }
+
+    // Plan flips: when both files record which plan the engine ran
+    // (the harness's `plan` field, written by the optimizer benches),
+    // a changed choice is surfaced next to the timing delta. A flip is
+    // informational — whether it is a win or a regression is what the
+    // timing rows above already judge — but it makes optimizer-driven
+    // deltas attributable at a glance.
+    let baseline_plans = load_plans(baseline_path)?;
+    let current_plans = load_plans(current_path)?;
+    for (id, cur_plan) in &current_plans {
+        match baseline_plans.get(id) {
+            Some(base_plan) if base_plan != cur_plan => {
+                table.push(format!(
+                    "{id}: plan [{base_plan}] -> [{cur_plan}] — PLAN-CHANGED (informational)"
+                ));
+            }
+            _ => {}
         }
     }
 

@@ -32,6 +32,10 @@ pub struct BenchResult {
     /// Elements per second at the median, when the group declared a
     /// [`Throughput`].
     pub throughput_eps: Option<f64>,
+    /// The plan the engine ran for this benchmark (optimizer label),
+    /// when the bench declared one via [`Group::plan`]. Persisted so
+    /// `bench_gate` can surface plan flips next to timing deltas.
+    pub plan: Option<String>,
 }
 
 /// Measurement configuration plus the CLI-selected mode.
@@ -102,6 +106,7 @@ impl Criterion {
             name: name.into(),
             sample_size: 10,
             throughput: None,
+            plan: None,
         }
     }
 
@@ -168,9 +173,19 @@ fn stage_quantiles() -> Vec<StageQuantiles> {
 fn render_json(results: &[BenchResult], stages: &[StageQuantiles]) -> String {
     let mut out = String::from("{\n  \"benchmarks\": [\n");
     for (i, r) in results.iter().enumerate() {
+        // `plan` rides on the same line as the id so the baseline
+        // seeding rebuild (which keeps only `{"id":` lines) preserves
+        // plan labels in committed baselines.
+        let plan = match &r.plan {
+            Some(p) => format!(
+                ", \"plan\": \"{}\"",
+                p.replace('\\', "\\\\").replace('"', "\\\"")
+            ),
+            None => String::new(),
+        };
         out.push_str(&format!(
             "    {{\"id\": \"{}\", \"median_ns\": {}, \"mean_ns\": {}, \
-             \"min_ns\": {}, \"samples\": {}, \"throughput_eps\": {}}}{}\n",
+             \"min_ns\": {}, \"samples\": {}, \"throughput_eps\": {}{plan}}}{}\n",
             r.id.replace('\\', "\\\\").replace('"', "\\\""),
             r.median_ns,
             r.mean_ns,
@@ -203,6 +218,7 @@ pub struct Group<'a> {
     name: String,
     sample_size: usize,
     throughput: Option<Throughput>,
+    plan: Option<String>,
 }
 
 impl Group<'_> {
@@ -218,6 +234,14 @@ impl Group<'_> {
         self
     }
 
+    /// Record the plan label the *next* `bench_function` call runs
+    /// with (consumed by that call, so per-bench labels don't leak
+    /// into their group neighbours).
+    pub fn plan(&mut self, label: impl Into<String>) -> &mut Self {
+        self.plan = Some(label.into());
+        self
+    }
+
     /// Run one benchmark.
     pub fn bench_function(
         &mut self,
@@ -225,6 +249,7 @@ impl Group<'_> {
         mut f: impl FnMut(&mut Bencher),
     ) -> &mut Self {
         let id = format!("{}/{}", self.name, name.as_ref());
+        let plan = self.plan.take();
         if let Some(filter) = &self.c.filter {
             if !id.contains(filter.as_str()) {
                 return self;
@@ -272,6 +297,7 @@ impl Group<'_> {
             min_ns: ns[0],
             samples: ns.len(),
             throughput_eps,
+            plan,
         });
         self
     }
@@ -418,6 +444,23 @@ mod tests {
             json.contains("\"kernel\": {\"count\": 4, \"p50_ns\": 100, \"p95_ns\": 200, \"p99_ns\": 200}"),
             "{json}"
         );
+    }
+
+    #[test]
+    fn plan_labels_attach_to_the_next_bench_only() {
+        let mut c = criterion(false, None);
+        {
+            let mut g = c.benchmark_group("g");
+            g.sample_size(2);
+            g.plan("eager workers=1");
+            g.bench_function("a", |b| b.iter(|| std::hint::black_box(1)));
+            g.bench_function("b", |b| b.iter(|| std::hint::black_box(2)));
+            g.finish();
+        }
+        assert_eq!(c.results()[0].plan.as_deref(), Some("eager workers=1"));
+        assert_eq!(c.results()[1].plan, None);
+        let json = render_json(c.results(), &[]);
+        assert!(json.contains("\"plan\": \"eager workers=1\""), "{json}");
     }
 
     #[test]

@@ -316,6 +316,7 @@ mod tests {
             min_ns: 1_200_000,
             samples: 10,
             throughput_eps: None,
+            plan: Some("eager workers=1".into()),
         }];
         let c = tests_support::criterion_with(results.clone());
         let dir = std::env::temp_dir()
@@ -333,6 +334,10 @@ mod tests {
         assert_eq!(
             benches[0].get("median_ns").unwrap().as_f64(),
             Some(1_234_567.0)
+        );
+        assert_eq!(
+            benches[0].get("plan").unwrap().as_str(),
+            Some("eager workers=1")
         );
         let _ = std::fs::remove_file(&path);
         let _ = c;

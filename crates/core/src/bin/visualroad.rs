@@ -19,6 +19,7 @@ fn main() {
         Some("presets") => cmd_presets(),
         Some("generate") => cmd_generate(&args[1..]),
         Some("run") => cmd_run(&args[1..]),
+        Some("calibrate") => cmd_calibrate(&args[1..]),
         _ => {
             print_usage();
             2
@@ -47,6 +48,7 @@ USAGE:
                  [--metrics-mid-out FILE]
                  [--explain | --explain-analyze] [--explain-out FILE]
                  [--folded-out FILE] [--serve-metrics PORT]
+                 [--optimizer on|off|explain] [--profile FILE]
       Generate a dataset and drive the chosen engine(s) through the
       benchmark, printing the report. --workers caps both the driver's
       batch scheduler and each engine's pipelined executor (default:
@@ -82,13 +84,29 @@ USAGE:
       /explain for the in-flight batch); PORT 0 picks an ephemeral
       port, printed on stderr. VR_ALLOC_TRACK=1 enables allocator
       scope tracking without --explain-analyze.
+      --optimizer switches the cost-based optimizer: off (default)
+      keeps every engine's hand-tuned plan choices; on lets the cost
+      model pick execution policy, fan-out, and cascade order;
+      explain additionally prints each chosen-vs-rejected plan table
+      after the run. --profile loads a calibration profile written by
+      `visualroad calibrate` (default: the built-in seed table);
+      parse failures exit nonzero.
+
+  visualroad calibrate [--scale L] [--res WxH] [--duration SECS] [--seed S]
+                       [--out FILE]
+      Run probe queries on a generated dataset, derive per-unit costs
+      (ns/pixel decode, ns/MAC inference, cascade skip rate, ...) from
+      the per-stage metrics, and write the optimizer calibration
+      profile as deterministic JSON (default:
+      results/optimizer_profile.json).
 
 ENGINES: reference | batch | functional | cascade | all
 QUERIES: Q1 Q2a Q2b Q2c Q2d Q3 Q4 Q5 Q6a Q6b Q7 Q8 Q9 Q10"
     );
 }
 
-/// Tiny flag parser: `--name value` pairs plus boolean flags.
+/// Tiny flag parser: `--name value` / `--name=value` pairs plus
+/// boolean flags.
 struct Flags(Vec<(String, Option<String>)>);
 
 impl Flags {
@@ -99,6 +117,10 @@ impl Flags {
             let Some(name) = flag.strip_prefix("--") else {
                 return Err(format!("unexpected argument {flag:?}"));
             };
+            if let Some((name, value)) = name.split_once('=') {
+                out.push((name.to_string(), Some(value.to_string())));
+                continue;
+            }
             let value = match it.peek() {
                 Some(v) if !v.starts_with("--") => Some(it.next().unwrap().clone()),
                 _ => None,
@@ -314,6 +336,19 @@ fn cmd_run(args: &[String]) -> i32 {
         cfg.explain = visual_road::ExplainMode::Analyze;
         vr_base::obs::alloc::set_tracking(true);
     }
+    if let Some(mode) = flags.get("optimizer") {
+        match mode.parse::<visual_road::vdbms::OptimizerMode>() {
+            Ok(mode) => cfg.optimizer = mode,
+            Err(e) => return fail(&e),
+        }
+    }
+    if let Some(path) = flags.get("profile") {
+        match visual_road::vdbms::CalibrationProfile::load(std::path::Path::new(path)) {
+            Ok(profile) => cfg.profile = Some(profile),
+            Err(e) => return fail(&format!("cannot load calibration profile {path}: {e}")),
+        }
+    }
+    let optimizer_mode = cfg.optimizer;
 
     // The fault plan is installed only after dataset generation, so
     // chaos runs exercise the query path against a pristine dataset.
@@ -450,6 +485,16 @@ fn cmd_run(args: &[String]) -> i32 {
             eprintln!("wrote mid-run metrics snapshot to {path}");
         }
     }
+    // `--optimizer explain`: dump every cached chosen-vs-rejected
+    // table after the reports, one block per engine/query key.
+    if optimizer_mode == visual_road::vdbms::OptimizerMode::Explain {
+        if let Some(opt) = vcd.optimizer() {
+            for decision in opt.decisions() {
+                println!("== optimizer {} ==", decision.key);
+                print!("{}", decision.render_text());
+            }
+        }
+    }
     if let Some(path) = flags.get("explain-out") {
         let body = if path.ends_with(".json") {
             format!("[{}]\n", explain_json.join(",\n "))
@@ -499,6 +544,122 @@ fn cmd_run(args: &[String]) -> i32 {
         return 1;
     }
     fault_code
+}
+
+/// `visualroad calibrate`: run probe queries on a generated dataset,
+/// derive per-unit costs from the per-stage metrics in the reports,
+/// and persist the optimizer's calibration profile as deterministic
+/// JSON. Scheduling constants (thread spawn, parallel efficiency,
+/// gate cost) keep their built-in seeds — they need contended
+/// multi-core probes this single pass cannot provide.
+fn cmd_calibrate(args: &[String]) -> i32 {
+    use visual_road::vdbms::{CalibrationProfile, PipelineSnapshot, StageKind, StageSnapshot};
+    let flags = match Flags::parse(args) {
+        Ok(f) => f,
+        Err(e) => return fail(&e),
+    };
+    let hyper = match hyper_from(&flags) {
+        Ok(h) => h,
+        Err(e) => return fail(&e),
+    };
+    let out = flags.get("out").unwrap_or("results/optimizer_profile.json");
+
+    eprintln!("generating calibration dataset ...");
+    let dataset = match Vcg::new(GenConfig::default()).generate(&hyper) {
+        Ok(d) => d,
+        Err(e) => return fail(&e.to_string()),
+    };
+    let px = (hyper.resolution.width as u64 * hyper.resolution.height as u64).max(1) as f64;
+
+    // Probes run without validation (the oracle's reference pipelines
+    // would pollute the stage aggregates) and fully sequentially, so
+    // the derived per-unit costs are undiluted by scheduler overlap.
+    let vcd = Vcd::new(
+        &dataset,
+        VcdConfig {
+            validate: false,
+            batch_size: Some(2),
+            pipeline_workers: Some(1),
+            batch_workers: Some(1),
+            ..Default::default()
+        },
+    );
+    let probe = |engine: &mut dyn Vdbms, kind: QueryKind| -> Result<PipelineSnapshot, String> {
+        let report = vcd.run_queries(engine, &[kind]).map_err(|e| e.to_string())?;
+        report
+            .queries
+            .iter()
+            .find_map(|q| match &q.status {
+                QueryStatus::Completed { stages, .. } => Some(*stages),
+                _ => None,
+            })
+            .ok_or_else(|| format!("probe {} did not complete", kind.label()))
+    };
+
+    eprintln!("probing per-pixel stages (reference Q2a) ...");
+    let mut reference = ReferenceEngine::new();
+    let pixel_probe = match probe(&mut reference, QueryKind::Q2aGrayscale) {
+        Ok(s) => s,
+        Err(e) => return fail(&e),
+    };
+    eprintln!("probing NN inference (reference Q2c) ...");
+    let nn_probe = match probe(&mut reference, QueryKind::Q2cBoxes) {
+        Ok(s) => s,
+        Err(e) => return fail(&e),
+    };
+    eprintln!("probing cascade skip rate (cascade Q2c) ...");
+    let mut cascade = CascadeEngine::new();
+    if let Err(e) = probe(&mut cascade, QueryKind::Q2cBoxes) {
+        return fail(&e);
+    }
+    let (cheap, full) = cascade.cascade_stats();
+
+    let mut profile = CalibrationProfile::builtin();
+    let per_frame =
+        |s: StageSnapshot| (s.frames > 0).then(|| s.nanos as f64 / s.frames as f64);
+    if let Some(v) = per_frame(pixel_probe.stage(StageKind::Decode)) {
+        profile.decode_ns_per_pixel = v / px;
+    }
+    if let Some(v) = per_frame(pixel_probe.stage(StageKind::Encode)) {
+        profile.encode_ns_per_pixel = v / px;
+    }
+    if let Some(v) = per_frame(pixel_probe.stage(StageKind::Scan)) {
+        profile.scan_ns_per_frame = v;
+    }
+    if let Some(v) = per_frame(pixel_probe.stage(StageKind::Sink)) {
+        profile.sink_ns_per_frame = v;
+    }
+    if let Some(v) = per_frame(pixel_probe.stage(StageKind::Kernel)) {
+        profile.kernel_ns_per_pixel = v / px;
+    }
+    // The reference Q2(c) probe runs the full model on every frame at
+    // the default MAC budget over the network-input floor.
+    let net_px = px.max(visual_road::vision::yolo::NETWORK_INPUT_PIXELS as f64);
+    let full_macs = visual_road::vdbms::cascade::CascadeConfig::default().full_macs_per_pixel;
+    if let Some(v) = per_frame(nn_probe.stage(StageKind::Kernel)) {
+        profile.nn_ns_per_mac = v / (net_px * full_macs);
+    }
+    if cheap + full > 0 {
+        profile.cascade_skip_rate = cheap as f64 / (cheap + full) as f64;
+    }
+    // A refreshed profile restarts the feedback loop from scratch.
+    profile.samples = 0;
+    profile.observed_error = 0.0;
+    profile.scale = 1.0;
+
+    if let Some(dir) = std::path::Path::new(out).parent() {
+        if !dir.as_os_str().is_empty() {
+            if let Err(e) = std::fs::create_dir_all(dir) {
+                return fail(&format!("cannot create {}: {e}", dir.display()));
+            }
+        }
+    }
+    if let Err(e) = std::fs::write(out, profile.to_json()) {
+        return fail(&format!("cannot write profile to {out}: {e}"));
+    }
+    eprintln!("wrote calibration profile to {out}");
+    print!("{}", profile.to_json());
+    0
 }
 
 /// Cross-check what the injector says it injected against what the

@@ -37,7 +37,8 @@ use vr_storage::{FlatStore, Pacer};
 use vr_vdbms::query::{QueryInstance, QuerySpec};
 use vr_vdbms::reference::execute_reference;
 use vr_vdbms::{
-    ExecContext, InputVideo, PipelineMetrics, QueryKind, QueryOutput, ResultMode, Vdbms,
+    CalibrationProfile, ExecContext, InputVideo, Optimizer, OptimizerMode, PipelineMetrics,
+    QueryKind, QueryOutput, ResultMode, Vdbms, Workload,
 };
 
 /// Offline (random file access) vs online (rate-throttled forward-only
@@ -115,6 +116,14 @@ pub struct VcdConfig {
     /// ANALYZE (annotated post-execution). The in-flight plan is also
     /// published to the live endpoint's `/explain` route.
     pub explain: ExplainMode,
+    /// Cost-based optimizer switch: `Off` keeps every engine's
+    /// hand-tuned plan choices; `On`/`Explain` install an
+    /// [`Optimizer`] in each query's [`ExecContext`] so engines pick
+    /// the cheapest candidate plan.
+    pub optimizer: OptimizerMode,
+    /// Calibration profile the optimizer scores with; `None` seeds
+    /// from [`CalibrationProfile::builtin`].
+    pub profile: Option<CalibrationProfile>,
 }
 
 impl Default for VcdConfig {
@@ -132,6 +141,8 @@ impl Default for VcdConfig {
             batch_workers: None,
             instance_deadline: None,
             explain: ExplainMode::Off,
+            optimizer: OptimizerMode::Off,
+            profile: None,
         }
     }
 }
@@ -140,12 +151,32 @@ impl Default for VcdConfig {
 pub struct Vcd<'d> {
     dataset: &'d Dataset,
     cfg: VcdConfig,
+    /// Shared cost-based optimizer (present when the config enables
+    /// it); one instance per driver so plan decisions and measured
+    /// feedback accumulate across that driver's batches.
+    optimizer: Option<Arc<Optimizer>>,
 }
 
 impl<'d> Vcd<'d> {
     /// Bind a driver to a dataset.
     pub fn new(dataset: &'d Dataset, cfg: VcdConfig) -> Self {
-        Self { dataset, cfg }
+        let optimizer = cfg.optimizer.enabled().then(|| {
+            let profile = cfg.profile.clone().unwrap_or_else(CalibrationProfile::builtin);
+            let res = dataset.hyper.resolution;
+            let frames = dataset.hyper.duration.frames(vr_base::FrameRate::STANDARD).max(1);
+            Arc::new(Optimizer::new(profile).with_workload(Workload {
+                width: res.width,
+                height: res.height,
+                frames,
+            }))
+        });
+        Self { dataset, cfg, optimizer }
+    }
+
+    /// The driver's optimizer, when the config enabled one — the CLI
+    /// reads decision tables off it after a run.
+    pub fn optimizer(&self) -> Option<&Arc<Optimizer>> {
+        self.optimizer.as_ref()
     }
 
     /// Build the query batch for one query kind: `4L` instances (or
@@ -258,7 +289,17 @@ impl<'d> Vcd<'d> {
             }
             let batch = self.batch(kind)?;
             let ctx = self.exec_context(kind);
-            out.push((kind, engine.plan(&batch[0], &ctx).render_text()));
+            let mut text = engine.plan(&batch[0], &ctx).render_text();
+            // Planning above consulted (and cached) the optimizer's
+            // decision; surface the chosen-vs-rejected table with it.
+            if let Some(decision) = self
+                .optimizer
+                .as_ref()
+                .and_then(|opt| opt.decision(&engine.plan_key(&batch[0])))
+            {
+                text.push_str(&decision.render_text());
+            }
+            out.push((kind, text));
         }
         Ok(out)
     }
@@ -282,6 +323,7 @@ impl<'d> Vcd<'d> {
             query_label: kind.label().replace(['(', ')'], ""),
             cancel: CancelToken::new(),
             stage_timeout: Some(vr_vdbms::io::DEFAULT_STAGE_TIMEOUT),
+            optimizer: self.optimizer.clone(),
         }
     }
 
@@ -316,23 +358,44 @@ impl<'d> Vcd<'d> {
         }
         let ctx = self.exec_context(kind);
         let inputs = &self.dataset.videos;
-        let workers = self
-            .cfg
-            .batch_workers
-            .unwrap_or_else(vr_base::sync::worker_budget)
-            .clamp(1, batch.len().max(1));
-
         let degrade = self.degrade_mode();
         // Plan description for the batch: built (and published to the
         // live endpoint's /explain route) before the measured window
         // opens, so describing the plan never perturbs the
         // measurement. Instances of one batch share a plan shape — the
-        // first instance stands for all of them.
-        let mut plan = (self.cfg.explain != ExplainMode::Off).then(|| {
-            let plan = engine.plan(&batch[0], &ctx);
-            serve::set_explain(plan.render_text());
-            plan
-        });
+        // first instance stands for all of them. With the optimizer
+        // enabled the plan is always built here even without EXPLAIN:
+        // planning is what caches the cost-based decision that both
+        // the scheduler below and the engine's `execute` consult.
+        let mut plan = (self.cfg.explain != ExplainMode::Off || self.optimizer.is_some())
+            .then(|| {
+                let plan = engine.plan(&batch[0], &ctx);
+                if self.cfg.explain != ExplainMode::Off {
+                    serve::set_explain(plan.render_text());
+                }
+                plan
+            });
+        let plan_key = engine.plan_key(&batch[0]);
+        let budget = self
+            .cfg
+            .batch_workers
+            .unwrap_or_else(vr_base::sync::worker_budget)
+            .clamp(1, batch.len().max(1));
+        // Scheduler fan-out: with the optimizer on, the batch-level
+        // worker count comes from the cost model's break-even check
+        // (an instance estimated cheaper than a few thread spawns — or
+        // a single-core host — gains nothing from fanning out);
+        // otherwise the hand-tuned budget stands.
+        let workers = match &self.optimizer {
+            Some(opt) => {
+                let est = opt
+                    .decision(&plan_key)
+                    .map(|d| d.chosen.est_nanos)
+                    .unwrap_or(u64::MAX);
+                opt.batch_fanout(budget, batch.len(), est)
+            }
+            None => budget,
+        };
         let batch_span = trace::span_dyn("vcd", || format!("batch.{}", kind.label()));
         let deg_before = fault::degradation_snapshot();
         // Registry state at the measured window's start; the
@@ -396,21 +459,52 @@ impl<'d> Vcd<'d> {
         // Per-operator stage aggregates accumulated by the engine's
         // pipeline over the whole measured batch.
         let stages = ctx.metrics.snapshot();
-        let explain = plan.take().map(|mut plan| {
-            let verify_error = if self.cfg.explain == ExplainMode::Analyze {
-                plan.annotate(&stages, runtime.as_nanos() as u64);
-                // Measured stage work may legitimately exceed wall
-                // time when pipeline stages and scheduler workers
-                // overlap; the invariant bound scales with the total
-                // fan-out.
-                plan.verify(runtime.as_nanos() as u64, ctx.workers.max(1) * workers).err()
-            } else {
-                None
-            };
-            let text = plan.render_text();
-            serve::set_explain(text.clone());
-            ExplainInfo { text, json: plan.render_json(), verify_error }
-        });
+        // Feedback path: fold the batch's mean measured per-instance
+        // latency into the optimizer's profile (EWMA) so later batches
+        // — and the persisted profile — score with observed costs.
+        if let Some(opt) = &self.optimizer {
+            if !latencies.is_empty() {
+                opt.feedback(&plan_key, latencies.iter().sum::<u64>() / latencies.len() as u64);
+            }
+        }
+        let explain = plan
+            .take()
+            .filter(|_| self.cfg.explain != ExplainMode::Off)
+            .map(|mut plan| {
+                let verify_error = if self.cfg.explain == ExplainMode::Analyze {
+                    plan.annotate(&stages, runtime.as_nanos() as u64);
+                    // Measured stage work may legitimately exceed wall
+                    // time when pipeline stages and scheduler workers
+                    // overlap; the invariant bound scales with the total
+                    // fan-out.
+                    plan.verify(runtime.as_nanos() as u64, ctx.workers.max(1) * workers).err()
+                } else {
+                    None
+                };
+                let mut text = plan.render_text();
+                if let Some(opt) = &self.optimizer {
+                    // EXPLAIN grows the chosen-vs-rejected table; under
+                    // ANALYZE the estimate is also confronted with the
+                    // measured per-instance latency recorded above.
+                    if let Some(decision) = opt.decision(&plan_key) {
+                        text.push_str(&decision.render_text());
+                    }
+                    if self.cfg.explain == ExplainMode::Analyze {
+                        if let Some((est, measured)) = opt.observed(&plan_key) {
+                            let err = (est as f64 - measured as f64).abs()
+                                / (measured as f64).max(1.0)
+                                * 100.0;
+                            text.push_str(&format!(
+                                "optimizer: est {} vs measured {} per instance (error {err:.1}%)\n",
+                                vr_vdbms::cost::fmt_cost(est),
+                                vr_vdbms::cost::fmt_cost(measured),
+                            ));
+                        }
+                    }
+                }
+                serve::set_explain(text.clone());
+                ExplainInfo { text, json: plan.render_json(), verify_error }
+            });
         let scheduler =
             SchedulerStats::from_durations(workers, &latencies, self.cfg.instance_deadline);
 
@@ -639,6 +733,8 @@ impl<'d> Vcd<'d> {
             query_label: String::new(),
             cancel: CancelToken::new(),
             stage_timeout: Some(vr_vdbms::io::DEFAULT_STAGE_TIMEOUT),
+            // The oracle always runs the hand-written reference plan.
+            optimizer: None,
         };
         let mut psnr_values: Vec<f64> = Vec::new();
         let mut box_matches = 0usize;

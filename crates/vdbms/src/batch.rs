@@ -29,11 +29,13 @@
 //! feeds data-parallel or whole-sequence kernels, with decode cost
 //! recorded at materialization and table reads recorded as Scan work.
 
+use crate::cascade::CascadeConfig;
+use crate::cost::{CandidateSpace, KernelClass, PlanChoice, QueryWork};
 use crate::engine::Vdbms;
 use crate::io::{ExecContext, InputVideo, QueryOutput};
 use crate::kernels::{boxes_frame, decode_all_parallel, filter_class};
-use crate::pipeline::{self, FrameKernel, KernelOut, Pipeline, PipelineMetrics, StageKind};
-use crate::plan::PlanNode;
+use crate::pipeline::{self, DiffGate, FrameKernel, KernelOut, Pipeline, PipelineMetrics, StageKind};
+use crate::plan::{PlanNode, Policy};
 use crate::query::{QueryInstance, QueryKind, QuerySpec};
 use crate::reference;
 use std::collections::HashMap;
@@ -113,6 +115,56 @@ impl BatchEngine {
         *self.stats.lock()
     }
 
+    /// Ask the context's cost-based optimizer (when installed) for the
+    /// plan it prefers for this query; `None` keeps the hand-tuned
+    /// defaults. Work figures come from the optimizer's advertised
+    /// workload and the query spec — never from decoded data — so the
+    /// decision is deterministic and identical between `plan()`
+    /// (EXPLAIN) and `execute()`.
+    fn choice(&self, instance: &QueryInstance, ctx: &ExecContext) -> Option<PlanChoice> {
+        let opt = ctx.optimizer.as_deref()?;
+        let wl = opt.workload();
+        let key = self.plan_key(instance);
+        match &instance.spec {
+            QuerySpec::Q1 { rect, .. } => {
+                let r = rect.clipped(wl.width, wl.height);
+                let out_pixels = ((r.x1 - r.x0 + 1).max(2) as u64)
+                    * ((r.y1 - r.y0 + 1).max(2) as u64);
+                Some(opt.decide(
+                    &key,
+                    QueryWork {
+                        frames: wl.frames,
+                        in_pixels: wl.pixels(),
+                        out_pixels,
+                        kernel: KernelClass::PerPixel { factor: SLOW_CROP_FACTOR },
+                    },
+                    &CandidateSpace {
+                        policies: vec![Policy::Eager],
+                        max_fanout: self.cfg.workers.min(ctx.workers).max(1),
+                    },
+                ))
+            }
+            QuerySpec::Q2c { .. } => Some(opt.decide(
+                &key,
+                QueryWork {
+                    frames: wl.frames,
+                    in_pixels: wl.pixels(),
+                    out_pixels: wl.pixels(),
+                    kernel: KernelClass::Nn {
+                        macs_per_pixel: YoloConfig::default().macs_per_pixel,
+                        framework_macs_per_pixel: self.cfg.nn_framework_macs_per_pixel,
+                        cheap_macs_per_pixel: CascadeConfig::default().cheap_macs_per_pixel,
+                    },
+                },
+                &CandidateSpace {
+                    policies: vec![Policy::Streaming, Policy::ShortCircuit],
+                    max_fanout: 1,
+                },
+            )),
+            _ => None,
+        }
+    }
+
     /// Materialize an input into the frame table (decode on miss,
     /// evicting least-recently-used entries to stay under capacity).
     /// A miss decodes GOP-parallel across `workers` threads and its
@@ -176,6 +228,11 @@ impl Default for BatchEngine {
         Self::new()
     }
 }
+
+/// Cost-model weight of [`slow_float_crop`] relative to the calibrated
+/// light per-pixel kernel: the float resample machinery costs roughly
+/// three row-copy crops per output pixel.
+const SLOW_CROP_FACTOR: f64 = 3.0;
 
 /// The deliberately naive resize path (float math, per-pixel bounds
 /// checks, chroma resampled at full resolution) used for Q1's crop.
@@ -269,7 +326,12 @@ impl Vdbms for BatchEngine {
         // materialization and instances re-decode on miss — the
         // memory-thrash regime the paper observes at large scale
         // factors.
-        let workers = self.cfg.workers.min(ctx.workers).max(1);
+        let workers = self
+            .cfg
+            .workers
+            .min(ctx.workers)
+            .min(vr_base::sync::hardware_parallelism())
+            .max(1);
         let mut seen = std::collections::HashSet::new();
         for instance in instances {
             for &i in &instance.inputs {
@@ -288,7 +350,15 @@ impl Vdbms for BatchEngine {
         inputs: &[InputVideo],
         ctx: &ExecContext,
     ) -> Result<QueryOutput> {
-        let workers = self.cfg.workers.min(ctx.workers).max(1);
+        // Decode fan-out is clamped by the machine's parallelism as
+        // well as the budget: GOP-parallel decode across more threads
+        // than cores only adds spawn overhead.
+        let workers = self
+            .cfg
+            .workers
+            .min(ctx.workers)
+            .min(vr_base::sync::hardware_parallelism())
+            .max(1);
         let pl = Pipeline::new(ctx);
         let input = |i: usize| -> Result<&InputVideo> {
             instance
@@ -304,9 +374,15 @@ impl Vdbms for BatchEngine {
                     .min(frames.len().saturating_sub(1));
                 let first = (t1.frame_index(info.frame_rate) as usize).min(last);
                 let rect = *rect;
+                // Kernel fan-out: cost-model choice when the optimizer
+                // is on (sequential below the parallelism break-even),
+                // else the hand-tuned worker-pool size.
+                let fanout = self
+                    .choice(instance, ctx)
+                    .map(|c| c.workers)
+                    .unwrap_or(self.cfg.workers);
                 let mut scan = pl.memory_scan(info, frames, first..last + 1);
-                let out =
-                    pl.run_eager(&mut scan, self.cfg.workers, |f| slow_float_crop(f, rect))?;
+                let out = pl.run_eager(&mut scan, fanout, |f| slow_float_crop(f, rect))?;
                 QueryOutput::Video(out)
             }
             QuerySpec::Q2a => {
@@ -325,12 +401,52 @@ impl Vdbms for BatchEngine {
             QuerySpec::Q2c { class } => {
                 let (info, frames) = self.materialize(input(0)?, &ctx.metrics, workers)?;
                 let mut scan = pl.memory_scan(info, frames, 0..usize::MAX);
-                let mut kernel = CaffeBoxesKernel {
-                    detector: YoloDetector::new(YoloConfig::default()),
-                    framework: CostModel::new(self.cfg.nn_framework_macs_per_pixel),
-                    class: *class,
+                let cascade_order = self
+                    .choice(instance, ctx)
+                    .map(|c| c.policy == Policy::ShortCircuit)
+                    .unwrap_or(false);
+                let r = if cascade_order {
+                    // Optimizer-chosen cascade order: a frame-diff gate
+                    // plus a specialized cheap model keep most frames
+                    // away from the framework path; only escalated
+                    // frames pay the blob round trip and framework
+                    // arithmetic around the full detector.
+                    let casc = CascadeConfig::default();
+                    let mut gate = DiffGate::new(casc.diff_threshold, casc.max_skip);
+                    let mut cheap = YoloDetector::new(YoloConfig {
+                        macs_per_pixel: casc.cheap_macs_per_pixel,
+                        ..YoloConfig::default()
+                    });
+                    let mut full = CaffeBoxesKernel {
+                        detector: YoloDetector::new(YoloConfig::default()),
+                        framework: CostModel::new(self.cfg.nn_framework_macs_per_pixel),
+                        class: *class,
+                    };
+                    let mut last: Option<KernelOut> = None;
+                    let mut kernel = |f: Frame, i: usize, escalate: bool| -> Result<KernelOut> {
+                        if escalate || last.is_none() {
+                            let mut outs = Vec::with_capacity(1);
+                            full.push(f, i, &mut outs)?;
+                            let out = outs.pop().expect("full kernel produced one output");
+                            last = Some(out.clone());
+                            Ok(out)
+                        } else {
+                            // Cheap path: the specialized model confirms
+                            // the previous result still holds.
+                            let _ = cheap.detect(&f);
+                            let prev = last.as_ref().expect("cheap path has a previous result");
+                            Ok(KernelOut { frame: prev.frame.clone(), boxes: prev.boxes.clone() })
+                        }
+                    };
+                    pl.run_short_circuit(&mut scan, &mut gate, &mut kernel)?
+                } else {
+                    let mut kernel = CaffeBoxesKernel {
+                        detector: YoloDetector::new(YoloConfig::default()),
+                        framework: CostModel::new(self.cfg.nn_framework_macs_per_pixel),
+                        class: *class,
+                    };
+                    pl.run_streaming(&mut scan, &mut kernel)?
                 };
-                let r = pl.run_streaming(&mut scan, &mut kernel)?;
                 QueryOutput::BoxedVideo { video: r.video, boxes: r.boxes.unwrap_or_default() }
             }
             QuerySpec::Q2d { m, epsilon } => {
@@ -453,24 +569,40 @@ impl Vdbms for BatchEngine {
     }
 
     fn plan(&self, instance: &QueryInstance, ctx: &ExecContext) -> PlanNode {
-        use crate::plan::{Policy, ScanOp};
+        use crate::plan::ScanOp;
         // One arm per `execute` arm: the eager dataflow materializes
         // into the frame table, so every single-input query scans
         // memory; Q8/Q9 delegate to the reference multi-stream
-        // helpers.
+        // helpers. Q1 and Q2(c) consult the optimizer exactly as
+        // `execute` does, so EXPLAIN shows the plan that will run.
+        let choice = self.choice(instance, ctx);
+        let mut gate = None;
+        let mut fanout = None;
         let (policy, scan, kernel) = match &instance.spec {
             QuerySpec::Q1 { .. } => {
+                fanout = choice.map(|c| c.workers);
                 (Policy::Eager, ScanOp::Memory, "slow_float_crop".to_string())
             }
             QuerySpec::Q2a => (Policy::Eager, ScanOp::Memory, "grayscale".to_string()),
             QuerySpec::Q2b { d } => {
                 (Policy::Eager, ScanOp::Memory, format!("gaussian_blur(d={d})"))
             }
-            QuerySpec::Q2c { class } => (
-                Policy::Streaming,
-                ScanOp::Memory,
-                format!("detect_boxes({class:?})+framework"),
-            ),
+            QuerySpec::Q2c { class } => {
+                if choice.map(|c| c.policy == Policy::ShortCircuit).unwrap_or(false) {
+                    gate = Some("frame-diff".to_string());
+                    (
+                        Policy::ShortCircuit,
+                        ScanOp::Memory,
+                        format!("detect_boxes({class:?})+cascade"),
+                    )
+                } else {
+                    (
+                        Policy::Streaming,
+                        ScanOp::Memory,
+                        format!("detect_boxes({class:?})+framework"),
+                    )
+                }
+            }
             QuerySpec::Q2d { m, .. } => {
                 (Policy::Sequence, ScanOp::Memory, format!("temporal-mask(m={m})"))
             }
@@ -511,7 +643,8 @@ impl Vdbms for BatchEngine {
                 policy,
                 scan,
                 kernel,
-                gate: None,
+                gate,
+                fanout,
             },
             ctx,
         )

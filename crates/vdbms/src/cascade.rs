@@ -12,11 +12,12 @@
 //! video most frames skip the expensive detector; on random noise
 //! every frame escalates (one of the effects Table 9 surfaces).
 
+use crate::cost::{CandidateSpace, KernelClass, PlanChoice, QueryWork};
 use crate::engine::Vdbms;
 use crate::io::{ExecContext, InputVideo, OutputBox, QueryOutput};
 use crate::kernels::{boxes_frame, filter_class};
 use crate::pipeline::{self, DiffGate, FrameSource, KernelOut, Pipeline};
-use crate::plan::PlanNode;
+use crate::plan::{PlanNode, Policy};
 use crate::query::{QueryInstance, QueryKind, QuerySpec};
 use vr_base::{Error, Result};
 
@@ -75,6 +76,35 @@ impl CascadeEngine {
     pub fn cascade_stats(&self) -> (u64, u64) {
         *self.stats.lock()
     }
+
+    /// Consult the context's optimizer for Q2(c)'s order: the
+    /// short-circuit cascade (gate + cheap model + escalations) vs.
+    /// running the full model on every frame. `None` keeps the
+    /// cascade — the architecture's namesake default.
+    fn choice(&self, instance: &QueryInstance, ctx: &ExecContext) -> Option<PlanChoice> {
+        if !matches!(instance.spec, QuerySpec::Q2c { .. }) {
+            return None;
+        }
+        let opt = ctx.optimizer.as_deref()?;
+        let wl = opt.workload();
+        Some(opt.decide(
+            &self.plan_key(instance),
+            QueryWork {
+                frames: wl.frames,
+                in_pixels: wl.pixels(),
+                out_pixels: wl.pixels(),
+                kernel: KernelClass::Nn {
+                    macs_per_pixel: self.cfg.full_macs_per_pixel,
+                    framework_macs_per_pixel: 0.0,
+                    cheap_macs_per_pixel: self.cfg.cheap_macs_per_pixel,
+                },
+            },
+            &CandidateSpace {
+                policies: vec![Policy::Streaming, Policy::ShortCircuit],
+                max_fanout: 1,
+            },
+        ))
+    }
 }
 
 impl Default for CascadeEngine {
@@ -126,6 +156,31 @@ impl Vdbms for CascadeEngine {
             }
             QuerySpec::Q2c { class } => {
                 let mut scan = pl.stream_scan(input)?;
+                let use_cascade = self
+                    .choice(instance, ctx)
+                    .map(|c| c.policy == Policy::ShortCircuit)
+                    .unwrap_or(true);
+                if !use_cascade {
+                    // Optimizer ruled the cascade out (e.g. a profile
+                    // calibrated on incoherent video where every frame
+                    // escalates anyway): run the full model per frame
+                    // through the shared detect kernel.
+                    let mut kernel = pipeline::DetectBoxes::new(
+                        *class,
+                        YoloConfig {
+                            macs_per_pixel: self.cfg.full_macs_per_pixel,
+                            ..YoloConfig::default()
+                        },
+                    );
+                    let r = pl.run_streaming(&mut scan, &mut kernel)?;
+                    self.stats.lock().1 += r.boxes.as_ref().map(|b| b.len()).unwrap_or(0) as u64;
+                    let output = QueryOutput::BoxedVideo {
+                        video: r.video,
+                        boxes: r.boxes.unwrap_or_default(),
+                    };
+                    pl.sink(instance.index, &output)?;
+                    return Ok(output);
+                }
                 let mut gate = DiffGate::new(self.cfg.diff_threshold, self.cfg.max_skip);
                 let mut cheap = YoloDetector::new(YoloConfig {
                     macs_per_pixel: self.cfg.cheap_macs_per_pixel,
@@ -172,16 +227,29 @@ impl Vdbms for CascadeEngine {
     }
 
     fn plan(&self, instance: &QueryInstance, ctx: &ExecContext) -> PlanNode {
-        use crate::plan::{Policy, ScanOp};
+        use crate::plan::ScanOp;
         let (policy, kernel, gate) = match &instance.spec {
             QuerySpec::Q1 { .. } => {
                 (Policy::Streaming, "crop+temporal-select".to_string(), None)
             }
-            QuerySpec::Q2c { class } => (
-                Policy::ShortCircuit,
-                format!("detect_boxes({class:?})"),
-                Some("frame-diff".to_string()),
-            ),
+            QuerySpec::Q2c { class } => {
+                // Same optimizer consultation as `execute`, so EXPLAIN
+                // shows the order that will run; without an optimizer
+                // the cascade is the architecture's default.
+                let short = self
+                    .choice(instance, ctx)
+                    .map(|c| c.policy == Policy::ShortCircuit)
+                    .unwrap_or(true);
+                if short {
+                    (
+                        Policy::ShortCircuit,
+                        format!("detect_boxes({class:?})"),
+                        Some("frame-diff".to_string()),
+                    )
+                } else {
+                    (Policy::Streaming, format!("detect_boxes({class:?})"), None)
+                }
+            }
             // supports() rejects everything else; the plan still says
             // so instead of panicking.
             _ => (Policy::Streaming, "unsupported".to_string(), None),
@@ -194,6 +262,7 @@ impl Vdbms for CascadeEngine {
                 scan: ScanOp::Stream,
                 kernel,
                 gate,
+                fanout: None,
             },
             ctx,
         )

@@ -1,0 +1,871 @@
+//! Cost-based optimization over the plan trees.
+//!
+//! PR 5's plan trees report *measured* per-stage cost, but the choices
+//! that produce those plans — execution policy, worker fan-out,
+//! cascade order — were hand-picked constants. This module closes the
+//! loop: a [`CalibrationProfile`] holds per-unit costs (ns per decoded
+//! pixel, ns per NN multiply-accumulate, thread-spawn overhead, ...)
+//! calibrated from the metrics registry; an [`Optimizer`] enumerates
+//! the candidate plans an engine could run for a query, scores each
+//! with the profile, and picks the cheapest. Engines consult the
+//! optimizer through [`crate::ExecContext::optimizer`]; when it is
+//! absent they fall back to their hand-tuned defaults, so existing
+//! behaviour is unchanged unless the optimizer is switched on.
+//!
+//! The model is deliberately analytic, not learned: every estimate is
+//! `work x per-unit cost`, where work is derived from the query spec
+//! and the advertised workload (frame count, resolution) and the
+//! per-unit costs come from the profile. That keeps decisions
+//! deterministic — the same profile and query always choose the same
+//! plan — which the CI optimizer gate and the snapshot tests rely on.
+//!
+//! Calibration lifecycle:
+//!
+//! 1. **Cold start**: [`CalibrationProfile::builtin`] seeds the table
+//!    from measured per-stage figures (BENCH_engines.json anchors), so
+//!    a fresh checkout makes reproducible choices.
+//! 2. **Refresh**: `visualroad calibrate` runs probe queries, derives
+//!    per-unit costs from the per-stage metrics, and persists the
+//!    profile as deterministic flat JSON.
+//! 3. **Feedback**: after each executed batch the driver calls
+//!    [`Optimizer::feedback`] with the measured cost; an EWMA folds
+//!    the measured/estimated ratio into the profile's `scale` and
+//!    tracks `observed_error`, so EXPLAIN ANALYZE can report drift.
+//!
+//! A *stale* profile (calibrated on different hardware or an older
+//! kernel set) does not break correctness — every candidate plan is a
+//! valid execution — but it can mis-rank them; the `optimizer-gate` CI
+//! stage bounds the damage by failing when an optimizer-chosen plan
+//! runs ≥10% slower than the hand-tuned default.
+
+use crate::plan::Policy;
+use std::collections::BTreeMap;
+use std::fmt;
+use vr_base::sync::Mutex;
+use vr_vision::yolo::NETWORK_INPUT_PIXELS;
+
+/// Profile format version; [`CalibrationProfile::parse`] rejects
+/// anything else so schema drift fails fast in the CI guard stage.
+pub const PROFILE_VERSION: u64 = 1;
+
+/// Every field a serialized profile must carry, in serialization
+/// order. Parsing rejects missing *and* unknown fields: a profile
+/// written by a different schema is stale by definition.
+pub const PROFILE_FIELDS: [&str; 14] = [
+    "version",
+    "samples",
+    "observed_error",
+    "scale",
+    "decode_ns_per_pixel",
+    "encode_ns_per_pixel",
+    "scan_ns_per_frame",
+    "sink_ns_per_frame",
+    "kernel_ns_per_pixel",
+    "gate_ns_per_pixel",
+    "nn_ns_per_mac",
+    "cascade_skip_rate",
+    "thread_spawn_ns",
+    "parallel_efficiency",
+];
+
+/// Per-unit execution costs the optimizer scores candidate plans with.
+///
+/// All `*_ns_*` fields are nanoseconds per unit of work; the remaining
+/// fields are dimensionless model parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CalibrationProfile {
+    /// Schema version ([`PROFILE_VERSION`]).
+    pub version: u64,
+    /// Feedback samples folded into the profile so far.
+    pub samples: u64,
+    /// EWMA of `|estimated - measured| / measured` across feedback
+    /// samples — the calibration-drift figure EXPLAIN ANALYZE reports.
+    pub observed_error: f64,
+    /// EWMA of `measured / estimated`: a global correction factor the
+    /// feedback loop maintains so estimates track the current machine
+    /// without re-deriving every coefficient.
+    pub scale: f64,
+    /// Decode cost per source pixel.
+    pub decode_ns_per_pixel: f64,
+    /// Encode cost per output pixel.
+    pub encode_ns_per_pixel: f64,
+    /// Frame-table / stream bookkeeping per frame scanned.
+    pub scan_ns_per_frame: f64,
+    /// Result sinking per frame (streaming mode).
+    pub sink_ns_per_frame: f64,
+    /// Light per-pixel kernel cost (row-copy crop, grayscale);
+    /// heavier per-pixel kernels scale it via
+    /// [`KernelClass::PerPixel`]'s `factor`.
+    pub kernel_ns_per_pixel: f64,
+    /// Frame-difference gate cost per pixel (cascade short-circuit).
+    pub gate_ns_per_pixel: f64,
+    /// NN inference cost per multiply-accumulate.
+    pub nn_ns_per_mac: f64,
+    /// Fraction of frames a difference gate keeps on the cheap path
+    /// (temporally-coherent video; the paper's cascade premise).
+    pub cascade_skip_rate: f64,
+    /// Cost of spawning one worker thread (parallel break-even).
+    pub thread_spawn_ns: f64,
+    /// Marginal speedup per additional core: effective parallelism is
+    /// `1 + (cores_used - 1) * parallel_efficiency`.
+    pub parallel_efficiency: f64,
+}
+
+impl CalibrationProfile {
+    /// The built-in seed table: per-unit costs derived from the
+    /// committed bench anchors (BENCH_engines.json: decode p50 500us
+    /// per 256x144 frame, Q2(c) reference 109.6ms/12 frames at 120
+    /// MACs/pixel over the 416x416 network input, ...). Cold runs use
+    /// it directly so plan choices are reproducible on any machine.
+    pub fn builtin() -> Self {
+        Self {
+            version: PROFILE_VERSION,
+            samples: 0,
+            observed_error: 0.0,
+            scale: 1.0,
+            decode_ns_per_pixel: 13.5,
+            encode_ns_per_pixel: 24.0,
+            scan_ns_per_frame: 2_000.0,
+            sink_ns_per_frame: 2_000.0,
+            kernel_ns_per_pixel: 1.6,
+            gate_ns_per_pixel: 1.0,
+            nn_ns_per_mac: 0.37,
+            cascade_skip_rate: 0.6,
+            thread_spawn_ns: 200_000.0,
+            parallel_efficiency: 0.75,
+        }
+    }
+
+    /// Serialize as deterministic flat JSON: one field per line in
+    /// [`PROFILE_FIELDS`] order, floats at fixed precision, so two
+    /// identical profiles are byte-identical on disk.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        let fields: [(&str, String); 14] = [
+            ("version", self.version.to_string()),
+            ("samples", self.samples.to_string()),
+            ("observed_error", format!("{:.6}", self.observed_error)),
+            ("scale", format!("{:.6}", self.scale)),
+            ("decode_ns_per_pixel", format!("{:.6}", self.decode_ns_per_pixel)),
+            ("encode_ns_per_pixel", format!("{:.6}", self.encode_ns_per_pixel)),
+            ("scan_ns_per_frame", format!("{:.6}", self.scan_ns_per_frame)),
+            ("sink_ns_per_frame", format!("{:.6}", self.sink_ns_per_frame)),
+            ("kernel_ns_per_pixel", format!("{:.6}", self.kernel_ns_per_pixel)),
+            ("gate_ns_per_pixel", format!("{:.6}", self.gate_ns_per_pixel)),
+            ("nn_ns_per_mac", format!("{:.6}", self.nn_ns_per_mac)),
+            ("cascade_skip_rate", format!("{:.6}", self.cascade_skip_rate)),
+            ("thread_spawn_ns", format!("{:.6}", self.thread_spawn_ns)),
+            ("parallel_efficiency", format!("{:.6}", self.parallel_efficiency)),
+        ];
+        for (i, (k, v)) in fields.iter().enumerate() {
+            out.push_str(&format!(
+                "  \"{k}\": {v}{}\n",
+                if i + 1 < fields.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("}\n");
+        out
+    }
+
+    /// Parse a flat JSON profile. Strict: every [`PROFILE_FIELDS`]
+    /// entry must be present exactly once, no unknown fields, numeric
+    /// values only, version must match — so a corrupt or stale
+    /// checked-in profile fails in the CI guard stage instead of
+    /// silently steering plan choices.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let inner = text
+            .trim()
+            .strip_prefix('{')
+            .and_then(|s| s.strip_suffix('}'))
+            .ok_or("calibration profile: not a JSON object")?;
+        let mut fields: BTreeMap<&str, f64> = BTreeMap::new();
+        for part in inner.split(',') {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            let (k, v) = part
+                .split_once(':')
+                .ok_or_else(|| format!("calibration profile: malformed entry `{part}`"))?;
+            let k = k
+                .trim()
+                .strip_prefix('"')
+                .and_then(|s| s.strip_suffix('"'))
+                .ok_or_else(|| format!("calibration profile: unquoted key in `{part}`"))?;
+            if !PROFILE_FIELDS.contains(&k) {
+                return Err(format!(
+                    "calibration profile: unknown field `{k}` (stale schema?)"
+                ));
+            }
+            let v: f64 = v.trim().parse().map_err(|_| {
+                format!("calibration profile: non-numeric value for `{k}`")
+            })?;
+            if fields.insert(k, v).is_some() {
+                return Err(format!("calibration profile: duplicate field `{k}`"));
+            }
+        }
+        let get = |k: &str| -> Result<f64, String> {
+            fields
+                .get(k)
+                .copied()
+                .ok_or_else(|| format!("calibration profile: missing field `{k}`"))
+        };
+        let version = get("version")? as u64;
+        if version != PROFILE_VERSION {
+            return Err(format!(
+                "calibration profile: version {version} != supported {PROFILE_VERSION}"
+            ));
+        }
+        let p = Self {
+            version,
+            samples: get("samples")? as u64,
+            observed_error: get("observed_error")?,
+            scale: get("scale")?,
+            decode_ns_per_pixel: get("decode_ns_per_pixel")?,
+            encode_ns_per_pixel: get("encode_ns_per_pixel")?,
+            scan_ns_per_frame: get("scan_ns_per_frame")?,
+            sink_ns_per_frame: get("sink_ns_per_frame")?,
+            kernel_ns_per_pixel: get("kernel_ns_per_pixel")?,
+            gate_ns_per_pixel: get("gate_ns_per_pixel")?,
+            nn_ns_per_mac: get("nn_ns_per_mac")?,
+            cascade_skip_rate: get("cascade_skip_rate")?,
+            thread_spawn_ns: get("thread_spawn_ns")?,
+            parallel_efficiency: get("parallel_efficiency")?,
+        };
+        let positive: [(&str, f64); 7] = [
+            ("scale", p.scale),
+            ("decode_ns_per_pixel", p.decode_ns_per_pixel),
+            ("encode_ns_per_pixel", p.encode_ns_per_pixel),
+            ("kernel_ns_per_pixel", p.kernel_ns_per_pixel),
+            ("gate_ns_per_pixel", p.gate_ns_per_pixel),
+            ("nn_ns_per_mac", p.nn_ns_per_mac),
+            ("thread_spawn_ns", p.thread_spawn_ns),
+        ];
+        for (k, v) in positive {
+            if !(v.is_finite() && v > 0.0) {
+                return Err(format!("calibration profile: `{k}` must be positive, got {v}"));
+            }
+        }
+        if !(0.0..1.0).contains(&p.cascade_skip_rate) {
+            return Err(format!(
+                "calibration profile: `cascade_skip_rate` must be in [0,1), got {}",
+                p.cascade_skip_rate
+            ));
+        }
+        if !(0.0..=1.0).contains(&p.parallel_efficiency) {
+            return Err(format!(
+                "calibration profile: `parallel_efficiency` must be in [0,1], got {}",
+                p.parallel_efficiency
+            ));
+        }
+        Ok(p)
+    }
+
+    /// Read and parse a profile file.
+    pub fn load(path: &std::path::Path) -> Result<Self, String> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("calibration profile {}: {e}", path.display()))?;
+        Self::parse(&text).map_err(|e| format!("{}: {e}", path.display()))
+    }
+}
+
+/// Optimizer switch, surfaced on the CLI as `--optimizer`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OptimizerMode {
+    /// Hand-tuned defaults (existing behaviour).
+    #[default]
+    Off,
+    /// Cost-based plan selection.
+    On,
+    /// Cost-based selection plus a printed decision table per query.
+    Explain,
+}
+
+impl OptimizerMode {
+    /// Whether cost-based selection is active at all.
+    pub fn enabled(&self) -> bool {
+        *self != OptimizerMode::Off
+    }
+}
+
+impl std::str::FromStr for OptimizerMode {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "off" => Ok(OptimizerMode::Off),
+            "on" => Ok(OptimizerMode::On),
+            "explain" => Ok(OptimizerMode::Explain),
+            other => Err(format!("--optimizer must be on|off|explain, got `{other}`")),
+        }
+    }
+}
+
+/// The workload the optimizer sizes estimates against: the dataset's
+/// per-input shape, known before any frame is decoded. Using the
+/// advertised shape (rather than sniffing actual inputs) keeps
+/// decisions deterministic and lets EXPLAIN choose plans without
+/// touching data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Workload {
+    /// Input frame width in pixels.
+    pub width: u32,
+    /// Input frame height in pixels.
+    pub height: u32,
+    /// Frames per input.
+    pub frames: u64,
+}
+
+impl Workload {
+    /// Pixels per input frame.
+    pub fn pixels(&self) -> u64 {
+        self.width as u64 * self.height as u64
+    }
+}
+
+impl Default for Workload {
+    fn default() -> Self {
+        Self { width: 192, height: 108, frames: 30 }
+    }
+}
+
+/// What kind of work a query's kernel does per frame — the part of the
+/// cost formula that differs between queries.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum KernelClass {
+    /// A per-pixel image kernel over the output pixels; `factor`
+    /// scales the calibrated light-kernel cost (the batch engine's
+    /// float resample path is ~3x a row-copy crop).
+    PerPixel {
+        /// Multiplier on [`CalibrationProfile::kernel_ns_per_pixel`].
+        factor: f64,
+    },
+    /// An NN detector. The full model runs `macs_per_pixel` (plus
+    /// `framework_macs_per_pixel` of data-layout/framework overhead)
+    /// over at least the network input resolution; when a cascade
+    /// order is a candidate, `cheap_macs_per_pixel` is the specialized
+    /// model that runs on every frame while the full model only sees
+    /// escalated frames.
+    Nn {
+        /// Full-model MACs per network-input pixel.
+        macs_per_pixel: f64,
+        /// Framework overhead MACs per pixel (0 when the engine calls
+        /// the detector directly).
+        framework_macs_per_pixel: f64,
+        /// Specialized cheap-model MACs per pixel for the cascade
+        /// order.
+        cheap_macs_per_pixel: f64,
+    },
+}
+
+/// Per-query work figures an engine hands the optimizer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QueryWork {
+    /// Frames flowing through the plan.
+    pub frames: u64,
+    /// Pixels per input frame.
+    pub in_pixels: u64,
+    /// Pixels per output frame (crop output, downsample output, ...).
+    pub out_pixels: u64,
+    /// Kernel shape.
+    pub kernel: KernelClass,
+}
+
+/// The candidate plans an engine is able to execute for a query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CandidateSpace {
+    /// Executable policies. [`Policy::ShortCircuit`] is only listed
+    /// when the engine has a cascade order for the query.
+    pub policies: Vec<Policy>,
+    /// Largest eager fan-out the engine may use (its worker budget
+    /// clamped by the context); non-eager policies always run one
+    /// plan-level worker.
+    pub max_fanout: usize,
+}
+
+/// One scored candidate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlanChoice {
+    /// Execution policy.
+    pub policy: Policy,
+    /// Eager kernel fan-out (1 for non-eager policies).
+    pub workers: usize,
+    /// Estimated cost in nanoseconds (profile `scale` applied).
+    pub est_nanos: u64,
+    /// Estimate before the feedback scale — what feedback divides the
+    /// measurement by to update `scale`.
+    pub raw_est_nanos: u64,
+}
+
+impl PlanChoice {
+    /// Short label for decision tables and bench plan records.
+    pub fn label(&self) -> String {
+        format!("{} workers={}", self.policy.label(), self.workers)
+    }
+}
+
+/// A cached decision: the winner plus every rejected candidate, kept
+/// for the EXPLAIN `plans considered` section.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanDecision {
+    /// Decision key (`engine/query`).
+    pub key: String,
+    /// The cheapest candidate.
+    pub chosen: PlanChoice,
+    /// The remaining candidates, cheapest first.
+    pub rejected: Vec<PlanChoice>,
+}
+
+impl PlanDecision {
+    /// Render the chosen-vs-rejected table appended to EXPLAIN output.
+    pub fn render_text(&self) -> String {
+        let mut out = String::from("plans considered (cost-based optimizer):\n");
+        let chosen_est = self.chosen.est_nanos.max(1) as f64;
+        let mut row = |marker: &str, c: &PlanChoice, tail: String| {
+            out.push_str(&format!(
+                "{marker}{:<26} est {:>9}  {tail}\n",
+                c.label(),
+                fmt_cost(c.est_nanos)
+            ));
+        };
+        row("  -> ", &self.chosen, "chosen".to_string());
+        for c in &self.rejected {
+            let over = (c.est_nanos as f64 / chosen_est - 1.0) * 100.0;
+            row("     ", c, format!("rejected (+{over:.1}%)"));
+        }
+        out
+    }
+}
+
+/// Render a nanosecond cost in the unit that keeps 2-decimal
+/// precision readable (ns/us/ms) — shared with the driver's
+/// EXPLAIN ANALYZE estimate-vs-measured line.
+pub fn fmt_cost(nanos: u64) -> String {
+    if nanos >= 1_000_000 {
+        format!("{:.2}ms", nanos as f64 / 1e6)
+    } else if nanos >= 1_000 {
+        format!("{:.2}us", nanos as f64 / 1e3)
+    } else {
+        format!("{nanos}ns")
+    }
+}
+
+/// The cost-based optimizer: scores candidate plans against a
+/// calibration profile and caches one decision per `engine/query` key,
+/// so `plan()` (EXPLAIN) and `execute()` are guaranteed to agree
+/// within a run.
+pub struct Optimizer {
+    profile: Mutex<CalibrationProfile>,
+    workload: Workload,
+    cores: usize,
+    decisions: Mutex<BTreeMap<String, PlanDecision>>,
+    /// Per-key (estimated, measured) from the last feedback call.
+    observed: Mutex<BTreeMap<String, (u64, u64)>>,
+}
+
+impl fmt::Debug for Optimizer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Optimizer")
+            .field("workload", &self.workload)
+            .field("cores", &self.cores)
+            .field("decisions", &self.decisions.lock().len())
+            .finish()
+    }
+}
+
+impl Optimizer {
+    /// Create an optimizer over a profile. Physical parallelism is
+    /// read from the machine (not `VR_WORKERS`): a worker budget above
+    /// the core count cannot speed a compute-bound kernel up, and the
+    /// single-core regression this model exists to fix
+    /// (`q1_batch_workers4` vs `workers1`) is exactly that case.
+    pub fn new(profile: CalibrationProfile) -> Self {
+        let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        Self {
+            profile: Mutex::new(profile),
+            workload: Workload::default(),
+            cores,
+            decisions: Mutex::new(BTreeMap::new()),
+            observed: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// Set the workload estimates are sized against.
+    pub fn with_workload(mut self, workload: Workload) -> Self {
+        self.workload = workload;
+        self
+    }
+
+    /// Override the detected core count (tests pin both sides of the
+    /// parallel break-even with this).
+    pub fn with_cores(mut self, cores: usize) -> Self {
+        self.cores = cores.max(1);
+        self
+    }
+
+    /// The workload engines should derive [`QueryWork`] from.
+    pub fn workload(&self) -> Workload {
+        self.workload
+    }
+
+    /// Snapshot of the current profile (feedback mutates it).
+    pub fn profile(&self) -> CalibrationProfile {
+        self.profile.lock().clone()
+    }
+
+    /// Score every candidate and return the cheapest; cached per key,
+    /// so repeated calls (plan, then execute, per instance) return the
+    /// identical choice.
+    pub fn decide(&self, key: &str, work: QueryWork, space: &CandidateSpace) -> PlanChoice {
+        if let Some(d) = self.decisions.lock().get(key) {
+            return d.chosen;
+        }
+        let p = self.profile.lock().clone();
+        let mut candidates: Vec<PlanChoice> = Vec::new();
+        for &policy in &space.policies {
+            let fanouts: Vec<usize> = match policy {
+                Policy::Eager => fanouts(space.max_fanout),
+                _ => vec![1],
+            };
+            for w in fanouts {
+                let raw = self.raw_cost(&p, &work, policy, w);
+                candidates.push(PlanChoice {
+                    policy,
+                    workers: w,
+                    est_nanos: (raw * p.scale).round() as u64,
+                    raw_est_nanos: raw.round() as u64,
+                });
+            }
+        }
+        debug_assert!(!candidates.is_empty(), "empty candidate space for {key}");
+        // Cheapest wins; ties break toward fewer workers so equal-cost
+        // plans never spawn threads for nothing.
+        candidates.sort_by(|a, b| {
+            a.est_nanos.cmp(&b.est_nanos).then(a.workers.cmp(&b.workers))
+        });
+        let chosen = candidates[0];
+        let decision = PlanDecision {
+            key: key.to_string(),
+            chosen,
+            rejected: candidates[1..].to_vec(),
+        };
+        self.decisions.lock().insert(key.to_string(), decision);
+        chosen
+    }
+
+    /// The cached decision for a key, if one was made.
+    pub fn decision(&self, key: &str) -> Option<PlanDecision> {
+        self.decisions.lock().get(key).cloned()
+    }
+
+    /// Every decision made so far, in key order.
+    pub fn decisions(&self) -> Vec<PlanDecision> {
+        self.decisions.lock().values().cloned().collect()
+    }
+
+    /// Fold a measured per-instance cost back into the profile: EWMA
+    /// the measured/estimated ratio into `scale` and the relative
+    /// error into `observed_error`. Called by the driver after each
+    /// batch; a key without a decision is ignored.
+    pub fn feedback(&self, key: &str, measured_nanos: u64) {
+        if measured_nanos == 0 {
+            return;
+        }
+        let Some(d) = self.decision(key) else { return };
+        let mut p = self.profile.lock();
+        let est = d.chosen.est_nanos.max(1) as f64;
+        let err = (measured_nanos as f64 - est).abs() / measured_nanos as f64;
+        let ratio = measured_nanos as f64 / d.chosen.raw_est_nanos.max(1) as f64;
+        if p.samples == 0 {
+            p.observed_error = err;
+            p.scale = ratio;
+        } else {
+            p.observed_error = 0.7 * p.observed_error + 0.3 * err;
+            p.scale = 0.7 * p.scale + 0.3 * ratio;
+        }
+        p.samples += 1;
+        self.observed.lock().insert(key.to_string(), (d.chosen.est_nanos, measured_nanos));
+    }
+
+    /// (estimated, measured) nanoseconds from the last feedback for a
+    /// key — the figures behind EXPLAIN ANALYZE's error line.
+    pub fn observed(&self, key: &str) -> Option<(u64, u64)> {
+        self.observed.lock().get(key).copied()
+    }
+
+    /// Cost-based fan-out for the driver's instance scheduler:
+    /// dispatching instances across threads only pays when physical
+    /// cores exist and the per-instance work amortizes a spawn.
+    pub fn batch_fanout(&self, budget: usize, instances: usize, est_instance_nanos: u64) -> usize {
+        if self.cores <= 1 {
+            return 1;
+        }
+        let spawn = self.profile.lock().thread_spawn_ns;
+        if (est_instance_nanos as f64) < spawn * 4.0 {
+            return 1;
+        }
+        budget.clamp(1, instances.max(1))
+    }
+
+    /// Estimate one candidate before the feedback scale. Every stage
+    /// is `work x per-unit cost`; the eager policy divides kernel work
+    /// by effective parallelism and pays spawn overhead per worker.
+    fn raw_cost(
+        &self,
+        p: &CalibrationProfile,
+        work: &QueryWork,
+        policy: Policy,
+        workers: usize,
+    ) -> f64 {
+        let frames = work.frames as f64;
+        let in_px = work.in_pixels as f64;
+        let out_px = work.out_pixels as f64;
+        let per_frame_fixed = in_px * p.decode_ns_per_pixel
+            + out_px * p.encode_ns_per_pixel
+            + p.scan_ns_per_frame
+            + p.sink_ns_per_frame;
+        // Detectors letterbox up to the network input; cost floors
+        // there (vr_vision::yolo::NETWORK_INPUT_PIXELS).
+        let net_px = work.in_pixels.max(NETWORK_INPUT_PIXELS as u64) as f64;
+        let kernel_frame = match work.kernel {
+            KernelClass::PerPixel { factor } => out_px * p.kernel_ns_per_pixel * factor,
+            KernelClass::Nn {
+                macs_per_pixel,
+                framework_macs_per_pixel,
+                cheap_macs_per_pixel,
+            } => {
+                let full =
+                    net_px * (macs_per_pixel + framework_macs_per_pixel) * p.nn_ns_per_mac;
+                if policy == Policy::ShortCircuit {
+                    in_px * p.gate_ns_per_pixel
+                        + net_px * cheap_macs_per_pixel * p.nn_ns_per_mac
+                        + (1.0 - p.cascade_skip_rate) * full
+                } else {
+                    full
+                }
+            }
+        };
+        let used = workers.min(self.cores).max(1) as f64;
+        let eff = 1.0 + (used - 1.0) * p.parallel_efficiency;
+        let (kernel_total, overhead) = if policy == Policy::Eager && workers > 1 {
+            (frames * kernel_frame / eff, workers as f64 * p.thread_spawn_ns)
+        } else {
+            (frames * kernel_frame, 0.0)
+        };
+        frames * per_frame_fixed + kernel_total + overhead
+    }
+}
+
+/// Eager fan-out candidates: powers of two up to the budget, plus the
+/// budget itself (so `--workers 6` still considers 6).
+fn fanouts(max_fanout: usize) -> Vec<usize> {
+    let max = max_fanout.max(1);
+    let mut v = vec![1];
+    let mut w = 2;
+    while w < max {
+        v.push(w);
+        w *= 2;
+    }
+    if max > 1 {
+        v.push(max);
+    }
+    v
+}
+
+// ---------------------------------------------------------------------------
+// Tests
+// ---------------------------------------------------------------------------
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q1_work() -> QueryWork {
+        QueryWork {
+            frames: 48,
+            in_pixels: 256 * 144,
+            out_pixels: 192 * 112,
+            kernel: KernelClass::PerPixel { factor: 3.0 },
+        }
+    }
+
+    fn q2c_work() -> QueryWork {
+        QueryWork {
+            frames: 12,
+            in_pixels: 256 * 144,
+            out_pixels: 256 * 144,
+            kernel: KernelClass::Nn {
+                macs_per_pixel: 120.0,
+                framework_macs_per_pixel: 360.0,
+                cheap_macs_per_pixel: 4.0,
+            },
+        }
+    }
+
+    fn eager_space(max: usize) -> CandidateSpace {
+        CandidateSpace { policies: vec![Policy::Eager], max_fanout: max }
+    }
+
+    #[test]
+    fn profile_roundtrips_through_json() {
+        let p = CalibrationProfile::builtin();
+        let parsed = CalibrationProfile::parse(&p.to_json()).unwrap();
+        assert_eq!(p, parsed);
+        // Deterministic serialization: same profile, same bytes.
+        assert_eq!(p.to_json(), parsed.to_json());
+    }
+
+    #[test]
+    fn profile_parse_rejects_corruption() {
+        let good = CalibrationProfile::builtin().to_json();
+        assert!(CalibrationProfile::parse("not json").is_err());
+        assert!(CalibrationProfile::parse(&good.replace("13.5", "\"fast\"")).is_err());
+        assert!(
+            CalibrationProfile::parse(&good.replace("nn_ns_per_mac", "nn_ns_per_flop"))
+                .err()
+                .map(|e| e.contains("unknown field") || e.contains("missing field"))
+                .unwrap_or(false)
+        );
+        assert!(CalibrationProfile::parse(&good.replace("\"version\": 1", "\"version\": 9"))
+            .unwrap_err()
+            .contains("version"));
+        // A truncated file (corrupt checked-in artifact) fails fast.
+        assert!(CalibrationProfile::parse(&good[..good.len() / 2]).is_err());
+    }
+
+    #[test]
+    fn plan_choice_is_deterministic_for_a_given_profile() {
+        let mk = || {
+            Optimizer::new(CalibrationProfile::builtin())
+                .with_cores(4)
+                .with_workload(Workload { width: 256, height: 144, frames: 48 })
+        };
+        let a = mk();
+        let b = mk();
+        let space = CandidateSpace {
+            policies: vec![Policy::Streaming, Policy::ShortCircuit],
+            max_fanout: 4,
+        };
+        let ca = a.decide("batch/Q2(c)", q2c_work(), &space);
+        let cb = b.decide("batch/Q2(c)", q2c_work(), &space);
+        assert_eq!(ca, cb, "same profile + query must choose the same plan");
+        // Repeated asks hit the cache and stay identical.
+        assert_eq!(ca, a.decide("batch/Q2(c)", q2c_work(), &space));
+        assert_eq!(a.decision("batch/Q2(c)"), b.decision("batch/Q2(c)"));
+    }
+
+    #[test]
+    fn single_core_chooses_sequential_fanout() {
+        let opt = Optimizer::new(CalibrationProfile::builtin())
+            .with_cores(1)
+            .with_workload(Workload { width: 256, height: 144, frames: 48 });
+        let c = opt.decide("batch/Q1", q1_work(), &eager_space(4));
+        assert_eq!(c.policy, Policy::Eager);
+        assert_eq!(
+            c.workers, 1,
+            "one core: fan-out gains nothing and pays spawn overhead"
+        );
+    }
+
+    #[test]
+    fn multi_core_fans_out_when_kernel_work_amortizes_spawns() {
+        let opt = Optimizer::new(CalibrationProfile::builtin())
+            .with_cores(4)
+            .with_workload(Workload { width: 256, height: 144, frames: 48 });
+        let c = opt.decide("batch/Q1", q1_work(), &eager_space(4));
+        assert!(c.workers > 1, "4 cores and 48 heavy frames should fan out");
+        // But a tiny workload stays sequential: below the break-even
+        // the spawn overhead dominates.
+        let tiny = QueryWork {
+            frames: 2,
+            in_pixels: 32 * 32,
+            out_pixels: 32 * 32,
+            kernel: KernelClass::PerPixel { factor: 1.0 },
+        };
+        let t = opt.decide("batch/tiny", tiny, &eager_space(4));
+        assert_eq!(t.workers, 1);
+    }
+
+    #[test]
+    fn q2c_batch_prefers_cascade_order() {
+        let opt = Optimizer::new(CalibrationProfile::builtin()).with_cores(1);
+        let space = CandidateSpace {
+            policies: vec![Policy::Streaming, Policy::ShortCircuit],
+            max_fanout: 1,
+        };
+        let c = opt.decide("batch/Q2(c)", q2c_work(), &space);
+        assert_eq!(
+            c.policy,
+            Policy::ShortCircuit,
+            "gate + cheap model + escalations beat full NN on every frame"
+        );
+    }
+
+    #[test]
+    fn rejected_plans_render_snapshot() {
+        // A hand-made profile with round numbers so the rendered costs
+        // are stable against builtin-table recalibration.
+        let profile = CalibrationProfile {
+            decode_ns_per_pixel: 10.0,
+            encode_ns_per_pixel: 20.0,
+            scan_ns_per_frame: 1_000.0,
+            sink_ns_per_frame: 1_000.0,
+            kernel_ns_per_pixel: 2.0,
+            gate_ns_per_pixel: 1.0,
+            nn_ns_per_mac: 0.5,
+            cascade_skip_rate: 0.5,
+            thread_spawn_ns: 100_000.0,
+            parallel_efficiency: 0.5,
+            ..CalibrationProfile::builtin()
+        };
+        let opt = Optimizer::new(profile)
+            .with_cores(2)
+            .with_workload(Workload { width: 100, height: 100, frames: 10 });
+        let work = QueryWork {
+            frames: 10,
+            in_pixels: 10_000,
+            out_pixels: 10_000,
+            kernel: KernelClass::PerPixel { factor: 1.0 },
+        };
+        opt.decide("batch/Q1", work, &eager_space(2));
+        let d = opt.decision("batch/Q1").unwrap();
+        let expected = concat!(
+            "plans considered (cost-based optimizer):\n",
+            "  -> eager workers=1            est    3.22ms  chosen\n",
+            "     eager workers=2            est    3.35ms  rejected (+4.1%)\n",
+        );
+        assert_eq!(d.render_text(), expected);
+    }
+
+    #[test]
+    fn feedback_tracks_scale_and_observed_error() {
+        let opt = Optimizer::new(CalibrationProfile::builtin()).with_cores(1);
+        let c = opt.decide("batch/Q1", q1_work(), &eager_space(1));
+        // Measured exactly double the estimate: scale converges toward
+        // 2, error toward 0.5.
+        opt.feedback("batch/Q1", c.est_nanos * 2);
+        let p = opt.profile();
+        assert_eq!(p.samples, 1);
+        assert!((p.scale - 2.0).abs() < 0.05, "scale={}", p.scale);
+        assert!((p.observed_error - 0.5).abs() < 0.05, "err={}", p.observed_error);
+        assert_eq!(opt.observed("batch/Q1"), Some((c.est_nanos, c.est_nanos * 2)));
+        // A key without a decision is ignored.
+        opt.feedback("nope/Q9", 123);
+        assert_eq!(opt.profile().samples, 1);
+    }
+
+    #[test]
+    fn batch_fanout_respects_cores_and_break_even() {
+        let opt = Optimizer::new(CalibrationProfile::builtin()).with_cores(1);
+        assert_eq!(opt.batch_fanout(8, 4, u64::MAX), 1, "single core never fans out");
+        let opt = Optimizer::new(CalibrationProfile::builtin()).with_cores(8);
+        assert_eq!(opt.batch_fanout(8, 4, u64::MAX), 4, "clamped to instance count");
+        assert_eq!(opt.batch_fanout(8, 4, 1_000), 1, "tiny instances stay sequential");
+    }
+
+    #[test]
+    fn fanout_candidates_are_powers_of_two_plus_budget() {
+        assert_eq!(fanouts(1), vec![1]);
+        assert_eq!(fanouts(4), vec![1, 2, 4]);
+        assert_eq!(fanouts(6), vec![1, 2, 4, 6]);
+    }
+}

@@ -64,9 +64,19 @@ pub trait Vdbms: Send + Sync {
                 scan: crate::plan::ScanOp::Stream,
                 kernel: "kernel".to_string(),
                 gate: None,
+                fanout: None,
             },
             ctx,
         )
+    }
+
+    /// Stable identifier for this engine's decision on a query kind in
+    /// the cost-based optimizer's caches (`"{name}/{kind label}"`).
+    /// The driver uses it to look up the cached
+    /// [`PlanDecision`](crate::cost::PlanDecision) for explain output
+    /// and feedback.
+    fn plan_key(&self, instance: &QueryInstance) -> String {
+        format!("{}/{}", self.name(), instance.spec.kind().label())
     }
 
     /// Called by the driver between query batches ("a VDBMS … may

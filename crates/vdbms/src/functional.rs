@@ -339,6 +339,7 @@ impl Vdbms for FunctionalEngine {
                 scan,
                 kernel,
                 gate: None,
+                fanout: None,
             },
             ctx,
         )

@@ -162,6 +162,10 @@ pub struct ExecContext {
     /// hanging the query. `None` waits forever (single-threaded-safe
     /// default for tests that run stages inline).
     pub stage_timeout: Option<std::time::Duration>,
+    /// Cost-based optimizer, when plan selection is enabled. Engines
+    /// consult it in `plan()`/`execute()`; `None` (the default) keeps
+    /// their hand-tuned choices.
+    pub optimizer: Option<Arc<crate::cost::Optimizer>>,
 }
 
 /// Default watchdog bound: generous enough that only a genuine hang
@@ -178,6 +182,7 @@ impl Default for ExecContext {
             query_label: String::new(),
             cancel: vr_base::sync::CancelToken::new(),
             stage_timeout: Some(DEFAULT_STAGE_TIMEOUT),
+            optimizer: None,
         }
     }
 }

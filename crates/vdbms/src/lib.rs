@@ -23,6 +23,7 @@
 
 pub mod batch;
 pub mod cascade;
+pub mod cost;
 pub mod engine;
 pub mod functional;
 pub mod io;
@@ -36,6 +37,10 @@ mod zero_copy;
 
 pub use batch::BatchEngine;
 pub use cascade::CascadeEngine;
+pub use cost::{
+    CalibrationProfile, CandidateSpace, KernelClass, Optimizer, OptimizerMode, PlanChoice,
+    PlanDecision, QueryWork, Workload,
+};
 pub use engine::Vdbms;
 pub use functional::FunctionalEngine;
 pub use io::{ExecContext, InputVideo, OutputBox, QueryOutput, ResultMode};

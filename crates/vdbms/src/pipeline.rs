@@ -492,6 +492,7 @@ impl FrameSource for MemoryScan {
 
 /// One kernel emission: a processed frame plus optional per-frame
 /// boxes (Q2(c)-style results).
+#[derive(Clone)]
 pub struct KernelOut {
     pub frame: Frame,
     pub boxes: Option<Vec<OutputBox>>,
@@ -1101,7 +1102,18 @@ impl<'c> Pipeline<'c> {
     ) -> Result<EncodedVideo> {
         let _span = trace::span("pipeline", "run_eager");
         self.absorb_stall("kernel");
-        let workers = workers.min(self.ctx.workers).max(1);
+        // Clamp the requested fan-out by the context budget AND the
+        // machine's parallelism: threads beyond the core count only
+        // pay spawn overhead (the workers4-slower-than-workers1
+        // single-core regression).
+        let workers = workers
+            .min(self.ctx.workers)
+            .min(vr_base::sync::hardware_parallelism())
+            .max(1);
+        // Surface the effective fan-out (optimizer-chosen or
+        // hand-tuned, after clamping) so /metrics and the optimizer
+        // gate can see what actually ran.
+        vr_base::obs::metrics::gauge("pipeline.eager_fanout").set(workers as f64);
         let info = source.info();
         let mut frames = self.drain(source)?;
         let n = frames.len() as u64;

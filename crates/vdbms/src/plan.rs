@@ -154,6 +154,9 @@ pub struct PlanDesc {
     pub kernel: String,
     /// Short-circuit gate description, when the policy has one.
     pub gate: Option<String>,
+    /// Optimizer-chosen eager fan-out. `None` (hand-tuned defaults)
+    /// renders the context's worker budget, as before.
+    pub fanout: Option<usize>,
 }
 
 /// Build the canonical plan tree for a description under a context.
@@ -202,8 +205,9 @@ pub fn build(desc: &PlanDesc, ctx: &ExecContext) -> PlanNode {
     };
 
     let mut kernel_detail = desc.kernel.clone();
-    if desc.policy == Policy::Eager && workers > 1 {
-        kernel_detail.push_str(&format!(" fan-out={workers}"));
+    let fanout = desc.fanout.unwrap_or(workers);
+    if desc.policy == Policy::Eager && fanout > 1 {
+        kernel_detail.push_str(&format!(" fan-out={fanout}"));
     }
     if let Some(gate) = &desc.gate {
         kernel_detail.push_str(&format!(" gate={gate}"));

@@ -112,6 +112,7 @@ impl Vdbms for ReferenceEngine {
                 scan,
                 kernel,
                 gate: None,
+                fanout: None,
             },
             ctx,
         )
