@@ -4,7 +4,7 @@
 #   ./ci.sh            run every stage in order, print a summary table
 #   ./ci.sh <stage>    run one stage (guard|build|test|bench-smoke|
 #                      determinism|chaos|bench-gate|optimizer-gate|
-#                      alloc-gate|obs-gate)
+#                      alloc-gate|obs-gate|server-gate)
 #
 # Must pass with zero network access: the workspace is std-only, so a
 # cold crates.io cache resolves offline. Gate artifacts (determinism
@@ -15,7 +15,7 @@ set -euo pipefail
 cd "$(dirname "$0")"
 
 ART="results/ci"
-STAGES=(guard build test bench-smoke determinism chaos bench-gate optimizer-gate alloc-gate obs-gate)
+STAGES=(guard build test bench-smoke determinism chaos bench-gate optimizer-gate alloc-gate obs-gate server-gate)
 
 # Shared query-path invocation for the determinism and obs gates: small
 # enough to run in seconds, wide enough to cross every engine and both
@@ -240,6 +240,73 @@ stage_obs_gate() {
     echo "served run byte-identical to unserved baseline"
 }
 
+stage_server_gate() {
+    # Multi-tenant serving gate: a chaos-injected query server under a
+    # mixed-priority stress fleet. The driver itself verifies the exact
+    # admission ledger (driver-observed ok/cancelled/err/shed/degraded
+    # counts match the server's STATS field for field), that only
+    # low-priority work is load-shed while shedding demonstrably
+    # happens, and that high-priority p99 stays bounded; the stage adds
+    # the process-level assertions — no panic on either side, a clean
+    # wire-initiated drain, and zero exits all round.
+    local srv="$ART/server"
+    rm -rf "$srv"
+    mkdir -p "$srv"
+    cargo build -q --release --offline -p vr-bench --bin stress_test
+    # The server treats stdin EOF as an out-of-band stop signal, so
+    # park a FIFO on its stdin for the duration; the drain is driven
+    # over the wire by the stress driver's --shutdown instead.
+    mkfifo "$srv/stdin"
+    local srv_in
+    exec {srv_in}<>"$srv/stdin"
+    VR_WORKERS=4 timeout 600 ./target/release/visualroad serve \
+        --scale 1 --res 96x54 --duration 0.25 --queries Q1,Q2a \
+        --engine batch --workers 2 \
+        --max-concurrent 2 --queue-depth 4 --tenant-quota 8 \
+        --degrade-load 0.9 --shed-load 1.5 \
+        --faults "corrupt_bitstream=0.02,stall_stage=kernel:5ms" --fault-seed 7 \
+        <&"$srv_in" > "$srv/server_stdout.txt" 2> "$srv/server_stderr.txt" &
+    local srv_pid=$!
+    local addr="" status=0
+    for _ in $(seq 1 150); do
+        addr=$(sed -n 's/^serving on //p' "$srv/server_stdout.txt")
+        [[ -n "$addr" ]] && break
+        if ! kill -0 "$srv_pid" 2>/dev/null; then
+            break
+        fi
+        sleep 0.2
+    done
+    if [[ -z "$addr" ]]; then
+        cat "$srv/server_stderr.txt" >&2
+        echo "FAIL: server never announced its address (see $srv)" >&2
+        exec {srv_in}>&-
+        return 1
+    fi
+    ./target/release/stress_test --addr "$addr" \
+        --tenants gold:high:2,bronze:low:6 --requests 20 --queries Q1,Q2a \
+        --deadline-ms 3000 --p99-bound-ms 6000 \
+        --expect-shedding --require-high-zero-shed --shutdown \
+        --out "$srv/stress.json" | tee "$srv/driver.log" || status=$?
+    wait "$srv_pid" || status=$?
+    exec {srv_in}>&-
+    if [[ "$status" -ne 0 ]]; then
+        echo "FAIL: stress driver or server exited nonzero (see $srv)" >&2
+        return 1
+    fi
+    # "panicked at" (not bare "panic"): the fault-plan echo legitimately
+    # prints the panic_kernel knob.
+    if grep -a "panicked at" "$srv/server_stderr.txt" "$srv/driver.log"; then
+        echo "FAIL: a panic surfaced during the serving leg (see $srv)" >&2
+        return 1
+    fi
+    if ! grep -q "drained cleanly" "$srv/server_stderr.txt"; then
+        cat "$srv/server_stderr.txt" >&2
+        echo "FAIL: server did not drain cleanly after SHUTDOWN (see $srv)" >&2
+        return 1
+    fi
+    echo "server gate OK: ledger exact, low-priority shed, clean drain"
+}
+
 run_one() {
     local name="$1"
     local fn="stage_${name//-/_}"
@@ -266,6 +333,7 @@ artifact_of() {
         optimizer-gate) echo "$ART/optimizer" ;;
         alloc-gate)     echo "$ART/alloc/metrics.json" ;;
         obs-gate)       echo "$ART/obs" ;;
+        server-gate)    echo "$ART/server" ;;
         *)              echo "-" ;;
     esac
 }

@@ -523,13 +523,33 @@ pub fn note_stall_absorbed() {
 /// up on a transiently failing storage operation.
 pub const RETRY_MAX_ATTEMPTS: u32 = 4;
 
+/// Process-global backoff draw counter. Every backoff sleep consumes
+/// one draw, so N threads retrying the *same* site at the *same*
+/// attempt number pull N distinct jitter values instead of sleeping in
+/// lockstep and re-colliding — the classic thundering herd. The
+/// counter keeps the multiset of delays for a run a pure function of
+/// `VR_FAULT_SEED` (like the injector's per-site decision streams, the
+/// mapping of draws to threads may vary under a multi-threaded
+/// schedule, but the values drawn do not).
+static BACKOFF_DRAWS: AtomicU64 = AtomicU64::new(0);
+
+/// Claim the next backoff draw index (see [`backoff_delay`]).
+pub fn next_backoff_draw() -> u64 {
+    BACKOFF_DRAWS.fetch_add(1, Ordering::Relaxed)
+}
+
 /// The backoff before retry number `attempt` (0-based): an exponential
 /// base (0.5 ms doubling per attempt) plus seeded jitter in
 /// `[0, base)` drawn from [`VrRng`] — deterministic for a given
-/// `(seed, site, attempt)`, so chaos runs replay their exact schedule.
-pub fn backoff_delay(seed: u64, site: u64, attempt: u32) -> Duration {
+/// `(seed, site, attempt, draw)`, so chaos runs replay their exact
+/// schedule. `draw` is a per-sleep sequence number (normally from
+/// [`next_backoff_draw`]) that decorrelates *concurrent* retries:
+/// without it, every worker that hit the same transient at the same
+/// attempt would back off by the same amount and stampede the resource
+/// again in sync.
+pub fn backoff_delay(seed: u64, site: u64, attempt: u32, draw: u64) -> Duration {
     let base_us = 500u64 << attempt.min(16);
-    let mut rng = VrRng::seed_from(mix64(seed ^ site, attempt as u64));
+    let mut rng = VrRng::seed_from(mix64(mix64(seed ^ site, attempt as u64), draw));
     Duration::from_micros(base_us + rng.below(base_us))
 }
 
@@ -574,7 +594,12 @@ pub fn with_retry<T>(site: &str, mut f: impl FnMut() -> Result<T>) -> Result<T> 
                 degradation().io_retries.inc();
                 {
                     let _span = crate::obs::trace::span("fault", "retry_backoff");
-                    std::thread::sleep(backoff_delay(seed, site_hash, attempt));
+                    std::thread::sleep(backoff_delay(
+                        seed,
+                        site_hash,
+                        attempt,
+                        next_backoff_draw(),
+                    ));
                 }
                 attempt += 1;
             }
@@ -680,12 +705,44 @@ mod tests {
     #[test]
     fn backoff_is_deterministic_bounded_and_growing() {
         for attempt in 0..RETRY_MAX_ATTEMPTS {
-            let a = backoff_delay(1, 2, attempt);
-            assert_eq!(a, backoff_delay(1, 2, attempt), "jitter must be seeded");
+            let a = backoff_delay(1, 2, attempt, 0);
+            assert_eq!(a, backoff_delay(1, 2, attempt, 0), "jitter must be seeded");
             let base = Duration::from_micros(500u64 << attempt);
             assert!(a >= base && a < base * 2, "attempt {attempt}: {a:?}");
         }
-        assert_ne!(backoff_delay(1, 2, 0), backoff_delay(1, 3, 0), "sites draw distinct jitter");
+        assert_ne!(
+            backoff_delay(1, 2, 0, 0),
+            backoff_delay(1, 3, 0, 0),
+            "sites draw distinct jitter"
+        );
+    }
+
+    #[test]
+    fn backoff_draws_desynchronize_concurrent_retries() {
+        // The thundering-herd fix: the same (seed, site, attempt) at
+        // distinct draw indices must yield distinct delays, all still
+        // inside the attempt's [base, 2*base) window.
+        let delays: Vec<Duration> = (0..16).map(|draw| backoff_delay(9, 4, 1, draw)).collect();
+        let base = Duration::from_micros(1000);
+        for (draw, d) in delays.iter().enumerate() {
+            assert!(*d >= base && *d < base * 2, "draw {draw}: {d:?} outside window");
+        }
+        let mut unique = delays.clone();
+        unique.sort();
+        unique.dedup();
+        assert!(
+            unique.len() > 12,
+            "16 draws collapsed to {} distinct delays — herd not broken",
+            unique.len()
+        );
+        // Replayable: the draw index fully determines the jitter.
+        assert_eq!(backoff_delay(9, 4, 1, 7), backoff_delay(9, 4, 1, 7));
+        // Seed changes move every draw.
+        assert_ne!(backoff_delay(9, 4, 1, 7), backoff_delay(10, 4, 1, 7));
+        // The global draw counter is strictly monotonic.
+        let a = next_backoff_draw();
+        let b = next_backoff_draw();
+        assert!(b > a);
     }
 
     #[test]

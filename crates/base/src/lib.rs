@@ -15,6 +15,7 @@
 //! crate rather than borrowed from an external crate whose stream might
 //! change between releases.
 
+pub mod admission;
 pub mod buf;
 pub mod error;
 pub mod fault;

@@ -117,14 +117,25 @@ impl Drop for MetricsServer {
     }
 }
 
+/// Hard ceiling on one connection's lifetime, header read through
+/// response flush. A client that connects and then trickles (or sends
+/// nothing) is cut off here instead of holding its handler hostage.
+const CONNECTION_DEADLINE: Duration = Duration::from_millis(1000);
+
 fn serve_loop(listener: TcpListener, shutdown: Arc<AtomicBool>) {
     while !shutdown.load(Ordering::Relaxed) {
         match listener.accept() {
             Ok((stream, _)) => {
-                // Requests are tiny and handlers only read snapshots;
-                // serving inline keeps the server single-threaded and
-                // bounded.
-                let _ = handle_connection(stream);
+                // Handlers only read snapshots, but a slow or stalled
+                // client must never block the accept loop: each
+                // connection gets its own short-lived thread, bounded
+                // by CONNECTION_DEADLINE. Handler threads are detached
+                // — the deadline, not a join, bounds their lifetime.
+                let _ = std::thread::Builder::new()
+                    .name("vr-metrics-conn".to_string())
+                    .spawn(move || {
+                        let _ = handle_connection(stream);
+                    });
             }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                 std::thread::sleep(Duration::from_millis(5));
@@ -135,12 +146,20 @@ fn serve_loop(listener: TcpListener, shutdown: Arc<AtomicBool>) {
 }
 
 fn handle_connection(mut stream: TcpStream) -> std::io::Result<()> {
-    stream.set_read_timeout(Some(Duration::from_millis(500)))?;
-    stream.set_write_timeout(Some(Duration::from_millis(500)))?;
-    // Read the request head (bounded; no bodies are accepted).
+    let deadline = std::time::Instant::now() + CONNECTION_DEADLINE;
+    stream.set_write_timeout(Some(CONNECTION_DEADLINE))?;
+    // Read the request head (bounded; no bodies are accepted). Each
+    // read's timeout is the time remaining until the connection
+    // deadline, so a client trickling one byte per timeout window
+    // cannot extend its welcome indefinitely.
     let mut buf = [0u8; 4096];
     let mut len = 0usize;
     loop {
+        let now = std::time::Instant::now();
+        if now >= deadline {
+            break;
+        }
+        stream.set_read_timeout(Some(deadline - now))?;
         match stream.read(&mut buf[len..]) {
             Ok(0) => break,
             Ok(n) => {
@@ -230,6 +249,41 @@ mod tests {
         let missing = get(addr, "/nope");
         assert!(missing.starts_with("HTTP/1.1 404"));
 
+        server.stop();
+    }
+
+    #[test]
+    fn stalled_client_does_not_block_the_accept_loop() {
+        let server = MetricsServer::start(0).expect("bind ephemeral port");
+        let addr = server.addr();
+
+        // A client that connects, dribbles half a request line, and
+        // then goes silent. Before the per-connection handler threads
+        // this parked the single accept loop for the full read
+        // timeout per read; now it must cost other clients nothing.
+        let mut stalled = TcpStream::connect(addr).expect("connect stalled client");
+        stalled.write_all(b"GET /met").unwrap();
+        stalled.flush().unwrap();
+
+        // While the stalled client holds its connection open, a
+        // well-behaved client must be served promptly.
+        let t0 = std::time::Instant::now();
+        let health = get(addr, "/healthz");
+        assert!(health.starts_with("HTTP/1.1 200 OK"), "healthz during stall: {health}");
+        assert!(
+            t0.elapsed() < Duration::from_millis(400),
+            "healthz took {:?} behind a stalled client",
+            t0.elapsed()
+        );
+
+        // The stalled connection itself is cut off at the connection
+        // deadline rather than held forever: the server closes it and
+        // our read observes EOF (or a reset) within a bounded wait.
+        stalled
+            .set_read_timeout(Some(CONNECTION_DEADLINE * 3))
+            .unwrap();
+        let mut rest = Vec::new();
+        let _ = stalled.read_to_end(&mut rest);
         server.stop();
     }
 

@@ -1,0 +1,552 @@
+//! Multi-tenant load driver for the `visualroad serve` query server.
+//!
+//! Hammers a running server with mixed offline/online workloads from
+//! concurrent tenant sessions, then cross-checks the latency and
+//! shedding behaviour the admission layer promises:
+//!
+//! * per-tenant QPS and p50/p95/p99 wall latency (every request
+//!   counts — sheds are fast rejects, cancellations are the deadline
+//!   working);
+//! * exact accounting: the responses this driver observed must equal
+//!   the server's own `STATS` ledger, tenant by tenant
+//!   (ok + cancelled + err == admitted, shed == shed_total,
+//!   degraded == degraded);
+//! * priority isolation: high-priority tenants must never be shed for
+//!   saturation (load shedding is low-priority-only by policy), and
+//!   with `--require-high-zero-shed` must not be shed at all;
+//! * bounded tails: high-priority p99 must stay under
+//!   `--p99-bound-ms`;
+//! * with `--expect-shedding`, the run must actually have shed some
+//!   low-priority work (otherwise the leg did not generate pressure
+//!   and proves nothing);
+//! * with `--shutdown`, the server must acknowledge `SHUTDOWN` with
+//!   `OK draining` (its process exit code then reports drain
+//!   cleanliness).
+//!
+//! ```text
+//! stress_test --addr 127.0.0.1:7878 \
+//!   --tenants gold:high:2,bronze:low:6 --requests 25 \
+//!   --queries Q1,Q2a --deadline-ms 2000 --online-every 5 \
+//!   --p99-bound-ms 4000 --expect-shedding --shutdown \
+//!   --out results/ci/server/stress.json
+//! ```
+//!
+//! Exits nonzero when any verification fails.
+
+use std::collections::BTreeMap;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::process::ExitCode;
+use std::sync::Mutex;
+use std::time::Instant;
+
+use vr_bench::json;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Priority {
+    High,
+    Low,
+}
+
+impl Priority {
+    fn label(self) -> &'static str {
+        match self {
+            Priority::High => "high",
+            Priority::Low => "low",
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct TenantSpec {
+    name: String,
+    priority: Priority,
+    sessions: usize,
+}
+
+#[derive(Debug, Clone)]
+struct Config {
+    addr: String,
+    tenants: Vec<TenantSpec>,
+    requests: usize,
+    queries: Vec<String>,
+    engine: Option<String>,
+    deadline_ms: u64,
+    low_deadline_ms: Option<u64>,
+    online_every: usize,
+    online_speedup: f64,
+    p99_bound_ms: u64,
+    expect_shedding: bool,
+    require_high_zero_shed: bool,
+    shutdown: bool,
+    out: Option<String>,
+}
+
+fn usage(msg: &str) -> ! {
+    eprintln!(
+        "stress_test: {msg}\n\n\
+         USAGE: stress_test --addr HOST:PORT [--tenants name:prio:sessions,...]\n\
+           [--requests N] [--queries Q1,Q2a,...] [--engine NAME]\n\
+           [--deadline-ms N] [--low-deadline-ms N]\n\
+           [--online-every N] [--online-speedup F]\n\
+           [--p99-bound-ms N] [--expect-shedding] [--require-high-zero-shed]\n\
+           [--shutdown] [--out FILE]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_config() -> Config {
+    let mut cfg = Config {
+        addr: String::new(),
+        tenants: vec![
+            TenantSpec { name: "gold".into(), priority: Priority::High, sessions: 2 },
+            TenantSpec { name: "bronze".into(), priority: Priority::Low, sessions: 6 },
+        ],
+        requests: 25,
+        queries: vec!["Q1".into()],
+        engine: None,
+        deadline_ms: 2000,
+        low_deadline_ms: None,
+        online_every: 0,
+        online_speedup: 200.0,
+        p99_bound_ms: 4000,
+        expect_shedding: false,
+        require_high_zero_shed: false,
+        shutdown: false,
+        out: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut val = |name: &str| it.next().unwrap_or_else(|| usage(&format!("{name} needs a value")));
+        match flag.as_str() {
+            "--addr" => cfg.addr = val("--addr"),
+            "--tenants" => {
+                cfg.tenants = val("--tenants")
+                    .split(',')
+                    .map(|spec| {
+                        let mut parts = spec.split(':');
+                        let name = parts.next().unwrap_or("").to_string();
+                        let priority = match parts.next() {
+                            Some("high") => Priority::High,
+                            Some("low") => Priority::Low,
+                            _ => usage("tenant spec is name:high|low:sessions"),
+                        };
+                        let sessions = parts
+                            .next()
+                            .and_then(|s| s.parse().ok())
+                            .unwrap_or_else(|| usage("tenant spec is name:high|low:sessions"));
+                        if name.is_empty() || name.contains(char::is_whitespace) {
+                            usage("tenant names must be nonempty and whitespace-free");
+                        }
+                        TenantSpec { name, priority, sessions }
+                    })
+                    .collect();
+            }
+            "--requests" => {
+                cfg.requests = val("--requests").parse().unwrap_or_else(|_| usage("--requests wants N"))
+            }
+            "--queries" => {
+                cfg.queries = val("--queries").split(',').map(str::to_string).collect()
+            }
+            "--engine" => cfg.engine = Some(val("--engine")),
+            "--deadline-ms" => {
+                cfg.deadline_ms =
+                    val("--deadline-ms").parse().unwrap_or_else(|_| usage("--deadline-ms wants N"))
+            }
+            "--low-deadline-ms" => {
+                cfg.low_deadline_ms = Some(
+                    val("--low-deadline-ms")
+                        .parse()
+                        .unwrap_or_else(|_| usage("--low-deadline-ms wants N")),
+                )
+            }
+            "--online-every" => {
+                cfg.online_every =
+                    val("--online-every").parse().unwrap_or_else(|_| usage("--online-every wants N"))
+            }
+            "--online-speedup" => {
+                cfg.online_speedup = val("--online-speedup")
+                    .parse()
+                    .unwrap_or_else(|_| usage("--online-speedup wants F"))
+            }
+            "--p99-bound-ms" => {
+                cfg.p99_bound_ms =
+                    val("--p99-bound-ms").parse().unwrap_or_else(|_| usage("--p99-bound-ms wants N"))
+            }
+            "--expect-shedding" => cfg.expect_shedding = true,
+            "--require-high-zero-shed" => cfg.require_high_zero_shed = true,
+            "--shutdown" => cfg.shutdown = true,
+            "--out" => cfg.out = Some(val("--out")),
+            other => usage(&format!("unknown flag {other:?}")),
+        }
+    }
+    if cfg.addr.is_empty() {
+        usage("--addr HOST:PORT is required");
+    }
+    if cfg.tenants.is_empty() {
+        usage("at least one tenant is required");
+    }
+    cfg
+}
+
+/// What one session observed, folded per tenant afterwards.
+#[derive(Debug, Default, Clone)]
+struct Observed {
+    sent: u64,
+    ok: u64,
+    degraded: u64,
+    cancelled: u64,
+    err: u64,
+    shed: BTreeMap<String, u64>,
+    /// Wall latency of every request, micros.
+    latencies_us: Vec<u64>,
+}
+
+impl Observed {
+    fn shed_total(&self) -> u64 {
+        self.shed.values().sum()
+    }
+
+    fn fold(&mut self, other: Observed) {
+        self.sent += other.sent;
+        self.ok += other.ok;
+        self.degraded += other.degraded;
+        self.cancelled += other.cancelled;
+        self.err += other.err;
+        for (reason, n) in other.shed {
+            *self.shed.entry(reason).or_insert(0) += n;
+        }
+        self.latencies_us.extend(other.latencies_us);
+    }
+}
+
+fn percentile_us(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((sorted.len() as f64 * q).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// Run one session: `requests` EXECs over one connection.
+fn run_session(cfg: &Config, tenant: &TenantSpec, session_index: usize) -> Result<Observed, String> {
+    let stream = TcpStream::connect(&cfg.addr)
+        .map_err(|e| format!("connect {}: {e}", cfg.addr))?;
+    let mut writer = stream.try_clone().map_err(|e| e.to_string())?;
+    let mut reader = BufReader::new(stream);
+    let mut obs = Observed::default();
+    for r in 0..cfg.requests {
+        let query = &cfg.queries[(session_index + r) % cfg.queries.len()];
+        let mut line = format!(
+            "EXEC tenant={} priority={} query={query}",
+            tenant.name,
+            tenant.priority.label()
+        );
+        if let Some(engine) = &cfg.engine {
+            line.push_str(&format!(" engine={engine}"));
+        }
+        let deadline = match tenant.priority {
+            Priority::High => Some(cfg.deadline_ms),
+            Priority::Low => cfg.low_deadline_ms,
+        };
+        if let Some(ms) = deadline {
+            line.push_str(&format!(" deadline_ms={ms}"));
+        }
+        if cfg.online_every > 0 && (session_index + r) % cfg.online_every == 0 {
+            line.push_str(&format!(" online={}", cfg.online_speedup));
+        }
+        let t0 = Instant::now();
+        writer.write_all(line.as_bytes()).map_err(|e| e.to_string())?;
+        writer.write_all(b"\n").map_err(|e| e.to_string())?;
+        writer.flush().map_err(|e| e.to_string())?;
+        let mut response = String::new();
+        if reader.read_line(&mut response).map_err(|e| e.to_string())? == 0 {
+            return Err(format!("server closed connection mid-session ({})", tenant.name));
+        }
+        let latency = t0.elapsed();
+        obs.sent += 1;
+        obs.latencies_us.push(latency.as_micros() as u64);
+        let response = response.trim();
+        if response.starts_with("OK ") {
+            obs.ok += 1;
+            if response.contains("degraded=1") {
+                obs.degraded += 1;
+            }
+        } else if response.starts_with("CANCELLED ") {
+            obs.cancelled += 1;
+        } else if let Some(rest) = response.strip_prefix("SHED reason=") {
+            *obs.shed.entry(rest.split_whitespace().next().unwrap_or("?").to_string())
+                .or_insert(0) += 1;
+        } else if response.starts_with("ERR ") {
+            obs.err += 1;
+        } else {
+            return Err(format!("unparseable response: {response:?}"));
+        }
+    }
+    Ok(obs)
+}
+
+/// One-shot request on a fresh connection (STATS / SHUTDOWN).
+fn one_shot(addr: &str, request: &str) -> Result<String, String> {
+    let stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    let mut writer = stream.try_clone().map_err(|e| e.to_string())?;
+    let mut reader = BufReader::new(stream);
+    writer.write_all(request.as_bytes()).map_err(|e| e.to_string())?;
+    writer.write_all(b"\n").map_err(|e| e.to_string())?;
+    writer.flush().map_err(|e| e.to_string())?;
+    let mut response = String::new();
+    reader.read_line(&mut response).map_err(|e| e.to_string())?;
+    Ok(response.trim().to_string())
+}
+
+fn field(v: &json::Value, key: &str) -> u64 {
+    v.get(key).and_then(|f| f.as_f64()).unwrap_or(0.0) as u64
+}
+
+fn main() -> ExitCode {
+    let cfg = parse_config();
+    let total_sessions: usize = cfg.tenants.iter().map(|t| t.sessions).sum();
+    eprintln!(
+        "stress_test: {} sessions x {} requests against {} ...",
+        total_sessions, cfg.requests, cfg.addr
+    );
+
+    // Fan the sessions out; each owns one connection for its whole
+    // life, like a real client would.
+    let results: Mutex<BTreeMap<String, Observed>> = Mutex::new(BTreeMap::new());
+    let errors: Mutex<Vec<String>> = Mutex::new(Vec::new());
+    let t0 = Instant::now();
+    std::thread::scope(|scope| {
+        let mut session_index = 0usize;
+        for tenant in &cfg.tenants {
+            for _ in 0..tenant.sessions {
+                let idx = session_index;
+                session_index += 1;
+                let (cfg, results, errors) = (&cfg, &results, &errors);
+                scope.spawn(move || match run_session(cfg, tenant, idx) {
+                    Ok(obs) => results
+                        .lock()
+                        .unwrap()
+                        .entry(tenant.name.clone())
+                        .or_default()
+                        .fold(obs),
+                    Err(e) => errors.lock().unwrap().push(e),
+                });
+            }
+        }
+    });
+    let wall = t0.elapsed();
+    let results = results.into_inner().unwrap();
+    let errors = errors.into_inner().unwrap();
+
+    let mut failures: Vec<String> = errors;
+
+    // Per-tenant report table.
+    println!(
+        "{:<10} {:>4} {:>6} {:>5} {:>8} {:>5} {:>4} {:>5} {:>9} {:>9} {:>9} {:>8}",
+        "tenant", "prio", "sent", "ok", "degraded", "canc", "err", "shed", "p50_ms", "p95_ms",
+        "p99_ms", "qps"
+    );
+    let priority_of: BTreeMap<&str, Priority> =
+        cfg.tenants.iter().map(|t| (t.name.as_str(), t.priority)).collect();
+    let mut high_latencies: Vec<u64> = Vec::new();
+    let mut low_load_shed = 0u64;
+    for (name, obs) in &results {
+        let mut sorted = obs.latencies_us.clone();
+        sorted.sort_unstable();
+        let priority = priority_of.get(name.as_str()).copied().unwrap_or(Priority::Low);
+        if priority == Priority::High {
+            high_latencies.extend(&sorted);
+        } else {
+            low_load_shed += obs.shed.get("saturated").copied().unwrap_or(0)
+                + obs.shed.get("queue_full").copied().unwrap_or(0);
+        }
+        println!(
+            "{:<10} {:>4} {:>6} {:>5} {:>8} {:>5} {:>4} {:>5} {:>9.1} {:>9.1} {:>9.1} {:>8.1}",
+            name,
+            priority.label(),
+            obs.sent,
+            obs.ok,
+            obs.degraded,
+            obs.cancelled,
+            obs.err,
+            obs.shed_total(),
+            percentile_us(&sorted, 0.50) as f64 / 1000.0,
+            percentile_us(&sorted, 0.95) as f64 / 1000.0,
+            percentile_us(&sorted, 0.99) as f64 / 1000.0,
+            obs.sent as f64 / wall.as_secs_f64().max(1e-9),
+        );
+    }
+
+    // The server's own ledger, for exact accounting.
+    let stats_line = match one_shot(&cfg.addr, "STATS") {
+        Ok(line) => line,
+        Err(e) => {
+            eprintln!("FAIL: cannot fetch STATS: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let stats = match stats_line
+        .strip_prefix("STATS ")
+        .ok_or_else(|| format!("bad STATS response: {stats_line:?}"))
+        .and_then(|body| json::parse(body))
+    {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("FAIL: cannot parse STATS: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let empty = BTreeMap::new();
+    let server_tenants = stats
+        .get("tenants")
+        .and_then(|t| t.as_object())
+        .unwrap_or(&empty);
+
+    // Exact per-tenant accounting: what we observed must equal what
+    // the server recorded.
+    for (name, obs) in &results {
+        let Some(server) = server_tenants.get(name) else {
+            failures.push(format!("tenant {name} missing from server STATS"));
+            continue;
+        };
+        let admitted = field(server, "admitted");
+        let shed: u64 = [
+            "shed_saturated",
+            "shed_queue_full",
+            "shed_quota",
+            "shed_breaker",
+            "shed_draining",
+            "shed_deadline",
+        ]
+        .iter()
+        .map(|k| field(server, k))
+        .sum();
+        let driver_admitted = obs.ok + obs.cancelled + obs.err;
+        if driver_admitted != admitted {
+            failures.push(format!(
+                "{name}: driver saw {driver_admitted} admitted (ok+cancelled+err), server ledger says {admitted}"
+            ));
+        }
+        if obs.shed_total() != shed {
+            failures.push(format!(
+                "{name}: driver saw {} sheds, server ledger says {shed}",
+                obs.shed_total()
+            ));
+        }
+        if obs.degraded != field(server, "degraded") {
+            failures.push(format!(
+                "{name}: driver saw {} degraded, server ledger says {}",
+                obs.degraded,
+                field(server, "degraded")
+            ));
+        }
+        // Priority isolation: load shedding must never touch
+        // high-priority tenants.
+        if priority_of.get(name.as_str()) == Some(&Priority::High) {
+            let saturated = field(server, "shed_saturated");
+            if saturated != 0 {
+                failures.push(format!(
+                    "{name} is high priority but was load-shed {saturated} times"
+                ));
+            }
+            if cfg.require_high_zero_shed && obs.shed_total() != 0 {
+                failures.push(format!(
+                    "{name} is high priority and --require-high-zero-shed is set, but saw {} sheds: {:?}",
+                    obs.shed_total(),
+                    obs.shed
+                ));
+            }
+        }
+    }
+
+    // Bounded high-priority tail.
+    high_latencies.sort_unstable();
+    let high_p99_us = percentile_us(&high_latencies, 0.99);
+    println!(
+        "high-priority p99 {:.1} ms (bound {} ms) over {} requests",
+        high_p99_us as f64 / 1000.0,
+        cfg.p99_bound_ms,
+        high_latencies.len()
+    );
+    if !high_latencies.is_empty() && high_p99_us > cfg.p99_bound_ms * 1000 {
+        failures.push(format!(
+            "high-priority p99 {:.1} ms exceeds the {} ms bound",
+            high_p99_us as f64 / 1000.0,
+            cfg.p99_bound_ms
+        ));
+    }
+
+    // The leg must actually have shed something to prove the policy.
+    if cfg.expect_shedding && low_load_shed == 0 {
+        failures.push(
+            "--expect-shedding: no low-priority work was load-shed (saturated/queue_full) — the leg generated no pressure".into(),
+        );
+    }
+
+    // Graceful shutdown handshake.
+    if cfg.shutdown {
+        match one_shot(&cfg.addr, "SHUTDOWN") {
+            Ok(r) if r == "OK draining" => println!("shutdown acknowledged: {r}"),
+            Ok(r) => failures.push(format!("unexpected SHUTDOWN response: {r:?}")),
+            Err(e) => failures.push(format!("SHUTDOWN failed: {e}")),
+        }
+    }
+
+    // Machine-readable report.
+    if let Some(path) = &cfg.out {
+        let mut doc = String::from("{\n");
+        doc.push_str(&format!(
+            "  \"wall_secs\": {:.3},\n  \"sessions\": {},\n  \"requests_per_session\": {},\n",
+            wall.as_secs_f64(),
+            total_sessions,
+            cfg.requests
+        ));
+        doc.push_str(&format!(
+            "  \"high_p99_us\": {high_p99_us},\n  \"low_load_shed\": {low_load_shed},\n"
+        ));
+        doc.push_str("  \"tenants\": {\n");
+        let mut first = true;
+        for (name, obs) in &results {
+            if !first {
+                doc.push_str(",\n");
+            }
+            first = false;
+            let mut sorted = obs.latencies_us.clone();
+            sorted.sort_unstable();
+            doc.push_str(&format!(
+                "    \"{name}\": {{\"sent\": {}, \"ok\": {}, \"degraded\": {}, \"cancelled\": {}, \
+                 \"err\": {}, \"shed\": {}, \"p50_us\": {}, \"p95_us\": {}, \"p99_us\": {}}}",
+                obs.sent,
+                obs.ok,
+                obs.degraded,
+                obs.cancelled,
+                obs.err,
+                obs.shed_total(),
+                percentile_us(&sorted, 0.50),
+                percentile_us(&sorted, 0.95),
+                percentile_us(&sorted, 0.99),
+            ));
+        }
+        doc.push_str("\n  },\n");
+        doc.push_str(&format!("  \"failures\": {}\n}}\n", failures.len()));
+        if let Some(dir) = std::path::Path::new(path).parent() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+        if let Err(e) = std::fs::write(path, &doc) {
+            eprintln!("cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote {path}");
+    }
+
+    if failures.is_empty() {
+        println!("stress_test: PASS");
+        ExitCode::SUCCESS
+    } else {
+        for f in &failures {
+            eprintln!("FAIL: {f}");
+        }
+        ExitCode::FAILURE
+    }
+}

@@ -19,6 +19,7 @@ fn main() {
         Some("presets") => cmd_presets(),
         Some("generate") => cmd_generate(&args[1..]),
         Some("run") => cmd_run(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
         Some("calibrate") => cmd_calibrate(&args[1..]),
         _ => {
             print_usage();
@@ -91,6 +92,40 @@ USAGE:
       after the run. --profile loads a calibration profile written by
       `visualroad calibrate` (default: the built-in seed table);
       parse failures exit nonzero.
+
+  visualroad serve [--port P] [--engine NAME|all] [--queries Q1,Q2a,...]
+                   [--scale L] [--res WxH] [--duration SECS] [--seed S]
+                   [--workers N] [--degraded-workers N]
+                   [--max-concurrent N] [--queue-depth N] [--tenant-quota N]
+                   [--degrade-load F] [--shed-load F]
+                   [--breaker-trip N] [--breaker-cooldown-ms N]
+                   [--deadline-ms N] [--drain-timeout-ms N]
+                   [--faults SPEC] [--fault-seed S] [--serve-metrics PORT]
+      Run the long-lived multi-tenant query server: generate the
+      dataset, pregenerate per-query instance pools, load the
+      engine(s), bind a loopback TCP endpoint (--port 0 picks an
+      ephemeral port; the bound address is printed as
+      `serving on ADDR` on stdout), and serve line-based requests
+      (EXEC tenant=<id> priority=<high|low> query=<Qn>
+      [engine=<name>] [deadline_ms=<n>] [online=<speedup>] | STATS |
+      HEALTH | SHUTDOWN) from concurrent sessions. Every request
+      passes admission control: a bounded queue (--queue-depth) in
+      front of --max-concurrent execution slots, per-tenant
+      concurrency quotas (--tenant-quota), load shedding for
+      low-priority work past the --degrade-load / --shed-load
+      saturation thresholds (degraded requests run with
+      --degraded-workers pipeline workers), and per-tenant circuit
+      breakers (--breaker-trip consecutive failures open the breaker
+      for --breaker-cooldown-ms, doubling per trip, half-open probe
+      after). --deadline-ms is the default deadline for requests that
+      carry none. SHUTDOWN (or stdin EOF) drains gracefully: stop
+      admitting, flush in-flight work for up to --drain-timeout-ms,
+      then exit 0 on a clean drain (1 otherwise), printing the final
+      per-tenant admission accounting as JSON on stdout. --faults
+      installs a deterministic fault plan for chaos serving;
+      --serve-metrics additionally exposes the read-only metrics
+      endpoint, whose admission.* series mirror the server's
+      accounting.
 
   visualroad calibrate [--scale L] [--res WxH] [--duration SECS] [--seed S]
                        [--out FILE]
@@ -544,6 +579,185 @@ fn cmd_run(args: &[String]) -> i32 {
         return 1;
     }
     fault_code
+}
+
+/// `visualroad serve`: the long-lived multi-tenant query server.
+/// Generates the dataset, pregenerates per-query instance pools,
+/// loads the engines, binds loopback TCP, and serves until a
+/// `SHUTDOWN` request (or stdin EOF) drains it gracefully.
+fn cmd_serve(args: &[String]) -> i32 {
+    use visual_road::base::admission::AdmissionConfig;
+    use visual_road::server::{QueryServer, ServerConfig};
+
+    let flags = match Flags::parse(args) {
+        Ok(f) => f,
+        Err(e) => return fail(&e),
+    };
+    let hyper = match hyper_from(&flags) {
+        Ok(h) => h,
+        Err(e) => return fail(&e),
+    };
+    let queries = match parse_queries(&flags) {
+        Ok(q) => q,
+        Err(e) => return fail(&e),
+    };
+    let engines = match engines_from(flags.get("engine").unwrap_or("batch")) {
+        Ok(e) => e,
+        Err(e) => return fail(&e),
+    };
+
+    let admission_defaults = AdmissionConfig::default();
+    let admission = AdmissionConfig {
+        max_concurrent: match flags.parsed("max-concurrent", admission_defaults.max_concurrent) {
+            Ok(n) if n >= 1 => n,
+            _ => return fail("--max-concurrent wants a positive integer"),
+        },
+        queue_depth: match flags.parsed("queue-depth", admission_defaults.queue_depth) {
+            Ok(n) => n,
+            _ => return fail("--queue-depth wants an integer"),
+        },
+        tenant_quota: match flags.parsed("tenant-quota", admission_defaults.tenant_quota) {
+            Ok(n) if n >= 1 => n,
+            _ => return fail("--tenant-quota wants a positive integer"),
+        },
+        degrade_load: match flags.parsed("degrade-load", admission_defaults.degrade_load) {
+            Ok(f) if f > 0.0 => f,
+            _ => return fail("--degrade-load wants a positive saturation fraction"),
+        },
+        shed_load: match flags.parsed("shed-load", admission_defaults.shed_load) {
+            Ok(f) if f > 0.0 => f,
+            _ => return fail("--shed-load wants a positive saturation fraction"),
+        },
+        breaker_trip: match flags.parsed("breaker-trip", admission_defaults.breaker_trip) {
+            Ok(n) if n >= 1 => n,
+            _ => return fail("--breaker-trip wants a positive integer"),
+        },
+        breaker_cooldown: match flags.parsed(
+            "breaker-cooldown-ms",
+            admission_defaults.breaker_cooldown.as_millis() as u64,
+        ) {
+            Ok(ms) => std::time::Duration::from_millis(ms),
+            _ => return fail("--breaker-cooldown-ms wants an integer"),
+        },
+    };
+    let cfg = ServerConfig {
+        port: match flags.parsed("port", 0u16) {
+            Ok(p) => p,
+            _ => return fail("--port wants a port number (0 = ephemeral)"),
+        },
+        admission,
+        workers: match flags.parsed("workers", vr_base::sync::worker_budget()) {
+            Ok(n) if n >= 1 => n,
+            _ => return fail("--workers wants a positive integer"),
+        },
+        degraded_workers: match flags.parsed("degraded-workers", 1usize) {
+            Ok(n) if n >= 1 => n,
+            _ => return fail("--degraded-workers wants a positive integer"),
+        },
+        default_deadline: match flags.get("deadline-ms").map(str::parse::<u64>) {
+            Some(Ok(ms)) if ms >= 1 => Some(std::time::Duration::from_millis(ms)),
+            Some(_) => return fail("--deadline-ms wants a positive integer"),
+            None => None,
+        },
+        drain_timeout: match flags.parsed("drain-timeout-ms", 10_000u64) {
+            Ok(ms) => std::time::Duration::from_millis(ms),
+            _ => return fail("--drain-timeout-ms wants an integer"),
+        },
+        queries,
+    };
+
+    eprintln!("generating dataset ...");
+    let dataset = match Vcg::new(GenConfig::default()).generate(&hyper) {
+        Ok(d) => d,
+        Err(e) => return fail(&e.to_string()),
+    };
+
+    // Fault plan after dataset generation, exactly like `run`: chaos
+    // serving exercises the query path against a pristine dataset.
+    let injector = match flags.get("faults") {
+        Some(spec) => {
+            let seed = match flags.parsed("fault-seed", 0u64) {
+                Ok(s) => s,
+                Err(e) => return fail(&e),
+            };
+            match FaultInjector::from_spec(spec, seed) {
+                Ok(inj) => {
+                    let inj = std::sync::Arc::new(inj);
+                    fault::install(Some(std::sync::Arc::clone(&inj)));
+                    Some(inj)
+                }
+                Err(e) => return fail(&e.to_string()),
+            }
+        }
+        None => match fault::init_from_env() {
+            Ok(inj) => inj,
+            Err(e) => return fail(&e.to_string()),
+        },
+    };
+    if let Some(inj) = &injector {
+        eprintln!("fault plan active (seed {}): {:?}", inj.seed(), inj.plan());
+    }
+
+    let metrics_server = match flags.get("serve-metrics") {
+        Some(port) => match port.parse::<u16>() {
+            Ok(port) => match vr_base::obs::serve::MetricsServer::start(port) {
+                Ok(server) => {
+                    eprintln!("serving metrics on http://{}", server.addr());
+                    Some(server)
+                }
+                Err(e) => return fail(&format!("cannot bind metrics endpoint: {e}")),
+            },
+            Err(_) => return fail("--serve-metrics wants a port number (0 = ephemeral)"),
+        },
+        None => None,
+    };
+
+    let server = match QueryServer::start(dataset, engines, cfg) {
+        Ok(s) => s,
+        Err(e) => return fail(&e.to_string()),
+    };
+    // The bound address goes to stdout so drivers can scrape it even
+    // with --port 0.
+    println!("serving on {}", server.addr());
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+
+    // stdin EOF (the parent closed the pipe) is the out-of-band stop
+    // signal; a TCP SHUTDOWN drains the same way.
+    let handle = server.shutdown_handle();
+    let _ = std::thread::Builder::new()
+        .name("vr-serve-stdin".to_string())
+        .spawn(move || {
+            let mut buf = String::new();
+            loop {
+                buf.clear();
+                match std::io::stdin().read_line(&mut buf) {
+                    Ok(0) | Err(_) => {
+                        handle.shutdown();
+                        return;
+                    }
+                    Ok(_) => {
+                        if buf.trim().eq_ignore_ascii_case("shutdown") {
+                            handle.shutdown();
+                            return;
+                        }
+                    }
+                }
+            }
+        });
+
+    let report = server.wait();
+    print!("{}", report.stats_json);
+    if let Some(ms) = metrics_server {
+        ms.stop();
+    }
+    if report.clean {
+        eprintln!("drained cleanly");
+        0
+    } else {
+        eprintln!("drain timed out with work still in flight");
+        1
+    }
 }
 
 /// `visualroad calibrate`: run probe queries on a generated dataset,

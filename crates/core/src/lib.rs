@@ -43,6 +43,7 @@
 pub mod captions;
 pub mod dataset;
 pub mod report;
+pub mod server;
 pub mod vcd;
 pub mod vcg;
 

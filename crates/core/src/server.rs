@@ -1,0 +1,649 @@
+//! The long-running multi-tenant query server behind
+//! `visualroad serve`.
+//!
+//! The batch CLI runs one benchmark and exits; this module keeps the
+//! same engines resident and serves query requests from many
+//! concurrent client sessions over the loopback TCP substrate
+//! established by `vr-base::obs::serve`. Every request carries a
+//! tenant id, a priority class, and an optional deadline, and passes
+//! through the [`vr_base::admission`] controller before it may touch
+//! an engine — that layer (bounded queue, per-tenant quotas,
+//! priority-aware shedding, per-tenant circuit breakers, drain) is
+//! what makes the server safe to overload.
+//!
+//! ## Wire protocol
+//!
+//! Line-based, one request per line, one response line per request
+//! (the `STATS` body is JSON compacted onto its line). Requests:
+//!
+//! ```text
+//! EXEC tenant=<id> priority=<high|low> query=<Q1|Q2a|...>
+//!      [engine=<name>] [deadline_ms=<n>] [online=<speedup>]
+//! STATS
+//! HEALTH
+//! SHUTDOWN
+//! ```
+//!
+//! Responses:
+//!
+//! ```text
+//! OK tenant=<id> query=<q> engine=<e> latency_us=<n> degraded=<0|1>
+//! SHED reason=<saturated|queue_full|quota|breaker_open|draining|deadline_expired>
+//! CANCELLED tenant=<id> query=<q> latency_us=<n>
+//! ERR <message>
+//! STATS <one-line json>
+//! OK active=<n> queued=<n> draining=<0|1>      (HEALTH)
+//! OK draining                                  (SHUTDOWN)
+//! ```
+//!
+//! `EXEC` executes a pregenerated query instance (round-robin over a
+//! per-query pool sampled exactly like the batch driver's `4·L`
+//! batches, so the server and the benchmark measure the same work).
+//! A request admitted *degraded* runs with a single pipeline worker —
+//! the cheap configuration — and reports `degraded=1`. A deadline is
+//! armed on the instance's `CancelToken`, so past-deadline work
+//! unwinds cooperatively and answers `CANCELLED` instead of holding
+//! its slot. `online=<speedup>` streams the instance's inputs through
+//! the paced RTP ingest first (the online half of a mixed workload).
+//!
+//! `SHUTDOWN` begins a graceful drain: admission stops (queued
+//! waiters are refused `draining`), in-flight requests finish (their
+//! own deadlines cancel past-deadline work), and once idle — or after
+//! the drain timeout — the listener closes. [`QueryServer::wait`]
+//! reports whether the drain was clean.
+
+use std::collections::BTreeMap;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use vr_base::admission::{AdmissionConfig, AdmissionController, Priority, ShedReason};
+use vr_base::obs::metrics;
+use vr_base::sync::CancelToken;
+use vr_base::Error;
+use vr_vdbms::{ExecContext, PipelineMetrics, QueryInstance, QueryKind, Vdbms};
+
+use crate::dataset::Dataset;
+use crate::vcd::{ingest_online, Vcd, VcdConfig};
+
+/// Server configuration: the admission policy plus execution defaults.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Port to bind on loopback (0 picks an ephemeral port).
+    pub port: u16,
+    /// Admission policy (queue, quotas, thresholds, breakers).
+    pub admission: AdmissionConfig,
+    /// Pipeline workers for a normally admitted request.
+    pub workers: usize,
+    /// Pipeline workers for a request admitted degraded (the cheap
+    /// configuration low-priority work falls back to under load).
+    pub degraded_workers: usize,
+    /// Deadline applied to `EXEC` requests that carry none.
+    pub default_deadline: Option<Duration>,
+    /// How long a drain may wait for in-flight work before giving up.
+    pub drain_timeout: Duration,
+    /// Query kinds the server pregenerates instance pools for.
+    pub queries: Vec<QueryKind>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            port: 0,
+            admission: AdmissionConfig::default(),
+            workers: vr_base::sync::worker_budget(),
+            degraded_workers: 1,
+            default_deadline: None,
+            drain_timeout: Duration::from_secs(10),
+            queries: vec![QueryKind::Q1Select, QueryKind::Q2aGrayscale, QueryKind::Q2cBoxes],
+        }
+    }
+}
+
+/// Outcome of a completed server run (after drain).
+#[derive(Debug, Clone)]
+pub struct DrainReport {
+    /// Whether every in-flight request finished inside the drain
+    /// timeout.
+    pub clean: bool,
+    /// Final admission accounting (the same JSON `STATS` serves).
+    pub stats_json: String,
+}
+
+/// One pregenerated query pool: the driver-equivalent instances plus
+/// a round-robin cursor.
+struct Pool {
+    instances: Vec<QueryInstance>,
+    next: AtomicUsize,
+}
+
+/// State shared by every connection handler.
+struct Shared {
+    dataset: Dataset,
+    engines: BTreeMap<String, Box<dyn Vdbms>>,
+    default_engine: String,
+    pools: BTreeMap<QueryKind, Pool>,
+    admission: Arc<AdmissionController>,
+    cfg: ServerConfig,
+    /// Set once the drain (or a stop) finished; the accept loop and
+    /// every connection thread exit on it.
+    shutdown: AtomicBool,
+    /// Whether the drain reached idle inside its timeout.
+    drained_clean: AtomicBool,
+}
+
+/// A running query server. Stop it with a `SHUTDOWN` request, or
+/// programmatically with [`QueryServer::shutdown`]; then [`wait`]
+/// (QueryServer::wait) for the drain verdict.
+pub struct QueryServer {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept_handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl QueryServer {
+    /// Bind `127.0.0.1:port`, pregenerate the query pools, and serve
+    /// until a `SHUTDOWN` request (or [`shutdown`](Self::shutdown))
+    /// drains the server.
+    pub fn start(
+        dataset: Dataset,
+        engines: Vec<Box<dyn Vdbms>>,
+        cfg: ServerConfig,
+    ) -> vr_base::Result<Self> {
+        if engines.is_empty() {
+            return Err(Error::InvalidConfig("server needs at least one engine".into()));
+        }
+        // The pools reuse the driver's deterministic instance sampler,
+        // so a server request measures exactly the work a benchmark
+        // batch instance does.
+        let mut pools = BTreeMap::new();
+        {
+            let vcd = Vcd::new(&dataset, VcdConfig::default());
+            for &kind in &cfg.queries {
+                let instances = vcd.batch(kind)?;
+                pools.insert(kind, Pool { instances, next: AtomicUsize::new(0) });
+            }
+        }
+        let listener = TcpListener::bind(("127.0.0.1", cfg.port))
+            .map_err(Error::Io)?;
+        let addr = listener.local_addr().map_err(Error::Io)?;
+        listener.set_nonblocking(true).map_err(Error::Io)?;
+
+        // Report names like "batch (Scanner-like)" would break the
+        // space-separated wire protocol; key engines by their first
+        // word ("batch"), which is also what the CLI's --engine takes.
+        let short = |e: &dyn Vdbms| {
+            e.name().split_whitespace().next().unwrap_or("engine").to_string()
+        };
+        let default_engine = short(engines[0].as_ref());
+        let engines: BTreeMap<String, Box<dyn Vdbms>> =
+            engines.into_iter().map(|e| (short(e.as_ref()), e)).collect();
+        let shared = Arc::new(Shared {
+            dataset,
+            engines,
+            default_engine,
+            pools,
+            admission: Arc::new(AdmissionController::new(cfg.admission.clone())),
+            cfg,
+            shutdown: AtomicBool::new(false),
+            drained_clean: AtomicBool::new(false),
+        });
+        let accept_shared = Arc::clone(&shared);
+        let accept_handle = std::thread::Builder::new()
+            .name("vr-query-serve".to_string())
+            .spawn(move || accept_loop(listener, accept_shared))
+            .map_err(Error::Io)?;
+        Ok(Self { addr, shared, accept_handle: Some(accept_handle) })
+    }
+
+    /// The bound address (real port when started with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The bound port.
+    pub fn port(&self) -> u16 {
+        self.addr.port()
+    }
+
+    /// Begin a graceful drain from the owning process (equivalent to
+    /// a `SHUTDOWN` request).
+    pub fn shutdown(&self) {
+        let shared = Arc::clone(&self.shared);
+        std::thread::Builder::new()
+            .name("vr-query-drain".to_string())
+            .spawn(move || drain(&shared))
+            .map(|_| ())
+            .unwrap_or_else(|_| drain(&self.shared));
+    }
+
+    /// A cloneable trigger another thread can use to start the drain
+    /// while the owner blocks in [`wait`](Self::wait) — the CLI's
+    /// stdin watcher uses this.
+    pub fn shutdown_handle(&self) -> ShutdownHandle {
+        ShutdownHandle(Arc::clone(&self.shared))
+    }
+
+    /// Block until the server has shut down (after a drain) and
+    /// report how the drain went.
+    pub fn wait(mut self) -> DrainReport {
+        if let Some(handle) = self.accept_handle.take() {
+            let _ = handle.join();
+        }
+        DrainReport {
+            clean: self.shared.drained_clean.load(Ordering::Relaxed),
+            stats_json: self.shared.admission.snapshot().to_json(),
+        }
+    }
+}
+
+/// Detached trigger for a graceful drain (see
+/// [`QueryServer::shutdown_handle`]).
+#[derive(Clone)]
+pub struct ShutdownHandle(Arc<Shared>);
+
+impl ShutdownHandle {
+    /// Begin the graceful drain.
+    pub fn shutdown(&self) {
+        let shared = Arc::clone(&self.0);
+        std::thread::Builder::new()
+            .name("vr-query-drain".to_string())
+            .spawn(move || drain(&shared))
+            .map(|_| ())
+            .unwrap_or_else(|_| drain(&self.0));
+    }
+}
+
+impl Drop for QueryServer {
+    fn drop(&mut self) {
+        // A dropped handle must not leak the accept thread: force the
+        // flag (skipping any drain not already run) and join.
+        self.shared.shutdown.store(true, Ordering::Relaxed);
+        if let Some(handle) = self.accept_handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Run the graceful drain: stop admitting, flush in-flight work, then
+/// release the accept loop.
+fn drain(shared: &Shared) {
+    shared.admission.begin_drain();
+    let clean = shared.admission.await_idle(shared.cfg.drain_timeout);
+    shared.drained_clean.store(clean, Ordering::Relaxed);
+    shared.shutdown.store(true, Ordering::Relaxed);
+}
+
+fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
+    let mut sessions: Vec<std::thread::JoinHandle<()>> = Vec::new();
+    while !shared.shutdown.load(Ordering::Relaxed) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let conn_shared = Arc::clone(&shared);
+                if let Ok(handle) = std::thread::Builder::new()
+                    .name("vr-query-conn".to_string())
+                    .spawn(move || session(stream, conn_shared))
+                {
+                    sessions.push(handle);
+                }
+                sessions.retain(|h| !h.is_finished());
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(2)),
+        }
+    }
+    // Session threads observe the same shutdown flag via their read
+    // timeouts; join them so `wait()` returning means fully stopped.
+    for handle in sessions {
+        let _ = handle.join();
+    }
+}
+
+/// One client session: read request lines, answer each with one
+/// response line, until EOF or shutdown.
+fn session(stream: TcpStream, shared: Arc<Shared>) {
+    // Short read timeout so the thread observes shutdown even while a
+    // client sits idle with the connection open.
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(200)));
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    loop {
+        if shared.shutdown.load(Ordering::Relaxed) {
+            return;
+        }
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) => return,
+            Ok(_) => {
+                let request = line.trim();
+                if request.is_empty() {
+                    continue;
+                }
+                metrics::counter("server.requests").inc();
+                let response = handle_request(request, &shared);
+                let stop_after = request.eq_ignore_ascii_case("SHUTDOWN");
+                if writer.write_all(response.as_bytes()).is_err()
+                    || writer.write_all(b"\n").is_err()
+                    || writer.flush().is_err()
+                {
+                    return;
+                }
+                if stop_after {
+                    // The drain runs on its own thread; this session
+                    // has answered and can close.
+                    return;
+                }
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                continue;
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+fn handle_request(request: &str, shared: &Arc<Shared>) -> String {
+    let mut tokens = request.split_whitespace();
+    let verb = tokens.next().unwrap_or("").to_ascii_uppercase();
+    let kv: BTreeMap<&str, &str> =
+        tokens.filter_map(|t| t.split_once('=')).collect();
+    match verb.as_str() {
+        "EXEC" => handle_exec(&kv, shared),
+        "STATS" => {
+            let json = shared.admission.snapshot().to_json();
+            format!("STATS {}", json.replace('\n', ""))
+        }
+        "HEALTH" => {
+            let snap = shared.admission.snapshot();
+            format!(
+                "OK active={} queued={} draining={}",
+                snap.active,
+                snap.queued,
+                snap.draining as u8
+            )
+        }
+        "SHUTDOWN" => {
+            let drain_shared = Arc::clone(shared);
+            let spawned = std::thread::Builder::new()
+                .name("vr-query-drain".to_string())
+                .spawn(move || drain(&drain_shared))
+                .is_ok();
+            if !spawned {
+                drain(shared);
+            }
+            "OK draining".to_string()
+        }
+        other => format!("ERR unknown request {other:?}"),
+    }
+}
+
+fn handle_exec(kv: &BTreeMap<&str, &str>, shared: &Arc<Shared>) -> String {
+    let tenant = match kv.get("tenant") {
+        Some(t) if !t.is_empty() => *t,
+        _ => return "ERR EXEC needs tenant=<id>".to_string(),
+    };
+    let priority = match kv.get("priority").unwrap_or(&"low").parse::<Priority>() {
+        Ok(p) => p,
+        Err(e) => return format!("ERR {e}"),
+    };
+    let Some(query) = kv.get("query") else {
+        return "ERR EXEC needs query=<Q1|Q2a|...>".to_string();
+    };
+    let Some((kind, pool)) = lookup_pool(shared, query) else {
+        return format!("ERR no pool for query {query:?} (server pools: {:?})",
+            shared.pools.keys().map(|k| k.label()).collect::<Vec<_>>());
+    };
+    let engine_name = kv.get("engine").copied().unwrap_or(&shared.default_engine);
+    let Some(engine) = shared.engines.get(engine_name) else {
+        return format!(
+            "ERR unknown engine {engine_name:?} (loaded: {:?})",
+            shared.engines.keys().collect::<Vec<_>>()
+        );
+    };
+    if !engine.supports(kind) {
+        return format!("ERR engine {engine_name} does not support {}", kind.label());
+    }
+    let deadline_ms = match kv.get("deadline_ms").map(|v| v.parse::<u64>()) {
+        Some(Ok(ms)) => Some(Duration::from_millis(ms)),
+        Some(Err(_)) => return "ERR deadline_ms wants an integer".to_string(),
+        None => shared.cfg.default_deadline,
+    };
+    let online_speedup = match kv.get("online").map(|v| v.parse::<f64>()) {
+        Some(Ok(s)) if s > 0.0 => Some(s),
+        Some(_) => return "ERR online wants a positive speedup factor".to_string(),
+        None => None,
+    };
+
+    let t0 = Instant::now();
+    let deadline = deadline_ms.map(|d| t0 + d);
+    let permit = match shared.admission.admit(tenant, priority, deadline) {
+        Ok(p) => p,
+        Err(reason) => return format!("SHED reason={}", reason.label()),
+    };
+
+    // Round-robin over the pregenerated pool: concurrent sessions
+    // spread across distinct instances like a batch does.
+    let instance = &pool.instances[pool.next.fetch_add(1, Ordering::Relaxed) % pool.instances.len()];
+    let label = kind.label().replace(['(', ')'], "");
+    let ctx = ExecContext {
+        workers: if permit.degraded() {
+            shared.cfg.degraded_workers.max(1)
+        } else {
+            shared.cfg.workers.max(1)
+        },
+        query_label: label.clone(),
+        cancel: match deadline {
+            Some(d) => CancelToken::with_deadline(d),
+            None => CancelToken::new(),
+        },
+        metrics: Arc::new(PipelineMetrics::default()),
+        tenant: Some(Arc::from(tenant)),
+        ..ExecContext::default()
+    };
+
+    // The online half of a mixed workload: pace the instance's inputs
+    // through RTP ingest first, inside the measured latency (a live
+    // camera's frames are not free).
+    if let Some(speedup) = online_speedup {
+        if let Err(e) = ingest_instance_online(shared, instance, speedup) {
+            permit.fail();
+            metrics::counter("server.exec_err").inc();
+            return format!("ERR ingest: {e}");
+        }
+    }
+
+    let result = engine.execute(instance, &shared.dataset.videos, &ctx);
+    let latency = t0.elapsed();
+    metrics::histogram(&format!("server.latency.{priority}")).observe(latency.as_nanos() as u64);
+    match result {
+        Ok(_) => {
+            let degraded = permit.degraded();
+            permit.succeed();
+            metrics::counter("server.exec_ok").inc();
+            format!(
+                "OK tenant={tenant} query={label} engine={engine_name} latency_us={} degraded={}",
+                latency.as_micros(),
+                degraded as u8
+            )
+        }
+        Err(Error::Cancelled(_)) => {
+            // A deadline cancellation is the client's latency bound
+            // doing its job, not an engine fault: it must not feed the
+            // tenant's breaker.
+            permit.succeed();
+            metrics::counter("server.exec_cancelled").inc();
+            format!(
+                "CANCELLED tenant={tenant} query={label} latency_us={}",
+                latency.as_micros()
+            )
+        }
+        Err(e) => {
+            permit.fail();
+            metrics::counter("server.exec_err").inc();
+            format!("ERR tenant={tenant} query={label}: {e}")
+        }
+    }
+}
+
+fn ingest_instance_online(
+    shared: &Shared,
+    instance: &QueryInstance,
+    speedup: f64,
+) -> vr_base::Result<usize> {
+    let mut packets = 0;
+    for &i in &instance.inputs {
+        packets += ingest_online(&shared.dataset.videos[i], speedup)?;
+    }
+    Ok(packets)
+}
+
+/// Resolve a query label (`Q1`, `q2a`, `Q2(a)`, ...) to a pooled kind.
+fn lookup_pool<'s>(shared: &'s Shared, query: &str) -> Option<(QueryKind, &'s Pool)> {
+    let want = query.trim().replace(['(', ')'], "").to_ascii_uppercase();
+    shared
+        .pools
+        .iter()
+        .find(|(kind, _)| kind.label().replace(['(', ')'], "").to_ascii_uppercase() == want)
+        .map(|(&kind, pool)| (kind, pool))
+}
+
+/// Shed reasons whose counts the stress driver treats as load shedding
+/// (as opposed to per-tenant isolation effects like quota/breaker).
+pub fn load_shed_reasons() -> [ShedReason; 2] {
+    [ShedReason::Saturated, ShedReason::QueueFull]
+}
+
+// ---------------------------------------------------------------------------
+// Tests
+// ---------------------------------------------------------------------------
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vcg::{GenConfig, Vcg};
+    use vr_base::Hyperparameters;
+    use vr_base::{Duration as VrDuration, Resolution};
+    use vr_vdbms::BatchEngine;
+
+    fn tiny_dataset() -> Dataset {
+        let hyper =
+            Hyperparameters::new(1, Resolution::new(96, 54), VrDuration::from_secs(0.25), 11)
+                .unwrap();
+        Vcg::new(GenConfig::default()).generate(&hyper).unwrap()
+    }
+
+    fn start_server(cfg: ServerConfig) -> QueryServer {
+        QueryServer::start(tiny_dataset(), vec![Box::new(BatchEngine::new())], cfg).unwrap()
+    }
+
+    fn request(stream: &mut TcpStream, line: &str) -> String {
+        use std::io::{BufRead, BufReader, Write};
+        stream.write_all(line.as_bytes()).unwrap();
+        stream.write_all(b"\n").unwrap();
+        stream.flush().unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut response = String::new();
+        reader.read_line(&mut response).unwrap();
+        response.trim().to_string()
+    }
+
+    #[test]
+    fn exec_health_stats_and_graceful_shutdown() {
+        let server = start_server(ServerConfig {
+            queries: vec![QueryKind::Q1Select],
+            ..ServerConfig::default()
+        });
+        let addr = server.addr();
+        let mut conn = TcpStream::connect(addr).unwrap();
+
+        let ok = request(&mut conn, "EXEC tenant=alpha priority=high query=Q1");
+        assert!(ok.starts_with("OK tenant=alpha query=Q1"), "exec response: {ok}");
+        assert!(ok.contains("latency_us="));
+
+        let health = request(&mut conn, "HEALTH");
+        assert!(health.starts_with("OK active=0"), "health response: {health}");
+
+        let stats = request(&mut conn, "STATS");
+        assert!(stats.starts_with("STATS {"), "stats response: {stats}");
+        assert!(stats.contains("\"alpha\""));
+        assert!(!stats.contains('\n'));
+
+        let bad = request(&mut conn, "EXEC tenant=alpha priority=high query=Q9");
+        assert!(bad.starts_with("ERR no pool"), "missing pool: {bad}");
+
+        let down = request(&mut conn, "SHUTDOWN");
+        assert_eq!(down, "OK draining");
+        let report = server.wait();
+        assert!(report.clean, "drain must be clean with nothing in flight");
+        assert!(report.stats_json.contains("\"draining\": true"));
+    }
+
+    #[test]
+    fn tiny_deadline_is_cancelled_not_errored() {
+        let server = start_server(ServerConfig {
+            queries: vec![QueryKind::Q1Select],
+            ..ServerConfig::default()
+        });
+        let mut conn = TcpStream::connect(server.addr()).unwrap();
+        // A 0 ms deadline cancels at the first frame boundary: the
+        // response must be CANCELLED (bounded latency), never ERR,
+        // and must not trip the tenant's breaker.
+        for _ in 0..4 {
+            let r = request(&mut conn, "EXEC tenant=rush priority=high query=Q1 deadline_ms=0");
+            assert!(r.starts_with("CANCELLED tenant=rush"), "deadline response: {r}");
+        }
+        let ok = request(&mut conn, "EXEC tenant=rush priority=high query=Q1");
+        assert!(ok.starts_with("OK "), "breaker must not trip on cancellations: {ok}");
+        server.shutdown();
+        assert!(server.wait().clean);
+    }
+
+    #[test]
+    fn concurrent_sessions_share_the_engines() {
+        let server = Arc::new(start_server(ServerConfig {
+            queries: vec![QueryKind::Q1Select, QueryKind::Q2aGrayscale],
+            ..ServerConfig::default()
+        }));
+        let addr = server.addr();
+        let threads: Vec<_> = (0..6)
+            .map(|i| {
+                std::thread::spawn(move || {
+                    let mut conn = TcpStream::connect(addr).unwrap();
+                    let query = if i % 2 == 0 { "Q1" } else { "Q2a" };
+                    let tenant = format!("t{}", i % 3);
+                    let mut ok = 0;
+                    for _ in 0..3 {
+                        let r = request(
+                            &mut conn,
+                            &format!("EXEC tenant={tenant} priority=low query={query}"),
+                        );
+                        assert!(
+                            r.starts_with("OK ") || r.starts_with("SHED "),
+                            "unexpected response under load: {r}"
+                        );
+                        if r.starts_with("OK ") {
+                            ok += 1;
+                        }
+                    }
+                    ok
+                })
+            })
+            .collect();
+        let total: usize = threads.into_iter().map(|t| t.join().unwrap()).sum();
+        assert!(total > 0, "at least some concurrent requests must complete");
+        let server = Arc::try_unwrap(server).ok().expect("sole owner");
+        server.shutdown();
+        assert!(server.wait().clean);
+    }
+}

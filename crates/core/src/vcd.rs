@@ -324,6 +324,7 @@ impl<'d> Vcd<'d> {
             cancel: CancelToken::new(),
             stage_timeout: Some(vr_vdbms::io::DEFAULT_STAGE_TIMEOUT),
             optimizer: self.optimizer.clone(),
+            tenant: None,
         }
     }
 
@@ -735,6 +736,7 @@ impl<'d> Vcd<'d> {
             stage_timeout: Some(vr_vdbms::io::DEFAULT_STAGE_TIMEOUT),
             // The oracle always runs the hand-written reference plan.
             optimizer: None,
+            tenant: None,
         };
         let mut psnr_values: Vec<f64> = Vec::new();
         let mut box_matches = 0usize;

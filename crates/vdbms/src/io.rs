@@ -166,6 +166,11 @@ pub struct ExecContext {
     /// consult it in `plan()`/`execute()`; `None` (the default) keeps
     /// their hand-tuned choices.
     pub optimizer: Option<Arc<crate::cost::Optimizer>>,
+    /// Tenant the query executes on behalf of (the query server sets
+    /// this per request). When present, the pipeline sink attributes
+    /// delivered frames/bytes to `tenant.<id>.*` registry counters so
+    /// multi-tenant accounting survives down to the data plane.
+    pub tenant: Option<Arc<str>>,
 }
 
 /// Default watchdog bound: generous enough that only a genuine hang
@@ -183,6 +188,7 @@ impl Default for ExecContext {
             cancel: vr_base::sync::CancelToken::new(),
             stage_timeout: Some(DEFAULT_STAGE_TIMEOUT),
             optimizer: None,
+            tenant: None,
         }
     }
 }

@@ -1369,6 +1369,13 @@ impl<'c> Pipeline<'c> {
             bytes as u64,
         );
         self.ctx.metrics.record_alloc(StageKind::Sink, &scope.finish());
+        // Multi-tenant attribution: when the server tagged this
+        // context with a tenant, credit the delivered volume to it so
+        // /metrics can apportion data-plane throughput per tenant.
+        if let Some(tenant) = &self.ctx.tenant {
+            metrics::counter(&format!("tenant.{tenant}.sink.frames")).add(frames);
+            metrics::counter(&format!("tenant.{tenant}.sink.bytes")).add(bytes as u64);
+        }
         Ok(bytes)
     }
 }

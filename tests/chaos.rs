@@ -141,19 +141,23 @@ fn seeded_corruptions_never_panic_and_always_terminate() {
     assert!(parsed_ok > 0, "no corrupted clip survived parsing");
 }
 
-/// The backoff schedule is a pure function of (seed, site, attempt),
-/// grows with the attempt number, and stays milliseconds-bounded so an
-/// exhausted retry budget cannot stall a query noticeably.
+/// The backoff schedule is a pure function of (seed, site, attempt,
+/// draw), grows with the attempt number, and stays
+/// milliseconds-bounded so an exhausted retry budget cannot stall a
+/// query noticeably. Distinct draw indices (one per concurrent sleep)
+/// decorrelate simultaneous retries at the same site.
 #[test]
 fn retry_backoff_schedule_is_deterministic_and_bounded() {
-    let a = fault::backoff_delay(7, 11, 0);
-    assert_eq!(a, fault::backoff_delay(7, 11, 0));
+    let a = fault::backoff_delay(7, 11, 0, 0);
+    assert_eq!(a, fault::backoff_delay(7, 11, 0, 0));
     let total: std::time::Duration =
-        (0..RETRY_MAX_ATTEMPTS).map(|i| fault::backoff_delay(7, 11, i)).sum();
+        (0..RETRY_MAX_ATTEMPTS).map(|i| fault::backoff_delay(7, 11, i, 0)).sum();
     assert!(total < std::time::Duration::from_millis(50), "backoff too slow: {total:?}");
     // The exponential base doubles per attempt, jitter notwithstanding
     // (jitter is bounded by one base).
-    assert!(fault::backoff_delay(7, 11, 5) > fault::backoff_delay(7, 11, 0));
+    assert!(fault::backoff_delay(7, 11, 5, 0) > fault::backoff_delay(7, 11, 0, 0));
+    // Concurrent sleepers draw distinct jitter.
+    assert_ne!(fault::backoff_delay(7, 11, 0, 1), fault::backoff_delay(7, 11, 0, 2));
 }
 
 /// `with_retry` absorbs transient failures (counting each retry),

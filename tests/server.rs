@@ -1,0 +1,224 @@
+//! Multi-tenant server suite: `CancelToken` accounting under
+//! concurrent sessions, and the query server's admission ledger.
+//!
+//! The contract under test (ISSUE 8, robustness tentpole): when many
+//! sessions share the same engines and each request carries its own
+//! deadline-armed [`CancelToken`], every cancelled instance surfaces
+//! exactly once — as one `Err(Cancelled)` at the call site, as one
+//! `cancelled_instances` tick in [`DegradationStats`] under the batch
+//! driver, and as one `CANCELLED` response (settled `completed_ok`,
+//! never `failed`) in the server's admission ledger. No double
+//! counting, no lost instances, regardless of scheduler interleaving.
+
+use std::sync::Arc;
+use std::time::{Duration as StdDuration, Instant};
+
+use visual_road::base::admission::AdmissionConfig;
+use visual_road::base::sync::CancelToken;
+use visual_road::base::{Error, Hyperparameters, Resolution};
+use visual_road::prelude::*;
+use visual_road::server::{QueryServer, ServerConfig};
+use visual_road::vdbms::{BatchEngine, ExecContext, QueryKind};
+
+fn tiny_dataset(seed: u64) -> Dataset {
+    let hyper =
+        Hyperparameters::new(1, Resolution::new(96, 54), Duration::from_secs(0.25), seed).unwrap();
+    Vcg::new(GenConfig::default()).generate(&hyper).unwrap()
+}
+
+/// N sessions share one engine; each instance gets its own staggered
+/// deadline token. Every instance must resolve to exactly one of
+/// {completed, cancelled}: the zero-deadline ones always cancel at
+/// their first frame boundary, the generous ones always complete, and
+/// the totals add up with nothing counted twice or lost.
+#[test]
+fn every_cancelled_instance_is_accounted_exactly_once_across_sessions() {
+    const SESSIONS: usize = 4;
+    const PER_SESSION: usize = 6;
+
+    let dataset = tiny_dataset(21);
+    let vcd = Vcd::new(
+        &dataset,
+        VcdConfig { batch_size: Some(SESSIONS * PER_SESSION), ..Default::default() },
+    );
+    let instances = vcd.batch(QueryKind::Q1Select).unwrap();
+    let engine = Arc::new(BatchEngine::new());
+
+    let mut handles = Vec::new();
+    for session in 0..SESSIONS {
+        let engine = Arc::clone(&engine);
+        let instances: Vec<_> =
+            instances[session * PER_SESSION..(session + 1) * PER_SESSION].to_vec();
+        let videos = dataset.videos.clone();
+        handles.push(std::thread::spawn(move || {
+            let mut completed = 0u64;
+            let mut cancelled = 0u64;
+            for (i, instance) in instances.iter().enumerate() {
+                // Staggered deadlines: within each session, odd
+                // instances get an expired deadline (cancel at the
+                // first cooperative poll), even ones a generous one.
+                let deadline = if i % 2 == 1 {
+                    Instant::now()
+                } else {
+                    Instant::now() + StdDuration::from_secs(60)
+                };
+                let ctx = ExecContext {
+                    workers: 1,
+                    cancel: CancelToken::with_deadline(deadline),
+                    ..ExecContext::default()
+                };
+                match engine.execute(instance, &videos, &ctx) {
+                    Ok(_) => completed += 1,
+                    Err(Error::Cancelled(_)) => cancelled += 1,
+                    Err(e) => panic!("unexpected error (no faults active): {e}"),
+                }
+            }
+            (completed, cancelled)
+        }));
+    }
+    let mut completed = 0u64;
+    let mut cancelled = 0u64;
+    for handle in handles {
+        let (ok, cancel) = handle.join().unwrap();
+        completed += ok;
+        cancelled += cancel;
+    }
+    // Exactly one outcome per instance, and the deadline split is the
+    // one we staggered: half expired, half generous.
+    assert_eq!(completed + cancelled, (SESSIONS * PER_SESSION) as u64);
+    assert_eq!(cancelled, (SESSIONS * PER_SESSION / 2) as u64, "every expired-deadline instance cancels exactly once");
+    assert_eq!(completed, (SESSIONS * PER_SESSION / 2) as u64);
+}
+
+/// The concurrent batch scheduler folds each cancellation exactly once
+/// into DegradationStats: an expired deadline on every instance means
+/// `cancelled_instances == batch_size`, zero `failed_instances`, and
+/// the batch still completes.
+#[test]
+fn concurrent_scheduler_folds_each_cancellation_exactly_once() {
+    const BATCH: usize = 8;
+    let dataset = tiny_dataset(22);
+    let vcd = Vcd::new(
+        &dataset,
+        VcdConfig {
+            batch_size: Some(BATCH),
+            batch_workers: Some(4),
+            // Every instance blows its deadline at the first frame.
+            instance_deadline: Some(StdDuration::from_micros(1)),
+            ..Default::default()
+        },
+    );
+    let mut engine = BatchEngine::new();
+    let report = vcd.run_queries(&mut engine, &[QueryKind::Q1Select]).unwrap();
+    let q = report.query(QueryKind::Q1Select).unwrap();
+    let QueryStatus::Completed { degradation, scheduler, .. } = &q.status else {
+        panic!("deadline batch must complete degraded, got {:?}", q.status);
+    };
+    assert_eq!(degradation.cancelled_instances, BATCH as u64, "{degradation:?}");
+    assert_eq!(degradation.failed_instances, 0, "{degradation:?}");
+    assert_eq!(scheduler.instances, BATCH, "every instance was dispatched");
+    assert_eq!(scheduler.deadline_misses, BATCH);
+}
+
+fn request(conn: &mut std::net::TcpStream, line: &str) -> String {
+    use std::io::{BufRead, BufReader, Write};
+    conn.write_all(line.as_bytes()).unwrap();
+    conn.write_all(b"\n").unwrap();
+    conn.flush().unwrap();
+    let mut reader = BufReader::new(conn.try_clone().unwrap());
+    let mut response = String::new();
+    reader.read_line(&mut response).unwrap();
+    response.trim().to_string()
+}
+
+/// Server-level accounting: concurrent sessions with staggered
+/// deadlines; the admission ledger must record every request exactly
+/// once, with cancellations settled as completions (a client deadline
+/// is not an engine failure) and driver-observed counts matching the
+/// `STATS` ledger field for field.
+#[test]
+fn server_ledger_accounts_staggered_deadline_sessions_exactly_once() {
+    const SESSIONS: usize = 4;
+    const PER_SESSION: usize = 5;
+
+    let server = QueryServer::start(
+        tiny_dataset(23),
+        vec![Box::new(BatchEngine::new())],
+        ServerConfig {
+            queries: vec![QueryKind::Q1Select],
+            // Enough slots that no session ever queues: the expired
+            // deadlines must fire *inside* execution (CANCELLED), not
+            // at admission (SHED deadline_expired), so the ledger
+            // records every request as admitted.
+            admission: AdmissionConfig {
+                max_concurrent: 2 * SESSIONS,
+                tenant_quota: 2 * SESSIONS,
+                ..AdmissionConfig::default()
+            },
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = server.addr();
+
+    let handles: Vec<_> = (0..SESSIONS)
+        .map(|session| {
+            std::thread::spawn(move || {
+                let mut conn = std::net::TcpStream::connect(addr).unwrap();
+                let mut ok = 0u64;
+                let mut cancelled = 0u64;
+                for _ in 0..PER_SESSION {
+                    // Staggered per session: sessions 0/2 run to
+                    // completion, sessions 1/3 carry an expired
+                    // deadline and must always cancel.
+                    let line = if session % 2 == 1 {
+                        format!("EXEC tenant=t{session} priority=high query=Q1 deadline_ms=0")
+                    } else {
+                        format!("EXEC tenant=t{session} priority=high query=Q1")
+                    };
+                    let r = request(&mut conn, &line);
+                    if r.starts_with("OK ") {
+                        ok += 1;
+                    } else if r.starts_with("CANCELLED ") {
+                        cancelled += 1;
+                    } else {
+                        panic!("unexpected response: {r}");
+                    }
+                }
+                (ok, cancelled)
+            })
+        })
+        .collect();
+    let mut ok = 0u64;
+    let mut cancelled = 0u64;
+    for handle in handles {
+        let (o, c) = handle.join().unwrap();
+        ok += o;
+        cancelled += c;
+    }
+    assert_eq!(ok + cancelled, (SESSIONS * PER_SESSION) as u64);
+    assert_eq!(cancelled, (SESSIONS / 2 * PER_SESSION) as u64, "expired-deadline sessions always cancel");
+
+    // The ledger agrees exactly: every request admitted once, every
+    // cancellation settled as a completion (breakers see no failure).
+    let mut conn = std::net::TcpStream::connect(addr).unwrap();
+    let stats = request(&mut conn, "STATS");
+    let body = stats.strip_prefix("STATS ").unwrap();
+    for session in 0..SESSIONS {
+        let needle = format!("\"t{session}\": {{");
+        let entry = &body[body.find(&needle).unwrap_or_else(|| panic!("t{session} in {body}"))..];
+        let entry = &entry[..entry.find('}').unwrap()];
+        assert!(
+            entry.contains(&format!("\"admitted\": {PER_SESSION}")),
+            "t{session} ledger: {entry}"
+        );
+        assert!(
+            entry.contains(&format!("\"completed_ok\": {PER_SESSION}")),
+            "cancellations settle as completions — t{session} ledger: {entry}"
+        );
+        assert!(entry.contains("\"failed\": 0"), "t{session} ledger: {entry}");
+    }
+
+    server.shutdown();
+    assert!(server.wait().clean, "drain must be clean after all sessions finished");
+}
