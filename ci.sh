@@ -4,7 +4,7 @@
 #   ./ci.sh            run every stage in order, print a summary table
 #   ./ci.sh <stage>    run one stage (guard|build|test|bench-smoke|
 #                      determinism|chaos|bench-gate|optimizer-gate|
-#                      alloc-gate|obs-gate|server-gate)
+#                      alloc-gate|obs-gate|server-gate|index-gate)
 #
 # Must pass with zero network access: the workspace is std-only, so a
 # cold crates.io cache resolves offline. Gate artifacts (determinism
@@ -15,7 +15,7 @@ set -euo pipefail
 cd "$(dirname "$0")"
 
 ART="results/ci"
-STAGES=(guard build test bench-smoke determinism chaos bench-gate optimizer-gate alloc-gate obs-gate server-gate)
+STAGES=(guard build test bench-smoke determinism chaos bench-gate optimizer-gate alloc-gate obs-gate server-gate index-gate)
 
 # Shared query-path invocation for the determinism and obs gates: small
 # enough to run in seconds, wide enough to cross every engine and both
@@ -307,6 +307,171 @@ stage_server_gate() {
     echo "server gate OK: ledger exact, low-priority shed, clean drain"
 }
 
+stage_index_gate() {
+    # Semantic-index gate, five legs:
+    #   1. ingest determinism: two ingests of the same dataset must
+    #      produce byte-identical side-index files;
+    #   2. answer quality: top-k over the index AND over a full rescan
+    #      must both hit recall@10 >= 0.9 against VCG scene geometry,
+    #      and the count aggregate must agree byte-for-byte between the
+    #      two routes;
+    #   3. speed: the index route's top-k p95 must be millisecond-scale
+    #      and at least 10x faster than the full rescan of the same
+    #      query;
+    #   4. fail-closed: truncated and bit-flipped side-index files must
+    #      fall back to the rescan route with a warning and exit zero —
+    #      never a wrong answer, never a crash;
+    #   5. serving: a --use-index server under the stress driver, which
+    #      cross-checks every OK's route= token against the admission
+    #      ledger's index_served/rescan_served split, tenant by tenant.
+    local idx="$ART/index"
+    rm -rf "$idx"
+    mkdir -p "$idx"
+    cargo build -q --release --offline -p visual-road --bin visualroad
+    cargo build -q --release --offline -p vr-bench --bin stress_test
+    local DS=(--scale 1 --res 96x54 --duration 2.0 --seed 9)
+
+    echo "-- ingest determinism"
+    ./target/release/visualroad ingest "${DS[@]}" --out "$idx/a.vrsx" \
+        | tee "$idx/ingest.log"
+    ./target/release/visualroad ingest "${DS[@]}" --out "$idx/b.vrsx" >/dev/null
+    if ! cmp "$idx/a.vrsx" "$idx/b.vrsx"; then
+        echo "FAIL: two ingests of the same dataset differ (see $idx)" >&2
+        return 1
+    fi
+    echo "side index byte-identical across runs ($(stat -c%s "$idx/a.vrsx") bytes)"
+
+    echo "-- index vs rescan: top-k recall and latency"
+    ./target/release/visualroad search "${DS[@]}" --kind topk --class vehicle \
+        --window 8 --k 10 --index "$idx/a.vrsx" --repeat 20 \
+        --explain --out "$idx/topk_index.json" | tee "$idx/topk_index.log"
+    ./target/release/visualroad search "${DS[@]}" --kind topk --class vehicle \
+        --window 8 --k 10 --rescan --repeat 20 \
+        --out "$idx/topk_rescan.json" | tee "$idx/topk_rescan.log"
+    grep -q '"route": "index"' "$idx/topk_index.json" || {
+        echo "FAIL: optimizer did not route top-k to the index (see $idx/topk_index.json)" >&2
+        return 1
+    }
+    grep -q '"route": "rescan"' "$idx/topk_rescan.json" || {
+        echo "FAIL: --rescan did not force the rescan route" >&2
+        return 1
+    }
+    jnum() { sed -n "s/.*\"$2\": \([0-9.][0-9.]*\).*/\1/p" "$1"; }
+    local r_idx r_rsc p95_idx p95_rsc
+    r_idx=$(jnum "$idx/topk_index.json" recall)
+    r_rsc=$(jnum "$idx/topk_rescan.json" recall)
+    p95_idx=$(jnum "$idx/topk_index.json" p95_us)
+    p95_rsc=$(jnum "$idx/topk_rescan.json" p95_us)
+    echo "recall@10 index=$r_idx rescan=$r_rsc; p95 index=${p95_idx}us rescan=${p95_rsc}us"
+    awk -v r="$r_idx" 'BEGIN { exit !(r >= 0.9) }' || {
+        echo "FAIL: index-route recall@10 $r_idx < 0.9 against VCG ground truth" >&2
+        return 1
+    }
+    awk -v r="$r_rsc" 'BEGIN { exit !(r >= 0.9) }' || {
+        echo "FAIL: rescan-route recall@10 $r_rsc < 0.9 against VCG ground truth" >&2
+        return 1
+    }
+    awk -v p="$p95_idx" 'BEGIN { exit !(p < 5000) }' || {
+        echo "FAIL: index-route top-k p95 ${p95_idx}us blows the 5 ms budget" >&2
+        return 1
+    }
+    awk -v i="$p95_idx" -v r="$p95_rsc" 'BEGIN { exit !(r >= 10 * i) }' || {
+        echo "FAIL: rescan p95 ${p95_rsc}us is not >= 10x index p95 ${p95_idx}us" >&2
+        return 1
+    }
+
+    echo "-- index vs rescan: count aggregate parity"
+    ./target/release/visualroad search "${DS[@]}" --kind count \
+        --index "$idx/a.vrsx" --repeat 3 --out "$idx/count_index.json" >/dev/null
+    ./target/release/visualroad search "${DS[@]}" --kind count \
+        --rescan --repeat 3 --out "$idx/count_rescan.json" >/dev/null
+    local c_idx c_rsc
+    c_idx=$(sed -n 's/.*"answer": "\([^"]*\)".*/\1/p' "$idx/count_index.json")
+    c_rsc=$(sed -n 's/.*"answer": "\([^"]*\)".*/\1/p' "$idx/count_rescan.json")
+    if [[ -z "$c_idx" || "$c_idx" != "$c_rsc" ]]; then
+        echo "FAIL: count aggregate disagrees between routes (index '$c_idx' vs rescan '$c_rsc')" >&2
+        return 1
+    fi
+    echo "count parity OK: $c_idx"
+
+    echo "-- corrupt and truncated side indexes fail closed into rescan"
+    head -c $(( $(stat -c%s "$idx/a.vrsx") - 7 )) "$idx/a.vrsx" > "$idx/trunc.vrsx"
+    cp "$idx/a.vrsx" "$idx/flip.vrsx"
+    printf '\xff\xff\xff\xff' | dd of="$idx/flip.vrsx" bs=1 seek=40 count=4 \
+        conv=notrunc status=none
+    if cmp -s "$idx/a.vrsx" "$idx/flip.vrsx"; then
+        echo "FAIL: byte-flip corruption was a no-op; the leg proves nothing" >&2
+        return 1
+    fi
+    local bad
+    for bad in trunc flip; do
+        ./target/release/visualroad search "${DS[@]}" --kind count \
+            --index "$idx/$bad.vrsx" --repeat 1 \
+            --out "$idx/$bad.json" 2> "$idx/$bad.stderr.txt"
+        grep -q "unusable" "$idx/$bad.stderr.txt" || {
+            echo "FAIL: $bad side index loaded without a warning (see $idx)" >&2
+            return 1
+        }
+        grep -q '"route": "rescan"' "$idx/$bad.json" || {
+            echo "FAIL: $bad side index did not fall back to rescan (see $idx/$bad.json)" >&2
+            return 1
+        }
+        local c_bad
+        c_bad=$(sed -n 's/.*"answer": "\([^"]*\)".*/\1/p' "$idx/$bad.json")
+        if [[ "$c_bad" != "$c_rsc" ]]; then
+            echo "FAIL: $bad fallback answered '$c_bad', rescan truth is '$c_rsc'" >&2
+            return 1
+        fi
+    done
+    echo "both damaged indexes rejected, answers served by rescan"
+
+    echo "-- --use-index server: route split matches the admission ledger"
+    mkfifo "$idx/stdin"
+    local srv_in
+    exec {srv_in}<>"$idx/stdin"
+    VR_WORKERS=4 timeout 600 ./target/release/visualroad serve \
+        --scale 1 --res 96x54 --duration 0.25 --queries Q1,Q2a \
+        --engine batch --workers 2 --use-index \
+        --max-concurrent 2 --queue-depth 8 --tenant-quota 32 \
+        <&"$srv_in" > "$idx/server_stdout.txt" 2> "$idx/server_stderr.txt" &
+    local srv_pid=$!
+    local addr="" status=0
+    for _ in $(seq 1 150); do
+        addr=$(sed -n 's/^serving on //p' "$idx/server_stdout.txt")
+        [[ -n "$addr" ]] && break
+        if ! kill -0 "$srv_pid" 2>/dev/null; then
+            break
+        fi
+        sleep 0.2
+    done
+    if [[ -z "$addr" ]]; then
+        cat "$idx/server_stderr.txt" >&2
+        echo "FAIL: --use-index server never announced its address (see $idx)" >&2
+        exec {srv_in}>&-
+        return 1
+    fi
+    grep -q "semantic index ready" "$idx/server_stderr.txt" || {
+        echo "FAIL: server did not report the semantic index ready (see $idx/server_stderr.txt)" >&2
+        exec {srv_in}>&-
+        return 1
+    }
+    ./target/release/stress_test --addr "$addr" \
+        --tenants gold:high:2 --requests 10 --queries Q1,S1,S2 \
+        --deadline-ms 5000 --p99-bound-ms 10000 --shutdown \
+        --out "$idx/stress.json" | tee "$idx/driver.log" || status=$?
+    wait "$srv_pid" || status=$?
+    exec {srv_in}>&-
+    if [[ "$status" -ne 0 ]]; then
+        echo "FAIL: stress driver or --use-index server exited nonzero (see $idx)" >&2
+        return 1
+    fi
+    grep -q '"route_index": 0,' "$idx/stress.json" && {
+        echo "FAIL: no request was served from the index (see $idx/stress.json)" >&2
+        return 1
+    }
+    echo "index gate OK: deterministic ingest, recall >= 0.9, >= 10x top-k speedup, fail-closed fallback, exact route ledger"
+}
+
 run_one() {
     local name="$1"
     local fn="stage_${name//-/_}"
@@ -334,20 +499,29 @@ artifact_of() {
         alloc-gate)     echo "$ART/alloc/metrics.json" ;;
         obs-gate)       echo "$ART/obs" ;;
         server-gate)    echo "$ART/server" ;;
+        index-gate)     echo "$ART/index" ;;
         *)              echo "-" ;;
     esac
 }
 
 # Full run: every stage in order, timed, with a final summary table
-# that prints even when a stage fails.
+# that prints even when a stage fails. The bytes column is the on-disk
+# size of each stage's artifact tree, measured at print time (so a
+# failing run still reports whatever diagnostics it managed to leave).
 SUMMARY=()
 print_summary() {
     echo
     echo "== CI summary =="
-    printf '%-14s %8s  %-6s %s\n' "stage" "seconds" "status" "artifacts"
-    local row
+    printf '%-14s %8s  %-6s %10s  %s\n' "stage" "seconds" "status" "bytes" "artifacts"
+    local row bytes
     for row in "${SUMMARY[@]}"; do
-        printf '%-14s %8s  %-6s %s\n' $row
+        # Rows are space-free by construction: stage seconds status path.
+        set -- $row
+        bytes="-"
+        if [[ "$4" != "-" && -e "$4" ]]; then
+            bytes=$(du -sb "$4" 2>/dev/null | cut -f1)
+        fi
+        printf '%-14s %8s  %-6s %10s  %s\n' "$1" "$2" "$3" "${bytes:--}" "$4"
     done
 }
 trap print_summary EXIT

@@ -242,6 +242,13 @@ pub struct TenantCounters {
     pub completed_ok: u64,
     pub failed: u64,
     pub breaker_trips: u64,
+    /// OK completions answered from a semantic side index (no scan).
+    pub index_served: u64,
+    /// OK completions that scanned/decoded their inputs. Every `OK`
+    /// response is one or the other, so per tenant
+    /// `index_served + rescan_served` equals the driver-visible OK
+    /// count exactly (cancelled completions are in neither).
+    pub rescan_served: u64,
 }
 
 impl TenantCounters {
@@ -298,6 +305,11 @@ impl AdmissionSnapshot {
             self.total(|t| t.shed_total()),
             self.total(|t| t.breaker_trips),
         ));
+        out.push_str(&format!(
+            "  \"index_served\": {},\n  \"rescan_served\": {},\n",
+            self.total(|t| t.index_served),
+            self.total(|t| t.rescan_served),
+        ));
         out.push_str("  \"tenants\": {\n");
         let mut first = true;
         for (name, t) in &self.tenants {
@@ -309,7 +321,8 @@ impl AdmissionSnapshot {
                 "    \"{}\": {{\"admitted\": {}, \"degraded\": {}, \"shed_saturated\": {}, \
                  \"shed_queue_full\": {}, \"shed_quota\": {}, \"shed_breaker\": {}, \
                  \"shed_draining\": {}, \"shed_deadline\": {}, \"completed_ok\": {}, \
-                 \"failed\": {}, \"breaker_trips\": {}}}",
+                 \"failed\": {}, \"breaker_trips\": {}, \"index_served\": {}, \
+                 \"rescan_served\": {}}}",
                 crate::obs::json_escape(name),
                 t.admitted,
                 t.degraded,
@@ -322,6 +335,8 @@ impl AdmissionSnapshot {
                 t.completed_ok,
                 t.failed,
                 t.breaker_trips,
+                t.index_served,
+                t.rescan_served,
             ));
         }
         out.push_str("\n  }\n}\n");
@@ -658,6 +673,23 @@ impl AdmissionController {
         true
     }
 
+    /// Record which execution route served an OK completion: the
+    /// semantic side index, or a scan of the inputs. Called by the
+    /// server alongside `Permit::succeed` (never for cancellations),
+    /// so per tenant `index_served + rescan_served` equals the
+    /// driver-visible OK count exactly.
+    pub fn note_route(&self, tenant: &str, index: bool) {
+        let mut st = self.state.lock();
+        let c = st.counters.entry(tenant.to_string()).or_default();
+        if index {
+            c.index_served += 1;
+            crate::obs::metrics::counter("admission.index_served").inc();
+        } else {
+            c.rescan_served += 1;
+            crate::obs::metrics::counter("admission.rescan_served").inc();
+        }
+    }
+
     /// Point-in-time accounting snapshot.
     pub fn snapshot(&self) -> AdmissionSnapshot {
         let st = self.state.lock();
@@ -910,6 +942,26 @@ mod tests {
         assert!(a < b, "tenants must render in order:\n{json}");
         assert!(json.contains("\"admitted\": 2"));
         assert!(json.contains("\"failed\": 1"));
+    }
+
+    #[test]
+    fn route_accounting_splits_ok_completions_per_tenant() {
+        let ctl = Arc::new(AdmissionController::new(cfg()));
+        ctl.admit("a", Priority::High, None).unwrap().succeed();
+        ctl.note_route("a", true);
+        ctl.admit("a", Priority::High, None).unwrap().succeed();
+        ctl.note_route("a", false);
+        ctl.admit("b", Priority::Low, None).unwrap().succeed();
+        ctl.note_route("b", false);
+        let snap = ctl.snapshot();
+        let a = snap.tenants["a"];
+        let b = snap.tenants["b"];
+        assert_eq!((a.index_served, a.rescan_served), (1, 1));
+        assert_eq!((b.index_served, b.rescan_served), (0, 1));
+        assert_eq!(a.index_served + a.rescan_served, a.completed_ok);
+        let json = snap.to_json();
+        assert!(json.contains("\"index_served\": 1,\n"), "totals line:\n{json}");
+        assert!(json.contains("\"rescan_served\": 2,\n"), "totals line:\n{json}");
     }
 
     #[test]

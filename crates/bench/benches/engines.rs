@@ -185,9 +185,60 @@ fn bench_optimizer(c: &mut Criterion) {
     group.finish();
 }
 
+/// The semantic-index suite: HNSW build throughput over a seeded
+/// synthetic embedding set, and top-k probe latency on the built
+/// graph. `bench_gate` tracks both ids, so they must stay stable.
+fn bench_index(c: &mut Criterion) {
+    use vr_base::rng::VrRng;
+    use vr_bench::harness::Throughput;
+    use vr_index::{Hnsw, HnswConfig, EMBED_DIM};
+
+    const VECTORS: usize = 2000;
+    let embedding = |rng: &mut VrRng| -> Vec<f32> {
+        (0..EMBED_DIM).map(|_| (rng.next_u64() % 1000) as f32 / 1000.0).collect()
+    };
+
+    {
+        let mut group = c.benchmark_group("semantic_index");
+        group.sample_size(10);
+        group.throughput(Throughput::Elements(VECTORS as u64));
+        group.bench_function(format!("hnsw_build_{VECTORS}v"), |b| {
+            b.iter(|| {
+                let mut rng = VrRng::seed_from(0xBE7C_1DE7);
+                let mut hnsw = Hnsw::new(EMBED_DIM, HnswConfig::default());
+                for _ in 0..VECTORS {
+                    let v = embedding(&mut rng);
+                    hnsw.insert(v, &mut rng);
+                }
+                hnsw.len()
+            })
+        });
+        group.finish();
+    }
+
+    let mut rng = VrRng::seed_from(0xBE7C_1DE7);
+    let mut hnsw = Hnsw::new(EMBED_DIM, HnswConfig::default());
+    for _ in 0..VECTORS {
+        let v = embedding(&mut rng);
+        hnsw.insert(v, &mut rng);
+    }
+    let queries: Vec<Vec<f32>> = (0..64).map(|_| embedding(&mut rng)).collect();
+    let mut group = c.benchmark_group("semantic_index");
+    group.sample_size(30);
+    group.bench_function(format!("hnsw_topk10_{VECTORS}v"), |b| {
+        let mut qi = 0usize;
+        b.iter(|| {
+            let hits = hnsw.search(&queries[qi % queries.len()], 10);
+            qi += 1;
+            hits.len()
+        })
+    });
+    group.finish();
+}
+
 fn main() {
     vr_bench::harness::main_with_json(
-        &[bench_engines, bench_worker_sweep, bench_optimizer],
+        &[bench_engines, bench_worker_sweep, bench_optimizer, bench_index],
         concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_engines.json"),
     );
 }

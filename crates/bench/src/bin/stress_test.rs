@@ -10,7 +10,8 @@
 //! * exact accounting: the responses this driver observed must equal
 //!   the server's own `STATS` ledger, tenant by tenant
 //!   (ok + cancelled + err == admitted, shed == shed_total,
-//!   degraded == degraded);
+//!   degraded == degraded, and every OK's `route=` token must match
+//!   the ledger's `index_served` / `rescan_served` split);
 //! * priority isolation: high-priority tenants must never be shed for
 //!   saturation (load shedding is low-priority-only by policy), and
 //!   with `--require-high-zero-shed` must not be shed at all;
@@ -197,6 +198,11 @@ struct Observed {
     degraded: u64,
     cancelled: u64,
     err: u64,
+    /// OK responses that reported `route=index` / `route=rescan`. Every
+    /// OK carries exactly one, so these must sum to `ok` — and must
+    /// match the server ledger's `index_served` / `rescan_served`.
+    route_index: u64,
+    route_rescan: u64,
     shed: BTreeMap<String, u64>,
     /// Wall latency of every request, micros.
     latencies_us: Vec<u64>,
@@ -213,6 +219,8 @@ impl Observed {
         self.degraded += other.degraded;
         self.cancelled += other.cancelled;
         self.err += other.err;
+        self.route_index += other.route_index;
+        self.route_rescan += other.route_rescan;
         for (reason, n) in other.shed {
             *self.shed.entry(reason).or_insert(0) += n;
         }
@@ -271,6 +279,13 @@ fn run_session(cfg: &Config, tenant: &TenantSpec, session_index: usize) -> Resul
             obs.ok += 1;
             if response.contains("degraded=1") {
                 obs.degraded += 1;
+            }
+            if response.contains("route=index") {
+                obs.route_index += 1;
+            } else if response.contains("route=rescan") {
+                obs.route_rescan += 1;
+            } else {
+                return Err(format!("OK response without a route: {response:?}"));
             }
         } else if response.starts_with("CANCELLED ") {
             obs.cancelled += 1;
@@ -343,9 +358,9 @@ fn main() -> ExitCode {
 
     // Per-tenant report table.
     println!(
-        "{:<10} {:>4} {:>6} {:>5} {:>8} {:>5} {:>4} {:>5} {:>9} {:>9} {:>9} {:>8}",
-        "tenant", "prio", "sent", "ok", "degraded", "canc", "err", "shed", "p50_ms", "p95_ms",
-        "p99_ms", "qps"
+        "{:<10} {:>4} {:>6} {:>5} {:>4} {:>5} {:>8} {:>5} {:>4} {:>5} {:>9} {:>9} {:>9} {:>8}",
+        "tenant", "prio", "sent", "ok", "idx", "rscn", "degraded", "canc", "err", "shed",
+        "p50_ms", "p95_ms", "p99_ms", "qps"
     );
     let priority_of: BTreeMap<&str, Priority> =
         cfg.tenants.iter().map(|t| (t.name.as_str(), t.priority)).collect();
@@ -362,11 +377,13 @@ fn main() -> ExitCode {
                 + obs.shed.get("queue_full").copied().unwrap_or(0);
         }
         println!(
-            "{:<10} {:>4} {:>6} {:>5} {:>8} {:>5} {:>4} {:>5} {:>9.1} {:>9.1} {:>9.1} {:>8.1}",
+            "{:<10} {:>4} {:>6} {:>5} {:>4} {:>5} {:>8} {:>5} {:>4} {:>5} {:>9.1} {:>9.1} {:>9.1} {:>8.1}",
             name,
             priority.label(),
             obs.sent,
             obs.ok,
+            obs.route_index,
+            obs.route_rescan,
             obs.degraded,
             obs.cancelled,
             obs.err,
@@ -439,6 +456,32 @@ fn main() -> ExitCode {
                 "{name}: driver saw {} degraded, server ledger says {}",
                 obs.degraded,
                 field(server, "degraded")
+            ));
+        }
+        // Route accounting: every OK was served by exactly one route,
+        // and the server's index/rescan ledger must match what this
+        // driver saw, tenant by tenant.
+        if obs.route_index + obs.route_rescan != obs.ok {
+            failures.push(format!(
+                "{name}: {} OKs but {} route tokens (index {} + rescan {})",
+                obs.ok,
+                obs.route_index + obs.route_rescan,
+                obs.route_index,
+                obs.route_rescan
+            ));
+        }
+        if obs.route_index != field(server, "index_served") {
+            failures.push(format!(
+                "{name}: driver saw {} index-served, server ledger says {}",
+                obs.route_index,
+                field(server, "index_served")
+            ));
+        }
+        if obs.route_rescan != field(server, "rescan_served") {
+            failures.push(format!(
+                "{name}: driver saw {} rescan-served, server ledger says {}",
+                obs.route_rescan,
+                field(server, "rescan_served")
             ));
         }
         // Priority isolation: load shedding must never touch
@@ -516,13 +559,16 @@ fn main() -> ExitCode {
             sorted.sort_unstable();
             doc.push_str(&format!(
                 "    \"{name}\": {{\"sent\": {}, \"ok\": {}, \"degraded\": {}, \"cancelled\": {}, \
-                 \"err\": {}, \"shed\": {}, \"p50_us\": {}, \"p95_us\": {}, \"p99_us\": {}}}",
+                 \"err\": {}, \"shed\": {}, \"route_index\": {}, \"route_rescan\": {}, \
+                 \"p50_us\": {}, \"p95_us\": {}, \"p99_us\": {}}}",
                 obs.sent,
                 obs.ok,
                 obs.degraded,
                 obs.cancelled,
                 obs.err,
                 obs.shed_total(),
+                obs.route_index,
+                obs.route_rescan,
                 percentile_us(&sorted, 0.50),
                 percentile_us(&sorted, 0.95),
                 percentile_us(&sorted, 0.99),

@@ -23,9 +23,11 @@
 
 mod demux;
 mod mux;
+pub mod sidecar;
 
 pub use demux::{Container, SampleCursor};
 pub use mux::ContainerWriter;
+pub use sidecar::{Sidecar, SidecarWriter};
 
 use vr_base::{Error, Result, Timestamp};
 

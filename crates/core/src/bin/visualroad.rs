@@ -20,6 +20,8 @@ fn main() {
         Some("generate") => cmd_generate(&args[1..]),
         Some("run") => cmd_run(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
+        Some("ingest") => cmd_ingest(&args[1..]),
+        Some("search") => cmd_search(&args[1..]),
         Some("calibrate") => cmd_calibrate(&args[1..]),
         _ => {
             print_usage();
@@ -101,6 +103,7 @@ USAGE:
                    [--breaker-trip N] [--breaker-cooldown-ms N]
                    [--deadline-ms N] [--drain-timeout-ms N]
                    [--faults SPEC] [--fault-seed S] [--serve-metrics PORT]
+                   [--use-index | --index FILE]
       Run the long-lived multi-tenant query server: generate the
       dataset, pregenerate per-query instance pools, load the
       engine(s), bind a loopback TCP endpoint (--port 0 picks an
@@ -125,7 +128,40 @@ USAGE:
       installs a deterministic fault plan for chaos serving;
       --serve-metrics additionally exposes the read-only metrics
       endpoint, whose admission.* series mirror the server's
-      accounting.
+      accounting. --use-index ingests a semantic side index at
+      startup (--index FILE loads a prebuilt .vrsx instead; an
+      unusable file falls back to rescan with a warning) and serves
+      the semantic query class S1 (count) / S2 (top-k) / S3
+      (similarity) from it; every OK response reports which route
+      served it (route=index|rescan) and the per-tenant accounting
+      splits index_served vs rescan_served.
+
+  visualroad ingest [--scale L] [--res WxH] [--duration SECS] [--seed S]
+                    [--density D] [--nodes N] [--out FILE]
+      Run detection/tracking ONCE over the dataset's metadata box
+      tracks, associate detections into tracklets, embed each tracklet
+      into a scalar-quantized feature vector, and persist everything
+      as a .vrsx container side index (default:
+      results/index/dataset.vrsx). Ingest is fully deterministic: the
+      same hyperparameters always produce a byte-identical file.
+
+  visualroad search [--scale L] [--res WxH] [--duration SECS] [--seed S]
+                    [--kind count|topk|similar] [--class vehicle|pedestrian|any]
+                    [--window N] [--k N] [--track N] [--video N]
+                    [--index FILE | --rescan] [--repeat N]
+                    [--profile FILE] [--explain] [--out FILE]
+      Answer one semantic query over the dataset, either from a .vrsx
+      side index (--index; no frame ever decoded) or by redoing the
+      full scan/associate pass per repetition (--rescan). Without
+      either flag the index is built in memory first. The index-vs-
+      rescan choice is cost-based: the optimizer compares an IndexScan
+      candidate against the metadata rescan and --explain prints the
+      chosen-vs-rejected table. A corrupt, truncated, or stale index
+      file fails CLOSED into rescan (warning on stderr, exit 0).
+      --repeat measures p50/p95 latency over N runs; for topk the
+      answer's recall@k against VCG scene geometry is reported too.
+      --out writes a one-line JSON artifact with route, latency
+      quantiles, recall, and the rendered answer.
 
   visualroad calibrate [--scale L] [--res WxH] [--duration SECS] [--seed S]
                        [--out FILE]
@@ -664,6 +700,8 @@ fn cmd_serve(args: &[String]) -> i32 {
             _ => return fail("--drain-timeout-ms wants an integer"),
         },
         queries,
+        use_index: flags.has("use-index"),
+        index_path: flags.get("index").map(str::to_string),
     };
 
     eprintln!("generating dataset ...");
@@ -873,6 +911,243 @@ fn cmd_calibrate(args: &[String]) -> i32 {
     }
     eprintln!("wrote calibration profile to {out}");
     print!("{}", profile.to_json());
+    0
+}
+
+/// `visualroad ingest`: the ingest-once pass. Generate the dataset,
+/// scan its metadata box tracks, and persist the tracklet side index.
+fn cmd_ingest(args: &[String]) -> i32 {
+    use visual_road::semantic::{ingest_dataset, IngestStats};
+    let flags = match Flags::parse(args) {
+        Ok(f) => f,
+        Err(e) => return fail(&e),
+    };
+    let hyper = match hyper_from(&flags) {
+        Ok(h) => h,
+        Err(e) => return fail(&e),
+    };
+    let cfg = GenConfig {
+        density_scale: flags.parsed("density", 0.15f64).unwrap_or(0.15),
+        nodes: flags.parsed("nodes", 1usize).unwrap_or(1),
+        ..Default::default()
+    };
+    let out = flags.get("out").unwrap_or("results/index/dataset.vrsx");
+
+    eprintln!("generating dataset ...");
+    let dataset = match Vcg::new(cfg).generate(&hyper) {
+        Ok(d) => d,
+        Err(e) => return fail(&e.to_string()),
+    };
+    let t0 = std::time::Instant::now();
+    let (index, bytes) = match ingest_dataset(&dataset) {
+        Ok(r) => r,
+        Err(e) => return fail(&e.to_string()),
+    };
+    let stats = IngestStats::of(&index, bytes.len());
+    if let Some(dir) = std::path::Path::new(out).parent() {
+        if !dir.as_os_str().is_empty() {
+            if let Err(e) = std::fs::create_dir_all(dir) {
+                return fail(&format!("cannot create {}: {e}", dir.display()));
+            }
+        }
+    }
+    if let Err(e) = std::fs::write(out, &bytes) {
+        return fail(&format!("cannot write side index to {out}: {e}"));
+    }
+    println!(
+        "ingested {} videos / {} frames / {} tracklets / {} B in {:.2}s",
+        stats.videos,
+        stats.frames,
+        stats.tracklets,
+        stats.bytes,
+        t0.elapsed().as_secs_f64()
+    );
+    println!("wrote {out}");
+    0
+}
+
+/// `visualroad search`: answer one semantic query, via the side index
+/// or via full rescan, with latency quantiles and (for top-k) recall
+/// against VCG scene geometry.
+fn cmd_search(args: &[String]) -> i32 {
+    use visual_road::semantic::{
+        answer_with_index, answer_with_rescan, decide_route, ingest_dataset, recall_at_k,
+        truth_top_segments, validate_index, SemanticAnswer, SemanticQuery,
+    };
+    use visual_road::vdbms::{CalibrationProfile, Optimizer, Workload};
+    use vr_index::SemanticIndex;
+
+    let flags = match Flags::parse(args) {
+        Ok(f) => f,
+        Err(e) => return fail(&e),
+    };
+    let hyper = match hyper_from(&flags) {
+        Ok(h) => h,
+        Err(e) => return fail(&e),
+    };
+    let class = match flags.get("class").unwrap_or("any") {
+        "vehicle" => Some(visual_road::scene::entity::ObjectClass::Vehicle),
+        "pedestrian" => Some(visual_road::scene::entity::ObjectClass::Pedestrian),
+        "any" => None,
+        other => return fail(&format!("unknown class {other:?} (vehicle|pedestrian|any)")),
+    };
+    let window = match flags.parsed("window", 8u32) {
+        Ok(w) if w >= 1 => w,
+        _ => return fail("--window wants a positive integer"),
+    };
+    let k = match flags.parsed("k", 10usize) {
+        Ok(k) if k >= 1 => k,
+        _ => return fail("--k wants a positive integer"),
+    };
+    let video = match flags.get("video").map(str::parse::<u32>) {
+        None => None,
+        Some(Ok(v)) => Some(v),
+        Some(Err(_)) => return fail("--video wants a video index"),
+    };
+    let track = match flags.parsed("track", 0u32) {
+        Ok(t) => t,
+        _ => return fail("--track wants a tracklet id"),
+    };
+    let kind = flags.get("kind").unwrap_or("topk");
+    let query = match kind {
+        "count" => SemanticQuery::Count { class, video },
+        "topk" => SemanticQuery::TopK { class, window, k },
+        "similar" => SemanticQuery::Similar { track, k },
+        other => return fail(&format!("unknown kind {other:?} (count|topk|similar)")),
+    };
+    let repeat = match flags.parsed("repeat", 5usize) {
+        Ok(r) if r >= 1 => r,
+        _ => return fail("--repeat wants a positive integer"),
+    };
+
+    eprintln!("generating dataset ...");
+    let dataset = match Vcg::new(GenConfig::default()).generate(&hyper) {
+        Ok(d) => d,
+        Err(e) => return fail(&e.to_string()),
+    };
+
+    // Acquire the index: load + validate a side-index file, build one
+    // in memory, or skip entirely under --rescan. Unusable files fail
+    // CLOSED into the rescan route — a warning, never a wrong answer.
+    let index: Option<SemanticIndex> = if flags.has("rescan") {
+        None
+    } else if let Some(path) = flags.get("index") {
+        match std::fs::read(path) {
+            Err(e) => return fail(&format!("cannot read side index {path}: {e}")),
+            Ok(bytes) => match SemanticIndex::from_sidecar_bytes(&bytes)
+                .and_then(|idx| validate_index(&idx, &dataset).map(|()| idx))
+            {
+                Ok(idx) => Some(idx),
+                Err(e) => {
+                    eprintln!("warning: side index {path} unusable ({e}); falling back to full rescan");
+                    None
+                }
+            },
+        }
+    } else {
+        eprintln!("no --index given; ingesting in memory ...");
+        match ingest_dataset(&dataset) {
+            Ok((idx, _)) => Some(idx),
+            Err(e) => return fail(&e.to_string()),
+        }
+    };
+
+    // Cost-based route decision, recorded for EXPLAIN. With no usable
+    // index the IndexScan policy is not a candidate at all.
+    let profile = match flags.get("profile") {
+        Some(path) => match CalibrationProfile::load(std::path::Path::new(path)) {
+            Ok(p) => p,
+            Err(e) => return fail(&format!("cannot load calibration profile {path}: {e}")),
+        },
+        None => CalibrationProfile::builtin(),
+    };
+    let frames: u64 = dataset
+        .traffic_indices()
+        .iter()
+        .map(|&vi| dataset.videos[vi].frame_count() as u64)
+        .sum();
+    let opt = Optimizer::new(profile).with_workload(Workload {
+        width: hyper.resolution.width,
+        height: hyper.resolution.height,
+        frames,
+    });
+    let key = format!("semantic/{}", query.kind());
+    let use_index =
+        decide_route(&opt, &key, &dataset, index.as_ref().map(|i| i.len() as u64));
+    if flags.has("explain") {
+        if let Some(decision) = opt.decision(&key) {
+            print!("{}", decision.render_text());
+        }
+    }
+
+    let mut latencies_ns: Vec<u64> = Vec::with_capacity(repeat);
+    let mut answer: Option<SemanticAnswer> = None;
+    for _ in 0..repeat {
+        let t0 = std::time::Instant::now();
+        let a = if use_index {
+            answer_with_index(index.as_ref().expect("index route implies index"), &query)
+        } else {
+            answer_with_rescan(&dataset, &query)
+        };
+        latencies_ns.push(t0.elapsed().as_nanos() as u64);
+        match a {
+            Ok(a) => answer = Some(a),
+            Err(e) => return fail(&e.to_string()),
+        }
+    }
+    latencies_ns.sort_unstable();
+    let pct = |q: f64| -> f64 {
+        let idx = ((latencies_ns.len() as f64 * q).ceil() as usize).saturating_sub(1);
+        latencies_ns[idx.min(latencies_ns.len() - 1)] as f64 / 1000.0
+    };
+    let (p50_us, p95_us) = (pct(0.50), pct(0.95));
+    let answer = answer.expect("repeat >= 1");
+    let route = if use_index { "index" } else { "rescan" };
+
+    // Top-k answers are graded against scene geometry, not against the
+    // scan that produced them.
+    let recall = match (&query, &answer) {
+        (SemanticQuery::TopK { class, window, k }, SemanticAnswer::Segments(got)) => {
+            match truth_top_segments(&dataset, *class, *window) {
+                Ok(truth) => Some(recall_at_k(&truth, got, *k)),
+                Err(e) => return fail(&e.to_string()),
+            }
+        }
+        _ => None,
+    };
+
+    println!(
+        "kind={kind} route={route} repeat={repeat} p50_us={p50_us:.3} p95_us={p95_us:.3}{}",
+        match recall {
+            Some(r) => format!(" recall@{k}={r:.4}"),
+            None => String::new(),
+        }
+    );
+    println!("{}", answer.render());
+
+    if let Some(path) = flags.get("out") {
+        if let Some(dir) = std::path::Path::new(path).parent() {
+            if !dir.as_os_str().is_empty() {
+                if let Err(e) = std::fs::create_dir_all(dir) {
+                    return fail(&format!("cannot create {}: {e}", dir.display()));
+                }
+            }
+        }
+        let recall_field = match recall {
+            Some(r) => format!("\"recall\": {r:.6}, "),
+            None => String::new(),
+        };
+        let doc = format!(
+            "{{\"kind\": \"{kind}\", \"route\": \"{route}\", \"repeat\": {repeat}, \
+             \"p50_us\": {p50_us:.3}, \"p95_us\": {p95_us:.3}, {recall_field}\
+             \"answer\": \"{}\"}}\n",
+            visual_road::base::obs::json_escape(&answer.render())
+        );
+        if let Err(e) = std::fs::write(path, doc) {
+            return fail(&format!("cannot write {path}: {e}"));
+        }
+        eprintln!("wrote {path}");
+    }
     0
 }
 

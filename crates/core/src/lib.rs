@@ -43,11 +43,16 @@
 pub mod captions;
 pub mod dataset;
 pub mod report;
+pub mod semantic;
 pub mod server;
 pub mod vcd;
 pub mod vcg;
 
 pub use dataset::{Dataset, VideoMeta, VideoRole};
+pub use semantic::{
+    answer_with_index, answer_with_rescan, decide_route, ingest_dataset, recall_at_k,
+    truth_top_segments, validate_index, IngestStats, SemanticAnswer, SemanticQuery,
+};
 pub use report::{
     BenchmarkReport, DegradationStats, ExplainInfo, QueryReport, QueryStatus, SchedulerStats,
     ValidationSummary,

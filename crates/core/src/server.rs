@@ -17,7 +17,7 @@
 //! (the `STATS` body is JSON compacted onto its line). Requests:
 //!
 //! ```text
-//! EXEC tenant=<id> priority=<high|low> query=<Q1|Q2a|...>
+//! EXEC tenant=<id> priority=<high|low> query=<Q1|Q2a|...|S1|S2|S3>
 //!      [engine=<name>] [deadline_ms=<n>] [online=<speedup>]
 //! STATS
 //! HEALTH
@@ -27,7 +27,7 @@
 //! Responses:
 //!
 //! ```text
-//! OK tenant=<id> query=<q> engine=<e> latency_us=<n> degraded=<0|1>
+//! OK tenant=<id> query=<q> engine=<e> latency_us=<n> degraded=<0|1> route=<index|rescan>
 //! SHED reason=<saturated|queue_full|quota|breaker_open|draining|deadline_expired>
 //! CANCELLED tenant=<id> query=<q> latency_us=<n>
 //! ERR <message>
@@ -35,6 +35,13 @@
 //! OK active=<n> queued=<n> draining=<0|1>      (HEALTH)
 //! OK draining                                  (SHUTDOWN)
 //! ```
+//!
+//! The semantic query class `S1` (count) / `S2` (top-k segments) /
+//! `S3` (similarity) is answered from the ingested side index when the
+//! cost-based optimizer picks it (`route=index`; no frame decoded) and
+//! by a metadata rescan otherwise. Every `OK` reports its route, and
+//! the per-tenant admission accounting splits `index_served` vs
+//! `rescan_served` so drivers can cross-check the ledger exactly.
 //!
 //! `EXEC` executes a pregenerated query instance (round-robin over a
 //! per-query pool sampled exactly like the batch driver's `4·L`
@@ -63,9 +70,17 @@ use vr_base::admission::{AdmissionConfig, AdmissionController, Priority, ShedRea
 use vr_base::obs::metrics;
 use vr_base::sync::CancelToken;
 use vr_base::Error;
-use vr_vdbms::{ExecContext, PipelineMetrics, QueryInstance, QueryKind, Vdbms};
+use vr_index::SemanticIndex;
+use vr_vdbms::{
+    CalibrationProfile, ExecContext, Optimizer, PipelineMetrics, QueryInstance, QueryKind, Vdbms,
+    Workload,
+};
 
 use crate::dataset::Dataset;
+use crate::semantic::{
+    answer_with_index, answer_with_rescan, decide_route, ingest_dataset, validate_index,
+    SemanticQuery,
+};
 use crate::vcd::{ingest_online, Vcd, VcdConfig};
 
 /// Server configuration: the admission policy plus execution defaults.
@@ -86,6 +101,13 @@ pub struct ServerConfig {
     pub drain_timeout: Duration,
     /// Query kinds the server pregenerates instance pools for.
     pub queries: Vec<QueryKind>,
+    /// Ingest a semantic side index at startup so the S1/S2/S3 query
+    /// class is served from it (route=index) instead of by rescan.
+    pub use_index: bool,
+    /// Load a prebuilt `.vrsx` side index instead of ingesting. An
+    /// unusable (corrupt/truncated/stale) file fails CLOSED: the
+    /// server logs a warning and serves semantic queries by rescan.
+    pub index_path: Option<String>,
 }
 
 impl Default for ServerConfig {
@@ -98,6 +120,8 @@ impl Default for ServerConfig {
             default_deadline: None,
             drain_timeout: Duration::from_secs(10),
             queries: vec![QueryKind::Q1Select, QueryKind::Q2aGrayscale, QueryKind::Q2cBoxes],
+            use_index: false,
+            index_path: None,
         }
     }
 }
@@ -126,6 +150,13 @@ struct Shared {
     default_engine: String,
     pools: BTreeMap<QueryKind, Pool>,
     admission: Arc<AdmissionController>,
+    /// Loaded semantic side index, when one ingested/validated cleanly
+    /// at startup. `None` means semantic queries run by rescan.
+    index: Option<SemanticIndex>,
+    /// Cost-based router for the semantic query class (decisions are
+    /// cached per query label, so the probe-vs-rescan comparison runs
+    /// once and EXPLAIN can render it).
+    optimizer: Optimizer,
     cfg: ServerConfig,
     /// Set once the drain (or a stop) finished; the accept loop and
     /// every connection thread exit on it.
@@ -180,12 +211,52 @@ impl QueryServer {
         let default_engine = short(engines[0].as_ref());
         let engines: BTreeMap<String, Box<dyn Vdbms>> =
             engines.into_iter().map(|e| (short(e.as_ref()), e)).collect();
+
+        // Semantic side index: ingest at startup (--use-index) or load
+        // a prebuilt file (--index). Unusable files fail closed into
+        // rescan — a warning, never a refused start or a wrong answer.
+        let index = if cfg.use_index || cfg.index_path.is_some() {
+            let loaded = match &cfg.index_path {
+                Some(path) => std::fs::read(path)
+                    .map_err(Error::Io)
+                    .and_then(|bytes| SemanticIndex::from_sidecar_bytes(&bytes))
+                    .and_then(|idx| validate_index(&idx, &dataset).map(|()| idx)),
+                None => ingest_dataset(&dataset).map(|(idx, _)| idx),
+            };
+            match loaded {
+                Ok(idx) => {
+                    eprintln!("semantic index ready: {} tracklets", idx.len());
+                    Some(idx)
+                }
+                Err(e) => {
+                    eprintln!(
+                        "warning: semantic index unusable ({e}); serving semantic queries by rescan"
+                    );
+                    None
+                }
+            }
+        } else {
+            None
+        };
+        let frames: u64 = dataset
+            .traffic_indices()
+            .iter()
+            .map(|&vi| dataset.videos[vi].frame_count() as u64)
+            .sum();
+        let optimizer = Optimizer::new(CalibrationProfile::builtin()).with_workload(Workload {
+            width: dataset.hyper.resolution.width,
+            height: dataset.hyper.resolution.height,
+            frames,
+        });
+
         let shared = Arc::new(Shared {
             dataset,
             engines,
             default_engine,
             pools,
             admission: Arc::new(AdmissionController::new(cfg.admission.clone())),
+            index,
+            optimizer,
             cfg,
             shutdown: AtomicBool::new(false),
             drained_clean: AtomicBool::new(false),
@@ -400,6 +471,12 @@ fn handle_exec(kv: &BTreeMap<&str, &str>, shared: &Arc<Shared>) -> String {
     let Some(query) = kv.get("query") else {
         return "ERR EXEC needs query=<Q1|Q2a|...>".to_string();
     };
+    // The semantic query class (S1/S2/S3) bypasses the engine pools:
+    // it is answered from the side index or by metadata rescan, with
+    // the route chosen by the cost-based optimizer.
+    if let Some(sq) = SemanticQuery::parse_label(query) {
+        return handle_semantic(kv, shared, tenant, priority, query, &sq);
+    }
     let Some((kind, pool)) = lookup_pool(shared, query) else {
         return format!("ERR no pool for query {query:?} (server pools: {:?})",
             shared.pools.keys().map(|k| k.label()).collect::<Vec<_>>());
@@ -470,9 +547,13 @@ fn handle_exec(kv: &BTreeMap<&str, &str>, shared: &Arc<Shared>) -> String {
         Ok(_) => {
             let degraded = permit.degraded();
             permit.succeed();
+            // Pixel queries always scan/decode their inputs — in the
+            // index-vs-rescan ledger they are rescan-served, keeping
+            // ok == index_served + rescan_served exact per tenant.
+            shared.admission.note_route(tenant, false);
             metrics::counter("server.exec_ok").inc();
             format!(
-                "OK tenant={tenant} query={label} engine={engine_name} latency_us={} degraded={}",
+                "OK tenant={tenant} query={label} engine={engine_name} latency_us={} degraded={} route=rescan",
                 latency.as_micros(),
                 degraded as u8
             )
@@ -486,6 +567,64 @@ fn handle_exec(kv: &BTreeMap<&str, &str>, shared: &Arc<Shared>) -> String {
             format!(
                 "CANCELLED tenant={tenant} query={label} latency_us={}",
                 latency.as_micros()
+            )
+        }
+        Err(e) => {
+            permit.fail();
+            metrics::counter("server.exec_err").inc();
+            format!("ERR tenant={tenant} query={label}: {e}")
+        }
+    }
+}
+
+/// Serve one semantic query (S1/S2/S3) under full admission control.
+/// The route is the optimizer's cached index-vs-rescan decision; with
+/// no usable index loaded the IndexScan policy is not a candidate and
+/// every request runs (and is accounted) as rescan.
+fn handle_semantic(
+    kv: &BTreeMap<&str, &str>,
+    shared: &Arc<Shared>,
+    tenant: &str,
+    priority: Priority,
+    label: &str,
+    sq: &SemanticQuery,
+) -> String {
+    let deadline_ms = match kv.get("deadline_ms").map(|v| v.parse::<u64>()) {
+        Some(Ok(ms)) => Some(Duration::from_millis(ms)),
+        Some(Err(_)) => return "ERR deadline_ms wants an integer".to_string(),
+        None => shared.cfg.default_deadline,
+    };
+    let t0 = Instant::now();
+    let deadline = deadline_ms.map(|d| t0 + d);
+    let permit = match shared.admission.admit(tenant, priority, deadline) {
+        Ok(p) => p,
+        Err(reason) => return format!("SHED reason={}", reason.label()),
+    };
+    let use_index = decide_route(
+        &shared.optimizer,
+        &format!("semantic/{label}"),
+        &shared.dataset,
+        shared.index.as_ref().map(|i| i.len() as u64),
+    );
+    let result = match (&shared.index, use_index) {
+        (Some(index), true) => answer_with_index(index, sq),
+        _ => answer_with_rescan(&shared.dataset, sq),
+    };
+    let latency = t0.elapsed();
+    metrics::histogram(&format!("server.latency.{priority}")).observe(latency.as_nanos() as u64);
+    match result {
+        Ok(answer) => {
+            let degraded = permit.degraded();
+            permit.succeed();
+            let index_served = use_index && shared.index.is_some();
+            shared.admission.note_route(tenant, index_served);
+            metrics::counter("server.exec_ok").inc();
+            format!(
+                "OK tenant={tenant} query={label} engine=semantic latency_us={} degraded={} route={} {}",
+                latency.as_micros(),
+                degraded as u8,
+                if index_served { "index" } else { "rescan" },
+                answer.render()
             )
         }
         Err(e) => {
@@ -587,6 +726,49 @@ mod tests {
         let report = server.wait();
         assert!(report.clean, "drain must be clean with nothing in flight");
         assert!(report.stats_json.contains("\"draining\": true"));
+    }
+
+    #[test]
+    fn semantic_queries_report_their_route_and_split_the_ledger() {
+        let server = start_server(ServerConfig {
+            queries: vec![QueryKind::Q1Select],
+            use_index: true,
+            ..ServerConfig::default()
+        });
+        let mut conn = TcpStream::connect(server.addr()).unwrap();
+
+        // With an index loaded the optimizer routes S-queries to it.
+        let s2 = request(&mut conn, "EXEC tenant=alpha priority=high query=S2");
+        assert!(s2.starts_with("OK tenant=alpha query=S2 engine=semantic"), "s2: {s2}");
+        assert!(s2.contains("route=index"), "s2 must be index-served: {s2}");
+        assert!(s2.contains("segments=["), "s2 carries its answer: {s2}");
+        let s1 = request(&mut conn, "EXEC tenant=alpha priority=high query=S1");
+        assert!(s1.contains("route=index") && s1.contains("count="), "s1: {s1}");
+
+        // Pixel queries scan their inputs: rescan-served by definition.
+        let q1 = request(&mut conn, "EXEC tenant=alpha priority=high query=Q1");
+        assert!(q1.starts_with("OK ") && q1.contains("route=rescan"), "q1: {q1}");
+
+        let stats = request(&mut conn, "STATS");
+        assert!(stats.contains("\"index_served\": 2"), "ledger: {stats}");
+        assert!(stats.contains("\"rescan_served\": 1"), "ledger: {stats}");
+
+        request(&mut conn, "SHUTDOWN");
+        assert!(server.wait().clean);
+    }
+
+    #[test]
+    fn semantic_queries_fall_back_to_rescan_without_an_index() {
+        let server = start_server(ServerConfig {
+            queries: vec![QueryKind::Q1Select],
+            ..ServerConfig::default()
+        });
+        let mut conn = TcpStream::connect(server.addr()).unwrap();
+        let s1 = request(&mut conn, "EXEC tenant=beta priority=low query=S1");
+        assert!(s1.starts_with("OK tenant=beta query=S1"), "s1: {s1}");
+        assert!(s1.contains("route=rescan"), "no index => rescan: {s1}");
+        request(&mut conn, "SHUTDOWN");
+        assert!(server.wait().clean);
     }
 
     #[test]

@@ -137,6 +137,7 @@ impl BatchEngine {
                         in_pixels: wl.pixels(),
                         out_pixels,
                         kernel: KernelClass::PerPixel { factor: SLOW_CROP_FACTOR },
+                        vectors: 0,
                     },
                     &CandidateSpace {
                         policies: vec![Policy::Eager],
@@ -155,6 +156,7 @@ impl BatchEngine {
                         framework_macs_per_pixel: self.cfg.nn_framework_macs_per_pixel,
                         cheap_macs_per_pixel: CascadeConfig::default().cheap_macs_per_pixel,
                     },
+                    vectors: 0,
                 },
                 &CandidateSpace {
                     policies: vec![Policy::Streaming, Policy::ShortCircuit],

@@ -98,6 +98,7 @@ impl CascadeEngine {
                     framework_macs_per_pixel: 0.0,
                     cheap_macs_per_pixel: self.cfg.cheap_macs_per_pixel,
                 },
+                vectors: 0,
             },
             &CandidateSpace {
                 policies: vec![Policy::Streaming, Policy::ShortCircuit],

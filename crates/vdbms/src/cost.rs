@@ -46,12 +46,12 @@ use vr_vision::yolo::NETWORK_INPUT_PIXELS;
 
 /// Profile format version; [`CalibrationProfile::parse`] rejects
 /// anything else so schema drift fails fast in the CI guard stage.
-pub const PROFILE_VERSION: u64 = 1;
+pub const PROFILE_VERSION: u64 = 2;
 
 /// Every field a serialized profile must carry, in serialization
 /// order. Parsing rejects missing *and* unknown fields: a profile
 /// written by a different schema is stale by definition.
-pub const PROFILE_FIELDS: [&str; 14] = [
+pub const PROFILE_FIELDS: [&str; 16] = [
     "version",
     "samples",
     "observed_error",
@@ -66,6 +66,8 @@ pub const PROFILE_FIELDS: [&str; 14] = [
     "cascade_skip_rate",
     "thread_spawn_ns",
     "parallel_efficiency",
+    "index_probe_ns_per_vector",
+    "index_build_ns_per_vector",
 ];
 
 /// Per-unit execution costs the optimizer scores candidate plans with.
@@ -109,6 +111,14 @@ pub struct CalibrationProfile {
     /// Marginal speedup per additional core: effective parallelism is
     /// `1 + (cores_used - 1) * parallel_efficiency`.
     pub parallel_efficiency: f64,
+    /// Semantic-index probe cost per indexed vector in scope — models
+    /// the whole in-memory answer (HNSW walk or record sweep) as a
+    /// linear pass, which upper-bounds the sublinear graph search.
+    pub index_probe_ns_per_vector: f64,
+    /// Ingest-time index construction cost per vector (association +
+    /// embedding + quantization + HNSW insert), used to amortize
+    /// build-vs-rescan decisions and to sanity-bound bench results.
+    pub index_build_ns_per_vector: f64,
 }
 
 impl CalibrationProfile {
@@ -133,6 +143,8 @@ impl CalibrationProfile {
             cascade_skip_rate: 0.6,
             thread_spawn_ns: 200_000.0,
             parallel_efficiency: 0.75,
+            index_probe_ns_per_vector: 250.0,
+            index_build_ns_per_vector: 40_000.0,
         }
     }
 
@@ -141,7 +153,7 @@ impl CalibrationProfile {
     /// identical profiles are byte-identical on disk.
     pub fn to_json(&self) -> String {
         let mut out = String::from("{\n");
-        let fields: [(&str, String); 14] = [
+        let fields: [(&str, String); 16] = [
             ("version", self.version.to_string()),
             ("samples", self.samples.to_string()),
             ("observed_error", format!("{:.6}", self.observed_error)),
@@ -156,6 +168,14 @@ impl CalibrationProfile {
             ("cascade_skip_rate", format!("{:.6}", self.cascade_skip_rate)),
             ("thread_spawn_ns", format!("{:.6}", self.thread_spawn_ns)),
             ("parallel_efficiency", format!("{:.6}", self.parallel_efficiency)),
+            (
+                "index_probe_ns_per_vector",
+                format!("{:.6}", self.index_probe_ns_per_vector),
+            ),
+            (
+                "index_build_ns_per_vector",
+                format!("{:.6}", self.index_build_ns_per_vector),
+            ),
         ];
         for (i, (k, v)) in fields.iter().enumerate() {
             out.push_str(&format!(
@@ -231,8 +251,10 @@ impl CalibrationProfile {
             cascade_skip_rate: get("cascade_skip_rate")?,
             thread_spawn_ns: get("thread_spawn_ns")?,
             parallel_efficiency: get("parallel_efficiency")?,
+            index_probe_ns_per_vector: get("index_probe_ns_per_vector")?,
+            index_build_ns_per_vector: get("index_build_ns_per_vector")?,
         };
-        let positive: [(&str, f64); 7] = [
+        let positive: [(&str, f64); 9] = [
             ("scale", p.scale),
             ("decode_ns_per_pixel", p.decode_ns_per_pixel),
             ("encode_ns_per_pixel", p.encode_ns_per_pixel),
@@ -240,6 +262,8 @@ impl CalibrationProfile {
             ("gate_ns_per_pixel", p.gate_ns_per_pixel),
             ("nn_ns_per_mac", p.nn_ns_per_mac),
             ("thread_spawn_ns", p.thread_spawn_ns),
+            ("index_probe_ns_per_vector", p.index_probe_ns_per_vector),
+            ("index_build_ns_per_vector", p.index_build_ns_per_vector),
         ];
         for (k, v) in positive {
             if !(v.is_finite() && v > 0.0) {
@@ -368,6 +392,10 @@ pub struct QueryWork {
     pub out_pixels: u64,
     /// Kernel shape.
     pub kernel: KernelClass,
+    /// Indexed vectors in scope for an [`Policy::IndexScan`] candidate
+    /// (0 when no side index covers the query — pixel queries and
+    /// engines without an ingested dataset).
+    pub vectors: u64,
 }
 
 /// The candidate plans an engine is able to execute for a query.
@@ -616,6 +644,11 @@ impl Optimizer {
         policy: Policy,
         workers: usize,
     ) -> f64 {
+        // An index probe never touches pixels: its cost is the linear
+        // record sweep (or HNSW walk, which it upper-bounds) alone.
+        if policy == Policy::IndexScan {
+            return work.vectors.max(1) as f64 * p.index_probe_ns_per_vector;
+        }
         let frames = work.frames as f64;
         let in_px = work.in_pixels as f64;
         let out_px = work.out_pixels as f64;
@@ -685,6 +718,7 @@ mod tests {
             in_pixels: 256 * 144,
             out_pixels: 192 * 112,
             kernel: KernelClass::PerPixel { factor: 3.0 },
+            vectors: 0,
         }
     }
 
@@ -698,6 +732,7 @@ mod tests {
                 framework_macs_per_pixel: 360.0,
                 cheap_macs_per_pixel: 4.0,
             },
+            vectors: 0,
         }
     }
 
@@ -725,7 +760,7 @@ mod tests {
                 .map(|e| e.contains("unknown field") || e.contains("missing field"))
                 .unwrap_or(false)
         );
-        assert!(CalibrationProfile::parse(&good.replace("\"version\": 1", "\"version\": 9"))
+        assert!(CalibrationProfile::parse(&good.replace("\"version\": 2", "\"version\": 9"))
             .unwrap_err()
             .contains("version"));
         // A truncated file (corrupt checked-in artifact) fails fast.
@@ -780,6 +815,7 @@ mod tests {
             in_pixels: 32 * 32,
             out_pixels: 32 * 32,
             kernel: KernelClass::PerPixel { factor: 1.0 },
+            vectors: 0,
         };
         let t = opt.decide("batch/tiny", tiny, &eager_space(4));
         assert_eq!(t.workers, 1);
@@ -825,6 +861,7 @@ mod tests {
             in_pixels: 10_000,
             out_pixels: 10_000,
             kernel: KernelClass::PerPixel { factor: 1.0 },
+            vectors: 0,
         };
         opt.decide("batch/Q1", work, &eager_space(2));
         let d = opt.decision("batch/Q1").unwrap();
@@ -860,6 +897,28 @@ mod tests {
         let opt = Optimizer::new(CalibrationProfile::builtin()).with_cores(8);
         assert_eq!(opt.batch_fanout(8, 4, u64::MAX), 4, "clamped to instance count");
         assert_eq!(opt.batch_fanout(8, 4, 1_000), 1, "tiny instances stay sequential");
+    }
+
+    #[test]
+    fn semantic_queries_pick_index_over_rescan_when_indexed() {
+        let opt = Optimizer::new(CalibrationProfile::builtin()).with_cores(4);
+        let space = CandidateSpace {
+            policies: vec![Policy::IndexScan, Policy::Streaming],
+            max_fanout: 1,
+        };
+        // A covered semantic query: a few hundred indexed vectors vs a
+        // full NN rescan over every frame.
+        let covered = QueryWork { vectors: 400, ..q2c_work() };
+        let c = opt.decide("semantic/topk", covered, &space);
+        assert_eq!(c.policy, Policy::IndexScan);
+        // The margin is the whole point: the probe must estimate orders
+        // of magnitude below the rescan.
+        let d = opt.decision("semantic/topk").unwrap();
+        assert!(d.rejected[0].est_nanos > c.est_nanos * 100);
+        // The decision table renders both candidates for EXPLAIN.
+        let text = d.render_text();
+        assert!(text.contains("index-scan"), "{text}");
+        assert!(text.contains("rejected"), "{text}");
     }
 
     #[test]

@@ -43,6 +43,9 @@ pub enum Policy {
     Sequence,
     /// `run_short_circuit`: a gate routes frames to cheap/full kernels.
     ShortCircuit,
+    /// Semantic-index probe: answer from the ingest-time side index
+    /// without decoding a single frame.
+    IndexScan,
 }
 
 impl Policy {
@@ -54,6 +57,7 @@ impl Policy {
             Policy::StreamingMulti => "streaming-multi",
             Policy::Sequence => "sequence",
             Policy::ShortCircuit => "short-circuit",
+            Policy::IndexScan => "index-scan",
         }
     }
 }
@@ -70,6 +74,9 @@ pub enum ScanOp {
     Memory,
     /// N parallel streaming sources (multi-camera queries).
     Multi(usize),
+    /// Side-index probe over persisted tracklet records: no decode at
+    /// all, the scan reads the in-memory semantic index.
+    Index,
 }
 
 /// Post-execution measurements for one plan node.
@@ -189,6 +196,11 @@ pub fn build(desc: &PlanDesc, ctx: &ExecContext) -> PlanNode {
             "scan:multi",
             format!("decode-on-read sources={n}"),
             StageKind::Decode,
+        ),
+        ScanOp::Index => PlanNode::stage(
+            "scan:index",
+            "semantic side-index probe (no decode)",
+            StageKind::Scan,
         ),
     };
     // Decode concealment is a property of the decode path when faults

@@ -1,0 +1,134 @@
+//! Deterministic tracklet embeddings.
+//!
+//! A 16-dimensional geometric/motion descriptor per tracklet, computed
+//! from its boxes alone — position, extent, trajectory, and dynamics,
+//! all normalized by the frame geometry so embeddings compare across
+//! resolutions. This is the repository's stand-in for a re-id CNN's
+//! appearance vector: pure arithmetic over the association output, so
+//! the same tracklet always embeds to the same bits, which is what
+//! makes ingest byte-reproducible end to end.
+
+use crate::track::Tracklet;
+
+/// Embedding dimension produced by [`embed_tracklet`].
+pub const TRACK_EMBED_DIM: usize = 16;
+
+/// Embed one tracklet observed in a `width`×`height` video of
+/// `total_frames` frames.
+pub fn embed_tracklet(t: &Tracklet, width: u32, height: u32, total_frames: u32) -> [f32; TRACK_EMBED_DIM] {
+    let w = width.max(1) as f32;
+    let h = height.max(1) as f32;
+    let n = t.observations.len() as f32;
+    let total = total_frames.max(1) as f32;
+
+    let mut mean_cx = 0.0;
+    let mut mean_cy = 0.0;
+    let mut mean_bw = 0.0;
+    let mut mean_bh = 0.0;
+    let mut min_cx = f32::INFINITY;
+    let mut max_cx = f32::NEG_INFINITY;
+    let mut min_cy = f32::INFINITY;
+    let mut max_cy = f32::NEG_INFINITY;
+    let mut path_len = 0.0;
+    let mut prev: Option<(f32, f32)> = None;
+    for &(_, b) in &t.observations {
+        let (cx, cy) = b.center();
+        mean_cx += cx;
+        mean_cy += cy;
+        mean_bw += b.width() as f32;
+        mean_bh += b.height() as f32;
+        min_cx = min_cx.min(cx);
+        max_cx = max_cx.max(cx);
+        min_cy = min_cy.min(cy);
+        max_cy = max_cy.max(cy);
+        if let Some((px, py)) = prev {
+            path_len += ((cx - px).powi(2) + (cy - py).powi(2)).sqrt();
+        }
+        prev = Some((cx, cy));
+    }
+    mean_cx /= n;
+    mean_cy /= n;
+    mean_bw /= n;
+    mean_bh /= n;
+
+    let (first_f, first_b) = t.observations[0];
+    let (last_f, last_b) = *t.observations.last().unwrap();
+    let (fx, fy) = first_b.center();
+    let (lx, ly) = last_b.center();
+    let duration = (last_f - first_f + 1) as f32;
+    let aspect = mean_bw / mean_bh.max(1.0);
+    let area = (mean_bw * mean_bh) / (w * h);
+    // Mean per-frame box-size drift, a crude depth-change signal.
+    let first_area = (first_b.width() * first_b.height()) as f32;
+    let last_area = (last_b.width() * last_b.height()) as f32;
+    let growth = (last_area - first_area) / (w * h * duration);
+
+    [
+        mean_cx / w,
+        mean_cy / h,
+        mean_bw / w,
+        mean_bh / h,
+        aspect.min(8.0) / 8.0,
+        area.sqrt(),
+        (lx - fx) / w,
+        (ly - fy) / h,
+        path_len / (w + h),
+        duration / total,
+        n / total,
+        min_cx / w,
+        max_cx / w,
+        min_cy / h,
+        max_cy / h,
+        growth * 100.0,
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vr_geom::Rect;
+    use vr_scene::entity::ObjectClass;
+
+    fn tracklet(obs: &[(u32, Rect)]) -> Tracklet {
+        Tracklet { id: 0, class: ObjectClass::Vehicle, observations: obs.to_vec() }
+    }
+
+    #[test]
+    fn embedding_is_deterministic_and_finite() {
+        let t = tracklet(&[
+            (0, Rect::new(10, 10, 40, 30)),
+            (1, Rect::new(14, 11, 44, 31)),
+            (3, Rect::new(22, 13, 52, 33)),
+        ]);
+        let a = embed_tracklet(&t, 192, 108, 24);
+        let b = embed_tracklet(&t, 192, 108, 24);
+        assert_eq!(a, b);
+        assert!(a.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn moving_and_static_tracklets_embed_apart() {
+        let moving = tracklet(&(0..8).map(|i| (i, Rect::new(i as i32 * 10, 20, i as i32 * 10 + 30, 40))).collect::<Vec<_>>());
+        let still = tracklet(&(0..8).map(|i| (i, Rect::new(80, 20, 110, 40))).collect::<Vec<_>>());
+        let em = embed_tracklet(&moving, 192, 108, 24);
+        let es = embed_tracklet(&still, 192, 108, 24);
+        let d2: f32 = em.iter().zip(&es).map(|(a, b)| (a - b) * (a - b)).sum();
+        assert!(d2 > 0.01, "distinct motion should separate embeddings (d2={d2})");
+    }
+
+    #[test]
+    fn components_are_resolution_normalized() {
+        let obs: Vec<(u32, Rect)> = (0..4).map(|i| (i, Rect::new(10 + i as i32, 10, 40 + i as i32, 30))).collect();
+        let t = tracklet(&obs);
+        let scaled: Vec<(u32, Rect)> = obs
+            .iter()
+            .map(|&(f, b)| (f, Rect::new(b.x0 * 2, b.y0 * 2, b.x1 * 2, b.y1 * 2)))
+            .collect();
+        let t2 = tracklet(&scaled);
+        let a = embed_tracklet(&t, 100, 100, 24);
+        let b = embed_tracklet(&t2, 200, 200, 24);
+        for (i, (x, y)) in a.iter().zip(&b).enumerate() {
+            assert!((x - y).abs() < 0.05, "component {i}: {x} vs {y}");
+        }
+    }
+}

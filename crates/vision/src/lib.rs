@@ -25,11 +25,15 @@ pub mod alpr;
 pub mod cost;
 pub mod detect;
 pub mod diff;
+pub mod embed;
 pub mod eval;
 pub mod oracle;
+pub mod track;
 pub mod yolo;
 
 pub use alpr::AlprRecognizer;
 pub use detect::{nms, Detection};
+pub use embed::{embed_tracklet, TRACK_EMBED_DIM};
 pub use oracle::OracleDetector;
+pub use track::{associate, Tracklet, TrackerConfig};
 pub use yolo::{YoloConfig, YoloDetector};

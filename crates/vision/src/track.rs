@@ -1,0 +1,216 @@
+//! Greedy IoU tracklet association (the ingest half of Q8-style
+//! tracking, run once per video over per-frame detections).
+//!
+//! Detections arrive as per-frame `(class, rect)` lists — either from
+//! the metadata ground-truth track or from a pixel detector — with no
+//! identities attached; association stitches them into tracklets. The
+//! matcher is greedy best-IoU with a class gate and a bounded occlusion
+//! gap, and every choice point is ordered deterministically (IoU
+//! descending, then track id, then detection index), so the same
+//! detections always yield the same tracklets in the same order.
+
+use vr_geom::Rect;
+use vr_scene::entity::ObjectClass;
+
+/// Association knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct TrackerConfig {
+    /// Minimum IoU between a detection and a track's last box.
+    pub iou_threshold: f64,
+    /// How many consecutive frames a track may go unobserved before it
+    /// closes.
+    pub max_gap: u32,
+}
+
+impl Default for TrackerConfig {
+    fn default() -> Self {
+        TrackerConfig { iou_threshold: 0.25, max_gap: 8 }
+    }
+}
+
+/// One associated object instance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tracklet {
+    /// Per-video id in creation order.
+    pub id: u32,
+    pub class: ObjectClass,
+    /// Observations as (frame, box), strictly increasing in frame.
+    pub observations: Vec<(u32, Rect)>,
+}
+
+impl Tracklet {
+    pub fn first_frame(&self) -> u32 {
+        self.observations.first().expect("tracklets are never empty").0
+    }
+
+    pub fn last_frame(&self) -> u32 {
+        self.observations.last().expect("tracklets are never empty").0
+    }
+
+    pub fn frames(&self) -> impl Iterator<Item = u32> + '_ {
+        self.observations.iter().map(|&(f, _)| f)
+    }
+}
+
+/// Associate per-frame detections into tracklets. `frames[i]` holds the
+/// detections of frame `i`.
+pub fn associate(frames: &[Vec<(ObjectClass, Rect)>], cfg: TrackerConfig) -> Vec<Tracklet> {
+    let mut tracks: Vec<Tracklet> = Vec::new();
+    // Tracks still eligible for extension, by index into `tracks`.
+    let mut active: Vec<usize> = Vec::new();
+
+    for (frame_idx, dets) in frames.iter().enumerate() {
+        let frame = frame_idx as u32;
+        // A track last seen at frame `l` has `frame - l - 1` unobserved
+        // frames; it stays eligible while that gap is within max_gap.
+        active.retain(|&t| frame - tracks[t].last_frame() <= cfg.max_gap + 1);
+
+        // Score every (active track, detection) pair above the gate.
+        struct Pair {
+            iou: f64,
+            track: usize,
+            det: usize,
+        }
+        let mut pairs: Vec<Pair> = Vec::new();
+        for &t in &active {
+            let last_box = tracks[t].observations.last().unwrap().1;
+            for (d, &(class, rect)) in dets.iter().enumerate() {
+                if class != tracks[t].class {
+                    continue;
+                }
+                let iou = last_box.iou(&rect);
+                if iou >= cfg.iou_threshold {
+                    pairs.push(Pair { iou, track: t, det: d });
+                }
+            }
+        }
+        // Greedy best-first with a total, deterministic order.
+        pairs.sort_by(|a, b| {
+            b.iou
+                .total_cmp(&a.iou)
+                .then(a.track.cmp(&b.track))
+                .then(a.det.cmp(&b.det))
+        });
+        let mut track_taken = vec![false; tracks.len()];
+        let mut det_taken = vec![false; dets.len()];
+        for p in pairs {
+            if track_taken[p.track] || det_taken[p.det] {
+                continue;
+            }
+            track_taken[p.track] = true;
+            det_taken[p.det] = true;
+            tracks[p.track].observations.push((frame, dets[p.det].1));
+        }
+        // Unmatched detections seed new tracks, in detection order.
+        for (d, &(class, rect)) in dets.iter().enumerate() {
+            if det_taken[d] {
+                continue;
+            }
+            let id = tracks.len() as u32;
+            tracks.push(Tracklet { id, class, observations: vec![(frame, rect)] });
+            active.push(tracks.len() - 1);
+        }
+    }
+    tracks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(x: i32, y: i32) -> Rect {
+        Rect::new(x, y, x + 20, y + 20)
+    }
+
+    #[test]
+    fn moving_object_stays_one_track() {
+        let frames: Vec<Vec<(ObjectClass, Rect)>> = (0..10)
+            .map(|i| vec![(ObjectClass::Vehicle, r(i * 3, 5))])
+            .collect();
+        let tracks = associate(&frames, TrackerConfig::default());
+        assert_eq!(tracks.len(), 1);
+        assert_eq!(tracks[0].observations.len(), 10);
+        assert_eq!(tracks[0].first_frame(), 0);
+        assert_eq!(tracks[0].last_frame(), 9);
+    }
+
+    #[test]
+    fn class_gate_separates_overlapping_objects() {
+        let frames = vec![
+            vec![(ObjectClass::Vehicle, r(0, 0)), (ObjectClass::Pedestrian, r(2, 2))],
+            vec![(ObjectClass::Vehicle, r(1, 0)), (ObjectClass::Pedestrian, r(3, 2))],
+        ];
+        let tracks = associate(&frames, TrackerConfig::default());
+        assert_eq!(tracks.len(), 2);
+        assert!(tracks.iter().all(|t| t.observations.len() == 2));
+    }
+
+    #[test]
+    fn occlusion_gap_is_bridged_up_to_max_gap() {
+        let cfg = TrackerConfig { iou_threshold: 0.25, max_gap: 3 };
+        // Present frames 0..2, gone 3..5 (gap 3), back 6..8.
+        let frames: Vec<Vec<(ObjectClass, Rect)>> = (0..9)
+            .map(|i| {
+                if (3..6).contains(&i) {
+                    vec![]
+                } else {
+                    vec![(ObjectClass::Vehicle, r(0, 0))]
+                }
+            })
+            .collect();
+        let tracks = associate(&frames, cfg);
+        assert_eq!(tracks.len(), 1, "gap of 3 frames should be bridged");
+        assert_eq!(tracks[0].observations.len(), 6);
+
+        // A longer gap splits the track.
+        let frames: Vec<Vec<(ObjectClass, Rect)>> = (0..12)
+            .map(|i| {
+                if (3..8).contains(&i) {
+                    vec![]
+                } else {
+                    vec![(ObjectClass::Vehicle, r(0, 0))]
+                }
+            })
+            .collect();
+        let tracks = associate(&frames, cfg);
+        assert_eq!(tracks.len(), 2, "gap of 5 frames must split");
+    }
+
+    #[test]
+    fn crossing_objects_keep_identities_by_best_iou() {
+        // Two vehicles far apart moving toward each other; each frame's
+        // detection order flips to prove order independence of identity.
+        let mut frames: Vec<Vec<(ObjectClass, Rect)>> = Vec::new();
+        for i in 0..8i32 {
+            let a = (ObjectClass::Vehicle, r(i * 4, 0));
+            let b = (ObjectClass::Vehicle, r(200 - i * 4, 0));
+            frames.push(if i % 2 == 0 { vec![a, b] } else { vec![b, a] });
+        }
+        let tracks = associate(&frames, TrackerConfig::default());
+        assert_eq!(tracks.len(), 2);
+        for t in &tracks {
+            assert_eq!(t.observations.len(), 8);
+            // Each track's boxes move monotonically in one direction.
+            let xs: Vec<i32> = t.observations.iter().map(|&(_, b)| b.x0).collect();
+            let increasing = xs.windows(2).all(|w| w[1] >= w[0]);
+            let decreasing = xs.windows(2).all(|w| w[1] <= w[0]);
+            assert!(increasing || decreasing, "identity switch: {xs:?}");
+        }
+    }
+
+    #[test]
+    fn association_is_deterministic() {
+        let frames: Vec<Vec<(ObjectClass, Rect)>> = (0..20)
+            .map(|i| {
+                vec![
+                    (ObjectClass::Vehicle, r(i * 2, 0)),
+                    (ObjectClass::Vehicle, r(100 - i, 40)),
+                    (ObjectClass::Pedestrian, r(50, i * 3)),
+                ]
+            })
+            .collect();
+        let a = associate(&frames, TrackerConfig::default());
+        let b = associate(&frames, TrackerConfig::default());
+        assert_eq!(a, b);
+    }
+}
