@@ -181,7 +181,11 @@ stage_obs_gate() {
     #      monotonic across a genuine mid-run/end-of-run pair;
     #   6. a run with the live endpoint serving on an ephemeral port
     #      produces result files byte-identical to the unserved
-    #      baseline — the server is provably non-perturbing.
+    #      baseline — the server is provably non-perturbing;
+    #   7. two identical seeded serve sessions driven by the same
+    #      single-session workload write structurally valid query logs
+    #      that are byte-identical once the two timing fields are
+    #      zeroed.
     local obs="$ART/obs"
     rm -rf "$obs"
     mkdir -p "$obs/base" "$obs/traced" "$obs/untraced" "$obs/served"
@@ -238,6 +242,55 @@ stage_obs_gate() {
         return 1
     fi
     echo "served run byte-identical to unserved baseline"
+
+    # 7. Query-log determinism: everything in a record except the two
+    # measured timings is a pure function of the (seeded) request
+    # sequence — including the plan digests and the index-vs-rescan
+    # route — so two identical serve sessions must log identically.
+    cargo build -q --release --offline -p vr-bench --bin stress_test --bin trace_check
+    local run fd pid addr
+    for run in a b; do
+        mkfifo "$obs/serve_$run.stdin"
+        exec {fd}<>"$obs/serve_$run.stdin"
+        VR_WORKERS=4 timeout 300 ./target/release/visualroad serve \
+            --scale 1 --res 96x54 --duration 0.25 --queries Q1 \
+            --engine batch --workers 2 --use-index \
+            --qlog-out "$obs/qlog_$run.jsonl" \
+            <&"$fd" > "$obs/serve_${run}_stdout.txt" 2> "$obs/serve_${run}_stderr.txt" &
+        pid=$!
+        addr=""
+        for _ in $(seq 1 150); do
+            addr=$(sed -n 's/^serving on //p' "$obs/serve_${run}_stdout.txt")
+            [[ -n "$addr" ]] && break
+            kill -0 "$pid" 2>/dev/null || break
+            sleep 0.2
+        done
+        if [[ -z "$addr" ]]; then
+            cat "$obs/serve_${run}_stderr.txt" >&2
+            echo "FAIL: qlog serve session $run never announced its address (see $obs)" >&2
+            exec {fd}>&-
+            return 1
+        fi
+        # One session => a strictly sequential, fully deterministic
+        # request order; the driver also replays the log against STATS.
+        ./target/release/stress_test --addr "$addr" \
+            --tenants det:high:1 --requests 4 --queries Q1,S1 \
+            --qlog "$obs/qlog_$run.jsonl" > "$obs/stress_$run.log"
+        # The server holds its own (read-write) end of the FIFO, so EOF
+        # never arrives; the out-of-band shutdown line drains it.
+        printf 'SHUTDOWN\n' >&"$fd"
+        wait "$pid"
+        exec {fd}>&-
+        ./target/release/trace_check --qlog "$obs/qlog_$run.jsonl"
+        sed -E 's/"queue_wait_us": [0-9]+/"queue_wait_us": 0/; s/"latency_us": [0-9]+/"latency_us": 0/' \
+            "$obs/qlog_$run.jsonl" > "$obs/qlog_${run}_normalized.jsonl"
+    done
+    if ! diff "$obs/qlog_a_normalized.jsonl" "$obs/qlog_b_normalized.jsonl" > "$obs/diff_qlog.txt" 2>&1; then
+        cat "$obs/diff_qlog.txt"
+        echo "FAIL: query logs differ between identical seeded serve sessions (see $obs)" >&2
+        return 1
+    fi
+    echo "query logs byte-identical across identical serve sessions (timings zeroed)"
 }
 
 stage_server_gate() {
@@ -248,11 +301,17 @@ stage_server_gate() {
     # low-priority work is load-shed while shedding demonstrably
     # happens, and that high-priority p99 stays bounded; the stage adds
     # the process-level assertions — no panic on either side, a clean
-    # wire-initiated drain, and zero exits all round.
+    # wire-initiated drain, and zero exits all round. The driver also
+    # replays the structured query log (--qlog) and reconciles it
+    # record-by-record with the STATS ledger, and trace_check validates
+    # the log's shape. A second serve session then gates the SLO layer:
+    # /slo must report a burning error budget for the shed tenant and
+    # zero violations for the high-priority class, with a slow-query
+    # exemplar captured in its log.
     local srv="$ART/server"
     rm -rf "$srv"
     mkdir -p "$srv"
-    cargo build -q --release --offline -p vr-bench --bin stress_test
+    cargo build -q --release --offline -p vr-bench --bin stress_test --bin trace_check
     # The server treats stdin EOF as an out-of-band stop signal, so
     # park a FIFO on its stdin for the duration; the drain is driven
     # over the wire by the stress driver's --shutdown instead.
@@ -265,6 +324,7 @@ stage_server_gate() {
         --max-concurrent 2 --queue-depth 4 --tenant-quota 8 \
         --degrade-load 0.9 --shed-load 1.5 \
         --faults "corrupt_bitstream=0.02,stall_stage=kernel:5ms" --fault-seed 7 \
+        --qlog-out "$srv/qlog.jsonl" \
         <&"$srv_in" > "$srv/server_stdout.txt" 2> "$srv/server_stderr.txt" &
     local srv_pid=$!
     local addr="" status=0
@@ -286,6 +346,7 @@ stage_server_gate() {
         --tenants gold:high:2,bronze:low:6 --requests 20 --queries Q1,Q2a \
         --deadline-ms 3000 --p99-bound-ms 6000 \
         --expect-shedding --require-high-zero-shed --shutdown \
+        --qlog "$srv/qlog.jsonl" \
         --out "$srv/stress.json" | tee "$srv/driver.log" || status=$?
     wait "$srv_pid" || status=$?
     exec {srv_in}>&-
@@ -304,7 +365,131 @@ stage_server_gate() {
         echo "FAIL: server did not drain cleanly after SHUTDOWN (see $srv)" >&2
         return 1
     fi
-    echo "server gate OK: ledger exact, low-priority shed, clean drain"
+    ./target/release/trace_check --qlog "$srv/qlog.jsonl"
+    echo "server gate OK: ledger exact, qlog reconciled, low-priority shed, clean drain"
+
+    # The SLO leg: a second chaos serve session with the SLO tracker,
+    # the query log, and the metrics endpoint all live. Stall-only
+    # faults: bitstream corruption (above) turns into ERR outcomes that
+    # land on whichever tenant drew them, which would make the
+    # zero-high-priority-violations assertion racy; the 5ms kernel
+    # stall keeps the chaos while leaving per-class outcomes exact, and
+    # guarantees every completion clears the 1ms slow-query threshold.
+    mkfifo "$srv/slo_stdin"
+    local slo_in
+    exec {slo_in}<>"$srv/slo_stdin"
+    VR_WORKERS=4 timeout 600 ./target/release/visualroad serve \
+        --scale 1 --res 96x54 --duration 0.25 --queries Q1,Q2a \
+        --engine batch --workers 2 \
+        --max-concurrent 2 --queue-depth 4 --tenant-quota 8 \
+        --degrade-load 0.9 --shed-load 1.5 \
+        --faults "stall_stage=kernel:5ms" --fault-seed 7 \
+        --qlog-out "$srv/slo_qlog.jsonl" --slow-query-ms 1 \
+        --slo high=6000,low=60000,target=0.95,window=512 \
+        --serve-metrics 0 \
+        <&"$slo_in" > "$srv/slo_stdout.txt" 2> "$srv/slo_stderr.txt" &
+    local slo_pid=$!
+    addr=""
+    for _ in $(seq 1 150); do
+        addr=$(sed -n 's/^serving on //p' "$srv/slo_stdout.txt")
+        [[ -n "$addr" ]] && break
+        kill -0 "$slo_pid" 2>/dev/null || break
+        sleep 0.2
+    done
+    if [[ -z "$addr" ]]; then
+        cat "$srv/slo_stderr.txt" >&2
+        echo "FAIL: SLO-leg server never announced its address (see $srv)" >&2
+        exec {slo_in}>&-
+        return 1
+    fi
+    local maddr
+    maddr=$(sed -n 's|^serving metrics on http://||p' "$srv/slo_stderr.txt")
+    if [[ -z "$maddr" ]]; then
+        echo "FAIL: SLO-leg server never announced its metrics endpoint (see $srv)" >&2
+        exec {slo_in}>&-
+        return 1
+    fi
+    ./target/release/stress_test --addr "$addr" \
+        --tenants gold:high:2,bronze:low:6 --requests 20 --queries Q1,Q2a \
+        --deadline-ms 3000 --p99-bound-ms 6000 \
+        --expect-shedding --require-high-zero-shed \
+        --qlog "$srv/slo_qlog.jsonl" \
+        --out "$srv/slo_stress.json" | tee "$srv/slo_driver.log"
+    ./target/release/trace_check --qlog "$srv/slo_qlog.jsonl"
+    if ! grep -q '"exemplar": "' "$srv/slo_qlog.jsonl" \
+        || ! grep -q 'wall=' "$srv/slo_qlog.jsonl"; then
+        echo "FAIL: no slow-query exemplar with an annotated plan in $srv/slo_qlog.jsonl" >&2
+        exec {slo_in}>&-
+        return 1
+    fi
+    # The live views, over the loopback endpoint while the server still
+    # runs: /slo must show the shed tenant burning budget and the
+    # high-priority class fully inside its objective, /requests must
+    # serve the recent records.
+    local fd
+    exec {fd}<>"/dev/tcp/${maddr%:*}/${maddr##*:}"
+    printf 'GET /slo HTTP/1.0\r\n\r\n' >&"$fd"
+    cat <&"$fd" > "$srv/slo_view.json"
+    exec {fd}>&-
+    exec {fd}<>"/dev/tcp/${maddr%:*}/${maddr##*:}"
+    printf 'GET /requests HTTP/1.0\r\n\r\n' >&"$fd"
+    cat <&"$fd" > "$srv/requests_view.jsonl"
+    exec {fd}>&-
+    if ! grep -q '"seq": ' "$srv/requests_view.jsonl"; then
+        echo "FAIL: /requests served no query-log records (see $srv/requests_view.jsonl)" >&2
+        exec {slo_in}>&-
+        return 1
+    fi
+    local bronze gold
+    if ! bronze=$(grep '"bronze/low"' "$srv/slo_view.json"); then
+        echo "FAIL: no bronze/low class in /slo (see $srv/slo_view.json)" >&2
+        exec {slo_in}>&-
+        return 1
+    fi
+    if [[ "$bronze" == *'"burn_rate": 0.000'* ]]; then
+        echo "FAIL: bronze/low burn rate is zero despite shedding: $bronze" >&2
+        exec {slo_in}>&-
+        return 1
+    fi
+    if ! gold=$(grep '"gold/high"' "$srv/slo_view.json"); then
+        echo "FAIL: no gold/high class in /slo (see $srv/slo_view.json)" >&2
+        exec {slo_in}>&-
+        return 1
+    fi
+    if [[ "$gold" != *'"violations": 0,'* ]]; then
+        echo "FAIL: gold/high burned error budget: $gold" >&2
+        exec {slo_in}>&-
+        return 1
+    fi
+    # Wire-initiated drain, then the same process-level assertions as
+    # the first leg.
+    local reply=""
+    exec {fd}<>"/dev/tcp/${addr%:*}/${addr##*:}"
+    printf 'SHUTDOWN\n' >&"$fd"
+    read -r -u "$fd" reply || true
+    exec {fd}>&-
+    reply="${reply%$'\r'}"
+    if [[ "$reply" != "OK draining" ]]; then
+        echo "FAIL: unexpected SHUTDOWN response on the SLO leg: '$reply'" >&2
+        exec {slo_in}>&-
+        return 1
+    fi
+    wait "$slo_pid" || status=$?
+    exec {slo_in}>&-
+    if [[ "$status" -ne 0 ]]; then
+        echo "FAIL: SLO-leg server exited nonzero (see $srv)" >&2
+        return 1
+    fi
+    if grep -a "panicked at" "$srv/slo_stderr.txt" "$srv/slo_driver.log"; then
+        echo "FAIL: a panic surfaced during the SLO leg (see $srv)" >&2
+        return 1
+    fi
+    if ! grep -q "drained cleanly" "$srv/slo_stderr.txt"; then
+        cat "$srv/slo_stderr.txt" >&2
+        echo "FAIL: SLO-leg server did not drain cleanly after SHUTDOWN (see $srv)" >&2
+        return 1
+    fi
+    echo "slo leg OK: shed tenant burning budget, high class clean, exemplar captured"
 }
 
 stage_index_gate() {

@@ -231,6 +231,13 @@ impl Breaker {
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct TenantCounters {
     pub admitted: u64,
+    /// Admitted after blocking in the queue (subset of `admitted`).
+    pub queue_waited: u64,
+    /// Total microseconds admitted requests spent queued. The full
+    /// distribution is in the `admission.queue_wait_us.<tenant>`
+    /// registry histogram; the ledger keeps the total so the stress
+    /// driver can cross-check without scraping `/metrics`.
+    pub queue_wait_us: u64,
     /// Admitted with the degraded flag set (subset of `admitted`).
     pub degraded: u64,
     pub shed_saturated: u64,
@@ -293,6 +300,13 @@ impl AdmissionSnapshot {
 
     /// Deterministic JSON rendering (the server's `STATS` body).
     pub fn to_json(&self) -> String {
+        self.to_json_with_slo(None)
+    }
+
+    /// [`to_json`](Self::to_json), optionally appending a pre-rendered
+    /// `"slo"` block (the query server passes its
+    /// [`crate::obs::slo::SloTracker::render_json`] output).
+    pub fn to_json_with_slo(&self, slo: Option<&str>) -> String {
         let mut out = String::with_capacity(512);
         out.push_str(&format!(
             "{{\n  \"active\": {},\n  \"queued\": {},\n  \"draining\": {},\n",
@@ -310,6 +324,11 @@ impl AdmissionSnapshot {
             self.total(|t| t.index_served),
             self.total(|t| t.rescan_served),
         ));
+        out.push_str(&format!(
+            "  \"queue_waited\": {},\n  \"queue_wait_us\": {},\n",
+            self.total(|t| t.queue_waited),
+            self.total(|t| t.queue_wait_us),
+        ));
         out.push_str("  \"tenants\": {\n");
         let mut first = true;
         for (name, t) in &self.tenants {
@@ -322,7 +341,7 @@ impl AdmissionSnapshot {
                  \"shed_queue_full\": {}, \"shed_quota\": {}, \"shed_breaker\": {}, \
                  \"shed_draining\": {}, \"shed_deadline\": {}, \"completed_ok\": {}, \
                  \"failed\": {}, \"breaker_trips\": {}, \"index_served\": {}, \
-                 \"rescan_served\": {}}}",
+                 \"rescan_served\": {}, \"queue_waited\": {}, \"queue_wait_us\": {}}}",
                 crate::obs::json_escape(name),
                 t.admitted,
                 t.degraded,
@@ -337,9 +356,23 @@ impl AdmissionSnapshot {
                 t.breaker_trips,
                 t.index_served,
                 t.rescan_served,
+                t.queue_waited,
+                t.queue_wait_us,
             ));
         }
-        out.push_str("\n  }\n}\n");
+        out.push_str("\n  }");
+        if let Some(slo) = slo {
+            // Re-indent the block one level so the combined document
+            // stays consistently pretty-printed.
+            out.push_str(",\n  \"slo\": ");
+            for (i, line) in slo.trim_end().lines().enumerate() {
+                if i > 0 {
+                    out.push_str("\n  ");
+                }
+                out.push_str(line);
+            }
+        }
+        out.push_str("\n}\n");
         out
     }
 }
@@ -384,6 +417,11 @@ pub struct Permit {
     degraded: bool,
     /// This permit is the tenant's half-open breaker probe.
     probe: bool,
+    /// Arrival-minted request id, when admitted via
+    /// [`AdmissionController::admit_request`].
+    request_id: Option<u64>,
+    /// Time this request spent blocked in the admission queue.
+    queue_wait: Duration,
     settled: bool,
 }
 
@@ -396,6 +434,18 @@ impl Permit {
     /// The tenant this permit belongs to.
     pub fn tenant(&self) -> &str {
         &self.tenant
+    }
+
+    /// The arrival-minted request id carried through admission, if the
+    /// request came in via [`AdmissionController::admit_request`].
+    pub fn request_id(&self) -> Option<u64> {
+        self.request_id
+    }
+
+    /// How long the request waited in the admission queue (zero when a
+    /// slot was free at arrival).
+    pub fn queue_wait(&self) -> Duration {
+        self.queue_wait
     }
 
     /// Settle the request as succeeded and release the slot.
@@ -491,6 +541,28 @@ impl AdmissionController {
         priority: Priority,
         deadline: Option<Instant>,
     ) -> Result<Permit, ShedReason> {
+        self.admit_inner(tenant, priority, deadline, None)
+    }
+
+    /// [`admit`](Self::admit) with request-scoped identity: the
+    /// permit carries the [`RequestCtx`](crate::obs::qlog::RequestCtx)
+    /// id so every downstream decision (route, plan, spans, query log)
+    /// is attributable to the arrival that caused it.
+    pub fn admit_request(
+        self: &std::sync::Arc<Self>,
+        req: &crate::obs::qlog::RequestCtx,
+        deadline: Option<Instant>,
+    ) -> Result<Permit, ShedReason> {
+        self.admit_inner(&req.tenant, req.priority, deadline, Some(req.id))
+    }
+
+    fn admit_inner(
+        self: &std::sync::Arc<Self>,
+        tenant: &str,
+        priority: Priority,
+        deadline: Option<Instant>,
+        request_id: Option<u64>,
+    ) -> Result<Permit, ShedReason> {
         let now = Instant::now();
         let mut st = self.state.lock();
         if st.draining {
@@ -524,11 +596,15 @@ impl AdmissionController {
             return Err(self.note_shed(&mut st, tenant, ShedReason::Quota));
         }
         // Slot or bounded queue.
+        let mut queue_wait = Duration::ZERO;
+        let mut waited = false;
         if st.active >= self.cfg.max_concurrent {
             if st.queued >= self.cfg.queue_depth {
                 self.release_probe(&mut st, tenant, probe);
                 return Err(self.note_shed(&mut st, tenant, ShedReason::QueueFull));
             }
+            let wait_start = Instant::now();
+            waited = true;
             st.queued += 1;
             self.publish_gauges(&st);
             loop {
@@ -543,6 +619,7 @@ impl AdmissionController {
                         < self.cfg.tenant_quota
                 {
                     st.queued -= 1;
+                    queue_wait = wait_start.elapsed();
                     break;
                 }
                 let wait = match deadline {
@@ -570,17 +647,27 @@ impl AdmissionController {
         }
         st.active += 1;
         *st.per_tenant_active.entry(tenant.to_string()).or_insert(0) += 1;
+        let wait_us = queue_wait.as_micros() as u64;
         {
             let c = st.counters.entry(tenant.to_string()).or_default();
             c.admitted += 1;
             if degraded {
                 c.degraded += 1;
             }
+            if waited {
+                c.queue_waited += 1;
+                c.queue_wait_us += wait_us;
+            }
         }
         crate::obs::metrics::counter("admission.admitted").inc();
         if degraded {
             crate::obs::metrics::counter("admission.degraded").inc();
         }
+        // Every admission lands in the tenant's queue-wait histogram
+        // (zero for a free slot), so its count equals `admitted` and
+        // p50/p95/p99 describe what admission actually cost the tenant.
+        crate::obs::metrics::histogram(&format!("admission.queue_wait_us.{tenant}"))
+            .observe(wait_us);
         self.publish_gauges(&st);
         drop(st);
         Ok(Permit {
@@ -588,6 +675,8 @@ impl AdmissionController {
             tenant: tenant.to_string(),
             degraded,
             probe,
+            request_id,
+            queue_wait,
             settled: false,
         })
     }
@@ -962,6 +1051,55 @@ mod tests {
         let json = snap.to_json();
         assert!(json.contains("\"index_served\": 1,\n"), "totals line:\n{json}");
         assert!(json.contains("\"rescan_served\": 2,\n"), "totals line:\n{json}");
+    }
+
+    #[test]
+    fn queue_wait_is_measured_and_ledgered() {
+        let ctl = Arc::new(AdmissionController::new(cfg()));
+        let a = ctl.admit("t", Priority::High, None).unwrap();
+        // A free slot at arrival: zero wait, not counted as queued.
+        assert_eq!(a.queue_wait(), Duration::ZERO);
+        assert_eq!(a.request_id(), None);
+        let _b = ctl.admit("u", Priority::High, None).unwrap();
+        let ctl2 = Arc::clone(&ctl);
+        let waiter = std::thread::spawn(move || {
+            let req = crate::obs::qlog::RequestCtx {
+                id: 7,
+                tenant: "v".into(),
+                priority: Priority::High,
+            };
+            ctl2.admit_request(&req, None)
+        });
+        std::thread::sleep(Duration::from_millis(30));
+        a.succeed();
+        let permit = waiter.join().unwrap().expect("queued request admitted");
+        assert_eq!(permit.request_id(), Some(7), "admit_request threads the arrival id");
+        assert!(
+            permit.queue_wait() >= Duration::from_millis(20),
+            "measured wait {:?} must cover the blocked interval",
+            permit.queue_wait()
+        );
+        permit.succeed();
+        let snap = ctl.snapshot();
+        assert_eq!(snap.tenants["v"].queue_waited, 1);
+        assert!(snap.tenants["v"].queue_wait_us >= 20_000);
+        assert_eq!(snap.tenants["t"].queue_waited, 0);
+        assert_eq!(snap.tenants["t"].queue_wait_us, 0);
+        let json = snap.to_json();
+        assert!(json.contains("\"queue_waited\": 1,"), "ledger json:\n{json}");
+    }
+
+    #[test]
+    fn slo_block_is_appended_only_when_provided() {
+        let ctl = Arc::new(AdmissionController::new(cfg()));
+        ctl.admit("t", Priority::High, None).unwrap().succeed();
+        let plain = ctl.snapshot().to_json();
+        assert!(!plain.contains("\"slo\""));
+        let with = ctl.snapshot().to_json_with_slo(Some("{\n  \"target\": 0.950\n}"));
+        assert!(
+            with.contains(",\n  \"slo\": {\n    \"target\": 0.950\n  }\n}\n"),
+            "slo block must be re-indented into the document:\n{with}"
+        );
     }
 
     #[test]

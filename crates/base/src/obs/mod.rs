@@ -26,8 +26,18 @@
 //! * [`folded`] — collapsed-stacks (flamegraph) export of the span
 //!   buffer, with a self-time invariant check;
 //! * [`serve`] — a loopback-bound `TcpListener` endpoint
-//!   (`/metrics`, `/metrics.json`, `/healthz`, `/explain`) serving
+//!   (`/metrics`, `/metrics.json`, `/healthz`, `/explain`, plus
+//!   registered views such as `/slo` and `/requests`) serving
 //!   read-only snapshots while a run is in flight.
+//!
+//! Layer 3 (request-scoped serving observability) adds two more:
+//!
+//! * [`qlog`] — per-request identity ([`qlog::RequestCtx`]) and a
+//!   structured JSON-lines query log with deterministic field order,
+//!   plan digests, and slow-query `EXPLAIN ANALYZE` exemplars;
+//! * [`slo`] — per-`tenant/priority` latency objectives with
+//!   rolling-window error-budget burn rates, surfaced via `/slo` and
+//!   the `STATS` `slo` block.
 //!
 //! ### Span taxonomy
 //!
@@ -36,6 +46,8 @@
 //! | `pipeline`  | `scan`/`decode`/`kernel`/`encode`/`sink`, `run_*` policies | vr-vdbms stage execution |
 //! | `decoder`   | `decode_parallel`, `gop_chunk<i>`, `conceal` | GOP-parallel decode, resilient concealment |
 //! | `scheduler` | `instance.<query>.<index>`              | VCD batch scheduler (both dispatch modes) |
+//! | `server`    | `request.req-<id>.<tenant>`             | query server per-request lanes |
+//! | `request`   | `<request id>` wrapping each `run_*`    | vr-vdbms pipeline entry, when `ExecContext::request_id` is set |
 //! | `vcd`       | `batch.<query>`, `validate`             | per-query driver |
 //! | `storage`   | `flat.put`/`flat.get`/`dfs.put`/`dfs.get` | storage backends |
 //! | `fault`     | `retry_backoff`                         | fault-injector recovery paths |
@@ -52,7 +64,9 @@
 pub mod alloc;
 pub mod folded;
 pub mod metrics;
+pub mod qlog;
 pub mod serve;
+pub mod slo;
 pub mod trace;
 
 /// Escape a string for embedding in a JSON string literal.

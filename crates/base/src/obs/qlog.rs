@@ -1,0 +1,355 @@
+//! Structured query log: one JSON-lines record per served request.
+//!
+//! Observability layer 3's durable surface. The query server mints a
+//! [`RequestCtx`] per `EXEC` line and, once the request settles (ok,
+//! cancelled, shed, or errored), appends a [`RequestRecord`] to the
+//! process's [`QueryLog`]. Records have a **fixed field order** and
+//! every field is always present (`null` where absent), so two
+//! identical seeded runs produce byte-identical logs modulo the two
+//! timing fields (`queue_wait_us`, `latency_us`) and any slow-query
+//! exemplars — the obs-gate CI leg asserts exactly that.
+//!
+//! Two ids per record, because records are appended at *completion*
+//! time while request ids are minted at *arrival* time:
+//!
+//! * `seq` — assigned under the append lock; strictly increasing in
+//!   file order (what `trace_check --qlog` validates);
+//! * `req` — the arrival-minted id threaded through admission, the
+//!   optimizer, and the span tracer (`request.req-NNNNNN.<tenant>`
+//!   lanes in chrome-trace); unique but not ordered in the file.
+//!
+//! A bounded in-memory ring of the most recent rendered lines backs
+//! the live `/requests` view, so the log is inspectable even when no
+//! `--qlog-out` file was configured.
+
+use std::collections::VecDeque;
+use std::io::Write;
+use std::time::Duration;
+
+use crate::admission::Priority;
+use crate::sync::Mutex;
+
+/// Most recent rendered records retained for the `/requests` view.
+const RING_CAP: usize = 256;
+
+/// Identity of one in-flight request, minted at arrival and threaded
+/// through admission, planning, and execution.
+#[derive(Debug, Clone)]
+pub struct RequestCtx {
+    /// Deterministic per-server arrival sequence number (1-based).
+    pub id: u64,
+    /// Owning tenant.
+    pub tenant: String,
+    /// Declared priority class.
+    pub priority: Priority,
+}
+
+impl RequestCtx {
+    /// Stable short label (`req-000042`) used in span names and logs.
+    pub fn label(&self) -> String {
+        format!("req-{:06}", self.id)
+    }
+}
+
+/// How a request settled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Outcome {
+    /// Completed and returned rows/frames.
+    Ok,
+    /// Admitted but cancelled by its deadline mid-flight.
+    Cancelled,
+    /// Refused at admission.
+    Shed,
+    /// Admitted but failed during execution.
+    Err,
+}
+
+impl Outcome {
+    /// Stable lower-snake label used in the wire record.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Outcome::Ok => "ok",
+            Outcome::Cancelled => "cancelled",
+            Outcome::Shed => "shed",
+            Outcome::Err => "err",
+        }
+    }
+}
+
+/// One settled request, ready to render. `seq` is assigned by
+/// [`QueryLog::append`]; everything else is filled by the server.
+#[derive(Debug, Clone)]
+pub struct RequestRecord {
+    /// Arrival-minted request id ([`RequestCtx::id`]).
+    pub req: u64,
+    /// Owning tenant.
+    pub tenant: String,
+    /// Declared priority class.
+    pub priority: Priority,
+    /// Query label (`Q1`, `S2`, ...).
+    pub query: String,
+    /// Engine that served it (`batch`, `streaming`, `semantic`, ...).
+    pub engine: String,
+    /// How the request settled.
+    pub outcome: Outcome,
+    /// Shed reason label; `Some` iff `outcome == Shed`.
+    pub shed_reason: Option<&'static str>,
+    /// Whether admission degraded the request (reduced fan-out).
+    pub degraded: bool,
+    /// `Some("index")` / `Some("rescan")` for completed requests that
+    /// took a route decision; `None` otherwise.
+    pub route: Option<&'static str>,
+    /// Time spent blocked in the admission queue.
+    pub queue_wait: Duration,
+    /// Wall time from arrival to settlement.
+    pub latency: Duration,
+    /// Client-declared deadline, if any.
+    pub deadline: Option<Duration>,
+    /// FNV-1a digest of the chosen plan's rendered text (or the
+    /// optimizer decision for semantic queries); empty when no plan
+    /// was reached (sheds).
+    pub plan_digest: String,
+    /// Full `EXPLAIN ANALYZE` text, captured only when the request is
+    /// slower than the configured slow-query threshold.
+    pub exemplar: Option<String>,
+}
+
+/// 64-bit FNV-1a over a string — the plan-digest hash. Deterministic,
+/// dependency-free, and stable across runs/platforms.
+pub fn fnv64(data: &str) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in data.as_bytes() {
+        hash ^= u64::from(*byte);
+        hash = hash.wrapping_mul(0x100_0000_01b3);
+    }
+    hash
+}
+
+/// [`fnv64`] rendered as the fixed-width hex form used in records.
+pub fn fnv64_hex(data: &str) -> String {
+    format!("{:016x}", fnv64(data))
+}
+
+struct Inner {
+    seq: u64,
+    writer: Option<std::io::BufWriter<std::fs::File>>,
+    ring: VecDeque<String>,
+}
+
+/// Append-only query log: an optional JSONL file plus the in-memory
+/// ring behind `/requests`. One instance per server.
+pub struct QueryLog {
+    slow: Option<Duration>,
+    inner: Mutex<Inner>,
+}
+
+impl QueryLog {
+    /// Open a log. `path` is the JSONL sink (`None` = ring only);
+    /// `slow` is the slow-query threshold (`None` disables exemplars).
+    pub fn open(path: Option<&str>, slow: Option<Duration>) -> std::io::Result<Self> {
+        let writer = match path {
+            Some(p) => Some(std::io::BufWriter::new(std::fs::File::create(p)?)),
+            None => None,
+        };
+        Ok(Self {
+            slow,
+            inner: Mutex::new(Inner { seq: 0, writer, ring: VecDeque::new() }),
+        })
+    }
+
+    /// The configured slow-query threshold, if any.
+    pub fn slow_threshold(&self) -> Option<Duration> {
+        self.slow
+    }
+
+    /// Assign the next `seq`, render, and append one record. The file
+    /// write is flushed per record so crash-truncated logs still end
+    /// on a line boundary. Returns the assigned `seq`.
+    pub fn append(&self, rec: &RequestRecord) -> u64 {
+        let mut inner = self.inner.lock();
+        inner.seq += 1;
+        let seq = inner.seq;
+        let line = self.render(seq, rec);
+        if let Some(w) = inner.writer.as_mut() {
+            // Log I/O must never fail a query: drop the line on error.
+            let _ = writeln!(w, "{line}");
+            let _ = w.flush();
+        }
+        if inner.ring.len() == RING_CAP {
+            inner.ring.pop_front();
+        }
+        inner.ring.push_back(line);
+        seq
+    }
+
+    /// Records appended so far.
+    pub fn len(&self) -> u64 {
+        self.inner.lock().seq
+    }
+
+    /// Whether any record has been appended.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The retained tail of the log as JSONL — the `/requests` view.
+    pub fn recent_jsonl(&self) -> String {
+        let inner = self.inner.lock();
+        let mut out = String::new();
+        for line in &inner.ring {
+            out.push_str(line);
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Render one record with the fixed field order. Every field is
+    /// always present; absent values render as `null`.
+    fn render(&self, seq: u64, r: &RequestRecord) -> String {
+        let slow_us = self.slow.map_or(0, |d| d.as_micros() as u64);
+        let mut out = String::with_capacity(256);
+        out.push_str(&format!(
+            "{{\"seq\": {seq}, \"req\": {}, \"tenant\": \"{}\", \"priority\": \"{}\", \
+             \"query\": \"{}\", \"engine\": \"{}\", \"outcome\": \"{}\", ",
+            r.req,
+            super::json_escape(&r.tenant),
+            r.priority,
+            super::json_escape(&r.query),
+            super::json_escape(&r.engine),
+            r.outcome.label(),
+        ));
+        match r.shed_reason {
+            Some(reason) => out.push_str(&format!("\"shed_reason\": \"{reason}\", ")),
+            None => out.push_str("\"shed_reason\": null, "),
+        }
+        out.push_str(&format!("\"degraded\": {}, ", r.degraded));
+        match r.route {
+            Some(route) => out.push_str(&format!("\"route\": \"{route}\", ")),
+            None => out.push_str("\"route\": null, "),
+        }
+        out.push_str(&format!(
+            "\"queue_wait_us\": {}, \"latency_us\": {}, ",
+            r.queue_wait.as_micros() as u64,
+            r.latency.as_micros() as u64,
+        ));
+        match r.deadline {
+            Some(d) => out.push_str(&format!("\"deadline_ms\": {}, ", d.as_millis() as u64)),
+            None => out.push_str("\"deadline_ms\": null, "),
+        }
+        out.push_str(&format!(
+            "\"plan_digest\": \"{}\", \"slow_us\": {slow_us}, ",
+            super::json_escape(&r.plan_digest)
+        ));
+        match &r.exemplar {
+            Some(text) => {
+                out.push_str(&format!("\"exemplar\": \"{}\"}}", super::json_escape(text)))
+            }
+            None => out.push_str("\"exemplar\": null}"),
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Tests
+// ---------------------------------------------------------------------------
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(req: u64) -> RequestRecord {
+        RequestRecord {
+            req,
+            tenant: "gold".into(),
+            priority: Priority::High,
+            query: "Q1".into(),
+            engine: "batch".into(),
+            outcome: Outcome::Ok,
+            shed_reason: None,
+            degraded: false,
+            route: Some("rescan"),
+            queue_wait: Duration::from_micros(12),
+            latency: Duration::from_micros(3400),
+            deadline: Some(Duration::from_millis(3000)),
+            plan_digest: fnv64_hex("plan"),
+            exemplar: None,
+        }
+    }
+
+    #[test]
+    fn records_render_with_fixed_field_order_and_explicit_nulls() {
+        let log = QueryLog::open(None, None).unwrap();
+        log.append(&record(1));
+        let mut shed = record(2);
+        shed.outcome = Outcome::Shed;
+        shed.shed_reason = Some("saturated");
+        shed.route = None;
+        shed.plan_digest = String::new();
+        shed.deadline = None;
+        log.append(&shed);
+        let lines: Vec<String> = log.recent_jsonl().lines().map(str::to_string).collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with(
+            "{\"seq\": 1, \"req\": 1, \"tenant\": \"gold\", \"priority\": \"high\", \
+             \"query\": \"Q1\", \"engine\": \"batch\", \"outcome\": \"ok\", \
+             \"shed_reason\": null, \"degraded\": false, \"route\": \"rescan\", "
+        ));
+        assert!(lines[0].contains("\"deadline_ms\": 3000"));
+        assert!(lines[0].ends_with("\"slow_us\": 0, \"exemplar\": null}"));
+        assert!(lines[1].contains("\"outcome\": \"shed\", \"shed_reason\": \"saturated\""));
+        assert!(lines[1].contains("\"route\": null"));
+        assert!(lines[1].contains("\"deadline_ms\": null"));
+        assert!(lines[1].contains("\"plan_digest\": \"\""));
+    }
+
+    #[test]
+    fn seq_is_strictly_increasing_and_ring_is_bounded() {
+        let log = QueryLog::open(None, None).unwrap();
+        for i in 0..(RING_CAP as u64 + 10) {
+            assert_eq!(log.append(&record(i + 1)), i + 1);
+        }
+        let recent = log.recent_jsonl();
+        let lines: Vec<&str> = recent.lines().collect();
+        assert_eq!(lines.len(), RING_CAP);
+        // Oldest lines were evicted; the tail keeps the newest seqs.
+        assert!(lines[0].contains("\"seq\": 11,"));
+        assert!(lines[RING_CAP - 1].contains(&format!("\"seq\": {},", RING_CAP as u64 + 10)));
+    }
+
+    #[test]
+    fn exemplars_are_embedded_json_escaped_and_slow_threshold_is_echoed() {
+        let log = QueryLog::open(None, Some(Duration::from_millis(1))).unwrap();
+        let mut slow = record(1);
+        slow.exemplar = Some("scan: rows=7\n  \"kernel\" wall=2ms".into());
+        log.append(&slow);
+        let line = log.recent_jsonl();
+        assert!(line.contains("\"slow_us\": 1000,"));
+        assert!(line.contains("\"exemplar\": \"scan: rows=7\\n  \\\"kernel\\\" wall=2ms\"}"));
+    }
+
+    #[test]
+    fn fnv64_is_stable() {
+        assert_eq!(fnv64(""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv64_hex("a"), format!("{:016x}", fnv64("a")));
+        assert_ne!(fnv64("plan a"), fnv64("plan b"));
+    }
+
+    #[test]
+    fn file_sink_writes_one_line_per_record() {
+        let path = std::env::temp_dir()
+            .join(format!("vr_qlog_test_{}.jsonl", std::process::id()));
+        let path_s = path.to_str().unwrap().to_string();
+        {
+            let log = QueryLog::open(Some(&path_s), None).unwrap();
+            log.append(&record(1));
+            log.append(&record(2));
+        }
+        let body = std::fs::read_to_string(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        let lines: Vec<&str> = body.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("\"seq\": 1,"));
+        assert!(lines[1].contains("\"seq\": 2,"));
+    }
+}

@@ -10,13 +10,17 @@
 //! | `/metrics.json` | the registry's deterministic JSON snapshot      |
 //! | `/healthz`      | `ok` (liveness probe)                           |
 //! | `/explain`      | plan tree of the in-flight batch (text)         |
+//! | *registered*    | any view published via [`set_view`] — the query |
+//! |                 | server registers `/slo` and `/requests`         |
 //!
 //! Threat model / non-perturbation contract:
 //!
 //! * **read-only** — every response is rendered from a point-in-time
-//!   [`super::metrics::MetricsSnapshot`] or from the explain string
-//!   published via [`set_explain`]; no handler can mutate engine or
-//!   registry state.
+//!   [`super::metrics::MetricsSnapshot`], from the explain string
+//!   published via [`set_explain`], or from a [`set_view`] closure
+//!   that renders a snapshot of owner state (the `/slo` and
+//!   `/requests` closures read an `Arc`'d tracker/ring under its own
+//!   lock); no handler can mutate engine or registry state.
 //! * **loopback-bound** — the listener binds `127.0.0.1` only; the
 //!   endpoint is a local debugging/scrape surface, not a network
 //!   service. There is no TLS, auth, or request body parsing to get
@@ -60,6 +64,42 @@ pub fn explain_text() -> Option<String> {
     } else {
         Some(text.clone())
     }
+}
+
+/// A registered view: content type plus a render-on-GET closure.
+type View = (&'static str, Arc<dyn Fn() -> String + Send + Sync>);
+
+/// Registered dynamic views, keyed by path. Process-global, like the
+/// registry itself: when several servers run in one process, the last
+/// registration for a path wins.
+static VIEWS: OnceLock<RwLock<std::collections::BTreeMap<String, View>>> = OnceLock::new();
+
+fn views_cell() -> &'static RwLock<std::collections::BTreeMap<String, View>> {
+    VIEWS.get_or_init(|| RwLock::new(std::collections::BTreeMap::new()))
+}
+
+/// Register (or replace) a dynamic view at `path`. The closure runs
+/// per GET and must be a pure snapshot renderer — the endpoint's
+/// read-only contract extends to every registered view. The query
+/// server uses this for `/slo` and `/requests`.
+pub fn set_view(
+    path: &str,
+    content_type: &'static str,
+    render: impl Fn() -> String + Send + Sync + 'static,
+) {
+    views_cell().write().insert(path.to_string(), (content_type, Arc::new(render)));
+}
+
+/// Remove a registered view (servers deregister on drain).
+pub fn clear_view(path: &str) {
+    views_cell().write().remove(path);
+}
+
+fn view_response(path: &str) -> Option<(&'static str, String)> {
+    // Clone the Arc and drop the lock before rendering so a slow view
+    // never holds the registry against other connections.
+    let view = views_cell().read().get(path).cloned();
+    view.map(|(content_type, render)| (content_type, render()))
 }
 
 /// A running metrics endpoint. Stop it explicitly with
@@ -204,7 +244,10 @@ fn route(method: &str, path: &str) -> (&'static str, &'static str, String) {
             Some(text) => ("200 OK", "text/plain; charset=utf-8", text),
             None => ("200 OK", "text/plain; charset=utf-8", "no batch in flight\n".into()),
         },
-        _ => ("404 Not Found", "text/plain; charset=utf-8", "not found\n".into()),
+        _ => match view_response(path) {
+            Some((content_type, body)) => ("200 OK", content_type, body),
+            None => ("404 Not Found", "text/plain; charset=utf-8", "not found\n".into()),
+        },
     }
 }
 
@@ -284,6 +327,25 @@ mod tests {
             .unwrap();
         let mut rest = Vec::new();
         let _ = stalled.read_to_end(&mut rest);
+        server.stop();
+    }
+
+    #[test]
+    fn registered_views_are_served_and_deregistered() {
+        let server = MetricsServer::start(0).expect("bind ephemeral port");
+        let addr = server.addr();
+        // Use a test-unique path: the view map is process-global.
+        set_view("/serve-test-view", "application/json; charset=utf-8", || {
+            "{\"view\": true}\n".to_string()
+        });
+        let response = get(addr, "/serve-test-view");
+        assert!(response.starts_with("HTTP/1.1 200 OK"), "view response: {response}");
+        assert!(response.contains("application/json"));
+        assert!(response.ends_with("{\"view\": true}\n"));
+
+        clear_view("/serve-test-view");
+        let gone = get(addr, "/serve-test-view");
+        assert!(gone.starts_with("HTTP/1.1 404"), "cleared view response: {gone}");
         server.stop();
     }
 

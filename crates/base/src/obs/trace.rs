@@ -25,17 +25,18 @@
 
 use std::cell::{Cell, RefCell};
 use std::io::Write as _;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::OnceLock;
 use std::time::Instant;
 
 use crate::sync::Mutex;
 
-/// Hard cap on buffered events (~2M); beyond it events are counted as
-/// dropped instead of buffered. At ~100 bytes/event this bounds the
+/// Default cap on buffered events (~2M); beyond it events are counted
+/// as dropped instead of buffered. At ~100 bytes/event this bounds the
 /// tracer's memory to ~200 MB worst case.
 pub const MAX_EVENTS: usize = 1 << 21;
 
+static EVENT_CAP: AtomicUsize = AtomicUsize::new(MAX_EVENTS);
 static ENABLED: AtomicBool = AtomicBool::new(false);
 static NEXT_SPAN_ID: AtomicU64 = AtomicU64::new(1);
 static NEXT_TID: AtomicU64 = AtomicU64::new(1);
@@ -109,12 +110,22 @@ fn current_tid() -> u64 {
     })
 }
 
+/// Override the event cap (tests and memory-constrained embedders).
+/// The cap applies to future [`record`] calls only; already-buffered
+/// events are never discarded.
+pub fn set_event_cap(cap: usize) {
+    EVENT_CAP.store(cap, Ordering::Relaxed);
+}
+
 fn record(event: TraceEvent) {
     let mut events = EVENTS.lock();
-    if events.len() < MAX_EVENTS {
+    if events.len() < EVENT_CAP.load(Ordering::Relaxed) {
         events.push(event);
     } else {
+        // Not silent: the drop is visible both in the chrome-trace
+        // `otherData` footer and as a registry counter on `/metrics`.
         DROPPED.fetch_add(1, Ordering::Relaxed);
+        super::metrics::counter("obs.spans_dropped").inc();
     }
 }
 
@@ -357,6 +368,29 @@ mod tests {
             }
             assert!(stack.is_empty());
         }
+    }
+
+    #[test]
+    fn event_cap_overflow_is_counted_not_silent() {
+        let _guard = TEST_LOCK.lock();
+        drain();
+        set_enabled(true);
+        set_event_cap(4);
+        let dropped_before = dropped();
+        let metric = crate::obs::metrics::counter("obs.spans_dropped");
+        let metric_before = metric.get();
+        for i in 0..4 {
+            let _s = span_dyn("test", || format!("cap{i}"));
+        }
+        set_event_cap(MAX_EVENTS);
+        set_enabled(false);
+        let events = drain();
+        // 4 spans produce 8 events; a cap of 4 buffers the first 4 and
+        // drops the rest — visibly, in both the static counter (the
+        // chrome-trace footer) and the metrics registry (`/metrics`).
+        assert_eq!(events.len(), 4);
+        assert_eq!(dropped() - dropped_before, 4);
+        assert_eq!(metric.get() - metric_before, 4);
     }
 
     #[test]

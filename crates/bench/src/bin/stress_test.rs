@@ -22,7 +22,12 @@
 //!   and proves nothing);
 //! * with `--shutdown`, the server must acknowledge `SHUTDOWN` with
 //!   `OK draining` (its process exit code then reports drain
-//!   cleanliness).
+//!   cleanliness);
+//! * with `--qlog FILE`, the server's structured query log is replayed
+//!   and reconciled record-by-record with the `STATS` ledger: per
+//!   tenant, ok + cancelled + err records == `admitted`, shed records
+//!   == the shed total, degraded and route counts match, and the total
+//!   record count equals admitted + shed summed over tenants.
 //!
 //! ```text
 //! stress_test --addr 127.0.0.1:7878 \
@@ -81,6 +86,7 @@ struct Config {
     require_high_zero_shed: bool,
     shutdown: bool,
     out: Option<String>,
+    qlog: Option<String>,
 }
 
 fn usage(msg: &str) -> ! {
@@ -91,7 +97,7 @@ fn usage(msg: &str) -> ! {
            [--deadline-ms N] [--low-deadline-ms N]\n\
            [--online-every N] [--online-speedup F]\n\
            [--p99-bound-ms N] [--expect-shedding] [--require-high-zero-shed]\n\
-           [--shutdown] [--out FILE]"
+           [--shutdown] [--out FILE] [--qlog FILE]"
     );
     std::process::exit(2);
 }
@@ -115,6 +121,7 @@ fn parse_config() -> Config {
         require_high_zero_shed: false,
         shutdown: false,
         out: None,
+        qlog: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -178,6 +185,7 @@ fn parse_config() -> Config {
             "--require-high-zero-shed" => cfg.require_high_zero_shed = true,
             "--shutdown" => cfg.shutdown = true,
             "--out" => cfg.out = Some(val("--out")),
+            "--qlog" => cfg.qlog = Some(val("--qlog")),
             other => usage(&format!("unknown flag {other:?}")),
         }
     }
@@ -499,6 +507,125 @@ fn main() -> ExitCode {
                     obs.shed_total(),
                     obs.shed
                 ));
+            }
+        }
+    }
+
+    // Replay the server's structured query log and reconcile it with
+    // the STATS ledger, tenant by tenant. The server appends each
+    // record before writing the response line, so every request this
+    // driver saw answered must already be in the log — zero drift.
+    if let Some(path) = &cfg.qlog {
+        match std::fs::read_to_string(path) {
+            Err(e) => failures.push(format!("cannot read qlog {path}: {e}")),
+            Ok(body) => {
+                #[derive(Default)]
+                struct QlogTotals {
+                    ok: u64,
+                    cancelled: u64,
+                    shed: u64,
+                    err: u64,
+                    degraded: u64,
+                    route_index: u64,
+                    route_rescan: u64,
+                }
+                let mut per_tenant: BTreeMap<String, QlogTotals> = BTreeMap::new();
+                let mut records = 0u64;
+                for (i, line) in body.lines().enumerate() {
+                    let rec = match json::parse(line) {
+                        Ok(v) => v,
+                        Err(e) => {
+                            failures.push(format!("qlog line {}: {e}", i + 1));
+                            continue;
+                        }
+                    };
+                    records += 1;
+                    let tenant = rec.get("tenant").and_then(|t| t.as_str()).unwrap_or("?");
+                    let t = per_tenant.entry(tenant.to_string()).or_default();
+                    match rec.get("outcome").and_then(|o| o.as_str()).unwrap_or("?") {
+                        "ok" => t.ok += 1,
+                        "cancelled" => t.cancelled += 1,
+                        "shed" => t.shed += 1,
+                        "err" => t.err += 1,
+                        other => failures.push(format!(
+                            "qlog line {}: unknown outcome {other:?}",
+                            i + 1
+                        )),
+                    }
+                    if matches!(rec.get("degraded"), Some(json::Value::Bool(true))) {
+                        t.degraded += 1;
+                    }
+                    match rec.get("route").and_then(|r| r.as_str()) {
+                        Some("index") => t.route_index += 1,
+                        Some("rescan") => t.route_rescan += 1,
+                        _ => {}
+                    }
+                }
+                let mut ledger_total = 0u64;
+                for (name, server) in server_tenants.iter() {
+                    let admitted = field(server, "admitted");
+                    let shed: u64 = [
+                        "shed_saturated",
+                        "shed_queue_full",
+                        "shed_quota",
+                        "shed_breaker",
+                        "shed_draining",
+                        "shed_deadline",
+                    ]
+                    .iter()
+                    .map(|k| field(server, k))
+                    .sum();
+                    ledger_total += admitted + shed;
+                    let empty = QlogTotals::default();
+                    let t = per_tenant.get(name).unwrap_or(&empty);
+                    if t.ok + t.cancelled + t.err != admitted {
+                        failures.push(format!(
+                            "qlog {name}: {} settled admissions (ok {} + cancelled {} + err {}), ledger says {admitted}",
+                            t.ok + t.cancelled + t.err, t.ok, t.cancelled, t.err
+                        ));
+                    }
+                    if t.shed != shed {
+                        failures.push(format!(
+                            "qlog {name}: {} shed records, ledger says {shed}",
+                            t.shed
+                        ));
+                    }
+                    if t.degraded != field(server, "degraded") {
+                        failures.push(format!(
+                            "qlog {name}: {} degraded records, ledger says {}",
+                            t.degraded,
+                            field(server, "degraded")
+                        ));
+                    }
+                    if t.route_index != field(server, "index_served") {
+                        failures.push(format!(
+                            "qlog {name}: {} index-served records, ledger says {}",
+                            t.route_index,
+                            field(server, "index_served")
+                        ));
+                    }
+                    if t.route_rescan != field(server, "rescan_served") {
+                        failures.push(format!(
+                            "qlog {name}: {} rescan-served records, ledger says {}",
+                            t.route_rescan,
+                            field(server, "rescan_served")
+                        ));
+                    }
+                }
+                for name in per_tenant.keys() {
+                    if !server_tenants.contains_key(name) {
+                        failures.push(format!("qlog tenant {name} missing from server STATS"));
+                    }
+                }
+                if records != ledger_total {
+                    failures.push(format!(
+                        "qlog has {records} records but the ledger settled {ledger_total} requests (admitted + shed)"
+                    ));
+                }
+                println!(
+                    "qlog cross-check: {records} records over {} tenants reconcile with STATS",
+                    per_tenant.len()
+                );
             }
         }
     }

@@ -6,7 +6,7 @@
 //! ```text
 //! trace_check [<trace.json>] [--require name1,name2,...]
 //!             [--metrics snap.json]... [--metrics-pair before.json after.json]
-//!             [--folded folded.txt]...
+//!             [--folded folded.txt]... [--qlog qlog.jsonl]...
 //! ```
 //!
 //! Trace checks, in order:
@@ -33,6 +33,14 @@
 //! Folded checks (`--folded`): the file is non-empty and every line is
 //! `stack <nanos>` with a `;`-separated non-empty stack and a
 //! parseable non-negative integer count.
+//!
+//! Query-log checks (`--qlog`): the file is non-empty, every line
+//! parses as JSON, `seq` is strictly increasing in file order, `req`
+//! is >= 1, `tenant` is non-empty, `priority` is `high`/`low`,
+//! `outcome` is one of `ok`/`cancelled`/`shed`/`err`, `shed_reason`
+//! is non-null iff the outcome is `shed`, `route` is non-null iff the
+//! outcome is `ok`, and an `exemplar` may only be present when the
+//! record is at or over its own `slow_us` threshold.
 //!
 //! Exit code 0 when every requested artifact passes, 1 with a
 //! diagnostic on the first violation.
@@ -180,12 +188,76 @@ fn check_folded(path: &str) -> Result<usize, String> {
     Ok(lines)
 }
 
+/// Validate one structured query log (JSONL, one record per settled
+/// request) as written by `visualroad serve --qlog-out`.
+fn check_qlog(path: &str) -> Result<u64, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let mut last_seq = 0u64;
+    let mut records = 0u64;
+    for (i, line) in text.lines().enumerate() {
+        let at = |msg: &str| format!("{path}:{}: {msg}", i + 1);
+        let rec = json::parse(line).map_err(|e| at(&format!("invalid JSON: {e}")))?;
+        let num = |key: &str| {
+            rec.get(key)
+                .and_then(Value::as_f64)
+                .filter(|n| n.is_finite() && *n >= 0.0)
+                .ok_or_else(|| at(&format!("missing or negative {key:?}")))
+        };
+        let seq = num("seq")? as u64;
+        if seq <= last_seq {
+            return Err(at(&format!("seq {seq} is not strictly increasing (previous {last_seq})")));
+        }
+        last_seq = seq;
+        if (num("req")? as u64) < 1 {
+            return Err(at("req must be >= 1"));
+        }
+        if rec.get("tenant").and_then(Value::as_str).is_none_or(str::is_empty) {
+            return Err(at("missing or empty \"tenant\""));
+        }
+        match rec.get("priority").and_then(Value::as_str) {
+            Some("high") | Some("low") => {}
+            other => return Err(at(&format!("bad priority {other:?}"))),
+        }
+        let outcome = rec
+            .get("outcome")
+            .and_then(Value::as_str)
+            .ok_or_else(|| at("missing \"outcome\""))?;
+        if !matches!(outcome, "ok" | "cancelled" | "shed" | "err") {
+            return Err(at(&format!("unknown outcome {outcome:?}")));
+        }
+        let non_null = |key: &str| !matches!(rec.get(key), None | Some(Value::Null));
+        if non_null("shed_reason") != (outcome == "shed") {
+            return Err(at(&format!(
+                "shed_reason must be present iff outcome is shed (outcome {outcome:?})"
+            )));
+        }
+        if non_null("route") != (outcome == "ok") {
+            return Err(at(&format!(
+                "route must be present iff outcome is ok (outcome {outcome:?})"
+            )));
+        }
+        let slow_us = num("slow_us")? as u64;
+        let latency_us = num("latency_us")? as u64;
+        if non_null("exemplar") && (slow_us == 0 || latency_us < slow_us) {
+            return Err(at(&format!(
+                "exemplar on a record that is not slow (latency {latency_us}us, threshold {slow_us}us)"
+            )));
+        }
+        records += 1;
+    }
+    if records == 0 {
+        return Err(format!("{path}: no query-log records"));
+    }
+    Ok(records)
+}
+
 fn run() -> Result<String, String> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut path = None;
     let mut metrics_paths: Vec<String> = Vec::new();
     let mut metrics_pairs: Vec<(String, String)> = Vec::new();
     let mut folded_paths: Vec<String> = Vec::new();
+    let mut qlog_paths: Vec<String> = Vec::new();
     let mut required: Vec<String> =
         DEFAULT_REQUIRED.split(',').map(str::to_string).collect();
     let mut i = 0;
@@ -218,6 +290,9 @@ fn run() -> Result<String, String> {
             i += 1;
             folded_paths
                 .push(args.get(i).ok_or("--folded needs a collapsed-stacks path")?.clone());
+        } else if args[i] == "--qlog" {
+            i += 1;
+            qlog_paths.push(args.get(i).ok_or("--qlog needs a query-log path")?.clone());
         } else if path.is_none() {
             path = Some(args[i].clone());
         } else {
@@ -240,11 +315,16 @@ fn run() -> Result<String, String> {
         let lines = check_folded(f)?;
         summary.push(format!("folded OK: {f} ({lines} stacks)"));
     }
+    for q in &qlog_paths {
+        let records = check_qlog(q)?;
+        summary.push(format!("qlog OK: {q} ({records} records)"));
+    }
     let Some(path) = path else {
         if summary.is_empty() {
             return Err(
                 "usage: trace_check [<trace.json>] [--require names] [--metrics snap.json] \
-                 [--metrics-pair before.json after.json] [--folded folded.txt]"
+                 [--metrics-pair before.json after.json] [--folded folded.txt] \
+                 [--qlog qlog.jsonl]"
                     .into(),
             );
         }

@@ -104,6 +104,8 @@ USAGE:
                    [--deadline-ms N] [--drain-timeout-ms N]
                    [--faults SPEC] [--fault-seed S] [--serve-metrics PORT]
                    [--use-index | --index FILE]
+                   [--qlog-out FILE] [--slow-query-ms N]
+                   [--slo high=MS,low=MS[,target=F][,window=N]]
       Run the long-lived multi-tenant query server: generate the
       dataset, pregenerate per-query instance pools, load the
       engine(s), bind a loopback TCP endpoint (--port 0 picks an
@@ -134,7 +136,14 @@ USAGE:
       the semantic query class S1 (count) / S2 (top-k) / S3
       (similarity) from it; every OK response reports which route
       served it (route=index|rescan) and the per-tenant accounting
-      splits index_served vs rescan_served.
+      splits index_served vs rescan_served. --qlog-out appends one
+      structured JSON line per request (the query log) to FILE;
+      --slow-query-ms captures a full EXPLAIN ANALYZE exemplar inline
+      in the log for requests at or over the threshold. --slo sets
+      per-priority latency objectives (milliseconds) for the
+      per-tenant SLO tracker: the final STATS gains an `slo` block,
+      and with --serve-metrics the endpoint serves /slo (burn rates)
+      and /requests (recent query-log records).
 
   visualroad ingest [--scale L] [--res WxH] [--duration SECS] [--seed S]
                     [--density D] [--nodes N] [--out FILE]
@@ -702,6 +711,19 @@ fn cmd_serve(args: &[String]) -> i32 {
         queries,
         use_index: flags.has("use-index"),
         index_path: flags.get("index").map(str::to_string),
+        qlog_path: flags.get("qlog-out").map(str::to_string),
+        slow_query: match flags.get("slow-query-ms").map(str::parse::<u64>) {
+            Some(Ok(ms)) if ms >= 1 => Some(std::time::Duration::from_millis(ms)),
+            Some(_) => return fail("--slow-query-ms wants a positive integer"),
+            None => None,
+        },
+        slo: match flags.get("slo") {
+            Some(spec) => match visual_road::base::obs::slo::SloConfig::parse(spec) {
+                Ok(cfg) => cfg,
+                Err(e) => return fail(&format!("--slo: {e}")),
+            },
+            None => visual_road::base::obs::slo::SloConfig::default(),
+        },
     };
 
     eprintln!("generating dataset ...");

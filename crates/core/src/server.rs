@@ -62,12 +62,14 @@
 use std::collections::BTreeMap;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use vr_base::admission::{AdmissionConfig, AdmissionController, Priority, ShedReason};
-use vr_base::obs::metrics;
+use vr_base::obs::qlog::{self, Outcome, QueryLog, RequestCtx, RequestRecord};
+use vr_base::obs::slo::{SloConfig, SloTracker};
+use vr_base::obs::{metrics, serve, trace};
 use vr_base::sync::CancelToken;
 use vr_base::Error;
 use vr_index::SemanticIndex;
@@ -108,6 +110,16 @@ pub struct ServerConfig {
     /// unusable (corrupt/truncated/stale) file fails CLOSED: the
     /// server logs a warning and serves semantic queries by rescan.
     pub index_path: Option<String>,
+    /// JSONL sink for the structured query log (`--qlog-out`). The
+    /// in-memory ring behind `/requests` is kept either way.
+    pub qlog_path: Option<String>,
+    /// Slow-query threshold: a completed request at or above it gets a
+    /// full `EXPLAIN ANALYZE` exemplar embedded in its log record.
+    /// `None` disables exemplar capture.
+    pub slow_query: Option<Duration>,
+    /// Per-priority latency objectives and error-budget policy for the
+    /// SLO tracker behind `/slo` and the `STATS` `slo` block.
+    pub slo: SloConfig,
 }
 
 impl Default for ServerConfig {
@@ -122,6 +134,9 @@ impl Default for ServerConfig {
             queries: vec![QueryKind::Q1Select, QueryKind::Q2aGrayscale, QueryKind::Q2cBoxes],
             use_index: false,
             index_path: None,
+            qlog_path: None,
+            slow_query: None,
+            slo: SloConfig::default(),
         }
     }
 }
@@ -157,6 +172,15 @@ struct Shared {
     /// cached per query label, so the probe-vs-rescan comparison runs
     /// once and EXPLAIN can render it).
     optimizer: Optimizer,
+    /// Structured query log: one record per request that reached
+    /// admission, appended at settlement (before the response line is
+    /// written, so drivers can reconcile log vs ledger exactly).
+    qlog: Arc<QueryLog>,
+    /// Per-tenant/priority latency objectives and burn rates.
+    slo: Arc<SloTracker>,
+    /// Arrival-order request id mint (1-based, deterministic for a
+    /// deterministic request sequence).
+    next_request: AtomicU64,
     cfg: ServerConfig,
     /// Set once the drain (or a stop) finished; the accept loop and
     /// every connection thread exit on it.
@@ -249,6 +273,26 @@ impl QueryServer {
             frames,
         });
 
+        let qlog = Arc::new(
+            QueryLog::open(cfg.qlog_path.as_deref(), cfg.slow_query).map_err(Error::Io)?,
+        );
+        let slo = Arc::new(SloTracker::new(cfg.slo.clone()));
+        // Publish the live views on the loopback metrics endpoint.
+        // The view registry is process-global like the registry
+        // itself: with several servers in one process the last
+        // registration wins, and views stay registered after drain
+        // (a stale closure only holds an `Arc` of a quiet log).
+        {
+            let view_log = Arc::clone(&qlog);
+            serve::set_view("/requests", "application/jsonl; charset=utf-8", move || {
+                view_log.recent_jsonl()
+            });
+            let view_slo = Arc::clone(&slo);
+            serve::set_view("/slo", "application/json; charset=utf-8", move || {
+                view_slo.render_json()
+            });
+        }
+
         let shared = Arc::new(Shared {
             dataset,
             engines,
@@ -257,6 +301,9 @@ impl QueryServer {
             admission: Arc::new(AdmissionController::new(cfg.admission.clone())),
             index,
             optimizer,
+            qlog,
+            slo,
+            next_request: AtomicU64::new(0),
             cfg,
             shutdown: AtomicBool::new(false),
             drained_clean: AtomicBool::new(false),
@@ -305,7 +352,11 @@ impl QueryServer {
         }
         DrainReport {
             clean: self.shared.drained_clean.load(Ordering::Relaxed),
-            stats_json: self.shared.admission.snapshot().to_json(),
+            stats_json: self
+                .shared
+                .admission
+                .snapshot()
+                .to_json_with_slo(Some(&self.shared.slo.render_json())),
         }
     }
 }
@@ -432,7 +483,10 @@ fn handle_request(request: &str, shared: &Arc<Shared>) -> String {
     match verb.as_str() {
         "EXEC" => handle_exec(&kv, shared),
         "STATS" => {
-            let json = shared.admission.snapshot().to_json();
+            let json = shared
+                .admission
+                .snapshot()
+                .to_json_with_slo(Some(&shared.slo.render_json()));
             format!("STATS {}", json.replace('\n', ""))
         }
         "HEALTH" => {
@@ -459,6 +513,47 @@ fn handle_request(request: &str, shared: &Arc<Shared>) -> String {
     }
 }
 
+/// Everything about how one admitted-or-shed request settled; turned
+/// into an SLO sample plus a query-log record by [`settle`].
+struct Settled<'a> {
+    query: &'a str,
+    engine: &'a str,
+    outcome: Outcome,
+    shed_reason: Option<&'static str>,
+    degraded: bool,
+    route: Option<&'static str>,
+    queue_wait: Duration,
+    latency: Duration,
+    deadline: Option<Duration>,
+    plan_digest: String,
+    exemplar: Option<String>,
+}
+
+/// Record a settled request into the SLO tracker and the query log.
+/// Called for every request that reached admission — admitted or shed
+/// — and before its response line is written, so the log's per-tenant
+/// totals reconcile exactly with the admission ledger at any `STATS`
+/// the client observes after its own requests.
+fn settle(shared: &Shared, req: &RequestCtx, s: Settled<'_>) {
+    shared.slo.record(&req.tenant, req.priority, s.outcome, s.latency);
+    shared.qlog.append(&RequestRecord {
+        req: req.id,
+        tenant: req.tenant.clone(),
+        priority: req.priority,
+        query: s.query.to_string(),
+        engine: s.engine.to_string(),
+        outcome: s.outcome,
+        shed_reason: s.shed_reason,
+        degraded: s.degraded,
+        route: s.route,
+        queue_wait: s.queue_wait,
+        latency: s.latency,
+        deadline: s.deadline,
+        plan_digest: s.plan_digest,
+        exemplar: s.exemplar,
+    });
+}
+
 fn handle_exec(kv: &BTreeMap<&str, &str>, shared: &Arc<Shared>) -> String {
     let tenant = match kv.get("tenant") {
         Some(t) if !t.is_empty() => *t,
@@ -471,11 +566,22 @@ fn handle_exec(kv: &BTreeMap<&str, &str>, shared: &Arc<Shared>) -> String {
     let Some(query) = kv.get("query") else {
         return "ERR EXEC needs query=<Q1|Q2a|...>".to_string();
     };
+    // Mint the request's identity at arrival: protocol-level failures
+    // above never reach admission and get no id, so qlog totals stay
+    // exactly admitted + shed per tenant.
+    let req = RequestCtx {
+        id: shared.next_request.fetch_add(1, Ordering::Relaxed) + 1,
+        tenant: tenant.to_string(),
+        priority,
+    };
+    // The per-request chrome-trace lane: admission, planning, and any
+    // same-thread execution nest under it, named by id and tenant.
+    let _lane = trace::span_dyn("server", || format!("request.{}.{tenant}", req.label()));
     // The semantic query class (S1/S2/S3) bypasses the engine pools:
     // it is answered from the side index or by metadata rescan, with
     // the route chosen by the cost-based optimizer.
     if let Some(sq) = SemanticQuery::parse_label(query) {
-        return handle_semantic(kv, shared, tenant, priority, query, &sq);
+        return handle_semantic(kv, shared, &req, query, &sq);
     }
     let Some((kind, pool)) = lookup_pool(shared, query) else {
         return format!("ERR no pool for query {query:?} (server pools: {:?})",
@@ -504,9 +610,24 @@ fn handle_exec(kv: &BTreeMap<&str, &str>, shared: &Arc<Shared>) -> String {
 
     let t0 = Instant::now();
     let deadline = deadline_ms.map(|d| t0 + d);
-    let permit = match shared.admission.admit(tenant, priority, deadline) {
+    let permit = match shared.admission.admit_request(&req, deadline) {
         Ok(p) => p,
-        Err(reason) => return format!("SHED reason={}", reason.label()),
+        Err(reason) => {
+            settle(shared, &req, Settled {
+                query,
+                engine: engine_name,
+                outcome: Outcome::Shed,
+                shed_reason: Some(reason.label()),
+                degraded: false,
+                route: None,
+                queue_wait: Duration::ZERO,
+                latency: t0.elapsed(),
+                deadline: deadline_ms,
+                plan_digest: String::new(),
+                exemplar: None,
+            });
+            return format!("SHED reason={}", reason.label());
+        }
     };
 
     // Round-robin over the pregenerated pool: concurrent sessions
@@ -526,16 +647,34 @@ fn handle_exec(kv: &BTreeMap<&str, &str>, shared: &Arc<Shared>) -> String {
         },
         metrics: Arc::new(PipelineMetrics::default()),
         tenant: Some(Arc::from(tenant)),
+        request_id: Some(Arc::from(format!("{}.{tenant}", req.label()).as_str())),
         ..ExecContext::default()
     };
+    // The digest identifies the plan the request ran with — cheap (no
+    // execution) and deterministic for (instance, context).
+    let plan_digest = qlog::fnv64_hex(&engine.plan(instance, &ctx).render_text());
 
     // The online half of a mixed workload: pace the instance's inputs
     // through RTP ingest first, inside the measured latency (a live
     // camera's frames are not free).
     if let Some(speedup) = online_speedup {
         if let Err(e) = ingest_instance_online(shared, instance, speedup) {
+            let queue_wait = permit.queue_wait();
             permit.fail();
             metrics::counter("server.exec_err").inc();
+            settle(shared, &req, Settled {
+                query,
+                engine: engine_name,
+                outcome: Outcome::Err,
+                shed_reason: None,
+                degraded: false,
+                route: None,
+                queue_wait,
+                latency: t0.elapsed(),
+                deadline: deadline_ms,
+                plan_digest,
+                exemplar: None,
+            });
             return format!("ERR ingest: {e}");
         }
     }
@@ -543,15 +682,41 @@ fn handle_exec(kv: &BTreeMap<&str, &str>, shared: &Arc<Shared>) -> String {
     let result = engine.execute(instance, &shared.dataset.videos, &ctx);
     let latency = t0.elapsed();
     metrics::histogram(&format!("server.latency.{priority}")).observe(latency.as_nanos() as u64);
+    let degraded = permit.degraded();
+    let queue_wait = permit.queue_wait();
     match result {
         Ok(_) => {
-            let degraded = permit.degraded();
             permit.succeed();
             // Pixel queries always scan/decode their inputs — in the
             // index-vs-rescan ledger they are rescan-served, keeping
             // ok == index_served + rescan_served exact per tenant.
             shared.admission.note_route(tenant, false);
             metrics::counter("server.exec_ok").inc();
+            // A completion at or above the slow-query threshold gets
+            // the full EXPLAIN ANALYZE exemplar: the same plan shape,
+            // annotated with this run's measured stage costs.
+            let exemplar = shared
+                .qlog
+                .slow_threshold()
+                .filter(|&thr| latency >= thr)
+                .map(|_| {
+                    let mut plan = engine.plan(instance, &ctx);
+                    plan.annotate(&ctx.metrics.snapshot(), latency.as_nanos() as u64);
+                    plan.render_text()
+                });
+            settle(shared, &req, Settled {
+                query,
+                engine: engine_name,
+                outcome: Outcome::Ok,
+                shed_reason: None,
+                degraded,
+                route: Some("rescan"),
+                queue_wait,
+                latency,
+                deadline: deadline_ms,
+                plan_digest,
+                exemplar,
+            });
             format!(
                 "OK tenant={tenant} query={label} engine={engine_name} latency_us={} degraded={} route=rescan",
                 latency.as_micros(),
@@ -564,6 +729,19 @@ fn handle_exec(kv: &BTreeMap<&str, &str>, shared: &Arc<Shared>) -> String {
             // tenant's breaker.
             permit.succeed();
             metrics::counter("server.exec_cancelled").inc();
+            settle(shared, &req, Settled {
+                query,
+                engine: engine_name,
+                outcome: Outcome::Cancelled,
+                shed_reason: None,
+                degraded,
+                route: None,
+                queue_wait,
+                latency,
+                deadline: deadline_ms,
+                plan_digest,
+                exemplar: None,
+            });
             format!(
                 "CANCELLED tenant={tenant} query={label} latency_us={}",
                 latency.as_micros()
@@ -572,6 +750,19 @@ fn handle_exec(kv: &BTreeMap<&str, &str>, shared: &Arc<Shared>) -> String {
         Err(e) => {
             permit.fail();
             metrics::counter("server.exec_err").inc();
+            settle(shared, &req, Settled {
+                query,
+                engine: engine_name,
+                outcome: Outcome::Err,
+                shed_reason: None,
+                degraded,
+                route: None,
+                queue_wait,
+                latency,
+                deadline: deadline_ms,
+                plan_digest,
+                exemplar: None,
+            });
             format!("ERR tenant={tenant} query={label}: {e}")
         }
     }
@@ -584,11 +775,12 @@ fn handle_exec(kv: &BTreeMap<&str, &str>, shared: &Arc<Shared>) -> String {
 fn handle_semantic(
     kv: &BTreeMap<&str, &str>,
     shared: &Arc<Shared>,
-    tenant: &str,
-    priority: Priority,
+    req: &RequestCtx,
     label: &str,
     sq: &SemanticQuery,
 ) -> String {
+    let tenant = req.tenant.as_str();
+    let priority = req.priority;
     let deadline_ms = match kv.get("deadline_ms").map(|v| v.parse::<u64>()) {
         Some(Ok(ms)) => Some(Duration::from_millis(ms)),
         Some(Err(_)) => return "ERR deadline_ms wants an integer".to_string(),
@@ -596,40 +788,97 @@ fn handle_semantic(
     };
     let t0 = Instant::now();
     let deadline = deadline_ms.map(|d| t0 + d);
-    let permit = match shared.admission.admit(tenant, priority, deadline) {
+    let permit = match shared.admission.admit_request(req, deadline) {
         Ok(p) => p,
-        Err(reason) => return format!("SHED reason={}", reason.label()),
+        Err(reason) => {
+            settle(shared, req, Settled {
+                query: label,
+                engine: "semantic",
+                outcome: Outcome::Shed,
+                shed_reason: Some(reason.label()),
+                degraded: false,
+                route: None,
+                queue_wait: Duration::ZERO,
+                latency: t0.elapsed(),
+                deadline: deadline_ms,
+                plan_digest: String::new(),
+                exemplar: None,
+            });
+            return format!("SHED reason={}", reason.label());
+        }
     };
+    let decision_key = format!("semantic/{label}");
     let use_index = decide_route(
         &shared.optimizer,
-        &format!("semantic/{label}"),
+        &decision_key,
         &shared.dataset,
         shared.index.as_ref().map(|i| i.len() as u64),
     );
+    // For semantic queries the "plan" is the optimizer's cached
+    // index-vs-rescan decision; its rendering backs both the digest
+    // and any slow-query exemplar.
+    let decision_text = shared
+        .optimizer
+        .decision(&decision_key)
+        .map(|d| d.render_text())
+        .unwrap_or_else(|| format!("{decision_key}: route=rescan (no decision recorded)\n"));
+    let plan_digest = qlog::fnv64_hex(&decision_text);
     let result = match (&shared.index, use_index) {
         (Some(index), true) => answer_with_index(index, sq),
         _ => answer_with_rescan(&shared.dataset, sq),
     };
     let latency = t0.elapsed();
     metrics::histogram(&format!("server.latency.{priority}")).observe(latency.as_nanos() as u64);
+    let degraded = permit.degraded();
+    let queue_wait = permit.queue_wait();
     match result {
         Ok(answer) => {
-            let degraded = permit.degraded();
             permit.succeed();
             let index_served = use_index && shared.index.is_some();
             shared.admission.note_route(tenant, index_served);
             metrics::counter("server.exec_ok").inc();
+            let route = if index_served { "index" } else { "rescan" };
+            let exemplar = shared
+                .qlog
+                .slow_threshold()
+                .filter(|&thr| latency >= thr)
+                .map(|_| decision_text.clone());
+            settle(shared, req, Settled {
+                query: label,
+                engine: "semantic",
+                outcome: Outcome::Ok,
+                shed_reason: None,
+                degraded,
+                route: Some(route),
+                queue_wait,
+                latency,
+                deadline: deadline_ms,
+                plan_digest,
+                exemplar,
+            });
             format!(
-                "OK tenant={tenant} query={label} engine=semantic latency_us={} degraded={} route={} {}",
+                "OK tenant={tenant} query={label} engine=semantic latency_us={} degraded={} route={route} {}",
                 latency.as_micros(),
                 degraded as u8,
-                if index_served { "index" } else { "rescan" },
                 answer.render()
             )
         }
         Err(e) => {
             permit.fail();
             metrics::counter("server.exec_err").inc();
+            settle(shared, req, Settled {
+                query: label,
+                engine: "semantic",
+                outcome: Outcome::Err,
+                shed_reason: None,
+                degraded,
+                route: None,
+                queue_wait,
+                latency,
+                deadline: deadline_ms,
+                plan_digest,
+                exemplar: None,
+            });
             format!("ERR tenant={tenant} query={label}: {e}")
         }
     }
@@ -826,6 +1075,148 @@ mod tests {
         assert!(total > 0, "at least some concurrent requests must complete");
         let server = Arc::try_unwrap(server).ok().expect("sole owner");
         server.shutdown();
+        assert!(server.wait().clean);
+    }
+
+    /// Zero a qlog line's two timing fields; everything else in a
+    /// record is deterministic for a deterministic request sequence.
+    fn strip_timings(line: &str) -> String {
+        line.split(", ")
+            .map(|field| {
+                if field.starts_with("\"queue_wait_us\":") {
+                    "\"queue_wait_us\": 0".to_string()
+                } else if field.starts_with("\"latency_us\":") {
+                    "\"latency_us\": 0".to_string()
+                } else {
+                    field.to_string()
+                }
+            })
+            .collect::<Vec<_>>()
+            .join(", ")
+    }
+
+    #[test]
+    fn qlog_is_deterministic_across_identical_runs() {
+        fn run(path: &std::path::Path) -> Vec<String> {
+            let server = start_server(ServerConfig {
+                queries: vec![QueryKind::Q1Select],
+                use_index: true,
+                qlog_path: Some(path.to_str().unwrap().to_string()),
+                ..ServerConfig::default()
+            });
+            let mut conn = TcpStream::connect(server.addr()).unwrap();
+            for q in ["Q1", "S1", "Q1"] {
+                let r =
+                    request(&mut conn, &format!("EXEC tenant=alpha priority=high query={q}"));
+                assert!(r.starts_with("OK "), "exec response: {r}");
+            }
+            request(&mut conn, "SHUTDOWN");
+            assert!(server.wait().clean);
+            let body = std::fs::read_to_string(path).unwrap();
+            std::fs::remove_file(path).ok();
+            body.lines().map(strip_timings).collect()
+        }
+        let tmp = std::env::temp_dir();
+        let a = run(&tmp.join(format!("vr_qlog_det_{}_a.jsonl", std::process::id())));
+        let b = run(&tmp.join(format!("vr_qlog_det_{}_b.jsonl", std::process::id())));
+        assert_eq!(a.len(), 3, "one record per request: {a:?}");
+        assert_eq!(a, b, "identical seeded runs must log identically modulo timings");
+        // Sequential requests over one connection settle in arrival
+        // order, so seq tracks req exactly.
+        assert!(
+            a[0].starts_with(
+                "{\"seq\": 1, \"req\": 1, \"tenant\": \"alpha\", \"priority\": \"high\", \
+                 \"query\": \"Q1\", \"engine\": \"batch\", \"outcome\": \"ok\""
+            ),
+            "first record: {}",
+            a[0]
+        );
+        assert!(!a[0].contains("\"plan_digest\": \"\""), "completed requests carry a digest");
+        assert!(
+            a[1].contains("\"engine\": \"semantic\"") && a[1].contains("\"route\": \"index\""),
+            "semantic record: {}",
+            a[1]
+        );
+    }
+
+    #[test]
+    fn slow_query_exemplar_captures_the_annotated_plan() {
+        use vr_base::fault::{self, FaultInjector};
+        let path =
+            std::env::temp_dir().join(format!("vr_qlog_slow_{}.jsonl", std::process::id()));
+        // A 5ms injected kernel stall guarantees the request lands over
+        // the 1ms slow-query threshold.
+        fault::install(Some(Arc::new(
+            FaultInjector::from_spec("stall_stage=kernel:5ms", 7).unwrap(),
+        )));
+        let server = start_server(ServerConfig {
+            queries: vec![QueryKind::Q1Select],
+            qlog_path: Some(path.to_str().unwrap().to_string()),
+            slow_query: Some(Duration::from_millis(1)),
+            ..ServerConfig::default()
+        });
+        let mut conn = TcpStream::connect(server.addr()).unwrap();
+        let r = request(&mut conn, "EXEC tenant=alpha priority=high query=Q1");
+        assert!(r.starts_with("OK "), "stalled exec still completes: {r}");
+        request(&mut conn, "SHUTDOWN");
+        assert!(server.wait().clean);
+        fault::install(None);
+        let body = std::fs::read_to_string(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        let lines: Vec<&str> = body.lines().collect();
+        assert_eq!(lines.len(), 1, "one record: {body}");
+        assert!(lines[0].contains("\"slow_us\": 1000,"), "threshold echoed: {}", lines[0]);
+        // The exemplar is the full EXPLAIN ANALYZE text: the plan shape
+        // annotated with this run's measured per-stage wall times.
+        assert!(lines[0].contains("\"exemplar\": \""), "exemplar captured: {}", lines[0]);
+        assert!(lines[0].contains("wall="), "exemplar is annotated: {}", lines[0]);
+    }
+
+    #[test]
+    fn stats_carries_the_slo_block_and_the_endpoint_serves_views() {
+        let server = start_server(ServerConfig {
+            queries: vec![QueryKind::Q1Select],
+            // A generous objective keeps the one OK below it even on a
+            // loaded runner: its burn rate must be exactly zero.
+            slo: SloConfig { high: Duration::from_secs(60), ..SloConfig::default() },
+            ..ServerConfig::default()
+        });
+        let mut conn = TcpStream::connect(server.addr()).unwrap();
+        let ok = request(&mut conn, "EXEC tenant=alpha priority=high query=Q1");
+        assert!(ok.starts_with("OK "), "exec response: {ok}");
+        let stats = request(&mut conn, "STATS");
+        assert!(stats.contains("\"slo\": {"), "stats slo block: {stats}");
+        assert!(stats.contains("\"alpha/high\""), "slo class: {stats}");
+        assert!(stats.contains("\"burn_rate\": 0.000"), "fast ok burns nothing: {stats}");
+
+        // The loopback endpoint serves the registered /slo and
+        // /requests views. The view registry is process-global (last
+        // registration wins), so parallel server tests may have
+        // re-registered: assert schema, not this server's counts.
+        fn http_get(addr: SocketAddr, path: &str) -> String {
+            use std::io::Read;
+            let mut stream = TcpStream::connect(addr).unwrap();
+            write!(stream, "GET {path} HTTP/1.1\r\nHost: localhost\r\n\r\n").unwrap();
+            let mut response = String::new();
+            stream.read_to_string(&mut response).unwrap();
+            response
+        }
+        let ms = serve::MetricsServer::start(0).unwrap();
+        let slo = http_get(ms.addr(), "/slo");
+        assert!(slo.starts_with("HTTP/1.1 200 OK"), "/slo response: {slo}");
+        assert!(slo.contains("application/json"), "/slo content type: {slo}");
+        assert!(
+            slo.contains("\"objective_ms\"")
+                && slo.contains("\"target\"")
+                && slo.contains("\"window\""),
+            "/slo schema: {slo}"
+        );
+        let reqs = http_get(ms.addr(), "/requests");
+        assert!(reqs.starts_with("HTTP/1.1 200 OK"), "/requests response: {reqs}");
+        assert!(reqs.contains("application/jsonl"), "/requests content type: {reqs}");
+        ms.stop();
+
+        request(&mut conn, "SHUTDOWN");
         assert!(server.wait().clean);
     }
 }

@@ -325,18 +325,24 @@ impl<'d> Vcd<'d> {
             stage_timeout: Some(vr_vdbms::io::DEFAULT_STAGE_TIMEOUT),
             optimizer: self.optimizer.clone(),
             tenant: None,
+            request_id: None,
         }
     }
 
     /// Per-instance context: same shared metrics/result mode, but a
     /// fresh cancellation token armed with the configured deadline so
     /// one straggler's cancellation never leaks into its neighbours.
-    fn instance_context(&self, ctx: &ExecContext) -> ExecContext {
+    /// The instance's identity rides along as the request id, so the
+    /// pipeline's request-lane spans attribute batch work per instance
+    /// exactly like the server attributes it per request.
+    fn instance_context(&self, ctx: &ExecContext, index: usize) -> ExecContext {
         let mut ictx = ctx.clone();
         ictx.cancel = match self.cfg.instance_deadline {
             Some(d) => CancelToken::with_deadline(Instant::now() + d),
             None => CancelToken::new(),
         };
+        ictx.request_id =
+            Some(std::sync::Arc::from(format!("instance.{}.{index}", ctx.query_label).as_str()));
         ictx
     }
 
@@ -619,7 +625,7 @@ impl<'d> Vcd<'d> {
                 }
                 return Err(e);
             }
-            let ictx = self.instance_context(ctx);
+            let ictx = self.instance_context(ctx, i);
             let result = engine.execute(instance, &self.dataset.videos, &ictx);
             let failed = result.is_err();
             slots[i] = Some((result, t0.elapsed().as_nanos() as u64));
@@ -678,7 +684,7 @@ impl<'d> Vcd<'d> {
                                     }
                                     return (local, Err(e));
                                 }
-                                let ictx = self.instance_context(ctx);
+                                let ictx = self.instance_context(ctx, i);
                                 let result =
                                     engine.execute(instance, &self.dataset.videos, &ictx);
                                 local.push((i, result, t0.elapsed().as_nanos() as u64));
@@ -737,6 +743,7 @@ impl<'d> Vcd<'d> {
             // The oracle always runs the hand-written reference plan.
             optimizer: None,
             tenant: None,
+            request_id: None,
         };
         let mut psnr_values: Vec<f64> = Vec::new();
         let mut box_matches = 0usize;

@@ -171,6 +171,12 @@ pub struct ExecContext {
     /// delivered frames/bytes to `tenant.<id>.*` registry counters so
     /// multi-tenant accounting survives down to the data plane.
     pub tenant: Option<Arc<str>>,
+    /// Request-scoped identity (e.g. `req-000042.gold`, or
+    /// `instance.q1.3` for batch instances). When present, every
+    /// top-level pipeline `run_*` opens a `request`-category span named
+    /// after it, so chrome-trace output attributes each pipeline run to
+    /// the request (and tenant) that caused it.
+    pub request_id: Option<Arc<str>>,
 }
 
 /// Default watchdog bound: generous enough that only a genuine hang
@@ -189,6 +195,7 @@ impl Default for ExecContext {
             stage_timeout: Some(DEFAULT_STAGE_TIMEOUT),
             optimizer: None,
             tenant: None,
+            request_id: None,
         }
     }
 }

@@ -850,6 +850,7 @@ impl<'c> Pipeline<'c> {
         source: &mut dyn FrameSource,
         kernel: &mut dyn FrameKernel,
     ) -> Result<StreamResult> {
+        let _req = self.request_span();
         let _span = trace::span("pipeline", "run_streaming");
         self.absorb_stall("kernel");
         if self.ctx.workers <= 1 {
@@ -964,6 +965,7 @@ impl<'c> Pipeline<'c> {
         sources: &mut [&mut dyn FrameSource],
         kernel: &mut dyn FrameKernel,
     ) -> Result<StreamResult> {
+        let _req = self.request_span();
         let _span = trace::span("pipeline", "run_streaming_multi");
         let info = sources
             .first()
@@ -1100,6 +1102,7 @@ impl<'c> Pipeline<'c> {
         workers: usize,
         kernel: impl Fn(&Frame) -> Frame + Send + Sync,
     ) -> Result<EncodedVideo> {
+        let _req = self.request_span();
         let _span = trace::span("pipeline", "run_eager");
         self.absorb_stall("kernel");
         // Clamp the requested fan-out by the context budget AND the
@@ -1161,6 +1164,7 @@ impl<'c> Pipeline<'c> {
         source: &mut dyn FrameSource,
         kernel: impl FnOnce(Vec<Frame>, VideoInfo) -> Result<Vec<Frame>>,
     ) -> Result<EncodedVideo> {
+        let _req = self.request_span();
         let _span = trace::span("pipeline", "run_sequence");
         self.absorb_stall("kernel");
         let info = source.info();
@@ -1183,6 +1187,7 @@ impl<'c> Pipeline<'c> {
         gate: &mut DiffGate,
         kernel: &mut dyn FnMut(Frame, usize, bool) -> Result<KernelOut>,
     ) -> Result<StreamResult> {
+        let _req = self.request_span();
         let _span = trace::span("pipeline", "run_short_circuit");
         self.absorb_stall("kernel");
         if self.ctx.workers <= 1 {
@@ -1333,6 +1338,14 @@ impl<'c> Pipeline<'c> {
     /// Sleep out an injected stall at a named stage entry (the
     /// watchdog's budget is far above any plan's stall, so an absorbed
     /// stall degrades latency without tripping anything).
+    /// Open the enclosing request-lane span when the context carries a
+    /// request id (`None` — the batch CLI default — costs nothing).
+    /// Every `run_*` entry point holds one, so in chrome-trace each
+    /// pipeline run nests under the request (and tenant) it serves.
+    fn request_span(&self) -> Option<trace::Span> {
+        self.ctx.request_id.as_ref().map(|r| trace::span_dyn("request", || r.to_string()))
+    }
+
     fn absorb_stall(&self, stage: &str) {
         if let Some(inj) = fault::global() {
             if let Some(d) = inj.stall(stage) {
